@@ -1,0 +1,135 @@
+//! Reference counters and triangle-derived graph metrics.
+//!
+//! [`brute_force_count`] is the independent correctness oracle used by the
+//! test suite: a literal triple loop over vertex IDs, sharing no code with
+//! the optimized algorithms. The clustering-coefficient helpers are the
+//! canonical *application* of triangle counting (the paper's motivation
+//! cites community detection and social-network analysis).
+
+use lotus_graph::UndirectedCsr;
+
+use crate::forward::per_vertex_counts;
+
+/// Counts triangles by checking all vertex triples. O(|V|³) — only for
+/// graphs of a few hundred vertices; panics above 2048 vertices to catch
+/// accidental misuse in benchmarks.
+pub fn brute_force_count(graph: &UndirectedCsr) -> u64 {
+    let n = graph.num_vertices();
+    assert!(n <= 2048, "brute force is O(V^3); graph too large ({n} vertices)");
+    let mut count = 0u64;
+    for a in 0..n {
+        for b in (a + 1)..n {
+            if !graph.has_edge(a, b) {
+                continue;
+            }
+            for c in (b + 1)..n {
+                if graph.has_edge(a, c) && graph.has_edge(b, c) {
+                    count += 1;
+                }
+            }
+        }
+    }
+    count
+}
+
+/// Local clustering coefficient of every vertex:
+/// `2·T(v) / (deg(v)·(deg(v)−1))`, 0 for degree < 2.
+pub fn local_clustering_coefficients(graph: &UndirectedCsr) -> Vec<f64> {
+    let tri = per_vertex_counts(graph);
+    (0..graph.num_vertices())
+        .map(|v| {
+            let d = graph.degree(v) as u64;
+            if d < 2 {
+                0.0
+            } else {
+                2.0 * tri[v as usize] as f64 / (d * (d - 1)) as f64
+            }
+        })
+        .collect()
+}
+
+/// Average local clustering coefficient (Watts–Strogatz definition).
+pub fn average_clustering(graph: &UndirectedCsr) -> f64 {
+    let c = local_clustering_coefficients(graph);
+    if c.is_empty() {
+        return 0.0;
+    }
+    c.iter().sum::<f64>() / c.len() as f64
+}
+
+/// Global transitivity: `3·triangles / wedges`, where a wedge is an
+/// unordered path of length two.
+pub fn transitivity(graph: &UndirectedCsr) -> f64 {
+    let triangles = crate::forward::forward_count(graph);
+    let wedges: u64 = (0..graph.num_vertices())
+        .map(|v| {
+            let d = graph.degree(v) as u64;
+            d * d.saturating_sub(1) / 2
+        })
+        .sum();
+    if wedges == 0 {
+        0.0
+    } else {
+        3.0 * triangles as f64 / wedges as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lotus_graph::builder::graph_from_edges;
+
+    #[test]
+    fn brute_force_k4() {
+        let g = graph_from_edges([(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
+        assert_eq!(brute_force_count(&g), 4);
+    }
+
+    #[test]
+    fn brute_force_empty_and_tree() {
+        assert_eq!(brute_force_count(&graph_from_edges(std::iter::empty())), 0);
+        let tree = graph_from_edges([(0, 1), (0, 2), (1, 3), (1, 4)]);
+        assert_eq!(brute_force_count(&tree), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn brute_force_rejects_large_graphs() {
+        let g = graph_from_edges((0..3000u32).map(|v| (v, v + 1)));
+        let _ = brute_force_count(&g);
+    }
+
+    #[test]
+    fn clique_clustering_is_one() {
+        let g = graph_from_edges([(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
+        for c in local_clustering_coefficients(&g) {
+            assert!((c - 1.0).abs() < 1e-12);
+        }
+        assert!((average_clustering(&g) - 1.0).abs() < 1e-12);
+        assert!((transitivity(&g) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn star_clustering_is_zero() {
+        let g = graph_from_edges((1..6).map(|v| (0, v)));
+        assert_eq!(average_clustering(&g), 0.0);
+        assert_eq!(transitivity(&g), 0.0);
+    }
+
+    #[test]
+    fn bowtie_center_coefficient() {
+        // Vertex 2 joins two triangles: deg 4, T(2)=2 → c = 2·2/(4·3) = 1/3.
+        let g = graph_from_edges([(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)]);
+        let c = local_clustering_coefficients(&g);
+        assert!((c[2] - 1.0 / 3.0).abs() < 1e-12);
+        assert!((c[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn brute_force_matches_forward_on_random_graphs() {
+        for seed in [3u64, 9, 27] {
+            let g = lotus_gen::ErdosRenyi::new(120, 700).generate(seed);
+            assert_eq!(brute_force_count(&g), crate::forward::forward_count(&g));
+        }
+    }
+}

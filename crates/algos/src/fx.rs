@@ -1,0 +1,109 @@
+//! A minimal FxHash-style hasher for integer keys.
+//!
+//! The default SipHash tables are a known bottleneck for hot integer-keyed
+//! sets (Rust Performance Book, "Hashing"); rustc's Fx multiplicative hash
+//! is the standard fast replacement. The crates-io `rustc-hash` package is
+//! not on the approved dependency list, so the (tiny, well-known) algorithm
+//! is reimplemented here.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative word-at-a-time hasher (the rustc `FxHasher` algorithm).
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline(always)]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline(always)]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            self.add(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline(always)]
+    fn write_u32(&mut self, n: u32) {
+        self.add(n as u64);
+    }
+
+    #[inline(always)]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+
+    #[inline(always)]
+    fn write_u16(&mut self, n: u16) {
+        self.add(n as u64);
+    }
+
+    #[inline(always)]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+/// Fast integer-keyed hash set.
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+/// Fast integer-keyed hash map.
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_basics() {
+        let mut s: FxHashSet<u32> = FxHashSet::default();
+        for i in 0..1000u32 {
+            s.insert(i * 7);
+        }
+        assert_eq!(s.len(), 1000);
+        assert!(s.contains(&63));
+        assert!(!s.contains(&64));
+    }
+
+    #[test]
+    fn map_basics() {
+        let mut m: FxHashMap<u64, u64> = FxHashMap::default();
+        m.insert(1, 10);
+        m.insert(2, 20);
+        assert_eq!(m[&1], 10);
+        assert_eq!(m.get(&3), None);
+    }
+
+    #[test]
+    fn hash_differs_for_different_keys() {
+        use std::hash::BuildHasher;
+        let b = FxBuildHasher::default();
+        let h = |x: u32| b.hash_one(x);
+        assert_ne!(h(1), h(2));
+        assert_eq!(h(42), h(42));
+    }
+
+    #[test]
+    fn byte_write_fallback() {
+        let mut h = FxHasher::default();
+        h.write(b"hello world, more than eight bytes");
+        assert_ne!(h.finish(), 0);
+    }
+}

@@ -1,0 +1,80 @@
+//! Galloping (exponential-search) intersection.
+//!
+//! For each element of the shorter list, gallop forward in the longer list
+//! by doubling steps, then binary-search the final window. Adaptive:
+//! O(|short| · log(gap)) — degrades gracefully to merge-join behaviour on
+//! similar-length lists and to binary-search behaviour on skewed ones.
+
+use lotus_graph::NeighborId;
+
+/// Finds the first index `>= x` in `hay[from..]`, galloping then bisecting.
+#[inline]
+fn gallop_lower_bound<N: NeighborId>(hay: &[N], from: usize, x: N) -> usize {
+    let mut step = 1usize;
+    let mut lo = from;
+    let mut hi = from;
+    while hi < hay.len() && hay[hi] < x {
+        lo = hi;
+        hi = hi.saturating_add(step).min(hay.len());
+        step <<= 1;
+    }
+    lo + hay[lo..hi].partition_point(|&y| y < x)
+}
+
+/// Counts `|a ∩ b|` by galloping through the longer slice.
+#[inline]
+pub fn count_gallop<N: NeighborId>(a: &[N], b: &[N]) -> u64 {
+    let (short, long) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    let mut count = 0u64;
+    let mut pos = 0usize;
+    for &x in short {
+        pos = gallop_lower_bound(long, pos, x);
+        if pos >= long.len() {
+            break;
+        }
+        if long[pos] == x {
+            count += 1;
+            pos += 1;
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::intersect::testutil::{reference, sorted_list};
+
+    #[test]
+    fn lower_bound_finds_first_geq() {
+        let hay = [2u32, 4, 6, 8, 10];
+        assert_eq!(gallop_lower_bound(&hay, 0, 5), 2);
+        assert_eq!(gallop_lower_bound(&hay, 0, 6), 2);
+        assert_eq!(gallop_lower_bound(&hay, 0, 1), 0);
+        assert_eq!(gallop_lower_bound(&hay, 0, 11), 5);
+        assert_eq!(gallop_lower_bound(&hay, 3, 9), 4);
+    }
+
+    #[test]
+    fn agrees_with_reference() {
+        for seed in 0..30u64 {
+            let a = sorted_list(seed, 15, 200);
+            let b = sorted_list(seed * 13 + 1, 120, 200);
+            assert_eq!(count_gallop(&a, &b), reference(&a, &b), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn clustered_matches() {
+        let a = [100u32, 101, 102];
+        let b: Vec<u32> = (0..1000).collect();
+        assert_eq!(count_gallop(&a, &b), 3);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert_eq!(count_gallop::<u32>(&[], &[]), 0);
+        assert_eq!(count_gallop(&[7u32], &[7]), 1);
+        assert_eq!(count_gallop(&[7u32], &[8]), 0);
+    }
+}

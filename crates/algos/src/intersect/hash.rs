@@ -1,0 +1,90 @@
+//! Hash-probe intersection.
+//!
+//! Used by the Forward-hashed algorithm (Schank & Wagner; paper §6.1):
+//! insert one list into a hash set, probe with the other. The paper notes
+//! hashing "imposes more instruction count per memory access, a higher
+//! memory footprint, and a higher preprocessing time" (§5.7) — the
+//! benchmark `intersect` quantifies that trade-off against merge join.
+
+use lotus_graph::NeighborId;
+
+use crate::fx::FxHashSet;
+
+/// One-shot hash intersection: builds a set from the shorter slice,
+/// probes with the longer. Prefer [`HashSide`] when one side is reused.
+#[inline]
+pub fn count_hash<N: NeighborId>(a: &[N], b: &[N]) -> u64 {
+    let (short, long) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    let set: FxHashSet<N> = short.iter().copied().collect();
+    long.iter().filter(|x| set.contains(x)).count() as u64
+}
+
+/// A reusable hashed side: build once per vertex, probe with each
+/// neighbour's list (the forward-hashed inner loop).
+#[derive(Debug, Default)]
+pub struct HashSide<N> {
+    set: FxHashSet<N>,
+}
+
+impl<N: NeighborId> HashSide<N> {
+    /// Creates an empty side.
+    pub fn new() -> Self {
+        Self { set: FxHashSet::default() }
+    }
+
+    /// Replaces the contents with `items` (reusing the allocation).
+    pub fn fill(&mut self, items: &[N]) {
+        self.set.clear();
+        self.set.extend(items.iter().copied());
+    }
+
+    /// Counts how many elements of `probe` are in the side.
+    #[inline]
+    pub fn count(&self, probe: &[N]) -> u64 {
+        probe.iter().filter(|x| self.set.contains(x)).count() as u64
+    }
+
+    /// Number of elements currently held.
+    pub fn len(&self) -> usize {
+        self.set.len()
+    }
+
+    /// Whether the side is empty.
+    pub fn is_empty(&self) -> bool {
+        self.set.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::intersect::testutil::{reference, sorted_list};
+
+    #[test]
+    fn one_shot_agrees_with_reference() {
+        for seed in 0..20u64 {
+            let a = sorted_list(seed, 40, 150);
+            let b = sorted_list(seed + 77, 60, 150);
+            assert_eq!(count_hash(&a, &b), reference(&a, &b));
+        }
+    }
+
+    #[test]
+    fn reusable_side() {
+        let mut side: HashSide<u32> = HashSide::new();
+        side.fill(&[1, 3, 5, 7]);
+        assert_eq!(side.len(), 4);
+        assert_eq!(side.count(&[3, 4, 5]), 2);
+        side.fill(&[10]);
+        assert_eq!(side.count(&[3, 4, 5]), 0);
+        assert_eq!(side.count(&[10]), 1);
+        assert!(!side.is_empty());
+    }
+
+    #[test]
+    fn u16_side() {
+        let mut side: HashSide<u16> = HashSide::new();
+        side.fill(&[2, 4]);
+        assert_eq!(side.count(&[1, 2, 3, 4]), 2);
+    }
+}

@@ -1,0 +1,40 @@
+#![warn(missing_docs)]
+
+//! Baseline triangle-counting algorithms and intersection kernels.
+//!
+//! Implements every comparator the paper evaluates against (§2.2, §5.1.4):
+//!
+//! * [`node_iterator`] — enumerate neighbour pairs per vertex, probe edges.
+//! * [`edge_iterator`] — intersect endpoint lists per edge (the
+//!   GraphGrind-style baseline).
+//! * [`forward`] — the Forward algorithm (Algorithm 1 of the paper): degree
+//!   ordering plus `N⁻ ∩ N⁻` intersections; the GAP-style baseline and
+//!   LOTUS's direct point of comparison.
+//! * [`forward_hashed`] — Forward with a hash container (Schank & Wagner).
+//! * [`gbbs`] — Forward with nested (intra-intersection) parallelism, the
+//!   GBBS-style baseline.
+//! * [`bbtc`] — block-based TC in the style of BBTC (2D tiling of the
+//!   adjacency for load balance).
+//!
+//! The [`intersect`] module provides the five neighbour-list intersection
+//! kernels the paper's related work discusses (§2.2, §6.3): merge join,
+//! binary search, galloping, hashing, and bitmap lookup.
+
+pub mod bbtc;
+pub mod counts;
+pub mod doulion;
+pub mod edge_iterator;
+pub mod edge_iterator_hashed;
+pub mod forward;
+pub mod forward_hashed;
+pub mod fx;
+pub mod gbbs;
+pub mod intersect;
+pub mod new_vertex_listing;
+pub mod node_iterator;
+pub mod node_iterator_core;
+pub mod preprocess;
+
+pub use counts::brute_force_count;
+pub use forward::forward_count;
+pub use intersect::IntersectKind;

@@ -1,0 +1,59 @@
+//! H2H bit-array characteristics (paper Table 8).
+
+use lotus_core::LotusGraph;
+
+/// One row of Table 8.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct H2hStats {
+    /// Fraction of set bits.
+    pub density: f64,
+    /// Fraction of 64-byte blocks with no set bit.
+    pub zero_cachelines: f64,
+    /// Size of the array in bytes.
+    pub bytes: u64,
+    /// Hub-to-hub edges recorded.
+    pub edges: u64,
+}
+
+/// Extracts the Table 8 statistics from a LOTUS graph.
+pub fn h2h_stats(lg: &LotusGraph) -> H2hStats {
+    H2hStats {
+        density: lg.h2h.density(),
+        zero_cachelines: lg.h2h.zero_cacheline_fraction(),
+        bytes: lg.h2h.size_bytes(),
+        edges: lg.h2h.bits_set(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lotus_core::config::{HubCount, LotusConfig};
+    use lotus_core::preprocess::build_lotus_graph;
+
+    #[test]
+    fn stats_are_consistent() {
+        let g = lotus_gen::Rmat::new(10, 12).generate(5);
+        let cfg = LotusConfig::default().with_hub_count(HubCount::Fixed(128));
+        let lg = build_lotus_graph(&g, &cfg);
+        let s = h2h_stats(&lg);
+        assert!(s.density > 0.0 && s.density < 1.0);
+        assert!((0.0..=1.0).contains(&s.zero_cachelines));
+        assert_eq!(s.edges, lg.h2h.bits_set());
+        assert!(s.bytes > 0);
+    }
+
+    #[test]
+    fn sparse_h2h_has_zero_cachelines() {
+        // Table 8's web-graph rows show 75–95% zero cachelines: hub edges
+        // cluster on a few hot lines. A low-density H2H must leave many
+        // 64-byte blocks untouched.
+        let g = lotus_gen::Rmat::new(12, 4)
+            .with_params(lotus_gen::RmatParams::WEB)
+            .generate(7);
+        let cfg = LotusConfig::default().with_hub_count(HubCount::Fixed(2048));
+        let s = h2h_stats(&build_lotus_graph(&g, &cfg));
+        assert!(s.density < 0.01, "density {}", s.density);
+        assert!(s.zero_cachelines > 0.3, "zero cachelines {}", s.zero_cachelines);
+    }
+}

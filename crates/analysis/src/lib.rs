@@ -1,0 +1,26 @@
+#![warn(missing_docs)]
+
+//! Topology analyses behind the paper's motivation and evaluation tables.
+//!
+//! * [`hub_stats`] — edge-class fractions, hub-triangle share, relative
+//!   density and fruitless searches (Table 1).
+//! * [`density`] — relative density of vertex subsets (§3.4).
+//! * [`fruitless`] — avoidable hub-edge accesses during non-hub processing
+//!   (§3.3, Table 1 column 8).
+//! * [`topology_size`] — CSX vs LOTUS topology bytes (Table 7).
+//! * [`h2h_stats`] — H2H density and zero-cacheline fractions (Table 8).
+//! * [`load_balance`] — idle-time comparison of edge-balanced partitioning
+//!   vs squared edge tiling (Table 9), both as a deterministic
+//!   list-scheduling model and as a real threaded measurement.
+
+pub mod density;
+pub mod fruitless;
+pub mod h2h_stats;
+pub mod hub_stats;
+pub mod load_balance;
+pub mod topology_size;
+
+pub use h2h_stats::H2hStats;
+pub use hub_stats::HubStats;
+pub use load_balance::IdleTimes;
+pub use topology_size::TopologySizes;

@@ -1,0 +1,91 @@
+//! Topology-size accounting (paper Table 7, §5.6).
+//!
+//! Compares the bytes of topology data between the plain CSX
+//! representation (8-byte index entries, 4-byte neighbour IDs, symmetric
+//! edges removed as the Forward algorithm uses) and the LOTUS structure
+//! (two sub-graph indices, 2-byte HE entries, 4-byte NHE entries, plus the
+//! H2H bit array). The paper reports an average 4.1% *reduction* despite
+//! the extra index and bit array, because half the edges shrink to 16 bits.
+
+use lotus_core::LotusGraph;
+use lotus_graph::UndirectedCsr;
+
+/// One row of Table 7, in bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TopologySizes {
+    /// Neighbour entries only, symmetric edges removed (`4·|E|`).
+    pub csx_edges: u64,
+    /// Index + entries of the forward CSX (`8(|V|+1) + 4·|E|`).
+    pub csx: u64,
+    /// The LOTUS structure: HE + NHE indices and entries + H2H.
+    pub lotus: u64,
+}
+
+impl TopologySizes {
+    /// Size growth of LOTUS over CSX, in percent (negative = smaller).
+    pub fn growth_percent(&self) -> f64 {
+        if self.csx == 0 {
+            0.0
+        } else {
+            (self.lotus as f64 - self.csx as f64) / self.csx as f64 * 100.0
+        }
+    }
+}
+
+/// Computes the Table 7 sizes for a graph and its LOTUS structure.
+pub fn topology_sizes(graph: &UndirectedCsr, lg: &LotusGraph) -> TopologySizes {
+    let v = graph.num_vertices() as u64;
+    let e = graph.num_edges();
+    let csx_edges = 4 * e;
+    let csx = 8 * (v + 1) + csx_edges;
+    TopologySizes { csx_edges, csx, lotus: lg.topology_bytes() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lotus_core::config::{HubCount, LotusConfig};
+    use lotus_core::preprocess::build_lotus_graph;
+
+    #[test]
+    fn accounting_matches_structure() {
+        let g = lotus_gen::Rmat::new(10, 10).generate(9);
+        let cfg = LotusConfig::default().with_hub_count(HubCount::Fixed(64));
+        let lg = build_lotus_graph(&g, &cfg);
+        let t = topology_sizes(&g, &lg);
+
+        assert_eq!(t.csx_edges, 4 * g.num_edges());
+        assert_eq!(t.csx, 8 * (g.num_vertices() as u64 + 1) + 4 * g.num_edges());
+        // LOTUS bytes: 2 indices + 2B HE + 4B NHE + H2H.
+        let expected = 2 * 8 * (g.num_vertices() as u64 + 1)
+            + 2 * lg.he_edges()
+            + 4 * lg.nhe_edges()
+            + lg.h2h.size_bytes();
+        assert_eq!(t.lotus, expected);
+    }
+
+    #[test]
+    fn hub_heavy_graph_shrinks() {
+        // When most edges are hub edges, halving their width outweighs the
+        // extra index and H2H array (the SK-Domain effect of Table 7).
+        let g = lotus_gen::Rmat::new(14, 32)
+            .with_params(lotus_gen::RmatParams::WEB)
+            .generate(3);
+        let cfg = LotusConfig::default().with_hub_count(HubCount::Fixed(512));
+        let lg = build_lotus_graph(&g, &cfg);
+        let t = topology_sizes(&g, &lg);
+        assert!(
+            t.growth_percent() < 0.0,
+            "expected shrink, got {:.1}% (he {} / nhe {})",
+            t.growth_percent(),
+            lg.he_edges(),
+            lg.nhe_edges()
+        );
+    }
+
+    #[test]
+    fn growth_percent_of_zero_graph() {
+        let t = TopologySizes { csx_edges: 0, csx: 0, lotus: 0 };
+        assert_eq!(t.growth_percent(), 0.0);
+    }
+}

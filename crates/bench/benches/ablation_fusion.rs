@@ -1,0 +1,34 @@
+//! Loop-fusion ablation (paper §4.5): LOTUS keeps the HNN and NNN loops
+//! separate so each phase's random accesses stay within one small
+//! structure; this bench measures the fused alternative.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use lotus_core::config::LotusConfig;
+use lotus_core::count::LotusCounter;
+use lotus_core::preprocess::build_lotus_graph;
+use lotus_gen::{Dataset, DatasetScale};
+
+fn bench_fusion(c: &mut Criterion) {
+    let dataset = Dataset::by_name("SK").expect("known").at_scale(DatasetScale::Tiny);
+    let graph = dataset.generate();
+    let lg = build_lotus_graph(&graph, &LotusConfig::default());
+
+    let mut group = c.benchmark_group("fusion");
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    group.sample_size(20);
+    for (label, fuse) in [("split", false), ("fused", true)] {
+        let counter = LotusCounter::new(LotusConfig::default().with_fused_phases(fuse));
+        group.bench_function(label, |b| {
+            b.iter(|| black_box(counter.count_prepared(&lg).total()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fusion);
+criterion_main!(benches);

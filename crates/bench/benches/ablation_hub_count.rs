@@ -1,0 +1,37 @@
+//! Hub-count ablation: LOTUS counting time as the hub set grows from
+//! "none" (degenerates to Forward-on-NHE) to "most vertices" (degenerates
+//! to pure H2H probing). The paper fixes 64K (§4.2); this sweep shows the
+//! sensitivity of that choice.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use lotus_core::config::{HubCount, LotusConfig};
+use lotus_core::count::LotusCounter;
+use lotus_core::preprocess::build_lotus_graph;
+use lotus_gen::{Dataset, DatasetScale};
+
+fn bench_hub_count(c: &mut Criterion) {
+    let dataset = Dataset::by_name("Twtr").expect("known").at_scale(DatasetScale::Tiny);
+    let graph = dataset.generate();
+    let n = graph.num_vertices();
+
+    let mut group = c.benchmark_group("hub_count");
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    group.sample_size(15);
+    for hubs in [0u32, n / 256, n / 64, n / 16, n / 4] {
+        let config = LotusConfig::default().with_hub_count(HubCount::Fixed(hubs));
+        let lg = build_lotus_graph(&graph, &config);
+        let counter = LotusCounter::new(config);
+        group.bench_with_input(BenchmarkId::from_parameter(hubs), &lg, |b, lg| {
+            b.iter(|| black_box(counter.count_prepared(lg).total()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hub_count);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! End-to-end TC benchmark per algorithm (the Criterion counterpart of
+//! Table 5). Uses three representative datasets at Tiny scale so the
+//! whole run completes quickly; set `LOTUS_SCALE=full` for larger runs.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use lotus_bench::harness::{run_algorithm, scale_from_env, Algorithm};
+use lotus_gen::{Dataset, DatasetScale};
+
+fn bench_scale() -> DatasetScale {
+    match scale_from_env() {
+        // Criterion repeats each measurement many times; default one size
+        // below the report binaries.
+        DatasetScale::Small => DatasetScale::Tiny,
+        other => other,
+    }
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end");
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    group.sample_size(10);
+    for name in ["LJGrp", "Twtr", "SK"] {
+        let dataset = Dataset::by_name(name).expect("known dataset").at_scale(bench_scale());
+        let graph = dataset.generate();
+        for alg in Algorithm::ALL {
+            group.bench_with_input(BenchmarkId::new(alg.name(), name), &graph, |b, g| {
+                b.iter(|| black_box(run_algorithm(alg, g).triangles))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Intersection-kernel micro-benchmarks (paper §6.3 context): merge vs
+//! binary vs gallop vs hash vs bitmap on similar-length and skewed lists.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use lotus_algos::intersect::{Bitmap, IntersectKind};
+
+/// Deterministic sorted distinct list.
+fn sorted_list(seed: u64, len: usize, universe: u32) -> Vec<u32> {
+    let mut state = seed.wrapping_mul(0x2545F4914F6CDD1D) | 1;
+    let mut v: Vec<u32> = (0..len * 2)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % universe as u64) as u32
+        })
+        .collect();
+    v.sort_unstable();
+    v.dedup();
+    v.truncate(len);
+    v
+}
+
+fn bench_intersect(c: &mut Criterion) {
+    let universe = 1 << 20;
+    let cases = [
+        ("similar_1k_1k", sorted_list(1, 1000, universe), sorted_list(2, 1000, universe)),
+        ("skewed_32_8k", sorted_list(3, 32, universe), sorted_list(4, 8192, universe)),
+        ("short_16_16", sorted_list(5, 16, universe), sorted_list(6, 16, universe)),
+    ];
+
+    let mut group = c.benchmark_group("intersect");
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    for (case, a, b) in &cases {
+        for k in IntersectKind::ALL {
+            group.bench_with_input(BenchmarkId::new(k.name(), case), &(a, b), |bch, (a, b)| {
+                bch.iter(|| black_box(k.count(a, b)))
+            });
+        }
+        group.bench_with_input(BenchmarkId::new("bitmap", case), &(a, b), |bch, (a, b)| {
+            let mut bm = Bitmap::new(universe as usize);
+            bch.iter(|| black_box(bm.count(a, b)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_intersect);
+criterion_main!(benches);

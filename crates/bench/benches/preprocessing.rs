@@ -1,0 +1,35 @@
+//! Preprocessing cost comparison: LOTUS's Algorithm 2 (hub-first relabel
+//! plus HE/NHE/H2H construction) vs the baselines' degree ordering plus
+//! forward orientation. §5.4 reports preprocessing at 19.4% of LOTUS's
+//! end-to-end time.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use lotus_algos::preprocess::degree_order_and_orient;
+use lotus_core::preprocess::build_lotus_graph;
+use lotus_core::LotusConfig;
+use lotus_gen::{Dataset, DatasetScale};
+
+fn bench_preprocessing(c: &mut Criterion) {
+    let dataset = Dataset::by_name("Twtr").expect("known").at_scale(DatasetScale::Tiny);
+    let graph = dataset.generate();
+    let config = LotusConfig::default();
+
+    let mut group = c.benchmark_group("preprocessing");
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    group.sample_size(20);
+    group.bench_function("lotus_build", |b| {
+        b.iter(|| black_box(build_lotus_graph(&graph, &config).he_edges()))
+    });
+    group.bench_function("degree_order_orient", |b| {
+        b.iter(|| black_box(degree_order_and_orient(&graph).forward.num_entries()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_preprocessing);
+criterion_main!(benches);

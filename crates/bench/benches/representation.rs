@@ -1,0 +1,67 @@
+//! Topology-representation benchmark (paper §3.2): traversal cost of
+//! 32-bit CSX vs delta-varint-compressed lists vs LOTUS's 16-bit HE
+//! lists. Compression saves bytes but must not slow the hot read path —
+//! the constraint that led LOTUS to fixed-width narrow IDs.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use lotus_algos::intersect::{count_merge, IntersectKind};
+use lotus_algos::preprocess::degree_order_and_orient;
+use lotus_core::preprocess::build_lotus_graph;
+use lotus_core::LotusConfig;
+use lotus_gen::{Dataset, DatasetScale};
+use lotus_graph::varint::{count_merge_varint, VarintCsr};
+
+fn bench_representation(c: &mut Criterion) {
+    let dataset = Dataset::by_name("SK").expect("known").at_scale(DatasetScale::Tiny);
+    let graph = dataset.generate();
+    let pre = degree_order_and_orient(&graph);
+    let forward = &pre.forward;
+    let varint = VarintCsr::from_csr(forward);
+    let lg = build_lotus_graph(&graph, &LotusConfig::default());
+
+    let mut group = c.benchmark_group("representation");
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    group.sample_size(15);
+    group.bench_function("csx_u32_merge", |b| {
+        b.iter(|| {
+            black_box(lotus_algos::forward::count_oriented(forward, IntersectKind::Merge))
+        })
+    });
+    group.bench_function("varint_merge", |b| {
+        b.iter(|| {
+            let total: u64 = (0..forward.num_vertices())
+                .map(|v| {
+                    let nv = forward.neighbors(v);
+                    nv.iter()
+                        .map(|&u| count_merge_varint(nv, varint.neighbors(u)))
+                        .sum::<u64>()
+                })
+                .sum();
+            black_box(total)
+        })
+    });
+    group.bench_function("lotus_he_u16_merge", |b| {
+        // The HE sub-graph's 16-bit lists, merged pairwise as HNN does.
+        b.iter(|| {
+            let total: u64 = (0..lg.num_vertices())
+                .map(|v| {
+                    let he_v = lg.hub_neighbors(v);
+                    lg.nonhub_neighbors(v)
+                        .iter()
+                        .map(|&u| count_merge(he_v, lg.hub_neighbors(u)))
+                        .sum::<u64>()
+                })
+                .sum();
+            black_box(total)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_representation);
+criterion_main!(benches);

@@ -1,0 +1,5 @@
+//! Regenerates the ablation studies (kernels, fusion, hub count).
+fn main() {
+    let scale = lotus_bench::harness::scale_from_env();
+    println!("{}", lotus_bench::reports::ablation_report(scale));
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 1 (average TC rates).
+fn main() {
+    let scale = lotus_bench::harness::scale_from_env();
+    println!("{}", lotus_bench::reports::fig1_tc_rates(scale));
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 4 (LLC and DTLB misses).
+fn main() {
+    let scale = lotus_bench::harness::scale_from_env();
+    println!("{}", lotus_bench::reports::fig4_locality(scale));
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 5 (hardware event comparison).
+fn main() {
+    let scale = lotus_bench::harness::scale_from_env();
+    println!("{}", lotus_bench::reports::fig5_hw_events(scale));
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 6 (execution breakdown).
+fn main() {
+    let scale = lotus_bench::harness::scale_from_env();
+    println!("{}", lotus_bench::reports::fig6_breakdown(scale));
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 7 (hub vs non-hub triangles).
+fn main() {
+    let scale = lotus_bench::harness::scale_from_env();
+    println!("{}", lotus_bench::reports::fig7_triangle_types(scale));
+}

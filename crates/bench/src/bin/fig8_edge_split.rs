@@ -1,0 +1,5 @@
+//! Regenerates Figure 8 (HE/NHE edge split).
+fn main() {
+    let scale = lotus_bench::harness::scale_from_env();
+    println!("{}", lotus_bench::reports::fig8_edge_split(scale));
+}

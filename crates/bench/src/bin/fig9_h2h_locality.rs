@@ -1,0 +1,5 @@
+//! Regenerates Figure 9 (H2H cacheline locality).
+fn main() {
+    let scale = lotus_bench::harness::scale_from_env();
+    println!("{}", lotus_bench::reports::fig9_h2h_locality(scale));
+}

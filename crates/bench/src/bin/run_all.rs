@@ -1,0 +1,53 @@
+//! Runs every experiment in sequence and prints all tables — the one-shot
+//! reproduction of the paper's evaluation section.
+//!
+//! ```text
+//! LOTUS_SCALE=small cargo run -p lotus-bench --release --bin run_all
+//! ```
+//!
+//! Figures 4, 5 and 9 drive the cache simulator, which replays every
+//! memory access; they run one scale lower than the timing tables to keep
+//! the wall time reasonable.
+
+use lotus_bench::reports;
+use lotus_gen::DatasetScale;
+
+fn main() {
+    let scale = lotus_bench::harness::scale_from_env();
+    // The perfsim figures replay every access through the cache model —
+    // run those a scale lower.
+    let sim_scale = match scale {
+        DatasetScale::Tiny | DatasetScale::Small => DatasetScale::Tiny,
+        DatasetScale::Full => DatasetScale::Small,
+    };
+    let workers = std::env::var("LOTUS_WORKERS")
+        .ok()
+        .and_then(|w| w.parse().ok())
+        .unwrap_or(32);
+
+    type Section = (&'static str, Box<dyn Fn() -> String>);
+    let sections: Vec<Section> = vec![
+        ("Table 4", Box::new(move || reports::table4_datasets(scale))),
+        ("Table 1", Box::new(move || reports::table1_hub_stats(scale))),
+        ("Table 5", Box::new(move || reports::table5_endtoend(scale))),
+        ("Table 6", Box::new(move || reports::table6_large(scale))),
+        ("Figure 1", Box::new(move || reports::fig1_tc_rates(scale))),
+        ("Figure 4", Box::new(move || reports::fig4_locality(sim_scale))),
+        ("Figure 5", Box::new(move || reports::fig5_hw_events(sim_scale))),
+        ("Figure 6", Box::new(move || reports::fig6_breakdown(scale))),
+        ("Figure 7", Box::new(move || reports::fig7_triangle_types(scale))),
+        ("Figure 8", Box::new(move || reports::fig8_edge_split(scale))),
+        ("Table 7", Box::new(move || reports::table7_topology_size(scale))),
+        ("Table 8", Box::new(move || reports::table8_h2h(scale))),
+        ("Figure 9", Box::new(move || reports::fig9_h2h_locality(sim_scale))),
+        ("Table 9", Box::new(move || reports::table9_tiling(scale, workers))),
+        ("Ablations", Box::new(move || reports::ablation_report(scale))),
+    ];
+
+    for (name, run) in sections {
+        eprintln!(">>> running {name} ...");
+        let start = std::time::Instant::now();
+        println!("{}", run());
+        eprintln!("    {name} done in {:.1}s\n", start.elapsed().as_secs_f64());
+    }
+}

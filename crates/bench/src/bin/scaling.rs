@@ -1,0 +1,52 @@
+//! Thread-scaling report: LOTUS counting time across rayon pool sizes.
+//!
+//! The paper evaluates on 32–128 core machines (Table 3); this report
+//! sweeps local thread counts so multi-core hosts can reproduce the
+//! scaling behaviour (on a single-core host all rows are flat — the
+//! sweep infrastructure is still exercised).
+//!
+//! ```text
+//! LOTUS_SCALE=small cargo run --release -p lotus-bench --bin scaling
+//! ```
+
+use std::time::Instant;
+
+use lotus_bench::table::{secs, Table};
+use lotus_core::count::LotusCounter;
+use lotus_core::preprocess::build_lotus_graph;
+use lotus_core::LotusConfig;
+use lotus_gen::Dataset;
+
+fn main() {
+    let scale = lotus_bench::harness::scale_from_env();
+    let threads = [1usize, 2, 4, 8];
+    let mut headers: Vec<String> = vec!["Dataset".into()];
+    headers.extend(threads.iter().map(|t| format!("{t}thr")));
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut t = Table::new("Thread scaling: Lotus counting time (seconds)")
+        .headers(&header_refs);
+
+    for name in ["Twtr", "SK", "UKDls"] {
+        let dataset = Dataset::by_name(name).expect("known dataset").at_scale(scale);
+        let graph = dataset.generate();
+        let lg = build_lotus_graph(&graph, &LotusConfig::default());
+        let mut cells = vec![name.to_string()];
+        for &n in &threads {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(n)
+                .build()
+                .expect("pool");
+            let counter = LotusCounter::new(LotusConfig::default());
+            let start = Instant::now();
+            let total = pool.install(|| counter.count_prepared(&lg).total());
+            cells.push(secs(start.elapsed()));
+            assert!(total > 0);
+        }
+        t.row(cells);
+    }
+    t.footnote(format!(
+        "Host exposes {} hardware thread(s); speedups require a multi-core host",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    ));
+    println!("{}", t.render());
+}

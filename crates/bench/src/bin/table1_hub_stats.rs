@@ -1,0 +1,5 @@
+//! Regenerates Table 1 (topological characteristics of hubs).
+fn main() {
+    let scale = lotus_bench::harness::scale_from_env();
+    println!("{}", lotus_bench::reports::table1_hub_stats(scale));
+}

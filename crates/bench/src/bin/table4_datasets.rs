@@ -1,0 +1,5 @@
+//! Regenerates Table 4 (dataset inventory).
+fn main() {
+    let scale = lotus_bench::harness::scale_from_env();
+    println!("{}", lotus_bench::reports::table4_datasets(scale));
+}

@@ -1,0 +1,5 @@
+//! Regenerates Table 5 (end-to-end TC times vs baselines).
+fn main() {
+    let scale = lotus_bench::harness::scale_from_env();
+    println!("{}", lotus_bench::reports::table5_endtoend(scale));
+}

@@ -1,0 +1,5 @@
+//! Regenerates Table 6 (large-graph TC times, GBBS vs Lotus).
+fn main() {
+    let scale = lotus_bench::harness::scale_from_env();
+    println!("{}", lotus_bench::reports::table6_large(scale));
+}

@@ -1,0 +1,5 @@
+//! Regenerates Table 7 (topology data sizes).
+fn main() {
+    let scale = lotus_bench::harness::scale_from_env();
+    println!("{}", lotus_bench::reports::table7_topology_size(scale));
+}

@@ -1,0 +1,5 @@
+//! Regenerates Table 8 (H2H bit array characteristics).
+fn main() {
+    let scale = lotus_bench::harness::scale_from_env();
+    println!("{}", lotus_bench::reports::table8_h2h(scale));
+}

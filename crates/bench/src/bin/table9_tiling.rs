@@ -1,0 +1,9 @@
+//! Regenerates Table 9 (idle time: edge-balanced vs squared edge tiling).
+fn main() {
+    let scale = lotus_bench::harness::scale_from_env();
+    let workers = std::env::var("LOTUS_WORKERS")
+        .ok()
+        .and_then(|w| w.parse().ok())
+        .unwrap_or(32);
+    println!("{}", lotus_bench::reports::table9_tiling(scale, workers));
+}

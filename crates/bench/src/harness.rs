@@ -1,0 +1,168 @@
+//! Shared experiment plumbing: algorithm dispatch, end-to-end timing, and
+//! environment-controlled dataset selection.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Duration;
+
+use lotus_algos::bbtc::BbtcCounter;
+use lotus_algos::edge_iterator::edge_iterator_count_timed;
+use lotus_algos::forward::ForwardCounter;
+use lotus_algos::gbbs::gbbs_count_timed;
+use lotus_algos::intersect::IntersectKind;
+use lotus_core::count::LotusCounter;
+use lotus_core::LotusConfig;
+use lotus_gen::{Dataset, DatasetScale};
+use lotus_graph::UndirectedCsr;
+
+/// The five comparators of Table 5 (paper §5.1.4) plus LOTUS.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algorithm {
+    /// Block-based TC (BBTC analog).
+    Bbtc,
+    /// Edge iterator (GraphGrind analog).
+    GraphGrind,
+    /// Forward with merge join (GAP analog).
+    Gap,
+    /// Forward with nested parallel intersection (GBBS analog).
+    Gbbs,
+    /// LOTUS.
+    Lotus,
+}
+
+impl Algorithm {
+    /// All algorithms in the paper's column order.
+    pub const ALL: [Algorithm; 5] = [
+        Algorithm::Bbtc,
+        Algorithm::GraphGrind,
+        Algorithm::Gap,
+        Algorithm::Gbbs,
+        Algorithm::Lotus,
+    ];
+
+    /// Table column label.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Algorithm::Bbtc => "BBTC",
+            Algorithm::GraphGrind => "GGrnd",
+            Algorithm::Gap => "GAP",
+            Algorithm::Gbbs => "GBBS",
+            Algorithm::Lotus => "Lotus",
+        }
+    }
+}
+
+/// One end-to-end run: triangle count and wall time including
+/// preprocessing (as the paper reports, §5.1.4).
+#[derive(Debug, Clone, Copy)]
+pub struct RunOutcome {
+    /// Total triangles found.
+    pub triangles: u64,
+    /// End-to-end wall time.
+    pub elapsed: Duration,
+}
+
+/// Runs one algorithm end-to-end on a graph.
+pub fn run_algorithm(alg: Algorithm, graph: &UndirectedCsr) -> RunOutcome {
+    match alg {
+        Algorithm::Bbtc => {
+            let r = BbtcCounter::default().count(graph);
+            RunOutcome { triangles: r.triangles, elapsed: r.total_time() }
+        }
+        Algorithm::GraphGrind => {
+            let r = edge_iterator_count_timed(graph, IntersectKind::Merge);
+            RunOutcome { triangles: r.triangles, elapsed: r.total_time() }
+        }
+        Algorithm::Gap => {
+            let r = ForwardCounter::new().count(graph);
+            RunOutcome { triangles: r.triangles, elapsed: r.total_time() }
+        }
+        Algorithm::Gbbs => {
+            let r = gbbs_count_timed(graph);
+            RunOutcome { triangles: r.triangles, elapsed: r.total_time() }
+        }
+        Algorithm::Lotus => {
+            let r = LotusCounter::new(LotusConfig::default()).count(graph);
+            RunOutcome { triangles: r.total(), elapsed: r.breakdown.total() }
+        }
+    }
+}
+
+/// Process-wide cache of generated suite graphs: several reports walk the
+/// same datasets, and generation (not counting) would otherwise dominate
+/// `run_all`'s wall time.
+pub fn cached_graph(d: &Dataset) -> Arc<UndirectedCsr> {
+    type Key = (String, u32, u64);
+    type Cache = Mutex<HashMap<Key, Arc<UndirectedCsr>>>;
+    static CACHE: OnceLock<Cache> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    let key = (d.name.to_string(), d.scale, d.seed);
+    if let Some(g) = cache.lock().expect("cache poisoned").get(&key) {
+        return Arc::clone(g);
+    }
+    let g = Arc::new(d.generate());
+    cache
+        .lock()
+        .expect("cache poisoned")
+        .insert(key, Arc::clone(&g));
+    g
+}
+
+/// Dataset scale from `LOTUS_SCALE` (`tiny` | `small` | `full`).
+pub fn scale_from_env() -> DatasetScale {
+    match std::env::var("LOTUS_SCALE").as_deref() {
+        Ok("tiny") => DatasetScale::Tiny,
+        Ok("full") => DatasetScale::Full,
+        _ => DatasetScale::Small,
+    }
+}
+
+/// Applies the `LOTUS_DATASETS` comma-separated name filter.
+pub fn filter_datasets(mut datasets: Vec<Dataset>) -> Vec<Dataset> {
+    if let Ok(filter) = std::env::var("LOTUS_DATASETS") {
+        let names: Vec<&str> = filter.split(',').map(str::trim).collect();
+        datasets.retain(|d| names.contains(&d.name));
+    }
+    datasets
+}
+
+/// The Table 5 datasets at the requested scale, filtered by env.
+pub fn small_suite(scale: DatasetScale) -> Vec<Dataset> {
+    filter_datasets(Dataset::small_suite().into_iter().map(|d| d.at_scale(scale)).collect())
+}
+
+/// The Table 6 datasets at the requested scale, filtered by env.
+pub fn large_suite(scale: DatasetScale) -> Vec<Dataset> {
+    filter_datasets(Dataset::large_suite().into_iter().map(|d| d.at_scale(scale)).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lotus_gen::Rmat;
+
+    #[test]
+    fn all_algorithms_agree_end_to_end() {
+        let g = Rmat::new(9, 8).generate(77);
+        let outcomes: Vec<RunOutcome> =
+            Algorithm::ALL.iter().map(|&a| run_algorithm(a, &g)).collect();
+        for w in outcomes.windows(2) {
+            assert_eq!(w[0].triangles, w[1].triangles);
+        }
+        assert!(outcomes.iter().all(|o| o.elapsed > Duration::ZERO));
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let names: std::collections::HashSet<_> =
+            Algorithm::ALL.iter().map(|a| a.name()).collect();
+        assert_eq!(names.len(), 5);
+    }
+
+    #[test]
+    fn suites_respect_scale() {
+        let tiny = small_suite(DatasetScale::Tiny);
+        assert!(!tiny.is_empty());
+        assert!(tiny.iter().all(|d| d.scale <= 13));
+    }
+}

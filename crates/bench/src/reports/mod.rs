@@ -1,0 +1,18 @@
+//! Report generators — one function per paper table/figure.
+//!
+//! Every function returns the rendered table so binaries stay one-liners
+//! and tests can smoke-run the experiments at `Tiny` scale.
+
+pub mod ablation;
+pub mod figures;
+pub mod tables;
+
+pub use ablation::ablation_report;
+pub use figures::{
+    fig1_tc_rates, fig4_locality, fig5_hw_events, fig6_breakdown, fig7_triangle_types,
+    fig8_edge_split, fig9_h2h_locality,
+};
+pub use tables::{
+    table1_hub_stats, table4_datasets, table5_endtoend, table6_large, table7_topology_size,
+    table8_h2h, table9_tiling,
+};

@@ -1,0 +1,270 @@
+//! Generators for the paper's tables (1, 4, 5, 6, 7, 8, 9).
+
+use lotus_analysis::h2h_stats::h2h_stats;
+use lotus_analysis::hub_stats::hub_stats;
+use lotus_analysis::load_balance::{edge_balanced_idle, squared_tiling_idle};
+use lotus_analysis::topology_size::topology_sizes;
+use lotus_core::preprocess::build_lotus_graph;
+use lotus_core::LotusConfig;
+use lotus_gen::{Dataset, DatasetScale};
+use lotus_graph::DegreeStats;
+
+use crate::harness::{large_suite, run_algorithm, small_suite, Algorithm};
+use crate::table::{pct, ratio, secs, Table};
+
+/// Table 1: topological characteristics of hubs (1% of vertices with
+/// maximum degrees selected as hubs).
+pub fn table1_hub_stats(scale: DatasetScale) -> String {
+    let mut t = Table::new("Table 1: Topological characteristics of hubs (1% hubs)").headers(&[
+        "Dataset",
+        "HubToHub%",
+        "HubToNon%",
+        "HubTotal%",
+        "NonHub%",
+        "HubTri%",
+        "RelDensity",
+        "Fruitless%",
+    ]);
+    let mut sums = [0.0f64; 7];
+    let datasets = small_suite(scale);
+    for d in &datasets {
+        let g = crate::harness::cached_graph(d);
+        let s = hub_stats(&g, 0.01);
+        let cells = [
+            s.hub_to_hub,
+            s.hub_to_nonhub,
+            s.hub_edges_total(),
+            s.nonhub,
+            s.hub_triangles,
+            s.relative_density,
+            s.fruitless,
+        ];
+        for (acc, v) in sums.iter_mut().zip(cells) {
+            *acc += v;
+        }
+        t.row(vec![
+            d.name.into(),
+            pct(s.hub_to_hub),
+            pct(s.hub_to_nonhub),
+            pct(s.hub_edges_total()),
+            pct(s.nonhub),
+            pct(s.hub_triangles),
+            format!("{:.0}", s.relative_density),
+            pct(s.fruitless),
+        ]);
+    }
+    let n = datasets.len().max(1) as f64;
+    t.row(vec![
+        "Average".into(),
+        pct(sums[0] / n),
+        pct(sums[1] / n),
+        pct(sums[2] / n),
+        pct(sums[3] / n),
+        pct(sums[4] / n),
+        format!("{:.0}", sums[5] / n),
+        pct(sums[6] / n),
+    ]);
+    t.footnote("Paper averages: 18.1 / 54.8 / 72.9 / 27.1 / 93.4 / 1809 / 53.3");
+    t.render()
+}
+
+/// Table 4: the dataset inventory.
+pub fn table4_datasets(scale: DatasetScale) -> String {
+    let mut t = Table::new("Table 4: Datasets (synthetic stand-ins, scaled)")
+        .headers(&["Dataset", "Type", "|V|", "|E|", "MaxDeg", "Skew", "Triangles"]);
+    let mut all = small_suite(scale);
+    all.extend(large_suite(scale));
+    for d in &all {
+        let g = crate::harness::cached_graph(d);
+        let s = DegreeStats::of(&g);
+        let triangles = lotus_core::count::lotus_count(&g);
+        t.row(vec![
+            d.name.into(),
+            d.kind.tag().into(),
+            s.num_vertices.to_string(),
+            s.num_edges.to_string(),
+            s.max_degree.to_string(),
+            format!("{:.1}", s.mean_degree / s.median_degree.max(1) as f64),
+            triangles.to_string(),
+        ]);
+    }
+    t.render()
+}
+
+fn endtoend_table(title: &str, datasets: &[Dataset], algorithms: &[Algorithm]) -> String {
+    let mut headers: Vec<&str> = vec!["Dataset"];
+    headers.extend(algorithms.iter().map(|a| a.name()));
+    let mut t = Table::new(title).headers(&headers);
+
+    let mut speedup_sums = vec![0.0f64; algorithms.len()];
+    let mut rows = 0usize;
+    for d in datasets {
+        let g = crate::harness::cached_graph(d);
+        let outcomes: Vec<_> = algorithms.iter().map(|&a| run_algorithm(a, &g)).collect();
+        // Cross-check: every algorithm must report the same count.
+        for w in outcomes.windows(2) {
+            assert_eq!(
+                w[0].triangles, w[1].triangles,
+                "algorithms disagree on {}",
+                d.name
+            );
+        }
+        let lotus_idx = algorithms.iter().position(|&a| a == Algorithm::Lotus);
+        let lotus_time = lotus_idx.map(|i| outcomes[i].elapsed.as_secs_f64());
+        let mut cells = vec![d.name.to_string()];
+        for (i, o) in outcomes.iter().enumerate() {
+            cells.push(secs(o.elapsed));
+            if let Some(lt) = lotus_time {
+                if lt > 0.0 {
+                    speedup_sums[i] += o.elapsed.as_secs_f64() / lt;
+                }
+            }
+        }
+        t.row(cells);
+        rows += 1;
+    }
+    if rows > 0 {
+        let mut cells = vec!["LotusSpdup".to_string()];
+        for s in &speedup_sums {
+            cells.push(ratio(s / rows as f64));
+        }
+        t.row(cells);
+    }
+    t.footnote("End-to-end seconds including preprocessing (single run per cell)");
+    t.render()
+}
+
+/// Table 5: end-to-end TC execution times, small-graph suite.
+pub fn table5_endtoend(scale: DatasetScale) -> String {
+    endtoend_table(
+        "Table 5: End-to-end TC execution times (seconds)",
+        &small_suite(scale),
+        &Algorithm::ALL,
+    )
+}
+
+/// Table 6: end-to-end times on the large suite, GBBS vs LOTUS.
+pub fn table6_large(scale: DatasetScale) -> String {
+    endtoend_table(
+        "Table 6: End-to-end TC execution times, large graphs (seconds)",
+        &large_suite(scale),
+        &[Algorithm::Gbbs, Algorithm::Lotus],
+    )
+}
+
+/// Table 7: size of topology data.
+pub fn table7_topology_size(scale: DatasetScale) -> String {
+    let mut t = Table::new("Table 7: Size of topology data (MB)")
+        .headers(&["Dataset", "CSXEdges", "CSX", "Lotus", "Growth%"]);
+    let mut growth_sum = 0.0;
+    let datasets = small_suite(scale);
+    let mb = |b: u64| format!("{:.2}", b as f64 / (1024.0 * 1024.0));
+    for d in &datasets {
+        let g = crate::harness::cached_graph(d);
+        let lg = build_lotus_graph(&g, &LotusConfig::default());
+        let s = topology_sizes(&g, &lg);
+        growth_sum += s.growth_percent();
+        t.row(vec![
+            d.name.into(),
+            mb(s.csx_edges),
+            mb(s.csx),
+            mb(s.lotus),
+            format!("{:+.1}", s.growth_percent()),
+        ]);
+    }
+    t.footnote(format!(
+        "Average growth: {:+.1}% (paper: -4.1% with 64K hubs on billion-edge graphs)",
+        growth_sum / datasets.len().max(1) as f64
+    ));
+    t.render()
+}
+
+/// Table 8: H2H bit array characteristics.
+///
+/// Uses the paper's hub count (`min(2¹⁶, |V|)`) rather than `Auto`: the
+/// table studies the structure of H2H under the paper's configuration,
+/// where the weakest hubs are barely connected and leave cachelines empty.
+pub fn table8_h2h(scale: DatasetScale) -> String {
+    let mut t = Table::new("Table 8: Lotus H2H bit array characteristics (paper hub count)")
+        .headers(&["Dataset", "Density%", "ZeroCachelines%", "H2H-KB", "HubHubEdges"]);
+    for d in &small_suite(scale) {
+        let g = crate::harness::cached_graph(d);
+        let lg = build_lotus_graph(&g, &LotusConfig::paper());
+        let s = h2h_stats(&lg);
+        t.row(vec![
+            d.name.into(),
+            format!("{:.2}", s.density * 100.0),
+            format!("{:.2}", s.zero_cachelines * 100.0),
+            format!("{:.0}", s.bytes as f64 / 1024.0),
+            s.edges.to_string(),
+        ]);
+    }
+    t.render()
+}
+
+/// Table 9: average idle time, edge-balanced vs squared edge tiling.
+///
+/// Runs at the paper's hub count and sweeps the modelled thread count.
+/// On the paper's billion-edge graphs a single hub holds 10–50% of all
+/// phase-1 pair work, so 32 threads already starve under edge-balanced
+/// partitioning; on the ~10³×-scaled suite the top hub's share is ~10³×
+/// smaller, so the same starvation appears at proportionally higher
+/// thread counts (and the tiling threshold scales 512 → 64 with it).
+/// `workers` sets the middle column of the sweep.
+pub fn table9_tiling(scale: DatasetScale, workers: usize) -> String {
+    let sweep = [workers, workers * 64, workers * 256];
+    let threshold = 64;
+    let mut t = Table::new(
+        "Table 9: Average idle time % of phase-1 work (EB = edge balanced, SET = squared edge tiling)",
+    )
+    .headers(&[
+        "Dataset",
+        &format!("EB@{}", sweep[0]),
+        &format!("SET@{}", sweep[0]),
+        &format!("EB@{}", sweep[1]),
+        &format!("SET@{}", sweep[1]),
+        &format!("EB@{}", sweep[2]),
+        &format!("SET@{}", sweep[2]),
+    ]);
+    // The paper's Table 9 rows.
+    let names = ["Twtr10", "TwtrMpi", "SK", "WbCc", "UKDls"];
+    for d in small_suite(scale).iter().filter(|d| names.contains(&d.name)) {
+        let g = crate::harness::cached_graph(d);
+        let lg = build_lotus_graph(&g, &LotusConfig::paper());
+        let mut cells = vec![d.name.to_string()];
+        for w in sweep {
+            let eb = edge_balanced_idle(&lg, w);
+            let set = squared_tiling_idle(&lg, w, threshold);
+            cells.push(pct(eb.average_idle));
+            cells.push(pct(set.average_idle));
+        }
+        t.row(cells);
+    }
+    t.footnote("Idle modelled by list-scheduling exact pair-work per task (see DESIGN.md)");
+    t.footnote(format!(
+        "Paper hub count, tiling threshold {threshold} (scaled from 512 with the datasets)"
+    ));
+    t.footnote("Paper [SkyLakeX, 32 threads]: edge-balanced 13.6-83.3%, squared tiling 0.7-3.3%");
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table9_smoke() {
+        let out = table9_tiling(DatasetScale::Tiny, 8);
+        assert!(out.contains("Twtr10"));
+        assert!(out.contains("EB@8"));
+        assert!(out.contains("SET@2048"));
+    }
+
+    #[test]
+    fn table7_smoke() {
+        let out = table7_topology_size(DatasetScale::Tiny);
+        assert!(out.contains("LJGrp"));
+        assert!(out.contains("Growth%"));
+        assert!(out.contains("Average growth"));
+    }
+}

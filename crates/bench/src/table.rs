@@ -1,0 +1,130 @@
+//! Plain-text table formatting for the report binaries.
+
+use std::fmt::Write as _;
+
+/// A simple right-padded text table with a title and column headers.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+    footnotes: Vec<String>,
+}
+
+impl Table {
+    /// Creates a table with a title.
+    pub fn new(title: impl Into<String>) -> Self {
+        Self { title: title.into(), ..Self::default() }
+    }
+
+    /// Sets the column headers.
+    pub fn headers(mut self, headers: &[&str]) -> Self {
+        self.headers = headers.iter().map(|s| s.to_string()).collect();
+        self
+    }
+
+    /// Appends a data row.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match header count"
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Appends a footnote line printed under the table.
+    pub fn footnote(&mut self, note: impl Into<String>) -> &mut Self {
+        self.footnotes.push(note.into());
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table as aligned text.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let line = |cells: &[String], widths: &[usize], out: &mut String| {
+            let mut parts = Vec::with_capacity(cells.len());
+            for (cell, w) in cells.iter().zip(widths) {
+                parts.push(format!("{cell:>w$}", w = w));
+            }
+            let _ = writeln!(out, "{}", parts.join("  "));
+        };
+        line(&self.headers, &widths, &mut out);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1));
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            line(row, &widths, &mut out);
+        }
+        for note in &self.footnotes {
+            let _ = writeln!(out, "* {note}");
+        }
+        out
+    }
+}
+
+/// Formats a duration in seconds with millisecond precision.
+pub fn secs(d: std::time::Duration) -> String {
+    format!("{:.3}", d.as_secs_f64())
+}
+
+/// Formats a ratio as `N.N×`.
+pub fn ratio(x: f64) -> String {
+    format!("{x:.1}x")
+}
+
+/// Formats a fraction as a percentage.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new("Demo").headers(&["name", "value"]);
+        t.row(vec!["a".into(), "1".into()]);
+        t.row(vec!["long-name".into(), "12345".into()]);
+        t.footnote("a note");
+        let s = t.render();
+        assert!(s.contains("== Demo =="));
+        assert!(s.contains("long-name"));
+        assert!(s.contains("* a note"));
+        // Header row aligned to widest cell.
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[1].contains("name") && lines[1].contains("value"));
+    }
+
+    #[test]
+    #[should_panic]
+    fn row_width_mismatch_panics() {
+        let mut t = Table::new("x").headers(&["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(secs(std::time::Duration::from_millis(1500)), "1.500");
+        assert_eq!(ratio(2.25), "2.2x");
+        assert_eq!(pct(0.934), "93.4");
+    }
+}

@@ -1,0 +1,274 @@
+//! Hand-rolled argument parsing (no external CLI dependency).
+
+use std::fmt;
+
+/// Usage text shown by `lotus help`.
+pub const USAGE: &str = "\
+lotus — locality-optimizing triangle counting (PPoPP'22 reproduction)
+
+USAGE:
+  lotus count <graph> [--algorithm lotus|forward|edge-iterator|gbbs|bbtc|adaptive]
+                      [--hubs N] [--per-vertex]
+  lotus analyze <graph> [--hub-fraction F]
+  lotus generate <rmat|ba|er|ws> --scale S [--edge-factor F] [--seed X]
+                 [--params social|web|mild] -o <file>
+  lotus convert <input> <output>
+  lotus help
+
+Graph files: whitespace edge lists (any extension) or binary .lotg files.";
+
+/// A parsed subcommand.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `lotus count`.
+    Count(CountArgs),
+    /// `lotus analyze`.
+    Analyze(AnalyzeArgs),
+    /// `lotus generate`.
+    Generate(GenerateArgs),
+    /// `lotus convert`.
+    Convert(ConvertArgs),
+    /// `lotus help`.
+    Help,
+}
+
+/// Arguments of `lotus count`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CountArgs {
+    /// Input graph path.
+    pub input: String,
+    /// Algorithm name (default `lotus`).
+    pub algorithm: String,
+    /// Optional fixed hub count.
+    pub hubs: Option<u32>,
+    /// Also print the 10 vertices with most triangles.
+    pub per_vertex: bool,
+}
+
+/// Arguments of `lotus analyze`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnalyzeArgs {
+    /// Input graph path.
+    pub input: String,
+    /// Hub fraction for the §3 analysis (default 0.01).
+    pub hub_fraction: f64,
+}
+
+/// Arguments of `lotus generate`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GenerateArgs {
+    /// Generator kind: `rmat`, `ba`, `er`, `ws`.
+    pub kind: String,
+    /// log2 vertex count.
+    pub scale: u32,
+    /// Edges per vertex (default 16).
+    pub edge_factor: u32,
+    /// Seed (default 42).
+    pub seed: u64,
+    /// R-MAT parameter preset.
+    pub params: String,
+    /// Output path.
+    pub output: String,
+}
+
+/// Arguments of `lotus convert`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConvertArgs {
+    /// Input path.
+    pub input: String,
+    /// Output path.
+    pub output: String,
+}
+
+/// Parse failure with a user-facing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}\n\n{USAGE}", self.0)
+    }
+}
+
+fn take_value<'a>(
+    flag: &str,
+    it: &mut impl Iterator<Item = &'a str>,
+) -> Result<String, ParseError> {
+    it.next()
+        .map(str::to_string)
+        .ok_or_else(|| ParseError(format!("{flag} requires a value")))
+}
+
+fn parse_num<T: std::str::FromStr>(flag: &str, value: &str) -> Result<T, ParseError> {
+    value
+        .parse()
+        .map_err(|_| ParseError(format!("invalid value '{value}' for {flag}")))
+}
+
+/// Parses an argument vector (without the program name).
+pub fn parse(argv: &[&str]) -> Result<Command, ParseError> {
+    let mut it = argv.iter().copied();
+    let sub = it.next().ok_or_else(|| ParseError("missing subcommand".into()))?;
+    match sub {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "count" => {
+            let mut input = None;
+            let mut algorithm = "lotus".to_string();
+            let mut hubs = None;
+            let mut per_vertex = false;
+            while let Some(arg) = it.next() {
+                match arg {
+                    "--algorithm" | "-a" => algorithm = take_value(arg, &mut it)?,
+                    "--hubs" => hubs = Some(parse_num(arg, &take_value(arg, &mut it)?)?),
+                    "--per-vertex" => per_vertex = true,
+                    _ if input.is_none() && !arg.starts_with('-') => {
+                        input = Some(arg.to_string())
+                    }
+                    _ => return Err(ParseError(format!("unexpected argument '{arg}'"))),
+                }
+            }
+            let input = input.ok_or_else(|| ParseError("count: missing graph path".into()))?;
+            Ok(Command::Count(CountArgs { input, algorithm, hubs, per_vertex }))
+        }
+        "analyze" => {
+            let mut input = None;
+            let mut hub_fraction = 0.01f64;
+            while let Some(arg) = it.next() {
+                match arg {
+                    "--hub-fraction" => {
+                        hub_fraction = parse_num(arg, &take_value(arg, &mut it)?)?
+                    }
+                    _ if input.is_none() && !arg.starts_with('-') => {
+                        input = Some(arg.to_string())
+                    }
+                    _ => return Err(ParseError(format!("unexpected argument '{arg}'"))),
+                }
+            }
+            let input =
+                input.ok_or_else(|| ParseError("analyze: missing graph path".into()))?;
+            if !(hub_fraction > 0.0 && hub_fraction <= 1.0) {
+                return Err(ParseError("--hub-fraction must be in (0, 1]".into()));
+            }
+            Ok(Command::Analyze(AnalyzeArgs { input, hub_fraction }))
+        }
+        "generate" => {
+            let kind = it
+                .next()
+                .ok_or_else(|| ParseError("generate: missing kind (rmat|ba|er|ws)".into()))?
+                .to_string();
+            let mut scale = None;
+            let mut edge_factor = 16u32;
+            let mut seed = 42u64;
+            let mut params = "social".to_string();
+            let mut output = None;
+            while let Some(arg) = it.next() {
+                match arg {
+                    "--scale" | "-s" => {
+                        scale = Some(parse_num(arg, &take_value(arg, &mut it)?)?)
+                    }
+                    "--edge-factor" | "-e" => {
+                        edge_factor = parse_num(arg, &take_value(arg, &mut it)?)?
+                    }
+                    "--seed" => seed = parse_num(arg, &take_value(arg, &mut it)?)?,
+                    "--params" => params = take_value(arg, &mut it)?,
+                    "-o" | "--output" => output = Some(take_value(arg, &mut it)?),
+                    _ => return Err(ParseError(format!("unexpected argument '{arg}'"))),
+                }
+            }
+            let scale = scale.ok_or_else(|| ParseError("generate: --scale required".into()))?;
+            let output =
+                output.ok_or_else(|| ParseError("generate: -o <file> required".into()))?;
+            if !["rmat", "ba", "er", "ws"].contains(&kind.as_str()) {
+                return Err(ParseError(format!("unknown generator '{kind}'")));
+            }
+            if !["social", "web", "mild"].contains(&params.as_str()) {
+                return Err(ParseError(format!("unknown params preset '{params}'")));
+            }
+            Ok(Command::Generate(GenerateArgs { kind, scale, edge_factor, seed, params, output }))
+        }
+        "convert" => {
+            let input = it
+                .next()
+                .ok_or_else(|| ParseError("convert: missing input path".into()))?
+                .to_string();
+            let output = it
+                .next()
+                .ok_or_else(|| ParseError("convert: missing output path".into()))?
+                .to_string();
+            Ok(Command::Convert(ConvertArgs { input, output }))
+        }
+        other => Err(ParseError(format!("unknown subcommand '{other}'"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_count_defaults() {
+        let c = parse(&["count", "g.txt"]).unwrap();
+        assert_eq!(
+            c,
+            Command::Count(CountArgs {
+                input: "g.txt".into(),
+                algorithm: "lotus".into(),
+                hubs: None,
+                per_vertex: false,
+            })
+        );
+    }
+
+    #[test]
+    fn parses_count_flags() {
+        let c = parse(&["count", "g.lotg", "--algorithm", "forward", "--hubs", "512", "--per-vertex"])
+            .unwrap();
+        match c {
+            Command::Count(a) => {
+                assert_eq!(a.algorithm, "forward");
+                assert_eq!(a.hubs, Some(512));
+                assert!(a.per_vertex);
+            }
+            _ => panic!("wrong command"),
+        }
+    }
+
+    #[test]
+    fn parses_generate() {
+        let c = parse(&[
+            "generate", "rmat", "--scale", "12", "--edge-factor", "8", "--seed", "7",
+            "--params", "web", "-o", "out.lotg",
+        ])
+        .unwrap();
+        match c {
+            Command::Generate(g) => {
+                assert_eq!(g.scale, 12);
+                assert_eq!(g.edge_factor, 8);
+                assert_eq!(g.seed, 7);
+                assert_eq!(g.params, "web");
+                assert_eq!(g.output, "out.lotg");
+            }
+            _ => panic!("wrong command"),
+        }
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse(&[]).is_err());
+        assert!(parse(&["frobnicate"]).is_err());
+        assert!(parse(&["count"]).is_err());
+        assert!(parse(&["count", "g.txt", "--hubs"]).is_err());
+        assert!(parse(&["count", "g.txt", "--hubs", "abc"]).is_err());
+        assert!(parse(&["generate", "rmat", "-o", "x"]).is_err()); // no scale
+        assert!(parse(&["generate", "nope", "--scale", "4", "-o", "x"]).is_err());
+        assert!(parse(&["analyze", "g", "--hub-fraction", "2.0"]).is_err());
+        assert!(parse(&["convert", "only-one"]).is_err());
+    }
+
+    #[test]
+    fn help_variants() {
+        for h in [&["help"][..], &["--help"], &["-h"]] {
+            assert_eq!(parse(h).unwrap(), Command::Help);
+        }
+    }
+}

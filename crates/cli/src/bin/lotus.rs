@@ -1,0 +1,27 @@
+//! The `lotus` command-line tool. See `lotus help`.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let argv_refs: Vec<&str> = argv.iter().map(String::as_str).collect();
+    match lotus_cli::parse(&argv_refs) {
+        Ok(cmd) => match lotus_cli::run(cmd) {
+            Ok(output) => {
+                print!("{output}");
+                if !output.ends_with('\n') {
+                    println!();
+                }
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! Implementation of the `lotus` command-line tool.
+//!
+//! Subcommands:
+//!
+//! * `count <graph> [--algorithm A] [--hubs N]` — triangle counting.
+//! * `analyze <graph> [--hub-fraction F]` — hub/topology analysis (§3).
+//! * `generate <kind> --scale S [--edge-factor F] [--seed X] -o FILE` —
+//!   synthetic graph generation.
+//! * `convert <in> <out>` — text ↔ binary edge-list conversion.
+//!
+//! Graph files are whitespace edge lists (`.txt`, `.el`) or the binary
+//! `.lotg` format; the format is chosen by extension.
+
+pub mod args;
+pub mod commands;
+
+pub use args::{parse, Command, ParseError};
+
+/// Runs a parsed command, returning the text to print.
+pub fn run(cmd: Command) -> Result<String, String> {
+    match cmd {
+        Command::Count(c) => commands::count(c),
+        Command::Analyze(c) => commands::analyze(c),
+        Command::Generate(c) => commands::generate(c),
+        Command::Convert(c) => commands::convert(c),
+        Command::Help => Ok(args::USAGE.to_string()),
+    }
+}

@@ -1,0 +1,109 @@
+//! Skew-checked algorithm selection (paper §5.5).
+//!
+//! Less-power-law graphs may not benefit from LOTUS: when only a few edges
+//! attach to the 64K selected hubs, most time is spent in the NNN phase and
+//! the Forward algorithm is as good or better. The paper recommends
+//! "checking the degree distribution of the graph at the start of TC and
+//! applying the Forward or edge-iterator algorithms if the graph is
+//! not skewed enough", citing GAP's average-vs-median heuristic. This
+//! module implements that dispatcher.
+
+use lotus_algos::forward::ForwardCounter;
+use lotus_graph::{DegreeStats, UndirectedCsr};
+
+use crate::config::LotusConfig;
+use crate::count::{LotusCounter, LotusResult};
+
+/// Which algorithm the dispatcher chose.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChosenAlgorithm {
+    /// The graph was skewed enough for LOTUS.
+    Lotus,
+    /// The graph was too uniform; Forward was used.
+    Forward,
+}
+
+/// Result of an adaptive run.
+#[derive(Debug, Clone, Copy)]
+pub struct AdaptiveResult {
+    /// Total triangles.
+    pub triangles: u64,
+    /// Which path was taken.
+    pub algorithm: ChosenAlgorithm,
+    /// The skew ratio that drove the decision (mean / median degree).
+    pub skew_ratio: f64,
+    /// Full LOTUS result when the LOTUS path was taken.
+    pub lotus: Option<LotusResult>,
+}
+
+/// Skew dispatcher configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct AdaptiveConfig {
+    /// The graph counts as skewed when `mean > ratio · median`. GAP's
+    /// relabeling heuristic uses a comparable mean-vs-median test.
+    pub skew_ratio_threshold: f64,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        Self { skew_ratio_threshold: 2.0 }
+    }
+}
+
+/// Counts triangles, choosing LOTUS or Forward based on degree skew.
+pub fn adaptive_count(
+    graph: &UndirectedCsr,
+    lotus_config: &LotusConfig,
+    adaptive: &AdaptiveConfig,
+) -> AdaptiveResult {
+    let stats = DegreeStats::of(graph);
+    let skew_ratio = stats.mean_degree / stats.median_degree.max(1) as f64;
+    if stats.is_skewed(adaptive.skew_ratio_threshold) {
+        let result = LotusCounter::new(*lotus_config).count(graph);
+        AdaptiveResult {
+            triangles: result.total(),
+            algorithm: ChosenAlgorithm::Lotus,
+            skew_ratio,
+            lotus: Some(result),
+        }
+    } else {
+        let r = ForwardCounter::new().count(graph);
+        AdaptiveResult {
+            triangles: r.triangles,
+            algorithm: ChosenAlgorithm::Forward,
+            skew_ratio,
+            lotus: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn skewed_graph_takes_lotus_path() {
+        let g = lotus_gen::Rmat::new(11, 16).generate(7);
+        let r = adaptive_count(&g, &LotusConfig::default(), &AdaptiveConfig::default());
+        assert_eq!(r.algorithm, ChosenAlgorithm::Lotus);
+        assert!(r.lotus.is_some());
+        assert_eq!(r.triangles, lotus_algos::forward::forward_count(&g));
+    }
+
+    #[test]
+    fn uniform_graph_takes_forward_path() {
+        let g = lotus_gen::WattsStrogatz::new(2000, 8, 0.1).generate(7);
+        let r = adaptive_count(&g, &LotusConfig::default(), &AdaptiveConfig::default());
+        assert_eq!(r.algorithm, ChosenAlgorithm::Forward);
+        assert!(r.lotus.is_none());
+        assert_eq!(r.triangles, lotus_algos::forward::forward_count(&g));
+    }
+
+    #[test]
+    fn threshold_flips_decision() {
+        let g = lotus_gen::WattsStrogatz::new(500, 6, 0.2).generate(3);
+        let strict = AdaptiveConfig { skew_ratio_threshold: 0.1 };
+        let r = adaptive_count(&g, &LotusConfig::default(), &strict);
+        assert_eq!(r.algorithm, ChosenAlgorithm::Lotus);
+    }
+}

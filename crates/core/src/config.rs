@@ -1,0 +1,166 @@
+//! LOTUS configuration.
+//!
+//! The paper fixes the hub count at 64K (2¹⁶) vertices (§4.2) so HE
+//! neighbour IDs fit 16 bits, relabels the top 10% of vertices by degree
+//! (§4.3.1), applies squared edge tiling above degree 512 with
+//! `p = 2 × threads` partitions per vertex (§5.8). All of those are
+//! configurable here; [`LotusConfig::paper`] reproduces the paper's exact
+//! constants and [`LotusConfig::auto`] scales the hub count down for
+//! graphs far smaller than the paper's (see DESIGN.md §3, substitution 5).
+
+use lotus_graph::UndirectedCsr;
+
+/// The paper's fixed hub count: 2¹⁶.
+pub const PAPER_HUB_COUNT: u32 = 1 << 16;
+
+/// The paper's squared-edge-tiling degree threshold (§5.8).
+pub const PAPER_TILING_THRESHOLD: u32 = 512;
+
+/// Hub-count selection policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HubCount {
+    /// A fixed number of hubs (clamped to `min(n, 2¹⁶)` at build time so
+    /// HE IDs always fit 16 bits).
+    Fixed(u32),
+    /// `min(2¹⁶, max(64, |V|/64))` — keeps the H2H array proportionate
+    /// on scaled-down graphs while matching the paper on large ones. The
+    /// 1/64 fraction is calibrated on the scaled suite as the best joint
+    /// fit of the paper's Figure 7/8 shares (hub edges ~50%, hub
+    /// triangles ~69%) and its Table 5 speedups (2.2–5.5×): smaller
+    /// fractions match the shares better but dilute the speedup, larger
+    /// ones the reverse. See EXPERIMENTS.md.
+    Auto,
+}
+
+impl HubCount {
+    /// Resolves the policy for a graph with `num_vertices` vertices.
+    pub fn resolve(&self, num_vertices: u32) -> u32 {
+        let raw = match *self {
+            HubCount::Fixed(n) => n,
+            HubCount::Auto => (num_vertices / 64).max(64),
+        };
+        raw.min(PAPER_HUB_COUNT).min(num_vertices)
+    }
+}
+
+/// Full LOTUS configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LotusConfig {
+    /// Hub-count policy.
+    pub hub_count: HubCount,
+    /// Fraction of highest-degree vertices relabeled to the front
+    /// (paper: 0.10). The head is never smaller than the hub count.
+    pub head_fraction: f64,
+    /// Vertices with more hub neighbours than this threshold are split by
+    /// squared edge tiling in phase 1 (paper: 512).
+    pub tiling_threshold: u32,
+    /// Work partitions per tiled vertex (paper: 2 × threads).
+    pub partitions_per_vertex: usize,
+    /// Ablation switch: fuse the HNN and NNN loops into one pass. The
+    /// paper argues *against* fusing (§4.5) because it grows the randomly
+    /// accessed working set; `true` reproduces that ablation.
+    pub fuse_hnn_nnn: bool,
+}
+
+impl LotusConfig {
+    /// Configuration with automatic hub count, suited to any graph size.
+    pub fn auto(graph: &UndirectedCsr) -> Self {
+        let _ = graph; // size-independent defaults; kept for future tuning
+        Self::default()
+    }
+
+    /// The paper's exact constants (64K hubs, 10% head, threshold 512).
+    pub fn paper() -> Self {
+        Self { hub_count: HubCount::Fixed(PAPER_HUB_COUNT), ..Self::default() }
+    }
+
+    /// Overrides the hub-count policy.
+    pub fn with_hub_count(mut self, hc: HubCount) -> Self {
+        self.hub_count = hc;
+        self
+    }
+
+    /// Overrides the tiling threshold.
+    pub fn with_tiling_threshold(mut self, t: u32) -> Self {
+        self.tiling_threshold = t;
+        self
+    }
+
+    /// Enables the fused HNN+NNN ablation.
+    pub fn with_fused_phases(mut self, fuse: bool) -> Self {
+        self.fuse_hnn_nnn = fuse;
+        self
+    }
+
+    /// Resolved hub count for a given graph.
+    pub fn resolved_hub_count(&self, num_vertices: u32) -> u32 {
+        self.hub_count.resolve(num_vertices)
+    }
+
+    /// Resolved relabeling head size: `max(hubs, head_fraction·|V|)`.
+    pub fn resolved_head_count(&self, num_vertices: u32) -> u32 {
+        let hubs = self.resolved_hub_count(num_vertices);
+        let head = (num_vertices as f64 * self.head_fraction).round() as u32;
+        head.max(hubs).min(num_vertices)
+    }
+}
+
+impl Default for LotusConfig {
+    fn default() -> Self {
+        Self {
+            hub_count: HubCount::Auto,
+            head_fraction: 0.10,
+            tiling_threshold: PAPER_TILING_THRESHOLD,
+            partitions_per_vertex: 2 * rayon::current_num_threads().max(1),
+            fuse_hnn_nnn: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn auto_hub_count_scales() {
+        assert_eq!(HubCount::Auto.resolve(1_000_000), 15625);
+        assert_eq!(HubCount::Auto.resolve(100), 64);
+        assert_eq!(HubCount::Auto.resolve(10), 10);
+        // Saturates at the paper's 2^16 so HE stays 16-bit.
+        assert_eq!(HubCount::Auto.resolve(100_000_000), PAPER_HUB_COUNT);
+    }
+
+    #[test]
+    fn fixed_hub_count_is_clamped() {
+        assert_eq!(HubCount::Fixed(500).resolve(1000), 500);
+        assert_eq!(HubCount::Fixed(5000).resolve(1000), 1000);
+        assert_eq!(HubCount::Fixed(1 << 20).resolve(1 << 24), PAPER_HUB_COUNT);
+    }
+
+    #[test]
+    fn head_covers_hubs_and_fraction() {
+        let c = LotusConfig::default();
+        // 10% of 10_000 = 1000, hubs = 156 → head = 1000.
+        assert_eq!(c.resolved_head_count(10_000), 1000);
+        // Tiny graph: hubs (64) exceed 10% → head = hubs.
+        assert_eq!(c.resolved_head_count(200), 64);
+    }
+
+    #[test]
+    fn paper_config_uses_64k_hubs() {
+        let c = LotusConfig::paper();
+        assert_eq!(c.resolved_hub_count(10_000_000), PAPER_HUB_COUNT);
+        assert_eq!(c.tiling_threshold, 512);
+    }
+
+    #[test]
+    fn builder_methods() {
+        let c = LotusConfig::default()
+            .with_hub_count(HubCount::Fixed(128))
+            .with_tiling_threshold(64)
+            .with_fused_phases(true);
+        assert_eq!(c.resolved_hub_count(1 << 20), 128);
+        assert_eq!(c.tiling_threshold, 64);
+        assert!(c.fuse_hnn_nnn);
+    }
+}

@@ -1,0 +1,369 @@
+//! LOTUS triangle counting (paper Algorithm 3).
+//!
+//! Three phases over the [`LotusGraph`]:
+//!
+//! 1. **HHH + HHN** — for every vertex, probe all pairs of its hub
+//!    neighbours in the H2H bit array. Work is distributed as squared-edge
+//!    tiles (§4.6) so the quadratic pair loop of high-degree vertices is
+//!    split evenly.
+//! 2. **HNN** — for every non-hub edge `(v, u)`, merge-join the 16-bit HE
+//!    lists of `v` and `u`.
+//! 3. **NNN** — for every non-hub edge `(v, u)`, merge-join the 32-bit NHE
+//!    lists, never touching hub edges.
+//!
+//! The HNN and NNN loops run over the same edge set but are deliberately
+//! *not* fused (§4.5): each phase's random accesses then target a single
+//! small structure. The fused variant is available as an ablation via
+//! [`LotusConfig::with_fused_phases`].
+
+use std::time::Instant;
+
+use rayon::prelude::*;
+
+use lotus_algos::intersect::count_merge;
+use lotus_graph::UndirectedCsr;
+
+use crate::breakdown::Breakdown;
+use crate::config::LotusConfig;
+use crate::h2h::TriBitArray;
+use crate::preprocess::build_lotus_graph;
+use crate::stats::LotusStats;
+use crate::structure::LotusGraph;
+use crate::tiling::{make_tiles, Tile};
+
+/// Result of a LOTUS run: per-type counts and per-phase timings.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LotusResult {
+    /// Per-type triangle counts and edge-split statistics.
+    pub stats: LotusStats,
+    /// Per-phase wall times.
+    pub breakdown: Breakdown,
+}
+
+impl LotusResult {
+    /// Total triangle count.
+    pub fn total(&self) -> u64 {
+        self.stats.total()
+    }
+}
+
+/// The LOTUS counter: configuration plus entry points.
+#[derive(Debug, Clone, Default)]
+pub struct LotusCounter {
+    config: LotusConfig,
+}
+
+impl LotusCounter {
+    /// Creates a counter with the given configuration.
+    pub fn new(config: LotusConfig) -> Self {
+        Self { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &LotusConfig {
+        &self.config
+    }
+
+    /// End-to-end run: preprocessing (Algorithm 2) plus counting
+    /// (Algorithm 3).
+    pub fn count(&self, graph: &UndirectedCsr) -> LotusResult {
+        let pre_start = Instant::now();
+        let lg = build_lotus_graph(graph, &self.config);
+        let preprocess = pre_start.elapsed();
+        let mut result = self.count_prepared(&lg);
+        result.breakdown.preprocess = preprocess;
+        result
+    }
+
+    /// Counts triangles of an already-built LOTUS graph.
+    pub fn count_prepared(&self, lg: &LotusGraph) -> LotusResult {
+        let mut breakdown = Breakdown::default();
+
+        // Phase 1: HHH and HHN.
+        let start = Instant::now();
+        let tiles = make_tiles(
+            &lg.he,
+            self.config.tiling_threshold,
+            self.config.partitions_per_vertex,
+        );
+        let (hhh, hhn) = count_hub_pairs(lg, &tiles);
+        breakdown.hhh_hhn = start.elapsed();
+
+        let (hnn, nnn) = if self.config.fuse_hnn_nnn {
+            let start = Instant::now();
+            let counts = count_hnn_nnn_fused(lg);
+            // Attribute the fused time to both phases evenly.
+            let half = start.elapsed() / 2;
+            breakdown.hnn = half;
+            breakdown.nnn = half;
+            counts
+        } else {
+            // Phase 2: HNN.
+            let start = Instant::now();
+            let hnn = count_hnn(lg);
+            breakdown.hnn = start.elapsed();
+
+            // Phase 3: NNN.
+            let start = Instant::now();
+            let nnn = count_nnn(lg);
+            breakdown.nnn = start.elapsed();
+            (hnn, nnn)
+        };
+
+        LotusResult {
+            stats: LotusStats {
+                hhh,
+                hhn,
+                hnn,
+                nnn,
+                he_edges: lg.he_edges(),
+                nhe_edges: lg.nhe_edges(),
+            },
+            breakdown,
+        }
+    }
+}
+
+/// Phase 1 over a prepared tile list: returns `(hhh, hhn)`.
+fn count_hub_pairs(lg: &LotusGraph, tiles: &[Tile]) -> (u64, u64) {
+    tiles
+        .par_iter()
+        .map(|t| {
+            let found = count_tile(&lg.h2h, lg.hub_neighbors(t.v), t);
+            if lg.is_hub(t.v) {
+                (found, 0)
+            } else {
+                (0, found)
+            }
+        })
+        .reduce(|| (0, 0), |a, b| (a.0 + b.0, a.1 + b.1))
+}
+
+/// Counts the connected hub pairs of one tile.
+///
+/// The row base `h1(h1−1)/2` is computed once per outer iteration and the
+/// inner loop probes consecutive bits (§4.4.1).
+#[inline]
+fn count_tile(h2h: &TriBitArray, he: &[u16], tile: &Tile) -> u64 {
+    let mut found = 0u64;
+    for i in tile.begin..tile.end {
+        let h1 = he[i as usize] as u32;
+        let base = TriBitArray::row_base(h1);
+        for &h2 in &he[..i as usize] {
+            // Lists are strictly ascending, so h2 < h1 always holds.
+            if h2h.is_set_with_base(base, h2 as u32) {
+                found += 1;
+            }
+        }
+    }
+    found
+}
+
+/// Phase 2: HNN triangles.
+fn count_hnn(lg: &LotusGraph) -> u64 {
+    (0..lg.num_vertices())
+        .into_par_iter()
+        .map(|v| {
+            let he_v = lg.hub_neighbors(v);
+            if he_v.is_empty() {
+                return 0;
+            }
+            let mut local = 0u64;
+            for &u in lg.nonhub_neighbors(v) {
+                local += count_merge(he_v, lg.hub_neighbors(u));
+            }
+            local
+        })
+        .sum()
+}
+
+/// Phase 3: NNN triangles.
+fn count_nnn(lg: &LotusGraph) -> u64 {
+    (0..lg.num_vertices())
+        .into_par_iter()
+        .map(|v| {
+            let nhe_v = lg.nonhub_neighbors(v);
+            let mut local = 0u64;
+            for &u in nhe_v {
+                local += count_merge(nhe_v, lg.nonhub_neighbors(u));
+            }
+            local
+        })
+        .sum()
+}
+
+/// Fused HNN + NNN ablation: one pass over the non-hub edges performing
+/// both intersections. Returns `(hnn, nnn)`.
+fn count_hnn_nnn_fused(lg: &LotusGraph) -> (u64, u64) {
+    (0..lg.num_vertices())
+        .into_par_iter()
+        .map(|v| {
+            let he_v = lg.hub_neighbors(v);
+            let nhe_v = lg.nonhub_neighbors(v);
+            let mut hnn = 0u64;
+            let mut nnn = 0u64;
+            for &u in nhe_v {
+                hnn += count_merge(he_v, lg.hub_neighbors(u));
+                nnn += count_merge(nhe_v, lg.nonhub_neighbors(u));
+            }
+            (hnn, nnn)
+        })
+        .reduce(|| (0, 0), |a, b| (a.0 + b.0, a.1 + b.1))
+}
+
+/// Convenience: end-to-end LOTUS count with default configuration.
+pub fn lotus_count(graph: &UndirectedCsr) -> u64 {
+    LotusCounter::default().count(graph).total()
+}
+
+/// Public phase-1 entry over an explicit tile list: returns `(hhh, hhn)`.
+/// Used by the recursive extension and the load-balance experiments.
+pub fn count_hub_phase(lg: &LotusGraph, tiles: &[Tile]) -> (u64, u64) {
+    count_hub_pairs(lg, tiles)
+}
+
+/// Public phase-2 (HNN) entry. Used by the recursive extension.
+pub fn count_hnn_phase(lg: &LotusGraph) -> u64 {
+    count_hnn(lg)
+}
+
+/// Public phase-3 (NNN) entry.
+pub fn count_nnn_phase(lg: &LotusGraph) -> u64 {
+    count_nnn(lg)
+}
+
+/// Counts the hub pairs of a single tile against the H2H array. Exposed
+/// for the load-balance model (Table 9), which replays tiles one by one.
+pub fn count_single_tile(h2h: &TriBitArray, he: &[u16], tile: &Tile) -> u64 {
+    count_tile(h2h, he, tile)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::HubCount;
+    use lotus_algos::forward::forward_count;
+    use lotus_graph::builder::graph_from_edges;
+
+    fn cfg(hubs: u32) -> LotusConfig {
+        LotusConfig::default().with_hub_count(HubCount::Fixed(hubs))
+    }
+
+    fn figure2_graph() -> UndirectedCsr {
+        graph_from_edges([
+            (0, 1),
+            (0, 3),
+            (0, 4),
+            (0, 5),
+            (0, 6),
+            (1, 3),
+            (1, 4),
+            (1, 6),
+            (1, 7),
+            (2, 3),
+            (4, 6),
+            (6, 8),
+            (7, 8),
+        ])
+    }
+
+    #[test]
+    fn counts_figure2_graph() {
+        let g = figure2_graph();
+        let want = forward_count(&g);
+        let r = LotusCounter::new(cfg(2)).count(&g);
+        assert_eq!(r.total(), want);
+        // Hubs 0 and 1 participate in triangles (0,1,3), (0,1,4), (0,1,6),
+        // (0,4,6), (1,4,6): all are HHN or HNN with 2 hubs.
+        assert!(r.stats.hub_triangles() > 0);
+    }
+
+    #[test]
+    fn counts_k4_with_various_hub_counts() {
+        let g = graph_from_edges([(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
+        for hubs in 0..=4 {
+            let r = LotusCounter::new(cfg(hubs)).count(&g);
+            assert_eq!(r.total(), 4, "hubs={hubs}: {:?}", r.stats);
+        }
+    }
+
+    #[test]
+    fn type_split_on_k4() {
+        // With 2 hubs, K4 triangles: (0,1,2),(0,1,3) have 2 hubs;
+        // (0,2,3),(1,2,3) have 1 hub.
+        let g = graph_from_edges([(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
+        let r = LotusCounter::new(cfg(2)).count(&g);
+        assert_eq!(r.stats.hhh, 0);
+        assert_eq!(r.stats.hhn, 2);
+        assert_eq!(r.stats.hnn, 2);
+        assert_eq!(r.stats.nnn, 0);
+    }
+
+    #[test]
+    fn all_hub_triangle_is_hhh() {
+        let g = graph_from_edges([(0, 1), (1, 2), (0, 2)]);
+        let r = LotusCounter::new(cfg(3)).count(&g);
+        assert_eq!(r.stats.hhh, 1);
+        assert_eq!(r.total(), 1);
+    }
+
+    #[test]
+    fn zero_hubs_makes_everything_nnn() {
+        let g = graph_from_edges([(0, 1), (1, 2), (0, 2), (1, 3), (2, 3)]);
+        let r = LotusCounter::new(cfg(0)).count(&g);
+        assert_eq!(r.stats.nnn, r.total());
+        assert_eq!(r.total(), forward_count(&g));
+    }
+
+    #[test]
+    fn matches_forward_on_rmat_graphs() {
+        for seed in [1u64, 2, 3] {
+            let g = lotus_gen::Rmat::new(10, 10).generate(seed);
+            let want = forward_count(&g);
+            for hubs in [0u32, 16, 64, 256] {
+                let r = LotusCounter::new(cfg(hubs)).count(&g);
+                assert_eq!(r.total(), want, "seed {seed} hubs {hubs}");
+            }
+        }
+    }
+
+    #[test]
+    fn fused_ablation_matches_split_phases() {
+        let g = lotus_gen::Rmat::new(9, 8).generate(13);
+        let split = LotusCounter::new(cfg(64)).count(&g);
+        let fused = LotusCounter::new(cfg(64).with_fused_phases(true)).count(&g);
+        assert_eq!(split.stats.hnn, fused.stats.hnn);
+        assert_eq!(split.stats.nnn, fused.stats.nnn);
+        assert_eq!(split.total(), fused.total());
+    }
+
+    #[test]
+    fn tiling_threshold_does_not_change_counts() {
+        let g = lotus_gen::Rmat::new(9, 12).generate(21);
+        let want = LotusCounter::new(cfg(64)).count(&g).total();
+        for threshold in [1u32, 4, 32, 10_000] {
+            let c = cfg(64).with_tiling_threshold(threshold);
+            assert_eq!(LotusCounter::new(c).count(&g).total(), want, "thr {threshold}");
+        }
+    }
+
+    #[test]
+    fn breakdown_is_populated() {
+        let g = lotus_gen::Rmat::new(9, 8).generate(2);
+        let r = LotusCounter::default().count(&g);
+        assert!(r.breakdown.preprocess > std::time::Duration::ZERO);
+        assert!(r.breakdown.total() >= r.breakdown.preprocess);
+    }
+
+    #[test]
+    fn lotus_count_helper() {
+        let g = graph_from_edges([(0, 1), (1, 2), (0, 2)]);
+        assert_eq!(lotus_count(&g), 1);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = graph_from_edges(std::iter::empty());
+        assert_eq!(lotus_count(&g), 0);
+    }
+}

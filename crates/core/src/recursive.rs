@@ -1,0 +1,151 @@
+//! Recursive LOTUS (paper §5.5 / §7 future work).
+//!
+//! Social networks with many low-degree hubs keep substantial structure in
+//! the NHE sub-graph; the paper proposes "recursively applying Lotus and
+//! splitting the NHE sub-graph further in new H2H, HE and NHE components".
+//! This module implements that extension: the NNN phase is replaced by a
+//! full LOTUS run over the non-hub sub-graph (with hubs re-selected from
+//! its own degree distribution), recursing until a depth limit or until
+//! the residual graph is too small to profit.
+
+use lotus_graph::{EdgeList, UndirectedCsr};
+
+use crate::config::LotusConfig;
+use crate::count::LotusCounter;
+use crate::preprocess::build_lotus_graph;
+use crate::structure::LotusGraph;
+use crate::tiling::make_tiles;
+
+/// Per-level counting statistics of a recursive run.
+#[derive(Debug, Clone, Default)]
+pub struct RecursiveResult {
+    /// Total triangles.
+    pub triangles: u64,
+    /// Hub triangles (HHH + HHN + HNN) found at each recursion level.
+    pub hub_triangles_per_level: Vec<u64>,
+    /// Number of levels actually used (≥ 1).
+    pub depth: usize,
+}
+
+/// Recursive LOTUS counter.
+#[derive(Debug, Clone)]
+pub struct RecursiveLotus {
+    /// Per-level LOTUS configuration.
+    pub config: LotusConfig,
+    /// Maximum recursion depth (1 = plain LOTUS).
+    pub max_depth: usize,
+    /// Stop recursing when the residual non-hub graph has fewer vertices.
+    pub min_vertices: u32,
+}
+
+impl Default for RecursiveLotus {
+    fn default() -> Self {
+        Self { config: LotusConfig::default(), max_depth: 3, min_vertices: 1024 }
+    }
+}
+
+impl RecursiveLotus {
+    /// Creates a recursive counter.
+    pub fn new(config: LotusConfig, max_depth: usize) -> Self {
+        assert!(max_depth >= 1);
+        Self { config, max_depth, ..Self::default() }
+    }
+
+    /// Counts triangles, recursing into the NHE sub-graph.
+    pub fn count(&self, graph: &UndirectedCsr) -> RecursiveResult {
+        let mut result = RecursiveResult::default();
+        self.count_level(graph, 1, &mut result);
+        result
+    }
+
+    fn count_level(&self, graph: &UndirectedCsr, level: usize, out: &mut RecursiveResult) {
+        out.depth = level;
+        let lg = build_lotus_graph(graph, &self.config);
+
+        // Hub phases (1 and 2) at this level.
+        let counter = LotusCounter::new(self.config);
+        let tiles =
+            make_tiles(&lg.he, self.config.tiling_threshold, self.config.partitions_per_vertex);
+        let (hhh, hhn) = crate::count::count_hub_phase(&lg, &tiles);
+        let hnn = crate::count::count_hnn_phase(&lg);
+        out.hub_triangles_per_level.push(hhh + hhn + hnn);
+        out.triangles += hhh + hhn + hnn;
+
+        // Residual non-hub sub-graph.
+        let residual = extract_nonhub_graph(&lg);
+        if level < self.max_depth && residual.num_vertices() >= self.min_vertices {
+            self.count_level(&residual, level + 1, out);
+        } else {
+            // Base case: plain LOTUS on the residual (counts all its
+            // triangle types).
+            out.triangles += counter.count(&residual).total();
+        }
+    }
+}
+
+/// Materializes the NHE sub-graph as a standalone undirected graph over
+/// the non-hub vertices (IDs shifted down by `hub_count`).
+pub fn extract_nonhub_graph(lg: &LotusGraph) -> UndirectedCsr {
+    let hub_count = lg.hub_count;
+    let n = lg.num_vertices() - hub_count;
+    let mut pairs = Vec::with_capacity(lg.nhe_edges() as usize);
+    for v in hub_count..lg.num_vertices() {
+        for &u in lg.nonhub_neighbors(v) {
+            // NHE entries are non-hubs below v; shift both into 0..n.
+            pairs.push((u - hub_count, v - hub_count));
+        }
+    }
+    let mut el = EdgeList::from_pairs_with_vertices(pairs, n);
+    el.canonicalize();
+    UndirectedCsr::from_canonical_edges(&el)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::HubCount;
+    use lotus_algos::forward::forward_count;
+
+    fn cfg(hubs: u32) -> LotusConfig {
+        LotusConfig::default().with_hub_count(HubCount::Fixed(hubs))
+    }
+
+    #[test]
+    fn depth_one_equals_plain_lotus() {
+        let g = lotus_gen::Rmat::new(9, 8).generate(3);
+        let plain = LotusCounter::new(cfg(32)).count(&g).total();
+        let rec = RecursiveLotus::new(cfg(32), 1).count(&g);
+        assert_eq!(rec.triangles, plain);
+    }
+
+    #[test]
+    fn deeper_recursion_is_still_correct() {
+        let g = lotus_gen::Rmat::new(10, 10).generate(5);
+        let want = forward_count(&g);
+        for depth in 1..=3 {
+            let mut rl = RecursiveLotus::new(cfg(32), depth);
+            rl.min_vertices = 16;
+            let r = rl.count(&g);
+            assert_eq!(r.triangles, want, "depth {depth}");
+            assert!(r.depth <= depth);
+        }
+    }
+
+    #[test]
+    fn extract_nonhub_graph_matches_nhe_edges() {
+        let g = lotus_gen::Rmat::new(9, 8).generate(7);
+        let lg = build_lotus_graph(&g, &cfg(64));
+        let residual = extract_nonhub_graph(&lg);
+        assert_eq!(residual.num_edges(), lg.nhe_edges());
+        assert_eq!(residual.num_vertices(), lg.num_vertices() - lg.hub_count);
+    }
+
+    #[test]
+    fn per_level_hub_counts_recorded() {
+        let g = lotus_gen::Rmat::new(10, 12).generate(9);
+        let mut rl = RecursiveLotus::new(cfg(64), 2);
+        rl.min_vertices = 16;
+        let r = rl.count(&g);
+        assert_eq!(r.hub_triangles_per_level.len(), r.depth);
+    }
+}

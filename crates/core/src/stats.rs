@@ -1,0 +1,73 @@
+//! Per-type triangle counts and structural statistics (Figures 7 and 8).
+
+/// Triangle counts split by type, plus edge-split statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LotusStats {
+    /// Triangles with three hub corners.
+    pub hhh: u64,
+    /// Triangles with two hub corners.
+    pub hhn: u64,
+    /// Triangles with one hub corner.
+    pub hnn: u64,
+    /// Triangles with no hub corner.
+    pub nnn: u64,
+    /// Edges stored in the HE sub-graph.
+    pub he_edges: u64,
+    /// Edges stored in the NHE sub-graph.
+    pub nhe_edges: u64,
+}
+
+impl LotusStats {
+    /// All triangles.
+    pub fn total(&self) -> u64 {
+        self.hhh + self.hhn + self.hnn + self.nnn
+    }
+
+    /// Triangles with at least one hub corner.
+    pub fn hub_triangles(&self) -> u64 {
+        self.hhh + self.hhn + self.hnn
+    }
+
+    /// Fraction of triangles that are hub triangles (Figure 7; the paper
+    /// reports 68.9% on average with 64K hubs).
+    pub fn hub_triangle_fraction(&self) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            0.0
+        } else {
+            self.hub_triangles() as f64 / t as f64
+        }
+    }
+
+    /// Fraction of edges processed as hub edges (Figure 8).
+    pub fn hub_edge_fraction(&self) -> f64 {
+        let e = self.he_edges + self.nhe_edges;
+        if e == 0 {
+            0.0
+        } else {
+            self.he_edges as f64 / e as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals() {
+        let s = LotusStats { hhh: 1, hhn: 2, hnn: 3, nnn: 4, he_edges: 30, nhe_edges: 70 };
+        assert_eq!(s.total(), 10);
+        assert_eq!(s.hub_triangles(), 6);
+        assert!((s.hub_triangle_fraction() - 0.6).abs() < 1e-12);
+        assert!((s.hub_edge_fraction() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats() {
+        let s = LotusStats::default();
+        assert_eq!(s.total(), 0);
+        assert_eq!(s.hub_triangle_fraction(), 0.0);
+        assert_eq!(s.hub_edge_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,221 @@
+//! Streaming triangle counting with an H2H fast path (paper §6.2).
+//!
+//! The paper observes that in a streaming context "Lotus stores the H2H
+//! bit array in the memory and accelerates processing of hub edges that
+//! are streamed in": hubs create most triangles, and hub–hub adjacency
+//! tests against the resident bit array are O(1) loads instead of hash
+//! probes. This module implements an exact incremental counter over a
+//! fixed hub set: every inserted edge closes `|N(u) ∩ N(v)|` new
+//! triangles, and common-neighbour tests route through H2H whenever both
+//! sides are hubs.
+//!
+//! Vertices `0..hub_count` are the hubs; callers typically relabel with
+//! [`lotus_graph::Relabeling::hub_first`] first (or use
+//! [`StreamingLotus::from_degree_estimate`]).
+
+use lotus_algos::fx::FxHashSet;
+use lotus_graph::VertexId;
+
+use crate::h2h::TriBitArray;
+
+/// Exact incremental triangle counter with hub-aware adjacency storage.
+#[derive(Debug, Clone)]
+pub struct StreamingLotus {
+    hub_count: u32,
+    h2h: TriBitArray,
+    /// Full adjacency sets (hash, O(1) membership).
+    adj: Vec<FxHashSet<u32>>,
+    /// Hub neighbours per vertex, kept separately (small, scanned).
+    hub_adj: Vec<Vec<u32>>,
+    triangles: u64,
+    edges: u64,
+}
+
+impl StreamingLotus {
+    /// Creates an empty streaming counter where IDs `0..hub_count` are
+    /// treated as hubs.
+    pub fn new(num_vertices: u32, hub_count: u32) -> Self {
+        let hub_count = hub_count.min(num_vertices).min(1 << 16);
+        Self {
+            hub_count,
+            h2h: TriBitArray::new(hub_count),
+            adj: vec![FxHashSet::default(); num_vertices as usize],
+            hub_adj: vec![Vec::new(); num_vertices as usize],
+            triangles: 0,
+            edges: 0,
+        }
+    }
+
+    /// Convenience constructor matching LOTUS's auto policy:
+    /// `min(2¹⁶, max(64, |V|/16))` hubs.
+    pub fn from_degree_estimate(num_vertices: u32) -> Self {
+        Self::new(num_vertices, crate::config::HubCount::Auto.resolve(num_vertices))
+    }
+
+    /// Number of hubs.
+    pub fn hub_count(&self) -> u32 {
+        self.hub_count
+    }
+
+    /// Triangles closed so far.
+    pub fn triangles(&self) -> u64 {
+        self.triangles
+    }
+
+    /// Edges accepted so far.
+    pub fn edges(&self) -> u64 {
+        self.edges
+    }
+
+    /// The resident hub-to-hub bit array.
+    pub fn h2h(&self) -> &TriBitArray {
+        &self.h2h
+    }
+
+    #[inline(always)]
+    fn is_hub(&self, v: VertexId) -> bool {
+        v < self.hub_count
+    }
+
+    /// O(1)-ish adjacency test that prefers the H2H bit array for hub
+    /// pairs — the streamed-hub-edge acceleration of §6.2.
+    #[inline]
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        if u == v {
+            return false;
+        }
+        if self.is_hub(u) && self.is_hub(v) {
+            let (hi, lo) = if u > v { (u, v) } else { (v, u) };
+            return self.h2h.is_set(hi, lo);
+        }
+        self.adj[u as usize].contains(&v)
+    }
+
+    /// Inserts an undirected edge; returns the number of triangles the
+    /// edge closed, or `None` for self-loops and duplicates.
+    pub fn insert(&mut self, u: VertexId, v: VertexId) -> Option<u64> {
+        if u == v || self.has_edge(u, v) {
+            return None;
+        }
+
+        let mut closed = 0u64;
+
+        // Common hub neighbours: scan the shorter hub-neighbour list and
+        // test the other endpoint's adjacency (H2H when that side is a
+        // hub pair, hash probe otherwise).
+        let (a, b) = if self.hub_adj[u as usize].len() <= self.hub_adj[v as usize].len() {
+            (u, v)
+        } else {
+            (v, u)
+        };
+        for &w in &self.hub_adj[a as usize] {
+            if self.has_edge(w, b) {
+                closed += 1;
+            }
+        }
+
+        // Common non-hub neighbours: scan the smaller full set, skip hubs.
+        let (a, b) = if self.adj[u as usize].len() <= self.adj[v as usize].len() {
+            (u, v)
+        } else {
+            (v, u)
+        };
+        for &w in &self.adj[a as usize] {
+            if !self.is_hub(w) && self.adj[b as usize].contains(&w) {
+                closed += 1;
+            }
+        }
+
+        // Commit the edge.
+        self.adj[u as usize].insert(v);
+        self.adj[v as usize].insert(u);
+        if self.is_hub(v) {
+            self.hub_adj[u as usize].push(v);
+        }
+        if self.is_hub(u) {
+            self.hub_adj[v as usize].push(u);
+        }
+        if self.is_hub(u) && self.is_hub(v) {
+            self.h2h.set(u.max(v), u.min(v));
+        }
+
+        self.triangles += closed;
+        self.edges += 1;
+        Some(closed)
+    }
+
+    /// Inserts a batch of edges, returning total triangles closed.
+    pub fn insert_batch(&mut self, edges: impl IntoIterator<Item = (u32, u32)>) -> u64 {
+        edges.into_iter().filter_map(|(u, v)| self.insert(u, v)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lotus_algos::forward::forward_count;
+    use lotus_graph::builder::graph_from_edges;
+
+    #[test]
+    fn triangle_closes_on_third_edge() {
+        let mut s = StreamingLotus::new(10, 2);
+        assert_eq!(s.insert(0, 1), Some(0));
+        assert_eq!(s.insert(1, 2), Some(0));
+        assert_eq!(s.insert(0, 2), Some(1));
+        assert_eq!(s.triangles(), 1);
+        assert_eq!(s.edges(), 3);
+    }
+
+    #[test]
+    fn duplicates_and_loops_rejected() {
+        let mut s = StreamingLotus::new(5, 1);
+        assert_eq!(s.insert(1, 1), None);
+        assert_eq!(s.insert(0, 1), Some(0));
+        assert_eq!(s.insert(1, 0), None);
+        assert_eq!(s.edges(), 1);
+    }
+
+    #[test]
+    fn hub_hub_edges_populate_h2h() {
+        let mut s = StreamingLotus::new(10, 4);
+        s.insert(0, 1);
+        s.insert(2, 3);
+        s.insert(0, 5);
+        assert_eq!(s.h2h().bits_set(), 2);
+        assert!(s.has_edge(0, 1));
+        assert!(s.has_edge(3, 2));
+        assert!(!s.has_edge(0, 2));
+    }
+
+    #[test]
+    fn matches_forward_on_streamed_rmat() {
+        let el = lotus_gen::Rmat::new(9, 8).generate_edges(19);
+        let g = graph_from_edges(el.pairs().iter().copied());
+        let want = forward_count(&g);
+
+        let mut s = StreamingLotus::from_degree_estimate(el.num_vertices());
+        let total = s.insert_batch(el.pairs().iter().copied());
+        assert_eq!(s.triangles(), want);
+        assert_eq!(total, want);
+        assert_eq!(s.edges(), g.num_edges());
+    }
+
+    #[test]
+    fn insertion_order_does_not_matter() {
+        let el = lotus_gen::Rmat::new(8, 6).generate_edges(4);
+        let mut forward_order = StreamingLotus::new(el.num_vertices(), 16);
+        forward_order.insert_batch(el.pairs().iter().copied());
+        let mut reverse_order = StreamingLotus::new(el.num_vertices(), 16);
+        reverse_order.insert_batch(el.pairs().iter().rev().copied());
+        assert_eq!(forward_order.triangles(), reverse_order.triangles());
+    }
+
+    #[test]
+    fn zero_hubs_still_counts() {
+        let mut s = StreamingLotus::new(4, 0);
+        s.insert(0, 1);
+        s.insert(1, 2);
+        s.insert(0, 2);
+        assert_eq!(s.triangles(), 1);
+    }
+}

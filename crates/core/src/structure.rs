@@ -1,0 +1,154 @@
+//! The LOTUS graph structure (paper §4.2 / Figure 3a).
+//!
+//! Four components, each sized for its access pattern:
+//!
+//! * **H2H** — triangular bit array of hub-to-hub edges (randomly probed
+//!   in phase 1; small enough to live in cache).
+//! * **HE** — per-vertex *hub* neighbour lists with 16-bit IDs (hubs
+//!   occupy IDs `0..hub_count ≤ 2¹⁶`).
+//! * **NHE** — per-vertex *non-hub* neighbour lists with 32-bit IDs.
+//! * The hub-first [`Relabeling`] connecting original and LOTUS IDs.
+//!
+//! Hub-to-hub edges appear twice (in HE and in H2H), as in the paper.
+//! All lists are forward-oriented (`u < v`) and sorted ascending.
+
+use lotus_graph::{Csr, Relabeling, VertexId};
+
+use crate::h2h::TriBitArray;
+
+/// The preprocessed LOTUS representation of a graph.
+#[derive(Debug, Clone)]
+pub struct LotusGraph {
+    /// Number of hub vertices (IDs `0..hub_count`).
+    pub hub_count: u32,
+    /// Hub-to-hub adjacency bits.
+    pub h2h: TriBitArray,
+    /// Hub-neighbour sub-graph, 16-bit IDs.
+    pub he: Csr<u16>,
+    /// Non-hub-neighbour sub-graph, 32-bit IDs.
+    pub nhe: Csr<u32>,
+    /// Mapping between original and LOTUS vertex IDs.
+    pub relabeling: Relabeling,
+    /// Undirected edge count of the source graph.
+    pub num_edges: u64,
+}
+
+impl LotusGraph {
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> u32 {
+        self.he.num_vertices()
+    }
+
+    /// Whether `v` (LOTUS ID) is a hub.
+    #[inline(always)]
+    pub fn is_hub(&self, v: VertexId) -> bool {
+        v < self.hub_count
+    }
+
+    /// Hub neighbours of `v` with lower IDs (16-bit entries).
+    #[inline(always)]
+    pub fn hub_neighbors(&self, v: VertexId) -> &[u16] {
+        self.he.neighbors(v)
+    }
+
+    /// Non-hub neighbours of `v` with lower IDs.
+    #[inline(always)]
+    pub fn nonhub_neighbors(&self, v: VertexId) -> &[u32] {
+        self.nhe.neighbors(v)
+    }
+
+    /// Edges stored in the HE sub-graph (hub edges; paper Figure 8).
+    pub fn he_edges(&self) -> u64 {
+        self.he.num_entries()
+    }
+
+    /// Edges stored in the NHE sub-graph (non-hub edges).
+    pub fn nhe_edges(&self) -> u64 {
+        self.nhe.num_entries()
+    }
+
+    /// Fraction of edges processed as hub edges (Figure 8; §5.4 reports
+    /// 50.1% on average).
+    pub fn hub_edge_fraction(&self) -> f64 {
+        let total = self.he_edges() + self.nhe_edges();
+        if total == 0 {
+            0.0
+        } else {
+            self.he_edges() as f64 / total as f64
+        }
+    }
+
+    /// Total topology bytes of the LOTUS structure (Table 7 "Lotus"
+    /// column): both sub-graph indices + 16-bit HE entries + 32-bit NHE
+    /// entries + the H2H bit array.
+    pub fn topology_bytes(&self) -> u64 {
+        self.he.topology_bytes() + self.nhe.topology_bytes() + self.h2h.size_bytes()
+    }
+
+    /// Consistency checks used by tests and debug builds:
+    /// * every HE entry is a hub with ID `< v`;
+    /// * every NHE entry is a non-hub with ID `< v`;
+    /// * hubs have empty NHE lists;
+    /// * H2H bits correspond exactly to hub–hub HE entries.
+    pub fn validate(&self) -> Result<(), String> {
+        let n = self.num_vertices();
+        if self.nhe.num_vertices() != n {
+            return Err("HE and NHE vertex counts differ".into());
+        }
+        let mut h2h_edges = 0u64;
+        for v in 0..n {
+            let mut prev: Option<u16> = None;
+            for &h in self.he.neighbors(v) {
+                let h32 = h as u32;
+                if h32 >= self.hub_count {
+                    return Err(format!("HE entry {h32} of vertex {v} is not a hub"));
+                }
+                if h32 >= v {
+                    return Err(format!("HE entry {h32} of vertex {v} is not lower"));
+                }
+                if prev.is_some_and(|p| p >= h) {
+                    return Err(format!("HE list of {v} not strictly sorted"));
+                }
+                prev = Some(h);
+                if self.is_hub(v) {
+                    if !self.h2h.is_set(v, h32) {
+                        return Err(format!("missing H2H bit for ({v}, {h32})"));
+                    }
+                    h2h_edges += 1;
+                }
+            }
+            let mut prev: Option<u32> = None;
+            for &u in self.nhe.neighbors(v) {
+                if u < self.hub_count {
+                    return Err(format!("NHE entry {u} of vertex {v} is a hub"));
+                }
+                if u >= v {
+                    return Err(format!("NHE entry {u} of vertex {v} is not lower"));
+                }
+                if prev.is_some_and(|p| p >= u) {
+                    return Err(format!("NHE list of {v} not strictly sorted"));
+                }
+                prev = Some(u);
+            }
+            if self.is_hub(v) && !self.nhe.neighbors(v).is_empty() {
+                return Err(format!("hub {v} has a non-empty NHE list"));
+            }
+        }
+        if h2h_edges != self.h2h.bits_set() {
+            return Err(format!(
+                "H2H has {} bits set but HE holds {} hub-hub edges",
+                self.h2h.bits_set(),
+                h2h_edges
+            ));
+        }
+        if self.he_edges() + self.nhe_edges() != self.num_edges {
+            return Err(format!(
+                "HE ({}) + NHE ({}) != |E| ({})",
+                self.he_edges(),
+                self.nhe_edges(),
+                self.num_edges
+            ));
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,181 @@
+//! Squared Edge Tiling (paper §4.6).
+//!
+//! Phase 1 iterates, for each vertex, over all *pairs* of its hub
+//! neighbours: neighbour `i` performs `i` comparisons, so splitting a
+//! neighbour list into equal-length chunks gives quadratically unbalanced
+//! work. Squared edge tiling instead places partition boundaries at
+//! `i ≈ |N| · √(k/p)`, equalizing the pair count per tile. The `√(k/p)`
+//! values depend only on `k/p`, so they are precomputed once and reused
+//! for every high-degree vertex.
+
+use lotus_graph::{Csr, NeighborId, VertexId};
+
+/// One unit of phase-1 work: vertex `v`, pair-outer indices `[begin, end)`
+/// of its hub-neighbour list (each outer index `i` pairs with all `j < i`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tile {
+    /// The vertex whose hub-neighbour pairs this tile covers.
+    pub v: VertexId,
+    /// First outer index (inclusive).
+    pub begin: u32,
+    /// Last outer index (exclusive).
+    pub end: u32,
+}
+
+impl Tile {
+    /// Number of `(h1, h2)` pairs the tile covers:
+    /// `Σ_{i=begin}^{end-1} i`.
+    pub fn work(&self) -> u64 {
+        let b = self.begin as u64;
+        let e = self.end as u64;
+        (e * e.saturating_sub(1) - b * b.saturating_sub(1)) / 2
+    }
+}
+
+/// Precomputed `√(k/p)` factors for `k = 0..=p`.
+#[derive(Debug, Clone)]
+pub struct SqrtFractions {
+    factors: Vec<f64>,
+}
+
+impl SqrtFractions {
+    /// Precomputes factors for `p` partitions.
+    pub fn new(partitions: usize) -> Self {
+        assert!(partitions >= 1);
+        let factors =
+            (0..=partitions).map(|k| (k as f64 / partitions as f64).sqrt()).collect();
+        Self { factors }
+    }
+
+    /// Number of partitions.
+    pub fn partitions(&self) -> usize {
+        self.factors.len() - 1
+    }
+
+    /// Boundary outer-indices for a list of length `degree`: a
+    /// non-decreasing sequence starting at 0 and ending at `degree`.
+    pub fn boundaries(&self, degree: u32) -> Vec<u32> {
+        self.factors
+            .iter()
+            .map(|f| ((degree as f64) * f).round() as u32)
+            .map(|b| b.min(degree))
+            .collect()
+    }
+
+    /// Emits the tiles for `(v, degree)`, skipping empty ranges.
+    pub fn tiles_for(&self, v: VertexId, degree: u32, out: &mut Vec<Tile>) {
+        let bounds = self.boundaries(degree);
+        for w in bounds.windows(2) {
+            if w[0] < w[1] {
+                out.push(Tile { v, begin: w[0], end: w[1] });
+            }
+        }
+    }
+}
+
+/// Builds the phase-1 work list over a sub-graph's neighbour lists:
+/// vertices with degree `> threshold` are split into `partitions` tiles by
+/// squared edge tiling; the rest become single whole-vertex tiles.
+pub fn make_tiles<N: NeighborId>(
+    sub: &Csr<N>,
+    threshold: u32,
+    partitions: usize,
+) -> Vec<Tile> {
+    let fractions = SqrtFractions::new(partitions.max(1));
+    let mut tiles = Vec::new();
+    for v in 0..sub.num_vertices() {
+        let d = sub.degree(v);
+        if d < 2 {
+            continue; // no pairs to form
+        }
+        if d > threshold {
+            fractions.tiles_for(v, d, &mut tiles);
+        } else {
+            tiles.push(Tile { v, begin: 0, end: d });
+        }
+    }
+    tiles
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_boundaries() {
+        // §4.6: 100 neighbours, 5 partitions → 0, 45, 63, 77, 89, 100.
+        let f = SqrtFractions::new(5);
+        assert_eq!(f.boundaries(100), vec![0, 45, 63, 77, 89, 100]);
+    }
+
+    #[test]
+    fn boundaries_cover_range_monotonically() {
+        let f = SqrtFractions::new(8);
+        for d in [1u32, 2, 5, 100, 513, 10_000] {
+            let b = f.boundaries(d);
+            assert_eq!(b[0], 0);
+            assert_eq!(*b.last().unwrap(), d);
+            assert!(b.windows(2).all(|w| w[0] <= w[1]));
+        }
+    }
+
+    #[test]
+    fn tile_work_formula() {
+        // Whole list [0, d): work = d(d-1)/2.
+        let t = Tile { v: 0, begin: 0, end: 100 };
+        assert_eq!(t.work(), 100 * 99 / 2);
+        // Split at 45: the two halves sum to the total.
+        let a = Tile { v: 0, begin: 0, end: 45 };
+        let b = Tile { v: 0, begin: 45, end: 100 };
+        assert_eq!(a.work() + b.work(), t.work());
+    }
+
+    #[test]
+    fn tiles_balance_work_within_factor() {
+        let f = SqrtFractions::new(5);
+        let mut tiles = Vec::new();
+        f.tiles_for(7, 1000, &mut tiles);
+        let total: u64 = tiles.iter().map(Tile::work).sum();
+        assert_eq!(total, 1000 * 999 / 2);
+        let target = total / 5;
+        for t in &tiles {
+            let w = t.work();
+            // Rounded boundaries: stay within 15% of the ideal share.
+            assert!(
+                (w as f64 - target as f64).abs() / (target as f64) < 0.15,
+                "tile {t:?} work {w} vs target {target}"
+            );
+        }
+    }
+
+    #[test]
+    fn make_tiles_splits_only_above_threshold() {
+        // Vertex 0: degree 4 (below threshold), vertex 1: degree 20 (above).
+        let sub = Csr::<u32>::from_adjacency(vec![
+            (0..4u32).collect(),
+            (0..20u32).collect(),
+            vec![],
+            vec![9],
+        ]);
+        let tiles = make_tiles(&sub, 8, 4);
+        let v0: Vec<_> = tiles.iter().filter(|t| t.v == 0).collect();
+        let v1: Vec<_> = tiles.iter().filter(|t| t.v == 1).collect();
+        assert_eq!(v0.len(), 1);
+        assert!(v1.len() > 1 && v1.len() <= 4);
+        // Degree < 2 vertices produce no tiles at all.
+        assert!(tiles.iter().all(|t| t.v != 2 && t.v != 3));
+        // Coverage: total work equals the pair counts.
+        let w0: u64 = v0.iter().map(|t| t.work()).sum();
+        let w1: u64 = v1.iter().map(|t| t.work()).sum();
+        assert_eq!(w0, 4 * 3 / 2);
+        assert_eq!(w1, 20 * 19 / 2);
+    }
+
+    #[test]
+    fn single_partition_is_one_tile() {
+        let f = SqrtFractions::new(1);
+        let mut tiles = Vec::new();
+        f.tiles_for(3, 50, &mut tiles);
+        assert_eq!(tiles, vec![Tile { v: 3, begin: 0, end: 50 }]);
+    }
+}

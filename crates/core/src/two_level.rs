@@ -1,0 +1,209 @@
+//! Two-level hub classification: multiple HE sub-graphs (paper §5.5
+//! category 1 / §7, third future-work bullet).
+//!
+//! The paper asks "whether recognizing a higher number of distinct vertex
+//! types (two kinds of hubs and non-hubs) creates further opportunities to
+//! prune fruitless searches during HNN and NNN search". This module
+//! implements the split and *measures* the answer: hubs are divided into
+//! **super-hubs** (the top `super_count` IDs) and **secondary hubs**, and
+//! each vertex's hub-neighbour list is stored as two separate 16-bit
+//! lists. The HNN phase then intersects the two classes independently —
+//! and skips a class entirely whenever one endpoint has no neighbour in
+//! it, a pruning test that a single fused HE list cannot perform without
+//! scanning.
+
+use rayon::prelude::*;
+
+use lotus_algos::intersect::count_merge;
+use lotus_graph::{Csr, UndirectedCsr};
+
+use crate::config::LotusConfig;
+use crate::preprocess::build_lotus_graph;
+use crate::structure::LotusGraph;
+
+/// LOTUS structure with the HE sub-graph split into super-hub and
+/// secondary-hub lists.
+#[derive(Debug, Clone)]
+pub struct TwoLevelGraph {
+    /// The underlying single-level structure (H2H, NHE, relabeling).
+    pub base: LotusGraph,
+    /// Number of super-hubs (IDs `0..super_count`).
+    pub super_count: u32,
+    /// Per-vertex super-hub neighbours (IDs `< super_count`).
+    pub he_super: Csr<u16>,
+    /// Per-vertex secondary-hub neighbours (IDs in
+    /// `super_count..hub_count`).
+    pub he_secondary: Csr<u16>,
+}
+
+/// Pruning statistics of a two-level HNN pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PruneStats {
+    /// Class-merges executed.
+    pub merges: u64,
+    /// Class-merges skipped because an endpoint had no neighbours in the
+    /// class (the §7 pruning opportunity).
+    pub pruned: u64,
+}
+
+impl PruneStats {
+    /// Fraction of class-merges avoided.
+    pub fn pruned_fraction(&self) -> f64 {
+        let total = self.merges + self.pruned;
+        if total == 0 {
+            0.0
+        } else {
+            self.pruned as f64 / total as f64
+        }
+    }
+}
+
+/// Builds the two-level structure: a LOTUS graph whose per-vertex HE list
+/// is split at `super_count` (which must not exceed the hub count).
+pub fn build_two_level(
+    graph: &UndirectedCsr,
+    config: &LotusConfig,
+    super_count: u32,
+) -> TwoLevelGraph {
+    let base = build_lotus_graph(graph, config);
+    let super_count = super_count.min(base.hub_count);
+
+    let n = base.num_vertices();
+    let mut sup_lists: Vec<Vec<u16>> = vec![Vec::new(); n as usize];
+    let mut sec_lists: Vec<Vec<u16>> = vec![Vec::new(); n as usize];
+    for v in 0..n {
+        // HE lists are sorted, so the split point is a partition point.
+        let he = base.hub_neighbors(v);
+        let cut = he.partition_point(|&h| (h as u32) < super_count);
+        sup_lists[v as usize] = he[..cut].to_vec();
+        sec_lists[v as usize] = he[cut..].to_vec();
+    }
+    TwoLevelGraph {
+        base,
+        super_count,
+        he_super: Csr::from_adjacency(sup_lists),
+        he_secondary: Csr::from_adjacency(sec_lists),
+    }
+}
+
+impl TwoLevelGraph {
+    /// HNN counting over the split lists, returning `(hnn, stats)`.
+    ///
+    /// Equivalent to [`crate::count::count_hnn_phase`] on the base graph;
+    /// the difference is that empty-class endpoints skip the merge for
+    /// that class entirely.
+    pub fn count_hnn_split(&self) -> (u64, PruneStats) {
+        let (hnn, merges, pruned) = (0..self.base.num_vertices())
+            .into_par_iter()
+            .map(|v| {
+                let sup_v = self.he_super.neighbors(v);
+                let sec_v = self.he_secondary.neighbors(v);
+                if sup_v.is_empty() && sec_v.is_empty() {
+                    return (0, 0, 0);
+                }
+                let mut local = 0u64;
+                let mut merges = 0u64;
+                let mut pruned = 0u64;
+                for &u in self.base.nonhub_neighbors(v) {
+                    let sup_u = self.he_super.neighbors(u);
+                    if sup_v.is_empty() || sup_u.is_empty() {
+                        pruned += 1;
+                    } else {
+                        local += count_merge(sup_v, sup_u);
+                        merges += 1;
+                    }
+                    let sec_u = self.he_secondary.neighbors(u);
+                    if sec_v.is_empty() || sec_u.is_empty() {
+                        pruned += 1;
+                    } else {
+                        local += count_merge(sec_v, sec_u);
+                        merges += 1;
+                    }
+                }
+                (local, merges, pruned)
+            })
+            .reduce(|| (0, 0, 0), |a, b| (a.0 + b.0, a.1 + b.1, a.2 + b.2));
+        (hnn, PruneStats { merges, pruned })
+    }
+
+    /// Total triangles using the split HNN phase (other phases delegate to
+    /// the single-level implementation, which they equal exactly).
+    pub fn count(&self) -> (u64, PruneStats) {
+        let tiles = crate::tiling::make_tiles(&self.base.he, u32::MAX, 1);
+        let (hhh, hhn) = crate::count::count_hub_phase(&self.base, &tiles);
+        let (hnn, stats) = self.count_hnn_split();
+        let nnn = crate::count::count_nnn_phase(&self.base);
+        (hhh + hhn + hnn + nnn, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::HubCount;
+    use lotus_algos::forward::forward_count;
+
+    fn cfg(hubs: u32) -> LotusConfig {
+        LotusConfig::default().with_hub_count(HubCount::Fixed(hubs))
+    }
+
+    #[test]
+    fn split_lists_partition_he() {
+        let g = lotus_gen::Rmat::new(9, 8).generate(3);
+        let tl = build_two_level(&g, &cfg(64), 8);
+        for v in 0..tl.base.num_vertices() {
+            let mut joined: Vec<u16> = tl.he_super.neighbors(v).to_vec();
+            joined.extend_from_slice(tl.he_secondary.neighbors(v));
+            assert_eq!(joined.as_slice(), tl.base.hub_neighbors(v), "vertex {v}");
+            assert!(tl.he_super.neighbors(v).iter().all(|&h| (h as u32) < 8));
+            assert!(tl
+                .he_secondary
+                .neighbors(v)
+                .iter()
+                .all(|&h| (h as u32) >= 8));
+        }
+    }
+
+    #[test]
+    fn split_hnn_matches_single_level() {
+        let g = lotus_gen::Rmat::new(10, 10).generate(5);
+        for (hubs, supers) in [(64u32, 8u32), (128, 64), (32, 0), (32, 32)] {
+            let tl = build_two_level(&g, &cfg(hubs), supers);
+            let want = crate::count::count_hnn_phase(&tl.base);
+            let (got, _) = tl.count_hnn_split();
+            assert_eq!(got, want, "hubs {hubs} supers {supers}");
+        }
+    }
+
+    #[test]
+    fn total_count_matches_forward() {
+        let g = lotus_gen::Rmat::new(9, 10).generate(7);
+        let tl = build_two_level(&g, &cfg(48), 12);
+        let (total, _) = tl.count();
+        assert_eq!(total, forward_count(&g));
+    }
+
+    #[test]
+    fn pruning_occurs_on_skewed_graphs() {
+        // The §7 measurement: with few super-hubs, many non-hub vertices
+        // have no super-hub neighbour, so the super-class merge is pruned.
+        let g = lotus_gen::Rmat::new(11, 8).generate(9);
+        let tl = build_two_level(&g, &cfg(256), 4);
+        let (_, stats) = tl.count_hnn_split();
+        assert!(
+            stats.pruned_fraction() > 0.1,
+            "expected pruning, got {:.3}",
+            stats.pruned_fraction()
+        );
+    }
+
+    #[test]
+    fn degenerate_splits() {
+        let g = lotus_gen::Rmat::new(8, 6).generate(1);
+        // super_count larger than hub count clamps.
+        let tl = build_two_level(&g, &cfg(16), 1000);
+        assert_eq!(tl.super_count, tl.base.hub_count);
+        let (total, _) = tl.count();
+        assert_eq!(total, forward_count(&g));
+    }
+}

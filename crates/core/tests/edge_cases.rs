@@ -1,0 +1,102 @@
+//! Pathological-structure tests: LOTUS must stay correct on graphs at the
+//! extremes of the skew spectrum the paper discusses (§5.5).
+
+use lotus_core::config::{HubCount, LotusConfig};
+use lotus_core::count::LotusCounter;
+use lotus_core::preprocess::build_lotus_graph;
+use lotus_graph::builder::graph_from_edges;
+use lotus_graph::UndirectedCsr;
+
+fn lotus_count_with(g: &UndirectedCsr, hubs: u32) -> u64 {
+    LotusCounter::new(LotusConfig::default().with_hub_count(HubCount::Fixed(hubs)))
+        .count(g)
+        .total()
+}
+
+#[test]
+fn star_graph_has_no_triangles_and_all_hub_edges() {
+    // The extreme of §5.5 category 2: one very-high-degree hub.
+    let g = graph_from_edges((1..2000u32).map(|v| (0, v)));
+    let cfg = LotusConfig::default().with_hub_count(HubCount::Fixed(1));
+    let lg = build_lotus_graph(&g, &cfg);
+    assert_eq!(lg.he_edges(), g.num_edges(), "every edge touches the hub");
+    assert_eq!(lg.nhe_edges(), 0);
+    assert_eq!(LotusCounter::new(cfg).count(&g).total(), 0);
+}
+
+#[test]
+fn complete_bipartite_is_triangle_free() {
+    let g = graph_from_edges((0..40u32).flat_map(|a| (40..80u32).map(move |b| (a, b))));
+    for hubs in [0, 5, 40, 80] {
+        assert_eq!(lotus_count_with(&g, hubs), 0, "hubs {hubs}");
+    }
+}
+
+#[test]
+fn two_cliques_sharing_a_bridge() {
+    // K10 on 0..10, K10 on 10..20, bridge edge (9, 10): no cross triangle.
+    let clique = |base: u32| {
+        (base..base + 10).flat_map(move |u| ((u + 1)..base + 10).map(move |v| (u, v)))
+    };
+    let mut edges: Vec<(u32, u32)> = clique(0).chain(clique(10)).collect();
+    edges.push((9, 10));
+    let g = graph_from_edges(edges);
+    let expected = 2 * (10 * 9 * 8 / 6) as u64;
+    for hubs in [0, 3, 10, 20] {
+        assert_eq!(lotus_count_with(&g, hubs), expected, "hubs {hubs}");
+    }
+}
+
+#[test]
+fn path_and_cycle() {
+    let path = graph_from_edges((0..100u32).map(|v| (v, v + 1)));
+    assert_eq!(lotus_count_with(&path, 8), 0);
+    let cycle = graph_from_edges((0..99u32).map(|v| (v, (v + 1) % 99)));
+    assert_eq!(lotus_count_with(&cycle, 8), 0);
+    let triangle_cycle = graph_from_edges([(0, 1), (1, 2), (2, 0)]);
+    assert_eq!(lotus_count_with(&triangle_cycle, 2), 1);
+}
+
+#[test]
+fn dense_clique_all_hub_configurations() {
+    // K32: C(32,3) triangles regardless of how many vertices are hubs.
+    let g = graph_from_edges((0..32u32).flat_map(|u| ((u + 1)..32).map(move |v| (u, v))));
+    let expected = 32 * 31 * 30 / 6;
+    for hubs in 0..=32 {
+        assert_eq!(lotus_count_with(&g, hubs), expected, "hubs {hubs}");
+    }
+}
+
+#[test]
+fn duplicate_heavy_multigraph_input() {
+    // GraphBuilder cleans duplicates/self-loops before LOTUS ever sees them.
+    let mut edges = Vec::new();
+    for _ in 0..50 {
+        edges.extend([(0u32, 1u32), (1, 0), (1, 2), (2, 0), (2, 2)]);
+    }
+    let g = graph_from_edges(edges);
+    assert_eq!(g.num_edges(), 3);
+    assert_eq!(lotus_count_with(&g, 2), 1);
+}
+
+#[test]
+fn vertex_ids_with_gaps() {
+    // Sparse ID space: isolated vertices in between.
+    let g = graph_from_edges([(0, 500), (500, 999), (0, 999)]);
+    assert_eq!(g.num_vertices(), 1000);
+    for hubs in [0, 64, 1000] {
+        assert_eq!(lotus_count_with(&g, hubs), 1, "hubs {hubs}");
+    }
+}
+
+#[test]
+fn breakdown_times_are_consistent_on_large_input() {
+    let g = lotus_gen::Rmat::new(12, 12).generate(5);
+    let r = LotusCounter::new(LotusConfig::default()).count(&g);
+    assert!(r.breakdown.preprocess > std::time::Duration::ZERO);
+    assert_eq!(
+        r.breakdown.total(),
+        r.breakdown.preprocess + r.breakdown.counting()
+    );
+    assert!(r.stats.he_edges + r.stats.nhe_edges == g.num_edges());
+}

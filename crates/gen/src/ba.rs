@@ -1,0 +1,121 @@
+//! Barabási–Albert preferential-attachment generator.
+//!
+//! Produces power-law graphs by growing the graph one vertex at a time and
+//! attaching each new vertex to `m` existing vertices chosen with
+//! probability proportional to their degree. Used by tests as a second,
+//! structurally different source of skewed graphs (R-MAT hubs are spread by
+//! the bit recursion; BA hubs are the oldest vertices).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use lotus_graph::{EdgeList, UndirectedCsr};
+
+/// Barabási–Albert generator: `n` vertices, `m` attachments per new vertex.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BarabasiAlbert {
+    /// Total vertex count.
+    pub n: u32,
+    /// Edges added per arriving vertex.
+    pub m: u32,
+}
+
+impl BarabasiAlbert {
+    /// Creates a generator; requires `n > m >= 1`.
+    pub fn new(n: u32, m: u32) -> Self {
+        assert!(m >= 1 && n > m, "need n > m >= 1");
+        Self { n, m }
+    }
+
+    /// Generates the canonical edge list.
+    ///
+    /// Uses the repeated-endpoint array: every edge endpoint is appended to
+    /// a list, and sampling a uniform element of that list is sampling
+    /// proportional to degree.
+    pub fn generate_edges(&self, seed: u64) -> EdgeList {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let m = self.m as usize;
+        let mut endpoints: Vec<u32> = Vec::with_capacity(2 * m * self.n as usize);
+        let mut pairs: Vec<(u32, u32)> = Vec::with_capacity(m * self.n as usize);
+
+        // Seed clique over the first m+1 vertices.
+        for u in 0..=self.m {
+            for v in (u + 1)..=self.m {
+                pairs.push((u, v));
+                endpoints.push(u);
+                endpoints.push(v);
+            }
+        }
+
+        let mut targets = vec![0u32; m];
+        for v in (self.m + 1)..self.n {
+            // Sample m distinct targets by degree.
+            let mut filled = 0;
+            while filled < m {
+                let t = endpoints[rng.gen_range(0..endpoints.len())];
+                if !targets[..filled].contains(&t) {
+                    targets[filled] = t;
+                    filled += 1;
+                }
+            }
+            for &t in &targets {
+                pairs.push((t.min(v), t.max(v)));
+                endpoints.push(t);
+                endpoints.push(v);
+            }
+        }
+
+        let mut el = EdgeList::from_pairs_with_vertices(pairs, self.n);
+        el.canonicalize();
+        el
+    }
+
+    /// Generates the final simple undirected graph.
+    pub fn generate(&self, seed: u64) -> UndirectedCsr {
+        UndirectedCsr::from_canonical_edges(&self.generate_edges(seed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lotus_graph::DegreeStats;
+
+    #[test]
+    fn deterministic() {
+        let g = BarabasiAlbert::new(500, 3);
+        assert_eq!(g.generate_edges(1), g.generate_edges(1));
+        assert_ne!(g.generate_edges(1), g.generate_edges(2));
+    }
+
+    #[test]
+    fn edge_count_is_expected() {
+        let ba = BarabasiAlbert::new(1000, 4);
+        let el = ba.generate_edges(9);
+        // Seed clique C(5,2)=10 plus 4 per vertex thereafter.
+        let expected = 10 + 4 * (1000 - 5);
+        assert_eq!(el.len(), expected as usize);
+    }
+
+    #[test]
+    fn produces_skewed_graph() {
+        let g = BarabasiAlbert::new(4000, 4).generate(11);
+        let s = DegreeStats::of(&g);
+        assert!(s.max_degree > 50, "expected a hub, got {}", s.max_degree);
+        assert!(s.is_skewed(1.2));
+    }
+
+    #[test]
+    fn min_degree_is_m() {
+        let g = BarabasiAlbert::new(300, 3).generate(5);
+        for v in 0..g.num_vertices() {
+            assert!(g.degree(v) >= 3, "vertex {v} degree {}", g.degree(v));
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_degenerate_parameters() {
+        let _ = BarabasiAlbert::new(3, 3);
+    }
+}

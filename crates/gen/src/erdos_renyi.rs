@@ -1,0 +1,86 @@
+//! Erdős–Rényi `G(n, m)` uniform random graphs.
+//!
+//! Uniform graphs are the *anti-case* for LOTUS: no hubs, no skew. They
+//! exercise the adaptive fallback path (paper §5.5: "apply the Forward or
+//! edge-iterator algorithms if the graph is not skewed enough").
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+
+use lotus_graph::{EdgeList, UndirectedCsr};
+
+/// Erdős–Rényi generator: `n` vertices, `m` uniformly sampled edges
+/// (before dedup).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ErdosRenyi {
+    /// Vertex count.
+    pub n: u32,
+    /// Sampled edge count.
+    pub m: u64,
+}
+
+impl ErdosRenyi {
+    /// Creates a generator; requires `n >= 2`.
+    pub fn new(n: u32, m: u64) -> Self {
+        assert!(n >= 2, "need at least two vertices");
+        Self { n, m }
+    }
+
+    /// Generates the canonical edge list.
+    pub fn generate_edges(&self, seed: u64) -> EdgeList {
+        let chunk = 1u64 << 16;
+        let chunks = self.m.div_ceil(chunk);
+        let n = self.n;
+        let pairs: Vec<(u32, u32)> = (0..chunks)
+            .into_par_iter()
+            .flat_map_iter(|ci| {
+                let mut rng = SmallRng::seed_from_u64(
+                    seed.wrapping_mul(0xD131_0BA6_985D_F3E7).wrapping_add(ci),
+                );
+                let count = chunk.min(self.m - ci * chunk) as usize;
+                (0..count)
+                    .map(move |_| {
+                        let u = rng.gen_range(0..n);
+                        let v = rng.gen_range(0..n);
+                        (u, v)
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        let mut el = EdgeList::from_pairs_with_vertices(pairs, self.n);
+        el.canonicalize();
+        el
+    }
+
+    /// Generates the final simple undirected graph.
+    pub fn generate(&self, seed: u64) -> UndirectedCsr {
+        UndirectedCsr::from_canonical_edges(&self.generate_edges(seed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lotus_graph::DegreeStats;
+
+    #[test]
+    fn deterministic() {
+        let g = ErdosRenyi::new(256, 1000);
+        assert_eq!(g.generate_edges(1), g.generate_edges(1));
+    }
+
+    #[test]
+    fn roughly_requested_edge_count() {
+        let el = ErdosRenyi::new(10_000, 50_000).generate_edges(2);
+        // Dedup and self-loop removal lose a little.
+        assert!(el.len() > 45_000 && el.len() <= 50_000, "{}", el.len());
+    }
+
+    #[test]
+    fn uniform_graph_is_not_skewed() {
+        let g = ErdosRenyi::new(4096, 40_000).generate(3);
+        let s = DegreeStats::of(&g);
+        assert!(!s.is_skewed(2.0), "ER graph should be unskewed: {s:?}");
+    }
+}

@@ -1,0 +1,27 @@
+#![warn(missing_docs)]
+
+//! Synthetic graph generators and the scaled dataset suite.
+//!
+//! The paper evaluates on 14 real-world graphs of up to 162 billion edges
+//! (Table 4). Those datasets are multi-terabyte downloads that cannot be
+//! fetched here, so this crate supplies the closest synthetic equivalents:
+//! R-MAT (the Graph500 generator, for skewed social networks and web
+//! graphs), Barabási–Albert preferential attachment, Erdős–Rényi, and
+//! Watts–Strogatz generators, plus a [`suite`] that maps *every paper
+//! dataset by name* to a generator configuration whose skew class matches,
+//! scaled to fit a single machine. All of LOTUS's claims are driven by
+//! degree-distribution structure (hub density, edge-class fractions), which
+//! these generators reproduce; see DESIGN.md §3 for the substitution
+//! rationale.
+
+pub mod ba;
+pub mod erdos_renyi;
+pub mod rmat;
+pub mod small_world;
+pub mod suite;
+
+pub use ba::BarabasiAlbert;
+pub use erdos_renyi::ErdosRenyi;
+pub use rmat::{Rmat, RmatParams};
+pub use small_world::WattsStrogatz;
+pub use suite::{Dataset, DatasetKind, DatasetScale};

@@ -1,0 +1,228 @@
+//! R-MAT (recursive matrix) graph generator.
+//!
+//! R-MAT drops each edge into one quadrant of the adjacency matrix with
+//! probabilities `(a, b, c, d)` and recurses, producing the power-law
+//! degree distributions that LOTUS targets. The Graph500 parameters
+//! `(0.57, 0.19, 0.19, 0.05)` model social networks; more asymmetric
+//! settings model web crawls with extremely dense hub cores.
+//!
+//! Generation is embarrassingly parallel: the requested edge count is split
+//! into chunks, each seeded deterministically from the user seed and its
+//! chunk index, so results are reproducible regardless of thread count.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use lotus_graph::{EdgeList, UndirectedCsr};
+
+/// Quadrant probabilities of the R-MAT recursion. Must sum to ~1.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RmatParams {
+    /// Top-left (both endpoints in the low half): hub-hub mass.
+    pub a: f64,
+    /// Top-right quadrant.
+    pub b: f64,
+    /// Bottom-left quadrant.
+    pub c: f64,
+    /// Bottom-right (both endpoints in the high half): tail-tail mass.
+    pub d: f64,
+}
+
+impl RmatParams {
+    /// Graph500 social-network parameters.
+    pub const GRAPH500: RmatParams = RmatParams { a: 0.57, b: 0.19, c: 0.19, d: 0.05 };
+
+    /// Web-graph-like parameters: a heavier `a` concentrates edges among
+    /// hubs, mimicking the dense hub cores of crawls (paper Table 1, where
+    /// web graphs have high hub-to-hub edge fractions).
+    pub const WEB: RmatParams = RmatParams { a: 0.65, b: 0.15, c: 0.15, d: 0.05 };
+
+    /// Mildly skewed parameters for low-skew social networks such as
+    /// Friendster (paper §5.5: highest degree only 5K).
+    pub const MILD: RmatParams = RmatParams { a: 0.45, b: 0.22, c: 0.22, d: 0.11 };
+
+    /// Validates that probabilities are non-negative and sum to ~1.
+    pub fn validate(&self) -> bool {
+        let s = self.a + self.b + self.c + self.d;
+        self.a >= 0.0
+            && self.b >= 0.0
+            && self.c >= 0.0
+            && self.d >= 0.0
+            && (s - 1.0).abs() < 1e-9
+    }
+}
+
+impl Default for RmatParams {
+    fn default() -> Self {
+        Self::GRAPH500
+    }
+}
+
+/// R-MAT generator configuration: `2^scale` vertices, `edge_factor ·
+/// 2^scale` sampled edges (duplicates and self-loops are removed, so the
+/// final simple graph is somewhat smaller).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Rmat {
+    /// log2 of the vertex count.
+    pub scale: u32,
+    /// Sampled edges per vertex.
+    pub edge_factor: u32,
+    /// Quadrant probabilities.
+    pub params: RmatParams,
+    /// Probability noise added per level to smear the self-similar
+    /// artefacts of pure R-MAT (as done by Graph500 reference generators).
+    pub noise: f64,
+}
+
+impl Rmat {
+    /// A generator with Graph500 parameters.
+    pub fn new(scale: u32, edge_factor: u32) -> Self {
+        Self { scale, edge_factor, params: RmatParams::GRAPH500, noise: 0.05 }
+    }
+
+    /// Overrides the quadrant parameters.
+    pub fn with_params(mut self, params: RmatParams) -> Self {
+        assert!(params.validate(), "R-MAT parameters must sum to 1");
+        self.params = params;
+        self
+    }
+
+    /// Number of vertices (`2^scale`).
+    pub fn num_vertices(&self) -> u32 {
+        1u32 << self.scale
+    }
+
+    /// Number of *sampled* edges before dedup.
+    pub fn num_sampled_edges(&self) -> u64 {
+        self.edge_factor as u64 * self.num_vertices() as u64
+    }
+
+    /// Samples one edge.
+    fn sample_edge(&self, rng: &mut SmallRng) -> (u32, u32) {
+        let mut u = 0u32;
+        let mut v = 0u32;
+        for _ in 0..self.scale {
+            u <<= 1;
+            v <<= 1;
+            // Per-level noise keeps the distribution power-law while
+            // breaking the exact self-similarity of the recursion.
+            let jitter = |p: f64, r: &mut SmallRng| {
+                (p * (1.0 - self.noise + 2.0 * self.noise * r.gen::<f64>())).max(0.0)
+            };
+            let a = jitter(self.params.a, rng);
+            let b = jitter(self.params.b, rng);
+            let c = jitter(self.params.c, rng);
+            let d = jitter(self.params.d, rng);
+            let total = a + b + c + d;
+            let x = rng.gen::<f64>() * total;
+            if x < a {
+                // top-left: nothing to add
+            } else if x < a + b {
+                v |= 1;
+            } else if x < a + b + c {
+                u |= 1;
+            } else {
+                u |= 1;
+                v |= 1;
+            }
+        }
+        (u, v)
+    }
+
+    /// Generates the canonical edge list (self-loops removed, deduplicated).
+    pub fn generate_edges(&self, seed: u64) -> EdgeList {
+        let total = self.num_sampled_edges();
+        let chunk = 1usize << 16;
+        let chunks = total.div_ceil(chunk as u64);
+        let pairs: Vec<(u32, u32)> = (0..chunks)
+            .into_par_iter()
+            .flat_map_iter(|ci| {
+                let mut rng = SmallRng::seed_from_u64(
+                    seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(ci),
+                );
+                let count = chunk.min((total - ci * chunk as u64) as usize);
+                (0..count).map(move |_| self.sample_edge(&mut rng)).collect::<Vec<_>>()
+            })
+            .collect();
+        let mut el = EdgeList::from_pairs_with_vertices(pairs, self.num_vertices());
+        el.canonicalize();
+        el
+    }
+
+    /// Generates the final simple undirected graph.
+    pub fn generate(&self, seed: u64) -> UndirectedCsr {
+        UndirectedCsr::from_canonical_edges(&self.generate_edges(seed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lotus_graph::DegreeStats;
+
+    #[test]
+    fn params_validate() {
+        assert!(RmatParams::GRAPH500.validate());
+        assert!(RmatParams::WEB.validate());
+        assert!(RmatParams::MILD.validate());
+        assert!(!RmatParams { a: 0.5, b: 0.5, c: 0.5, d: 0.5 }.validate());
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let g = Rmat::new(8, 8);
+        let a = g.generate_edges(7);
+        let b = g.generate_edges(7);
+        assert_eq!(a, b);
+        let c = g.generate_edges(8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn edges_in_range_and_canonical() {
+        let el = Rmat::new(8, 4).generate_edges(1);
+        assert!(el.is_canonical());
+        assert!(el.pairs().iter().all(|&(u, v)| u < v && v < 256));
+    }
+
+    #[test]
+    fn graph500_graph_is_skewed() {
+        let g = Rmat::new(12, 16).generate(3);
+        let s = DegreeStats::of(&g);
+        assert!(s.is_skewed(2.0), "expected skewed, got {s:?}");
+        assert!(s.max_degree > 100);
+    }
+
+    #[test]
+    fn mild_params_less_skewed_than_web() {
+        let web = Rmat::new(12, 16).with_params(RmatParams::WEB).generate(3);
+        let mild = Rmat::new(12, 16).with_params(RmatParams::MILD).generate(3);
+        let sw = DegreeStats::of(&web);
+        let sm = DegreeStats::of(&mild);
+        assert!(
+            sw.max_degree > sm.max_degree,
+            "web max {} should exceed mild max {}",
+            sw.max_degree,
+            sm.max_degree
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn with_params_rejects_invalid() {
+        let _ = Rmat::new(4, 4).with_params(RmatParams { a: 1.0, b: 1.0, c: 0.0, d: 0.0 });
+    }
+
+    #[test]
+    fn sampled_count_accounting() {
+        let g = Rmat::new(10, 16);
+        assert_eq!(g.num_vertices(), 1024);
+        assert_eq!(g.num_sampled_edges(), 16 * 1024);
+        // After dedup the simple graph has fewer edges.
+        let el = g.generate_edges(5);
+        assert!(el.len() as u64 <= g.num_sampled_edges());
+        assert!(el.len() > 1000);
+    }
+}

@@ -1,0 +1,105 @@
+//! Watts–Strogatz small-world generator.
+//!
+//! Ring lattices rewired with probability `beta`. Small-world graphs are
+//! triangle-dense but *unskewed*, making them a useful stress case: LOTUS
+//! must stay correct (and its adaptive check should prefer Forward) on
+//! graphs where hubs carry no special weight.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use lotus_graph::{EdgeList, UndirectedCsr};
+
+/// Watts–Strogatz generator: `n` vertices on a ring, each connected to `k`
+/// nearest neighbours (k even), rewired with probability `beta`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WattsStrogatz {
+    /// Vertex count.
+    pub n: u32,
+    /// Ring degree (must be even and `< n`).
+    pub k: u32,
+    /// Rewiring probability in `[0, 1]`.
+    pub beta: f64,
+}
+
+impl WattsStrogatz {
+    /// Creates a generator; `k` must be even and smaller than `n`.
+    pub fn new(n: u32, k: u32, beta: f64) -> Self {
+        assert!(k.is_multiple_of(2) && k < n, "k must be even and < n");
+        assert!((0.0..=1.0).contains(&beta));
+        Self { n, k, beta }
+    }
+
+    /// Generates the canonical edge list.
+    pub fn generate_edges(&self, seed: u64) -> EdgeList {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut pairs = Vec::with_capacity((self.n as usize) * (self.k as usize) / 2);
+        for v in 0..self.n {
+            for j in 1..=(self.k / 2) {
+                let mut u = (v + j) % self.n;
+                if rng.gen::<f64>() < self.beta {
+                    // Rewire to a uniform non-self target.
+                    loop {
+                        let cand = rng.gen_range(0..self.n);
+                        if cand != v {
+                            u = cand;
+                            break;
+                        }
+                    }
+                }
+                pairs.push((v.min(u), v.max(u)));
+            }
+        }
+        let mut el = EdgeList::from_pairs_with_vertices(pairs, self.n);
+        el.canonicalize();
+        el
+    }
+
+    /// Generates the final simple undirected graph.
+    pub fn generate(&self, seed: u64) -> UndirectedCsr {
+        UndirectedCsr::from_canonical_edges(&self.generate_edges(seed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lotus_graph::DegreeStats;
+
+    #[test]
+    fn zero_beta_is_ring_lattice() {
+        let g = WattsStrogatz::new(20, 4, 0.0).generate(1);
+        for v in 0..20 {
+            assert_eq!(g.degree(v), 4);
+        }
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(0, 2));
+        assert!(!g.has_edge(0, 3));
+    }
+
+    #[test]
+    fn ring_lattice_has_triangles() {
+        // k=4 ring: v, v+1, v+2 always form a triangle.
+        let g = WattsStrogatz::new(30, 4, 0.0).generate(1);
+        assert!(g.has_edge(0, 1) && g.has_edge(1, 2) && g.has_edge(0, 2));
+    }
+
+    #[test]
+    fn deterministic() {
+        let ws = WattsStrogatz::new(100, 6, 0.3);
+        assert_eq!(ws.generate_edges(5), ws.generate_edges(5));
+    }
+
+    #[test]
+    fn rewired_graph_stays_unskewed() {
+        let g = WattsStrogatz::new(2000, 8, 0.2).generate(9);
+        let s = DegreeStats::of(&g);
+        assert!(!s.is_skewed(2.0), "{s:?}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_odd_k() {
+        let _ = WattsStrogatz::new(10, 3, 0.1);
+    }
+}

@@ -1,0 +1,200 @@
+//! The scaled dataset suite: one named entry per paper dataset (Table 4).
+//!
+//! Each real-world dataset is replaced by an R-MAT configuration whose skew
+//! class matches its type (social network, web graph, bio graph) and whose
+//! average degree matches the paper's `|E| / |V|` ratio. Vertex counts are
+//! scaled down ~10³× (relative sizes between datasets are preserved) so the
+//! whole evaluation runs on one machine; see DESIGN.md §3, substitution 1.
+//!
+//! `Frndstr` uses the mild parameters because the paper singles it out as a
+//! low-skew graph with maximum degree only 5K (§5.5) — the dataset on which
+//! LOTUS profits least. Web graphs use heavier hub mass, matching their
+//! larger hub-to-hub edge fractions in Table 1.
+
+use serde::{Deserialize, Serialize};
+
+use lotus_graph::UndirectedCsr;
+
+use crate::rmat::{Rmat, RmatParams};
+
+/// Dataset category from the paper's Table 4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DatasetKind {
+    /// Social network (SN).
+    SocialNetwork,
+    /// Web graph (WG).
+    WebGraph,
+    /// Bio graph (BG).
+    BioGraph,
+}
+
+impl DatasetKind {
+    /// Two-letter tag used in tables.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            DatasetKind::SocialNetwork => "SN",
+            DatasetKind::WebGraph => "WG",
+            DatasetKind::BioGraph => "BG",
+        }
+    }
+}
+
+/// Size multiplier applied to a dataset's base (Small) configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DatasetScale {
+    /// Scale shift −4 (1/16 the vertices): fast enough for unit tests.
+    Tiny,
+    /// The base configuration used by the report binaries.
+    Small,
+    /// Scale shift +2 (4× the vertices): longer benchmark runs.
+    Full,
+}
+
+impl DatasetScale {
+    fn shift(&self) -> i32 {
+        match self {
+            DatasetScale::Tiny => -4,
+            DatasetScale::Small => 0,
+            DatasetScale::Full => 2,
+        }
+    }
+}
+
+/// A named synthetic stand-in for one paper dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    /// Paper's dataset name (Table 4).
+    pub name: &'static str,
+    /// Dataset category.
+    pub kind: DatasetKind,
+    /// log2 of the vertex count at `Small` scale.
+    pub scale: u32,
+    /// Sampled edges per vertex (matches the paper's `|E|/|V|`).
+    pub edge_factor: u32,
+    /// R-MAT quadrant parameters for the skew class.
+    pub params: RmatParams,
+    /// Generation seed (fixed per dataset for reproducibility).
+    pub seed: u64,
+}
+
+impl Dataset {
+    const fn new(
+        name: &'static str,
+        kind: DatasetKind,
+        scale: u32,
+        edge_factor: u32,
+        params: RmatParams,
+        seed: u64,
+    ) -> Self {
+        Self { name, kind, scale, edge_factor, params, seed }
+    }
+
+    /// The ten datasets of Table 5 (the "< 10 billion edges" class).
+    pub fn small_suite() -> Vec<Dataset> {
+        use DatasetKind::*;
+        vec![
+            Dataset::new("LJGrp", SocialNetwork, 13, 31, RmatParams::GRAPH500, 101),
+            Dataset::new("Twtr10", SocialNetwork, 14, 25, RmatParams::GRAPH500, 102),
+            Dataset::new("Twtr", SocialNetwork, 15, 34, RmatParams::GRAPH500, 103),
+            Dataset::new("TwtrMpi", SocialNetwork, 15, 59, RmatParams::GRAPH500, 104),
+            Dataset::new("Frndstr", SocialNetwork, 16, 55, RmatParams::MILD, 105),
+            Dataset::new("SK", WebGraph, 16, 73, RmatParams::WEB, 106),
+            Dataset::new("WbCc", WebGraph, 16, 43, RmatParams::WEB, 107),
+            Dataset::new("UKDls", WebGraph, 17, 63, RmatParams::WEB, 108),
+            Dataset::new("UU", WebGraph, 17, 70, RmatParams::WEB, 109),
+            Dataset::new("UKDmn", WebGraph, 17, 63, RmatParams::WEB, 110),
+        ]
+    }
+
+    /// The four large datasets of Table 6 (the "> 10 billion edges" class).
+    pub fn large_suite() -> Vec<Dataset> {
+        use DatasetKind::*;
+        vec![
+            Dataset::new("MClst", BioGraph, 16, 152, RmatParams::GRAPH500, 111),
+            Dataset::new("ClWb12", WebGraph, 18, 76, RmatParams::WEB, 112),
+            Dataset::new("WDC14", WebGraph, 18, 72, RmatParams::WEB, 113),
+            Dataset::new("EU15", WebGraph, 18, 150, RmatParams::WEB, 114),
+        ]
+    }
+
+    /// All fourteen datasets of Table 4.
+    pub fn all() -> Vec<Dataset> {
+        let mut v = Self::small_suite();
+        v.extend(Self::large_suite());
+        v
+    }
+
+    /// Looks up a dataset by its paper name.
+    pub fn by_name(name: &str) -> Option<Dataset> {
+        Self::all().into_iter().find(|d| d.name == name)
+    }
+
+    /// Applies a size multiplier, clamping the scale to at least 8.
+    pub fn at_scale(mut self, s: DatasetScale) -> Dataset {
+        self.scale = (self.scale as i32 + s.shift()).max(8) as u32;
+        self
+    }
+
+    /// The configured R-MAT generator.
+    pub fn rmat(&self) -> Rmat {
+        Rmat { scale: self.scale, edge_factor: self.edge_factor, params: self.params, noise: 0.05 }
+    }
+
+    /// Generates the graph.
+    pub fn generate(&self) -> UndirectedCsr {
+        self.rmat().generate(self.seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suites_have_paper_cardinalities() {
+        assert_eq!(Dataset::small_suite().len(), 10);
+        assert_eq!(Dataset::large_suite().len(), 4);
+        assert_eq!(Dataset::all().len(), 14);
+    }
+
+    #[test]
+    fn names_are_unique_and_resolvable() {
+        let all = Dataset::all();
+        for d in &all {
+            assert_eq!(Dataset::by_name(d.name).unwrap().name, d.name);
+        }
+        let mut names: Vec<_> = all.iter().map(|d| d.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 14);
+    }
+
+    #[test]
+    fn tiny_scale_shrinks() {
+        let d = Dataset::by_name("UU").unwrap();
+        let tiny = d.at_scale(DatasetScale::Tiny);
+        assert_eq!(tiny.scale, d.scale - 4);
+        let full = d.at_scale(DatasetScale::Full);
+        assert_eq!(full.scale, d.scale + 2);
+    }
+
+    #[test]
+    fn scale_clamps_at_eight() {
+        let d = Dataset::new("X", DatasetKind::SocialNetwork, 9, 8, RmatParams::GRAPH500, 1);
+        assert_eq!(d.at_scale(DatasetScale::Tiny).scale, 8);
+    }
+
+    #[test]
+    fn tiny_dataset_generates() {
+        let g = Dataset::by_name("LJGrp").unwrap().at_scale(DatasetScale::Tiny).generate();
+        assert_eq!(g.num_vertices(), 1 << 9);
+        assert!(g.num_edges() > 1000);
+    }
+
+    #[test]
+    fn kind_tags() {
+        assert_eq!(DatasetKind::SocialNetwork.tag(), "SN");
+        assert_eq!(DatasetKind::WebGraph.tag(), "WG");
+        assert_eq!(DatasetKind::BioGraph.tag(), "BG");
+    }
+}

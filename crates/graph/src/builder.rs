@@ -1,0 +1,183 @@
+//! High-level graph construction pipeline.
+//!
+//! [`GraphBuilder`] collects edges from any source (generators, files,
+//! programmatic construction), canonicalizes them, and produces the
+//! [`UndirectedCsr`] consumed by the counting algorithms. It also applies
+//! the standard TC preprocessing (zero-degree removal, as in the paper's
+//! dataset accounting §5.1.2).
+
+use crate::csr::UndirectedCsr;
+use crate::edge_list::EdgeList;
+use crate::ids::VertexId;
+use crate::ordering::Relabeling;
+
+/// Builder that accumulates undirected edges and produces a clean graph.
+#[derive(Debug, Clone, Default)]
+pub struct GraphBuilder {
+    edges: Vec<(VertexId, VertexId)>,
+    num_vertices: u32,
+    remove_isolated: bool,
+}
+
+impl GraphBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pre-declares `n` vertices (IDs `0..n`). Adding edges extends the
+    /// bound automatically.
+    pub fn with_vertices(mut self, n: u32) -> Self {
+        self.num_vertices = self.num_vertices.max(n);
+        self
+    }
+
+    /// When enabled, vertices of degree zero are removed and IDs compacted
+    /// (paper §5.1.2: vertex counts are reported "after removing zero
+    /// degree vertices").
+    pub fn remove_isolated_vertices(mut self, yes: bool) -> Self {
+        self.remove_isolated = yes;
+        self
+    }
+
+    /// Adds an undirected edge; endpoints may be in any order, duplicates
+    /// and self-loops are tolerated and cleaned up in [`GraphBuilder::build`].
+    pub fn add_edge(&mut self, u: VertexId, v: VertexId) -> &mut Self {
+        self.num_vertices = self.num_vertices.max(u + 1).max(v + 1);
+        self.edges.push((u, v));
+        self
+    }
+
+    /// Adds many edges at once.
+    pub fn extend_edges(&mut self, it: impl IntoIterator<Item = (VertexId, VertexId)>) -> &mut Self {
+        for (u, v) in it {
+            self.add_edge(u, v);
+        }
+        self
+    }
+
+    /// Number of raw edge entries added so far.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether no edges have been added.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Finalizes into a symmetric CSX graph with sorted neighbour lists.
+    pub fn build(self) -> UndirectedCsr {
+        let mut el = EdgeList::from_pairs_with_vertices(self.edges, self.num_vertices);
+        el.canonicalize();
+        if self.remove_isolated {
+            el = compact_isolated(el);
+        }
+        UndirectedCsr::from_canonical_edges(&el)
+    }
+}
+
+/// Removes zero-degree vertices, remapping remaining IDs densely while
+/// preserving relative order.
+fn compact_isolated(el: EdgeList) -> EdgeList {
+    let n = el.num_vertices() as usize;
+    let mut present = vec![false; n];
+    for &(u, v) in el.pairs() {
+        present[u as usize] = true;
+        present[v as usize] = true;
+    }
+    let mut remap = vec![0u32; n];
+    let mut next = 0u32;
+    for (old, &p) in present.iter().enumerate() {
+        if p {
+            remap[old] = next;
+            next += 1;
+        }
+    }
+    let pairs = el
+        .into_pairs()
+        .into_iter()
+        .map(|(u, v)| (remap[u as usize], remap[v as usize]))
+        .collect();
+    let mut out = EdgeList::from_pairs_with_vertices(pairs, next);
+    out.canonicalize();
+    out
+}
+
+/// Convenience: builds a graph directly from an iterator of edge pairs.
+pub fn graph_from_edges(edges: impl IntoIterator<Item = (VertexId, VertexId)>) -> UndirectedCsr {
+    let mut b = GraphBuilder::new();
+    b.extend_edges(edges);
+    b.build()
+}
+
+/// Builds a graph and the LOTUS hub-first relabeled version of it in one
+/// call; returns `(relabeled graph, relabeling)`.
+pub fn build_hub_first(
+    graph: &UndirectedCsr,
+    head_count: usize,
+) -> (UndirectedCsr, Relabeling) {
+    let relabeling = Relabeling::hub_first(&graph.degrees(), head_count);
+    let g = relabeling.apply(graph);
+    (g, relabeling)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_cleans_input() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(1, 0).add_edge(0, 1).add_edge(2, 2).add_edge(1, 2);
+        let g = b.build();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 2);
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 2));
+        assert!(!g.has_edge(2, 2));
+    }
+
+    #[test]
+    fn isolated_removal_compacts_ids() {
+        let mut b = GraphBuilder::new().with_vertices(10).remove_isolated_vertices(true);
+        b.add_edge(2, 7).add_edge(7, 9);
+        let g = b.build();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 2);
+        // Order preserved: 2→0, 7→1, 9→2.
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 2));
+        assert!(!g.has_edge(0, 2));
+    }
+
+    #[test]
+    fn isolated_kept_without_flag() {
+        let mut b = GraphBuilder::new().with_vertices(10);
+        b.add_edge(2, 7);
+        let g = b.build();
+        assert_eq!(g.num_vertices(), 10);
+    }
+
+    #[test]
+    fn graph_from_edges_helper() {
+        let g = graph_from_edges([(0, 1), (1, 2), (0, 2)]);
+        assert_eq!(g.num_edges(), 3);
+    }
+
+    #[test]
+    fn build_hub_first_places_hub_at_zero() {
+        let g = graph_from_edges([(0, 4), (1, 4), (2, 4), (3, 4), (0, 1)]);
+        let (h, r) = build_hub_first(&g, 1);
+        assert_eq!(r.new_id(4), 0); // vertex 4 is the hub
+        assert_eq!(h.degree(0), 4);
+        assert_eq!(h.num_edges(), g.num_edges());
+    }
+
+    #[test]
+    fn empty_builder_builds_empty_graph() {
+        let g = GraphBuilder::new().build();
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_edges(), 0);
+    }
+}

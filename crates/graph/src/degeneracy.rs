@@ -1,0 +1,221 @@
+//! k-core decomposition and degeneracy ordering.
+//!
+//! The *node-iterator-core* algorithm (Schank & Wagner; paper §6.1)
+//! "prioritizes vertices with smaller degree and removes the vertex after
+//! processing" — i.e. it processes vertices in degeneracy (peeling) order.
+//! This module provides the O(|V| + |E|) bucket-queue peeling that backs
+//! that baseline, plus core numbers, a standard structural metric for the
+//! skewed graphs LOTUS targets.
+
+use crate::csr::UndirectedCsr;
+use crate::ids::VertexId;
+use crate::ordering::Relabeling;
+
+/// Result of k-core peeling.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoreDecomposition {
+    /// Core number of each vertex.
+    pub core_numbers: Vec<u32>,
+    /// Vertices in peeling order (smallest remaining degree first).
+    pub order: Vec<VertexId>,
+    /// The graph's degeneracy (maximum core number).
+    pub degeneracy: u32,
+}
+
+/// Computes the k-core decomposition with the Matula–Beck bucket queue.
+pub fn core_decomposition(graph: &UndirectedCsr) -> CoreDecomposition {
+    let n = graph.num_vertices() as usize;
+    let mut degree: Vec<u32> = graph.degrees();
+    let max_degree = degree.iter().copied().max().unwrap_or(0) as usize;
+
+    // Bucket sort vertices by degree.
+    let mut bucket_start = vec![0usize; max_degree + 2];
+    for &d in &degree {
+        bucket_start[d as usize + 1] += 1;
+    }
+    for i in 1..bucket_start.len() {
+        bucket_start[i] += bucket_start[i - 1];
+    }
+    let mut position = vec![0usize; n];
+    let mut order: Vec<u32> = vec![0; n];
+    {
+        let mut cursor = bucket_start.clone();
+        for v in 0..n as u32 {
+            let d = degree[v as usize] as usize;
+            let p = cursor[d];
+            cursor[d] += 1;
+            position[v as usize] = p;
+            order[p] = v;
+        }
+    }
+    // bucket_head[d] = index in `order` of the first vertex with degree d.
+    let mut bucket_head = bucket_start;
+
+    let mut core_numbers = vec![0u32; n];
+    let mut degeneracy = 0u32;
+    for i in 0..n {
+        let v = order[i];
+        let dv = degree[v as usize];
+        degeneracy = degeneracy.max(dv);
+        core_numbers[v as usize] = degeneracy;
+        // "Remove" v: decrement each unpeeled neighbour, moving it one
+        // bucket down by swapping it to the head of its current bucket.
+        for &u in graph.neighbors(v) {
+            let du = degree[u as usize];
+            if du > dv && position[u as usize] > i {
+                let head = bucket_head[du as usize].max(i + 1);
+                let pu = position[u as usize];
+                let w = order[head];
+                order.swap(head, pu);
+                position[u as usize] = head;
+                position[w as usize] = pu;
+                bucket_head[du as usize] = head + 1;
+                degree[u as usize] = du - 1;
+            }
+        }
+    }
+    CoreDecomposition { core_numbers, order, degeneracy }
+}
+
+impl CoreDecomposition {
+    /// Relabeling that assigns IDs in peeling order (peel-first → ID 0).
+    /// Orienting edges toward *later-peeled* endpoints bounds every
+    /// forward list by the degeneracy.
+    pub fn peeling_relabeling(&self) -> Relabeling {
+        let mut old_to_new = vec![0u32; self.order.len()];
+        for (new, &old) in self.order.iter().enumerate() {
+            old_to_new[old as usize] = new as u32;
+        }
+        Relabeling::from_old_to_new(old_to_new)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::graph_from_edges;
+
+    #[test]
+    fn clique_core_numbers() {
+        // K4: every vertex has core number 3.
+        let g = graph_from_edges([(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
+        let c = core_decomposition(&g);
+        assert_eq!(c.core_numbers, vec![3, 3, 3, 3]);
+        assert_eq!(c.degeneracy, 3);
+    }
+
+    #[test]
+    fn path_is_one_degenerate() {
+        let g = graph_from_edges((0..9u32).map(|v| (v, v + 1)));
+        let c = core_decomposition(&g);
+        assert_eq!(c.degeneracy, 1);
+        assert!(c.core_numbers.iter().all(|&k| k == 1));
+    }
+
+    #[test]
+    fn clique_with_tail() {
+        // Triangle 0-1-2 plus tail 2-3-4: tail is 1-core, triangle 2-core.
+        let g = graph_from_edges([(0, 1), (1, 2), (0, 2), (2, 3), (3, 4)]);
+        let c = core_decomposition(&g);
+        assert_eq!(c.core_numbers[0], 2);
+        assert_eq!(c.core_numbers[1], 2);
+        assert_eq!(c.core_numbers[2], 2);
+        assert_eq!(c.core_numbers[3], 1);
+        assert_eq!(c.core_numbers[4], 1);
+        assert_eq!(c.degeneracy, 2);
+    }
+
+    #[test]
+    fn order_is_a_permutation_and_respects_peeling() {
+        let g = lotus_test_graph();
+        let c = core_decomposition(&g);
+        let mut sorted = c.order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..g.num_vertices()).collect::<Vec<_>>());
+        // Core numbers along the peel order are non-decreasing.
+        let cores: Vec<u32> = c.order.iter().map(|&v| c.core_numbers[v as usize]).collect();
+        assert!(cores.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn forward_lists_bounded_by_degeneracy_after_relabel() {
+        let g = lotus_test_graph();
+        let c = core_decomposition(&g);
+        let r = c.peeling_relabeling();
+        assert!(r.is_permutation());
+        let h = r.apply(&g);
+        for v in 0..h.num_vertices() {
+            // Upper neighbours (later-peeled) are bounded by degeneracy.
+            assert!(
+                h.upper_neighbors(v).len() as u32 <= c.degeneracy,
+                "vertex {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = graph_from_edges(std::iter::empty());
+        let c = core_decomposition(&g);
+        assert_eq!(c.degeneracy, 0);
+        assert!(c.order.is_empty());
+    }
+
+    /// Naive O(V²) peeling used as a reference implementation.
+    fn naive_core_numbers(g: &UndirectedCsr) -> Vec<u32> {
+        let n = g.num_vertices() as usize;
+        let mut degree: Vec<i64> = (0..n).map(|v| g.degree(v as u32) as i64).collect();
+        let mut removed = vec![false; n];
+        let mut cores = vec![0u32; n];
+        let mut k = 0i64;
+        for _ in 0..n {
+            let v = (0..n)
+                .filter(|&v| !removed[v])
+                .min_by_key(|&v| degree[v])
+                .expect("vertex remains");
+            k = k.max(degree[v]);
+            cores[v] = k as u32;
+            removed[v] = true;
+            for &u in g.neighbors(v as u32) {
+                if !removed[u as usize] {
+                    degree[u as usize] -= 1;
+                }
+            }
+        }
+        cores
+    }
+
+    #[test]
+    fn matches_naive_peeling_on_random_graphs() {
+        for seed in 0..6u64 {
+            let g = crate::builder::graph_from_edges(
+                crate::edge_list::EdgeList::from_pairs(
+                    (0..400)
+                        .map(|i| {
+                            let mut s = seed
+                                .wrapping_mul(0x9E3779B97F4A7C15)
+                                .wrapping_add((i as u64).wrapping_mul(0x2545F4914F6CDD1D));
+                            s ^= s >> 33;
+                            let u = (s % 80) as u32;
+                            s = s.wrapping_mul(0xD1310BA6985DF3E7);
+                            let v = ((s >> 17) % 80) as u32;
+                            (u, v)
+                        })
+                        .collect(),
+                )
+                .into_pairs(),
+            );
+            let fast = core_decomposition(&g);
+            let naive = naive_core_numbers(&g);
+            assert_eq!(fast.core_numbers, naive, "seed {seed}");
+        }
+    }
+
+    /// A mixed graph: star + clique + path.
+    fn lotus_test_graph() -> UndirectedCsr {
+        let mut edges = vec![(0u32, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)];
+        edges.extend((4..14).map(|v| (0, v)));
+        edges.extend((14..20u32).map(|v| (v, v - 10)));
+        graph_from_edges(edges)
+    }
+}

@@ -1,0 +1,94 @@
+//! Error type shared by graph construction and I/O.
+
+use std::fmt;
+use std::io;
+
+/// Errors produced while constructing or (de)serializing graphs.
+#[derive(Debug)]
+pub enum GraphError {
+    /// A vertex ID referenced by an edge is outside `0..num_vertices`.
+    VertexOutOfRange {
+        /// The offending vertex ID.
+        vertex: u64,
+        /// Number of vertices in the graph.
+        num_vertices: u64,
+    },
+    /// A neighbour ID does not fit the requested storage width.
+    NeighborWidthOverflow {
+        /// The offending vertex ID.
+        vertex: u64,
+        /// Storage width in bits.
+        bits: u32,
+    },
+    /// Input text could not be parsed as an edge list.
+    Parse {
+        /// 1-based line number of the malformed line.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// A binary graph file has an invalid header or truncated payload.
+    Format(String),
+    /// Underlying I/O failure.
+    Io(io::Error),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::VertexOutOfRange { vertex, num_vertices } => {
+                write!(f, "vertex {vertex} out of range for graph with {num_vertices} vertices")
+            }
+            GraphError::NeighborWidthOverflow { vertex, bits } => {
+                write!(f, "vertex {vertex} does not fit a {bits}-bit neighbour ID")
+            }
+            GraphError::Parse { line, message } => {
+                write!(f, "parse error on line {line}: {message}")
+            }
+            GraphError::Format(msg) => write!(f, "invalid graph file: {msg}"),
+            GraphError::Io(e) => write!(f, "I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for GraphError {
+    fn from(e: io::Error) -> Self {
+        GraphError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = GraphError::VertexOutOfRange { vertex: 10, num_vertices: 5 };
+        assert!(e.to_string().contains("10"));
+        assert!(e.to_string().contains("5"));
+
+        let e = GraphError::Parse { line: 3, message: "bad token".into() };
+        assert!(e.to_string().contains("line 3"));
+
+        let e = GraphError::from(io::Error::new(io::ErrorKind::NotFound, "gone"));
+        assert!(e.to_string().contains("gone"));
+    }
+
+    #[test]
+    fn io_source_is_preserved() {
+        use std::error::Error;
+        let e = GraphError::from(io::Error::other("x"));
+        assert!(e.source().is_some());
+        let e = GraphError::Format("bad".into());
+        assert!(e.source().is_none());
+    }
+}

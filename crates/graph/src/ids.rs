@@ -1,0 +1,136 @@
+//! Vertex and neighbour identifier types.
+//!
+//! Vertices are identified by dense `u32` IDs (`0..num_vertices`), matching
+//! the public datasets in the paper (all have fewer than 2³² vertices,
+//! §4.3.2). Neighbour lists, in contrast, are stored with a *configurable
+//! width*: the LOTUS HE sub-graph uses 16-bit IDs because hubs occupy the
+//! first 2¹⁶ IDs, while the NHE sub-graph uses 32-bit IDs. The
+//! [`NeighborId`] trait abstracts that width so one CSR implementation
+//! serves both.
+
+use std::fmt::Debug;
+use std::hash::Hash;
+
+/// Dense vertex identifier. IDs are contiguous in `0..num_vertices`.
+pub type VertexId = u32;
+
+/// An integer type usable as a stored neighbour ID inside a CSR.
+///
+/// Implemented for `u16` (LOTUS HE sub-graph), `u32` (general graphs and the
+/// NHE sub-graph) and `u64` (graphs beyond 2³² vertices, §4.3.2 of the
+/// paper). Conversions are checked in debug builds: narrowing a vertex ID
+/// that does not fit the neighbour width is a construction-time logic error.
+pub trait NeighborId:
+    Copy + Clone + Ord + Eq + Hash + Debug + Default + Send + Sync + 'static
+{
+    /// Number of bits of the stored representation.
+    const BITS: u32;
+    /// Number of bytes of the stored representation.
+    const BYTES: usize;
+
+    /// Converts a vertex ID to this width. Panics in debug builds when the
+    /// value does not fit.
+    fn from_vertex(v: VertexId) -> Self;
+
+    /// Widens back to a vertex ID.
+    fn to_vertex(self) -> VertexId;
+
+    /// Widens to a `usize` index.
+    #[inline(always)]
+    fn index(self) -> usize {
+        self.to_vertex() as usize
+    }
+}
+
+impl NeighborId for u16 {
+    const BITS: u32 = 16;
+    const BYTES: usize = 2;
+
+    #[inline(always)]
+    fn from_vertex(v: VertexId) -> Self {
+        debug_assert!(v <= u16::MAX as u32, "vertex {v} does not fit in u16");
+        v as u16
+    }
+
+    #[inline(always)]
+    fn to_vertex(self) -> VertexId {
+        self as VertexId
+    }
+}
+
+impl NeighborId for u32 {
+    const BITS: u32 = 32;
+    const BYTES: usize = 4;
+
+    #[inline(always)]
+    fn from_vertex(v: VertexId) -> Self {
+        v
+    }
+
+    #[inline(always)]
+    fn to_vertex(self) -> VertexId {
+        self
+    }
+}
+
+impl NeighborId for u64 {
+    const BITS: u32 = 64;
+    const BYTES: usize = 8;
+
+    #[inline(always)]
+    fn from_vertex(v: VertexId) -> Self {
+        v as u64
+    }
+
+    #[inline(always)]
+    fn to_vertex(self) -> VertexId {
+        debug_assert!(self <= u32::MAX as u64, "vertex {self} does not fit in u32");
+        self as VertexId
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u16_round_trip() {
+        for v in [0u32, 1, 255, 65535] {
+            assert_eq!(<u16 as NeighborId>::from_vertex(v).to_vertex(), v);
+        }
+    }
+
+    #[test]
+    fn u32_round_trip() {
+        for v in [0u32, 1, 65536, u32::MAX] {
+            assert_eq!(<u32 as NeighborId>::from_vertex(v).to_vertex(), v);
+        }
+    }
+
+    #[test]
+    fn u64_round_trip() {
+        for v in [0u32, 1, 65536, u32::MAX] {
+            assert_eq!(<u64 as NeighborId>::from_vertex(v).to_vertex(), v);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    #[cfg(debug_assertions)]
+    fn u16_narrowing_panics_in_debug() {
+        let _ = <u16 as NeighborId>::from_vertex(70_000);
+    }
+
+    #[test]
+    fn widths() {
+        assert_eq!(<u16 as NeighborId>::BYTES, 2);
+        assert_eq!(<u32 as NeighborId>::BYTES, 4);
+        assert_eq!(<u64 as NeighborId>::BYTES, 8);
+    }
+
+    #[test]
+    fn index_matches_vertex() {
+        assert_eq!(<u16 as NeighborId>::from_vertex(9).index(), 9);
+        assert_eq!(<u32 as NeighborId>::from_vertex(9).index(), 9);
+    }
+}

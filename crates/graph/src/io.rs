@@ -1,0 +1,214 @@
+//! Graph (de)serialization: whitespace-separated edge-list text and a
+//! compact little-endian binary format.
+//!
+//! The binary layout is:
+//!
+//! ```text
+//! magic  "LOTG"            4 bytes
+//! version u32              4 bytes
+//! num_vertices u32         4 bytes
+//! num_edges u64            8 bytes
+//! edges (u32, u32) pairs   16·num_edges... (8 bytes per edge)
+//! ```
+//!
+//! Edges are stored canonically (`u < v`, sorted), so loading produces the
+//! same graph bit-for-bit.
+
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::edge_list::EdgeList;
+use crate::error::GraphError;
+
+const MAGIC: &[u8; 4] = b"LOTG";
+const VERSION: u32 = 1;
+
+/// Parses a whitespace-separated edge list (`u v` per line, `#`/`%` comments)
+/// from a reader.
+pub fn read_edge_list_text<R: Read>(reader: R) -> Result<EdgeList, GraphError> {
+    let reader = BufReader::new(reader);
+    let mut pairs = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') || line.starts_with('%') {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let parse = |tok: Option<&str>| -> Result<u32, GraphError> {
+            tok.ok_or_else(|| GraphError::Parse {
+                line: lineno + 1,
+                message: "expected two vertex IDs".into(),
+            })?
+            .parse::<u32>()
+            .map_err(|e| GraphError::Parse { line: lineno + 1, message: e.to_string() })
+        };
+        let u = parse(it.next())?;
+        let v = parse(it.next())?;
+        pairs.push((u, v));
+    }
+    Ok(EdgeList::from_pairs(pairs))
+}
+
+/// Reads an edge-list text file.
+pub fn load_edge_list_text(path: impl AsRef<Path>) -> Result<EdgeList, GraphError> {
+    read_edge_list_text(File::open(path)?)
+}
+
+/// Writes an edge list as text (`u v` per line).
+pub fn write_edge_list_text<W: Write>(el: &EdgeList, writer: W) -> Result<(), GraphError> {
+    let mut w = BufWriter::new(writer);
+    for &(u, v) in el.pairs() {
+        writeln!(w, "{u} {v}")?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Writes the canonical binary format.
+pub fn write_binary<W: Write>(el: &EdgeList, writer: W) -> Result<(), GraphError> {
+    let mut w = BufWriter::new(writer);
+    w.write_all(MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    w.write_all(&el.num_vertices().to_le_bytes())?;
+    w.write_all(&(el.len() as u64).to_le_bytes())?;
+    for &(u, v) in el.pairs() {
+        w.write_all(&u.to_le_bytes())?;
+        w.write_all(&v.to_le_bytes())?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads the canonical binary format.
+pub fn read_binary<R: Read>(reader: R) -> Result<EdgeList, GraphError> {
+    let mut r = BufReader::new(reader);
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(GraphError::Format("bad magic".into()));
+    }
+    let mut buf4 = [0u8; 4];
+    r.read_exact(&mut buf4)?;
+    let version = u32::from_le_bytes(buf4);
+    if version != VERSION {
+        return Err(GraphError::Format(format!("unsupported version {version}")));
+    }
+    r.read_exact(&mut buf4)?;
+    let num_vertices = u32::from_le_bytes(buf4);
+    let mut buf8 = [0u8; 8];
+    r.read_exact(&mut buf8)?;
+    let num_edges = u64::from_le_bytes(buf8) as usize;
+    let mut pairs = Vec::with_capacity(num_edges);
+    for _ in 0..num_edges {
+        r.read_exact(&mut buf4)?;
+        let u = u32::from_le_bytes(buf4);
+        r.read_exact(&mut buf4)?;
+        let v = u32::from_le_bytes(buf4);
+        if u >= num_vertices || v >= num_vertices {
+            return Err(GraphError::VertexOutOfRange {
+                vertex: u.max(v) as u64,
+                num_vertices: num_vertices as u64,
+            });
+        }
+        pairs.push((u, v));
+    }
+    Ok(EdgeList::from_pairs_with_vertices(pairs, num_vertices))
+}
+
+/// Saves an edge list to a binary file.
+pub fn save_binary(el: &EdgeList, path: impl AsRef<Path>) -> Result<(), GraphError> {
+    write_binary(el, File::create(path)?)
+}
+
+/// Loads an edge list from a binary file.
+pub fn load_binary(path: impl AsRef<Path>) -> Result<EdgeList, GraphError> {
+    read_binary(File::open(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_round_trip() {
+        let mut el = EdgeList::from_pairs(vec![(0, 1), (1, 2), (0, 3)]);
+        el.canonicalize();
+        let mut buf = Vec::new();
+        write_edge_list_text(&el, &mut buf).unwrap();
+        let back = read_edge_list_text(&buf[..]).unwrap();
+        assert_eq!(back.pairs(), el.pairs());
+    }
+
+    #[test]
+    fn text_skips_comments_and_blank_lines() {
+        let input = "# comment\n\n% also comment\n0 1\n 2 3 \n";
+        let el = read_edge_list_text(input.as_bytes()).unwrap();
+        assert_eq!(el.pairs(), &[(0, 1), (2, 3)]);
+    }
+
+    #[test]
+    fn text_reports_parse_errors_with_line() {
+        let input = "0 1\nnot numbers\n";
+        let err = read_edge_list_text(input.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn text_rejects_missing_endpoint() {
+        let err = read_edge_list_text("42\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { .. }));
+    }
+
+    #[test]
+    fn binary_round_trip() {
+        let mut el = EdgeList::from_pairs(vec![(5, 1), (1, 2), (0, 3), (1, 5)]);
+        el.canonicalize();
+        let mut buf = Vec::new();
+        write_binary(&el, &mut buf).unwrap();
+        let back = read_binary(&buf[..]).unwrap();
+        assert_eq!(back, el);
+    }
+
+    #[test]
+    fn binary_rejects_bad_magic() {
+        let err = read_binary(&b"XXXX\0\0\0\0"[..]).unwrap_err();
+        assert!(matches!(err, GraphError::Format(_)));
+    }
+
+    #[test]
+    fn binary_rejects_truncated() {
+        let el = EdgeList::from_pairs(vec![(0, 1)]).canonicalized();
+        let mut buf = Vec::new();
+        write_binary(&el, &mut buf).unwrap();
+        buf.truncate(buf.len() - 3);
+        assert!(read_binary(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn binary_rejects_out_of_range_vertex() {
+        // Hand-craft: 2 vertices but edge (0, 7).
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"LOTG");
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.extend_from_slice(&2u32.to_le_bytes());
+        buf.extend_from_slice(&1u64.to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        buf.extend_from_slice(&7u32.to_le_bytes());
+        let err = read_binary(&buf[..]).unwrap_err();
+        assert!(matches!(err, GraphError::VertexOutOfRange { .. }));
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("lotus_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.lotg");
+        let el = EdgeList::from_pairs(vec![(0, 1), (1, 2)]).canonicalized();
+        save_binary(&el, &path).unwrap();
+        let back = load_binary(&path).unwrap();
+        assert_eq!(back, el);
+        std::fs::remove_file(&path).ok();
+    }
+}

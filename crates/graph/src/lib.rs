@@ -1,0 +1,44 @@
+#![warn(missing_docs)]
+
+//! Graph substrate for the LOTUS triangle-counting reproduction.
+//!
+//! This crate provides the storage and preprocessing layer that every
+//! triangle-counting algorithm in the workspace builds on:
+//!
+//! * [`EdgeList`] — a mutable list of undirected edges with canonicalization
+//!   (self-loop removal, deduplication).
+//! * [`Csr`] — compressed sparse row/column (CSX) adjacency storage, generic
+//!   over the neighbour-ID width ([`NeighborId`]: `u16`, `u32` or `u64`).
+//!   LOTUS stores hub neighbours in 16 bits and non-hub neighbours in 32 bits;
+//!   the same container backs both.
+//! * [`UndirectedCsr`] — a symmetric graph with sorted neighbour lists, the
+//!   input format of all counting algorithms, plus its *forward* (oriented)
+//!   view where each vertex keeps only lower-ID neighbours.
+//! * Orderings ([`ordering`]) — degree-descending and LOTUS hub-first
+//!   relabelings.
+//! * Partitioning ([`partition`]) — edge-balanced range partitioning used by
+//!   the load-balance experiments (Table 9 of the paper).
+//! * I/O ([`io`]) — text edge-list and a compact binary format.
+
+pub mod builder;
+pub mod csr;
+pub mod degeneracy;
+pub mod degree;
+pub mod edge_list;
+pub mod error;
+pub mod ids;
+pub mod io;
+pub mod ordering;
+pub mod partition;
+pub mod stats;
+pub mod varint;
+
+pub use builder::GraphBuilder;
+pub use csr::{Csr, UndirectedCsr};
+pub use degeneracy::{core_decomposition, CoreDecomposition};
+pub use degree::{DegreeDistribution, DegreeStats};
+pub use edge_list::EdgeList;
+pub use error::GraphError;
+pub use ids::{NeighborId, VertexId};
+pub use ordering::Relabeling;
+pub use stats::GraphStats;

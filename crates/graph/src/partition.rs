@@ -1,0 +1,150 @@
+//! Edge-balanced range partitioning.
+//!
+//! The paper's Table 9 compares LOTUS's squared edge tiling against
+//! *edge-balanced* partitioning (as used by GraphGrind and Polymer), which
+//! cuts the vertex range into contiguous chunks containing roughly equal
+//! numbers of edges. The squared-edge-tiling side lives in `lotus-core`
+//! (it needs the HE sub-graph); the classical edge-balanced scheme lives
+//! here because it only needs CSR offsets.
+
+use crate::csr::Csr;
+use crate::ids::{NeighborId, VertexId};
+
+/// A contiguous vertex range `[start, end)` produced by a partitioner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VertexRange {
+    /// First vertex of the range.
+    pub start: VertexId,
+    /// One past the last vertex.
+    pub end: VertexId,
+}
+
+impl VertexRange {
+    /// Number of vertices in the range.
+    pub fn len(&self) -> u32 {
+        self.end - self.start
+    }
+
+    /// Whether the range is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Iterates the vertices of the range.
+    pub fn iter(&self) -> impl Iterator<Item = VertexId> {
+        self.start..self.end
+    }
+}
+
+/// Splits `0..num_vertices` into `parts` contiguous ranges with roughly
+/// equal numbers of CSR entries (edges) per range.
+///
+/// Boundaries are found by binary search on the offset array, so a single
+/// ultra-high-degree vertex can still make one range heavy — exactly the
+/// imbalance Table 9 demonstrates and squared edge tiling fixes.
+pub fn edge_balanced<N: NeighborId>(csr: &Csr<N>, parts: usize) -> Vec<VertexRange> {
+    assert!(parts > 0, "need at least one partition");
+    let n = csr.num_vertices();
+    let offsets = csr.offsets();
+    let total = csr.num_entries();
+    let mut ranges = Vec::with_capacity(parts);
+    let mut start = 0u32;
+    for p in 1..=parts {
+        let target = total * p as u64 / parts as u64;
+        // First vertex whose end offset reaches the target.
+        let end = if p == parts {
+            n
+        } else {
+            let idx = offsets.partition_point(|&o| o < target);
+            (idx.saturating_sub(1) as u32).clamp(start, n)
+        };
+        ranges.push(VertexRange { start, end });
+        start = end;
+    }
+    ranges
+}
+
+/// Splits `0..n` into `parts` contiguous ranges with equal vertex counts
+/// (the naive scheme; useful as a load-balance strawman).
+pub fn vertex_balanced(n: u32, parts: usize) -> Vec<VertexRange> {
+    assert!(parts > 0, "need at least one partition");
+    let mut ranges = Vec::with_capacity(parts);
+    let mut start = 0u64;
+    for p in 1..=parts {
+        let end = n as u64 * p as u64 / parts as u64;
+        ranges.push(VertexRange { start: start as u32, end: end as u32 });
+        start = end;
+    }
+    ranges
+}
+
+/// Sum of CSR entries covered by a range.
+pub fn range_edges<N: NeighborId>(csr: &Csr<N>, r: VertexRange) -> u64 {
+    csr.offsets()[r.end as usize] - csr.offsets()[r.start as usize]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::graph_from_edges;
+
+    fn path_graph(n: u32) -> Csr<u32> {
+        graph_from_edges((0..n - 1).map(|v| (v, v + 1))).forward_graph()
+    }
+
+    #[test]
+    fn ranges_cover_all_vertices_exactly_once() {
+        let csr = path_graph(100);
+        for parts in [1, 2, 3, 7, 100, 200] {
+            let ranges = edge_balanced(&csr, parts);
+            assert_eq!(ranges.len(), parts);
+            assert_eq!(ranges[0].start, 0);
+            assert_eq!(ranges.last().unwrap().end, 100);
+            for w in ranges.windows(2) {
+                assert_eq!(w[0].end, w[1].start);
+            }
+        }
+    }
+
+    #[test]
+    fn edge_balanced_is_roughly_even_on_uniform_graph() {
+        let csr = path_graph(1000);
+        let ranges = edge_balanced(&csr, 4);
+        let total = csr.num_entries();
+        for r in &ranges {
+            let e = range_edges(&csr, *r);
+            assert!((e as i64 - (total / 4) as i64).abs() <= 2, "uneven: {e}");
+        }
+    }
+
+    #[test]
+    fn vertex_balanced_covers_range() {
+        let ranges = vertex_balanced(10, 3);
+        assert_eq!(ranges.iter().map(|r| r.len()).sum::<u32>(), 10);
+        assert_eq!(ranges[0].start, 0);
+        assert_eq!(ranges.last().unwrap().end, 10);
+    }
+
+    #[test]
+    fn single_partition_is_whole_graph() {
+        let csr = path_graph(10);
+        let ranges = edge_balanced(&csr, 1);
+        assert_eq!(ranges, vec![VertexRange { start: 0, end: 10 }]);
+    }
+
+    #[test]
+    fn empty_graph_partitions() {
+        let csr = Csr::<u32>::empty(0);
+        let ranges = edge_balanced(&csr, 3);
+        assert_eq!(ranges.len(), 3);
+        assert!(ranges.iter().all(|r| r.is_empty()));
+    }
+
+    #[test]
+    fn range_helpers() {
+        let r = VertexRange { start: 3, end: 7 };
+        assert_eq!(r.len(), 4);
+        assert!(!r.is_empty());
+        assert_eq!(r.iter().collect::<Vec<_>>(), vec![3, 4, 5, 6]);
+    }
+}

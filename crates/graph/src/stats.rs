@@ -1,0 +1,71 @@
+//! One-line summary of a graph, for dataset tables and logging.
+
+use crate::csr::UndirectedCsr;
+use crate::degree::DegreeStats;
+
+/// Compact summary used by dataset tables (paper Table 4).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphStats {
+    /// Number of vertices.
+    pub num_vertices: u32,
+    /// Number of undirected edges.
+    pub num_edges: u64,
+    /// Maximum degree.
+    pub max_degree: u32,
+    /// Mean degree.
+    pub mean_degree: f64,
+    /// Median degree.
+    pub median_degree: u32,
+    /// Skewness indicator: mean / max(median, 1).
+    pub skew_ratio: f64,
+}
+
+impl GraphStats {
+    /// Computes the summary for a graph.
+    pub fn of(graph: &UndirectedCsr) -> Self {
+        let d = DegreeStats::of(graph);
+        Self {
+            num_vertices: d.num_vertices,
+            num_edges: d.num_edges,
+            max_degree: d.max_degree,
+            mean_degree: d.mean_degree,
+            median_degree: d.median_degree,
+            skew_ratio: d.mean_degree / d.median_degree.max(1) as f64,
+        }
+    }
+}
+
+impl std::fmt::Display for GraphStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "|V|={} |E|={} d_max={} d_avg={:.2} d_med={} skew={:.2}",
+            self.num_vertices,
+            self.num_edges,
+            self.max_degree,
+            self.mean_degree,
+            self.median_degree,
+            self.skew_ratio
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::graph_from_edges;
+
+    #[test]
+    fn summary_of_star() {
+        let g = graph_from_edges((1..9).map(|v| (0, v)));
+        let s = GraphStats::of(&g);
+        assert_eq!(s.num_vertices, 9);
+        assert_eq!(s.num_edges, 8);
+        assert_eq!(s.max_degree, 8);
+        assert_eq!(s.median_degree, 1);
+        assert!(s.skew_ratio > 1.5);
+        let line = s.to_string();
+        assert!(line.contains("|V|=9"));
+        assert!(line.contains("d_max=8"));
+    }
+}

@@ -1,0 +1,253 @@
+//! Delta-varint compressed neighbour lists.
+//!
+//! §3.2 of the paper frames TC's locality problem through coding theory:
+//! representing frequently occurring (hub) IDs with full-width integers is
+//! wasteful, but any compression "must not incur runtime overhead to read
+//! graph topology data". This module provides the classic WebGraph-style
+//! gap + LEB128 varint encoding as the *comparison point*: it is the most
+//! compact general representation, but decoding costs instructions per
+//! edge. LOTUS's answer — fixed 16-bit IDs for the hub sub-graph — is
+//! cheaper to read; the `representation` ablation quantifies the gap.
+
+use crate::csr::Csr;
+use crate::ids::VertexId;
+
+/// Gap-compressed adjacency: each sorted neighbour list is stored as
+/// LEB128 varints of successive deltas (first entry stored as-is).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VarintCsr {
+    offsets: Vec<u64>,
+    data: Vec<u8>,
+    num_entries: u64,
+}
+
+/// Appends `value` as LEB128.
+#[inline]
+fn push_varint(data: &mut Vec<u8>, mut value: u32) {
+    loop {
+        let byte = (value & 0x7F) as u8;
+        value >>= 7;
+        if value == 0 {
+            data.push(byte);
+            break;
+        }
+        data.push(byte | 0x80);
+    }
+}
+
+/// Reads one LEB128 value, returning `(value, bytes_consumed)`.
+#[inline]
+fn read_varint(data: &[u8]) -> (u32, usize) {
+    let mut value = 0u32;
+    let mut shift = 0u32;
+    for (i, &byte) in data.iter().enumerate() {
+        value |= ((byte & 0x7F) as u32) << shift;
+        if byte & 0x80 == 0 {
+            return (value, i + 1);
+        }
+        shift += 7;
+    }
+    panic!("truncated varint");
+}
+
+impl VarintCsr {
+    /// Compresses a CSR with sorted `u32` neighbour lists.
+    pub fn from_csr(csr: &Csr<u32>) -> Self {
+        debug_assert!(csr.lists_sorted(), "varint encoding requires sorted lists");
+        let mut offsets = Vec::with_capacity(csr.num_vertices() as usize + 1);
+        let mut data = Vec::new();
+        offsets.push(0u64);
+        for v in 0..csr.num_vertices() {
+            let mut prev = 0u32;
+            for (i, &u) in csr.neighbors(v).iter().enumerate() {
+                let delta = if i == 0 { u } else { u - prev };
+                push_varint(&mut data, delta);
+                prev = u;
+            }
+            offsets.push(data.len() as u64);
+        }
+        Self { offsets, data, num_entries: csr.num_entries() }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> u32 {
+        (self.offsets.len() - 1) as u32
+    }
+
+    /// Number of encoded neighbour entries.
+    pub fn num_entries(&self) -> u64 {
+        self.num_entries
+    }
+
+    /// Total bytes: 8-byte index entries plus the byte stream (the same
+    /// accounting as [`Csr::topology_bytes`]).
+    pub fn topology_bytes(&self) -> u64 {
+        8 * (self.offsets.len() as u64) + self.data.len() as u64
+    }
+
+    /// Decodes the list of `v` into `out` (cleared first).
+    pub fn decode_into(&self, v: VertexId, out: &mut Vec<u32>) {
+        out.clear();
+        let mut slice =
+            &self.data[self.offsets[v as usize] as usize..self.offsets[v as usize + 1] as usize];
+        let mut prev = 0u32;
+        let mut first = true;
+        while !slice.is_empty() {
+            let (delta, used) = read_varint(slice);
+            slice = &slice[used..];
+            prev = if first { delta } else { prev + delta };
+            first = false;
+            out.push(prev);
+        }
+    }
+
+    /// Streaming iterator over the list of `v` (no allocation).
+    pub fn neighbors(&self, v: VertexId) -> VarintIter<'_> {
+        VarintIter {
+            slice: &self.data
+                [self.offsets[v as usize] as usize..self.offsets[v as usize + 1] as usize],
+            prev: 0,
+            first: true,
+        }
+    }
+}
+
+/// Streaming decoder over one compressed list.
+#[derive(Debug, Clone)]
+pub struct VarintIter<'a> {
+    slice: &'a [u8],
+    prev: u32,
+    first: bool,
+}
+
+impl Iterator for VarintIter<'_> {
+    type Item = u32;
+
+    #[inline]
+    fn next(&mut self) -> Option<u32> {
+        if self.slice.is_empty() {
+            return None;
+        }
+        let (delta, used) = read_varint(self.slice);
+        self.slice = &self.slice[used..];
+        self.prev = if self.first { delta } else { self.prev + delta };
+        self.first = false;
+        Some(self.prev)
+    }
+}
+
+/// Counts `|a ∩ b|` where `b` is decoded on the fly — the merge-join used
+/// by the representation ablation to measure varint traversal overhead.
+pub fn count_merge_varint(a: &[u32], mut b: VarintIter<'_>) -> u64 {
+    let mut count = 0u64;
+    let mut i = 0usize;
+    let mut y = match b.next() {
+        Some(y) => y,
+        None => return 0,
+    };
+    while i < a.len() {
+        let x = a[i];
+        if x < y {
+            i += 1;
+        } else if y < x {
+            match b.next() {
+                Some(next) => y = next,
+                None => break,
+            }
+        } else {
+            count += 1;
+            i += 1;
+            match b.next() {
+                Some(next) => y = next,
+                None => break,
+            }
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::graph_from_edges;
+
+    #[test]
+    fn varint_codec_round_trip() {
+        let mut data = Vec::new();
+        for v in [0u32, 1, 127, 128, 300, 16_383, 16_384, u32::MAX] {
+            data.clear();
+            push_varint(&mut data, v);
+            let (back, used) = read_varint(&data);
+            assert_eq!(back, v);
+            assert_eq!(used, data.len());
+        }
+    }
+
+    #[test]
+    fn csr_round_trip() {
+        let g = lotus_graph_for_test();
+        let fwd = g.forward_graph();
+        let vc = VarintCsr::from_csr(&fwd);
+        assert_eq!(vc.num_entries(), fwd.num_entries());
+        let mut buf = Vec::new();
+        for v in 0..fwd.num_vertices() {
+            vc.decode_into(v, &mut buf);
+            assert_eq!(buf.as_slice(), fwd.neighbors(v), "vertex {v}");
+            let streamed: Vec<u32> = vc.neighbors(v).collect();
+            assert_eq!(streamed.as_slice(), fwd.neighbors(v));
+        }
+    }
+
+    #[test]
+    fn compression_shrinks_clustered_lists() {
+        // Consecutive IDs compress to ~1 byte/edge vs 4 in CSR.
+        let g = graph_from_edges((0..2000u32).flat_map(|v| {
+            (1..4u32).filter_map(move |d| (v + d < 2000).then_some((v, v + d)))
+        }));
+        let fwd = g.forward_graph();
+        let vc = VarintCsr::from_csr(&fwd);
+        assert!(
+            vc.topology_bytes() < fwd.topology_bytes(),
+            "varint {} vs csr {}",
+            vc.topology_bytes(),
+            fwd.topology_bytes()
+        );
+    }
+
+    #[test]
+    fn merge_varint_counts_correctly() {
+        let g = lotus_graph_for_test();
+        let fwd = g.forward_graph();
+        let vc = VarintCsr::from_csr(&fwd);
+        for v in 0..fwd.num_vertices() {
+            let nv = fwd.neighbors(v);
+            for &u in nv {
+                let direct = crate::csr::Csr::neighbors(&fwd, u);
+                let want = nv.iter().filter(|x| direct.contains(x)).count() as u64;
+                assert_eq!(count_merge_varint(nv, vc.neighbors(u)), want);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_lists() {
+        let g = graph_from_edges([(0, 5)]);
+        let vc = VarintCsr::from_csr(&g.forward_graph());
+        assert_eq!(vc.neighbors(0).count(), 0);
+        assert_eq!(vc.neighbors(5).count(), 1);
+    }
+
+    fn lotus_graph_for_test() -> crate::csr::UndirectedCsr {
+        graph_from_edges([
+            (0, 1),
+            (0, 2),
+            (0, 300),
+            (1, 2),
+            (1, 300),
+            (2, 3),
+            (3, 300),
+            (150, 300),
+            (150, 151),
+        ])
+    }
+}

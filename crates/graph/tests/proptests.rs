@@ -1,0 +1,140 @@
+//! Property tests for the graph substrate.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use lotus_graph::degeneracy::core_decomposition;
+use lotus_graph::varint::VarintCsr;
+use lotus_graph::{io, EdgeList, UndirectedCsr};
+
+fn graph_of(pairs: Vec<(u32, u32)>, n: u32) -> UndirectedCsr {
+    let mut el = EdgeList::from_pairs_with_vertices(pairs, n);
+    el.canonicalize();
+    UndirectedCsr::from_canonical_edges(&el)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// CSR is symmetric: u ∈ N(v) ⇔ v ∈ N(u), lists sorted and distinct.
+    #[test]
+    fn csr_is_symmetric_and_sorted(pairs in vec((0u32..50, 0u32..50), 0..200)) {
+        let g = graph_of(pairs, 50);
+        for v in 0..g.num_vertices() {
+            let ns = g.neighbors(v);
+            prop_assert!(ns.windows(2).all(|w| w[0] < w[1]), "sorted distinct");
+            for &u in ns {
+                prop_assert!(g.neighbors(u).contains(&v), "symmetry {v}-{u}");
+                prop_assert_ne!(u, v, "no self loops");
+            }
+        }
+        // Entry count is twice the edge count.
+        prop_assert_eq!(g.csr().num_entries(), 2 * g.num_edges());
+    }
+
+    /// Binary I/O round-trips arbitrary canonical edge lists.
+    #[test]
+    fn binary_io_round_trip(pairs in vec((0u32..1000, 0u32..1000), 0..300)) {
+        let mut el = EdgeList::from_pairs_with_vertices(pairs, 1000);
+        el.canonicalize();
+        let mut buf = Vec::new();
+        io::write_binary(&el, &mut buf).unwrap();
+        let back = io::read_binary(&buf[..]).unwrap();
+        prop_assert_eq!(back, el);
+    }
+
+    /// Varint CSR decodes back to the original lists and never grows a
+    /// list.
+    #[test]
+    fn varint_round_trip(pairs in vec((0u32..200, 0u32..200), 0..400)) {
+        let g = graph_of(pairs, 200);
+        let fwd = g.forward_graph();
+        let vc = VarintCsr::from_csr(&fwd);
+        let mut buf = Vec::new();
+        for v in 0..fwd.num_vertices() {
+            vc.decode_into(v, &mut buf);
+            prop_assert_eq!(buf.as_slice(), fwd.neighbors(v));
+        }
+        prop_assert_eq!(vc.num_entries(), fwd.num_entries());
+    }
+
+    /// Core numbers: every vertex's core number is at most its degree,
+    /// at least 1 when it has an edge, and the k-core property holds —
+    /// inside the sub-graph of vertices with core ≥ k, every vertex has
+    /// at least k neighbours for k = degeneracy.
+    #[test]
+    fn core_numbers_properties(pairs in vec((0u32..40, 0u32..40), 0..150)) {
+        let g = graph_of(pairs, 40);
+        let c = core_decomposition(&g);
+        for v in 0..g.num_vertices() {
+            let k = c.core_numbers[v as usize];
+            prop_assert!(k <= g.degree(v));
+            if g.degree(v) > 0 {
+                prop_assert!(k >= 1);
+            }
+        }
+        let k = c.degeneracy;
+        if k > 0 {
+            // The top core is non-empty and internally ≥ k-regular.
+            let members: Vec<u32> = (0..g.num_vertices())
+                .filter(|&v| c.core_numbers[v as usize] >= k)
+                .collect();
+            prop_assert!(!members.is_empty());
+            for &v in &members {
+                let inside = g
+                    .neighbors(v)
+                    .iter()
+                    .filter(|&&u| c.core_numbers[u as usize] >= k)
+                    .count();
+                prop_assert!(inside as u32 >= k, "vertex {v} has {inside} < {k}");
+            }
+        }
+    }
+
+    /// Edge-balanced partitions cover all entries exactly once.
+    #[test]
+    fn edge_balanced_covers(pairs in vec((0u32..60, 0u32..60), 0..200), parts in 1usize..20) {
+        let g = graph_of(pairs, 60);
+        let fwd = g.forward_graph();
+        let ranges = lotus_graph::partition::edge_balanced(&fwd, parts);
+        prop_assert_eq!(ranges.len(), parts);
+        let covered: u64 = ranges
+            .iter()
+            .map(|r| lotus_graph::partition::range_edges(&fwd, *r))
+            .sum();
+        prop_assert_eq!(covered, fwd.num_entries());
+    }
+
+    /// The parallel CSR construction matches a naive sequential build.
+    #[test]
+    fn parallel_build_matches_naive(pairs in vec((0u32..70, 0u32..70), 0..400)) {
+        let mut el = EdgeList::from_pairs_with_vertices(pairs, 70);
+        el.canonicalize();
+        let g = UndirectedCsr::from_canonical_edges(&el);
+
+        let mut naive: Vec<Vec<u32>> = vec![Vec::new(); 70];
+        for &(u, v) in el.pairs() {
+            naive[u as usize].push(v);
+            naive[v as usize].push(u);
+        }
+        for l in &mut naive {
+            l.sort_unstable();
+        }
+        for v in 0..70u32 {
+            prop_assert_eq!(g.neighbors(v), naive[v as usize].as_slice(), "vertex {}", v);
+        }
+    }
+
+    /// `lower_neighbors` and `upper_neighbors` partition each list.
+    #[test]
+    fn lower_upper_partition(pairs in vec((0u32..50, 0u32..50), 0..200)) {
+        let g = graph_of(pairs, 50);
+        for v in 0..g.num_vertices() {
+            let lower = g.lower_neighbors(v);
+            let upper = g.upper_neighbors(v);
+            prop_assert!(lower.iter().all(|&u| u < v));
+            prop_assert!(upper.iter().all(|&u| u > v));
+            prop_assert_eq!(lower.len() + upper.len(), g.neighbors(v).len());
+        }
+    }
+}

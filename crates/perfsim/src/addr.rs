@@ -1,0 +1,92 @@
+//! Synthetic address space for instrumented runs.
+//!
+//! Each array of a real implementation (CSR offsets, neighbour entries,
+//! the H2H words, …) is assigned a page-aligned region; instrumented
+//! kernels translate element indices to virtual addresses through these
+//! regions, so the cache and TLB simulators see the same layout a real
+//! execution would (contiguous streams per array, random jumps between
+//! list positions).
+
+/// A contiguous region backing one array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Region {
+    /// Base virtual address (page aligned).
+    pub base: u64,
+    /// Element size in bytes.
+    pub elem_size: u64,
+    /// Number of elements.
+    pub len: u64,
+}
+
+impl Region {
+    /// Address of element `i`.
+    #[inline(always)]
+    pub fn addr(&self, i: u64) -> u64 {
+        debug_assert!(i < self.len, "index {i} out of region of {} elements", self.len);
+        self.base + i * self.elem_size
+    }
+
+    /// Total bytes covered.
+    pub fn bytes(&self) -> u64 {
+        self.elem_size * self.len
+    }
+}
+
+/// Page-aligned bump allocator for regions.
+#[derive(Debug, Default)]
+pub struct AddressSpace {
+    next: u64,
+}
+
+const PAGE: u64 = 4096;
+/// Base of the synthetic heap (any non-zero page-aligned value works).
+const HEAP_BASE: u64 = 0x1000_0000;
+
+impl AddressSpace {
+    /// Creates an empty address space.
+    pub fn new() -> Self {
+        Self { next: HEAP_BASE }
+    }
+
+    /// Allocates a region of `len` elements of `elem_size` bytes.
+    pub fn alloc(&mut self, elem_size: u64, len: u64) -> Region {
+        let base = self.next;
+        let bytes = (elem_size * len.max(1)).div_ceil(PAGE) * PAGE;
+        self.next += bytes;
+        Region { base, elem_size, len: len.max(1) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regions_are_disjoint_and_aligned() {
+        let mut space = AddressSpace::new();
+        let a = space.alloc(8, 1000);
+        let b = space.alloc(4, 1);
+        let c = space.alloc(2, 10_000);
+        assert_eq!(a.base % PAGE, 0);
+        assert_eq!(b.base % PAGE, 0);
+        assert!(a.base + a.bytes() <= b.base);
+        assert!(b.base + 4 <= c.base);
+    }
+
+    #[test]
+    fn element_addresses() {
+        let mut space = AddressSpace::new();
+        let r = space.alloc(4, 100);
+        assert_eq!(r.addr(0), r.base);
+        assert_eq!(r.addr(10), r.base + 40);
+    }
+
+    #[test]
+    #[should_panic]
+    #[cfg(debug_assertions)]
+    fn out_of_bounds_panics_in_debug() {
+        let mut space = AddressSpace::new();
+        let r = space.alloc(4, 10);
+        let _ = r.addr(10);
+    }
+}

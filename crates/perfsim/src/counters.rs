@@ -1,0 +1,56 @@
+//! Software performance counters (the PAPI stand-in).
+
+/// Event totals accumulated by an instrumented run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PerfCounters {
+    /// Load instructions.
+    pub loads: u64,
+    /// Store instructions.
+    pub stores: u64,
+    /// Non-memory instructions (arithmetic, compares, index math).
+    pub alu_ops: u64,
+    /// Conditional branches.
+    pub branches: u64,
+}
+
+impl PerfCounters {
+    /// Memory accesses: loads + stores (paper Figure 5a).
+    pub fn memory_accesses(&self) -> u64 {
+        self.loads + self.stores
+    }
+
+    /// Total retired-instruction estimate (paper Figure 5b): every load,
+    /// store, ALU op, and branch counts as one instruction.
+    pub fn instructions(&self) -> u64 {
+        self.loads + self.stores + self.alu_ops + self.branches
+    }
+
+    /// Adds another counter set.
+    pub fn add(&mut self, other: &PerfCounters) {
+        self.loads += other.loads;
+        self.stores += other.stores;
+        self.alu_ops += other.alu_ops;
+        self.branches += other.branches;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregation() {
+        let mut a = PerfCounters { loads: 10, stores: 2, alu_ops: 5, branches: 3 };
+        let b = PerfCounters { loads: 1, stores: 1, alu_ops: 1, branches: 1 };
+        a.add(&b);
+        assert_eq!(a.memory_accesses(), 14);
+        assert_eq!(a.instructions(), 24);
+    }
+
+    #[test]
+    fn default_is_zero() {
+        let c = PerfCounters::default();
+        assert_eq!(c.instructions(), 0);
+        assert_eq!(c.memory_accesses(), 0);
+    }
+}

@@ -1,0 +1,81 @@
+//! Instrumented re-implementations of the counting kernels.
+//!
+//! Each kernel re-runs the *exact* algorithm logic while reporting every
+//! element access (with its synthetic address), index computation, and
+//! data-dependent branch to a [`crate::MachineModel`]. The returned
+//! triangle counts are asserted against the production kernels by the test
+//! suite, guaranteeing the replayed access stream belongs to the real
+//! algorithm.
+
+pub mod forward;
+pub mod hash_h2h;
+pub mod lotus;
+
+pub use forward::run_forward;
+pub use hash_h2h::{run_phase1_hash, HashH2hOutcome};
+pub use lotus::{run_lotus, LotusSimOutcome};
+
+use lotus_graph::NeighborId;
+
+use crate::addr::Region;
+use crate::machine::MachineModel;
+
+/// Instrumented merge join over two list windows inside CSR entry regions.
+///
+/// Loads each element once (on index advance, as register-carried real
+/// code does), accounts one compare ALU op and one data-dependent branch
+/// per step, and returns the intersection size.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn merge_count_sim<N: NeighborId>(
+    m: &mut MachineModel,
+    a_region: &Region,
+    a_start: u64,
+    a: &[N],
+    b_region: &Region,
+    b_start: u64,
+    b: &[N],
+    branch_site: u64,
+) -> u64 {
+    let mut i = 0usize;
+    let mut j = 0usize;
+    let mut count = 0u64;
+    if !a.is_empty() {
+        m.read(a_region.addr(a_start));
+    }
+    if !b.is_empty() {
+        m.read(b_region.addr(b_start));
+    }
+    while i < a.len() && j < b.len() {
+        let x = a[i];
+        let y = b[j];
+        m.alu(1); // the comparison
+        if x < y {
+            m.branch(branch_site, true);
+            i += 1;
+            if i < a.len() {
+                m.read(a_region.addr(a_start + i as u64));
+            }
+        } else if y < x {
+            m.branch(branch_site, false);
+            m.branch(branch_site + 1, true);
+            j += 1;
+            if j < b.len() {
+                m.read(b_region.addr(b_start + j as u64));
+            }
+        } else {
+            m.branch(branch_site, false);
+            m.branch(branch_site + 1, false);
+            count += 1;
+            m.alu(1); // counter increment
+            i += 1;
+            j += 1;
+            if i < a.len() {
+                m.read(a_region.addr(a_start + i as u64));
+            }
+            if j < b.len() {
+                m.read(b_region.addr(b_start + j as u64));
+            }
+        }
+    }
+    count
+}

@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+
+//! Software hardware-event substrate for the LOTUS reproduction.
+//!
+//! The paper measures last-level-cache misses, DTLB misses, instruction
+//! counts and branch mispredictions with PAPI hardware counters (§5.1.3,
+//! §5.3). Hardware counters are not available in this environment, so this
+//! crate simulates the same events: a set-associative LRU cache hierarchy
+//! ([`cache`]), a two-level data TLB ([`tlb`]), a 2-bit saturating-counter
+//! branch predictor ([`branch`]), and software load/store/instruction
+//! counters ([`counters`]) — all driven by *instrumented* re-implementations
+//! of the Forward and LOTUS counting kernels ([`instrumented`]) that replay
+//! their true memory-access streams against a synthetic address space
+//! ([`addr`]).
+//!
+//! Absolute event counts differ from real silicon; the paper's claims are
+//! about *ratios* between Forward and LOTUS on identical inputs, which the
+//! simulation preserves (DESIGN.md §3, substitution 2).
+
+pub mod addr;
+pub mod branch;
+pub mod cache;
+pub mod counters;
+pub mod hot_cachelines;
+pub mod instrumented;
+pub mod machine;
+pub mod reuse;
+pub mod tlb;
+
+pub use branch::BranchPredictor;
+pub use cache::Cache;
+pub use counters::PerfCounters;
+pub use hot_cachelines::CachelineHistogram;
+pub use machine::{MachineModel, SimReport};
+pub use reuse::{ReuseProfile, TraceRecorder};
+pub use tlb::Tlb;

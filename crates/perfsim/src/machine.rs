@@ -1,0 +1,179 @@
+//! The combined machine model: cache hierarchy + TLB + branch predictor +
+//! software counters, with a SkyLakeX-shaped preset matching the paper's
+//! primary evaluation machine (Table 3: 32 KB L1 / 1 MB L2 / 22 MB L3).
+
+use crate::branch::BranchPredictor;
+use crate::cache::Cache;
+use crate::counters::PerfCounters;
+use crate::tlb::Tlb;
+
+/// Simulated machine: one core's memory hierarchy.
+#[derive(Debug, Clone)]
+pub struct MachineModel {
+    /// First-level data cache.
+    pub l1: Cache,
+    /// Second-level cache.
+    pub l2: Cache,
+    /// Last-level cache.
+    pub llc: Cache,
+    /// Two-level data TLB.
+    pub tlb: Tlb,
+    /// Branch predictor.
+    pub bp: BranchPredictor,
+    /// Instruction/memory counters.
+    pub counters: PerfCounters,
+}
+
+impl MachineModel {
+    /// SkyLakeX-like single-core hierarchy (paper Table 3): 32 KB 8-way
+    /// L1, 1 MB 16-way L2, 22 MB 11-way shared L3, 64-byte lines.
+    pub fn skylakex() -> Self {
+        Self {
+            l1: Cache::new(32 * 1024, 8, 64),
+            l2: Cache::new(1024 * 1024, 16, 64),
+            llc: Cache::new(22 * 1024 * 1024, 11, 64),
+            tlb: Tlb::skylakex(),
+            bp: BranchPredictor::default_size(),
+            counters: PerfCounters::default(),
+        }
+    }
+
+    /// A deliberately small hierarchy for unit tests (4 KB / 32 KB /
+    /// 256 KB) so cache effects appear on tiny graphs.
+    pub fn tiny() -> Self {
+        Self {
+            l1: Cache::new(4 * 1024, 4, 64),
+            l2: Cache::new(32 * 1024, 8, 64),
+            llc: Cache::new(256 * 1024, 8, 64),
+            tlb: Tlb::new(16, 4, 128, 8, 4096),
+            bp: BranchPredictor::default_size(),
+            counters: PerfCounters::default(),
+        }
+    }
+
+    /// Simulates a load from `addr`.
+    #[inline]
+    pub fn read(&mut self, addr: u64) {
+        self.counters.loads += 1;
+        self.tlb.access(addr);
+        if !self.l1.access(addr) && !self.l2.access(addr) {
+            self.llc.access(addr);
+        }
+    }
+
+    /// Simulates a store to `addr`.
+    #[inline]
+    pub fn write(&mut self, addr: u64) {
+        self.counters.stores += 1;
+        self.tlb.access(addr);
+        if !self.l1.access(addr) && !self.l2.access(addr) {
+            self.llc.access(addr);
+        }
+    }
+
+    /// Accounts `n` non-memory instructions.
+    #[inline]
+    pub fn alu(&mut self, n: u64) {
+        self.counters.alu_ops += n;
+    }
+
+    /// Records a conditional branch at `site` with the given outcome.
+    #[inline]
+    pub fn branch(&mut self, site: u64, taken: bool) {
+        self.counters.branches += 1;
+        self.bp.record(site, taken);
+    }
+
+    /// Snapshot of the headline events.
+    pub fn report(&self) -> SimReport {
+        SimReport {
+            memory_accesses: self.counters.memory_accesses(),
+            instructions: self.counters.instructions(),
+            l1_misses: self.l1.misses(),
+            l2_misses: self.l2.misses(),
+            llc_misses: self.llc.misses(),
+            dtlb_misses: self.tlb.dtlb_misses(),
+            stlb_misses: self.tlb.stlb_misses(),
+            branches: self.bp.branches(),
+            branch_mispredictions: self.bp.mispredictions(),
+        }
+    }
+}
+
+/// Headline simulated events of one run (the quantities in Figures 4, 5).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimReport {
+    /// Load + store count.
+    pub memory_accesses: u64,
+    /// Retired-instruction estimate.
+    pub instructions: u64,
+    /// L1D misses.
+    pub l1_misses: u64,
+    /// L2 misses.
+    pub l2_misses: u64,
+    /// Last-level-cache misses (Figure 4a).
+    pub llc_misses: u64,
+    /// First-level DTLB misses (Figure 4b).
+    pub dtlb_misses: u64,
+    /// Second-level TLB misses.
+    pub stlb_misses: u64,
+    /// Conditional branches.
+    pub branches: u64,
+    /// Branch mispredictions (Figure 5c).
+    pub branch_mispredictions: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_walks_hierarchy() {
+        let mut m = MachineModel::tiny();
+        m.read(0x1000);
+        let r = m.report();
+        assert_eq!(r.memory_accesses, 1);
+        assert_eq!(r.l1_misses, 1);
+        assert_eq!(r.l2_misses, 1);
+        assert_eq!(r.llc_misses, 1);
+        assert_eq!(r.dtlb_misses, 1);
+
+        m.read(0x1000);
+        let r = m.report();
+        assert_eq!(r.l1_misses, 1, "second access hits L1");
+        assert_eq!(r.llc_misses, 1);
+    }
+
+    #[test]
+    fn l2_catches_l1_capacity_misses() {
+        let mut m = MachineModel::tiny();
+        // Stream 16 KB (4× L1) twice: second pass misses L1, hits L2.
+        for _ in 0..2 {
+            for i in 0..256u64 {
+                m.read(0x10_0000 + i * 64);
+            }
+        }
+        let r = m.report();
+        assert_eq!(r.llc_misses, 256, "only cold misses reach LLC");
+        assert!(r.l1_misses > 256);
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut m = MachineModel::tiny();
+        m.write(0x2000);
+        m.alu(5);
+        m.branch(1, true);
+        let r = m.report();
+        assert_eq!(r.instructions, 1 + 5 + 1);
+        assert_eq!(r.branches, 1);
+    }
+
+    #[test]
+    fn skylakex_sizes_match_table3() {
+        let m = MachineModel::skylakex();
+        assert_eq!(m.l1.size_bytes(), 32 * 1024);
+        assert_eq!(m.l2.size_bytes(), 1024 * 1024);
+        assert_eq!(m.llc.size_bytes(), 22 * 1024 * 1024);
+    }
+}

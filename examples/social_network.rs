@@ -1,0 +1,60 @@
+//! Social-network analysis: clustering coefficients and community
+//! cohesion from triangle counts.
+//!
+//! Triangle counting's flagship application (the paper's introduction
+//! cites social-capital and community-detection work): a user's local
+//! clustering coefficient measures how interconnected their friends are.
+//!
+//! ```text
+//! cargo run --release --example social_network
+//! ```
+
+use lotus::algos::counts::{average_clustering, local_clustering_coefficients, transitivity};
+use lotus::algos::forward::per_vertex_counts;
+use lotus::gen::BarabasiAlbert;
+use lotus::prelude::*;
+
+fn main() {
+    // A preferential-attachment network: early joiners become hubs, as in
+    // real social graphs.
+    let network = BarabasiAlbert::new(20_000, 8).generate(7);
+    println!(
+        "network: {} users, {} friendships",
+        network.num_vertices(),
+        network.num_edges()
+    );
+
+    // Global structure.
+    let result = LotusCounter::new(LotusConfig::auto(&network)).count(&network);
+    println!("total triangles: {}", result.total());
+    println!("transitivity:     {:.4}", transitivity(&network));
+    println!("avg clustering:   {:.4}", average_clustering(&network));
+
+    // Per-user triangle participation: who sits in the most closed triads?
+    let triangles = per_vertex_counts(&network);
+    let mut ranked: Vec<(u32, u64)> =
+        (0..network.num_vertices()).map(|v| (v, triangles[v as usize])).collect();
+    ranked.sort_unstable_by_key(|&(v, t)| (std::cmp::Reverse(t), v));
+    println!("\ntop 5 users by closed triads:");
+    for &(v, t) in ranked.iter().take(5) {
+        println!("  user {v:>6}: {t:>6} triangles, degree {}", network.degree(v));
+    }
+
+    // Clustering vs degree: hubs bridge many communities, so their own
+    // neighbourhoods are sparse — the classic c(k) ~ k^-1 decay.
+    let coeffs = local_clustering_coefficients(&network);
+    let hub = ranked[0].0;
+    let leafish = (0..network.num_vertices())
+        .filter(|&v| network.degree(v) == 8)
+        .max_by(|&a, &b| {
+            coeffs[a as usize].partial_cmp(&coeffs[b as usize]).expect("finite")
+        })
+        .expect("min-degree vertex exists");
+    println!("\nhub user {hub}: degree {}, clustering {:.4}", network.degree(hub), coeffs
+        [hub as usize]);
+    println!(
+        "tight user {leafish}: degree {}, clustering {:.4}",
+        network.degree(leafish),
+        coeffs[leafish as usize]
+    );
+}

@@ -1,0 +1,29 @@
+//! Umbrella crate for the LOTUS triangle-counting reproduction.
+//!
+//! Re-exports the workspace crates under stable module names so examples and
+//! downstream users can depend on a single crate:
+//!
+//! ```
+//! use lotus::prelude::*;
+//!
+//! let graph = lotus::gen::rmat::Rmat::new(10, 8).generate(42);
+//! let result = LotusCounter::new(LotusConfig::auto(&graph)).count(&graph);
+//! let baseline = lotus::algos::forward::forward_count(&graph);
+//! assert_eq!(result.total(), baseline);
+//! ```
+
+pub use lotus_algos as algos;
+pub use lotus_analysis as analysis;
+pub use lotus_core as core;
+pub use lotus_gen as gen;
+pub use lotus_graph as graph;
+pub use lotus_perfsim as perfsim;
+
+/// Most-used items in one import.
+pub mod prelude {
+    pub use lotus_algos::forward::forward_count;
+    pub use lotus_core::config::{HubCount, LotusConfig};
+    pub use lotus_core::count::LotusCounter;
+    pub use lotus_core::LotusGraph;
+    pub use lotus_graph::{GraphBuilder, UndirectedCsr};
+}

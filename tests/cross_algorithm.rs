@@ -1,0 +1,139 @@
+//! Cross-crate correctness: every triangle-counting implementation in the
+//! workspace must agree on every graph family.
+
+use lotus::algos::bbtc::bbtc_count;
+use lotus::algos::brute_force_count;
+use lotus::algos::edge_iterator::edge_iterator_count;
+use lotus::algos::edge_iterator_hashed::edge_iterator_hashed_count;
+use lotus::algos::forward::forward_count;
+use lotus::algos::forward_hashed::forward_hashed_count;
+use lotus::algos::gbbs::gbbs_count;
+use lotus::algos::new_vertex_listing::new_vertex_listing_count;
+use lotus::algos::node_iterator::node_iterator_count;
+use lotus::algos::node_iterator_core::node_iterator_core_count;
+use lotus::core::adaptive::{adaptive_count, AdaptiveConfig};
+use lotus::core::config::HubCount;
+use lotus::core::kclique::count_kcliques;
+use lotus::core::recursive::RecursiveLotus;
+use lotus::core::streaming::StreamingLotus;
+use lotus::prelude::*;
+use lotus_graph::UndirectedCsr as G;
+
+/// Runs every implementation and asserts one agreed count.
+fn assert_all_agree(graph: &G) -> u64 {
+    let want = forward_count(graph);
+    assert_eq!(node_iterator_count(graph), want, "node iterator");
+    assert_eq!(node_iterator_core_count(graph), want, "node iterator core");
+    assert_eq!(edge_iterator_count(graph), want, "edge iterator");
+    assert_eq!(edge_iterator_hashed_count(graph), want, "edge iterator hashed");
+    assert_eq!(forward_hashed_count(graph), want, "forward hashed");
+    assert_eq!(new_vertex_listing_count(graph), want, "new vertex listing");
+    assert_eq!(gbbs_count(graph), want, "gbbs");
+    assert_eq!(bbtc_count(graph), want, "bbtc");
+    assert_eq!(count_kcliques(graph, 3), want, "3-cliques");
+    // DOULION with p = 1 is exact.
+    assert_eq!(
+        lotus::algos::doulion::doulion_estimate(graph, 1.0, 9).rounded(),
+        want,
+        "doulion p=1"
+    );
+
+    for hubs in [0u32, 1, 7, 64, 1 << 16] {
+        let cfg = LotusConfig::default().with_hub_count(HubCount::Fixed(hubs));
+        assert_eq!(
+            LotusCounter::new(cfg).count(graph).total(),
+            want,
+            "lotus with {hubs} hubs"
+        );
+    }
+
+    let rec = RecursiveLotus::new(LotusConfig::default(), 3);
+    assert_eq!(rec.count(graph).triangles, want, "recursive lotus");
+
+    let adaptive =
+        adaptive_count(graph, &LotusConfig::default(), &AdaptiveConfig::default());
+    assert_eq!(adaptive.triangles, want, "adaptive");
+
+    want
+}
+
+#[test]
+fn rmat_social() {
+    let g = lotus::gen::Rmat::new(10, 10).generate(1);
+    let t = assert_all_agree(&g);
+    assert!(t > 0);
+}
+
+#[test]
+fn rmat_web() {
+    let g = lotus::gen::Rmat::new(10, 12)
+        .with_params(lotus::gen::RmatParams::WEB)
+        .generate(2);
+    assert_all_agree(&g);
+}
+
+#[test]
+fn barabasi_albert() {
+    let g = lotus::gen::BarabasiAlbert::new(3000, 5).generate(3);
+    assert_all_agree(&g);
+}
+
+#[test]
+fn erdos_renyi() {
+    let g = lotus::gen::ErdosRenyi::new(2000, 20_000).generate(4);
+    assert_all_agree(&g);
+}
+
+#[test]
+fn watts_strogatz() {
+    let g = lotus::gen::WattsStrogatz::new(2000, 8, 0.3).generate(5);
+    let t = assert_all_agree(&g);
+    assert!(t > 0, "ring lattices are triangle-rich");
+}
+
+#[test]
+fn small_graphs_match_brute_force() {
+    for seed in 0..5u64 {
+        let g = lotus::gen::ErdosRenyi::new(150, 1200).generate(seed);
+        let want = brute_force_count(&g);
+        assert_eq!(forward_count(&g), want, "seed {seed}");
+        assert_eq!(
+            LotusCounter::new(LotusConfig::auto(&g)).count(&g).total(),
+            want,
+            "seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn streaming_agrees_with_batch() {
+    let edges = lotus::gen::Rmat::new(10, 8).generate_edges(6);
+    let g = G::from_canonical_edges(&edges);
+    let want = forward_count(&g);
+    let mut s = StreamingLotus::from_degree_estimate(edges.num_vertices());
+    s.insert_batch(edges.pairs().iter().copied());
+    assert_eq!(s.triangles(), want);
+}
+
+#[test]
+fn dataset_suite_tiny_agrees() {
+    for d in lotus::gen::Dataset::small_suite() {
+        let d = d.at_scale(lotus::gen::DatasetScale::Tiny);
+        let g = d.generate();
+        let want = forward_count(&g);
+        let got = LotusCounter::new(LotusConfig::auto(&g)).count(&g).total();
+        assert_eq!(got, want, "dataset {}", d.name);
+    }
+}
+
+#[test]
+fn empty_and_degenerate_graphs() {
+    let empty = lotus::graph::builder::graph_from_edges(std::iter::empty());
+    assert_eq!(assert_all_agree(&empty), 0);
+
+    let single_edge = lotus::graph::builder::graph_from_edges([(0, 1)]);
+    assert_eq!(assert_all_agree(&single_edge), 0);
+
+    let triangle = lotus::graph::builder::graph_from_edges([(0, 1), (1, 2), (0, 2)]);
+    assert_eq!(assert_all_agree(&triangle), 1);
+}

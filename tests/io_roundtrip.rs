@@ -1,0 +1,40 @@
+//! Persistence round-trips: graphs written to disk load back identical
+//! and count identically.
+
+use lotus::algos::forward::forward_count;
+use lotus::graph::io;
+use lotus::prelude::*;
+use lotus_graph::UndirectedCsr;
+
+#[test]
+fn binary_roundtrip_preserves_counts() {
+    let edges = lotus::gen::Rmat::new(10, 8).generate_edges(11);
+    let g = UndirectedCsr::from_canonical_edges(&edges);
+    let want = forward_count(&g);
+
+    let dir = std::env::temp_dir().join("lotus_integration_io");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("roundtrip.lotg");
+    io::save_binary(&edges, &path).unwrap();
+
+    let loaded = io::load_binary(&path).unwrap();
+    assert_eq!(loaded, edges);
+    let g2 = UndirectedCsr::from_canonical_edges(&loaded);
+    assert_eq!(forward_count(&g2), want);
+    assert_eq!(
+        LotusCounter::new(LotusConfig::auto(&g2)).count(&g2).total(),
+        want
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn text_roundtrip_preserves_counts() {
+    let edges = lotus::gen::BarabasiAlbert::new(500, 4).generate_edges(7);
+    let mut buf = Vec::new();
+    io::write_edge_list_text(&edges, &mut buf).unwrap();
+    let loaded = io::read_edge_list_text(&buf[..]).unwrap();
+    let g1 = UndirectedCsr::from_canonical_edges(&edges);
+    let g2 = UndirectedCsr::from_canonical_edges(&loaded.canonicalized());
+    assert_eq!(forward_count(&g1), forward_count(&g2));
+}

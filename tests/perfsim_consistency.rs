@@ -1,0 +1,94 @@
+//! The instrumented (simulated) kernels must count exactly like the
+//! production kernels, and the simulated locality advantage of LOTUS must
+//! reproduce the paper's qualitative claims on the dataset suite.
+
+use lotus::algos::forward::forward_count;
+use lotus::algos::preprocess::degree_order_and_orient;
+use lotus::core::preprocess::build_lotus_graph;
+use lotus::perfsim::instrumented::{run_forward, run_lotus};
+use lotus::perfsim::MachineModel;
+use lotus::prelude::*;
+
+#[test]
+fn instrumented_kernels_agree_on_suite() {
+    for d in lotus::gen::Dataset::small_suite().into_iter().take(3) {
+        let d = d.at_scale(lotus::gen::DatasetScale::Tiny);
+        let g = d.generate();
+        let want = forward_count(&g);
+
+        let pre = degree_order_and_orient(&g);
+        let mut mf = MachineModel::tiny();
+        assert_eq!(run_forward(&pre.forward, &mut mf), want, "{} forward", d.name);
+
+        let lg = build_lotus_graph(&g, &LotusConfig::auto(&g));
+        let mut ml = MachineModel::tiny();
+        assert_eq!(run_lotus(&lg, &mut ml).triangles, want, "{} lotus", d.name);
+    }
+}
+
+#[test]
+fn lotus_reduces_llc_and_dtlb_misses() {
+    // Figure 4's qualitative claim on a skewed graph large enough to
+    // stress the tiny model hierarchy.
+    let g = lotus::gen::Rmat::new(12, 16).generate(3);
+    let pre = degree_order_and_orient(&g);
+    let mut mf = MachineModel::tiny();
+    run_forward(&pre.forward, &mut mf);
+
+    let lg = build_lotus_graph(&g, &LotusConfig::auto(&g));
+    let mut ml = MachineModel::tiny();
+    run_lotus(&lg, &mut ml);
+
+    let f = mf.report();
+    let l = ml.report();
+    assert!(
+        l.llc_misses < f.llc_misses,
+        "LLC: lotus {} vs forward {}",
+        l.llc_misses,
+        f.llc_misses
+    );
+    assert!(
+        l.dtlb_misses < f.dtlb_misses,
+        "DTLB: lotus {} vs forward {}",
+        l.dtlb_misses,
+        f.dtlb_misses
+    );
+}
+
+#[test]
+fn lotus_reduces_memory_accesses_and_instructions() {
+    // Figure 5's qualitative claim: fewer loads and fewer instructions.
+    let g = lotus::gen::Rmat::new(12, 16).generate(5);
+    let pre = degree_order_and_orient(&g);
+    let mut mf = MachineModel::tiny();
+    run_forward(&pre.forward, &mut mf);
+
+    let lg = build_lotus_graph(&g, &LotusConfig::auto(&g));
+    let mut ml = MachineModel::tiny();
+    run_lotus(&lg, &mut ml);
+
+    let f = mf.report();
+    let l = ml.report();
+    assert!(l.memory_accesses < f.memory_accesses);
+    assert!(l.instructions < f.instructions);
+}
+
+#[test]
+fn h2h_accesses_are_concentrated() {
+    // Figure 9's claim: a small fraction of H2H cachelines serves the
+    // bulk of accesses. Needs enough hubs that H2H spans many cachelines
+    // (the paper's 64K hubs give 512K lines; 2048 hubs give 4K here).
+    let g = lotus::gen::Rmat::new(12, 16).generate(7);
+    let cfg = LotusConfig::default()
+        .with_hub_count(lotus::core::config::HubCount::Fixed(2048));
+    let lg = build_lotus_graph(&g, &cfg);
+    let mut m = MachineModel::tiny();
+    let out = run_lotus(&lg, &mut m);
+    let h = out.h2h_histogram;
+    let lines_90 = h.lines_for_fraction(0.90);
+    let share = lines_90 as f64 / h.lines().max(1) as f64;
+    assert!(
+        share < 0.25,
+        "90% of accesses should hit a small minority of lines, got {share:.2}"
+    );
+}

@@ -1,0 +1,126 @@
+//! Property-based tests (proptest) over the core invariants.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use lotus::algos::forward::forward_count;
+use lotus::algos::intersect::IntersectKind;
+use lotus::core::config::HubCount;
+use lotus::core::preprocess::build_lotus_graph;
+use lotus::core::tiling::SqrtFractions;
+use lotus::prelude::*;
+use lotus_graph::{EdgeList, Relabeling, UndirectedCsr};
+
+/// Strategy: an arbitrary small multigraph as raw (u, v) pairs.
+fn raw_edges(max_v: u32, max_e: usize) -> impl Strategy<Value = Vec<(u32, u32)>> {
+    vec((0..max_v, 0..max_v), 0..max_e)
+}
+
+fn graph_of(pairs: Vec<(u32, u32)>, n: u32) -> UndirectedCsr {
+    let mut el = EdgeList::from_pairs_with_vertices(pairs, n);
+    el.canonicalize();
+    UndirectedCsr::from_canonical_edges(&el)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// LOTUS equals Forward on arbitrary graphs for arbitrary hub counts.
+    #[test]
+    fn lotus_equals_forward(pairs in raw_edges(60, 300), hubs in 0u32..70) {
+        let g = graph_of(pairs, 60);
+        let want = forward_count(&g);
+        let cfg = LotusConfig::default().with_hub_count(HubCount::Fixed(hubs));
+        prop_assert_eq!(LotusCounter::new(cfg).count(&g).total(), want);
+    }
+
+    /// The triangle count is invariant under any vertex relabeling.
+    #[test]
+    fn count_invariant_under_relabeling(pairs in raw_edges(40, 150), seed in 0u64..1000) {
+        let g = graph_of(pairs, 40);
+        // Derive a permutation from the seed by sorting keyed hashes.
+        let mut perm: Vec<u32> = (0..40).collect();
+        perm.sort_by_key(|&v| (v as u64).wrapping_mul(seed.wrapping_add(7)).wrapping_mul(0x9E3779B97F4A7C15));
+        let r = Relabeling::from_old_to_new(perm);
+        let h = r.apply(&g);
+        prop_assert_eq!(forward_count(&h), forward_count(&g));
+    }
+
+    /// Canonicalization is idempotent and produces a canonical list.
+    #[test]
+    fn canonicalize_idempotent(pairs in raw_edges(50, 200)) {
+        let mut el = EdgeList::from_pairs_with_vertices(pairs, 50);
+        el.canonicalize();
+        prop_assert!(el.is_canonical());
+        let again = el.canonicalized();
+        prop_assert_eq!(again, el);
+    }
+
+    /// The LOTUS structure always validates, and HE/NHE partition the
+    /// edge set exactly.
+    #[test]
+    fn lotus_structure_validates(pairs in raw_edges(50, 200), hubs in 0u32..60) {
+        let g = graph_of(pairs, 50);
+        let cfg = LotusConfig::default().with_hub_count(HubCount::Fixed(hubs));
+        let lg = build_lotus_graph(&g, &cfg);
+        prop_assert!(lg.validate().is_ok(), "{:?}", lg.validate());
+        prop_assert_eq!(lg.he_edges() + lg.nhe_edges(), g.num_edges());
+    }
+
+    /// All intersection kernels agree with each other on sorted inputs.
+    #[test]
+    fn intersection_kernels_agree(
+        mut a in vec(0u32..500, 0..80),
+        mut b in vec(0u32..500, 0..80),
+    ) {
+        a.sort_unstable();
+        a.dedup();
+        b.sort_unstable();
+        b.dedup();
+        let want = IntersectKind::Merge.count(&a, &b);
+        for k in IntersectKind::ALL {
+            prop_assert_eq!(k.count(&a, &b), want, "kernel {:?}", k);
+        }
+        // Symmetry.
+        prop_assert_eq!(IntersectKind::Merge.count(&b, &a), want);
+    }
+
+    /// Squared-edge-tiling boundaries always cover [0, d] monotonically,
+    /// and the tile work sums to d(d-1)/2.
+    #[test]
+    fn tiling_covers_pair_space(d in 0u32..5000, p in 1usize..64) {
+        let f = SqrtFractions::new(p);
+        let bounds = f.boundaries(d);
+        prop_assert_eq!(bounds[0], 0);
+        prop_assert_eq!(*bounds.last().unwrap(), d);
+        prop_assert!(bounds.windows(2).all(|w| w[0] <= w[1]));
+
+        let mut tiles = Vec::new();
+        f.tiles_for(0, d, &mut tiles);
+        let total: u64 = tiles.iter().map(|t| t.work()).sum();
+        prop_assert_eq!(total, d as u64 * d.saturating_sub(1) as u64 / 2);
+    }
+
+    /// Streaming insertion matches batch counting on arbitrary streams,
+    /// in arbitrary insertion order.
+    #[test]
+    fn streaming_matches_batch(pairs in raw_edges(40, 120), hubs in 0u32..40) {
+        let g = graph_of(pairs.clone(), 40);
+        let want = forward_count(&g);
+        let mut s = lotus::core::streaming::StreamingLotus::new(40, hubs);
+        s.insert_batch(pairs);
+        prop_assert_eq!(s.triangles(), want);
+    }
+
+    /// Degree-descending relabeling is always a permutation and sorts
+    /// degrees non-increasingly.
+    #[test]
+    fn degree_relabeling_is_sorted_permutation(pairs in raw_edges(50, 200)) {
+        let g = graph_of(pairs, 50);
+        let r = Relabeling::degree_descending(&g.degrees());
+        prop_assert!(r.is_permutation());
+        let h = r.apply(&g);
+        let degs: Vec<u32> = (0..h.num_vertices()).map(|v| h.degree(v)).collect();
+        prop_assert!(degs.windows(2).all(|w| w[0] >= w[1]));
+    }
+}
