@@ -74,8 +74,7 @@ impl BbtcCounter {
             let bj = (v / block_size) as usize;
             bi * blocks as usize + bj
         };
-        let mut tiles: Vec<Vec<(u32, u32)>> =
-            vec![Vec::new(); blocks as usize * blocks as usize];
+        let mut tiles: Vec<Vec<(u32, u32)>> = vec![Vec::new(); blocks as usize * blocks as usize];
         for v in 0..forward.num_vertices() {
             for &u in forward.neighbors(v) {
                 tiles[tile_of(v, u)].push((v, u));

@@ -15,7 +15,10 @@ use crate::forward::per_vertex_counts;
 /// accidental misuse in benchmarks.
 pub fn brute_force_count(graph: &UndirectedCsr) -> u64 {
     let n = graph.num_vertices();
-    assert!(n <= 2048, "brute force is O(V^3); graph too large ({n} vertices)");
+    assert!(
+        n <= 2048,
+        "brute force is O(V^3); graph too large ({n} vertices)"
+    );
     let mut count = 0u64;
     for a in 0..n {
         for b in (a + 1)..n {

@@ -57,8 +57,16 @@ pub fn edge_iterator_count_timed(
             local
         })
         .sum();
-    debug_assert_eq!(triple % 3, 0, "each triangle must be counted exactly 3 times");
-    EdgeIteratorResult { triangles: triple / 3, preprocess, count: count_start.elapsed() }
+    debug_assert_eq!(
+        triple % 3,
+        0,
+        "each triangle must be counted exactly 3 times"
+    );
+    EdgeIteratorResult {
+        triangles: triple / 3,
+        preprocess,
+        count: count_start.elapsed(),
+    }
 }
 
 /// Convenience: triangle count only.

@@ -74,7 +74,11 @@ impl ForwardCounter {
 
         let count_start = Instant::now();
         let triangles = count_oriented(&forward, self.kernel);
-        ForwardResult { triangles, preprocess, count: count_start.elapsed() }
+        ForwardResult {
+            triangles,
+            preprocess,
+            count: count_start.elapsed(),
+        }
     }
 }
 
@@ -105,8 +109,9 @@ pub fn forward_count(graph: &UndirectedCsr) -> u64 {
 pub fn per_vertex_counts(graph: &UndirectedCsr) -> Vec<u64> {
     use std::sync::atomic::{AtomicU64, Ordering};
     let forward = graph.forward_graph();
-    let counts: Vec<AtomicU64> =
-        (0..graph.num_vertices()).map(|_| AtomicU64::new(0)).collect();
+    let counts: Vec<AtomicU64> = (0..graph.num_vertices())
+        .map(|_| AtomicU64::new(0))
+        .collect();
     (0..forward.num_vertices()).into_par_iter().for_each(|v| {
         let nv = forward.neighbors(v);
         for &u in nv {
@@ -117,7 +122,10 @@ pub fn per_vertex_counts(graph: &UndirectedCsr) -> Vec<u64> {
             });
         }
     });
-    counts.into_iter().map(|a| a.into_inner()).collect()
+    counts
+        .into_iter()
+        .map(std::sync::atomic::AtomicU64::into_inner)
+        .collect()
 }
 
 #[cfg(test)]

@@ -65,7 +65,11 @@ pub fn forward_hashed_count_timed(graph: &UndirectedCsr) -> ForwardHashedResult 
 
     let count_start = Instant::now();
     let triangles = count_oriented_hashed(&pre.forward);
-    ForwardHashedResult { triangles, preprocess, count: count_start.elapsed() }
+    ForwardHashedResult {
+        triangles,
+        preprocess,
+        count: count_start.elapsed(),
+    }
 }
 
 /// Convenience: triangle count only.

@@ -45,7 +45,9 @@ pub fn count_oriented_nested(forward: &Csr<u32>) -> u64 {
             let nv = forward.neighbors(v);
             if nv.len() >= PAR_DEGREE_THRESHOLD {
                 // Inner parallel loop: hubs split their neighbour scans.
-                nv.par_iter().map(|&u| count_merge(nv, forward.neighbors(u))).sum()
+                nv.par_iter()
+                    .map(|&u| count_merge(nv, forward.neighbors(u)))
+                    .sum()
             } else {
                 let mut local = 0u64;
                 for &u in nv {
@@ -65,7 +67,11 @@ pub fn gbbs_count_timed(graph: &UndirectedCsr) -> GbbsResult {
 
     let count_start = Instant::now();
     let triangles = count_oriented_nested(&pre.forward);
-    GbbsResult { triangles, preprocess, count: count_start.elapsed() }
+    GbbsResult {
+        triangles,
+        preprocess,
+        count: count_start.elapsed(),
+    }
 }
 
 /// Convenience: triangle count only.

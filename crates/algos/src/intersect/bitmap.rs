@@ -17,7 +17,9 @@ pub struct Bitmap {
 impl Bitmap {
     /// Creates an all-zero bitmap covering `universe` vertex IDs.
     pub fn new(universe: usize) -> Self {
-        Self { words: vec![0u64; universe.div_ceil(64)] }
+        Self {
+            words: vec![0u64; universe.div_ceil(64)],
+        }
     }
 
     /// Number of representable IDs.

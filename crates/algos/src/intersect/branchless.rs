@@ -23,6 +23,13 @@ pub fn branchless_lower_bound<N: NeighborId>(hay: &[N], x: N) -> usize {
     while size > 1 {
         let half = size / 2;
         // Conditional move: advance base when the probe is still below x.
+        // SAFETY: the loop maintains `base + size <= hay.len()` — it holds
+        // on entry (`base = 0`, `size = hay.len()`) and each iteration
+        // either shrinks `size` by `half` or moves `half` from `size` to
+        // `base`, leaving the sum unchanged. With `size > 1` and
+        // `half = size / 2 >= 1`, the probe index satisfies
+        // `base + half - 1 < base + size <= hay.len()`.
+        debug_assert!(base + half - 1 < hay.len());
         let probe = unsafe { *hay.get_unchecked(base + half - 1) };
         base = if probe < x { base + half } else { base };
         size -= half;

@@ -29,7 +29,9 @@ pub struct HashSide<N> {
 impl<N: NeighborId> HashSide<N> {
     /// Creates an empty side.
     pub fn new() -> Self {
-        Self { set: FxHashSet::default() }
+        Self {
+            set: FxHashSet::default(),
+        }
     }
 
     /// Replaces the contents with `items` (reusing the allocation).

@@ -148,8 +148,10 @@ mod tests {
 
     #[test]
     fn names_are_distinct() {
-        let names: std::collections::HashSet<_> =
-            IntersectKind::ALL.iter().map(|k| k.name()).collect();
+        let names: std::collections::HashSet<_> = IntersectKind::ALL
+            .iter()
+            .map(super::IntersectKind::name)
+            .collect();
         assert_eq!(names.len(), 5);
     }
 }

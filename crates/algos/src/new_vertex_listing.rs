@@ -62,7 +62,11 @@ pub fn new_vertex_listing_timed(graph: &UndirectedCsr) -> NewVertexListingResult
         )
         .map(|(_, total)| total)
         .sum();
-    NewVertexListingResult { triangles, preprocess, count: count_start.elapsed() }
+    NewVertexListingResult {
+        triangles,
+        preprocess,
+        count: count_start.elapsed(),
+    }
 }
 
 /// Convenience: triangle count only.

@@ -109,6 +109,10 @@ mod tests {
         let g = lotus_gen::Rmat::new(10, 10).generate(72);
         let r = node_iterator_core_timed(&g);
         let max_degree = (0..g.num_vertices()).map(|v| g.degree(v)).max().unwrap();
-        assert!(r.degeneracy < max_degree / 2, "{} vs {max_degree}", r.degeneracy);
+        assert!(
+            r.degeneracy < max_degree / 2,
+            "{} vs {max_degree}",
+            r.degeneracy
+        );
     }
 }

@@ -29,7 +29,12 @@ pub fn degree_order_and_orient(graph: &UndirectedCsr) -> Preprocessed {
     let relabeling = Relabeling::degree_descending(&graph.degrees());
     let relabeled = relabeling.apply(graph);
     let forward = relabeled.forward_graph();
-    Preprocessed { graph: relabeled, forward, relabeling, elapsed: start.elapsed() }
+    Preprocessed {
+        graph: relabeled,
+        forward,
+        relabeling,
+        elapsed: start.elapsed(),
+    }
 }
 
 /// Orients an already-ordered graph without relabeling (identity ordering).
@@ -37,7 +42,12 @@ pub fn orient_only(graph: &UndirectedCsr) -> Preprocessed {
     let start = Instant::now();
     let relabeling = Relabeling::identity(graph.num_vertices());
     let forward = graph.forward_graph();
-    Preprocessed { graph: graph.clone(), forward, relabeling, elapsed: start.elapsed() }
+    Preprocessed {
+        graph: graph.clone(),
+        forward,
+        relabeling,
+        elapsed: start.elapsed(),
+    }
 }
 
 #[cfg(test)]

@@ -127,7 +127,10 @@ mod tests {
         let forward = g.forward_graph();
         let f = measure_fruitless(&g, &forward, 1);
         assert!(f.accesses > 0);
-        assert!(f.hub_accesses > 0, "vertex 4 loads N<(3) / N<(4) containing 2 → 0? {f:?}");
+        assert!(
+            f.hub_accesses > 0,
+            "vertex 4 loads N<(3) / N<(4) containing 2 → 0? {f:?}"
+        );
     }
 
     #[test]

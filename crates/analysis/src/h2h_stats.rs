@@ -54,6 +54,10 @@ mod tests {
         let cfg = LotusConfig::default().with_hub_count(HubCount::Fixed(2048));
         let s = h2h_stats(&build_lotus_graph(&g, &cfg));
         assert!(s.density < 0.01, "density {}", s.density);
-        assert!(s.zero_cachelines > 0.3, "zero cachelines {}", s.zero_cachelines);
+        assert!(
+            s.zero_cachelines > 0.3,
+            "zero cachelines {}",
+            s.zero_cachelines
+        );
     }
 }

@@ -43,8 +43,9 @@ impl HubStats {
 /// vertices by degree (the paper uses 0.01).
 pub fn hub_stats(graph: &UndirectedCsr, hub_fraction: f64) -> HubStats {
     let n = graph.num_vertices();
-    let hub_count =
-        (((n as f64) * hub_fraction).ceil() as u32).clamp(1, n.max(1)).min(1 << 16);
+    let hub_count = (((n as f64) * hub_fraction).ceil() as u32)
+        .clamp(1, n.max(1))
+        .min(1 << 16);
     hub_stats_with_count(graph, hub_count)
 }
 
@@ -104,17 +105,29 @@ mod tests {
             .with_params(lotus_gen::RmatParams::WEB)
             .generate(7);
         let s = hub_stats(&g, 0.01);
-        assert!(s.hub_edges_total() > 0.5, "hub edges {}", s.hub_edges_total());
+        assert!(
+            s.hub_edges_total() > 0.5,
+            "hub edges {}",
+            s.hub_edges_total()
+        );
         assert!(s.hub_triangles > 0.85, "hub triangles {}", s.hub_triangles);
         assert!(s.relative_density > 100.0, "RD {}", s.relative_density);
-        assert!(s.fruitless > 0.3 && s.fruitless < 0.9, "fruitless {}", s.fruitless);
+        assert!(
+            s.fruitless > 0.3 && s.fruitless < 0.9,
+            "fruitless {}",
+            s.fruitless
+        );
     }
 
     #[test]
     fn uniform_graph_has_weak_hubs() {
         let g = lotus_gen::ErdosRenyi::new(4096, 40_000).generate(5);
         let s = hub_stats(&g, 0.01);
-        assert!(s.hub_edges_total() < 0.2, "ER hubs carry few edges: {}", s.hub_edges_total());
+        assert!(
+            s.hub_edges_total() < 0.2,
+            "ER hubs carry few edges: {}",
+            s.hub_edges_total()
+        );
     }
 
     #[test]

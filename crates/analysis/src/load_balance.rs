@@ -70,7 +70,10 @@ pub fn schedule_idle(costs: &[u64], workers: usize) -> f64 {
 /// comparison policy), whose phase-1 pair work is then list-scheduled.
 pub fn edge_balanced_idle(lg: &LotusGraph, workers: usize) -> IdleTimes {
     let ranges = edge_balanced(&lg.he, 256 * workers);
-    let costs: Vec<u64> = ranges.iter().map(|r| range_pair_work(lg, r.start, r.end)).collect();
+    let costs: Vec<u64> = ranges
+        .iter()
+        .map(|r| range_pair_work(lg, r.start, r.end))
+        .collect();
     IdleTimes {
         average_idle: schedule_idle(&costs, workers),
         tasks: costs.len(),
@@ -92,23 +95,19 @@ pub fn squared_tiling_idle(lg: &LotusGraph, workers: usize, threshold: u32) -> I
 
 /// Real threaded execution of phase-1 tiles over a shared queue, timing
 /// each worker's busy interval. Returns `(idle, hhh_hhn_found)`.
-pub fn measure_idle_threaded(
-    lg: &LotusGraph,
-    workers: usize,
-    threshold: u32,
-) -> (IdleTimes, u64) {
+pub fn measure_idle_threaded(lg: &LotusGraph, workers: usize, threshold: u32) -> (IdleTimes, u64) {
     let tiles = make_tiles(&lg.he, threshold, 2 * workers);
     let next = AtomicUsize::new(0);
     let found = AtomicU64::new(0);
     let busy_ns: Vec<AtomicU64> = (0..workers).map(|_| AtomicU64::new(0)).collect();
 
     let wall = Instant::now();
-    crossbeam::scope(|s| {
+    std::thread::scope(|s| {
         for busy in &busy_ns {
             let next = &next;
             let found = &found;
             let tiles = &tiles;
-            s.spawn(move |_| {
+            s.spawn(move || {
                 let mut local = 0u64;
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
@@ -123,8 +122,7 @@ pub fn measure_idle_threaded(
                 found.fetch_add(local, Ordering::Relaxed);
             });
         }
-    })
-    .expect("worker panicked");
+    });
     let makespan = wall.elapsed().as_nanos() as f64;
 
     let idle = if makespan == 0.0 {
@@ -137,7 +135,11 @@ pub fn measure_idle_threaded(
             / workers as f64
     };
     (
-        IdleTimes { average_idle: idle, tasks: tiles.len(), workers },
+        IdleTimes {
+            average_idle: idle,
+            tasks: tiles.len(),
+            workers,
+        },
         found.into_inner(),
     )
 }
@@ -184,7 +186,11 @@ mod tests {
             set.average_idle,
             eb.average_idle
         );
-        assert!(set.average_idle < 0.10, "tiling idle {:.3}", set.average_idle);
+        assert!(
+            set.average_idle < 0.10,
+            "tiling idle {:.3}",
+            set.average_idle
+        );
     }
 
     #[test]

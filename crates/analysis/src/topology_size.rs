@@ -38,7 +38,11 @@ pub fn topology_sizes(graph: &UndirectedCsr, lg: &LotusGraph) -> TopologySizes {
     let e = graph.num_edges();
     let csx_edges = 4 * e;
     let csx = 8 * (v + 1) + csx_edges;
-    TopologySizes { csx_edges, csx, lotus: lg.topology_bytes() }
+    TopologySizes {
+        csx_edges,
+        csx,
+        lotus: lg.topology_bytes(),
+    }
 }
 
 #[cfg(test)]
@@ -85,7 +89,11 @@ mod tests {
 
     #[test]
     fn growth_percent_of_zero_graph() {
-        let t = TopologySizes { csx_edges: 0, csx: 0, lotus: 0 };
+        let t = TopologySizes {
+            csx_edges: 0,
+            csx: 0,
+            lotus: 0,
+        };
         assert_eq!(t.growth_percent(), 0.0);
     }
 }

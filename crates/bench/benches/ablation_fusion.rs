@@ -13,7 +13,9 @@ use lotus_core::preprocess::build_lotus_graph;
 use lotus_gen::{Dataset, DatasetScale};
 
 fn bench_fusion(c: &mut Criterion) {
-    let dataset = Dataset::by_name("SK").expect("known").at_scale(DatasetScale::Tiny);
+    let dataset = Dataset::by_name("SK")
+        .expect("known")
+        .at_scale(DatasetScale::Tiny);
     let graph = dataset.generate();
     let lg = build_lotus_graph(&graph, &LotusConfig::default());
 
@@ -24,7 +26,7 @@ fn bench_fusion(c: &mut Criterion) {
     for (label, fuse) in [("split", false), ("fused", true)] {
         let counter = LotusCounter::new(LotusConfig::default().with_fused_phases(fuse));
         group.bench_function(label, |b| {
-            b.iter(|| black_box(counter.count_prepared(&lg).total()))
+            b.iter(|| black_box(counter.count_prepared(&lg).total()));
         });
     }
     group.finish();

@@ -14,7 +14,9 @@ use lotus_core::preprocess::build_lotus_graph;
 use lotus_gen::{Dataset, DatasetScale};
 
 fn bench_hub_count(c: &mut Criterion) {
-    let dataset = Dataset::by_name("Twtr").expect("known").at_scale(DatasetScale::Tiny);
+    let dataset = Dataset::by_name("Twtr")
+        .expect("known")
+        .at_scale(DatasetScale::Tiny);
     let graph = dataset.generate();
     let n = graph.num_vertices();
 
@@ -27,7 +29,7 @@ fn bench_hub_count(c: &mut Criterion) {
         let lg = build_lotus_graph(&graph, &config);
         let counter = LotusCounter::new(config);
         group.bench_with_input(BenchmarkId::from_parameter(hubs), &lg, |b, lg| {
-            b.iter(|| black_box(counter.count_prepared(lg).total()))
+            b.iter(|| black_box(counter.count_prepared(lg).total()));
         });
     }
     group.finish();

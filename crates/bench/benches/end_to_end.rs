@@ -25,11 +25,13 @@ fn bench_end_to_end(c: &mut Criterion) {
     group.warm_up_time(Duration::from_millis(500));
     group.sample_size(10);
     for name in ["LJGrp", "Twtr", "SK"] {
-        let dataset = Dataset::by_name(name).expect("known dataset").at_scale(bench_scale());
+        let dataset = Dataset::by_name(name)
+            .expect("known dataset")
+            .at_scale(bench_scale());
         let graph = dataset.generate();
         for alg in Algorithm::ALL {
             group.bench_with_input(BenchmarkId::new(alg.name(), name), &graph, |b, g| {
-                b.iter(|| black_box(run_algorithm(alg, g).triangles))
+                b.iter(|| black_box(run_algorithm(alg, g).triangles));
             });
         }
     }

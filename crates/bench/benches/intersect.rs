@@ -28,9 +28,21 @@ fn sorted_list(seed: u64, len: usize, universe: u32) -> Vec<u32> {
 fn bench_intersect(c: &mut Criterion) {
     let universe = 1 << 20;
     let cases = [
-        ("similar_1k_1k", sorted_list(1, 1000, universe), sorted_list(2, 1000, universe)),
-        ("skewed_32_8k", sorted_list(3, 32, universe), sorted_list(4, 8192, universe)),
-        ("short_16_16", sorted_list(5, 16, universe), sorted_list(6, 16, universe)),
+        (
+            "similar_1k_1k",
+            sorted_list(1, 1000, universe),
+            sorted_list(2, 1000, universe),
+        ),
+        (
+            "skewed_32_8k",
+            sorted_list(3, 32, universe),
+            sorted_list(4, 8192, universe),
+        ),
+        (
+            "short_16_16",
+            sorted_list(5, 16, universe),
+            sorted_list(6, 16, universe),
+        ),
     ];
 
     let mut group = c.benchmark_group("intersect");
@@ -39,12 +51,12 @@ fn bench_intersect(c: &mut Criterion) {
     for (case, a, b) in &cases {
         for k in IntersectKind::ALL {
             group.bench_with_input(BenchmarkId::new(k.name(), case), &(a, b), |bch, (a, b)| {
-                bch.iter(|| black_box(k.count(a, b)))
+                bch.iter(|| black_box(k.count(a, b)));
             });
         }
         group.bench_with_input(BenchmarkId::new("bitmap", case), &(a, b), |bch, (a, b)| {
             let mut bm = Bitmap::new(universe as usize);
-            bch.iter(|| black_box(bm.count(a, b)))
+            bch.iter(|| black_box(bm.count(a, b)));
         });
     }
     group.finish();

@@ -14,20 +14,28 @@ use lotus_core::LotusConfig;
 use lotus_gen::{Dataset, DatasetScale};
 
 fn bench_phases(c: &mut Criterion) {
-    let dataset = Dataset::by_name("Twtr").expect("known").at_scale(DatasetScale::Tiny);
+    let dataset = Dataset::by_name("Twtr")
+        .expect("known")
+        .at_scale(DatasetScale::Tiny);
     let graph = dataset.generate();
     let config = LotusConfig::default();
     let lg = build_lotus_graph(&graph, &config);
-    let tiles = make_tiles(&lg.he, config.tiling_threshold, config.partitions_per_vertex);
+    let tiles = make_tiles(
+        &lg.he,
+        config.tiling_threshold,
+        config.partitions_per_vertex,
+    );
 
     let mut group = c.benchmark_group("phases");
     group.measurement_time(Duration::from_secs(2));
     group.warm_up_time(Duration::from_millis(500));
     group.sample_size(20);
     group.bench_function("preprocess", |b| {
-        b.iter(|| black_box(build_lotus_graph(&graph, &config).he_edges()))
+        b.iter(|| black_box(build_lotus_graph(&graph, &config).he_edges()));
     });
-    group.bench_function("hhh_hhn", |b| b.iter(|| black_box(count_hub_phase(&lg, &tiles))));
+    group.bench_function("hhh_hhn", |b| {
+        b.iter(|| black_box(count_hub_phase(&lg, &tiles)))
+    });
     group.bench_function("hnn", |b| b.iter(|| black_box(count_hnn_phase(&lg))));
     group.bench_function("nnn", |b| b.iter(|| black_box(count_nnn_phase(&lg))));
     group.finish();

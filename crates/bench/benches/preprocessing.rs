@@ -14,7 +14,9 @@ use lotus_core::LotusConfig;
 use lotus_gen::{Dataset, DatasetScale};
 
 fn bench_preprocessing(c: &mut Criterion) {
-    let dataset = Dataset::by_name("Twtr").expect("known").at_scale(DatasetScale::Tiny);
+    let dataset = Dataset::by_name("Twtr")
+        .expect("known")
+        .at_scale(DatasetScale::Tiny);
     let graph = dataset.generate();
     let config = LotusConfig::default();
 
@@ -23,10 +25,10 @@ fn bench_preprocessing(c: &mut Criterion) {
     group.warm_up_time(Duration::from_millis(500));
     group.sample_size(20);
     group.bench_function("lotus_build", |b| {
-        b.iter(|| black_box(build_lotus_graph(&graph, &config).he_edges()))
+        b.iter(|| black_box(build_lotus_graph(&graph, &config).he_edges()));
     });
     group.bench_function("degree_order_orient", |b| {
-        b.iter(|| black_box(degree_order_and_orient(&graph).forward.num_entries()))
+        b.iter(|| black_box(degree_order_and_orient(&graph).forward.num_entries()));
     });
     group.finish();
 }

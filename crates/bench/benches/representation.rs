@@ -16,7 +16,9 @@ use lotus_gen::{Dataset, DatasetScale};
 use lotus_graph::varint::{count_merge_varint, VarintCsr};
 
 fn bench_representation(c: &mut Criterion) {
-    let dataset = Dataset::by_name("SK").expect("known").at_scale(DatasetScale::Tiny);
+    let dataset = Dataset::by_name("SK")
+        .expect("known")
+        .at_scale(DatasetScale::Tiny);
     let graph = dataset.generate();
     let pre = degree_order_and_orient(&graph);
     let forward = &pre.forward;
@@ -29,8 +31,11 @@ fn bench_representation(c: &mut Criterion) {
     group.sample_size(15);
     group.bench_function("csx_u32_merge", |b| {
         b.iter(|| {
-            black_box(lotus_algos::forward::count_oriented(forward, IntersectKind::Merge))
-        })
+            black_box(lotus_algos::forward::count_oriented(
+                forward,
+                IntersectKind::Merge,
+            ))
+        });
     });
     group.bench_function("varint_merge", |b| {
         b.iter(|| {
@@ -43,7 +48,7 @@ fn bench_representation(c: &mut Criterion) {
                 })
                 .sum();
             black_box(total)
-        })
+        });
     });
     group.bench_function("lotus_he_u16_merge", |b| {
         // The HE sub-graph's 16-bit lists, merged pairwise as HNN does.
@@ -58,7 +63,7 @@ fn bench_representation(c: &mut Criterion) {
                 })
                 .sum();
             black_box(total)
-        })
+        });
     });
     group.finish();
 }

@@ -15,7 +15,9 @@ use lotus_graph::partition::edge_balanced;
 use rayon::prelude::*;
 
 fn bench_tiling(c: &mut Criterion) {
-    let dataset = Dataset::by_name("Twtr10").expect("known").at_scale(DatasetScale::Tiny);
+    let dataset = Dataset::by_name("Twtr10")
+        .expect("known")
+        .at_scale(DatasetScale::Tiny);
     let graph = dataset.generate();
     let config = LotusConfig::default();
     let lg = build_lotus_graph(&graph, &config);
@@ -29,10 +31,10 @@ fn bench_tiling(c: &mut Criterion) {
     group.warm_up_time(Duration::from_millis(500));
     group.sample_size(20);
     group.bench_function("squared_edge_tiling", |b| {
-        b.iter(|| black_box(count_hub_phase(&lg, &tiles_set)))
+        b.iter(|| black_box(count_hub_phase(&lg, &tiles_set)));
     });
     group.bench_function("whole_vertex_tasks", |b| {
-        b.iter(|| black_box(count_hub_phase(&lg, &tiles_whole)))
+        b.iter(|| black_box(count_hub_phase(&lg, &tiles_whole)));
     });
     group.bench_function("edge_balanced_ranges", |b| {
         let ranges = edge_balanced(&lg.he, 256 * rayon::current_num_threads());
@@ -43,14 +45,18 @@ fn bench_tiling(c: &mut Criterion) {
                     let mut local = 0u64;
                     for v in r.iter() {
                         let he = lg.hub_neighbors(v);
-                        let t = Tile { v, begin: 0, end: he.len() as u32 };
+                        let t = Tile {
+                            v,
+                            begin: 0,
+                            end: he.len() as u32,
+                        };
                         local += count_single_tile(&lg.h2h, he, &t);
                     }
                     local
                 })
                 .sum();
             black_box(total)
-        })
+        });
     });
     group.finish();
 }

@@ -18,10 +18,17 @@ use lotus_perfsim::instrumented::lotus::record_h2h_trace;
 
 fn main() {
     // Trace recording costs 8 bytes per hub-pair probe: stay at Tiny.
-    let mut t = Table::new(
-        "H2H reuse-distance analysis: LRU miss ratio vs cache capacity (Tiny scale)",
-    )
-    .headers(&["Dataset", "Probes", "H2H-Lines", "Miss@1%", "Miss@5%", "Miss@25%", "Lines@99%"]);
+    let mut t =
+        Table::new("H2H reuse-distance analysis: LRU miss ratio vs cache capacity (Tiny scale)")
+            .headers(&[
+                "Dataset",
+                "Probes",
+                "H2H-Lines",
+                "Miss@1%",
+                "Miss@5%",
+                "Miss@25%",
+                "Lines@99%",
+            ]);
     for d in lotus_bench::harness::small_suite(DatasetScale::Tiny) {
         let g = d.generate();
         let lg = build_lotus_graph(&g, &LotusConfig::paper());
@@ -29,7 +36,10 @@ fn main() {
         let profile = trace.profile();
         let total_lines = lg.h2h.size_bytes().div_ceil(64).max(1) as usize;
         let miss = |frac: f64| {
-            format!("{:.4}", profile.miss_ratio_at(((total_lines as f64) * frac) as usize))
+            format!(
+                "{:.4}",
+                profile.miss_ratio_at(((total_lines as f64) * frac) as usize)
+            )
         };
         t.row(vec![
             d.name.into(),

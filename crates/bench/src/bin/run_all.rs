@@ -28,20 +28,47 @@ fn main() {
     type Section = (&'static str, Box<dyn Fn() -> String>);
     let sections: Vec<Section> = vec![
         ("Table 4", Box::new(move || reports::table4_datasets(scale))),
-        ("Table 1", Box::new(move || reports::table1_hub_stats(scale))),
+        (
+            "Table 1",
+            Box::new(move || reports::table1_hub_stats(scale)),
+        ),
         ("Table 5", Box::new(move || reports::table5_endtoend(scale))),
         ("Table 6", Box::new(move || reports::table6_large(scale))),
         ("Figure 1", Box::new(move || reports::fig1_tc_rates(scale))),
-        ("Figure 4", Box::new(move || reports::fig4_locality(sim_scale))),
-        ("Figure 5", Box::new(move || reports::fig5_hw_events(sim_scale))),
+        (
+            "Figure 4",
+            Box::new(move || reports::fig4_locality(sim_scale)),
+        ),
+        (
+            "Figure 5",
+            Box::new(move || reports::fig5_hw_events(sim_scale)),
+        ),
         ("Figure 6", Box::new(move || reports::fig6_breakdown(scale))),
-        ("Figure 7", Box::new(move || reports::fig7_triangle_types(scale))),
-        ("Figure 8", Box::new(move || reports::fig8_edge_split(scale))),
-        ("Table 7", Box::new(move || reports::table7_topology_size(scale))),
+        (
+            "Figure 7",
+            Box::new(move || reports::fig7_triangle_types(scale)),
+        ),
+        (
+            "Figure 8",
+            Box::new(move || reports::fig8_edge_split(scale)),
+        ),
+        (
+            "Table 7",
+            Box::new(move || reports::table7_topology_size(scale)),
+        ),
         ("Table 8", Box::new(move || reports::table8_h2h(scale))),
-        ("Figure 9", Box::new(move || reports::fig9_h2h_locality(sim_scale))),
-        ("Table 9", Box::new(move || reports::table9_tiling(scale, workers))),
-        ("Ablations", Box::new(move || reports::ablation_report(scale))),
+        (
+            "Figure 9",
+            Box::new(move || reports::fig9_h2h_locality(sim_scale)),
+        ),
+        (
+            "Table 9",
+            Box::new(move || reports::table9_tiling(scale, workers)),
+        ),
+        (
+            "Ablations",
+            Box::new(move || reports::ablation_report(scale)),
+        ),
     ];
 
     for (name, run) in sections {

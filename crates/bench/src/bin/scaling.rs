@@ -23,11 +23,12 @@ fn main() {
     let mut headers: Vec<String> = vec!["Dataset".into()];
     headers.extend(threads.iter().map(|t| format!("{t}thr")));
     let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
-    let mut t = Table::new("Thread scaling: Lotus counting time (seconds)")
-        .headers(&header_refs);
+    let mut t = Table::new("Thread scaling: Lotus counting time (seconds)").headers(&header_refs);
 
     for name in ["Twtr", "SK", "UKDls"] {
-        let dataset = Dataset::by_name(name).expect("known dataset").at_scale(scale);
+        let dataset = Dataset::by_name(name)
+            .expect("known dataset")
+            .at_scale(scale);
         let graph = dataset.generate();
         let lg = build_lotus_graph(&graph, &LotusConfig::default());
         let mut cells = vec![name.to_string()];
@@ -46,7 +47,7 @@ fn main() {
     }
     t.footnote(format!(
         "Host exposes {} hardware thread(s); speedups require a multi-core host",
-        std::thread::available_parallelism().map_or(1, |n| n.get())
+        std::thread::available_parallelism().map_or(1, std::num::NonZero::get)
     ));
     println!("{}", t.render());
 }

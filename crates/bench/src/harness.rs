@@ -67,23 +67,38 @@ pub fn run_algorithm(alg: Algorithm, graph: &UndirectedCsr) -> RunOutcome {
     match alg {
         Algorithm::Bbtc => {
             let r = BbtcCounter::default().count(graph);
-            RunOutcome { triangles: r.triangles, elapsed: r.total_time() }
+            RunOutcome {
+                triangles: r.triangles,
+                elapsed: r.total_time(),
+            }
         }
         Algorithm::GraphGrind => {
             let r = edge_iterator_count_timed(graph, IntersectKind::Merge);
-            RunOutcome { triangles: r.triangles, elapsed: r.total_time() }
+            RunOutcome {
+                triangles: r.triangles,
+                elapsed: r.total_time(),
+            }
         }
         Algorithm::Gap => {
             let r = ForwardCounter::new().count(graph);
-            RunOutcome { triangles: r.triangles, elapsed: r.total_time() }
+            RunOutcome {
+                triangles: r.triangles,
+                elapsed: r.total_time(),
+            }
         }
         Algorithm::Gbbs => {
             let r = gbbs_count_timed(graph);
-            RunOutcome { triangles: r.triangles, elapsed: r.total_time() }
+            RunOutcome {
+                triangles: r.triangles,
+                elapsed: r.total_time(),
+            }
         }
         Algorithm::Lotus => {
             let r = LotusCounter::new(LotusConfig::default()).count(graph);
-            RunOutcome { triangles: r.total(), elapsed: r.breakdown.total() }
+            RunOutcome {
+                triangles: r.total(),
+                elapsed: r.breakdown.total(),
+            }
         }
     }
 }
@@ -128,12 +143,22 @@ pub fn filter_datasets(mut datasets: Vec<Dataset>) -> Vec<Dataset> {
 
 /// The Table 5 datasets at the requested scale, filtered by env.
 pub fn small_suite(scale: DatasetScale) -> Vec<Dataset> {
-    filter_datasets(Dataset::small_suite().into_iter().map(|d| d.at_scale(scale)).collect())
+    filter_datasets(
+        Dataset::small_suite()
+            .into_iter()
+            .map(|d| d.at_scale(scale))
+            .collect(),
+    )
 }
 
 /// The Table 6 datasets at the requested scale, filtered by env.
 pub fn large_suite(scale: DatasetScale) -> Vec<Dataset> {
-    filter_datasets(Dataset::large_suite().into_iter().map(|d| d.at_scale(scale)).collect())
+    filter_datasets(
+        Dataset::large_suite()
+            .into_iter()
+            .map(|d| d.at_scale(scale))
+            .collect(),
+    )
 }
 
 #[cfg(test)]
@@ -144,8 +169,10 @@ mod tests {
     #[test]
     fn all_algorithms_agree_end_to_end() {
         let g = Rmat::new(9, 8).generate(77);
-        let outcomes: Vec<RunOutcome> =
-            Algorithm::ALL.iter().map(|&a| run_algorithm(a, &g)).collect();
+        let outcomes: Vec<RunOutcome> = Algorithm::ALL
+            .iter()
+            .map(|&a| run_algorithm(a, &g))
+            .collect();
         for w in outcomes.windows(2) {
             assert_eq!(w[0].triangles, w[1].triangles);
         }
@@ -155,7 +182,7 @@ mod tests {
     #[test]
     fn names_are_unique() {
         let names: std::collections::HashSet<_> =
-            Algorithm::ALL.iter().map(|a| a.name()).collect();
+            Algorithm::ALL.iter().map(super::Algorithm::name).collect();
         assert_eq!(names.len(), 5);
     }
 

@@ -18,7 +18,9 @@ use crate::table::{secs, Table};
 /// Representative dataset for the ablations (Twtr is the paper's go-to
 /// medium social network).
 fn ablation_dataset(scale: DatasetScale) -> Dataset {
-    Dataset::by_name("Twtr").expect("Twtr exists").at_scale(scale)
+    Dataset::by_name("Twtr")
+        .expect("Twtr exists")
+        .at_scale(scale)
 }
 
 /// Runs all three ablations and renders one combined report.
@@ -28,18 +30,28 @@ pub fn ablation_report(scale: DatasetScale) -> String {
     let mut out = String::new();
 
     // 1. Intersection kernels in the Forward baseline.
-    let mut t = Table::new(format!("Ablation A: intersection kernel (Forward, {})", d.name))
-        .headers(&["Kernel", "CountTime", "Triangles"]);
+    let mut t = Table::new(format!(
+        "Ablation A: intersection kernel (Forward, {})",
+        d.name
+    ))
+    .headers(&["Kernel", "CountTime", "Triangles"]);
     for k in IntersectKind::ALL {
         let r = ForwardCounter::new().with_kernel(k).count(&g);
-        t.row(vec![k.name().into(), secs(r.count), r.triangles.to_string()]);
+        t.row(vec![
+            k.name().into(),
+            secs(r.count),
+            r.triangles.to_string(),
+        ]);
     }
     out.push_str(&t.render());
     out.push('\n');
 
     // 2. Fused vs split HNN+NNN (the paper argues for split, §4.5).
-    let mut t = Table::new(format!("Ablation B: HNN+NNN loop fusion (Lotus, {})", d.name))
-        .headers(&["Variant", "CountTime", "Triangles"]);
+    let mut t = Table::new(format!(
+        "Ablation B: HNN+NNN loop fusion (Lotus, {})",
+        d.name
+    ))
+    .headers(&["Variant", "CountTime", "Triangles"]);
     for (label, fuse) in [("split (paper)", false), ("fused", true)] {
         let cfg = LotusConfig::default().with_fused_phases(fuse);
         let lg = lotus_core::preprocess::build_lotus_graph(&g, &cfg);
@@ -69,13 +81,24 @@ pub fn ablation_report(scale: DatasetScale) -> String {
     out.push('\n');
 
     // 4. The §6.1 algorithm family, end-to-end.
-    let mut t = Table::new(format!("Ablation D: TC algorithm family, §6.1 ({})", d.name))
-        .headers(&["Algorithm", "EndToEnd", "Triangles"]);
+    let mut t = Table::new(format!(
+        "Ablation D: TC algorithm family, §6.1 ({})",
+        d.name
+    ))
+    .headers(&["Algorithm", "EndToEnd", "Triangles"]);
     {
         let r = ForwardCounter::new().count(&g);
-        t.row(vec!["forward".into(), secs(r.total_time()), r.triangles.to_string()]);
+        t.row(vec![
+            "forward".into(),
+            secs(r.total_time()),
+            r.triangles.to_string(),
+        ]);
         let r = lotus_algos::forward_hashed::forward_hashed_count_timed(&g);
-        t.row(vec!["forward-hashed".into(), secs(r.total_time()), r.triangles.to_string()]);
+        t.row(vec![
+            "forward-hashed".into(),
+            secs(r.total_time()),
+            r.triangles.to_string(),
+        ]);
         let r = lotus_algos::edge_iterator_hashed::edge_iterator_hashed_timed(&g);
         t.row(vec![
             "edge-iterator-hashed".into(),
@@ -96,7 +119,11 @@ pub fn ablation_report(scale: DatasetScale) -> String {
         ]);
         let start = Instant::now();
         let lotus = LotusCounter::default().count(&g);
-        t.row(vec!["lotus".into(), secs(start.elapsed()), lotus.total().to_string()]);
+        t.row(vec![
+            "lotus".into(),
+            secs(start.elapsed()),
+            lotus.total().to_string(),
+        ]);
     }
     out.push_str(&t.render());
     out.push('\n');
@@ -120,24 +147,38 @@ pub fn ablation_report(scale: DatasetScale) -> String {
     out.push('\n');
 
     // 6. HNN blocking (§7): block size sweep.
-    let mut t = Table::new(format!("Ablation F: blocked HNN, §7 ({})", d.name))
-        .headers(&["BlockBits", "Time", "HNN"]);
+    let mut t = Table::new(format!("Ablation F: blocked HNN, §7 ({})", d.name)).headers(&[
+        "BlockBits",
+        "Time",
+        "HNN",
+    ]);
     let lg = lotus_core::preprocess::build_lotus_graph(&g, &LotusConfig::default());
     let start = Instant::now();
     let plain = lotus_core::count::count_hnn_phase(&lg);
-    t.row(vec!["unblocked".into(), secs(start.elapsed()), plain.to_string()]);
+    t.row(vec![
+        "unblocked".into(),
+        secs(start.elapsed()),
+        plain.to_string(),
+    ]);
     for bits in [10u32, 13, 16] {
         let start = Instant::now();
         let hnn = lotus_core::blocking::count_hnn_blocked(&lg, bits);
         assert_eq!(hnn, plain, "blocked HNN must match");
-        t.row(vec![bits.to_string(), secs(start.elapsed()), hnn.to_string()]);
+        t.row(vec![
+            bits.to_string(),
+            secs(start.elapsed()),
+            hnn.to_string(),
+        ]);
     }
     out.push_str(&t.render());
     out.push('\n');
 
     // 7. Representation: CSX vs delta-varint vs LOTUS (§3.2).
-    let mut t = Table::new(format!("Ablation G: topology representation, §3.2 ({})", d.name))
-        .headers(&["Representation", "Bytes", "CountTime", "Triangles"]);
+    let mut t = Table::new(format!(
+        "Ablation G: topology representation, §3.2 ({})",
+        d.name
+    ))
+    .headers(&["Representation", "Bytes", "CountTime", "Triangles"]);
     {
         let pre = lotus_algos::preprocess::degree_order_and_orient(&g);
         let start = Instant::now();
@@ -183,8 +224,11 @@ pub fn ablation_report(scale: DatasetScale) -> String {
     // 8. H2H as a hash table vs the bit array (§5.7): instruction count
     //    per probe and memory footprint of the randomly accessed
     //    structure, from the instrumented replays.
-    let mut t = Table::new(format!("Ablation H: H2H bit array vs hash table, §5.7 ({})", d.name))
-        .headers(&["Structure", "RandomBytes", "Instr/Probe", "Found"]);
+    let mut t = Table::new(format!(
+        "Ablation H: H2H bit array vs hash table, §5.7 ({})",
+        d.name
+    ))
+    .headers(&["Structure", "RandomBytes", "Instr/Probe", "Found"]);
     {
         use lotus_perfsim::instrumented::{run_lotus, run_phase1_hash};
         use lotus_perfsim::MachineModel;
@@ -220,16 +264,16 @@ pub fn ablation_report(scale: DatasetScale) -> String {
 
     // 9. Two-level hubs (§7): how many HNN class-merges does splitting
     //    the HE sub-graph prune?
-    let mut t = Table::new(format!("Ablation I: two-level hub split, §7 ({})", d.name))
-        .headers(&["SuperHubs", "Time", "Pruned%", "Triangles"]);
+    let mut t = Table::new(format!("Ablation I: two-level hub split, §7 ({})", d.name)).headers(&[
+        "SuperHubs",
+        "Time",
+        "Pruned%",
+        "Triangles",
+    ]);
     {
         let hubs = LotusConfig::default().resolved_hub_count(g.num_vertices());
         for supers in [hubs / 16, hubs / 4, hubs / 2] {
-            let tl = lotus_core::two_level::build_two_level(
-                &g,
-                &LotusConfig::default(),
-                supers,
-            );
+            let tl = lotus_core::two_level::build_two_level(&g, &LotusConfig::default(), supers);
             let start = Instant::now();
             let (total, stats) = tl.count();
             t.row(vec![
@@ -251,7 +295,17 @@ mod tests {
     #[test]
     fn ablation_smoke() {
         let out = ablation_report(DatasetScale::Tiny);
-        for section in ["Ablation A", "Ablation B", "Ablation C", "Ablation D", "Ablation E", "Ablation F", "Ablation G", "Ablation H", "Ablation I"] {
+        for section in [
+            "Ablation A",
+            "Ablation B",
+            "Ablation C",
+            "Ablation D",
+            "Ablation E",
+            "Ablation F",
+            "Ablation G",
+            "Ablation H",
+            "Ablation I",
+        ] {
             assert!(out.contains(section), "missing {section}");
         }
         assert!(out.contains("merge"));

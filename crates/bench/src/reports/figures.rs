@@ -59,7 +59,10 @@ fn simulate_pair(
     let lg = build_lotus_graph(&g, &LotusConfig::default());
     let mut m_lotus = sim_machine(scale);
     let out = run_lotus(&lg, &mut m_lotus);
-    assert_eq!(fwd_triangles, out.triangles, "instrumented kernels disagree");
+    assert_eq!(
+        fwd_triangles, out.triangles,
+        "instrumented kernels disagree"
+    );
     (m_fwd.report(), m_lotus.report())
 }
 
@@ -109,9 +112,12 @@ pub fn fig4_locality(scale: DatasetScale) -> String {
 /// Figure 5: memory accesses, instructions and branch mispredictions,
 /// Forward vs LOTUS.
 pub fn fig5_hw_events(scale: DatasetScale) -> String {
-    let mut t = Table::new("Figure 5: Simulated hardware events, Forward/Lotus ratios").headers(
-        &["Dataset", "MemAcc-Ratio", "Instr-Ratio", "BrMiss-Ratio"],
-    );
+    let mut t = Table::new("Figure 5: Simulated hardware events, Forward/Lotus ratios").headers(&[
+        "Dataset",
+        "MemAcc-Ratio",
+        "Instr-Ratio",
+        "BrMiss-Ratio",
+    ]);
     let mut sums = [0.0f64; 3];
     let datasets = small_suite(scale);
     for d in &datasets {
@@ -136,8 +142,9 @@ pub fn fig5_hw_events(scale: DatasetScale) -> String {
 
 /// Figure 6: LOTUS execution-time breakdown.
 pub fn fig6_breakdown(scale: DatasetScale) -> String {
-    let mut t = Table::new("Figure 6: Lotus execution breakdown (seconds)")
-        .headers(&["Dataset", "Preproc", "HHH+HHN", "HNN", "NNN", "Pre%", "NNN%ofTC"]);
+    let mut t = Table::new("Figure 6: Lotus execution breakdown (seconds)").headers(&[
+        "Dataset", "Preproc", "HHH+HHN", "HNN", "NNN", "Pre%", "NNN%ofTC",
+    ]);
     let mut pre_sum = 0.0;
     let mut nnn_sum = 0.0;
     let datasets = small_suite(scale);
@@ -194,8 +201,12 @@ pub fn fig7_triangle_types(scale: DatasetScale) -> String {
 
 /// Figure 8: percentage of edges in the HE and NHE sub-graphs.
 pub fn fig8_edge_split(scale: DatasetScale) -> String {
-    let mut t = Table::new("Figure 8: Edges in HE and NHE sub-graphs")
-        .headers(&["Dataset", "HE-Edges", "NHE-Edges", "HE%"]);
+    let mut t = Table::new("Figure 8: Edges in HE and NHE sub-graphs").headers(&[
+        "Dataset",
+        "HE-Edges",
+        "NHE-Edges",
+        "HE%",
+    ]);
     let mut he_sum = 0.0;
     let datasets = small_suite(scale);
     for d in &datasets {
@@ -222,7 +233,15 @@ pub fn fig9_h2h_locality(scale: DatasetScale) -> String {
     let mut t = Table::new(
         "Figure 9: H2H cacheline access concentration (lines needed for X% of accesses)",
     )
-    .headers(&["Dataset", "TotalLines", "50%", "75%", "90%", "99%", "90%Share"]);
+    .headers(&[
+        "Dataset",
+        "TotalLines",
+        "50%",
+        "75%",
+        "90%",
+        "99%",
+        "90%Share",
+    ]);
     for d in &small_suite(scale) {
         let g = crate::harness::cached_graph(d);
         // Paper hub count: Figure 9 studies the H2H array of §4.2's fixed

@@ -70,8 +70,15 @@ pub fn table1_hub_stats(scale: DatasetScale) -> String {
 
 /// Table 4: the dataset inventory.
 pub fn table4_datasets(scale: DatasetScale) -> String {
-    let mut t = Table::new("Table 4: Datasets (synthetic stand-ins, scaled)")
-        .headers(&["Dataset", "Type", "|V|", "|E|", "MaxDeg", "Skew", "Triangles"]);
+    let mut t = Table::new("Table 4: Datasets (synthetic stand-ins, scaled)").headers(&[
+        "Dataset",
+        "Type",
+        "|V|",
+        "|E|",
+        "MaxDeg",
+        "Skew",
+        "Triangles",
+    ]);
     let mut all = small_suite(scale);
     all.extend(large_suite(scale));
     for d in &all {
@@ -93,7 +100,11 @@ pub fn table4_datasets(scale: DatasetScale) -> String {
 
 fn endtoend_table(title: &str, datasets: &[Dataset], algorithms: &[Algorithm]) -> String {
     let mut headers: Vec<&str> = vec!["Dataset"];
-    headers.extend(algorithms.iter().map(|a| a.name()));
+    headers.extend(
+        algorithms
+            .iter()
+            .map(super::super::harness::Algorithm::name),
+    );
     let mut t = Table::new(title).headers(&headers);
 
     let mut speedup_sums = vec![0.0f64; algorithms.len()];
@@ -186,7 +197,13 @@ pub fn table7_topology_size(scale: DatasetScale) -> String {
 /// where the weakest hubs are barely connected and leave cachelines empty.
 pub fn table8_h2h(scale: DatasetScale) -> String {
     let mut t = Table::new("Table 8: Lotus H2H bit array characteristics (paper hub count)")
-        .headers(&["Dataset", "Density%", "ZeroCachelines%", "H2H-KB", "HubHubEdges"]);
+        .headers(&[
+            "Dataset",
+            "Density%",
+            "ZeroCachelines%",
+            "H2H-KB",
+            "HubHubEdges",
+        ]);
     for d in &small_suite(scale) {
         let g = crate::harness::cached_graph(d);
         let lg = build_lotus_graph(&g, &LotusConfig::paper());
@@ -228,7 +245,10 @@ pub fn table9_tiling(scale: DatasetScale, workers: usize) -> String {
     ]);
     // The paper's Table 9 rows.
     let names = ["Twtr10", "TwtrMpi", "SK", "WbCc", "UKDls"];
-    for d in small_suite(scale).iter().filter(|d| names.contains(&d.name)) {
+    for d in small_suite(scale)
+        .iter()
+        .filter(|d| names.contains(&d.name))
+    {
         let g = crate::harness::cached_graph(d);
         let lg = build_lotus_graph(&g, &LotusConfig::paper());
         let mut cells = vec![d.name.to_string()];

@@ -14,12 +14,18 @@ pub struct Table {
 impl Table {
     /// Creates a table with a title.
     pub fn new(title: impl Into<String>) -> Self {
-        Self { title: title.into(), ..Self::default() }
+        Self {
+            title: title.into(),
+            ..Self::default()
+        }
     }
 
     /// Sets the column headers.
     pub fn headers(mut self, headers: &[&str]) -> Self {
-        self.headers = headers.iter().map(|s| s.to_string()).collect();
+        self.headers = headers
+            .iter()
+            .map(std::string::ToString::to_string)
+            .collect();
         self
     }
 

@@ -1,0 +1,383 @@
+//! Differential-correctness oracle.
+//!
+//! Exact triangle counting admits many independent implementations — the
+//! paper's baselines (§2.2, §5.1.4) plus LOTUS itself — and they must all
+//! agree on every graph. [`run`] executes the full roster on one graph,
+//! reports any disagreement as a [`Rule::CountDisagreement`] violation,
+//! and, when the disagreement survives a rebuild of the graph (i.e. it is
+//! an algorithm bug rather than input corruption), greedily minimizes a
+//! counterexample edge list for debugging.
+
+use lotus_algos::bbtc::bbtc_count;
+use lotus_algos::edge_iterator::edge_iterator_count;
+use lotus_algos::edge_iterator_hashed::edge_iterator_hashed_count;
+use lotus_algos::forward::ForwardCounter;
+use lotus_algos::forward_hashed::forward_hashed_count;
+use lotus_algos::gbbs::gbbs_count;
+use lotus_algos::intersect::Bitmap;
+use lotus_algos::new_vertex_listing::new_vertex_listing_count;
+use lotus_algos::node_iterator::node_iterator_count;
+use lotus_algos::node_iterator_core::node_iterator_core_count;
+use lotus_algos::IntersectKind;
+use lotus_core::config::{HubCount, LotusConfig};
+use lotus_core::count::LotusCounter;
+use lotus_graph::{EdgeList, UndirectedCsr};
+
+use crate::validator::Validator;
+use crate::violation::{Report, Rule, Violation};
+
+/// One algorithm's verdict on a graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AlgorithmRun {
+    /// Algorithm name (stable, kebab-case).
+    pub name: &'static str,
+    /// Triangles reported.
+    pub triangles: u64,
+}
+
+/// Outcome of a differential run.
+#[derive(Debug, Clone)]
+pub struct DifferentialReport {
+    /// Structural validation of the input graph (runs first: a corrupt
+    /// graph explains away any disagreement below).
+    pub structural: Report,
+    /// Every algorithm's count.
+    pub runs: Vec<AlgorithmRun>,
+    /// Count disagreements, if any.
+    pub disagreements: Report,
+    /// A minimized edge list still exhibiting a disagreement, when the
+    /// disagreement reproduces on a graph rebuilt from scratch.
+    pub counterexample: Option<EdgeList>,
+}
+
+impl DifferentialReport {
+    /// True when the graph is structurally sound and all algorithms agree.
+    pub fn ok(&self) -> bool {
+        self.structural.is_clean() && self.disagreements.is_clean()
+    }
+
+    /// The consensus count (only meaningful when [`DifferentialReport::ok`]).
+    pub fn consensus(&self) -> Option<u64> {
+        let first = self.runs.first()?.triangles;
+        self.runs
+            .iter()
+            .all(|r| r.triangles == first)
+            .then_some(first)
+    }
+}
+
+/// Runs every algorithm in the roster on `graph`.
+pub fn run_all(graph: &UndirectedCsr) -> Vec<AlgorithmRun> {
+    let mut runs = vec![
+        AlgorithmRun {
+            name: "node-iterator",
+            triangles: node_iterator_count(graph),
+        },
+        AlgorithmRun {
+            name: "node-iterator-core",
+            triangles: node_iterator_core_count(graph),
+        },
+        AlgorithmRun {
+            name: "edge-iterator",
+            triangles: edge_iterator_count(graph),
+        },
+        AlgorithmRun {
+            name: "edge-iterator-hashed",
+            triangles: edge_iterator_hashed_count(graph),
+        },
+    ];
+    for kernel in IntersectKind::ALL {
+        let name = match kernel {
+            IntersectKind::Merge => "forward-merge",
+            IntersectKind::Binary => "forward-binary",
+            IntersectKind::Gallop => "forward-gallop",
+            IntersectKind::Branchless => "forward-branchless",
+            IntersectKind::Hash => "forward-hash",
+        };
+        runs.push(AlgorithmRun {
+            name,
+            triangles: ForwardCounter::new()
+                .with_kernel(kernel)
+                .count(graph)
+                .triangles,
+        });
+    }
+    runs.push(AlgorithmRun {
+        name: "forward-bitmap",
+        triangles: forward_bitmap_count(graph),
+    });
+    runs.push(AlgorithmRun {
+        name: "forward-hashed",
+        triangles: forward_hashed_count(graph),
+    });
+    runs.push(AlgorithmRun {
+        name: "new-vertex-listing",
+        triangles: new_vertex_listing_count(graph),
+    });
+    runs.push(AlgorithmRun {
+        name: "gbbs",
+        triangles: gbbs_count(graph),
+    });
+    runs.push(AlgorithmRun {
+        name: "bbtc",
+        triangles: bbtc_count(graph),
+    });
+    runs.push(AlgorithmRun {
+        name: "lotus",
+        triangles: LotusCounter::new(lotus_config_for(graph))
+            .count(graph)
+            .total(),
+    });
+    runs
+}
+
+/// Forward counting with the bitmap intersection kernel (new-vertex-listing
+/// style), the sixth kernel of §2.2 — not in [`IntersectKind::ALL`] because
+/// it is stateful.
+fn forward_bitmap_count(graph: &UndirectedCsr) -> u64 {
+    let forward = graph.forward_graph();
+    let mut bitmap = Bitmap::new(forward.num_vertices() as usize);
+    let mut total = 0u64;
+    for v in 0..forward.num_vertices() {
+        let nv = forward.neighbors(v);
+        for &u in nv {
+            total += bitmap.count(forward.neighbors(u), nv);
+        }
+    }
+    total
+}
+
+/// Picks a LOTUS hub count that exercises all three phases even on the
+/// tiny graphs the minimizer produces.
+fn lotus_config_for(graph: &UndirectedCsr) -> LotusConfig {
+    let hubs = (graph.num_vertices() / 2).clamp(1, 1 << 16);
+    LotusConfig::default().with_hub_count(HubCount::Fixed(hubs))
+}
+
+/// Validates `graph` structurally, then runs the full algorithm roster and
+/// reports any count disagreement. See [`DifferentialReport`].
+pub fn run(graph: &UndirectedCsr) -> DifferentialReport {
+    let structural = Validator::new().check_undirected(graph);
+    let runs = run_all(graph);
+    let disagreements = disagreement_report(&runs);
+
+    // Minimization only makes sense for an algorithm bug: rebuild the graph
+    // from its edges and re-check. Disagreement that vanishes on rebuild was
+    // representational corruption, already pinpointed by `structural`.
+    let counterexample = if disagreements.is_clean() {
+        None
+    } else {
+        let edges = extract_edges(graph);
+        let rebuilt = build(&edges, graph.num_vertices());
+        if disagree(&rebuilt) {
+            Some(minimize_with(edges, graph.num_vertices(), disagree))
+        } else {
+            None
+        }
+    };
+
+    DifferentialReport {
+        structural,
+        runs,
+        disagreements,
+        counterexample,
+    }
+}
+
+/// Converts a set of runs into a report (one violation per dissenting
+/// algorithm, relative to the majority count).
+pub fn disagreement_report(runs: &[AlgorithmRun]) -> Report {
+    let mut report = Report::new();
+    let Some(majority) = majority_count(runs) else {
+        return report;
+    };
+    for r in runs {
+        if r.triangles != majority {
+            report.push(Violation::new(
+                Rule::CountDisagreement,
+                format!(
+                    "{} reports {} triangles, majority reports {majority}",
+                    r.name, r.triangles
+                ),
+            ));
+        }
+    }
+    report
+}
+
+fn majority_count(runs: &[AlgorithmRun]) -> Option<u64> {
+    let mut counts: Vec<(u64, usize)> = Vec::new();
+    for r in runs {
+        match counts.iter_mut().find(|(c, _)| *c == r.triangles) {
+            Some((_, n)) => *n += 1,
+            None => counts.push((r.triangles, 1)),
+        }
+    }
+    counts.into_iter().max_by_key(|&(_, n)| n).map(|(c, _)| c)
+}
+
+fn extract_edges(graph: &UndirectedCsr) -> Vec<(u32, u32)> {
+    let mut edges = Vec::with_capacity(graph.num_edges() as usize);
+    for v in 0..graph.num_vertices() {
+        for &u in graph.neighbors(v) {
+            if u > v {
+                edges.push((v, u));
+            }
+        }
+    }
+    edges
+}
+
+fn build(edges: &[(u32, u32)], num_vertices: u32) -> UndirectedCsr {
+    let mut el = EdgeList::from_pairs_with_vertices(edges.to_vec(), num_vertices);
+    el.canonicalize();
+    UndirectedCsr::from_canonical_edges(&el)
+}
+
+fn disagree(graph: &UndirectedCsr) -> bool {
+    !disagreement_report(&run_all(graph)).is_clean()
+}
+
+/// Budget on rebuild-and-rerun probes during minimization; keeps the
+/// oracle's failure path bounded on large graphs.
+const MINIMIZE_BUDGET: usize = 2_000;
+
+/// Greedy delta-debugging on edges: repeatedly drop any single edge that
+/// keeps `fails` true, until a pass removes nothing (1-minimal) or the
+/// probe budget runs out. The production oracle passes the full-roster
+/// disagreement predicate; tests inject cheaper ones.
+pub fn minimize_with(
+    mut edges: Vec<(u32, u32)>,
+    num_vertices: u32,
+    fails: impl Fn(&UndirectedCsr) -> bool,
+) -> EdgeList {
+    let mut probes = 0usize;
+    let mut changed = true;
+    while changed && probes < MINIMIZE_BUDGET {
+        changed = false;
+        let mut i = 0;
+        while i < edges.len() && probes < MINIMIZE_BUDGET {
+            let removed = edges.remove(i);
+            probes += 1;
+            if fails(&build(&edges, num_vertices)) {
+                changed = true; // still failing without this edge: keep it out
+            } else {
+                edges.insert(i, removed);
+                i += 1;
+            }
+        }
+    }
+    let mut el = EdgeList::from_pairs_with_vertices(edges, num_vertices);
+    el.canonicalize();
+    el
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lotus_graph::builder::graph_from_edges;
+    use lotus_graph::Csr;
+
+    #[test]
+    fn roster_agrees_on_clean_graph() {
+        // Two triangles sharing edge (1, 2), plus a pendant vertex.
+        let g = graph_from_edges([(0, 1), (0, 2), (1, 2), (1, 3), (2, 3), (3, 4)]);
+        let report = run(&g);
+        assert!(report.ok(), "{:?}", report.disagreements);
+        assert_eq!(report.consensus(), Some(2));
+        assert!(
+            report.runs.len() >= 13,
+            "roster has {} entries",
+            report.runs.len()
+        );
+        assert!(report.counterexample.is_none());
+    }
+
+    #[test]
+    fn corrupted_unsorted_csr_is_detected() {
+        // K4 with vertex 0's list scrambled: counts based on sorted-list
+        // intersection diverge from probe-based ones; the structural pass
+        // pinpoints the corruption and no counterexample is minimized
+        // (the disagreement vanishes on rebuild).
+        let csr = Csr::<u32>::from_adjacency(vec![
+            vec![3, 1, 2],
+            vec![0, 2, 3],
+            vec![0, 1, 3],
+            vec![0, 1, 2],
+        ]);
+        let g = UndirectedCsr::from_csr_unchecked(csr, 6);
+        let report = run(&g);
+        assert!(!report.ok());
+        assert!(!report.structural.is_clean());
+        assert!(
+            report.structural.by_rule(Rule::ListSorted).next().is_some(),
+            "{}",
+            report.structural
+        );
+    }
+
+    #[test]
+    fn corrupted_asymmetric_csr_is_detected() {
+        // Triangle with one direction of edge (1, 2) missing.
+        let csr = Csr::<u32>::from_adjacency(vec![vec![1, 2], vec![0, 2], vec![0]]);
+        let g = UndirectedCsr::from_csr_unchecked(csr, 3);
+        let report = run(&g);
+        assert!(!report.ok());
+        assert!(report.structural.by_rule(Rule::Symmetric).next().is_some());
+    }
+
+    #[test]
+    fn minimizer_shrinks_to_one_minimal_core() {
+        // Stand-in failure predicate ("graph still contains a triangle")
+        // playing the role of a real algorithm disagreement: the minimizer
+        // must strip everything but a single triangle.
+        let edges = vec![
+            (0, 1),
+            (0, 2),
+            (1, 2),
+            (2, 3),
+            (3, 4),
+            (4, 5),
+            (2, 5),
+            (1, 5),
+        ];
+        let minimal = minimize_with(edges, 6, |g| lotus_algos::brute_force_count(g) > 0);
+        assert_eq!(
+            minimal.len(),
+            3,
+            "minimal triangle witness: {:?}",
+            minimal.pairs()
+        );
+        let g = build(minimal.pairs(), 6);
+        assert_eq!(lotus_algos::brute_force_count(&g), 1);
+    }
+
+    #[test]
+    fn extract_edges_round_trips() {
+        let edges = vec![(0, 1), (0, 2), (1, 2), (2, 3)];
+        let g = build(&edges, 4);
+        assert_eq!(extract_edges(&g), edges);
+        assert!(!disagree(&g));
+    }
+
+    #[test]
+    fn majority_logic() {
+        let runs = vec![
+            AlgorithmRun {
+                name: "a",
+                triangles: 5,
+            },
+            AlgorithmRun {
+                name: "b",
+                triangles: 5,
+            },
+            AlgorithmRun {
+                name: "c",
+                triangles: 7,
+            },
+        ];
+        let r = disagreement_report(&runs);
+        assert_eq!(r.len(), 1);
+        assert!(r.violations()[0].detail.contains('c'));
+    }
+}

@@ -1,0 +1,32 @@
+//! Workspace-wide invariant validator and differential-correctness oracle.
+//!
+//! Three layers of checking for the LOTUS reproduction:
+//!
+//! 1. **Structural validation** ([`Validator`]) — re-derives every CSX and
+//!    `UndirectedCsr` invariant from the raw arrays (monotonic offsets,
+//!    in-bounds IDs, sorted deduplicated lists, no self-loops, symmetry,
+//!    the `N⁻`-prefix property) and reports machine-readable
+//!    [`Violation`]s.
+//! 2. **LOTUS-specific checks** ([`lotus::check_lotus_graph`]) — the
+//!    relabeling is a bijective permutation, HE IDs fit 16 bits, HE/NHE
+//!    respect the hub cutoff, H2H bits correspond exactly to hub–hub
+//!    edges, the sub-graphs partition the edge set, and the per-type
+//!    counts sum to an independent total
+//!    ([`lotus::check_phase_sum`]).
+//! 3. **Differential oracle** ([`differential::run`]) — executes every
+//!    baseline algorithm in the workspace plus LOTUS on a graph, flags
+//!    disagreements, and minimizes a counterexample edge list when the
+//!    disagreement is a real algorithm bug.
+//!
+//! The same invariants back the `validate` cargo feature of `lotus-graph`
+//! and `lotus-core` (cheap `debug_assert!` hooks inside the builders) and
+//! the `lotus check <graph>` CLI subcommand (full offline audit).
+
+pub mod differential;
+pub mod lotus;
+pub mod validator;
+pub mod violation;
+
+pub use differential::DifferentialReport;
+pub use validator::Validator;
+pub use violation::{Report, Rule, Violation};

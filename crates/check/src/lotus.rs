@@ -1,0 +1,268 @@
+//! LOTUS-specific invariant checks (paper §4.2 / Figure 3a).
+//!
+//! These re-derive every structural property of a [`LotusGraph`] from
+//! scratch rather than trusting `build_lotus_graph`: the relabeling must
+//! be a bijective permutation, HE neighbour IDs must fit 16 bits and be
+//! hubs, NHE entries must be non-hubs below their vertex, the H2H
+//! triangular bit array must correspond exactly to the hub–hub HE edges
+//! under [`pair_bit_index`], and the HE/NHE split must partition the
+//! source edge set.
+
+use lotus_core::h2h::pair_bit_index;
+use lotus_core::stats::LotusStats;
+use lotus_core::LotusGraph;
+
+use crate::validator::Validator;
+use crate::violation::{Report, Rule, Violation};
+
+/// Largest hub count whose IDs fit the 16-bit HE entries (§4.2).
+pub const MAX_HUBS: u32 = 1 << 16;
+
+/// Checks every LOTUS structural invariant of `lg`, returning a report of
+/// all violations found.
+pub fn check_lotus_graph(lg: &LotusGraph) -> Report {
+    let mut report = Validator::new().check_relabeling(&lg.relabeling);
+    let n = lg.num_vertices();
+
+    if lg.relabeling.len() != n as usize {
+        report.push(Violation::new(
+            Rule::RelabelingBijective,
+            format!(
+                "relabeling covers {} vertices, graph has {n}",
+                lg.relabeling.len()
+            ),
+        ));
+    }
+    if lg.hub_count > MAX_HUBS {
+        report.push(Violation::new(
+            Rule::HubIdFitsU16,
+            format!(
+                "hub count {} exceeds the 16-bit HE ID space ({MAX_HUBS})",
+                lg.hub_count
+            ),
+        ));
+    }
+    if lg.hub_count > n {
+        report.push(Violation::new(
+            Rule::HubCutoffRespected,
+            format!("hub count {} exceeds vertex count {n}", lg.hub_count),
+        ));
+    }
+    if lg.nhe.num_vertices() != n {
+        report.push(Violation::new(
+            Rule::EdgePartitionExact,
+            format!(
+                "HE covers {n} vertices but NHE covers {}",
+                lg.nhe.num_vertices()
+            ),
+        ));
+        return report; // per-vertex loops below assume matching shapes
+    }
+
+    let mut hub_hub_edges = 0u64;
+    for v in 0..n {
+        let mut prev: Option<u16> = None;
+        for &h in lg.he.neighbors(v) {
+            let h32 = h as u32;
+            if h32 >= lg.hub_count {
+                report.push(
+                    Violation::new(
+                        Rule::HubIdFitsU16,
+                        format!("HE entry {h32} is not a hub (cutoff {})", lg.hub_count),
+                    )
+                    .at_vertex(v),
+                );
+            }
+            if h32 >= v {
+                report.push(
+                    Violation::new(
+                        Rule::HubCutoffRespected,
+                        format!("HE entry {h32} is not lower than its vertex"),
+                    )
+                    .at_vertex(v),
+                );
+            }
+            if prev.is_some_and(|p| p >= h) {
+                report.push(
+                    Violation::new(Rule::ListSorted, format!("HE entry {h32} after {prev:?}"))
+                        .at_vertex(v),
+                );
+            }
+            prev = Some(h);
+            if v < lg.hub_count && h32 < v {
+                hub_hub_edges += 1;
+                if !lg.h2h.is_set(v, h32) {
+                    report.push(
+                        Violation::new(
+                            Rule::H2HConsistent,
+                            format!(
+                                "H2H bit {} for hub pair ({v}, {h32}) is clear",
+                                pair_bit_index(v, h32)
+                            ),
+                        )
+                        .at_vertex(v),
+                    );
+                }
+            }
+        }
+
+        let mut prev: Option<u32> = None;
+        for &u in lg.nhe.neighbors(v) {
+            if u < lg.hub_count {
+                report.push(
+                    Violation::new(
+                        Rule::HubCutoffRespected,
+                        format!("NHE entry {u} is a hub (cutoff {})", lg.hub_count),
+                    )
+                    .at_vertex(v),
+                );
+            }
+            if u >= v {
+                report.push(
+                    Violation::new(
+                        Rule::HubCutoffRespected,
+                        format!("NHE entry {u} is not lower than its vertex"),
+                    )
+                    .at_vertex(v),
+                );
+            }
+            if prev.is_some_and(|p| p >= u) {
+                report.push(
+                    Violation::new(Rule::ListSorted, format!("NHE entry {u} after {prev:?}"))
+                        .at_vertex(v),
+                );
+            }
+            prev = Some(u);
+        }
+        if v < lg.hub_count && !lg.nhe.neighbors(v).is_empty() {
+            report.push(
+                Violation::new(
+                    Rule::HubCutoffRespected,
+                    format!(
+                        "hub {v} has {} NHE entries (must be 0)",
+                        lg.nhe.neighbors(v).len()
+                    ),
+                )
+                .at_vertex(v),
+            );
+        }
+    }
+
+    // H2H must contain *only* the bits implied by HE: equal totals together
+    // with the per-edge is_set probes above imply exact correspondence.
+    if lg.h2h.bits_set() != hub_hub_edges {
+        report.push(Violation::new(
+            Rule::H2HConsistent,
+            format!(
+                "H2H has {} bits set but HE holds {hub_hub_edges} hub-hub edges",
+                lg.h2h.bits_set()
+            ),
+        ));
+    }
+    if lg.h2h.hub_count() != lg.hub_count {
+        report.push(Violation::new(
+            Rule::H2HConsistent,
+            format!(
+                "H2H sized for {} hubs, graph has {}",
+                lg.h2h.hub_count(),
+                lg.hub_count
+            ),
+        ));
+    }
+    if lg.he_edges() + lg.nhe_edges() != lg.num_edges {
+        report.push(Violation::new(
+            Rule::EdgePartitionExact,
+            format!(
+                "HE ({}) + NHE ({}) != |E| ({})",
+                lg.he_edges(),
+                lg.nhe_edges(),
+                lg.num_edges
+            ),
+        ));
+    }
+    report
+}
+
+/// Checks that the four per-type triangle counts sum to a reference total
+/// computed by an independent algorithm.
+pub fn check_phase_sum(stats: &LotusStats, reference_total: u64) -> Report {
+    let mut report = Report::new();
+    if stats.total() != reference_total {
+        report.push(Violation::new(
+            Rule::PhaseSumMatchesTotal,
+            format!(
+                "HHH {} + HHN {} + HNN {} + NNN {} = {} != reference {reference_total}",
+                stats.hhh,
+                stats.hhn,
+                stats.hnn,
+                stats.nnn,
+                stats.total()
+            ),
+        ));
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lotus_core::config::{HubCount, LotusConfig};
+    use lotus_core::count::LotusCounter;
+    use lotus_core::preprocess::build_lotus_graph;
+    use lotus_graph::builder::graph_from_edges;
+    use lotus_graph::UndirectedCsr;
+
+    fn wheel() -> UndirectedCsr {
+        // Hub 0 connected to a 5-cycle: 10 edges, 5 triangles.
+        graph_from_edges([
+            (0, 1),
+            (0, 2),
+            (0, 3),
+            (0, 4),
+            (0, 5),
+            (1, 2),
+            (2, 3),
+            (3, 4),
+            (4, 5),
+            (5, 1),
+        ])
+    }
+
+    #[test]
+    fn built_lotus_graph_is_clean() {
+        let cfg = LotusConfig::default().with_hub_count(HubCount::Fixed(2));
+        let lg = build_lotus_graph(&wheel(), &cfg);
+        let r = check_lotus_graph(&lg);
+        assert!(r.is_clean(), "{r}");
+    }
+
+    #[test]
+    fn corrupt_h2h_is_caught() {
+        let cfg = LotusConfig::default().with_hub_count(HubCount::Fixed(4));
+        let mut lg = build_lotus_graph(&wheel(), &cfg);
+        // Rebuild H2H missing every bit: each hub-hub HE edge now reports
+        // a clear bit, and the totals disagree.
+        lg.h2h = lotus_core::h2h::TriBitArray::new(lg.hub_count);
+        let r = check_lotus_graph(&lg);
+        assert!(r.by_rule(Rule::H2HConsistent).next().is_some(), "{r}");
+    }
+
+    #[test]
+    fn corrupt_edge_partition_is_caught() {
+        let cfg = LotusConfig::default().with_hub_count(HubCount::Fixed(2));
+        let mut lg = build_lotus_graph(&wheel(), &cfg);
+        lg.num_edges += 1;
+        let r = check_lotus_graph(&lg);
+        assert!(r.by_rule(Rule::EdgePartitionExact).next().is_some(), "{r}");
+    }
+
+    #[test]
+    fn phase_sum_checks_against_reference() {
+        let g = wheel();
+        let cfg = LotusConfig::default().with_hub_count(HubCount::Fixed(2));
+        let result = LotusCounter::new(cfg).count(&g);
+        assert!(check_phase_sum(&result.stats, 5).is_clean());
+        let bad = check_phase_sum(&result.stats, 6);
+        assert!(bad.by_rule(Rule::PhaseSumMatchesTotal).next().is_some());
+    }
+}

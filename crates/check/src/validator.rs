@@ -1,0 +1,352 @@
+//! Structural CSX/CSR invariant checks.
+//!
+//! The [`Validator`] never trusts constructors: it re-derives every
+//! invariant from the raw offset and entry arrays, so it catches both
+//! builder bugs and post-construction corruption (e.g. an unsafe kernel
+//! scribbling over a neighbour list).
+
+use lotus_graph::{Csr, EdgeList, NeighborId, Relabeling, UndirectedCsr};
+
+use crate::violation::{Report, Rule, Violation};
+
+/// Structural invariant checker for every graph representation in the
+/// workspace.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Validator {
+    /// When true, symmetry checking is skipped (for directed/oriented
+    /// CSRs such as the Forward graph or HE/NHE sub-graphs).
+    directed: bool,
+}
+
+impl Validator {
+    /// A validator for symmetric (undirected) graphs.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A validator for directed/oriented CSRs (no symmetry requirement).
+    pub fn directed() -> Self {
+        Self { directed: true }
+    }
+
+    /// Checks the raw CSX invariants of any [`Csr`]: monotonic offsets
+    /// covering the entry array, in-bounds neighbour IDs (`< id_bound`),
+    /// sorted + deduplicated lists, and no self-loops.
+    ///
+    /// `id_bound` is normally `csr.num_vertices()`; LOTUS's HE sub-graph
+    /// passes its hub cutoff instead.
+    pub fn check_csr<N: NeighborId>(&self, csr: &Csr<N>, id_bound: u32) -> Report {
+        let mut report = Report::new();
+        let offsets = csr.offsets();
+        let entries = csr.entries();
+
+        if offsets.first() != Some(&0) {
+            report.push(Violation::new(
+                Rule::OffsetsMonotonic,
+                format!("offsets start at {:?}, expected 0", offsets.first()),
+            ));
+        }
+        for (i, w) in offsets.windows(2).enumerate() {
+            if w[0] > w[1] {
+                report.push(
+                    Violation::new(
+                        Rule::OffsetsMonotonic,
+                        format!("offset[{}] = {} > offset[{}] = {}", i, w[0], i + 1, w[1]),
+                    )
+                    .at_vertex(i as u32)
+                    .at_offset(w[0]),
+                );
+            }
+        }
+        if offsets.last().copied() != Some(entries.len() as u64) {
+            report.push(Violation::new(
+                Rule::OffsetsMonotonic,
+                format!(
+                    "final offset {:?} does not cover the {} entries",
+                    offsets.last(),
+                    entries.len()
+                ),
+            ));
+        }
+        // Per-list checks only make sense over well-formed offsets.
+        if !report.is_clean() {
+            return report;
+        }
+
+        for v in 0..csr.num_vertices() {
+            let base = offsets[v as usize];
+            let list = csr.neighbors(v);
+            let mut prev: Option<u64> = None;
+            for (i, &u) in list.iter().enumerate() {
+                let u = u.to_vertex();
+                let off = base + i as u64;
+                if u >= id_bound {
+                    report.push(
+                        Violation::new(
+                            Rule::NeighborInBounds,
+                            format!("neighbour {u} >= bound {id_bound}"),
+                        )
+                        .at_vertex(v)
+                        .at_offset(off),
+                    );
+                }
+                if u == v {
+                    report.push(
+                        Violation::new(Rule::NoSelfLoop, format!("vertex {v} lists itself"))
+                            .at_vertex(v)
+                            .at_offset(off),
+                    );
+                }
+                match prev {
+                    Some(p) if p > u as u64 => {
+                        report.push(
+                            Violation::new(Rule::ListSorted, format!("{u} after {p}"))
+                                .at_vertex(v)
+                                .at_offset(off),
+                        );
+                    }
+                    Some(p) if p == u as u64 => {
+                        report.push(
+                            Violation::new(
+                                Rule::ListDeduplicated,
+                                format!("duplicate neighbour {u}"),
+                            )
+                            .at_vertex(v)
+                            .at_offset(off),
+                        );
+                    }
+                    _ => {}
+                }
+                prev = Some(u as u64);
+            }
+        }
+        report
+    }
+
+    /// Checks the full invariant set of an [`UndirectedCsr`]: all CSX
+    /// invariants plus symmetry, the `2·|E|` entry count, and the
+    /// `N⁻`-prefix property that the Forward orientation relies on.
+    pub fn check_undirected(&self, g: &UndirectedCsr) -> Report {
+        let mut report = self.check_csr(g.csr(), g.num_vertices());
+
+        if g.csr().num_entries() != 2 * g.num_edges() {
+            report.push(Violation::new(
+                Rule::EdgeCountConsistent,
+                format!(
+                    "{} entries != 2 × {} edges",
+                    g.csr().num_entries(),
+                    g.num_edges()
+                ),
+            ));
+        }
+
+        for v in 0..g.num_vertices() {
+            if !self.directed {
+                for &u in g.neighbors(v) {
+                    // Avoid UndirectedCsr::has_edge here: it binary-searches,
+                    // which is itself invalid on an unsorted (corrupt) list.
+                    if u < g.num_vertices() && !g.neighbors(u).contains(&v) {
+                        report.push(
+                            Violation::new(
+                                Rule::Symmetric,
+                                format!("{v} lists {u} but {u} does not list {v}"),
+                            )
+                            .at_vertex(v),
+                        );
+                    }
+                }
+            }
+            // N⁻ prefix: every lower neighbour must be < v and jointly with
+            // the upper slice reproduce the whole list.
+            let lower = g.lower_neighbors(v);
+            let upper = g.upper_neighbors(v);
+            if lower.iter().any(|&u| u >= v)
+                || upper.iter().any(|&u| u <= v)
+                || lower.len() + upper.len() != g.neighbors(v).len()
+            {
+                report.push(
+                    Violation::new(
+                        Rule::LowerPrefix,
+                        format!(
+                            "N⁻ ({}) + N⁺ ({}) do not partition the list ({})",
+                            lower.len(),
+                            upper.len(),
+                            g.neighbors(v).len()
+                        ),
+                    )
+                    .at_vertex(v),
+                );
+            }
+        }
+        report
+    }
+
+    /// Checks that an [`EdgeList`] is canonical: every edge `(u, v)` has
+    /// `u < v < num_vertices`, sorted strictly ascending (deduplicated).
+    pub fn check_edge_list(&self, el: &EdgeList) -> Report {
+        let mut report = Report::new();
+        let n = el.num_vertices();
+        for (i, w) in el.pairs().windows(2).enumerate() {
+            if w[0] >= w[1] {
+                report.push(
+                    Violation::new(
+                        Rule::ListSorted,
+                        format!("edge {:?} not before {:?}", w[0], w[1]),
+                    )
+                    .at_offset(i as u64),
+                );
+            }
+        }
+        for (i, &(u, v)) in el.pairs().iter().enumerate() {
+            if u == v {
+                report.push(
+                    Violation::new(Rule::NoSelfLoop, format!("self-loop ({u}, {v})"))
+                        .at_vertex(u)
+                        .at_offset(i as u64),
+                );
+            } else if u > v {
+                report.push(
+                    Violation::new(Rule::ListSorted, format!("edge ({u}, {v}) not (min, max)"))
+                        .at_offset(i as u64),
+                );
+            }
+            if u >= n || v >= n {
+                report.push(
+                    Violation::new(
+                        Rule::NeighborInBounds,
+                        format!("edge ({u}, {v}) out of range for {n} vertices"),
+                    )
+                    .at_offset(i as u64),
+                );
+            }
+        }
+        report
+    }
+
+    /// Checks that a [`Relabeling`] is a bijective permutation: both
+    /// directions sized `n` and exact mutual inverses.
+    pub fn check_relabeling(&self, r: &Relabeling) -> Report {
+        let mut report = Report::new();
+        let fwd = r.old_to_new();
+        let inv = r.new_to_old();
+        if fwd.len() != inv.len() {
+            report.push(Violation::new(
+                Rule::RelabelingBijective,
+                format!(
+                    "old→new has {} entries, new→old has {}",
+                    fwd.len(),
+                    inv.len()
+                ),
+            ));
+            return report;
+        }
+        let n = fwd.len() as u64;
+        for (old, &new) in fwd.iter().enumerate() {
+            if (new as u64) >= n {
+                report.push(
+                    Violation::new(
+                        Rule::RelabelingBijective,
+                        format!("new ID {new} out of range 0..{n}"),
+                    )
+                    .at_vertex(old as u32),
+                );
+            } else if inv[new as usize] as usize != old {
+                report.push(
+                    Violation::new(
+                        Rule::RelabelingBijective,
+                        format!(
+                            "old {old} → new {new}, but new {new} → old {}",
+                            inv[new as usize]
+                        ),
+                    )
+                    .at_vertex(old as u32),
+                );
+            }
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lotus_graph::builder::graph_from_edges;
+
+    fn k4() -> UndirectedCsr {
+        graph_from_edges([(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)])
+    }
+
+    #[test]
+    fn clean_graph_passes() {
+        let r = Validator::new().check_undirected(&k4());
+        assert!(r.is_clean(), "{r}");
+    }
+
+    #[test]
+    fn empty_graph_passes() {
+        let g = graph_from_edges(std::iter::empty());
+        assert!(Validator::new().check_undirected(&g).is_clean());
+    }
+
+    #[test]
+    fn unsorted_list_is_caught_with_location() {
+        // Vertex 0's list [2, 1] is unsorted.
+        let csr = Csr::<u32>::from_adjacency(vec![vec![2, 1], vec![2], vec![0, 1]]);
+        let r = Validator::directed().check_csr(&csr, 3);
+        let v = r
+            .by_rule(Rule::ListSorted)
+            .next()
+            .expect("sorted violation");
+        assert_eq!(v.vertex, Some(0));
+        assert_eq!(v.offset, Some(1));
+    }
+
+    #[test]
+    fn duplicate_and_self_loop_are_caught() {
+        let csr = Csr::<u32>::from_adjacency(vec![vec![0, 1, 1], vec![0]]);
+        let r = Validator::directed().check_csr(&csr, 2);
+        assert_eq!(r.by_rule(Rule::NoSelfLoop).count(), 1);
+        assert_eq!(r.by_rule(Rule::ListDeduplicated).count(), 1);
+    }
+
+    #[test]
+    fn out_of_bounds_neighbor_is_caught() {
+        let csr = Csr::<u32>::from_adjacency(vec![vec![5], vec![]]);
+        let r = Validator::directed().check_csr(&csr, 2);
+        assert_eq!(r.by_rule(Rule::NeighborInBounds).count(), 1);
+    }
+
+    #[test]
+    fn broken_symmetry_is_caught() {
+        // 0 lists 1, but 1's list is empty.
+        let csr = Csr::<u32>::from_adjacency(vec![vec![1], vec![]]);
+        let g = UndirectedCsr::from_csr_unchecked(csr, 1);
+        let r = Validator::new().check_undirected(&g);
+        assert!(r.by_rule(Rule::Symmetric).next().is_some(), "{r}");
+        // And the entry count no longer matches 2·|E|.
+        assert!(r.by_rule(Rule::EdgeCountConsistent).next().is_some(), "{r}");
+    }
+
+    #[test]
+    fn forward_graph_passes_directed_checks() {
+        let f = k4().forward_graph();
+        assert!(Validator::directed().check_csr(&f, 4).is_clean());
+    }
+
+    #[test]
+    fn canonical_edge_list_passes_and_raw_fails() {
+        let mut el = EdgeList::from_pairs(vec![(1, 0), (2, 2), (0, 1)]);
+        let raw = Validator::new().check_edge_list(&el);
+        assert!(!raw.is_clean());
+        el.canonicalize();
+        assert!(Validator::new().check_edge_list(&el).is_clean());
+    }
+
+    #[test]
+    fn relabeling_checks() {
+        let good = Relabeling::hub_first(&[3, 1, 4, 1, 5], 2);
+        assert!(Validator::new().check_relabeling(&good).is_clean());
+        let id = Relabeling::identity(10);
+        assert!(Validator::new().check_relabeling(&id).is_clean());
+    }
+}

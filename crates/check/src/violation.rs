@@ -1,0 +1,291 @@
+//! Machine-readable diagnostics produced by the validator.
+//!
+//! Every failed invariant becomes a [`Violation`] carrying the broken
+//! [`Rule`], the vertex it anchors to, and (when meaningful) the offset
+//! into the flat neighbour array — enough for tooling to jump straight to
+//! the corrupt entry. A [`Report`] aggregates violations and caps how
+//! many it materializes so validating a thoroughly broken multi-gigabyte
+//! graph cannot exhaust memory.
+
+use std::fmt;
+
+use lotus_graph::VertexId;
+
+/// A structural invariant checked by the validator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum Rule {
+    /// CSX offsets must be non-decreasing, start at 0, and end at the
+    /// entry count.
+    OffsetsMonotonic,
+    /// Every neighbour ID must be `< num_vertices` (or the stated bound).
+    NeighborInBounds,
+    /// Every neighbour list must be sorted ascending.
+    ListSorted,
+    /// Neighbour lists must not contain duplicate entries.
+    ListDeduplicated,
+    /// A vertex must not list itself as a neighbour.
+    NoSelfLoop,
+    /// `UndirectedCsr`: if `u` lists `v`, `v` must list `u`.
+    Symmetric,
+    /// `UndirectedCsr`: stored entries must equal `2 · num_edges`.
+    EdgeCountConsistent,
+    /// `UndirectedCsr`: `lower_neighbors(v)` must be exactly the `< v`
+    /// prefix of the sorted list (the `N⁻` Forward orientation).
+    LowerPrefix,
+    /// A relabeling must be a bijective permutation of `0..n`.
+    RelabelingBijective,
+    /// LOTUS hub IDs must fit 16 bits (`hub_count ≤ 2¹⁶`) and every HE
+    /// entry must be a hub.
+    HubIdFitsU16,
+    /// HE entries must be hubs `< v`; NHE entries must be non-hubs `< v`;
+    /// hubs must have empty NHE lists.
+    HubCutoffRespected,
+    /// H2H bits must correspond exactly to hub–hub HE edges.
+    H2HConsistent,
+    /// HE + NHE edges must sum to the source graph's edge count.
+    EdgePartitionExact,
+    /// The per-type triangle counts (HHH, HHN, HNN, NNN) must sum to the
+    /// reference total.
+    PhaseSumMatchesTotal,
+    /// Two triangle-counting implementations returned different totals.
+    CountDisagreement,
+}
+
+impl Rule {
+    /// Stable machine-readable rule name (kebab-case).
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::OffsetsMonotonic => "offsets-monotonic",
+            Rule::NeighborInBounds => "neighbor-in-bounds",
+            Rule::ListSorted => "list-sorted",
+            Rule::ListDeduplicated => "list-deduplicated",
+            Rule::NoSelfLoop => "no-self-loop",
+            Rule::Symmetric => "symmetric",
+            Rule::EdgeCountConsistent => "edge-count-consistent",
+            Rule::LowerPrefix => "lower-prefix",
+            Rule::RelabelingBijective => "relabeling-bijective",
+            Rule::HubIdFitsU16 => "hub-id-fits-u16",
+            Rule::HubCutoffRespected => "hub-cutoff-respected",
+            Rule::H2HConsistent => "h2h-consistent",
+            Rule::EdgePartitionExact => "edge-partition-exact",
+            Rule::PhaseSumMatchesTotal => "phase-sum-matches-total",
+            Rule::CountDisagreement => "count-disagreement",
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One broken invariant, anchored to a location in the structure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// The rule that failed.
+    pub rule: Rule,
+    /// The vertex the violation anchors to, when the rule is per-vertex.
+    pub vertex: Option<VertexId>,
+    /// Offset into the flat neighbour array, when the rule is per-entry.
+    pub offset: Option<u64>,
+    /// Human-readable detail (values involved, expectation vs reality).
+    pub detail: String,
+}
+
+impl Violation {
+    /// A violation with rule and detail only.
+    pub fn new(rule: Rule, detail: impl Into<String>) -> Self {
+        Self {
+            rule,
+            vertex: None,
+            offset: None,
+            detail: detail.into(),
+        }
+    }
+
+    /// Anchors the violation to a vertex.
+    #[must_use]
+    pub fn at_vertex(mut self, v: VertexId) -> Self {
+        self.vertex = Some(v);
+        self
+    }
+
+    /// Anchors the violation to a flat-array offset.
+    #[must_use]
+    pub fn at_offset(mut self, o: u64) -> Self {
+        self.offset = Some(o);
+        self
+    }
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}]", self.rule)?;
+        if let Some(v) = self.vertex {
+            write!(f, " vertex {v}")?;
+        }
+        if let Some(o) = self.offset {
+            write!(f, " offset {o}")?;
+        }
+        write!(f, ": {}", self.detail)
+    }
+}
+
+/// Maximum violations a [`Report`] materializes; further failures are
+/// only counted.
+pub const MAX_RECORDED: usize = 100;
+
+/// Aggregated validation outcome.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Report {
+    violations: Vec<Violation>,
+    /// Total violations found, including ones beyond [`MAX_RECORDED`].
+    total: usize,
+}
+
+impl Report {
+    /// An empty (clean) report.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a violation (dropped beyond [`MAX_RECORDED`], but always
+    /// counted).
+    pub fn push(&mut self, v: Violation) {
+        self.total += 1;
+        if self.violations.len() < MAX_RECORDED {
+            self.violations.push(v);
+        }
+    }
+
+    /// Absorbs another report.
+    pub fn merge(&mut self, other: Report) {
+        self.total += other.total;
+        let room = MAX_RECORDED.saturating_sub(self.violations.len());
+        self.violations
+            .extend(other.violations.into_iter().take(room));
+    }
+
+    /// True when no invariant failed.
+    pub fn is_clean(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Total number of violations found (recorded or not).
+    pub fn len(&self) -> usize {
+        self.total
+    }
+
+    /// True when no invariant failed (mirrors [`Report::is_clean`]).
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// The recorded violations (at most [`MAX_RECORDED`]).
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    /// Violations matching a specific rule.
+    pub fn by_rule(&self, rule: Rule) -> impl Iterator<Item = &Violation> {
+        self.violations.iter().filter(move |v| v.rule == rule)
+    }
+
+    /// Converts to `Err(self)` when violations exist.
+    pub fn into_result(self) -> Result<(), Report> {
+        if self.is_clean() {
+            Ok(())
+        } else {
+            Err(self)
+        }
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_clean() {
+            return write!(f, "ok: no violations");
+        }
+        writeln!(f, "{} violation(s):", self.total)?;
+        for v in &self.violations {
+            writeln!(f, "  {v}")?;
+        }
+        if self.total > self.violations.len() {
+            writeln!(f, "  ... and {} more", self.total - self.violations.len())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn violation_display_includes_anchors() {
+        let v = Violation::new(Rule::ListSorted, "7 after 9")
+            .at_vertex(3)
+            .at_offset(12);
+        let s = v.to_string();
+        assert!(s.contains("list-sorted"), "{s}");
+        assert!(s.contains("vertex 3"), "{s}");
+        assert!(s.contains("offset 12"), "{s}");
+    }
+
+    #[test]
+    fn report_caps_recorded_violations() {
+        let mut r = Report::new();
+        for i in 0..(MAX_RECORDED + 50) {
+            r.push(Violation::new(Rule::NoSelfLoop, format!("{i}")));
+        }
+        assert_eq!(r.len(), MAX_RECORDED + 50);
+        assert_eq!(r.violations().len(), MAX_RECORDED);
+        assert!(r.to_string().contains("and 50 more"));
+    }
+
+    #[test]
+    fn merge_accumulates_totals() {
+        let mut a = Report::new();
+        a.push(Violation::new(Rule::Symmetric, "x"));
+        let mut b = Report::new();
+        b.push(Violation::new(Rule::NoSelfLoop, "y"));
+        a.merge(b);
+        assert_eq!(a.len(), 2);
+        assert!(a.by_rule(Rule::Symmetric).count() == 1);
+        assert!(a.into_result().is_err());
+    }
+
+    #[test]
+    fn clean_report_is_ok() {
+        let r = Report::new();
+        assert!(r.is_clean());
+        assert!(r.is_empty());
+        assert_eq!(r.to_string(), "ok: no violations");
+        assert!(r.into_result().is_ok());
+    }
+
+    #[test]
+    fn rule_names_are_unique() {
+        let all = [
+            Rule::OffsetsMonotonic,
+            Rule::NeighborInBounds,
+            Rule::ListSorted,
+            Rule::ListDeduplicated,
+            Rule::NoSelfLoop,
+            Rule::Symmetric,
+            Rule::EdgeCountConsistent,
+            Rule::LowerPrefix,
+            Rule::RelabelingBijective,
+            Rule::HubIdFitsU16,
+            Rule::HubCutoffRespected,
+            Rule::H2HConsistent,
+            Rule::EdgePartitionExact,
+            Rule::PhaseSumMatchesTotal,
+            Rule::CountDisagreement,
+        ];
+        let names: std::collections::HashSet<_> = all.iter().map(|r| r.name()).collect();
+        assert_eq!(names.len(), all.len());
+    }
+}

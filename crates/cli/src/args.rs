@@ -13,6 +13,7 @@ USAGE:
   lotus generate <rmat|ba|er|ws> --scale S [--edge-factor F] [--seed X]
                  [--params social|web|mild] -o <file>
   lotus convert <input> <output>
+  lotus check <graph> [--hubs N] [--differential]
   lotus help
 
 Graph files: whitespace edge lists (any extension) or binary .lotg files.";
@@ -28,6 +29,8 @@ pub enum Command {
     Generate(GenerateArgs),
     /// `lotus convert`.
     Convert(ConvertArgs),
+    /// `lotus check`.
+    Check(CheckArgs),
     /// `lotus help`.
     Help,
 }
@@ -80,6 +83,17 @@ pub struct ConvertArgs {
     pub output: String,
 }
 
+/// Arguments of `lotus check`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckArgs {
+    /// Input graph path.
+    pub input: String,
+    /// Optional fixed hub count for the LOTUS structure checks.
+    pub hubs: Option<u32>,
+    /// Also run the full differential oracle (every algorithm).
+    pub differential: bool,
+}
+
 /// Parse failure with a user-facing message.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseError(pub String);
@@ -108,7 +122,9 @@ fn parse_num<T: std::str::FromStr>(flag: &str, value: &str) -> Result<T, ParseEr
 /// Parses an argument vector (without the program name).
 pub fn parse(argv: &[&str]) -> Result<Command, ParseError> {
     let mut it = argv.iter().copied();
-    let sub = it.next().ok_or_else(|| ParseError("missing subcommand".into()))?;
+    let sub = it
+        .next()
+        .ok_or_else(|| ParseError("missing subcommand".into()))?;
     match sub {
         "help" | "--help" | "-h" => Ok(Command::Help),
         "count" => {
@@ -122,13 +138,18 @@ pub fn parse(argv: &[&str]) -> Result<Command, ParseError> {
                     "--hubs" => hubs = Some(parse_num(arg, &take_value(arg, &mut it)?)?),
                     "--per-vertex" => per_vertex = true,
                     _ if input.is_none() && !arg.starts_with('-') => {
-                        input = Some(arg.to_string())
+                        input = Some(arg.to_string());
                     }
                     _ => return Err(ParseError(format!("unexpected argument '{arg}'"))),
                 }
             }
             let input = input.ok_or_else(|| ParseError("count: missing graph path".into()))?;
-            Ok(Command::Count(CountArgs { input, algorithm, hubs, per_vertex }))
+            Ok(Command::Count(CountArgs {
+                input,
+                algorithm,
+                hubs,
+                per_vertex,
+            }))
         }
         "analyze" => {
             let mut input = None;
@@ -136,20 +157,22 @@ pub fn parse(argv: &[&str]) -> Result<Command, ParseError> {
             while let Some(arg) = it.next() {
                 match arg {
                     "--hub-fraction" => {
-                        hub_fraction = parse_num(arg, &take_value(arg, &mut it)?)?
+                        hub_fraction = parse_num(arg, &take_value(arg, &mut it)?)?;
                     }
                     _ if input.is_none() && !arg.starts_with('-') => {
-                        input = Some(arg.to_string())
+                        input = Some(arg.to_string());
                     }
                     _ => return Err(ParseError(format!("unexpected argument '{arg}'"))),
                 }
             }
-            let input =
-                input.ok_or_else(|| ParseError("analyze: missing graph path".into()))?;
+            let input = input.ok_or_else(|| ParseError("analyze: missing graph path".into()))?;
             if !(hub_fraction > 0.0 && hub_fraction <= 1.0) {
                 return Err(ParseError("--hub-fraction must be in (0, 1]".into()));
             }
-            Ok(Command::Analyze(AnalyzeArgs { input, hub_fraction }))
+            Ok(Command::Analyze(AnalyzeArgs {
+                input,
+                hub_fraction,
+            }))
         }
         "generate" => {
             let kind = it
@@ -164,10 +187,10 @@ pub fn parse(argv: &[&str]) -> Result<Command, ParseError> {
             while let Some(arg) = it.next() {
                 match arg {
                     "--scale" | "-s" => {
-                        scale = Some(parse_num(arg, &take_value(arg, &mut it)?)?)
+                        scale = Some(parse_num(arg, &take_value(arg, &mut it)?)?);
                     }
                     "--edge-factor" | "-e" => {
-                        edge_factor = parse_num(arg, &take_value(arg, &mut it)?)?
+                        edge_factor = parse_num(arg, &take_value(arg, &mut it)?)?;
                     }
                     "--seed" => seed = parse_num(arg, &take_value(arg, &mut it)?)?,
                     "--params" => params = take_value(arg, &mut it)?,
@@ -176,15 +199,42 @@ pub fn parse(argv: &[&str]) -> Result<Command, ParseError> {
                 }
             }
             let scale = scale.ok_or_else(|| ParseError("generate: --scale required".into()))?;
-            let output =
-                output.ok_or_else(|| ParseError("generate: -o <file> required".into()))?;
+            let output = output.ok_or_else(|| ParseError("generate: -o <file> required".into()))?;
             if !["rmat", "ba", "er", "ws"].contains(&kind.as_str()) {
                 return Err(ParseError(format!("unknown generator '{kind}'")));
             }
             if !["social", "web", "mild"].contains(&params.as_str()) {
                 return Err(ParseError(format!("unknown params preset '{params}'")));
             }
-            Ok(Command::Generate(GenerateArgs { kind, scale, edge_factor, seed, params, output }))
+            Ok(Command::Generate(GenerateArgs {
+                kind,
+                scale,
+                edge_factor,
+                seed,
+                params,
+                output,
+            }))
+        }
+        "check" => {
+            let mut input = None;
+            let mut hubs = None;
+            let mut differential = false;
+            while let Some(arg) = it.next() {
+                match arg {
+                    "--hubs" => hubs = Some(parse_num(arg, &take_value(arg, &mut it)?)?),
+                    "--differential" => differential = true,
+                    _ if input.is_none() && !arg.starts_with('-') => {
+                        input = Some(arg.to_string());
+                    }
+                    _ => return Err(ParseError(format!("unexpected argument '{arg}'"))),
+                }
+            }
+            let input = input.ok_or_else(|| ParseError("check: missing graph path".into()))?;
+            Ok(Command::Check(CheckArgs {
+                input,
+                hubs,
+                differential,
+            }))
         }
         "convert" => {
             let input = it
@@ -221,8 +271,16 @@ mod tests {
 
     #[test]
     fn parses_count_flags() {
-        let c = parse(&["count", "g.lotg", "--algorithm", "forward", "--hubs", "512", "--per-vertex"])
-            .unwrap();
+        let c = parse(&[
+            "count",
+            "g.lotg",
+            "--algorithm",
+            "forward",
+            "--hubs",
+            "512",
+            "--per-vertex",
+        ])
+        .unwrap();
         match c {
             Command::Count(a) => {
                 assert_eq!(a.algorithm, "forward");
@@ -236,8 +294,18 @@ mod tests {
     #[test]
     fn parses_generate() {
         let c = parse(&[
-            "generate", "rmat", "--scale", "12", "--edge-factor", "8", "--seed", "7",
-            "--params", "web", "-o", "out.lotg",
+            "generate",
+            "rmat",
+            "--scale",
+            "12",
+            "--edge-factor",
+            "8",
+            "--seed",
+            "7",
+            "--params",
+            "web",
+            "-o",
+            "out.lotg",
         ])
         .unwrap();
         match c {
@@ -263,6 +331,29 @@ mod tests {
         assert!(parse(&["generate", "nope", "--scale", "4", "-o", "x"]).is_err());
         assert!(parse(&["analyze", "g", "--hub-fraction", "2.0"]).is_err());
         assert!(parse(&["convert", "only-one"]).is_err());
+    }
+
+    #[test]
+    fn parses_check() {
+        let c = parse(&["check", "g.lotg", "--hubs", "64", "--differential"]).unwrap();
+        assert_eq!(
+            c,
+            Command::Check(CheckArgs {
+                input: "g.lotg".into(),
+                hubs: Some(64),
+                differential: true,
+            })
+        );
+        assert_eq!(
+            parse(&["check", "g.txt"]).unwrap(),
+            Command::Check(CheckArgs {
+                input: "g.txt".into(),
+                hubs: None,
+                differential: false
+            })
+        );
+        assert!(parse(&["check"]).is_err());
+        assert!(parse(&["check", "g.txt", "--hubs"]).is_err());
     }
 
     #[test]

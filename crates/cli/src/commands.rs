@@ -18,7 +18,7 @@ use lotus_core::preprocess::build_lotus_graph;
 use lotus_gen::{BarabasiAlbert, ErdosRenyi, Rmat, RmatParams, WattsStrogatz};
 use lotus_graph::{io, EdgeList, GraphStats, UndirectedCsr};
 
-use crate::args::{AnalyzeArgs, ConvertArgs, CountArgs, GenerateArgs};
+use crate::args::{AnalyzeArgs, CheckArgs, ConvertArgs, CountArgs, GenerateArgs};
 
 /// Loads an edge list, selecting the format by extension.
 fn load_edges(path: &str) -> Result<EdgeList, String> {
@@ -59,8 +59,14 @@ pub fn count(args: CountArgs) -> Result<String, String> {
         }
         "forward" => {
             let r = ForwardCounter::new().count(&graph);
-            (r.triangles, format!("preprocess {:.3}s count {:.3}s",
-                r.preprocess.as_secs_f64(), r.count.as_secs_f64()))
+            (
+                r.triangles,
+                format!(
+                    "preprocess {:.3}s count {:.3}s",
+                    r.preprocess.as_secs_f64(),
+                    r.count.as_secs_f64()
+                ),
+            )
         }
         "edge-iterator" => {
             let r = edge_iterator_count_timed(&graph, IntersectKind::Merge);
@@ -80,13 +86,21 @@ pub fn count(args: CountArgs) -> Result<String, String> {
                 ChosenAlgorithm::Lotus => "lotus",
                 ChosenAlgorithm::Forward => "forward",
             };
-            (r.triangles, format!("dispatched to {picked} (skew {:.2})", r.skew_ratio))
+            (
+                r.triangles,
+                format!("dispatched to {picked} (skew {:.2})", r.skew_ratio),
+            )
         }
         other => return Err(format!("unknown algorithm '{other}'")),
     };
     let elapsed = start.elapsed();
     let _ = writeln!(out, "triangles: {triangles}");
-    let _ = writeln!(out, "time: {:.3}s ({})", elapsed.as_secs_f64(), args.algorithm);
+    let _ = writeln!(
+        out,
+        "time: {:.3}s ({})",
+        elapsed.as_secs_f64(),
+        args.algorithm
+    );
     if !detail.is_empty() {
         let _ = writeln!(out, "{detail}");
     }
@@ -112,18 +126,40 @@ pub fn analyze(args: AnalyzeArgs) -> Result<String, String> {
     let _ = writeln!(out, "{}", GraphStats::of(&graph));
 
     let s = hub_stats(&graph, args.hub_fraction);
-    let _ = writeln!(out, "hubs ({} = top {:.1}% by degree):", s.hub_count, args.hub_fraction * 100.0);
-    let _ = writeln!(out, "  hub-to-hub edges:     {:>6.1}%", s.hub_to_hub * 100.0);
-    let _ = writeln!(out, "  hub-to-non-hub edges: {:>6.1}%", s.hub_to_nonhub * 100.0);
+    let _ = writeln!(
+        out,
+        "hubs ({} = top {:.1}% by degree):",
+        s.hub_count,
+        args.hub_fraction * 100.0
+    );
+    let _ = writeln!(
+        out,
+        "  hub-to-hub edges:     {:>6.1}%",
+        s.hub_to_hub * 100.0
+    );
+    let _ = writeln!(
+        out,
+        "  hub-to-non-hub edges: {:>6.1}%",
+        s.hub_to_nonhub * 100.0
+    );
     let _ = writeln!(out, "  non-hub edges:        {:>6.1}%", s.nonhub * 100.0);
-    let _ = writeln!(out, "  hub triangles:        {:>6.1}%", s.hub_triangles * 100.0);
+    let _ = writeln!(
+        out,
+        "  hub triangles:        {:>6.1}%",
+        s.hub_triangles * 100.0
+    );
     let _ = writeln!(out, "  hub relative density: {:>6.0}x", s.relative_density);
     let _ = writeln!(out, "  fruitless accesses:   {:>6.1}%", s.fruitless * 100.0);
 
     let lg = build_lotus_graph(&graph, &LotusConfig::auto(&graph));
     let sizes = topology_sizes(&graph, &lg);
-    let _ = writeln!(out, "topology: CSX {} B, LOTUS {} B ({:+.1}%)",
-        sizes.csx, sizes.lotus, sizes.growth_percent());
+    let _ = writeln!(
+        out,
+        "topology: CSX {} B, LOTUS {} B ({:+.1}%)",
+        sizes.csx,
+        sizes.lotus,
+        sizes.growth_percent()
+    );
     Ok(out)
 }
 
@@ -137,13 +173,16 @@ pub fn generate(args: GenerateArgs) -> Result<String, String> {
                 "mild" => RmatParams::MILD,
                 _ => RmatParams::GRAPH500,
             };
-            Rmat { scale: args.scale, edge_factor: args.edge_factor, params, noise: 0.05 }
-                .generate_edges(args.seed)
+            Rmat {
+                scale: args.scale,
+                edge_factor: args.edge_factor,
+                params,
+                noise: 0.05,
+            }
+            .generate_edges(args.seed)
         }
-        "ba" => BarabasiAlbert::new(n, args.edge_factor.clamp(1, n - 1))
-            .generate_edges(args.seed),
-        "er" => ErdosRenyi::new(n, args.edge_factor as u64 * n as u64)
-            .generate_edges(args.seed),
+        "ba" => BarabasiAlbert::new(n, args.edge_factor.clamp(1, n - 1)).generate_edges(args.seed),
+        "er" => ErdosRenyi::new(n, args.edge_factor as u64 * n as u64).generate_edges(args.seed),
         "ws" => {
             let k = (args.edge_factor & !1).max(2).min(n - 1);
             WattsStrogatz::new(n, k, 0.1).generate_edges(args.seed)
@@ -159,12 +198,76 @@ pub fn generate(args: GenerateArgs) -> Result<String, String> {
     ))
 }
 
+/// `lotus check`: structural validation, LOTUS-structure checks, and the
+/// phase-sum cross-check; `--differential` additionally runs every
+/// algorithm in the workspace and compares counts. Returns `Err` (nonzero
+/// exit) when any violation is found, so it can gate CI.
+pub fn check(args: CheckArgs) -> Result<String, String> {
+    let graph = load_graph(&args.input)?;
+    let mut out = String::new();
+    let _ = writeln!(out, "{}", GraphStats::of(&graph));
+    let mut violations = 0usize;
+
+    let structural = lotus_check::Validator::new().check_undirected(&graph);
+    violations += structural.len();
+    let _ = writeln!(out, "structural (csr/symmetry/ordering): {structural}");
+
+    let config = lotus_config(args.hubs, &graph);
+    let lg = build_lotus_graph(&graph, &config);
+    let lotus_report = lotus_check::lotus::check_lotus_graph(&lg);
+    violations += lotus_report.len();
+    let _ = writeln!(
+        out,
+        "lotus structure ({} hubs, he/nhe/h2h/relabeling): {lotus_report}",
+        lg.hub_count
+    );
+
+    let result = LotusCounter::new(config).count_prepared(&lg);
+    let reference = ForwardCounter::new().count(&graph).triangles;
+    let phase = lotus_check::lotus::check_phase_sum(&result.stats, reference);
+    violations += phase.len();
+    let _ = writeln!(
+        out,
+        "phase sum (hhh {} + hhn {} + hnn {} + nnn {} vs forward {reference}): {phase}",
+        result.stats.hhh, result.stats.hhn, result.stats.hnn, result.stats.nnn
+    );
+
+    if args.differential {
+        let diff = lotus_check::differential::run(&graph);
+        violations += diff.disagreements.len();
+        let _ = writeln!(
+            out,
+            "differential ({} algorithms): {}",
+            diff.runs.len(),
+            diff.disagreements
+        );
+        if let Some(cex) = &diff.counterexample {
+            let _ = writeln!(out, "minimized counterexample ({} edges):", cex.len());
+            for &(u, v) in cex.pairs() {
+                let _ = writeln!(out, "  {u} {v}");
+            }
+        }
+    }
+
+    if violations == 0 {
+        let _ = writeln!(out, "ok: no violations");
+        Ok(out)
+    } else {
+        let _ = writeln!(out, "FAILED: {violations} violation(s)");
+        Err(out)
+    }
+}
+
 /// `lotus convert`.
 pub fn convert(args: ConvertArgs) -> Result<String, String> {
     let mut el = load_edges(&args.input)?;
     el.canonicalize();
     save_edges(&el, &args.output)?;
-    Ok(format!("wrote {} canonical edges to {}", el.len(), args.output))
+    Ok(format!(
+        "wrote {} canonical edges to {}",
+        el.len(),
+        args.output
+    ))
 }
 
 fn save_edges(el: &EdgeList, path: &str) -> Result<(), String> {
@@ -226,7 +329,11 @@ mod tests {
             assert_eq!(extract_triangles(&out), reference, "{alg}");
         }
 
-        let out = analyze(AnalyzeArgs { input: path.clone(), hub_fraction: 0.01 }).unwrap();
+        let out = analyze(AnalyzeArgs {
+            input: path.clone(),
+            hub_fraction: 0.01,
+        })
+        .unwrap();
         assert!(out.contains("hub triangles"), "{out}");
         std::fs::remove_file(&path).ok();
     }
@@ -236,7 +343,11 @@ mod tests {
         let txt = tmp("conv.el");
         let bin = tmp("conv.lotg");
         std::fs::write(&txt, "0 1\n1 2\n2 0\n").unwrap();
-        convert(ConvertArgs { input: txt.clone(), output: bin.clone() }).unwrap();
+        convert(ConvertArgs {
+            input: txt.clone(),
+            output: bin.clone(),
+        })
+        .unwrap();
         let out = count(CountArgs {
             input: bin.clone(),
             algorithm: "forward".into(),
@@ -247,6 +358,29 @@ mod tests {
         assert_eq!(extract_triangles(&out), 1);
         std::fs::remove_file(&txt).ok();
         std::fs::remove_file(&bin).ok();
+    }
+
+    #[test]
+    fn check_reports_clean_rmat() {
+        let path = tmp("check.lotg");
+        generate(GenerateArgs {
+            kind: "rmat".into(),
+            scale: 8,
+            edge_factor: 8,
+            seed: 11,
+            params: "social".into(),
+            output: path.clone(),
+        })
+        .unwrap();
+        let out = check(CheckArgs {
+            input: path.clone(),
+            hubs: Some(32),
+            differential: true,
+        })
+        .unwrap();
+        assert!(out.contains("ok: no violations"), "{out}");
+        assert!(out.contains("differential"), "{out}");
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

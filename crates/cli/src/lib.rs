@@ -7,6 +7,8 @@
 //! * `generate <kind> --scale S [--edge-factor F] [--seed X] -o FILE` —
 //!   synthetic graph generation.
 //! * `convert <in> <out>` — text ↔ binary edge-list conversion.
+//! * `check <graph> [--hubs N] [--differential]` — structural and LOTUS
+//!   invariant audit, optionally cross-checking every algorithm's count.
 //!
 //! Graph files are whitespace edge lists (`.txt`, `.el`) or the binary
 //! `.lotg` format; the format is chosen by extension.
@@ -23,6 +25,7 @@ pub fn run(cmd: Command) -> Result<String, String> {
         Command::Analyze(c) => commands::analyze(c),
         Command::Generate(c) => commands::generate(c),
         Command::Convert(c) => commands::convert(c),
+        Command::Check(c) => commands::check(c),
         Command::Help => Ok(args::USAGE.to_string()),
     }
 }

@@ -46,7 +46,9 @@ pub struct AdaptiveConfig {
 
 impl Default for AdaptiveConfig {
     fn default() -> Self {
-        Self { skew_ratio_threshold: 2.0 }
+        Self {
+            skew_ratio_threshold: 2.0,
+        }
     }
 }
 
@@ -102,7 +104,9 @@ mod tests {
     #[test]
     fn threshold_flips_decision() {
         let g = lotus_gen::WattsStrogatz::new(500, 6, 0.2).generate(3);
-        let strict = AdaptiveConfig { skew_ratio_threshold: 0.1 };
+        let strict = AdaptiveConfig {
+            skew_ratio_threshold: 0.1,
+        };
         let r = adaptive_count(&g, &LotusConfig::default(), &strict);
         assert_eq!(r.algorithm, ChosenAlgorithm::Lotus);
     }

@@ -71,7 +71,10 @@ impl LotusConfig {
 
     /// The paper's exact constants (64K hubs, 10% head, threshold 512).
     pub fn paper() -> Self {
-        Self { hub_count: HubCount::Fixed(PAPER_HUB_COUNT), ..Self::default() }
+        Self {
+            hub_count: HubCount::Fixed(PAPER_HUB_COUNT),
+            ..Self::default()
+        }
     }
 
     /// Overrides the hub-count policy.

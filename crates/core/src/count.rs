@@ -343,7 +343,11 @@ mod tests {
         let want = LotusCounter::new(cfg(64)).count(&g).total();
         for threshold in [1u32, 4, 32, 10_000] {
             let c = cfg(64).with_tiling_threshold(threshold);
-            assert_eq!(LotusCounter::new(c).count(&g).total(), want, "thr {threshold}");
+            assert_eq!(
+                LotusCounter::new(c).count(&g).total(),
+                want,
+                "thr {threshold}"
+            );
         }
     }
 

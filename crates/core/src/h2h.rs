@@ -37,7 +37,11 @@ impl TriBitArray {
     /// Creates an all-zero array.
     pub fn new(hub_count: u32) -> Self {
         let words = Self::bit_len(hub_count).div_ceil(64) as usize;
-        Self { words: vec![0u64; words], hub_count, bits_set: 0 }
+        Self {
+            words: vec![0u64; words],
+            hub_count,
+            bits_set: 0,
+        }
     }
 
     /// Number of hubs covered.
@@ -135,7 +139,10 @@ impl TriBitArrayBuilder {
     /// Creates an all-zero concurrent builder.
     pub fn new(hub_count: u32) -> Self {
         let words = TriBitArray::bit_len(hub_count).div_ceil(64) as usize;
-        Self { words: (0..words).map(|_| AtomicU64::new(0)).collect(), hub_count }
+        Self {
+            words: (0..words).map(|_| AtomicU64::new(0)).collect(),
+            hub_count,
+        }
     }
 
     /// Atomically sets the bit for `(h1, h2)`; order-insensitive.
@@ -149,9 +156,17 @@ impl TriBitArrayBuilder {
 
     /// Freezes into the immutable array, computing the popcount.
     pub fn freeze(self) -> TriBitArray {
-        let words: Vec<u64> = self.words.into_iter().map(|w| w.into_inner()).collect();
+        let words: Vec<u64> = self
+            .words
+            .into_iter()
+            .map(std::sync::atomic::AtomicU64::into_inner)
+            .collect();
         let bits_set = words.iter().map(|w| w.count_ones() as u64).sum();
-        TriBitArray { words, hub_count: self.hub_count, bits_set }
+        TriBitArray {
+            words,
+            hub_count: self.hub_count,
+            bits_set,
+        }
     }
 }
 

@@ -117,17 +117,16 @@ impl KCliqueSplit {
 /// Non-hub cliques live entirely inside the NHE sub-graph, so they are
 /// counted there (LOTUS's pruning argument, §3.3, applied to cliques);
 /// hub cliques are the remainder.
-pub fn count_kcliques_split(
-    graph: &UndirectedCsr,
-    k: usize,
-    config: &LotusConfig,
-) -> KCliqueSplit {
+pub fn count_kcliques_split(graph: &UndirectedCsr, k: usize, config: &LotusConfig) -> KCliqueSplit {
     assert!(k >= 3);
     let total = count_kcliques(graph, k);
     let lg = build_lotus_graph(graph, config);
     let residual = crate::recursive::extract_nonhub_graph(&lg);
     let nonhub = count_kcliques(&residual, k);
-    KCliqueSplit { hub_cliques: total - nonhub, nonhub_cliques: nonhub }
+    KCliqueSplit {
+        hub_cliques: total - nonhub,
+        nonhub_cliques: nonhub,
+    }
 }
 
 #[cfg(test)]
@@ -162,7 +161,10 @@ mod tests {
     #[test]
     fn k3_matches_triangle_count() {
         let g = lotus_gen::Rmat::new(9, 8).generate(33);
-        assert_eq!(count_kcliques(&g, 3), lotus_algos::forward::forward_count(&g));
+        assert_eq!(
+            count_kcliques(&g, 3),
+            lotus_algos::forward::forward_count(&g)
+        );
     }
 
     #[test]
@@ -175,8 +177,7 @@ mod tests {
     #[test]
     fn split_sums_to_total() {
         let g = lotus_gen::Rmat::new(9, 10).generate(44);
-        let cfg = LotusConfig::default()
-            .with_hub_count(crate::config::HubCount::Fixed(32));
+        let cfg = LotusConfig::default().with_hub_count(crate::config::HubCount::Fixed(32));
         for k in 3..=4 {
             let split = count_kcliques_split(&g, k, &cfg);
             assert_eq!(split.total(), count_kcliques(&g, k), "k={k}");
@@ -187,8 +188,7 @@ mod tests {
     fn hub_cliques_dominate_on_skewed_graphs() {
         // The paper's hypothesis (§7): skew sharpens with k.
         let g = lotus_gen::Rmat::new(10, 12).generate(55);
-        let cfg = LotusConfig::default()
-            .with_hub_count(crate::config::HubCount::Fixed(64));
+        let cfg = LotusConfig::default().with_hub_count(crate::config::HubCount::Fixed(64));
         let s3 = count_kcliques_split(&g, 3, &cfg);
         let s4 = count_kcliques_split(&g, 4, &cfg);
         assert!(s3.hub_fraction() > 0.5);

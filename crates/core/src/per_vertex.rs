@@ -69,8 +69,7 @@ pub fn count_per_vertex(lg: &LotusGraph) -> Vec<u64> {
     // Map back to original IDs.
     let mut out = vec![0u64; n];
     for new_id in 0..n {
-        out[lg.relabeling.old_id(new_id as u32) as usize] =
-            counts[new_id].load(Ordering::Relaxed);
+        out[lg.relabeling.old_id(new_id as u32) as usize] = counts[new_id].load(Ordering::Relaxed);
     }
     out
 }
@@ -83,7 +82,10 @@ mod tests {
     use lotus_graph::builder::graph_from_edges;
 
     fn lotus(g: &lotus_graph::UndirectedCsr, hubs: u32) -> LotusGraph {
-        build_lotus_graph(g, &LotusConfig::default().with_hub_count(HubCount::Fixed(hubs)))
+        build_lotus_graph(
+            g,
+            &LotusConfig::default().with_hub_count(HubCount::Fixed(hubs)),
+        )
     }
 
     #[test]
@@ -109,7 +111,9 @@ mod tests {
     fn sum_is_three_times_total() {
         let g = lotus_gen::Rmat::new(9, 10).generate(23);
         let lg = lotus(&g, 64);
-        let total = crate::count::LotusCounter::default().count_prepared(&lg).total();
+        let total = crate::count::LotusCounter::default()
+            .count_prepared(&lg)
+            .total();
         let pv = count_per_vertex(&lg);
         assert_eq!(pv.iter().sum::<u64>(), 3 * total);
     }

@@ -108,14 +108,24 @@ pub fn build_lotus_graph(graph: &UndirectedCsr, config: &LotusConfig) -> LotusGr
 
     let he = Csr::from_parts(he_offsets, he_entries);
     let nhe = Csr::from_parts(nhe_offsets, nhe_entries);
-    LotusGraph {
+    let lg = LotusGraph {
         hub_count,
         h2h: h2h.freeze(),
         he,
         nhe,
         relabeling,
         num_edges: graph.num_edges(),
-    }
+    };
+    // `validate`-feature hook: re-check the full LOTUS structural
+    // invariants after preprocessing (debug-assert backed; `lotus check`
+    // runs the richer lotus-check validator with per-violation reports).
+    #[cfg(feature = "validate")]
+    debug_assert!(
+        lg.validate().is_ok(),
+        "LOTUS structure invalid: {:?}",
+        lg.validate()
+    );
+    lg
 }
 
 /// Splits a flat array into per-vertex windows according to offsets.

@@ -40,7 +40,11 @@ pub struct RecursiveLotus {
 
 impl Default for RecursiveLotus {
     fn default() -> Self {
-        Self { config: LotusConfig::default(), max_depth: 3, min_vertices: 1024 }
+        Self {
+            config: LotusConfig::default(),
+            max_depth: 3,
+            min_vertices: 1024,
+        }
     }
 }
 
@@ -48,7 +52,11 @@ impl RecursiveLotus {
     /// Creates a recursive counter.
     pub fn new(config: LotusConfig, max_depth: usize) -> Self {
         assert!(max_depth >= 1);
-        Self { config, max_depth, ..Self::default() }
+        Self {
+            config,
+            max_depth,
+            ..Self::default()
+        }
     }
 
     /// Counts triangles, recursing into the NHE sub-graph.
@@ -64,8 +72,11 @@ impl RecursiveLotus {
 
         // Hub phases (1 and 2) at this level.
         let counter = LotusCounter::new(self.config);
-        let tiles =
-            make_tiles(&lg.he, self.config.tiling_threshold, self.config.partitions_per_vertex);
+        let tiles = make_tiles(
+            &lg.he,
+            self.config.tiling_threshold,
+            self.config.partitions_per_vertex,
+        );
         let (hhh, hhn) = crate::count::count_hub_phase(&lg, &tiles);
         let hnn = crate::count::count_hnn_phase(&lg);
         out.hub_triangles_per_level.push(hhh + hhn + hnn);

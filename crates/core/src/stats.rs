@@ -56,7 +56,14 @@ mod tests {
 
     #[test]
     fn totals() {
-        let s = LotusStats { hhh: 1, hhn: 2, hnn: 3, nnn: 4, he_edges: 30, nhe_edges: 70 };
+        let s = LotusStats {
+            hhh: 1,
+            hhn: 2,
+            hnn: 3,
+            nnn: 4,
+            he_edges: 30,
+            nhe_edges: 70,
+        };
         assert_eq!(s.total(), 10);
         assert_eq!(s.hub_triangles(), 6);
         assert!((s.hub_triangle_fraction() - 0.6).abs() < 1e-12);

@@ -49,7 +49,10 @@ impl StreamingLotus {
     /// Convenience constructor matching LOTUS's auto policy:
     /// `min(2¹⁶, max(64, |V|/16))` hubs.
     pub fn from_degree_estimate(num_vertices: u32) -> Self {
-        Self::new(num_vertices, crate::config::HubCount::Auto.resolve(num_vertices))
+        Self::new(
+            num_vertices,
+            crate::config::HubCount::Auto.resolve(num_vertices),
+        )
     }
 
     /// Number of hubs.
@@ -146,7 +149,10 @@ impl StreamingLotus {
 
     /// Inserts a batch of edges, returning total triangles closed.
     pub fn insert_batch(&mut self, edges: impl IntoIterator<Item = (u32, u32)>) -> u64 {
-        edges.into_iter().filter_map(|(u, v)| self.insert(u, v)).sum()
+        edges
+            .into_iter()
+            .filter_map(|(u, v)| self.insert(u, v))
+            .sum()
     }
 }
 

@@ -42,8 +42,9 @@ impl SqrtFractions {
     /// Precomputes factors for `p` partitions.
     pub fn new(partitions: usize) -> Self {
         assert!(partitions >= 1);
-        let factors =
-            (0..=partitions).map(|k| (k as f64 / partitions as f64).sqrt()).collect();
+        let factors = (0..=partitions)
+            .map(|k| (k as f64 / partitions as f64).sqrt())
+            .collect();
         Self { factors }
     }
 
@@ -67,7 +68,11 @@ impl SqrtFractions {
         let bounds = self.boundaries(degree);
         for w in bounds.windows(2) {
             if w[0] < w[1] {
-                out.push(Tile { v, begin: w[0], end: w[1] });
+                out.push(Tile {
+                    v,
+                    begin: w[0],
+                    end: w[1],
+                });
             }
         }
     }
@@ -76,11 +81,7 @@ impl SqrtFractions {
 /// Builds the phase-1 work list over a sub-graph's neighbour lists:
 /// vertices with degree `> threshold` are split into `partitions` tiles by
 /// squared edge tiling; the rest become single whole-vertex tiles.
-pub fn make_tiles<N: NeighborId>(
-    sub: &Csr<N>,
-    threshold: u32,
-    partitions: usize,
-) -> Vec<Tile> {
+pub fn make_tiles<N: NeighborId>(sub: &Csr<N>, threshold: u32, partitions: usize) -> Vec<Tile> {
     let fractions = SqrtFractions::new(partitions.max(1));
     let mut tiles = Vec::new();
     for v in 0..sub.num_vertices() {
@@ -91,7 +92,11 @@ pub fn make_tiles<N: NeighborId>(
         if d > threshold {
             fractions.tiles_for(v, d, &mut tiles);
         } else {
-            tiles.push(Tile { v, begin: 0, end: d });
+            tiles.push(Tile {
+                v,
+                begin: 0,
+                end: d,
+            });
         }
     }
     tiles
@@ -122,11 +127,23 @@ mod tests {
     #[test]
     fn tile_work_formula() {
         // Whole list [0, d): work = d(d-1)/2.
-        let t = Tile { v: 0, begin: 0, end: 100 };
+        let t = Tile {
+            v: 0,
+            begin: 0,
+            end: 100,
+        };
         assert_eq!(t.work(), 100 * 99 / 2);
         // Split at 45: the two halves sum to the total.
-        let a = Tile { v: 0, begin: 0, end: 45 };
-        let b = Tile { v: 0, begin: 45, end: 100 };
+        let a = Tile {
+            v: 0,
+            begin: 0,
+            end: 45,
+        };
+        let b = Tile {
+            v: 0,
+            begin: 45,
+            end: 100,
+        };
         assert_eq!(a.work() + b.work(), t.work());
     }
 
@@ -176,6 +193,13 @@ mod tests {
         let f = SqrtFractions::new(1);
         let mut tiles = Vec::new();
         f.tiles_for(3, 50, &mut tiles);
-        assert_eq!(tiles, vec![Tile { v: 3, begin: 0, end: 50 }]);
+        assert_eq!(
+            tiles,
+            vec![Tile {
+                v: 3,
+                begin: 0,
+                end: 50
+            }]
+        );
     }
 }

@@ -35,9 +35,8 @@ fn complete_bipartite_is_triangle_free() {
 #[test]
 fn two_cliques_sharing_a_bridge() {
     // K10 on 0..10, K10 on 10..20, bridge edge (9, 10): no cross triangle.
-    let clique = |base: u32| {
-        (base..base + 10).flat_map(move |u| ((u + 1)..base + 10).map(move |v| (u, v)))
-    };
+    let clique =
+        |base: u32| (base..base + 10).flat_map(move |u| ((u + 1)..base + 10).map(move |v| (u, v)));
     let mut edges: Vec<(u32, u32)> = clique(0).chain(clique(10)).collect();
     edges.push((9, 10));
     let g = graph_from_edges(edges);

@@ -1,7 +1,8 @@
-//! Property tests for the LOTUS core data structures.
+//! Randomized property tests for the LOTUS core data structures
+//! (deterministic seeded cases; failures name the seed).
 
-use proptest::collection::vec;
-use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 
 use lotus_core::config::{HubCount, LotusConfig};
 use lotus_core::count::LotusCounter;
@@ -11,31 +12,44 @@ use lotus_core::per_vertex::count_per_vertex;
 use lotus_core::preprocess::build_lotus_graph;
 use lotus_graph::{EdgeList, UndirectedCsr};
 
+const CASES: u64 = 64;
+
+fn raw_edges(rng: &mut SmallRng, max_v: u32, max_e: usize) -> Vec<(u32, u32)> {
+    let count = rng.gen_range(0..max_e);
+    (0..count)
+        .map(|_| (rng.gen_range(0..max_v), rng.gen_range(0..max_v)))
+        .collect()
+}
+
 fn graph_of(pairs: Vec<(u32, u32)>, n: u32) -> UndirectedCsr {
     let mut el = EdgeList::from_pairs_with_vertices(pairs, n);
     el.canonicalize();
     UndirectedCsr::from_canonical_edges(&el)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
-
-    /// The triangular pair index is a bijection onto `0..n(n-1)/2`.
-    #[test]
-    fn pair_index_bijective(n in 2u32..80) {
+/// The triangular pair index is a bijection onto `0..n(n-1)/2`.
+#[test]
+fn pair_index_bijective() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let n = rng.gen_range(2..80u32);
         let mut seen = std::collections::HashSet::new();
         for h1 in 1..n {
             for h2 in 0..h1 {
                 let idx = pair_bit_index(h1, h2);
-                prop_assert!(idx < TriBitArray::bit_len(n));
-                prop_assert!(seen.insert(idx));
+                assert!(idx < TriBitArray::bit_len(n), "n {n}");
+                assert!(seen.insert(idx), "n {n} pair ({h1}, {h2})");
             }
         }
     }
+}
 
-    /// Concurrent builder and sequential array agree bit-for-bit.
-    #[test]
-    fn builder_matches_sequential(pairs in vec((0u32..32, 0u32..32), 0..120)) {
+/// Concurrent builder and sequential array agree bit-for-bit.
+#[test]
+fn builder_matches_sequential() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let pairs = raw_edges(&mut rng, 32, 120);
         let mut seq = TriBitArray::new(32);
         let par = TriBitArrayBuilder::new(32);
         for (a, b) in pairs {
@@ -45,68 +59,83 @@ proptest! {
             }
         }
         let par = par.freeze();
-        prop_assert_eq!(par.bits_set(), seq.bits_set());
+        assert_eq!(par.bits_set(), seq.bits_set(), "seed {seed}");
         for h1 in 1..32u32 {
             for h2 in 0..h1 {
-                prop_assert_eq!(par.is_set(h1, h2), seq.is_set(h1, h2));
+                assert_eq!(
+                    par.is_set(h1, h2),
+                    seq.is_set(h1, h2),
+                    "seed {seed} ({h1}, {h2})"
+                );
             }
         }
     }
+}
 
-    /// Per-vertex LOTUS counts match the Forward-based per-vertex counts
-    /// for any hub count, and sum to 3T.
-    #[test]
-    fn per_vertex_matches_baseline(pairs in vec((0u32..40, 0u32..40), 0..160), hubs in 0u32..40) {
-        let g = graph_of(pairs, 40);
+/// Per-vertex LOTUS counts match the Forward-based per-vertex counts for
+/// any hub count, and sum to 3T.
+#[test]
+fn per_vertex_matches_baseline() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let g = graph_of(raw_edges(&mut rng, 40, 160), 40);
+        let hubs = rng.gen_range(0..40u32);
         let cfg = LotusConfig::default().with_hub_count(HubCount::Fixed(hubs));
         let lg = build_lotus_graph(&g, &cfg);
         let got = count_per_vertex(&lg);
         let want = lotus_algos::forward::per_vertex_counts(&g);
-        prop_assert_eq!(&got, &want);
+        assert_eq!(got, want, "seed {seed} hubs {hubs}");
         let total = LotusCounter::new(cfg).count(&g).total();
-        prop_assert_eq!(got.iter().sum::<u64>(), 3 * total);
+        assert_eq!(got.iter().sum::<u64>(), 3 * total, "seed {seed}");
     }
+}
 
-    /// Blocked HNN equals the plain phase for arbitrary block sizes.
-    #[test]
-    fn blocked_hnn_matches(pairs in vec((0u32..48, 0u32..48), 0..160), hubs in 0u32..48, bits in 1u32..8) {
-        let g = graph_of(pairs, 48);
+/// Blocked HNN equals the plain phase for arbitrary block sizes.
+#[test]
+fn blocked_hnn_matches() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let g = graph_of(raw_edges(&mut rng, 48, 160), 48);
+        let hubs = rng.gen_range(0..48u32);
+        let bits = rng.gen_range(1..8u32);
         let cfg = LotusConfig::default().with_hub_count(HubCount::Fixed(hubs));
         let lg = build_lotus_graph(&g, &cfg);
-        prop_assert_eq!(
+        assert_eq!(
             lotus_core::blocking::count_hnn_blocked(&lg, bits),
-            lotus_core::count::count_hnn_phase(&lg)
+            lotus_core::count::count_hnn_phase(&lg),
+            "seed {seed} hubs {hubs} bits {bits}"
         );
     }
+}
 
-    /// 3-cliques equal triangles; (k+1)-cliques never exceed k-cliques
-    /// times the max degree (loose sanity bound).
-    #[test]
-    fn kclique_consistency(pairs in vec((0u32..30, 0u32..30), 0..140)) {
-        let g = graph_of(pairs, 30);
+/// 3-cliques equal triangles; a 4-clique implies at least 4 triangles.
+#[test]
+fn kclique_consistency() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let g = graph_of(raw_edges(&mut rng, 30, 140), 30);
         let t = lotus_algos::forward::forward_count(&g);
-        prop_assert_eq!(count_kcliques(&g, 3), t);
+        assert_eq!(count_kcliques(&g, 3), t, "seed {seed}");
         let c4 = count_kcliques(&g, 4);
-        // Each 4-clique contains 4 triangles, so 4·C4 ≤ T·(V-2) trivially;
-        // more usefully: C4 > 0 requires T ≥ 4.
         if c4 > 0 {
-            prop_assert!(t >= 4);
+            assert!(t >= 4, "seed {seed}");
         }
     }
+}
 
-    /// Hub/non-hub triangle split is consistent: zero hubs puts all
-    /// triangles in NNN; all-vertices-hubs puts them in HHH.
-    #[test]
-    fn type_split_extremes(pairs in vec((0u32..32, 0u32..32), 0..140)) {
-        let g = graph_of(pairs, 32);
-        let none = LotusCounter::new(
-            LotusConfig::default().with_hub_count(HubCount::Fixed(0)),
-        ).count(&g);
-        prop_assert_eq!(none.stats.nnn, none.total());
-        let all = LotusCounter::new(
-            LotusConfig::default().with_hub_count(HubCount::Fixed(32)),
-        ).count(&g);
-        prop_assert_eq!(all.stats.hhh, all.total());
-        prop_assert_eq!(none.total(), all.total());
+/// Hub/non-hub triangle split is consistent: zero hubs puts all triangles
+/// in NNN; all-vertices-hubs puts them in HHH.
+#[test]
+fn type_split_extremes() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let g = graph_of(raw_edges(&mut rng, 32, 140), 32);
+        let none =
+            LotusCounter::new(LotusConfig::default().with_hub_count(HubCount::Fixed(0))).count(&g);
+        assert_eq!(none.stats.nnn, none.total(), "seed {seed}");
+        let all =
+            LotusCounter::new(LotusConfig::default().with_hub_count(HubCount::Fixed(32))).count(&g);
+        assert_eq!(all.stats.hhh, all.total(), "seed {seed}");
+        assert_eq!(none.total(), all.total(), "seed {seed}");
     }
 }

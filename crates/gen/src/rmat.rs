@@ -13,12 +13,11 @@
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
-use serde::{Deserialize, Serialize};
 
 use lotus_graph::{EdgeList, UndirectedCsr};
 
 /// Quadrant probabilities of the R-MAT recursion. Must sum to ~1.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RmatParams {
     /// Top-left (both endpoints in the low half): hub-hub mass.
     pub a: f64,
@@ -32,25 +31,36 @@ pub struct RmatParams {
 
 impl RmatParams {
     /// Graph500 social-network parameters.
-    pub const GRAPH500: RmatParams = RmatParams { a: 0.57, b: 0.19, c: 0.19, d: 0.05 };
+    pub const GRAPH500: RmatParams = RmatParams {
+        a: 0.57,
+        b: 0.19,
+        c: 0.19,
+        d: 0.05,
+    };
 
     /// Web-graph-like parameters: a heavier `a` concentrates edges among
     /// hubs, mimicking the dense hub cores of crawls (paper Table 1, where
     /// web graphs have high hub-to-hub edge fractions).
-    pub const WEB: RmatParams = RmatParams { a: 0.65, b: 0.15, c: 0.15, d: 0.05 };
+    pub const WEB: RmatParams = RmatParams {
+        a: 0.65,
+        b: 0.15,
+        c: 0.15,
+        d: 0.05,
+    };
 
     /// Mildly skewed parameters for low-skew social networks such as
     /// Friendster (paper §5.5: highest degree only 5K).
-    pub const MILD: RmatParams = RmatParams { a: 0.45, b: 0.22, c: 0.22, d: 0.11 };
+    pub const MILD: RmatParams = RmatParams {
+        a: 0.45,
+        b: 0.22,
+        c: 0.22,
+        d: 0.11,
+    };
 
     /// Validates that probabilities are non-negative and sum to ~1.
     pub fn validate(&self) -> bool {
         let s = self.a + self.b + self.c + self.d;
-        self.a >= 0.0
-            && self.b >= 0.0
-            && self.c >= 0.0
-            && self.d >= 0.0
-            && (s - 1.0).abs() < 1e-9
+        self.a >= 0.0 && self.b >= 0.0 && self.c >= 0.0 && self.d >= 0.0 && (s - 1.0).abs() < 1e-9
     }
 }
 
@@ -63,7 +73,7 @@ impl Default for RmatParams {
 /// R-MAT generator configuration: `2^scale` vertices, `edge_factor ·
 /// 2^scale` sampled edges (duplicates and self-loops are removed, so the
 /// final simple graph is somewhat smaller).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Rmat {
     /// log2 of the vertex count.
     pub scale: u32,
@@ -79,7 +89,12 @@ pub struct Rmat {
 impl Rmat {
     /// A generator with Graph500 parameters.
     pub fn new(scale: u32, edge_factor: u32) -> Self {
-        Self { scale, edge_factor, params: RmatParams::GRAPH500, noise: 0.05 }
+        Self {
+            scale,
+            edge_factor,
+            params: RmatParams::GRAPH500,
+            noise: 0.05,
+        }
     }
 
     /// Overrides the quadrant parameters.
@@ -143,7 +158,9 @@ impl Rmat {
                     seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(ci),
                 );
                 let count = chunk.min((total - ci * chunk as u64) as usize);
-                (0..count).map(move |_| self.sample_edge(&mut rng)).collect::<Vec<_>>()
+                (0..count)
+                    .map(move |_| self.sample_edge(&mut rng))
+                    .collect::<Vec<_>>()
             })
             .collect();
         let mut el = EdgeList::from_pairs_with_vertices(pairs, self.num_vertices());
@@ -167,7 +184,13 @@ mod tests {
         assert!(RmatParams::GRAPH500.validate());
         assert!(RmatParams::WEB.validate());
         assert!(RmatParams::MILD.validate());
-        assert!(!RmatParams { a: 0.5, b: 0.5, c: 0.5, d: 0.5 }.validate());
+        assert!(!RmatParams {
+            a: 0.5,
+            b: 0.5,
+            c: 0.5,
+            d: 0.5
+        }
+        .validate());
     }
 
     #[test]
@@ -212,7 +235,12 @@ mod tests {
     #[test]
     #[should_panic]
     fn with_params_rejects_invalid() {
-        let _ = Rmat::new(4, 4).with_params(RmatParams { a: 1.0, b: 1.0, c: 0.0, d: 0.0 });
+        let _ = Rmat::new(4, 4).with_params(RmatParams {
+            a: 1.0,
+            b: 1.0,
+            c: 0.0,
+            d: 0.0,
+        });
     }
 
     #[test]

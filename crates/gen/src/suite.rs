@@ -11,14 +11,12 @@
 //! LOTUS profits least. Web graphs use heavier hub mass, matching their
 //! larger hub-to-hub edge fractions in Table 1.
 
-use serde::{Deserialize, Serialize};
-
 use lotus_graph::UndirectedCsr;
 
 use crate::rmat::{Rmat, RmatParams};
 
 /// Dataset category from the paper's Table 4.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DatasetKind {
     /// Social network (SN).
     SocialNetwork,
@@ -40,7 +38,7 @@ impl DatasetKind {
 }
 
 /// Size multiplier applied to a dataset's base (Small) configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DatasetScale {
     /// Scale shift −4 (1/16 the vertices): fast enough for unit tests.
     Tiny,
@@ -61,7 +59,7 @@ impl DatasetScale {
 }
 
 /// A named synthetic stand-in for one paper dataset.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Dataset {
     /// Paper's dataset name (Table 4).
     pub name: &'static str,
@@ -86,7 +84,14 @@ impl Dataset {
         params: RmatParams,
         seed: u64,
     ) -> Self {
-        Self { name, kind, scale, edge_factor, params, seed }
+        Self {
+            name,
+            kind,
+            scale,
+            edge_factor,
+            params,
+            seed,
+        }
     }
 
     /// The ten datasets of Table 5 (the "< 10 billion edges" class).
@@ -137,7 +142,12 @@ impl Dataset {
 
     /// The configured R-MAT generator.
     pub fn rmat(&self) -> Rmat {
-        Rmat { scale: self.scale, edge_factor: self.edge_factor, params: self.params, noise: 0.05 }
+        Rmat {
+            scale: self.scale,
+            edge_factor: self.edge_factor,
+            params: self.params,
+            noise: 0.05,
+        }
     }
 
     /// Generates the graph.
@@ -180,13 +190,23 @@ mod tests {
 
     #[test]
     fn scale_clamps_at_eight() {
-        let d = Dataset::new("X", DatasetKind::SocialNetwork, 9, 8, RmatParams::GRAPH500, 1);
+        let d = Dataset::new(
+            "X",
+            DatasetKind::SocialNetwork,
+            9,
+            8,
+            RmatParams::GRAPH500,
+            1,
+        );
         assert_eq!(d.at_scale(DatasetScale::Tiny).scale, 8);
     }
 
     #[test]
     fn tiny_dataset_generates() {
-        let g = Dataset::by_name("LJGrp").unwrap().at_scale(DatasetScale::Tiny).generate();
+        let g = Dataset::by_name("LJGrp")
+            .unwrap()
+            .at_scale(DatasetScale::Tiny)
+            .generate();
         assert_eq!(g.num_vertices(), 1 << 9);
         assert!(g.num_edges() > 1000);
     }

@@ -49,7 +49,10 @@ impl GraphBuilder {
     }
 
     /// Adds many edges at once.
-    pub fn extend_edges(&mut self, it: impl IntoIterator<Item = (VertexId, VertexId)>) -> &mut Self {
+    pub fn extend_edges(
+        &mut self,
+        it: impl IntoIterator<Item = (VertexId, VertexId)>,
+    ) -> &mut Self {
         for (u, v) in it {
             self.add_edge(u, v);
         }
@@ -113,10 +116,7 @@ pub fn graph_from_edges(edges: impl IntoIterator<Item = (VertexId, VertexId)>) -
 
 /// Builds a graph and the LOTUS hub-first relabeled version of it in one
 /// call; returns `(relabeled graph, relabeling)`.
-pub fn build_hub_first(
-    graph: &UndirectedCsr,
-    head_count: usize,
-) -> (UndirectedCsr, Relabeling) {
+pub fn build_hub_first(graph: &UndirectedCsr, head_count: usize) -> (UndirectedCsr, Relabeling) {
     let relabeling = Relabeling::hub_first(&graph.degrees(), head_count);
     let g = relabeling.apply(graph);
     (g, relabeling)
@@ -129,7 +129,10 @@ mod tests {
     #[test]
     fn builder_cleans_input() {
         let mut b = GraphBuilder::new();
-        b.add_edge(1, 0).add_edge(0, 1).add_edge(2, 2).add_edge(1, 2);
+        b.add_edge(1, 0)
+            .add_edge(0, 1)
+            .add_edge(2, 2)
+            .add_edge(1, 2);
         let g = b.build();
         assert_eq!(g.num_vertices(), 3);
         assert_eq!(g.num_edges(), 2);
@@ -140,7 +143,9 @@ mod tests {
 
     #[test]
     fn isolated_removal_compacts_ids() {
-        let mut b = GraphBuilder::new().with_vertices(10).remove_isolated_vertices(true);
+        let mut b = GraphBuilder::new()
+            .with_vertices(10)
+            .remove_isolated_vertices(true);
         b.add_edge(2, 7).add_edge(7, 9);
         let g = b.build();
         assert_eq!(g.num_vertices(), 3);

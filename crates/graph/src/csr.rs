@@ -49,7 +49,10 @@ impl<N: NeighborId> Csr<N> {
         for l in lists {
             neighbors.extend(l);
         }
-        Self { offsets: offsets.into_boxed_slice(), neighbors: neighbors.into_boxed_slice() }
+        Self {
+            offsets: offsets.into_boxed_slice(),
+            neighbors: neighbors.into_boxed_slice(),
+        }
     }
 
     /// Builds from raw offsets and a flat neighbour array.
@@ -58,10 +61,16 @@ impl<N: NeighborId> Csr<N> {
     /// Panics if offsets are not monotonic or do not cover `neighbors`.
     pub fn from_parts(offsets: Vec<u64>, neighbors: Vec<N>) -> Self {
         assert!(!offsets.is_empty(), "offsets must have at least one entry");
-        assert!(offsets.windows(2).all(|w| w[0] <= w[1]), "offsets must be monotonic");
+        assert!(
+            offsets.windows(2).all(|w| w[0] <= w[1]),
+            "offsets must be monotonic"
+        );
         assert_eq!(*offsets.last().unwrap() as usize, neighbors.len());
         assert_eq!(offsets[0], 0);
-        Self { offsets: offsets.into_boxed_slice(), neighbors: neighbors.into_boxed_slice() }
+        Self {
+            offsets: offsets.into_boxed_slice(),
+            neighbors: neighbors.into_boxed_slice(),
+        }
     }
 
     /// Number of vertices.
@@ -109,7 +118,9 @@ impl<N: NeighborId> Csr<N> {
 
     /// Parallel iterator over `(vertex, neighbour list)` pairs.
     pub fn par_iter(&self) -> impl ParallelIterator<Item = (VertexId, &[N])> + '_ {
-        (0..self.num_vertices()).into_par_iter().map(move |v| (v, self.neighbors(v)))
+        (0..self.num_vertices())
+            .into_par_iter()
+            .map(move |v| (v, self.neighbors(v)))
     }
 
     /// Sorts every neighbour list ascending, in parallel.
@@ -139,7 +150,8 @@ impl<N: NeighborId> Csr<N> {
 
     /// True when every neighbour list is sorted ascending.
     pub fn lists_sorted(&self) -> bool {
-        self.iter().all(|(_, ns)| ns.windows(2).all(|w| w[0] <= w[1]))
+        self.iter()
+            .all(|(_, ns)| ns.windows(2).all(|w| w[0] <= w[1]))
     }
 }
 
@@ -165,7 +177,10 @@ impl UndirectedCsr {
     /// # Panics
     /// Panics if the edge list is not canonical.
     pub fn from_canonical_edges(edges: &EdgeList) -> Self {
-        assert!(edges.is_canonical(), "edge list must be canonicalized first");
+        assert!(
+            edges.is_canonical(),
+            "edge list must be canonicalized first"
+        );
         let n = edges.num_vertices() as usize;
         let pairs = edges.pairs();
 
@@ -185,8 +200,7 @@ impl UndirectedCsr {
 
         let total = acc as usize;
         let neighbors: Vec<AtomicU32> = (0..total).map(|_| AtomicU32::new(0)).collect();
-        let cursors: Vec<AtomicU64> =
-            offsets[..n].iter().map(|&o| AtomicU64::new(o)).collect();
+        let cursors: Vec<AtomicU64> = offsets[..n].iter().map(|&o| AtomicU64::new(o)).collect();
         pairs.par_iter().for_each(|&(u, v)| {
             let iu = cursors[u as usize].fetch_add(1, Ordering::Relaxed) as usize;
             neighbors[iu].store(v, Ordering::Relaxed);
@@ -196,12 +210,52 @@ impl UndirectedCsr {
 
         // AtomicU32 and u32 share layout; unwrap the atomics now that the
         // parallel scatter is complete.
-        let neighbors: Vec<u32> =
-            neighbors.into_iter().map(|a| a.into_inner()).collect();
+        let neighbors: Vec<u32> = neighbors
+            .into_iter()
+            .map(std::sync::atomic::AtomicU32::into_inner)
+            .collect();
 
         let mut csr = Csr::from_parts(offsets, neighbors);
         csr.sort_neighbor_lists();
-        Self { csr, num_edges: pairs.len() as u64 }
+        let g = Self {
+            csr,
+            num_edges: pairs.len() as u64,
+        };
+        #[cfg(feature = "validate")]
+        g.debug_validate();
+        g
+    }
+
+    /// `validate`-feature hook: re-checks the symmetric-CSR invariants
+    /// after construction. Debug-assert backed, so release builds with the
+    /// feature enabled still compile it away; `lotus check` runs the full
+    /// `lotus-check` validator instead.
+    #[cfg(feature = "validate")]
+    fn debug_validate(&self) {
+        debug_assert!(self.csr.lists_sorted(), "neighbour lists must be sorted");
+        debug_assert_eq!(
+            self.csr.num_entries(),
+            2 * self.num_edges,
+            "entry count must be twice the edge count"
+        );
+        debug_assert!(
+            (0..self.num_vertices()).all(|v| {
+                self.neighbors(v).iter().all(|&u| {
+                    u != v && u < self.num_vertices() && self.neighbors(u).binary_search(&v).is_ok()
+                })
+            }),
+            "graph must be symmetric, in-bounds, and self-loop free"
+        );
+    }
+
+    /// Wraps an already-symmetric CSR without checking symmetry, sortedness,
+    /// or the claimed edge count.
+    ///
+    /// Intended for deserialization fast paths and for validator tests that
+    /// need to construct deliberately corrupt graphs; run
+    /// `lotus_check::Validator` over the result when the input is untrusted.
+    pub fn from_csr_unchecked(csr: Csr<u32>, num_edges: u64) -> Self {
+        Self { csr, num_edges }
     }
 
     /// Number of vertices.
@@ -273,7 +327,11 @@ impl UndirectedCsr {
     /// True when `u` and `v` are adjacent (binary search on the shorter of
     /// the two endpoint lists).
     pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
-        let (a, b) = if self.degree(u) <= self.degree(v) { (u, v) } else { (v, u) };
+        let (a, b) = if self.degree(u) <= self.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
         self.neighbors(a).binary_search(&b).is_ok()
     }
 

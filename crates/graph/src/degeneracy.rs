@@ -74,7 +74,11 @@ pub fn core_decomposition(graph: &UndirectedCsr) -> CoreDecomposition {
             }
         }
     }
-    CoreDecomposition { core_numbers, order, degeneracy }
+    CoreDecomposition {
+        core_numbers,
+        order,
+        degeneracy,
+    }
 }
 
 impl CoreDecomposition {
@@ -133,7 +137,11 @@ mod tests {
         sorted.sort_unstable();
         assert_eq!(sorted, (0..g.num_vertices()).collect::<Vec<_>>());
         // Core numbers along the peel order are non-decreasing.
-        let cores: Vec<u32> = c.order.iter().map(|&v| c.core_numbers[v as usize]).collect();
+        let cores: Vec<u32> = c
+            .order
+            .iter()
+            .map(|&v| c.core_numbers[v as usize])
+            .collect();
         assert!(cores.windows(2).all(|w| w[0] <= w[1]));
     }
 

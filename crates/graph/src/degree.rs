@@ -44,7 +44,13 @@ impl DegreeStats {
             let mid = degrees.len() / 2;
             *degrees.select_nth_unstable(mid).1
         };
-        Self { num_vertices, num_edges, max_degree, mean_degree, median_degree }
+        Self {
+            num_vertices,
+            num_edges,
+            max_degree,
+            mean_degree,
+            median_degree,
+        }
     }
 
     /// GAP-style skewness heuristic (paper §5.5): a graph is "skewed" when

@@ -22,18 +22,20 @@ pub struct EdgeList {
 impl EdgeList {
     /// Creates an empty edge list over `num_vertices` vertices.
     pub fn new(num_vertices: u32) -> Self {
-        Self { edges: Vec::new(), num_vertices }
+        Self {
+            edges: Vec::new(),
+            num_vertices,
+        }
     }
 
     /// Creates an edge list from raw pairs, inferring the vertex count as
     /// `max endpoint + 1` (0 for an empty list).
     pub fn from_pairs(edges: Vec<(VertexId, VertexId)>) -> Self {
-        let num_vertices = edges
-            .iter()
-            .map(|&(u, v)| u.max(v) + 1)
-            .max()
-            .unwrap_or(0);
-        Self { edges, num_vertices }
+        let num_vertices = edges.iter().map(|&(u, v)| u.max(v) + 1).max().unwrap_or(0);
+        Self {
+            edges,
+            num_vertices,
+        }
     }
 
     /// Creates an edge list from raw pairs with an explicit vertex count.
@@ -47,7 +49,10 @@ impl EdgeList {
                 "edge ({u}, {v}) out of range for {num_vertices} vertices"
             );
         }
-        Self { edges, num_vertices }
+        Self {
+            edges,
+            num_vertices,
+        }
     }
 
     /// Number of vertices.
@@ -109,8 +114,7 @@ impl EdgeList {
     /// True when the list is in canonical form: every edge `(u, v)` has
     /// `u < v`, and edges are strictly increasing.
     pub fn is_canonical(&self) -> bool {
-        self.edges.iter().all(|&(u, v)| u < v)
-            && self.edges.windows(2).all(|w| w[0] < w[1])
+        self.edges.iter().all(|&(u, v)| u < v) && self.edges.windows(2).all(|w| w[0] < w[1])
     }
 
     /// Consumes the list, returning the raw pairs.

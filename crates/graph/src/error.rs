@@ -36,8 +36,14 @@ pub enum GraphError {
 impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            GraphError::VertexOutOfRange { vertex, num_vertices } => {
-                write!(f, "vertex {vertex} out of range for graph with {num_vertices} vertices")
+            GraphError::VertexOutOfRange {
+                vertex,
+                num_vertices,
+            } => {
+                write!(
+                    f,
+                    "vertex {vertex} out of range for graph with {num_vertices} vertices"
+                )
             }
             GraphError::NeighborWidthOverflow { vertex, bits } => {
                 write!(f, "vertex {vertex} does not fit a {bits}-bit neighbour ID")
@@ -72,11 +78,17 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = GraphError::VertexOutOfRange { vertex: 10, num_vertices: 5 };
+        let e = GraphError::VertexOutOfRange {
+            vertex: 10,
+            num_vertices: 5,
+        };
         assert!(e.to_string().contains("10"));
         assert!(e.to_string().contains("5"));
 
-        let e = GraphError::Parse { line: 3, message: "bad token".into() };
+        let e = GraphError::Parse {
+            line: 3,
+            message: "bad token".into(),
+        };
         assert!(e.to_string().contains("line 3"));
 
         let e = GraphError::from(io::Error::new(io::ErrorKind::NotFound, "gone"));

@@ -42,7 +42,10 @@ pub fn read_edge_list_text<R: Read>(reader: R) -> Result<EdgeList, GraphError> {
                 message: "expected two vertex IDs".into(),
             })?
             .parse::<u32>()
-            .map_err(|e| GraphError::Parse { line: lineno + 1, message: e.to_string() })
+            .map_err(|e| GraphError::Parse {
+                line: lineno + 1,
+                message: e.to_string(),
+            })
         };
         let u = parse(it.next())?;
         let v = parse(it.next())?;

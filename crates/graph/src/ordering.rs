@@ -26,7 +26,10 @@ impl Relabeling {
     /// The identity relabeling on `n` vertices.
     pub fn identity(n: u32) -> Self {
         let ids: Vec<VertexId> = (0..n).collect();
-        Self { old_to_new: ids.clone(), new_to_old: ids }
+        Self {
+            old_to_new: ids.clone(),
+            new_to_old: ids,
+        }
     }
 
     /// Builds from an `old → new` map.
@@ -41,7 +44,10 @@ impl Relabeling {
             assert_eq!(new_to_old[new as usize], u32::MAX, "duplicate new ID {new}");
             new_to_old[new as usize] = old as u32;
         }
-        Self { old_to_new, new_to_old }
+        Self {
+            old_to_new,
+            new_to_old,
+        }
     }
 
     /// Full degree-descending relabeling (ties by original ID), as used by
@@ -57,7 +63,10 @@ impl Relabeling {
         for (new, &old) in order.iter().enumerate() {
             old_to_new[old as usize] = new as u32;
         }
-        Self { old_to_new, new_to_old: order }
+        Self {
+            old_to_new,
+            new_to_old: order,
+        }
     }
 
     /// LOTUS hub-first relabeling (§4.3.1, `create_relabeling_array`):
@@ -124,6 +133,11 @@ impl Relabeling {
     /// Applies the relabeling to a graph, rebuilding CSX with sorted lists.
     pub fn apply(&self, graph: &UndirectedCsr) -> UndirectedCsr {
         assert_eq!(self.len(), graph.num_vertices() as usize);
+        #[cfg(feature = "validate")]
+        debug_assert!(
+            self.is_permutation(),
+            "relabeling must be a bijective permutation"
+        );
         let mut pairs: Vec<(u32, u32)> = Vec::with_capacity(graph.num_edges() as usize);
         for v in 0..graph.num_vertices() {
             let nv = self.new_id(v);
@@ -176,7 +190,7 @@ mod tests {
         assert!(r.is_permutation());
         assert_eq!(r.new_id(0), 0); // highest degree
         assert_eq!(r.new_id(3), 3); // lowest degree
-        // v1 and v2 tie at degree 2; lower original ID first.
+                                    // v1 and v2 tie at degree 2; lower original ID first.
         assert_eq!(r.new_id(1), 1);
         assert_eq!(r.new_id(2), 2);
     }

@@ -72,7 +72,10 @@ pub fn vertex_balanced(n: u32, parts: usize) -> Vec<VertexRange> {
     let mut start = 0u64;
     for p in 1..=parts {
         let end = n as u64 * p as u64 / parts as u64;
-        ranges.push(VertexRange { start: start as u32, end: end as u32 });
+        ranges.push(VertexRange {
+            start: start as u32,
+            end: end as u32,
+        });
         start = end;
     }
     ranges
@@ -120,7 +123,7 @@ mod tests {
     #[test]
     fn vertex_balanced_covers_range() {
         let ranges = vertex_balanced(10, 3);
-        assert_eq!(ranges.iter().map(|r| r.len()).sum::<u32>(), 10);
+        assert_eq!(ranges.iter().map(super::VertexRange::len).sum::<u32>(), 10);
         assert_eq!(ranges[0].start, 0);
         assert_eq!(ranges.last().unwrap().end, 10);
     }
@@ -137,7 +140,7 @@ mod tests {
         let csr = Csr::<u32>::empty(0);
         let ranges = edge_balanced(&csr, 3);
         assert_eq!(ranges.len(), 3);
-        assert!(ranges.iter().all(|r| r.is_empty()));
+        assert!(ranges.iter().all(super::VertexRange::is_empty));
     }
 
     #[test]

@@ -66,7 +66,11 @@ impl VarintCsr {
             }
             offsets.push(data.len() as u64);
         }
-        Self { offsets, data, num_entries: csr.num_entries() }
+        Self {
+            offsets,
+            data,
+            num_entries: csr.num_entries(),
+        }
     }
 
     /// Number of vertices.
@@ -141,10 +145,7 @@ impl Iterator for VarintIter<'_> {
 pub fn count_merge_varint(a: &[u32], mut b: VarintIter<'_>) -> u64 {
     let mut count = 0u64;
     let mut i = 0usize;
-    let mut y = match b.next() {
-        Some(y) => y,
-        None => return 0,
-    };
+    let Some(mut y) = b.next() else { return 0 };
     while i < a.len() {
         let x = a[i];
         if x < y {
@@ -201,9 +202,10 @@ mod tests {
     #[test]
     fn compression_shrinks_clustered_lists() {
         // Consecutive IDs compress to ~1 byte/edge vs 4 in CSR.
-        let g = graph_from_edges((0..2000u32).flat_map(|v| {
-            (1..4u32).filter_map(move |d| (v + d < 2000).then_some((v, v + d)))
-        }));
+        let g = graph_from_edges(
+            (0..2000u32)
+                .flat_map(|v| (1..4u32).filter_map(move |d| (v + d < 2000).then_some((v, v + d)))),
+        );
         let fwd = g.forward_graph();
         let vc = VarintCsr::from_csr(&fwd);
         assert!(

@@ -1,11 +1,21 @@
-//! Property tests for the graph substrate.
+//! Randomized property tests for the graph substrate (deterministic
+//! seeded cases; failures name the seed that reproduces them).
 
-use proptest::collection::vec;
-use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 
 use lotus_graph::degeneracy::core_decomposition;
 use lotus_graph::varint::VarintCsr;
 use lotus_graph::{io, EdgeList, UndirectedCsr};
+
+const CASES: u64 = 64;
+
+fn raw_edges(rng: &mut SmallRng, max_v: u32, max_e: usize) -> Vec<(u32, u32)> {
+    let count = rng.gen_range(0..max_e);
+    (0..count)
+        .map(|_| (rng.gen_range(0..max_v), rng.gen_range(0..max_v)))
+        .collect()
+}
 
 fn graph_of(pairs: Vec<(u32, u32)>, n: u32) -> UndirectedCsr {
     let mut el = EdgeList::from_pairs_with_vertices(pairs, n);
@@ -13,64 +23,74 @@ fn graph_of(pairs: Vec<(u32, u32)>, n: u32) -> UndirectedCsr {
     UndirectedCsr::from_canonical_edges(&el)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
-
-    /// CSR is symmetric: u ∈ N(v) ⇔ v ∈ N(u), lists sorted and distinct.
-    #[test]
-    fn csr_is_symmetric_and_sorted(pairs in vec((0u32..50, 0u32..50), 0..200)) {
-        let g = graph_of(pairs, 50);
+/// CSR is symmetric: u ∈ N(v) ⇔ v ∈ N(u), lists sorted and distinct.
+#[test]
+fn csr_is_symmetric_and_sorted() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let g = graph_of(raw_edges(&mut rng, 50, 200), 50);
         for v in 0..g.num_vertices() {
             let ns = g.neighbors(v);
-            prop_assert!(ns.windows(2).all(|w| w[0] < w[1]), "sorted distinct");
+            assert!(
+                ns.windows(2).all(|w| w[0] < w[1]),
+                "seed {seed}: sorted distinct"
+            );
             for &u in ns {
-                prop_assert!(g.neighbors(u).contains(&v), "symmetry {v}-{u}");
-                prop_assert_ne!(u, v, "no self loops");
+                assert!(g.neighbors(u).contains(&v), "seed {seed}: symmetry {v}-{u}");
+                assert_ne!(u, v, "seed {seed}: no self loops");
             }
         }
         // Entry count is twice the edge count.
-        prop_assert_eq!(g.csr().num_entries(), 2 * g.num_edges());
+        assert_eq!(g.csr().num_entries(), 2 * g.num_edges(), "seed {seed}");
     }
+}
 
-    /// Binary I/O round-trips arbitrary canonical edge lists.
-    #[test]
-    fn binary_io_round_trip(pairs in vec((0u32..1000, 0u32..1000), 0..300)) {
-        let mut el = EdgeList::from_pairs_with_vertices(pairs, 1000);
+/// Binary I/O round-trips arbitrary canonical edge lists.
+#[test]
+fn binary_io_round_trip() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut el = EdgeList::from_pairs_with_vertices(raw_edges(&mut rng, 1000, 300), 1000);
         el.canonicalize();
         let mut buf = Vec::new();
         io::write_binary(&el, &mut buf).unwrap();
         let back = io::read_binary(&buf[..]).unwrap();
-        prop_assert_eq!(back, el);
+        assert_eq!(back, el, "seed {seed}");
     }
+}
 
-    /// Varint CSR decodes back to the original lists and never grows a
-    /// list.
-    #[test]
-    fn varint_round_trip(pairs in vec((0u32..200, 0u32..200), 0..400)) {
-        let g = graph_of(pairs, 200);
+/// Varint CSR decodes back to the original lists and never grows a list.
+#[test]
+fn varint_round_trip() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let g = graph_of(raw_edges(&mut rng, 200, 400), 200);
         let fwd = g.forward_graph();
         let vc = VarintCsr::from_csr(&fwd);
         let mut buf = Vec::new();
         for v in 0..fwd.num_vertices() {
             vc.decode_into(v, &mut buf);
-            prop_assert_eq!(buf.as_slice(), fwd.neighbors(v));
+            assert_eq!(buf.as_slice(), fwd.neighbors(v), "seed {seed} vertex {v}");
         }
-        prop_assert_eq!(vc.num_entries(), fwd.num_entries());
+        assert_eq!(vc.num_entries(), fwd.num_entries(), "seed {seed}");
     }
+}
 
-    /// Core numbers: every vertex's core number is at most its degree,
-    /// at least 1 when it has an edge, and the k-core property holds —
-    /// inside the sub-graph of vertices with core ≥ k, every vertex has
-    /// at least k neighbours for k = degeneracy.
-    #[test]
-    fn core_numbers_properties(pairs in vec((0u32..40, 0u32..40), 0..150)) {
-        let g = graph_of(pairs, 40);
+/// Core numbers: every vertex's core number is at most its degree, at
+/// least 1 when it has an edge, and the k-core property holds — inside
+/// the sub-graph of vertices with core ≥ k, every vertex has at least k
+/// neighbours for k = degeneracy.
+#[test]
+fn core_numbers_properties() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let g = graph_of(raw_edges(&mut rng, 40, 150), 40);
         let c = core_decomposition(&g);
         for v in 0..g.num_vertices() {
             let k = c.core_numbers[v as usize];
-            prop_assert!(k <= g.degree(v));
+            assert!(k <= g.degree(v), "seed {seed}");
             if g.degree(v) > 0 {
-                prop_assert!(k >= 1);
+                assert!(k >= 1, "seed {seed}");
             }
         }
         let k = c.degeneracy;
@@ -79,36 +99,46 @@ proptest! {
             let members: Vec<u32> = (0..g.num_vertices())
                 .filter(|&v| c.core_numbers[v as usize] >= k)
                 .collect();
-            prop_assert!(!members.is_empty());
+            assert!(!members.is_empty(), "seed {seed}");
             for &v in &members {
                 let inside = g
                     .neighbors(v)
                     .iter()
                     .filter(|&&u| c.core_numbers[u as usize] >= k)
                     .count();
-                prop_assert!(inside as u32 >= k, "vertex {v} has {inside} < {k}");
+                assert!(
+                    inside as u32 >= k,
+                    "seed {seed}: vertex {v} has {inside} < {k}"
+                );
             }
         }
     }
+}
 
-    /// Edge-balanced partitions cover all entries exactly once.
-    #[test]
-    fn edge_balanced_covers(pairs in vec((0u32..60, 0u32..60), 0..200), parts in 1usize..20) {
-        let g = graph_of(pairs, 60);
+/// Edge-balanced partitions cover all entries exactly once.
+#[test]
+fn edge_balanced_covers() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let g = graph_of(raw_edges(&mut rng, 60, 200), 60);
+        let parts = rng.gen_range(1..20usize);
         let fwd = g.forward_graph();
         let ranges = lotus_graph::partition::edge_balanced(&fwd, parts);
-        prop_assert_eq!(ranges.len(), parts);
+        assert_eq!(ranges.len(), parts, "seed {seed}");
         let covered: u64 = ranges
             .iter()
             .map(|r| lotus_graph::partition::range_edges(&fwd, *r))
             .sum();
-        prop_assert_eq!(covered, fwd.num_entries());
+        assert_eq!(covered, fwd.num_entries(), "seed {seed}");
     }
+}
 
-    /// The parallel CSR construction matches a naive sequential build.
-    #[test]
-    fn parallel_build_matches_naive(pairs in vec((0u32..70, 0u32..70), 0..400)) {
-        let mut el = EdgeList::from_pairs_with_vertices(pairs, 70);
+/// The parallel CSR construction matches a naive sequential build.
+#[test]
+fn parallel_build_matches_naive() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut el = EdgeList::from_pairs_with_vertices(raw_edges(&mut rng, 70, 400), 70);
         el.canonicalize();
         let g = UndirectedCsr::from_canonical_edges(&el);
 
@@ -121,20 +151,31 @@ proptest! {
             l.sort_unstable();
         }
         for v in 0..70u32 {
-            prop_assert_eq!(g.neighbors(v), naive[v as usize].as_slice(), "vertex {}", v);
+            assert_eq!(
+                g.neighbors(v),
+                naive[v as usize].as_slice(),
+                "seed {seed} vertex {v}"
+            );
         }
     }
+}
 
-    /// `lower_neighbors` and `upper_neighbors` partition each list.
-    #[test]
-    fn lower_upper_partition(pairs in vec((0u32..50, 0u32..50), 0..200)) {
-        let g = graph_of(pairs, 50);
+/// `lower_neighbors` and `upper_neighbors` partition each list.
+#[test]
+fn lower_upper_partition() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let g = graph_of(raw_edges(&mut rng, 50, 200), 50);
         for v in 0..g.num_vertices() {
             let lower = g.lower_neighbors(v);
             let upper = g.upper_neighbors(v);
-            prop_assert!(lower.iter().all(|&u| u < v));
-            prop_assert!(upper.iter().all(|&u| u > v));
-            prop_assert_eq!(lower.len() + upper.len(), g.neighbors(v).len());
+            assert!(lower.iter().all(|&u| u < v), "seed {seed}");
+            assert!(upper.iter().all(|&u| u > v), "seed {seed}");
+            assert_eq!(
+                lower.len() + upper.len(),
+                g.neighbors(v).len(),
+                "seed {seed}"
+            );
         }
     }
 }

@@ -22,7 +22,11 @@ impl Region {
     /// Address of element `i`.
     #[inline(always)]
     pub fn addr(&self, i: u64) -> u64 {
-        debug_assert!(i < self.len, "index {i} out of region of {} elements", self.len);
+        debug_assert!(
+            i < self.len,
+            "index {i} out of region of {} elements",
+            self.len
+        );
         self.base + i * self.elem_size
     }
 
@@ -53,7 +57,11 @@ impl AddressSpace {
         let base = self.next;
         let bytes = (elem_size * len.max(1)).div_ceil(PAGE) * PAGE;
         self.next += bytes;
-        Region { base, elem_size, len: len.max(1) }
+        Region {
+            base,
+            elem_size,
+            len: len.max(1),
+        }
     }
 }
 

@@ -20,7 +20,12 @@ impl BranchPredictor {
     /// weakly-not-taken.
     pub fn new(index_bits: u32) -> Self {
         let size = 1usize << index_bits;
-        Self { counters: vec![1u8; size], mask: size - 1, branches: 0, mispredictions: 0 }
+        Self {
+            counters: vec![1u8; size],
+            mask: size - 1,
+            branches: 0,
+            mispredictions: 0,
+        }
     }
 
     /// A 4096-entry predictor (typical bimodal sizing).

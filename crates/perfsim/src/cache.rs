@@ -27,7 +27,10 @@ impl Cache {
         assert!(size_bytes.is_multiple_of(ways as u64 * line_size));
         assert!(line_size.is_power_of_two());
         let sets = size_bytes / (ways as u64 * line_size);
-        assert!(sets.is_power_of_two(), "set count must be a power of two (got {sets})");
+        assert!(
+            sets.is_power_of_two(),
+            "set count must be a power of two (got {sets})"
+        );
         Self {
             tags: vec![u64::MAX; (sets as usize) * ways],
             stamps: vec![0; (sets as usize) * ways],

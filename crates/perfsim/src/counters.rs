@@ -40,8 +40,18 @@ mod tests {
 
     #[test]
     fn aggregation() {
-        let mut a = PerfCounters { loads: 10, stores: 2, alu_ops: 5, branches: 3 };
-        let b = PerfCounters { loads: 1, stores: 1, alu_ops: 1, branches: 1 };
+        let mut a = PerfCounters {
+            loads: 10,
+            stores: 2,
+            alu_ops: 5,
+            branches: 3,
+        };
+        let b = PerfCounters {
+            loads: 1,
+            stores: 1,
+            alu_ops: 1,
+            branches: 1,
+        };
         a.add(&b);
         assert_eq!(a.memory_accesses(), 14);
         assert_eq!(a.instructions(), 24);

@@ -17,7 +17,9 @@ pub const LINE_BYTES: u64 = 64;
 impl CachelineHistogram {
     /// Creates a histogram for a region of `bytes` bytes.
     pub fn new(bytes: u64) -> Self {
-        Self { counts: vec![0; bytes.div_ceil(LINE_BYTES) as usize] }
+        Self {
+            counts: vec![0; bytes.div_ceil(LINE_BYTES) as usize],
+        }
     }
 
     /// Records one access at byte offset `offset` within the region.
@@ -60,7 +62,10 @@ impl CachelineHistogram {
     /// accesses.
     pub fn lines_for_fraction(&self, fraction: f64) -> usize {
         let curve = self.cumulative_curve();
-        curve.iter().position(|&c| c >= fraction).map_or(curve.len(), |p| p + 1)
+        curve
+            .iter()
+            .position(|&c| c >= fraction)
+            .map_or(curve.len(), |p| p + 1)
     }
 }
 

@@ -173,8 +173,7 @@ mod tests {
         // run_lotus includes phases 2-3, so compare only phase-1-dominated
         // quantities loosely: instructions *per H2H probe*.
         let probes = bits.h2h_histogram.total_accesses().max(1);
-        let hash_instr_per_probe =
-            m_hash.report().instructions as f64 / probes as f64;
+        let hash_instr_per_probe = m_hash.report().instructions as f64 / probes as f64;
         let bit_instr_per_probe = 6.0; // ~2 alu + 1 load + 1 branch + streaming
         assert!(
             hash_instr_per_probe > bit_instr_per_probe,

@@ -123,7 +123,10 @@ pub fn run_lotus(lg: &LotusGraph, machine: &mut MachineModel) -> LotusSimOutcome
         }
     }
 
-    LotusSimOutcome { triangles, h2h_histogram: histogram }
+    LotusSimOutcome {
+        triangles,
+        h2h_histogram: histogram,
+    }
 }
 
 /// Records the raw phase-1 H2H access trace (byte offsets into the bit

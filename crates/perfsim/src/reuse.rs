@@ -19,7 +19,9 @@ struct Fenwick {
 
 impl Fenwick {
     fn new(n: usize) -> Self {
-        Self { tree: vec![0; n + 1] }
+        Self {
+            tree: vec![0; n + 1],
+        }
     }
 
     fn add(&mut self, mut i: usize, delta: i32) {
@@ -59,7 +61,10 @@ impl ReuseProfile {
         let n = trace.len();
         let mut last_pos: FxHashMap<u64, usize> = FxHashMap::default();
         let mut fenwick = Fenwick::new(n);
-        let mut profile = ReuseProfile { total: n as u64, ..Self::default() };
+        let mut profile = ReuseProfile {
+            total: n as u64,
+            ..Self::default()
+        };
         for (i, &line) in trace.iter().enumerate() {
             match last_pos.insert(line, i) {
                 None => {
@@ -190,7 +195,11 @@ mod tests {
                 state ^= state << 17;
                 // Skewed line distribution over 96 lines.
                 let r = state % 128;
-                if r < 96 { r % 16 } else { r }
+                if r < 96 {
+                    r % 16
+                } else {
+                    r
+                }
             })
             .collect();
         let profile = ReuseProfile::from_line_trace(&trace);
@@ -199,11 +208,7 @@ mod tests {
             for &line in &trace {
                 cache.access(line << 6);
             }
-            assert_eq!(
-                profile.misses_at(ways),
-                cache.misses(),
-                "capacity {ways}"
-            );
+            assert_eq!(profile.misses_at(ways), cache.misses(), "capacity {ways}");
         }
     }
 

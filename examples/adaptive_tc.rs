@@ -38,10 +38,15 @@ fn main() {
     describe("R-MAT social network", &Rmat::new(14, 16).generate(1));
     describe(
         "R-MAT web crawl",
-        &Rmat::new(14, 24).with_params(lotus::gen::RmatParams::WEB).generate(2),
+        &Rmat::new(14, 24)
+            .with_params(lotus::gen::RmatParams::WEB)
+            .generate(2),
     );
 
     // Uniform graphs: hubs carry nothing; Forward is the right tool.
     describe("Erdos-Renyi", &ErdosRenyi::new(16_384, 260_000).generate(3));
-    describe("Watts-Strogatz ring", &WattsStrogatz::new(16_384, 16, 0.1).generate(4));
+    describe(
+        "Watts-Strogatz ring",
+        &WattsStrogatz::new(16_384, 16, 0.1).generate(4),
+    );
 }

@@ -20,11 +20,19 @@ fn main() {
     );
 
     let start = Instant::now();
-    let exact = LotusCounter::new(LotusConfig::auto(&graph)).count(&graph).total();
+    let exact = LotusCounter::new(LotusConfig::auto(&graph))
+        .count(&graph)
+        .total();
     let exact_time = start.elapsed();
-    println!("exact (LOTUS): {exact} triangles in {:.3}s\n", exact_time.as_secs_f64());
+    println!(
+        "exact (LOTUS): {exact} triangles in {:.3}s\n",
+        exact_time.as_secs_f64()
+    );
 
-    println!("{:>5}  {:>12}  {:>8}  {:>8}  {:>9}", "p", "estimate", "error%", "time(s)", "edges");
+    println!(
+        "{:>5}  {:>12}  {:>8}  {:>8}  {:>9}",
+        "p", "estimate", "error%", "time(s)", "edges"
+    );
     for p in [0.05, 0.1, 0.2, 0.5] {
         let start = Instant::now();
         let est = doulion_estimate(&graph, p, 7);

@@ -32,12 +32,16 @@ fn main() {
 
     // Per-user triangle participation: who sits in the most closed triads?
     let triangles = per_vertex_counts(&network);
-    let mut ranked: Vec<(u32, u64)> =
-        (0..network.num_vertices()).map(|v| (v, triangles[v as usize])).collect();
+    let mut ranked: Vec<(u32, u64)> = (0..network.num_vertices())
+        .map(|v| (v, triangles[v as usize]))
+        .collect();
     ranked.sort_unstable_by_key(|&(v, t)| (std::cmp::Reverse(t), v));
     println!("\ntop 5 users by closed triads:");
     for &(v, t) in ranked.iter().take(5) {
-        println!("  user {v:>6}: {t:>6} triangles, degree {}", network.degree(v));
+        println!(
+            "  user {v:>6}: {t:>6} triangles, degree {}",
+            network.degree(v)
+        );
     }
 
     // Clustering vs degree: hubs bridge many communities, so their own
@@ -47,11 +51,16 @@ fn main() {
     let leafish = (0..network.num_vertices())
         .filter(|&v| network.degree(v) == 8)
         .max_by(|&a, &b| {
-            coeffs[a as usize].partial_cmp(&coeffs[b as usize]).expect("finite")
+            coeffs[a as usize]
+                .partial_cmp(&coeffs[b as usize])
+                .expect("finite")
         })
         .expect("min-degree vertex exists");
-    println!("\nhub user {hub}: degree {}, clustering {:.4}", network.degree(hub), coeffs
-        [hub as usize]);
+    println!(
+        "\nhub user {hub}: degree {}, clustering {:.4}",
+        network.degree(hub),
+        coeffs[hub as usize]
+    );
     println!(
         "tight user {leafish}: degree {}, clustering {:.4}",
         network.degree(leafish),

@@ -24,7 +24,8 @@ fn main() {
     );
 
     let mut counter = StreamingLotus::from_degree_estimate(num_vertices);
-    println!("hub set: first {} IDs, H2H = {} KB resident",
+    println!(
+        "hub set: first {} IDs, H2H = {} KB resident",
         counter.hub_count(),
         counter.h2h().size_bytes() / 1024
     );
@@ -45,7 +46,9 @@ fn main() {
 
     // Verify against a batch LOTUS run over the final graph.
     let graph = lotus::graph::UndirectedCsr::from_canonical_edges(&edges);
-    let batch_count = LotusCounter::new(LotusConfig::auto(&graph)).count(&graph).total();
+    let batch_count = LotusCounter::new(LotusConfig::auto(&graph))
+        .count(&graph)
+        .total();
     assert_eq!(counter.triangles(), batch_count);
     println!("\nbatch LOTUS agrees: {batch_count} triangles");
 }

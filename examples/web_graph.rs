@@ -17,7 +17,9 @@ use lotus::gen::{Rmat, RmatParams};
 use lotus::prelude::*;
 
 fn main() {
-    let crawl = Rmat::new(16, 32).with_params(RmatParams::WEB).generate(2022);
+    let crawl = Rmat::new(16, 32)
+        .with_params(RmatParams::WEB)
+        .generate(2022);
     println!(
         "crawl: {} pages, {} links",
         crawl.num_vertices(),
@@ -30,7 +32,10 @@ fn main() {
     println!("  hub-to-hub edges:     {:>5.1}%", s.hub_to_hub * 100.0);
     println!("  hub-to-non-hub edges: {:>5.1}%", s.hub_to_nonhub * 100.0);
     println!("  triangles with a hub: {:>5.1}%", s.hub_triangles * 100.0);
-    println!("  hub sub-graph is {:.0}x denser than the crawl", s.relative_density);
+    println!(
+        "  hub sub-graph is {:.0}x denser than the crawl",
+        s.relative_density
+    );
     println!("  avoidable hub-edge accesses: {:.1}%", s.fruitless * 100.0);
 
     // The LOTUS structure for this crawl.
@@ -40,7 +45,8 @@ fn main() {
     println!("\nLOTUS structure ({} hubs):", lg.hub_count);
     println!("  HE edges (16-bit):  {}", lg.he_edges());
     println!("  NHE edges (32-bit): {}", lg.nhe_edges());
-    println!("  H2H bit array:      {} KB, density {:.2}%",
+    println!(
+        "  H2H bit array:      {} KB, density {:.2}%",
         lg.h2h.size_bytes() / 1024,
         lg.h2h.density() * 100.0
     );

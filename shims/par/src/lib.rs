@@ -1,0 +1,430 @@
+//! Sequential stand-in for the subset of the `rayon` API this workspace
+//! uses, so the workspace builds in offline environments where the real
+//! crate cannot be fetched.
+//!
+//! The root manifest renames this package to the `rayon` dependency key
+//! (`rayon = { path = "shims/par", package = "lotus-par" }`), so every
+//! `use rayon::prelude::*` in the workspace resolves here unchanged.
+//! Execution is sequential: a "parallel iterator" is a thin [`Par`]
+//! wrapper over a standard iterator, and the adapter methods reproduce
+//! rayon's *signatures* (notably `fold(|| init, f)` and
+//! `reduce(|| identity, op)`, which differ from [`Iterator`]'s) while
+//! running on the calling thread. Swapping the real rayon back in is a
+//! one-line manifest change; no call sites need to move.
+
+use std::cmp::Ordering;
+
+/// A "parallel" iterator: a newtype over a sequential iterator.
+///
+/// Does **not** implement [`Iterator`]; all adapters come from
+/// [`ParallelIterator`], so rayon-style and std-style method resolution
+/// never collide.
+#[derive(Debug, Clone)]
+pub struct Par<I>(I);
+
+impl<I: Iterator> IntoIterator for Par<I> {
+    type Item = I::Item;
+    type IntoIter = I;
+
+    fn into_iter(self) -> I {
+        self.0
+    }
+}
+
+/// The rayon `ParallelIterator` adapter surface, executed sequentially.
+pub trait ParallelIterator: Sized {
+    /// Item type, mirroring `rayon::iter::ParallelIterator::Item`.
+    type Item;
+    /// The underlying sequential iterator.
+    type Inner: Iterator<Item = Self::Item>;
+
+    /// Unwraps into the underlying sequential iterator.
+    fn seq(self) -> Self::Inner;
+
+    /// Maps each item (rayon: `map`).
+    fn map<R, F>(self, f: F) -> Par<std::iter::Map<Self::Inner, F>>
+    where
+        F: FnMut(Self::Item) -> R,
+    {
+        Par(self.seq().map(f))
+    }
+
+    /// Runs `f` on every item (rayon: `for_each`).
+    fn for_each<F>(self, f: F)
+    where
+        F: FnMut(Self::Item),
+    {
+        self.seq().for_each(f);
+    }
+
+    /// Keeps items matching the predicate (rayon: `filter`).
+    fn filter<F>(self, f: F) -> Par<std::iter::Filter<Self::Inner, F>>
+    where
+        F: FnMut(&Self::Item) -> bool,
+    {
+        Par(self.seq().filter(f))
+    }
+
+    /// Maps each item to a *sequential* iterator and flattens (rayon:
+    /// `flat_map_iter`).
+    fn flat_map_iter<U, F>(self, f: F) -> Par<std::iter::FlatMap<Self::Inner, U, F>>
+    where
+        U: IntoIterator,
+        F: FnMut(Self::Item) -> U,
+    {
+        Par(self.seq().flat_map(f))
+    }
+
+    /// Pairs items with their index (rayon: `enumerate`).
+    fn enumerate(self) -> Par<std::iter::Enumerate<Self::Inner>> {
+        Par(self.seq().enumerate())
+    }
+
+    /// Zips with anything convertible to a parallel iterator (rayon:
+    /// `zip`).
+    fn zip<Z>(self, other: Z) -> Par<std::iter::Zip<Self::Inner, Z::Iter>>
+    where
+        Z: IntoParallelIterator,
+    {
+        Par(self.seq().zip(other.into_par_iter().seq()))
+    }
+
+    /// Copies `&T` items (rayon: `copied`).
+    fn copied<'a, T>(self) -> Par<std::iter::Copied<Self::Inner>>
+    where
+        Self: ParallelIterator<Item = &'a T>,
+        T: 'a + Copy,
+    {
+        Par(self.seq().copied())
+    }
+
+    /// Clones `&T` items (rayon: `cloned`).
+    fn cloned<'a, T>(self) -> Par<std::iter::Cloned<Self::Inner>>
+    where
+        Self: ParallelIterator<Item = &'a T>,
+        T: 'a + Clone,
+    {
+        Par(self.seq().cloned())
+    }
+
+    /// Sums the items (rayon: `sum`).
+    fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<Self::Item>,
+    {
+        self.seq().sum()
+    }
+
+    /// Counts the items (rayon: `count`).
+    fn count(self) -> usize {
+        self.seq().count()
+    }
+
+    /// Maximum item (rayon: `max`).
+    fn max(self) -> Option<Self::Item>
+    where
+        Self::Item: Ord,
+    {
+        self.seq().max()
+    }
+
+    /// Minimum item (rayon: `min`).
+    fn min(self) -> Option<Self::Item>
+    where
+        Self::Item: Ord,
+    {
+        self.seq().min()
+    }
+
+    /// Reduces with an identity-producing closure — rayon's signature,
+    /// not [`Iterator::reduce`]'s.
+    fn reduce<Id, Op>(self, identity: Id, op: Op) -> Self::Item
+    where
+        Id: Fn() -> Self::Item,
+        Op: Fn(Self::Item, Self::Item) -> Self::Item,
+    {
+        self.seq().fold(identity(), op)
+    }
+
+    /// Folds into per-"thread" accumulators — rayon's signature. The
+    /// sequential version produces exactly one accumulator, wrapped in a
+    /// single-item parallel iterator so a following `reduce`/`sum` works.
+    fn fold<T, Id, F>(self, identity: Id, fold_op: F) -> Par<std::iter::Once<T>>
+    where
+        Id: Fn() -> T,
+        F: Fn(T, Self::Item) -> T,
+    {
+        Par(std::iter::once(self.seq().fold(identity(), fold_op)))
+    }
+
+    /// Collects into any [`FromIterator`] collection (rayon: `collect`).
+    fn collect<C>(self) -> C
+    where
+        C: FromIterator<Self::Item>,
+    {
+        self.seq().collect()
+    }
+}
+
+impl<I: Iterator> ParallelIterator for Par<I> {
+    type Item = I::Item;
+    type Inner = I;
+
+    fn seq(self) -> I {
+        self.0
+    }
+}
+
+/// Marker mirroring rayon's `IndexedParallelIterator` (every sequential
+/// iterator is trivially "indexed" here).
+pub trait IndexedParallelIterator: ParallelIterator {}
+
+impl<I: Iterator> IndexedParallelIterator for Par<I> {}
+
+/// Conversion into a [`Par`] iterator (rayon: `IntoParallelIterator`).
+pub trait IntoParallelIterator {
+    /// Item type of the resulting iterator.
+    type Item;
+    /// Underlying sequential iterator type.
+    type Iter: Iterator<Item = Self::Item>;
+
+    /// Wraps `self` in a [`Par`].
+    fn into_par_iter(self) -> Par<Self::Iter>;
+}
+
+impl<T: IntoIterator> IntoParallelIterator for T {
+    type Item = T::Item;
+    type Iter = T::IntoIter;
+
+    fn into_par_iter(self) -> Par<T::IntoIter> {
+        Par(self.into_iter())
+    }
+}
+
+/// `par_iter` on shared references (rayon: `IntoParallelRefIterator`).
+pub trait IntoParallelRefIterator<'a> {
+    /// Item type (typically `&'a T`).
+    type Item: 'a;
+    /// Underlying sequential iterator type.
+    type Iter: Iterator<Item = Self::Item>;
+
+    /// Borrowing counterpart of [`IntoParallelIterator::into_par_iter`].
+    fn par_iter(&'a self) -> Par<Self::Iter>;
+}
+
+impl<'a, C: 'a + ?Sized> IntoParallelRefIterator<'a> for C
+where
+    &'a C: IntoIterator,
+{
+    type Item = <&'a C as IntoIterator>::Item;
+    type Iter = <&'a C as IntoIterator>::IntoIter;
+
+    fn par_iter(&'a self) -> Par<Self::Iter> {
+        Par(self.into_iter())
+    }
+}
+
+/// `par_iter_mut` on exclusive references (rayon:
+/// `IntoParallelRefMutIterator`).
+pub trait IntoParallelRefMutIterator<'a> {
+    /// Item type (typically `&'a mut T`).
+    type Item: 'a;
+    /// Underlying sequential iterator type.
+    type Iter: Iterator<Item = Self::Item>;
+
+    /// Mutably borrowing counterpart of
+    /// [`IntoParallelIterator::into_par_iter`].
+    fn par_iter_mut(&'a mut self) -> Par<Self::Iter>;
+}
+
+impl<'a, C: 'a + ?Sized> IntoParallelRefMutIterator<'a> for C
+where
+    &'a mut C: IntoIterator,
+{
+    type Item = <&'a mut C as IntoIterator>::Item;
+    type Iter = <&'a mut C as IntoIterator>::IntoIter;
+
+    fn par_iter_mut(&'a mut self) -> Par<Self::Iter> {
+        Par(self.into_iter())
+    }
+}
+
+/// Parallel sorting on mutable slices (rayon: `ParallelSliceMut`).
+pub trait ParallelSliceMut<T> {
+    /// Unstable sort (rayon: `par_sort_unstable`).
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord;
+
+    /// Unstable sort by comparator (rayon: `par_sort_unstable_by`).
+    fn par_sort_unstable_by<F>(&mut self, compare: F)
+    where
+        F: Fn(&T, &T) -> Ordering;
+
+    /// Unstable sort by key (rayon: `par_sort_unstable_by_key`).
+    fn par_sort_unstable_by_key<K, F>(&mut self, key: F)
+    where
+        K: Ord,
+        F: Fn(&T) -> K;
+}
+
+impl<T> ParallelSliceMut<T> for [T] {
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord,
+    {
+        self.sort_unstable();
+    }
+
+    fn par_sort_unstable_by<F>(&mut self, compare: F)
+    where
+        F: Fn(&T, &T) -> Ordering,
+    {
+        self.sort_unstable_by(compare);
+    }
+
+    fn par_sort_unstable_by_key<K, F>(&mut self, key: F)
+    where
+        K: Ord,
+        F: Fn(&T) -> K,
+    {
+        self.sort_unstable_by_key(key);
+    }
+}
+
+/// Logical worker count used for sizing work partitions. Reports the
+/// host's available parallelism even though execution is sequential, so
+/// configuration derived from it (e.g. partitions per vertex) matches
+/// what the real thread pool would use.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Error type of [`ThreadPoolBuilder::build`] (never produced).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records the requested thread count (advisory only).
+    #[must_use]
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Builds the (sequential) pool; never fails.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = if self.num_threads == 0 {
+            current_num_threads()
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { num_threads: n })
+    }
+}
+
+/// A "thread pool" that runs closures on the calling thread.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Nominal thread count this pool was built with.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    /// Runs `op` (on the calling thread).
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        op()
+    }
+}
+
+/// The rayon prelude: every trait needed for method resolution.
+pub mod prelude {
+    pub use crate::{
+        IndexedParallelIterator, IntoParallelIterator, IntoParallelRefIterator,
+        IntoParallelRefMutIterator, ParallelIterator, ParallelSliceMut,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_sum_matches_sequential() {
+        let s: u64 = (0u64..100).into_par_iter().map(|x| x * x).sum();
+        assert_eq!(s, (0u64..100).map(|x| x * x).sum());
+    }
+
+    #[test]
+    fn fold_then_reduce_uses_rayon_signatures() {
+        let (a, b) = (0u64..10)
+            .into_par_iter()
+            .fold(|| (0u64, 0u64), |(s, c), x| (s + x, c + 1))
+            .reduce(|| (0, 0), |x, y| (x.0 + y.0, x.1 + y.1));
+        assert_eq!((a, b), (45, 10));
+    }
+
+    #[test]
+    fn ref_and_mut_iteration() {
+        let mut v = vec![3u32, 1, 2];
+        v.par_iter_mut().for_each(|x| *x *= 10);
+        assert_eq!(v.par_iter().copied().max(), Some(30));
+    }
+
+    #[test]
+    fn zip_and_enumerate() {
+        let a = [1u32, 2, 3];
+        let b = [10u32, 20, 30];
+        let pairs: Vec<(usize, u32)> = a
+            .par_iter()
+            .zip(b.par_iter())
+            .enumerate()
+            .map(|(i, (x, y))| (i, x + y))
+            .collect();
+        assert_eq!(pairs, vec![(0, 11), (1, 22), (2, 33)]);
+    }
+
+    #[test]
+    fn par_sort_variants() {
+        let mut v = vec![5, 3, 9, 1];
+        v.par_sort_unstable();
+        assert_eq!(v, vec![1, 3, 5, 9]);
+        v.par_sort_unstable_by(|a, b| b.cmp(a));
+        assert_eq!(v, vec![9, 5, 3, 1]);
+    }
+
+    #[test]
+    fn pool_installs_on_calling_thread() {
+        let pool = ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .expect("pool");
+        assert_eq!(pool.current_num_threads(), 4);
+        assert_eq!(pool.install(|| 7), 7);
+        assert!(current_num_threads() >= 1);
+    }
+}

@@ -25,7 +25,11 @@ fn assert_all_agree(graph: &G) -> u64 {
     assert_eq!(node_iterator_count(graph), want, "node iterator");
     assert_eq!(node_iterator_core_count(graph), want, "node iterator core");
     assert_eq!(edge_iterator_count(graph), want, "edge iterator");
-    assert_eq!(edge_iterator_hashed_count(graph), want, "edge iterator hashed");
+    assert_eq!(
+        edge_iterator_hashed_count(graph),
+        want,
+        "edge iterator hashed"
+    );
     assert_eq!(forward_hashed_count(graph), want, "forward hashed");
     assert_eq!(new_vertex_listing_count(graph), want, "new vertex listing");
     assert_eq!(gbbs_count(graph), want, "gbbs");
@@ -50,8 +54,7 @@ fn assert_all_agree(graph: &G) -> u64 {
     let rec = RecursiveLotus::new(LotusConfig::default(), 3);
     assert_eq!(rec.count(graph).triangles, want, "recursive lotus");
 
-    let adaptive =
-        adaptive_count(graph, &LotusConfig::default(), &AdaptiveConfig::default());
+    let adaptive = adaptive_count(graph, &LotusConfig::default(), &AdaptiveConfig::default());
     assert_eq!(adaptive.triangles, want, "adaptive");
 
     want

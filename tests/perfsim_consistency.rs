@@ -18,7 +18,12 @@ fn instrumented_kernels_agree_on_suite() {
 
         let pre = degree_order_and_orient(&g);
         let mut mf = MachineModel::tiny();
-        assert_eq!(run_forward(&pre.forward, &mut mf), want, "{} forward", d.name);
+        assert_eq!(
+            run_forward(&pre.forward, &mut mf),
+            want,
+            "{} forward",
+            d.name
+        );
 
         let lg = build_lotus_graph(&g, &LotusConfig::auto(&g));
         let mut ml = MachineModel::tiny();
@@ -79,8 +84,7 @@ fn h2h_accesses_are_concentrated() {
     // bulk of accesses. Needs enough hubs that H2H spans many cachelines
     // (the paper's 64K hubs give 512K lines; 2048 hubs give 4K here).
     let g = lotus::gen::Rmat::new(12, 16).generate(7);
-    let cfg = LotusConfig::default()
-        .with_hub_count(lotus::core::config::HubCount::Fixed(2048));
+    let cfg = LotusConfig::default().with_hub_count(lotus::core::config::HubCount::Fixed(2048));
     let lg = build_lotus_graph(&g, &cfg);
     let mut m = MachineModel::tiny();
     let out = run_lotus(&lg, &mut m);

@@ -1,7 +1,11 @@
-//! Property-based tests (proptest) over the core invariants.
+//! Randomized property tests over the core invariants.
+//!
+//! Deterministic: every case derives from a fixed seed through the
+//! workspace PRNG, so failures reproduce exactly. Each property runs over
+//! a sweep of seeds standing in for proptest-style case generation.
 
-use proptest::collection::vec;
-use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 
 use lotus::algos::forward::forward_count;
 use lotus::algos::intersect::IntersectKind;
@@ -9,11 +13,19 @@ use lotus::core::config::HubCount;
 use lotus::core::preprocess::build_lotus_graph;
 use lotus::core::tiling::SqrtFractions;
 use lotus::prelude::*;
+use lotus_check::Validator;
+use lotus_gen::{ErdosRenyi, Rmat};
 use lotus_graph::{EdgeList, Relabeling, UndirectedCsr};
 
-/// Strategy: an arbitrary small multigraph as raw (u, v) pairs.
-fn raw_edges(max_v: u32, max_e: usize) -> impl Strategy<Value = Vec<(u32, u32)>> {
-    vec((0..max_v, 0..max_v), 0..max_e)
+const CASES: u64 = 64;
+
+/// An arbitrary small multigraph as raw (u, v) pairs (duplicates and
+/// self-loops included, as canonicalization must handle them).
+fn raw_edges(rng: &mut SmallRng, max_v: u32, max_e: usize) -> Vec<(u32, u32)> {
+    let count = rng.gen_range(0..max_e);
+    (0..count)
+        .map(|_| (rng.gen_range(0..max_v), rng.gen_range(0..max_v)))
+        .collect()
 }
 
 fn graph_of(pairs: Vec<(u32, u32)>, n: u32) -> UndirectedCsr {
@@ -22,105 +34,169 @@ fn graph_of(pairs: Vec<(u32, u32)>, n: u32) -> UndirectedCsr {
     UndirectedCsr::from_canonical_edges(&el)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
-
-    /// LOTUS equals Forward on arbitrary graphs for arbitrary hub counts.
-    #[test]
-    fn lotus_equals_forward(pairs in raw_edges(60, 300), hubs in 0u32..70) {
-        let g = graph_of(pairs, 60);
+/// LOTUS equals Forward on arbitrary graphs for arbitrary hub counts.
+#[test]
+fn lotus_equals_forward() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let g = graph_of(raw_edges(&mut rng, 60, 300), 60);
+        let hubs = rng.gen_range(0..70u32);
         let want = forward_count(&g);
         let cfg = LotusConfig::default().with_hub_count(HubCount::Fixed(hubs));
-        prop_assert_eq!(LotusCounter::new(cfg).count(&g).total(), want);
+        assert_eq!(
+            LotusCounter::new(cfg).count(&g).total(),
+            want,
+            "seed {seed} hubs {hubs}"
+        );
     }
+}
 
-    /// The triangle count is invariant under any vertex relabeling.
-    #[test]
-    fn count_invariant_under_relabeling(pairs in raw_edges(40, 150), seed in 0u64..1000) {
-        let g = graph_of(pairs, 40);
+/// The triangle count is invariant under any vertex relabeling.
+#[test]
+fn count_invariant_under_relabeling() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let g = graph_of(raw_edges(&mut rng, 40, 150), 40);
         // Derive a permutation from the seed by sorting keyed hashes.
         let mut perm: Vec<u32> = (0..40).collect();
-        perm.sort_by_key(|&v| (v as u64).wrapping_mul(seed.wrapping_add(7)).wrapping_mul(0x9E3779B97F4A7C15));
+        perm.sort_by_key(|&v| {
+            (v as u64)
+                .wrapping_mul(seed.wrapping_add(7))
+                .wrapping_mul(0x9E3779B97F4A7C15)
+        });
         let r = Relabeling::from_old_to_new(perm);
         let h = r.apply(&g);
-        prop_assert_eq!(forward_count(&h), forward_count(&g));
+        assert_eq!(forward_count(&h), forward_count(&g), "seed {seed}");
     }
+}
 
-    /// Canonicalization is idempotent and produces a canonical list.
-    #[test]
-    fn canonicalize_idempotent(pairs in raw_edges(50, 200)) {
-        let mut el = EdgeList::from_pairs_with_vertices(pairs, 50);
+/// Canonicalization is idempotent and produces a canonical list.
+#[test]
+fn canonicalize_idempotent() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut el = EdgeList::from_pairs_with_vertices(raw_edges(&mut rng, 50, 200), 50);
         el.canonicalize();
-        prop_assert!(el.is_canonical());
-        let again = el.canonicalized();
-        prop_assert_eq!(again, el);
+        assert!(el.is_canonical(), "seed {seed}");
+        assert_eq!(el.canonicalized(), el, "seed {seed}");
     }
+}
 
-    /// The LOTUS structure always validates, and HE/NHE partition the
-    /// edge set exactly.
-    #[test]
-    fn lotus_structure_validates(pairs in raw_edges(50, 200), hubs in 0u32..60) {
-        let g = graph_of(pairs, 50);
+/// The LOTUS structure always validates, and HE/NHE partition the edge
+/// set exactly.
+#[test]
+fn lotus_structure_validates() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let g = graph_of(raw_edges(&mut rng, 50, 200), 50);
+        let hubs = rng.gen_range(0..60u32);
         let cfg = LotusConfig::default().with_hub_count(HubCount::Fixed(hubs));
         let lg = build_lotus_graph(&g, &cfg);
-        prop_assert!(lg.validate().is_ok(), "{:?}", lg.validate());
-        prop_assert_eq!(lg.he_edges() + lg.nhe_edges(), g.num_edges());
+        assert!(lg.validate().is_ok(), "seed {seed}: {:?}", lg.validate());
+        let report = lotus_check::lotus::check_lotus_graph(&lg);
+        assert!(report.is_clean(), "seed {seed}: {report}");
+        assert_eq!(lg.he_edges() + lg.nhe_edges(), g.num_edges(), "seed {seed}");
     }
+}
 
-    /// All intersection kernels agree with each other on sorted inputs.
-    #[test]
-    fn intersection_kernels_agree(
-        mut a in vec(0u32..500, 0..80),
-        mut b in vec(0u32..500, 0..80),
-    ) {
+/// Builder output from random edge lists always passes the structural
+/// validator — including generator graphs (R-MAT, Erdős–Rényi).
+#[test]
+fn random_graphs_pass_validator() {
+    let validator = Validator::new();
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let g = graph_of(raw_edges(&mut rng, 80, 400), 80);
+        let report = validator.check_undirected(&g);
+        assert!(report.is_clean(), "builder seed {seed}: {report}");
+    }
+    for seed in 0..8u64 {
+        let rmat = Rmat::new(9, 8).generate(seed);
+        let report = validator.check_undirected(&rmat);
+        assert!(report.is_clean(), "rmat seed {seed}: {report}");
+
+        let er = ErdosRenyi::new(512, 2048).generate(seed);
+        let report = validator.check_undirected(&er);
+        assert!(report.is_clean(), "er seed {seed}: {report}");
+    }
+}
+
+/// All intersection kernels agree with each other on sorted inputs.
+#[test]
+fn intersection_kernels_agree() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut a: Vec<u32> = (0..rng.gen_range(0..80usize))
+            .map(|_| rng.gen_range(0..500u32))
+            .collect();
+        let mut b: Vec<u32> = (0..rng.gen_range(0..80usize))
+            .map(|_| rng.gen_range(0..500u32))
+            .collect();
         a.sort_unstable();
         a.dedup();
         b.sort_unstable();
         b.dedup();
         let want = IntersectKind::Merge.count(&a, &b);
         for k in IntersectKind::ALL {
-            prop_assert_eq!(k.count(&a, &b), want, "kernel {:?}", k);
+            assert_eq!(k.count(&a, &b), want, "kernel {k:?} seed {seed}");
         }
         // Symmetry.
-        prop_assert_eq!(IntersectKind::Merge.count(&b, &a), want);
+        assert_eq!(IntersectKind::Merge.count(&b, &a), want, "seed {seed}");
     }
+}
 
-    /// Squared-edge-tiling boundaries always cover [0, d] monotonically,
-    /// and the tile work sums to d(d-1)/2.
-    #[test]
-    fn tiling_covers_pair_space(d in 0u32..5000, p in 1usize..64) {
+/// Squared-edge-tiling boundaries always cover [0, d] monotonically, and
+/// the tile work sums to d(d-1)/2.
+#[test]
+fn tiling_covers_pair_space() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let d = rng.gen_range(0..5000u32);
+        let p = rng.gen_range(1..64usize);
         let f = SqrtFractions::new(p);
         let bounds = f.boundaries(d);
-        prop_assert_eq!(bounds[0], 0);
-        prop_assert_eq!(*bounds.last().unwrap(), d);
-        prop_assert!(bounds.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(bounds[0], 0);
+        assert_eq!(*bounds.last().unwrap(), d);
+        assert!(bounds.windows(2).all(|w| w[0] <= w[1]));
 
         let mut tiles = Vec::new();
         f.tiles_for(0, d, &mut tiles);
-        let total: u64 = tiles.iter().map(|t| t.work()).sum();
-        prop_assert_eq!(total, d as u64 * d.saturating_sub(1) as u64 / 2);
+        let total: u64 = tiles.iter().map(lotus_core::tiling::Tile::work).sum();
+        assert_eq!(
+            total,
+            d as u64 * d.saturating_sub(1) as u64 / 2,
+            "d {d} p {p}"
+        );
     }
+}
 
-    /// Streaming insertion matches batch counting on arbitrary streams,
-    /// in arbitrary insertion order.
-    #[test]
-    fn streaming_matches_batch(pairs in raw_edges(40, 120), hubs in 0u32..40) {
+/// Streaming insertion matches batch counting on arbitrary streams, in
+/// arbitrary insertion order.
+#[test]
+fn streaming_matches_batch() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let pairs = raw_edges(&mut rng, 40, 120);
+        let hubs = rng.gen_range(0..40u32);
         let g = graph_of(pairs.clone(), 40);
         let want = forward_count(&g);
         let mut s = lotus::core::streaming::StreamingLotus::new(40, hubs);
         s.insert_batch(pairs);
-        prop_assert_eq!(s.triangles(), want);
+        assert_eq!(s.triangles(), want, "seed {seed} hubs {hubs}");
     }
+}
 
-    /// Degree-descending relabeling is always a permutation and sorts
-    /// degrees non-increasingly.
-    #[test]
-    fn degree_relabeling_is_sorted_permutation(pairs in raw_edges(50, 200)) {
-        let g = graph_of(pairs, 50);
+/// Degree-descending relabeling is always a permutation and sorts degrees
+/// non-increasingly.
+#[test]
+fn degree_relabeling_is_sorted_permutation() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let g = graph_of(raw_edges(&mut rng, 50, 200), 50);
         let r = Relabeling::degree_descending(&g.degrees());
-        prop_assert!(r.is_permutation());
+        assert!(r.is_permutation(), "seed {seed}");
         let h = r.apply(&g);
         let degs: Vec<u32> = (0..h.num_vertices()).map(|v| h.degree(v)).collect();
-        prop_assert!(degs.windows(2).all(|w| w[0] >= w[1]));
+        assert!(degs.windows(2).all(|w| w[0] >= w[1]), "seed {seed}");
     }
 }
