@@ -6,11 +6,13 @@
 //! `|N⁻(v) ∩ N⁻(u)|` is accumulated. Each triangle `(a < b < c)` is found
 //! exactly once, at `v = c`, `u = b`.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
 use rayon::prelude::*;
 
 use lotus_graph::{Csr, UndirectedCsr};
+use lotus_resilience::{fault_point, RunGuard, StopReason};
 
 use crate::intersect::IntersectKind;
 use crate::preprocess::degree_order_and_orient;
@@ -96,6 +98,58 @@ pub fn count_oriented(forward: &Csr<u32>, kernel: IntersectKind) -> u64 {
             local
         })
         .sum()
+}
+
+/// Guarded variant of [`count_oriented`]: polls the guard every 256
+/// vertices. On a stop, returns the partial sum accumulated so far with
+/// the reason.
+pub fn count_oriented_guarded(
+    forward: &Csr<u32>,
+    kernel: IntersectKind,
+    guard: &RunGuard,
+) -> Result<u64, (StopReason, u64)> {
+    let stopped = AtomicBool::new(false);
+    let partial = (0..forward.num_vertices())
+        .into_par_iter()
+        .map(|v| {
+            if stopped.load(Ordering::Relaxed) {
+                return 0;
+            }
+            if v & 0xff == 0 && guard.should_stop().is_some() {
+                stopped.store(true, Ordering::Relaxed);
+                return 0;
+            }
+            let nv = forward.neighbors(v);
+            let mut local = 0u64;
+            for &u in nv {
+                local += kernel.count(nv, forward.neighbors(u));
+            }
+            local
+        })
+        .sum();
+    match guard.should_stop() {
+        Some(reason) if stopped.load(Ordering::Relaxed) => Err((reason, partial)),
+        _ => Ok(partial),
+    }
+}
+
+/// End-to-end guarded Forward count with degree ordering: orients the
+/// graph (checking the guard before and after), then counts under the
+/// guard. Partial counts from an interrupted counting loop are returned
+/// with the reason; an interruption during orientation reports 0.
+pub fn forward_count_guarded(
+    graph: &UndirectedCsr,
+    guard: &RunGuard,
+) -> Result<u64, (StopReason, u64)> {
+    fault_point!(panic: "algos.forward.count");
+    if let Some(reason) = guard.should_stop() {
+        return Err((reason, 0));
+    }
+    let forward = degree_order_and_orient(graph).forward;
+    if let Some(reason) = guard.should_stop() {
+        return Err((reason, 0));
+    }
+    count_oriented_guarded(&forward, IntersectKind::default(), guard)
 }
 
 /// Convenience: end-to-end Forward count with default settings.

@@ -6,11 +6,13 @@
 //! every neighbour at the cost of hashing instructions — the trade-off the
 //! paper cites when arguing merge join is better for short lists (§4.4.3).
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
 use rayon::prelude::*;
 
 use lotus_graph::{Csr, UndirectedCsr};
+use lotus_resilience::{RunGuard, StopReason};
 
 use crate::intersect::hash::HashSide;
 use crate::preprocess::degree_order_and_orient;
@@ -70,6 +72,61 @@ pub fn forward_hashed_count_timed(graph: &UndirectedCsr) -> ForwardHashedResult 
         preprocess,
         count: count_start.elapsed(),
     }
+}
+
+/// Guarded variant of [`count_oriented_hashed`]: polls the guard every
+/// 256 vertices; each worker keeps its reusable hash set. On a stop,
+/// returns the partial sum with the reason.
+pub fn count_oriented_hashed_guarded(
+    forward: &Csr<u32>,
+    guard: &RunGuard,
+) -> Result<u64, (StopReason, u64)> {
+    let stopped = AtomicBool::new(false);
+    let partial = (0..forward.num_vertices())
+        .into_par_iter()
+        .fold(
+            || (HashSide::<u32>::new(), 0u64),
+            |(mut side, mut total), v| {
+                if stopped.load(Ordering::Relaxed) {
+                    return (side, total);
+                }
+                if v & 0xff == 0 && guard.should_stop().is_some() {
+                    stopped.store(true, Ordering::Relaxed);
+                    return (side, total);
+                }
+                let nv = forward.neighbors(v);
+                if nv.len() >= 2 {
+                    side.fill(nv);
+                    for &u in nv {
+                        total += side.count(forward.neighbors(u));
+                    }
+                }
+                (side, total)
+            },
+        )
+        .map(|(_, total)| total)
+        .sum();
+    match guard.should_stop() {
+        Some(reason) if stopped.load(Ordering::Relaxed) => Err((reason, partial)),
+        _ => Ok(partial),
+    }
+}
+
+/// End-to-end guarded forward-hashed count: orientation (guard checked
+/// before and after) plus guarded counting. This is the driver of the
+/// memory-budget fallback path in `lotus-core`.
+pub fn forward_hashed_count_guarded(
+    graph: &UndirectedCsr,
+    guard: &RunGuard,
+) -> Result<u64, (StopReason, u64)> {
+    if let Some(reason) = guard.should_stop() {
+        return Err((reason, 0));
+    }
+    let forward = degree_order_and_orient(graph).forward;
+    if let Some(reason) = guard.should_stop() {
+        return Err((reason, 0));
+    }
+    count_oriented_hashed_guarded(&forward, guard)
 }
 
 /// Convenience: triangle count only.

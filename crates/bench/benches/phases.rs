@@ -34,7 +34,7 @@ fn bench_phases(c: &mut Criterion) {
         b.iter(|| black_box(build_lotus_graph(&graph, &config).he_edges()));
     });
     group.bench_function("hhh_hhn", |b| {
-        b.iter(|| black_box(count_hub_phase(&lg, &tiles)))
+        b.iter(|| black_box(count_hub_phase(&lg, &tiles)));
     });
     group.bench_function("hnn", |b| b.iter(|| black_box(count_hnn_phase(&lg))));
     group.bench_function("nnn", |b| b.iter(|| black_box(count_nnn_phase(&lg))));

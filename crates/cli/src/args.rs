@@ -2,21 +2,30 @@
 
 use std::fmt;
 
+use lotus_resilience::MemoryBudget;
+
 /// Usage text shown by `lotus help`.
 pub const USAGE: &str = "\
 lotus — locality-optimizing triangle counting (PPoPP'22 reproduction)
 
 USAGE:
   lotus count <graph> [--algorithm lotus|forward|edge-iterator|gbbs|bbtc|adaptive]
-                      [--hubs N] [--per-vertex]
+                      [--hubs N] [--per-vertex] [--timeout SECS]
+                      [--mem-budget SIZE] [--strict]
   lotus analyze <graph> [--hub-fraction F]
   lotus generate <rmat|ba|er|ws> --scale S [--edge-factor F] [--seed X]
                  [--params social|web|mild] -o <file>
-  lotus convert <input> <output>
+  lotus convert <input> <output> [--strict]
   lotus check <graph> [--hubs N] [--differential]
   lotus help
 
-Graph files: whitespace edge lists (any extension) or binary .lotg files.";
+Graph files: whitespace edge lists (any extension) or binary .lotg files.
+--timeout interrupts the run cooperatively (exit code 124); --mem-budget
+(e.g. 512m, 2g) degrades LOTUS to fit; --strict rejects text edge lists
+with trailing garbage tokens instead of warning.
+
+Exit codes: 0 success (including degraded runs), 1 runtime error,
+2 usage error, 101 isolated worker panic, 124 interrupted.";
 
 /// A parsed subcommand.
 #[derive(Debug, Clone, PartialEq)]
@@ -46,6 +55,12 @@ pub struct CountArgs {
     pub hubs: Option<u32>,
     /// Also print the 10 vertices with most triangles.
     pub per_vertex: bool,
+    /// Cooperative deadline in seconds (`--timeout`).
+    pub timeout: Option<f64>,
+    /// Memory budget for the counting structures (`--mem-budget`).
+    pub mem_budget: Option<MemoryBudget>,
+    /// Reject (rather than warn about) malformed edge-list lines.
+    pub strict: bool,
 }
 
 /// Arguments of `lotus analyze`.
@@ -81,6 +96,8 @@ pub struct ConvertArgs {
     pub input: String,
     /// Output path.
     pub output: String,
+    /// Reject (rather than warn about) malformed edge-list lines.
+    pub strict: bool,
 }
 
 /// Arguments of `lotus check`.
@@ -132,11 +149,31 @@ pub fn parse(argv: &[&str]) -> Result<Command, ParseError> {
             let mut algorithm = "lotus".to_string();
             let mut hubs = None;
             let mut per_vertex = false;
+            let mut timeout = None;
+            let mut mem_budget = None;
+            let mut strict = false;
             while let Some(arg) = it.next() {
                 match arg {
                     "--algorithm" | "-a" => algorithm = take_value(arg, &mut it)?,
                     "--hubs" => hubs = Some(parse_num(arg, &take_value(arg, &mut it)?)?),
                     "--per-vertex" => per_vertex = true,
+                    "--timeout" => {
+                        let secs: f64 = parse_num(arg, &take_value(arg, &mut it)?)?;
+                        if !(secs.is_finite() && secs >= 0.0) {
+                            return Err(ParseError(
+                                "--timeout must be a non-negative number of seconds".into(),
+                            ));
+                        }
+                        timeout = Some(secs);
+                    }
+                    "--mem-budget" => {
+                        let value = take_value(arg, &mut it)?;
+                        mem_budget = Some(
+                            MemoryBudget::parse(&value)
+                                .map_err(|e| ParseError(format!("--mem-budget: {e}")))?,
+                        );
+                    }
+                    "--strict" => strict = true,
                     _ if input.is_none() && !arg.starts_with('-') => {
                         input = Some(arg.to_string());
                     }
@@ -149,6 +186,9 @@ pub fn parse(argv: &[&str]) -> Result<Command, ParseError> {
                 algorithm,
                 hubs,
                 per_vertex,
+                timeout,
+                mem_budget,
+                strict,
             }))
         }
         "analyze" => {
@@ -237,15 +277,30 @@ pub fn parse(argv: &[&str]) -> Result<Command, ParseError> {
             }))
         }
         "convert" => {
-            let input = it
+            let mut positional = Vec::new();
+            let mut strict = false;
+            for arg in it {
+                match arg {
+                    "--strict" => strict = true,
+                    _ if !arg.starts_with('-') => positional.push(arg.to_string()),
+                    _ => return Err(ParseError(format!("unexpected argument '{arg}'"))),
+                }
+            }
+            let mut positional = positional.into_iter();
+            let input = positional
                 .next()
-                .ok_or_else(|| ParseError("convert: missing input path".into()))?
-                .to_string();
-            let output = it
+                .ok_or_else(|| ParseError("convert: missing input path".into()))?;
+            let output = positional
                 .next()
-                .ok_or_else(|| ParseError("convert: missing output path".into()))?
-                .to_string();
-            Ok(Command::Convert(ConvertArgs { input, output }))
+                .ok_or_else(|| ParseError("convert: missing output path".into()))?;
+            if let Some(extra) = positional.next() {
+                return Err(ParseError(format!("unexpected argument '{extra}'")));
+            }
+            Ok(Command::Convert(ConvertArgs {
+                input,
+                output,
+                strict,
+            }))
         }
         other => Err(ParseError(format!("unknown subcommand '{other}'"))),
     }
@@ -265,6 +320,9 @@ mod tests {
                 algorithm: "lotus".into(),
                 hubs: None,
                 per_vertex: false,
+                timeout: None,
+                mem_budget: None,
+                strict: false,
             })
         );
     }
@@ -289,6 +347,38 @@ mod tests {
             }
             _ => panic!("wrong command"),
         }
+    }
+
+    #[test]
+    fn parses_resilience_flags() {
+        let c = parse(&[
+            "count",
+            "g.lotg",
+            "--timeout",
+            "2.5",
+            "--mem-budget",
+            "512m",
+            "--strict",
+        ])
+        .unwrap();
+        match c {
+            Command::Count(a) => {
+                assert_eq!(a.timeout, Some(2.5));
+                assert_eq!(a.mem_budget, Some(MemoryBudget::from_bytes(512 << 20)));
+                assert!(a.strict);
+            }
+            _ => panic!("wrong command"),
+        }
+    }
+
+    #[test]
+    fn rejects_bad_resilience_flags() {
+        assert!(parse(&["count", "g", "--timeout"]).is_err());
+        assert!(parse(&["count", "g", "--timeout", "abc"]).is_err());
+        assert!(parse(&["count", "g", "--timeout", "-1"]).is_err());
+        assert!(parse(&["count", "g", "--timeout", "inf"]).is_err());
+        assert!(parse(&["count", "g", "--mem-budget"]).is_err());
+        assert!(parse(&["count", "g", "--mem-budget", "12x"]).is_err());
     }
 
     #[test]

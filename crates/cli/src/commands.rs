@@ -1,40 +1,118 @@
 //! Subcommand implementations.
 
+use std::fmt;
 use std::fmt::Write as _;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use lotus_algos::bbtc::BbtcCounter;
 use lotus_algos::edge_iterator::edge_iterator_count_timed;
-use lotus_algos::forward::ForwardCounter;
+use lotus_algos::forward::{forward_count_guarded, ForwardCounter};
 use lotus_algos::gbbs::gbbs_count_timed;
 use lotus_algos::intersect::IntersectKind;
 use lotus_analysis::hub_stats::hub_stats;
 use lotus_analysis::topology_size::topology_sizes;
 use lotus_core::adaptive::{adaptive_count, AdaptiveConfig, ChosenAlgorithm};
 use lotus_core::config::{HubCount, LotusConfig};
-use lotus_core::count::LotusCounter;
+use lotus_core::count::{CountError, LotusCounter};
 use lotus_core::per_vertex::count_per_vertex;
 use lotus_core::preprocess::build_lotus_graph;
+use lotus_core::resilient::count_with_budget;
 use lotus_gen::{BarabasiAlbert, ErdosRenyi, Rmat, RmatParams, WattsStrogatz};
-use lotus_graph::{io, EdgeList, GraphStats, UndirectedCsr};
+use lotus_graph::{io, EdgeList, GraphStats, ParseWarning, Strictness, UndirectedCsr};
+use lotus_resilience::{isolate, Deadline, MemoryBudget, RunGuard};
 
 use crate::args::{AnalyzeArgs, CheckArgs, ConvertArgs, CountArgs, GenerateArgs};
 
-/// Loads an edge list, selecting the format by extension.
-fn load_edges(path: &str) -> Result<EdgeList, String> {
-    let el = if path.ends_with(".lotg") {
-        io::load_binary(path)
-    } else {
-        io::load_edge_list_text(path)
+/// A command failure: user-facing message plus process exit code.
+///
+/// Codes follow the conventions documented in [`crate::args::USAGE`]:
+/// 1 runtime error, 2 usage error, 101 isolated worker panic, 124
+/// interrupted (timeout(1)'s convention for expired deadlines).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError {
+    /// What went wrong, for stderr.
+    pub message: String,
+    /// The process exit code.
+    pub code: u8,
+}
+
+impl CliError {
+    /// A runtime failure (exit code 1).
+    pub fn runtime(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+            code: 1,
+        }
+    }
+
+    /// A usage error (exit code 2).
+    pub fn usage(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+            code: 2,
+        }
+    }
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// Maps a guarded-run failure to its exit code (124 interrupted, 101
+/// panic), keeping the partial-progress message.
+fn map_count_error(e: &CountError) -> CliError {
+    let code = match e {
+        CountError::Interrupted { .. } => 124,
+        CountError::PhasePanic { .. } => 101,
     };
-    el.map_err(|e| format!("cannot load '{path}': {e}"))
+    CliError {
+        message: e.to_string(),
+        code,
+    }
+}
+
+/// Runs `f` with panic isolation: a worker panic becomes exit code 101
+/// instead of aborting the process.
+fn isolated<T>(f: impl FnOnce() -> T) -> Result<T, CliError> {
+    isolate(f).map_err(|p| CliError {
+        message: format!("worker panic: {}", p.message),
+        code: 101,
+    })
+}
+
+/// Loads an edge list, selecting the format by extension. Text formats
+/// honour `strictness`; the binary format has no warnings (corruption is
+/// a hard error via its checksum).
+fn load_edges(
+    path: &str,
+    strictness: Strictness,
+) -> Result<(EdgeList, Vec<ParseWarning>), CliError> {
+    let el = if path.ends_with(".lotg") {
+        io::load_binary(path).map(|edges| (edges, Vec::new()))
+    } else {
+        io::load_edge_list_text_with(path, strictness).map(|p| (p.edges, p.warnings))
+    };
+    el.map_err(|e| CliError::runtime(format!("cannot load '{path}': {e}")))
 }
 
 /// Loads a graph, selecting the format by extension.
-fn load_graph(path: &str) -> Result<UndirectedCsr, String> {
-    let mut el = load_edges(path)?;
+fn load_graph(
+    path: &str,
+    strictness: Strictness,
+) -> Result<(UndirectedCsr, Vec<ParseWarning>), CliError> {
+    let (mut el, warnings) = load_edges(path, strictness)?;
     el.canonicalize();
-    Ok(UndirectedCsr::from_canonical_edges(&el))
+    Ok((UndirectedCsr::from_canonical_edges(&el), warnings))
+}
+
+fn write_warnings(out: &mut String, path: &str, warnings: &[ParseWarning]) {
+    for w in warnings {
+        let _ = writeln!(out, "warning: {path}: {w}");
+    }
 }
 
 fn lotus_config(hubs: Option<u32>, graph: &UndirectedCsr) -> LotusConfig {
@@ -45,20 +123,68 @@ fn lotus_config(hubs: Option<u32>, graph: &UndirectedCsr) -> LotusConfig {
 }
 
 /// `lotus count`.
-pub fn count(args: CountArgs) -> Result<String, String> {
-    let graph = load_graph(&args.input)?;
+pub fn count(args: CountArgs) -> Result<String, CliError> {
+    let strictness = if args.strict {
+        Strictness::Strict
+    } else {
+        Strictness::Lenient
+    };
+    let (graph, warnings) = load_graph(&args.input, strictness)?;
     let mut out = String::new();
+    write_warnings(&mut out, &args.input, &warnings);
     let _ = writeln!(out, "{}", GraphStats::of(&graph));
+
+    let mut guard = RunGuard::unlimited();
+    if let Some(secs) = args.timeout {
+        guard = guard.with_deadline(Deadline::after(Duration::from_secs_f64(secs)));
+    }
+    let limited = guard.is_limited() || args.mem_budget.is_some();
+    if limited && !matches!(args.algorithm.as_str(), "lotus" | "forward") {
+        return Err(CliError::usage(
+            "--timeout/--mem-budget require --algorithm lotus or forward",
+        ));
+    }
+    if args.mem_budget.is_some() && args.algorithm != "lotus" {
+        return Err(CliError::usage("--mem-budget requires --algorithm lotus"));
+    }
 
     let config = lotus_config(args.hubs, &graph);
     let start = Instant::now();
     let (triangles, detail) = match args.algorithm.as_str() {
+        "lotus" if limited => {
+            // The budgeted runner subsumes the plain guarded one: with no
+            // explicit budget the unlimited budget never degrades.
+            let budget = args
+                .mem_budget
+                .unwrap_or_else(|| MemoryBudget::from_bytes(u64::MAX));
+            let r = count_with_budget(&config, &graph, &budget, &guard)
+                .map_err(|e| map_count_error(&e))?;
+            if let Some(reason) = r.degraded {
+                let _ = writeln!(out, "degraded: {reason}");
+            }
+            (r.total(), format!("phases: {}", r.result.breakdown))
+        }
         "lotus" => {
-            let r = LotusCounter::new(config).count(&graph);
+            let r = isolated(|| LotusCounter::new(config).count(&graph))?;
             (r.total(), format!("phases: {}", r.breakdown))
         }
+        "forward" if limited => {
+            let total = match isolated(|| forward_count_guarded(&graph, &guard))? {
+                Ok(total) => total,
+                Err((reason, partial)) => {
+                    return Err(CliError {
+                        message: format!(
+                            "interrupted ({reason}) during forward count; \
+                             {partial} triangles counted so far"
+                        ),
+                        code: 124,
+                    })
+                }
+            };
+            (total, String::new())
+        }
         "forward" => {
-            let r = ForwardCounter::new().count(&graph);
+            let r = isolated(|| ForwardCounter::new().count(&graph))?;
             (
                 r.triangles,
                 format!(
@@ -69,19 +195,19 @@ pub fn count(args: CountArgs) -> Result<String, String> {
             )
         }
         "edge-iterator" => {
-            let r = edge_iterator_count_timed(&graph, IntersectKind::Merge);
+            let r = isolated(|| edge_iterator_count_timed(&graph, IntersectKind::Merge))?;
             (r.triangles, String::new())
         }
         "gbbs" => {
-            let r = gbbs_count_timed(&graph);
+            let r = isolated(|| gbbs_count_timed(&graph))?;
             (r.triangles, String::new())
         }
         "bbtc" => {
-            let r = BbtcCounter::default().count(&graph);
+            let r = isolated(|| BbtcCounter::default().count(&graph))?;
             (r.triangles, format!("{} tiles", r.tiles))
         }
         "adaptive" => {
-            let r = adaptive_count(&graph, &config, &AdaptiveConfig::default());
+            let r = isolated(|| adaptive_count(&graph, &config, &AdaptiveConfig::default()))?;
             let picked = match r.algorithm {
                 ChosenAlgorithm::Lotus => "lotus",
                 ChosenAlgorithm::Forward => "forward",
@@ -91,7 +217,7 @@ pub fn count(args: CountArgs) -> Result<String, String> {
                 format!("dispatched to {picked} (skew {:.2})", r.skew_ratio),
             )
         }
-        other => return Err(format!("unknown algorithm '{other}'")),
+        other => return Err(CliError::usage(format!("unknown algorithm '{other}'"))),
     };
     let elapsed = start.elapsed();
     let _ = writeln!(out, "triangles: {triangles}");
@@ -120,9 +246,10 @@ pub fn count(args: CountArgs) -> Result<String, String> {
 }
 
 /// `lotus analyze`.
-pub fn analyze(args: AnalyzeArgs) -> Result<String, String> {
-    let graph = load_graph(&args.input)?;
+pub fn analyze(args: AnalyzeArgs) -> Result<String, CliError> {
+    let (graph, warnings) = load_graph(&args.input, Strictness::Lenient)?;
     let mut out = String::new();
+    write_warnings(&mut out, &args.input, &warnings);
     let _ = writeln!(out, "{}", GraphStats::of(&graph));
 
     let s = hub_stats(&graph, args.hub_fraction);
@@ -164,7 +291,7 @@ pub fn analyze(args: AnalyzeArgs) -> Result<String, String> {
 }
 
 /// `lotus generate`.
-pub fn generate(args: GenerateArgs) -> Result<String, String> {
+pub fn generate(args: GenerateArgs) -> Result<String, CliError> {
     let n = 1u32 << args.scale;
     let edges = match args.kind.as_str() {
         "rmat" => {
@@ -187,7 +314,7 @@ pub fn generate(args: GenerateArgs) -> Result<String, String> {
             let k = (args.edge_factor & !1).max(2).min(n - 1);
             WattsStrogatz::new(n, k, 0.1).generate_edges(args.seed)
         }
-        other => return Err(format!("unknown generator '{other}'")),
+        other => return Err(CliError::usage(format!("unknown generator '{other}'"))),
     };
     save_edges(&edges, &args.output)?;
     Ok(format!(
@@ -202,9 +329,10 @@ pub fn generate(args: GenerateArgs) -> Result<String, String> {
 /// phase-sum cross-check; `--differential` additionally runs every
 /// algorithm in the workspace and compares counts. Returns `Err` (nonzero
 /// exit) when any violation is found, so it can gate CI.
-pub fn check(args: CheckArgs) -> Result<String, String> {
-    let graph = load_graph(&args.input)?;
+pub fn check(args: CheckArgs) -> Result<String, CliError> {
+    let (graph, warnings) = load_graph(&args.input, Strictness::Lenient)?;
     let mut out = String::new();
+    write_warnings(&mut out, &args.input, &warnings);
     let _ = writeln!(out, "{}", GraphStats::of(&graph));
     let mut violations = 0usize;
 
@@ -254,23 +382,27 @@ pub fn check(args: CheckArgs) -> Result<String, String> {
         Ok(out)
     } else {
         let _ = writeln!(out, "FAILED: {violations} violation(s)");
-        Err(out)
+        Err(CliError::runtime(out))
     }
 }
 
 /// `lotus convert`.
-pub fn convert(args: ConvertArgs) -> Result<String, String> {
-    let mut el = load_edges(&args.input)?;
+pub fn convert(args: ConvertArgs) -> Result<String, CliError> {
+    let strictness = if args.strict {
+        Strictness::Strict
+    } else {
+        Strictness::Lenient
+    };
+    let (mut el, warnings) = load_edges(&args.input, strictness)?;
     el.canonicalize();
     save_edges(&el, &args.output)?;
-    Ok(format!(
-        "wrote {} canonical edges to {}",
-        el.len(),
-        args.output
-    ))
+    let mut out = String::new();
+    write_warnings(&mut out, &args.input, &warnings);
+    let _ = writeln!(out, "wrote {} canonical edges to {}", el.len(), args.output);
+    Ok(out)
 }
 
-fn save_edges(el: &EdgeList, path: &str) -> Result<(), String> {
+fn save_edges(el: &EdgeList, path: &str) -> Result<(), CliError> {
     let result = if path.ends_with(".lotg") {
         io::save_binary(el, path)
     } else {
@@ -278,7 +410,7 @@ fn save_edges(el: &EdgeList, path: &str) -> Result<(), String> {
             .map_err(lotus_graph::GraphError::from)
             .and_then(|f| io::write_edge_list_text(el, f))
     };
-    result.map_err(|e| format!("cannot write '{path}': {e}"))
+    result.map_err(|e| CliError::runtime(format!("cannot write '{path}': {e}")))
 }
 
 #[cfg(test)]
@@ -290,6 +422,19 @@ mod tests {
         let dir = std::env::temp_dir().join("lotus_cli_tests");
         std::fs::create_dir_all(&dir).unwrap();
         dir.join(name).to_string_lossy().into_owned()
+    }
+
+    /// `CountArgs` with every resilience flag off.
+    fn count_args(input: String, algorithm: &str, hubs: Option<u32>) -> CountArgs {
+        CountArgs {
+            input,
+            algorithm: algorithm.into(),
+            hubs,
+            per_vertex: false,
+            timeout: None,
+            mem_budget: None,
+            strict: false,
+        }
     }
 
     #[test]
@@ -307,10 +452,8 @@ mod tests {
         assert!(msg.contains("wrote"));
 
         let out = count(CountArgs {
-            input: path.clone(),
-            algorithm: "lotus".into(),
-            hubs: None,
             per_vertex: true,
+            ..count_args(path.clone(), "lotus", None)
         })
         .unwrap();
         assert!(out.contains("triangles:"), "{out}");
@@ -319,13 +462,7 @@ mod tests {
         // All algorithms agree through the CLI path.
         let reference: u64 = extract_triangles(&out);
         for alg in ["forward", "edge-iterator", "gbbs", "bbtc", "adaptive"] {
-            let out = count(CountArgs {
-                input: path.clone(),
-                algorithm: alg.into(),
-                hubs: Some(64),
-                per_vertex: false,
-            })
-            .unwrap();
+            let out = count(count_args(path.clone(), alg, Some(64))).unwrap();
             assert_eq!(extract_triangles(&out), reference, "{alg}");
         }
 
@@ -346,15 +483,10 @@ mod tests {
         convert(ConvertArgs {
             input: txt.clone(),
             output: bin.clone(),
+            strict: false,
         })
         .unwrap();
-        let out = count(CountArgs {
-            input: bin.clone(),
-            algorithm: "forward".into(),
-            hubs: None,
-            per_vertex: false,
-        })
-        .unwrap();
+        let out = count(count_args(bin.clone(), "forward", None)).unwrap();
         assert_eq!(extract_triangles(&out), 1);
         std::fs::remove_file(&txt).ok();
         std::fs::remove_file(&bin).ok();
@@ -387,27 +519,138 @@ mod tests {
     fn count_rejects_unknown_algorithm() {
         let path = tmp("empty.el");
         std::fs::write(&path, "0 1\n").unwrap();
-        let err = count(CountArgs {
-            input: path.clone(),
-            algorithm: "quantum".into(),
-            hubs: None,
-            per_vertex: false,
-        })
-        .unwrap_err();
-        assert!(err.contains("unknown algorithm"));
+        let err = count(count_args(path.clone(), "quantum", None)).unwrap_err();
+        assert!(err.message.contains("unknown algorithm"));
+        assert_eq!(err.code, 2);
         std::fs::remove_file(&path).ok();
     }
 
     #[test]
     fn missing_file_is_a_clean_error() {
+        let err = count(count_args("/nonexistent/graph.el".into(), "lotus", None)).unwrap_err();
+        assert!(err.message.contains("cannot load"));
+        assert_eq!(err.code, 1);
+    }
+
+    #[test]
+    fn zero_timeout_interrupts_with_code_124() {
+        let path = tmp("timeout.lotg");
+        generate(GenerateArgs {
+            kind: "rmat".into(),
+            scale: 10,
+            edge_factor: 8,
+            seed: 5,
+            params: "social".into(),
+            output: path.clone(),
+        })
+        .unwrap();
+        for alg in ["lotus", "forward"] {
+            let err = count(CountArgs {
+                timeout: Some(0.0),
+                ..count_args(path.clone(), alg, Some(64))
+            })
+            .unwrap_err();
+            assert_eq!(err.code, 124, "{alg}: {}", err.message);
+            assert!(
+                err.message.contains("interrupted"),
+                "{alg}: {}",
+                err.message
+            );
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn generous_timeout_still_counts() {
+        let path = tmp("timeout_ok.el");
+        std::fs::write(&path, "0 1\n1 2\n0 2\n").unwrap();
+        let out = count(CountArgs {
+            timeout: Some(3600.0),
+            ..count_args(path.clone(), "lotus", None)
+        })
+        .unwrap();
+        assert_eq!(extract_triangles(&out), 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn tiny_mem_budget_degrades_and_stays_correct() {
+        let path = tmp("budget.lotg");
+        generate(GenerateArgs {
+            kind: "rmat".into(),
+            scale: 9,
+            edge_factor: 8,
+            seed: 9,
+            params: "social".into(),
+            output: path.clone(),
+        })
+        .unwrap();
+        let reference =
+            extract_triangles(&count(count_args(path.clone(), "forward", None)).unwrap());
+        let out = count(CountArgs {
+            mem_budget: Some(MemoryBudget::from_bytes(64)),
+            ..count_args(path.clone(), "lotus", Some(256))
+        })
+        .unwrap();
+        assert!(out.contains("degraded:"), "{out}");
+        assert_eq!(extract_triangles(&out), reference);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn resilience_flags_reject_unsupported_algorithms() {
+        let path = tmp("unsupported.el");
+        std::fs::write(&path, "0 1\n").unwrap();
         let err = count(CountArgs {
-            input: "/nonexistent/graph.el".into(),
-            algorithm: "lotus".into(),
-            hubs: None,
-            per_vertex: false,
+            timeout: Some(1.0),
+            ..count_args(path.clone(), "gbbs", None)
         })
         .unwrap_err();
-        assert!(err.contains("cannot load"));
+        assert_eq!(err.code, 2);
+        let err = count(CountArgs {
+            mem_budget: Some(MemoryBudget::from_bytes(1 << 30)),
+            ..count_args(path.clone(), "forward", None)
+        })
+        .unwrap_err();
+        assert_eq!(err.code, 2);
+        assert!(err.message.contains("--mem-budget"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn strict_mode_rejects_trailing_garbage() {
+        let path = tmp("garbage.el");
+        std::fs::write(&path, "0 1\n1 2 99 extra\n0 2\n").unwrap();
+        // Lenient: warns and counts the triangle anyway.
+        let out = count(count_args(path.clone(), "lotus", None)).unwrap();
+        assert!(out.contains("warning:"), "{out}");
+        assert!(out.contains("trailing"), "{out}");
+        assert_eq!(extract_triangles(&out), 1);
+        // Strict: a hard load error.
+        let err = count(CountArgs {
+            strict: true,
+            ..count_args(path.clone(), "lotus", None)
+        })
+        .unwrap_err();
+        assert_eq!(err.code, 1);
+        assert!(err.message.contains("trailing"), "{}", err.message);
+        // convert follows the same switch.
+        let converted = tmp("garbage.lotg");
+        let out = convert(ConvertArgs {
+            input: path.clone(),
+            output: converted.clone(),
+            strict: false,
+        })
+        .unwrap();
+        assert!(out.contains("warning:"), "{out}");
+        assert!(convert(ConvertArgs {
+            input: path.clone(),
+            output: converted.clone(),
+            strict: true,
+        })
+        .is_err());
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&converted).ok();
     }
 
     #[test]

@@ -12,14 +12,20 @@
 //!
 //! Graph files are whitespace edge lists (`.txt`, `.el`) or the binary
 //! `.lotg` format; the format is chosen by extension.
+//!
+//! Exit codes: 0 success (including degraded runs — the degradation is
+//! printed), 1 runtime error, 2 usage error, 101 isolated worker panic,
+//! 124 interrupted (`--timeout`, matching timeout(1)).
 
 pub mod args;
 pub mod commands;
 
 pub use args::{parse, Command, ParseError};
+pub use commands::CliError;
 
-/// Runs a parsed command, returning the text to print.
-pub fn run(cmd: Command) -> Result<String, String> {
+/// Runs a parsed command, returning the text to print or a structured
+/// error carrying the process exit code.
+pub fn run(cmd: Command) -> Result<String, CliError> {
     match cmd {
         Command::Count(c) => commands::count(c),
         Command::Analyze(c) => commands::analyze(c),

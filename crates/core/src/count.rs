@@ -16,17 +16,25 @@
 //! small structure. The fused variant is available as an ablation via
 //! [`LotusConfig::with_fused_phases`].
 
+// `CountError` deliberately carries the partial per-type counts and the
+// per-phase breakdown (~137 bytes); guarded runs are once-per-invocation,
+// so the large Err is never on a hot path.
+#![allow(clippy::result_large_err)]
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
 
 use rayon::prelude::*;
 
 use lotus_algos::intersect::count_merge;
 use lotus_graph::UndirectedCsr;
+use lotus_resilience::{fault_point, isolate, RunGuard, StopReason};
 
 use crate::breakdown::Breakdown;
 use crate::config::LotusConfig;
 use crate::h2h::TriBitArray;
-use crate::preprocess::build_lotus_graph;
+use crate::preprocess::{build_lotus_graph, build_lotus_graph_guarded};
 use crate::stats::LotusStats;
 use crate::structure::LotusGraph;
 use crate::tiling::{make_tiles, Tile};
@@ -46,6 +54,116 @@ impl LotusResult {
         self.stats.total()
     }
 }
+
+/// A stage of the LOTUS pipeline, named in structured errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Algorithm 2: relabeling and sub-graph construction.
+    Preprocess,
+    /// Phase 1: HHH + HHN over the H2H bit array.
+    HhhHhn,
+    /// Phase 2: HNN over the HE lists.
+    Hnn,
+    /// Phase 3: NNN over the NHE lists.
+    Nnn,
+    /// The forward-hashed fallback driver of the memory-budget
+    /// degradation path (see [`crate::resilient`]).
+    Fallback,
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Phase::Preprocess => write!(f, "preprocess"),
+            Phase::HhhHhn => write!(f, "hhh+hhn"),
+            Phase::Hnn => write!(f, "hnn"),
+            Phase::Nnn => write!(f, "nnn"),
+            Phase::Fallback => write!(f, "fallback"),
+        }
+    }
+}
+
+/// Failure of a guarded run ([`LotusCounter::count_guarded`]): either a
+/// cooperative stop (cancellation/deadline) or an isolated worker panic.
+/// Both carry the per-phase timings and per-type counts accumulated
+/// before the failure, so callers can report partial progress.
+///
+/// For [`Phase::Fallback`] interruptions the partial count of the
+/// fallback driver is reported in `partial.nnn` (the fallback does not
+/// distinguish triangle types).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CountError {
+    /// The run was stopped cooperatively by its [`RunGuard`].
+    Interrupted {
+        /// The phase that observed the stop condition.
+        phase: Phase,
+        /// Why the run stopped.
+        reason: StopReason,
+        /// Counts completed before the stop (phases after `phase` are
+        /// zero; `phase` itself holds a partial count).
+        partial: LotusStats,
+        /// Per-phase wall times up to and including the stopped phase.
+        breakdown: Breakdown,
+    },
+    /// A worker panicked; the panic was confined to its phase.
+    PhasePanic {
+        /// The phase whose worker panicked.
+        phase: Phase,
+        /// The stringified panic payload.
+        message: String,
+        /// Counts completed by the phases before the panic.
+        partial: LotusStats,
+        /// Per-phase wall times up to the panicking phase.
+        breakdown: Breakdown,
+    },
+}
+
+impl CountError {
+    /// The phase in which the run failed.
+    pub fn phase(&self) -> Phase {
+        match self {
+            CountError::Interrupted { phase, .. } | CountError::PhasePanic { phase, .. } => *phase,
+        }
+    }
+
+    /// The per-type counts accumulated before the failure.
+    pub fn partial(&self) -> &LotusStats {
+        match self {
+            CountError::Interrupted { partial, .. } | CountError::PhasePanic { partial, .. } => {
+                partial
+            }
+        }
+    }
+}
+
+impl fmt::Display for CountError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CountError::Interrupted {
+                phase,
+                reason,
+                partial,
+                ..
+            } => write!(
+                f,
+                "interrupted ({reason}) during phase {phase}; {} triangles counted so far",
+                partial.total()
+            ),
+            CountError::PhasePanic {
+                phase,
+                message,
+                partial,
+                ..
+            } => write!(
+                f,
+                "worker panic in phase {phase}: {message}; {} triangles counted before the panic",
+                partial.total()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CountError {}
 
 /// The LOTUS counter: configuration plus entry points.
 #[derive(Debug, Clone, Default)]
@@ -122,6 +240,152 @@ impl LotusCounter {
             breakdown,
         }
     }
+
+    /// End-to-end run under a [`RunGuard`], with each stage isolated by
+    /// `catch_unwind`: cancellation, deadline expiry, and worker panics
+    /// all surface as a structured [`CountError`] carrying the partial
+    /// per-type counts and the per-phase breakdown collected so far.
+    ///
+    /// The guard is polled at tile granularity in phase 1 and every few
+    /// hundred vertices in phases 2 and 3. The guarded runner always
+    /// executes the paper's split HNN/NNN phases (the fused ablation of
+    /// [`LotusConfig::with_fused_phases`] is a perf experiment, not a
+    /// production path).
+    pub fn count_guarded(
+        &self,
+        graph: &UndirectedCsr,
+        guard: &RunGuard,
+    ) -> Result<LotusResult, CountError> {
+        let breakdown = Breakdown::default();
+        let stats = LotusStats::default();
+
+        let start = Instant::now();
+        let lg = match isolate(|| build_lotus_graph_guarded(graph, &self.config, guard)) {
+            Err(panic) => {
+                return Err(CountError::PhasePanic {
+                    phase: Phase::Preprocess,
+                    message: panic.message,
+                    partial: stats,
+                    breakdown,
+                })
+            }
+            Ok(Err(reason)) => {
+                return Err(CountError::Interrupted {
+                    phase: Phase::Preprocess,
+                    reason,
+                    partial: stats,
+                    breakdown,
+                })
+            }
+            Ok(Ok(lg)) => lg,
+        };
+        let mut breakdown = breakdown;
+        breakdown.preprocess = start.elapsed();
+        self.count_prepared_guarded_with(&lg, guard, breakdown)
+    }
+
+    /// Guarded counting of an already-built LOTUS graph.
+    pub fn count_prepared_guarded(
+        &self,
+        lg: &LotusGraph,
+        guard: &RunGuard,
+    ) -> Result<LotusResult, CountError> {
+        self.count_prepared_guarded_with(lg, guard, Breakdown::default())
+    }
+
+    fn count_prepared_guarded_with(
+        &self,
+        lg: &LotusGraph,
+        guard: &RunGuard,
+        mut breakdown: Breakdown,
+    ) -> Result<LotusResult, CountError> {
+        let mut stats = LotusStats {
+            he_edges: lg.he_edges(),
+            nhe_edges: lg.nhe_edges(),
+            ..LotusStats::default()
+        };
+
+        // Phase 1: HHH and HHN.
+        let start = Instant::now();
+        let tiles = make_tiles(
+            &lg.he,
+            self.config.tiling_threshold,
+            self.config.partitions_per_vertex,
+        );
+        let outcome = isolate(|| {
+            fault_point!(panic: "core.phase.hhh_hhn");
+            count_hub_pairs_guarded(lg, &tiles, guard)
+        });
+        breakdown.hhh_hhn = start.elapsed();
+        let (hhh, hhn) = unwrap_phase(
+            outcome,
+            Phase::HhhHhn,
+            &mut stats,
+            &breakdown,
+            |s, (a, b)| {
+                s.hhh = a;
+                s.hhn = b;
+            },
+        )?;
+        stats.hhh = hhh;
+        stats.hhn = hhn;
+
+        // Phase 2: HNN.
+        let start = Instant::now();
+        let outcome = isolate(|| {
+            fault_point!(panic: "core.phase.hnn");
+            count_hnn_guarded(lg, guard)
+        });
+        breakdown.hnn = start.elapsed();
+        let hnn = unwrap_phase(outcome, Phase::Hnn, &mut stats, &breakdown, |s, c| {
+            s.hnn = c;
+        })?;
+        stats.hnn = hnn;
+
+        // Phase 3: NNN.
+        let start = Instant::now();
+        let outcome = isolate(|| {
+            fault_point!(panic: "core.phase.nnn");
+            count_nnn_guarded(lg, guard)
+        });
+        breakdown.nnn = start.elapsed();
+        let nnn = unwrap_phase(outcome, Phase::Nnn, &mut stats, &breakdown, |s, c| {
+            s.nnn = c;
+        })?;
+        stats.nnn = nnn;
+
+        Ok(LotusResult { stats, breakdown })
+    }
+}
+
+/// Folds one phase's tri-state outcome (ok / interrupted-with-partial /
+/// panicked) into either the completed counts or a [`CountError`] that
+/// records the partial counts via `record`.
+fn unwrap_phase<C: Copy>(
+    outcome: Result<Result<C, (StopReason, C)>, lotus_resilience::PanicCaught>,
+    phase: Phase,
+    stats: &mut LotusStats,
+    breakdown: &Breakdown,
+    record: impl FnOnce(&mut LotusStats, C),
+) -> Result<C, CountError> {
+    match outcome {
+        Ok(Ok(counts)) => Ok(counts),
+        Ok(Err((reason, partial_counts))) => {
+            record(stats, partial_counts);
+            Err(CountError::Interrupted {
+                phase,
+                reason,
+                partial: *stats,
+                breakdown: *breakdown,
+            })
+        }
+        Err(panic) => Err(CountError::PhasePanic {
+            phase,
+            message: panic.message,
+            partial: *stats,
+            breakdown: *breakdown,
+        }),
+    }
 }
 
 /// Phase 1 over a prepared tile list: returns `(hhh, hhn)`.
@@ -190,6 +454,100 @@ fn count_nnn(lg: &LotusGraph) -> u64 {
             local
         })
         .sum()
+}
+
+/// Guarded phase 1: like [`count_hub_pairs`] but polls the guard every
+/// 16 tiles. On a stop, workers that have not started yet contribute
+/// zero and the partial sums reduced so far are returned with the
+/// reason.
+fn count_hub_pairs_guarded(
+    lg: &LotusGraph,
+    tiles: &[Tile],
+    guard: &RunGuard,
+) -> Result<(u64, u64), (StopReason, (u64, u64))> {
+    let stopped = AtomicBool::new(false);
+    let partial = tiles
+        .par_iter()
+        .enumerate()
+        .map(|(i, t)| {
+            if stopped.load(Ordering::Relaxed) {
+                return (0, 0);
+            }
+            if i & 0xf == 0 && guard.should_stop().is_some() {
+                stopped.store(true, Ordering::Relaxed);
+                return (0, 0);
+            }
+            let found = count_tile(&lg.h2h, lg.hub_neighbors(t.v), t);
+            if lg.is_hub(t.v) {
+                (found, 0)
+            } else {
+                (0, found)
+            }
+        })
+        .reduce(|| (0, 0), |a, b| (a.0 + b.0, a.1 + b.1));
+    match guard.should_stop() {
+        Some(reason) if stopped.load(Ordering::Relaxed) => Err((reason, partial)),
+        _ => Ok(partial),
+    }
+}
+
+/// Guarded phase 2: like [`count_hnn`] but polls the guard every 256
+/// vertices.
+fn count_hnn_guarded(lg: &LotusGraph, guard: &RunGuard) -> Result<u64, (StopReason, u64)> {
+    let stopped = AtomicBool::new(false);
+    let partial = (0..lg.num_vertices())
+        .into_par_iter()
+        .map(|v| {
+            if stopped.load(Ordering::Relaxed) {
+                return 0;
+            }
+            if v & 0xff == 0 && guard.should_stop().is_some() {
+                stopped.store(true, Ordering::Relaxed);
+                return 0;
+            }
+            let he_v = lg.hub_neighbors(v);
+            if he_v.is_empty() {
+                return 0;
+            }
+            let mut local = 0u64;
+            for &u in lg.nonhub_neighbors(v) {
+                local += count_merge(he_v, lg.hub_neighbors(u));
+            }
+            local
+        })
+        .sum();
+    match guard.should_stop() {
+        Some(reason) if stopped.load(Ordering::Relaxed) => Err((reason, partial)),
+        _ => Ok(partial),
+    }
+}
+
+/// Guarded phase 3: like [`count_nnn`] but polls the guard every 256
+/// vertices.
+fn count_nnn_guarded(lg: &LotusGraph, guard: &RunGuard) -> Result<u64, (StopReason, u64)> {
+    let stopped = AtomicBool::new(false);
+    let partial = (0..lg.num_vertices())
+        .into_par_iter()
+        .map(|v| {
+            if stopped.load(Ordering::Relaxed) {
+                return 0;
+            }
+            if v & 0xff == 0 && guard.should_stop().is_some() {
+                stopped.store(true, Ordering::Relaxed);
+                return 0;
+            }
+            let nhe_v = lg.nonhub_neighbors(v);
+            let mut local = 0u64;
+            for &u in nhe_v {
+                local += count_merge(nhe_v, lg.nonhub_neighbors(u));
+            }
+            local
+        })
+        .sum();
+    match guard.should_stop() {
+        Some(reason) if stopped.load(Ordering::Relaxed) => Err((reason, partial)),
+        _ => Ok(partial),
+    }
 }
 
 /// Fused HNN + NNN ablation: one pass over the non-hub edges performing
@@ -369,5 +727,66 @@ mod tests {
     fn empty_graph() {
         let g = graph_from_edges(std::iter::empty());
         assert_eq!(lotus_count(&g), 0);
+    }
+
+    #[test]
+    fn guarded_unlimited_matches_unguarded() {
+        let g = lotus_gen::Rmat::new(9, 10).generate(11);
+        let counter = LotusCounter::new(cfg(64));
+        let plain = counter.count(&g);
+        let guarded = counter
+            .count_guarded(&g, &RunGuard::unlimited())
+            .expect("unlimited guard never stops");
+        assert_eq!(guarded.stats, plain.stats);
+    }
+
+    #[test]
+    fn pre_cancelled_token_interrupts_preprocessing() {
+        use lotus_resilience::CancelToken;
+        let g = lotus_gen::Rmat::new(9, 8).generate(4);
+        let token = CancelToken::new();
+        token.cancel();
+        let guard = RunGuard::unlimited().with_cancel(token);
+        let err = LotusCounter::new(cfg(64))
+            .count_guarded(&g, &guard)
+            .expect_err("cancelled before the run started");
+        assert_eq!(err.phase(), Phase::Preprocess);
+        match err {
+            CountError::Interrupted {
+                reason, partial, ..
+            } => {
+                assert_eq!(reason, StopReason::Cancelled);
+                assert_eq!(partial.total(), 0);
+            }
+            other => panic!("expected Interrupted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn expired_deadline_interrupts_with_partial_stats() {
+        use lotus_resilience::Deadline;
+        let g = lotus_gen::Rmat::new(10, 10).generate(6);
+        let guard = RunGuard::unlimited().with_deadline(Deadline::after(std::time::Duration::ZERO));
+        let err = LotusCounter::new(cfg(64))
+            .count_guarded(&g, &guard)
+            .expect_err("zero deadline must interrupt");
+        match err {
+            CountError::Interrupted { reason, .. } => {
+                assert_eq!(reason, StopReason::DeadlineExpired);
+            }
+            other => panic!("expected Interrupted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn guarded_prepared_matches_prepared() {
+        let g = lotus_gen::Rmat::new(9, 8).generate(17);
+        let counter = LotusCounter::new(cfg(32));
+        let lg = build_lotus_graph(&g, counter.config());
+        let plain = counter.count_prepared(&lg);
+        let guarded = counter
+            .count_prepared_guarded(&lg, &RunGuard::unlimited())
+            .expect("unlimited guard never stops");
+        assert_eq!(guarded.stats, plain.stats);
     }
 }

@@ -30,6 +30,7 @@ pub mod kclique;
 pub mod per_vertex;
 pub mod preprocess;
 pub mod recursive;
+pub mod resilient;
 pub mod stats;
 pub mod streaming;
 pub mod structure;
@@ -38,5 +39,6 @@ pub mod two_level;
 
 pub use breakdown::Breakdown;
 pub use config::{HubCount, LotusConfig};
-pub use count::{LotusCounter, LotusResult};
+pub use count::{CountError, LotusCounter, LotusResult, Phase};
+pub use resilient::{count_with_budget, DegradeReason, ResilientCount};
 pub use structure::LotusGraph;

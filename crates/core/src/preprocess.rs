@@ -12,9 +12,12 @@
 //! The pass over vertices is parallel (two passes: degree count + fill,
 //! with prefix-sum offsets in between), mirroring the paper's `par_for`.
 
+use std::sync::atomic::{AtomicBool, Ordering};
+
 use rayon::prelude::*;
 
 use lotus_graph::{Csr, Relabeling, UndirectedCsr};
+use lotus_resilience::{fault_point, RunGuard, StopReason};
 
 use crate::config::LotusConfig;
 use crate::h2h::TriBitArrayBuilder;
@@ -22,9 +25,37 @@ use crate::structure::LotusGraph;
 
 /// Builds the LOTUS graph structure from an undirected graph.
 pub fn build_lotus_graph(graph: &UndirectedCsr, config: &LotusConfig) -> LotusGraph {
+    match build_lotus_graph_guarded(graph, config, &RunGuard::unlimited()) {
+        Ok(lg) => lg,
+        // An unlimited guard never reports a stop condition.
+        Err(reason) => unreachable!("unlimited guard stopped preprocessing: {reason}"),
+    }
+}
+
+/// Builds the LOTUS graph under a [`RunGuard`], polling for cancellation
+/// or deadline expiry every 1024 vertices in both parallel passes.
+/// Preprocessing has no meaningful partial result, so a stop discards
+/// everything built so far.
+pub fn build_lotus_graph_guarded(
+    graph: &UndirectedCsr,
+    config: &LotusConfig,
+    guard: &RunGuard,
+) -> Result<LotusGraph, StopReason> {
+    fault_point!(panic: "core.preprocess.build");
     let n = graph.num_vertices();
     let hub_count = config.resolved_hub_count(n);
     let head_count = config.resolved_head_count(n);
+    let stopped = AtomicBool::new(false);
+    let poll = |v_new: u32| -> bool {
+        if stopped.load(Ordering::Relaxed) {
+            return true;
+        }
+        if v_new & 0x3ff == 0 && guard.should_stop().is_some() {
+            stopped.store(true, Ordering::Relaxed);
+            return true;
+        }
+        false
+    };
 
     // Line 1 of Algorithm 2: the relabeling array.
     let relabeling = Relabeling::hub_first(&graph.degrees(), head_count as usize);
@@ -38,6 +69,9 @@ pub fn build_lotus_graph(graph: &UndirectedCsr, config: &LotusConfig) -> LotusGr
         .enumerate()
         .for_each(|(v_new, (he_d, nhe_d))| {
             let v_new = v_new as u32;
+            if poll(v_new) {
+                return;
+            }
             let v_old = relabeling.old_id(v_new);
             for &u_old in graph.neighbors(v_old) {
                 let u_new = relabeling.new_id(u_old);
@@ -51,6 +85,9 @@ pub fn build_lotus_graph(graph: &UndirectedCsr, config: &LotusConfig) -> LotusGr
                 }
             }
         });
+    if let Some(reason) = stop_reason(guard, &stopped) {
+        return Err(reason);
+    }
 
     let prefix = |deg: &[u32]| -> Vec<u64> {
         let mut offsets = Vec::with_capacity(deg.len() + 1);
@@ -80,6 +117,9 @@ pub fn build_lotus_graph(graph: &UndirectedCsr, config: &LotusConfig) -> LotusGr
             .enumerate()
             .for_each(|(v_new, (he_out, nhe_out))| {
                 let v_new = v_new as u32;
+                if poll(v_new) {
+                    return;
+                }
                 let v_old = relabeling.old_id(v_new);
                 let mut hi = 0;
                 let mut ni = 0;
@@ -105,6 +145,9 @@ pub fn build_lotus_graph(graph: &UndirectedCsr, config: &LotusConfig) -> LotusGr
                 nhe_out.sort_unstable();
             });
     }
+    if let Some(reason) = stop_reason(guard, &stopped) {
+        return Err(reason);
+    }
 
     let he = Csr::from_parts(he_offsets, he_entries);
     let nhe = Csr::from_parts(nhe_offsets, nhe_entries);
@@ -125,7 +168,16 @@ pub fn build_lotus_graph(graph: &UndirectedCsr, config: &LotusConfig) -> LotusGr
         "LOTUS structure invalid: {:?}",
         lg.validate()
     );
-    lg
+    Ok(lg)
+}
+
+/// Resolves the stop flag set inside a parallel pass back to its reason.
+fn stop_reason(guard: &RunGuard, stopped: &AtomicBool) -> Option<StopReason> {
+    if stopped.load(Ordering::Relaxed) {
+        guard.should_stop()
+    } else {
+        None
+    }
 }
 
 /// Splits a flat array into per-vertex windows according to offsets.

@@ -1,0 +1,111 @@
+//! CRC-32 (IEEE 802.3, the zlib/PNG polynomial), dependency-free.
+//!
+//! Used by the binary graph format v2 to detect corrupted files at load
+//! time (see [`crate::io`]). The implementation is the classic
+//! byte-at-a-time table walk; I/O dominates loading, so a faster slicing
+//! variant would not be observable.
+
+/// Reflected polynomial of CRC-32/ISO-HDLC.
+const POLY: u32 = 0xedb8_8320;
+
+const TABLE: [u32; 256] = build_table();
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ POLY
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// Incremental CRC-32 digest.
+#[derive(Debug, Clone)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Crc32 {
+    /// A fresh digest.
+    pub fn new() -> Self {
+        Self { state: 0xffff_ffff }
+    }
+
+    /// Feeds `bytes` into the digest.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let mut crc = self.state;
+        for &b in bytes {
+            crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xff) as usize];
+        }
+        self.state = crc;
+    }
+
+    /// The checksum of everything fed so far (does not consume the
+    /// digest; further updates continue from the same state).
+    pub fn finalize(&self) -> u32 {
+        self.state ^ 0xffff_ffff
+    }
+}
+
+/// One-shot checksum of a byte slice.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut digest = Crc32::new();
+    digest.update(bytes);
+    digest.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard CRC-32/ISO-HDLC check values.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414f_a339
+        );
+    }
+
+    #[test]
+    fn incremental_equals_one_shot() {
+        let data = b"LOTG\x02\x00\x00\x00 some payload bytes";
+        let mut digest = Crc32::new();
+        for chunk in data.chunks(3) {
+            digest.update(chunk);
+        }
+        assert_eq!(digest.finalize(), crc32(data));
+    }
+
+    #[test]
+    fn single_bit_flips_change_the_checksum() {
+        let data = b"payload under test".to_vec();
+        let baseline = crc32(&data);
+        for byte in 0..data.len() {
+            for bit in 0..8 {
+                let mut flipped = data.clone();
+                flipped[byte] ^= 1 << bit;
+                assert_ne!(crc32(&flipped), baseline, "byte {byte} bit {bit}");
+            }
+        }
+    }
+}

@@ -1,35 +1,99 @@
 //! Graph (de)serialization: whitespace-separated edge-list text and a
 //! compact little-endian binary format.
 //!
-//! The binary layout is:
+//! The binary layout (version 2) is:
 //!
 //! ```text
 //! magic  "LOTG"            4 bytes
 //! version u32              4 bytes
 //! num_vertices u32         4 bytes
 //! num_edges u64            8 bytes
-//! edges (u32, u32) pairs   16·num_edges... (8 bytes per edge)
+//! edges (u32, u32) pairs   8·num_edges bytes
+//! crc32 u32                4 bytes  (over everything above)
 //! ```
 //!
 //! Edges are stored canonically (`u < v`, sorted), so loading produces the
-//! same graph bit-for-bit.
+//! same graph bit-for-bit. Version 1 files (no checksum trailer) are still
+//! read; [`write_binary`] always emits version 2.
+//!
+//! All readers treat their input as untrusted: header counts never drive
+//! unbounded allocations (reservations are capped at
+//! [`MAX_PREALLOC_BYTES`]), a corrupt version-2 payload fails the CRC
+//! check with [`GraphError::Format`], and the fault points
+//! `io.read_binary.header`, `io.read_binary.payload` and
+//! `io.read_text.line` let the fault-injection harness prove every error
+//! path returns a typed [`GraphError`] (see DESIGN.md "Resilience layer").
 
 use std::fs::File;
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
+use lotus_resilience::fault_point;
+
+use crate::crc32::Crc32;
 use crate::edge_list::EdgeList;
 use crate::error::GraphError;
 
 const MAGIC: &[u8; 4] = b"LOTG";
-const VERSION: u32 = 1;
+/// Current binary format version (checksummed).
+pub const VERSION: u32 = 2;
+/// Legacy version without the CRC trailer; still readable.
+pub const VERSION_V1: u32 = 1;
 
-/// Parses a whitespace-separated edge list (`u v` per line, `#`/`%` comments)
-/// from a reader.
-pub fn read_edge_list_text<R: Read>(reader: R) -> Result<EdgeList, GraphError> {
+/// Cap on any up-front reservation driven by an untrusted header field.
+/// A corrupt `num_edges` then costs at most one modest allocation before
+/// the short payload surfaces as a typed error; genuine large graphs
+/// still load fine because the vector grows geometrically from here.
+pub const MAX_PREALLOC_BYTES: usize = 64 * 1024;
+
+/// How text parsing treats recoverable irregularities such as trailing
+/// tokens after the two endpoint IDs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum Strictness {
+    /// Accept the line, record a [`ParseWarning`].
+    #[default]
+    Lenient,
+    /// Reject the line with [`GraphError::Parse`].
+    Strict,
+}
+
+/// A recoverable irregularity found while parsing text input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseWarning {
+    /// 1-based line number.
+    pub line: usize,
+    /// Description of the irregularity.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseWarning {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+/// Result of a reporting text parse: the edges plus any warnings.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedEdgeList {
+    /// The parsed edges.
+    pub edges: EdgeList,
+    /// Irregularities encountered (always empty under
+    /// [`Strictness::Strict`], which turns them into errors).
+    pub warnings: Vec<ParseWarning>,
+}
+
+/// Parses a whitespace-separated edge list (`u v` per line, `#`/`%`
+/// comments), reporting lines with trailing garbage tokens as warnings
+/// (lenient) or errors (strict).
+pub fn read_edge_list_text_with<R: Read>(
+    reader: R,
+    strictness: Strictness,
+) -> Result<ParsedEdgeList, GraphError> {
     let reader = BufReader::new(reader);
     let mut pairs = Vec::new();
+    let mut warnings = Vec::new();
     for (lineno, line) in reader.lines().enumerate() {
+        fault_point!("io.read_text.line")?;
         let line = line?;
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') || line.starts_with('%') {
@@ -49,14 +113,49 @@ pub fn read_edge_list_text<R: Read>(reader: R) -> Result<EdgeList, GraphError> {
         };
         let u = parse(it.next())?;
         let v = parse(it.next())?;
+        let trailing = it.count();
+        if trailing > 0 {
+            let message = format!("{trailing} trailing token(s) after the two vertex IDs ignored");
+            match strictness {
+                Strictness::Strict => {
+                    return Err(GraphError::Parse {
+                        line: lineno + 1,
+                        message: format!("{trailing} trailing token(s) after the two vertex IDs"),
+                    });
+                }
+                Strictness::Lenient => warnings.push(ParseWarning {
+                    line: lineno + 1,
+                    message,
+                }),
+            }
+        }
         pairs.push((u, v));
     }
-    Ok(EdgeList::from_pairs(pairs))
+    Ok(ParsedEdgeList {
+        edges: EdgeList::from_pairs(pairs),
+        warnings,
+    })
 }
 
-/// Reads an edge-list text file.
+/// Parses a whitespace-separated edge list leniently, discarding any
+/// warnings. Prefer [`read_edge_list_text_with`] in user-facing paths so
+/// irregular input is reported rather than silently accepted.
+pub fn read_edge_list_text<R: Read>(reader: R) -> Result<EdgeList, GraphError> {
+    read_edge_list_text_with(reader, Strictness::Lenient).map(|parsed| parsed.edges)
+}
+
+/// Reads an edge-list text file (lenient; warnings discarded).
 pub fn load_edge_list_text(path: impl AsRef<Path>) -> Result<EdgeList, GraphError> {
     read_edge_list_text(File::open(path)?)
+}
+
+/// Reads an edge-list text file with the given strictness, reporting
+/// warnings.
+pub fn load_edge_list_text_with(
+    path: impl AsRef<Path>,
+    strictness: Strictness,
+) -> Result<ParsedEdgeList, GraphError> {
+    read_edge_list_text_with(File::open(path)?, strictness)
 }
 
 /// Writes an edge list as text (`u v` per line).
@@ -69,11 +168,35 @@ pub fn write_edge_list_text<W: Write>(el: &EdgeList, writer: W) -> Result<(), Gr
     Ok(())
 }
 
-/// Writes the canonical binary format.
+/// Writes the canonical binary format (version 2, with CRC32 trailer).
 pub fn write_binary<W: Write>(el: &EdgeList, writer: W) -> Result<(), GraphError> {
     let mut w = BufWriter::new(writer);
+    let mut digest = Crc32::new();
+    let mut put = |w: &mut BufWriter<W>, bytes: &[u8]| -> Result<(), GraphError> {
+        digest.update(bytes);
+        w.write_all(bytes)?;
+        Ok(())
+    };
+    put(&mut w, MAGIC)?;
+    put(&mut w, &VERSION.to_le_bytes())?;
+    put(&mut w, &el.num_vertices().to_le_bytes())?;
+    put(&mut w, &(el.len() as u64).to_le_bytes())?;
+    for &(u, v) in el.pairs() {
+        put(&mut w, &u.to_le_bytes())?;
+        put(&mut w, &v.to_le_bytes())?;
+    }
+    let checksum = digest.finalize();
+    w.write_all(&checksum.to_le_bytes())?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Writes the legacy version-1 binary format (no checksum). Kept for
+/// compatibility tooling and for tests that prove v1 files still load.
+pub fn write_binary_v1<W: Write>(el: &EdgeList, writer: W) -> Result<(), GraphError> {
+    let mut w = BufWriter::new(writer);
     w.write_all(MAGIC)?;
-    w.write_all(&VERSION.to_le_bytes())?;
+    w.write_all(&VERSION_V1.to_le_bytes())?;
     w.write_all(&el.num_vertices().to_le_bytes())?;
     w.write_all(&(el.len() as u64).to_le_bytes())?;
     for &(u, v) in el.pairs() {
@@ -84,31 +207,43 @@ pub fn write_binary<W: Write>(el: &EdgeList, writer: W) -> Result<(), GraphError
     Ok(())
 }
 
-/// Reads the canonical binary format.
+/// Reads the canonical binary format (versions 1 and 2; version 2
+/// verifies the CRC32 trailer).
 pub fn read_binary<R: Read>(reader: R) -> Result<EdgeList, GraphError> {
     let mut r = BufReader::new(reader);
+    let mut digest = Crc32::new();
+    fault_point!("io.read_binary.header")?;
     let mut magic = [0u8; 4];
     r.read_exact(&mut magic)?;
+    digest.update(&magic);
     if &magic != MAGIC {
         return Err(GraphError::Format("bad magic".into()));
     }
     let mut buf4 = [0u8; 4];
     r.read_exact(&mut buf4)?;
+    digest.update(&buf4);
     let version = u32::from_le_bytes(buf4);
-    if version != VERSION {
+    if version != VERSION_V1 && version != VERSION {
         return Err(GraphError::Format(format!("unsupported version {version}")));
     }
     r.read_exact(&mut buf4)?;
+    digest.update(&buf4);
     let num_vertices = u32::from_le_bytes(buf4);
     let mut buf8 = [0u8; 8];
     r.read_exact(&mut buf8)?;
+    digest.update(&buf8);
     let num_edges = u64::from_le_bytes(buf8) as usize;
-    let mut pairs = Vec::with_capacity(num_edges);
+    // The header is untrusted: cap the reservation so a corrupt edge
+    // count cannot drive a multi-GiB allocation before the (short)
+    // payload fails to materialize.
+    let mut pairs = Vec::with_capacity(num_edges.min(MAX_PREALLOC_BYTES / 8));
+    let mut buf_edge = [0u8; 8];
     for _ in 0..num_edges {
-        r.read_exact(&mut buf4)?;
-        let u = u32::from_le_bytes(buf4);
-        r.read_exact(&mut buf4)?;
-        let v = u32::from_le_bytes(buf4);
+        fault_point!("io.read_binary.payload")?;
+        r.read_exact(&mut buf_edge)?;
+        digest.update(&buf_edge);
+        let u = u32::from_le_bytes(buf_edge[..4].try_into().expect("4-byte slice"));
+        let v = u32::from_le_bytes(buf_edge[4..].try_into().expect("4-byte slice"));
         if u >= num_vertices || v >= num_vertices {
             return Err(GraphError::VertexOutOfRange {
                 vertex: u.max(v) as u64,
@@ -116,6 +251,17 @@ pub fn read_binary<R: Read>(reader: R) -> Result<EdgeList, GraphError> {
             });
         }
         pairs.push((u, v));
+    }
+    if version == VERSION {
+        let mut trailer = [0u8; 4];
+        r.read_exact(&mut trailer)?;
+        let stored = u32::from_le_bytes(trailer);
+        let computed = digest.finalize();
+        if stored != computed {
+            return Err(GraphError::Format(format!(
+                "checksum mismatch: stored {stored:#010x}, computed {computed:#010x}"
+            )));
+        }
     }
     Ok(EdgeList::from_pairs_with_vertices(pairs, num_vertices))
 }
@@ -165,6 +311,42 @@ mod tests {
     }
 
     #[test]
+    fn lenient_parse_reports_trailing_tokens() {
+        let input = "0 1\n1 2 0.5 extra\n2 3\n";
+        let parsed = read_edge_list_text_with(input.as_bytes(), Strictness::Lenient).unwrap();
+        assert_eq!(parsed.edges.pairs(), &[(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(parsed.warnings.len(), 1);
+        assert_eq!(parsed.warnings[0].line, 2);
+        assert!(
+            parsed.warnings[0].message.contains("2 trailing token(s)"),
+            "{}",
+            parsed.warnings[0].message
+        );
+        assert!(parsed.warnings[0].to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn strict_parse_rejects_trailing_tokens() {
+        let input = "0 1\n1 2 77\n";
+        let err = read_edge_list_text_with(input.as_bytes(), Strictness::Strict).unwrap_err();
+        match err {
+            GraphError::Parse { line, message } => {
+                assert_eq!(line, 2);
+                assert!(message.contains("trailing"), "{message}");
+            }
+            other => panic!("expected Parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn strict_parse_accepts_clean_input() {
+        let input = "# comment\n0 1\n1 2\n";
+        let parsed = read_edge_list_text_with(input.as_bytes(), Strictness::Strict).unwrap();
+        assert_eq!(parsed.edges.pairs(), &[(0, 1), (1, 2)]);
+        assert!(parsed.warnings.is_empty());
+    }
+
+    #[test]
     fn binary_round_trip() {
         let mut el = EdgeList::from_pairs(vec![(5, 1), (1, 2), (0, 3), (1, 5)]);
         el.canonicalize();
@@ -172,6 +354,55 @@ mod tests {
         write_binary(&el, &mut buf).unwrap();
         let back = read_binary(&buf[..]).unwrap();
         assert_eq!(back, el);
+    }
+
+    #[test]
+    fn binary_v2_carries_a_checksum_trailer() {
+        let el = EdgeList::from_pairs(vec![(0, 1), (1, 2)]).canonicalized();
+        let mut v2 = Vec::new();
+        write_binary(&el, &mut v2).unwrap();
+        let mut v1 = Vec::new();
+        write_binary_v1(&el, &mut v1).unwrap();
+        assert_eq!(v2.len(), v1.len() + 4);
+        let payload = &v2[..v2.len() - 4];
+        let stored = u32::from_le_bytes(v2[v2.len() - 4..].try_into().unwrap());
+        assert_eq!(stored, crate::crc32::crc32(payload));
+    }
+
+    #[test]
+    fn binary_v1_files_still_load() {
+        let mut el = EdgeList::from_pairs(vec![(5, 1), (1, 2), (0, 3)]);
+        el.canonicalize();
+        let mut buf = Vec::new();
+        write_binary_v1(&el, &mut buf).unwrap();
+        let back = read_binary(&buf[..]).unwrap();
+        assert_eq!(back, el);
+    }
+
+    #[test]
+    fn binary_rejects_corrupted_payload_byte() {
+        let el = EdgeList::from_pairs((0..50u32).map(|i| (i, i + 1)).collect()).canonicalized();
+        let mut buf = Vec::new();
+        write_binary(&el, &mut buf).unwrap();
+        // Flip the low bit of the first endpoint (0 → 1): the edge stays
+        // in range, so only the CRC can catch the corruption.
+        let payload_start = 20; // magic 4 + version 4 + n 4 + m 8
+        buf[payload_start] ^= 0x01;
+        let err = read_binary(&buf[..]).unwrap_err();
+        assert!(
+            matches!(&err, GraphError::Format(m) if m.contains("checksum")),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn binary_rejects_corrupted_trailer() {
+        let el = EdgeList::from_pairs(vec![(0, 1), (1, 2)]).canonicalized();
+        let mut buf = Vec::new();
+        write_binary(&el, &mut buf).unwrap();
+        let last = buf.len() - 1;
+        buf[last] ^= 0xff;
+        assert!(read_binary(&buf[..]).is_err());
     }
 
     #[test]
@@ -191,7 +422,7 @@ mod tests {
 
     #[test]
     fn binary_rejects_out_of_range_vertex() {
-        // Hand-craft: 2 vertices but edge (0, 7).
+        // Hand-craft a v1 file: 2 vertices but edge (0, 7).
         let mut buf = Vec::new();
         buf.extend_from_slice(b"LOTG");
         buf.extend_from_slice(&1u32.to_le_bytes());
@@ -201,6 +432,20 @@ mod tests {
         buf.extend_from_slice(&7u32.to_le_bytes());
         let err = read_binary(&buf[..]).unwrap_err();
         assert!(matches!(err, GraphError::VertexOutOfRange { .. }));
+    }
+
+    #[test]
+    fn hostile_edge_count_fails_without_huge_allocation() {
+        // A v1 header claiming u64::MAX edges followed by no payload: the
+        // capped reservation means this returns a typed error quickly
+        // instead of attempting a multi-GiB allocation.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"LOTG");
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.extend_from_slice(&100u32.to_le_bytes());
+        buf.extend_from_slice(&u64::MAX.to_le_bytes());
+        let err = read_binary(&buf[..]).unwrap_err();
+        assert!(matches!(err, GraphError::Io(_)), "{err:?}");
     }
 
     #[test]

@@ -21,6 +21,7 @@
 //! * I/O ([`io`]) — text edge-list and a compact binary format.
 
 pub mod builder;
+pub mod crc32;
 pub mod csr;
 pub mod degeneracy;
 pub mod degree;
@@ -40,5 +41,6 @@ pub use degree::{DegreeDistribution, DegreeStats};
 pub use edge_list::EdgeList;
 pub use error::GraphError;
 pub use ids::{NeighborId, VertexId};
+pub use io::{ParseWarning, ParsedEdgeList, Strictness};
 pub use ordering::Relabeling;
 pub use stats::GraphStats;

@@ -1,0 +1,127 @@
+//! Memory budgets.
+//!
+//! A [`MemoryBudget`] is just a byte ceiling; the intelligence lives in
+//! the callers, which estimate a structure's footprint *before* building
+//! it and degrade (shrink the hub set, pick a leaner algorithm) when the
+//! estimate does not fit. See `lotus_core::resilient` for the LOTUS
+//! degradation policy.
+
+use std::fmt;
+
+/// A byte ceiling for the data structures of one run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct MemoryBudget {
+    bytes: u64,
+}
+
+impl MemoryBudget {
+    /// A budget of exactly `bytes` bytes.
+    pub fn from_bytes(bytes: u64) -> Self {
+        Self { bytes }
+    }
+
+    /// The ceiling in bytes.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Whether an estimated footprint fits the budget.
+    pub fn fits(&self, estimated_bytes: u64) -> bool {
+        estimated_bytes <= self.bytes
+    }
+
+    /// Parses a human-friendly size: a plain byte count or a number with
+    /// a binary suffix `k`/`m`/`g` (case-insensitive, optional trailing
+    /// `b`/`ib`), e.g. `"65536"`, `"64k"`, `"512MiB"`, `"2G"`.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let s = s.trim();
+        let lower = s.to_ascii_lowercase();
+        let (digits, multiplier) = if let Some(d) = strip_suffix_any(&lower, &["k", "kb", "kib"]) {
+            (d, 1u64 << 10)
+        } else if let Some(d) = strip_suffix_any(&lower, &["m", "mb", "mib"]) {
+            (d, 1u64 << 20)
+        } else if let Some(d) = strip_suffix_any(&lower, &["g", "gb", "gib"]) {
+            (d, 1u64 << 30)
+        } else if let Some(d) = strip_suffix_any(&lower, &["b"]) {
+            (d, 1)
+        } else {
+            (lower.as_str(), 1)
+        };
+        let value: u64 = digits
+            .trim()
+            .parse()
+            .map_err(|_| format!("invalid size '{s}' (expected e.g. 65536, 64k, 512m, 2g)"))?;
+        value
+            .checked_mul(multiplier)
+            .map(Self::from_bytes)
+            .ok_or_else(|| format!("size '{s}' overflows"))
+    }
+}
+
+fn strip_suffix_any<'a>(s: &'a str, suffixes: &[&str]) -> Option<&'a str> {
+    // Pick the longest matching suffix so "kib" is not mis-split as "ki"
+    // + "b"; an empty or non-numeric remainder is rejected by the caller.
+    let mut best: Option<&str> = None;
+    for suffix in suffixes {
+        if let Some(rest) = s.strip_suffix(suffix) {
+            let rest = rest.trim();
+            if !rest.is_empty() && best.is_none_or(|b: &str| rest.len() < b.len()) {
+                best = Some(rest);
+            }
+        }
+    }
+    best
+}
+
+impl fmt::Display for MemoryBudget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let b = self.bytes;
+        if b >= 1 << 30 && b.is_multiple_of(1 << 30) {
+            write!(f, "{}GiB", b >> 30)
+        } else if b >= 1 << 20 && b.is_multiple_of(1 << 20) {
+            write!(f, "{}MiB", b >> 20)
+        } else if b >= 1 << 10 && b.is_multiple_of(1 << 10) {
+            write!(f, "{}KiB", b >> 10)
+        } else {
+            write!(f, "{b}B")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_plain_and_suffixed_sizes() {
+        assert_eq!(MemoryBudget::parse("65536").unwrap().bytes(), 65536);
+        assert_eq!(MemoryBudget::parse("64k").unwrap().bytes(), 64 << 10);
+        assert_eq!(MemoryBudget::parse("64K").unwrap().bytes(), 64 << 10);
+        assert_eq!(MemoryBudget::parse("512MiB").unwrap().bytes(), 512 << 20);
+        assert_eq!(MemoryBudget::parse("2g").unwrap().bytes(), 2 << 30);
+        assert_eq!(MemoryBudget::parse(" 10 kb ").unwrap().bytes(), 10 << 10);
+        assert_eq!(MemoryBudget::parse("128b").unwrap().bytes(), 128);
+    }
+
+    #[test]
+    fn rejects_garbage_sizes() {
+        for bad in ["", "k", "-5", "1.5g", "12x", "99999999999999999999g"] {
+            assert!(MemoryBudget::parse(bad).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn fits_is_inclusive() {
+        let b = MemoryBudget::from_bytes(100);
+        assert!(b.fits(100));
+        assert!(!b.fits(101));
+    }
+
+    #[test]
+    fn display_picks_the_largest_exact_unit() {
+        assert_eq!(MemoryBudget::from_bytes(2 << 30).to_string(), "2GiB");
+        assert_eq!(MemoryBudget::from_bytes(3 << 20).to_string(), "3MiB");
+        assert_eq!(MemoryBudget::from_bytes(64 << 10).to_string(), "64KiB");
+        assert_eq!(MemoryBudget::from_bytes(1000).to_string(), "1000B");
+    }
+}

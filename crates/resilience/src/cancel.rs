@@ -1,0 +1,195 @@
+//! Cooperative cancellation and deadlines.
+//!
+//! Nothing here preempts a running kernel: the counting loops poll a
+//! [`RunGuard`] at tile/chunk granularity (cheap — one or two atomic
+//! loads plus, when a deadline is set, a monotonic clock read every few
+//! hundred items) and wind down cleanly when it reports a [`StopReason`].
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A cloneable cancellation flag.
+///
+/// All clones share one flag: call [`CancelToken::cancel`] from any
+/// thread (a signal handler, an admission controller, a client
+/// disconnect) and every guarded loop holding a clone stops at its next
+/// check point.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation; idempotent.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation was requested.
+    #[inline]
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A wall-clock deadline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Deadline {
+    at: Instant,
+}
+
+impl Deadline {
+    /// A deadline `timeout` from now.
+    pub fn after(timeout: Duration) -> Self {
+        Self {
+            at: Instant::now()
+                .checked_add(timeout)
+                .unwrap_or_else(|| Instant::now() + Duration::from_secs(u32::MAX as u64)),
+        }
+    }
+
+    /// A deadline at an explicit instant.
+    pub fn at(at: Instant) -> Self {
+        Self { at }
+    }
+
+    /// Whether the deadline has passed.
+    #[inline]
+    pub fn expired(&self) -> bool {
+        Instant::now() >= self.at
+    }
+
+    /// Time left before expiry (zero once expired).
+    pub fn remaining(&self) -> Duration {
+        self.at.saturating_duration_since(Instant::now())
+    }
+}
+
+/// Why a guarded run stopped early.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// A [`CancelToken`] was cancelled.
+    Cancelled,
+    /// The [`Deadline`] expired.
+    DeadlineExpired,
+}
+
+impl fmt::Display for StopReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StopReason::Cancelled => write!(f, "cancelled"),
+            StopReason::DeadlineExpired => write!(f, "deadline expired"),
+        }
+    }
+}
+
+/// Combined cancellation state polled by guarded loops.
+///
+/// The default guard is unlimited (never stops a run) so callers without
+/// resilience requirements pass `&RunGuard::default()` and pay only a
+/// couple of branch checks per poll.
+#[derive(Debug, Clone, Default)]
+pub struct RunGuard {
+    cancel: Option<CancelToken>,
+    deadline: Option<Deadline>,
+}
+
+impl RunGuard {
+    /// A guard that never stops the run.
+    pub fn unlimited() -> Self {
+        Self::default()
+    }
+
+    /// Attaches a cancellation token.
+    #[must_use]
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Attaches a deadline.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Deadline) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Whether any stop condition is attached at all. Loops may skip
+    /// polling entirely for unlimited guards.
+    pub fn is_limited(&self) -> bool {
+        self.cancel.is_some() || self.deadline.is_some()
+    }
+
+    /// Polls the stop conditions. Cancellation wins over deadline expiry
+    /// when both hold.
+    #[inline]
+    pub fn should_stop(&self) -> Option<StopReason> {
+        if let Some(token) = &self.cancel {
+            if token.is_cancelled() {
+                return Some(StopReason::Cancelled);
+            }
+        }
+        if let Some(deadline) = &self.deadline {
+            if deadline.expired() {
+                return Some(StopReason::DeadlineExpired);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_cancels_across_clones() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        assert!(!b.is_cancelled());
+        a.cancel();
+        assert!(b.is_cancelled());
+        a.cancel(); // idempotent
+        assert!(a.is_cancelled());
+    }
+
+    #[test]
+    fn deadline_expiry() {
+        let d = Deadline::after(Duration::ZERO);
+        assert!(d.expired());
+        assert_eq!(d.remaining(), Duration::ZERO);
+        let far = Deadline::after(Duration::from_secs(3600));
+        assert!(!far.expired());
+        assert!(far.remaining() > Duration::from_secs(3500));
+    }
+
+    #[test]
+    fn unlimited_guard_never_stops() {
+        let g = RunGuard::unlimited();
+        assert!(!g.is_limited());
+        assert_eq!(g.should_stop(), None);
+    }
+
+    #[test]
+    fn guard_reports_cancellation_before_deadline() {
+        let token = CancelToken::new();
+        let g = RunGuard::unlimited()
+            .with_cancel(token.clone())
+            .with_deadline(Deadline::after(Duration::ZERO));
+        assert!(g.is_limited());
+        assert_eq!(g.should_stop(), Some(StopReason::DeadlineExpired));
+        token.cancel();
+        assert_eq!(g.should_stop(), Some(StopReason::Cancelled));
+    }
+
+    #[test]
+    fn stop_reason_display() {
+        assert_eq!(StopReason::Cancelled.to_string(), "cancelled");
+        assert_eq!(StopReason::DeadlineExpired.to_string(), "deadline expired");
+    }
+}

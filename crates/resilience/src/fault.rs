@@ -1,0 +1,279 @@
+//! Seeded, deterministic fault injection (compiled only with the
+//! `fault-injection` feature).
+//!
+//! The workspace declares *named fault points* with [`fault_point!`]
+//! (e.g. `"io.read_binary.payload"`, `"core.phase.hnn"`); the canonical
+//! list is [`POINTS`]. Tests [`arm`] a point with a [`FaultKind`] and a
+//! hit number, run the operation under test, and assert that the
+//! injected failure surfaces as a clean typed error — never a crash, and
+//! never a silently wrong count.
+//!
+//! The registry is process-global, so tests that arm faults must be
+//! serialized (take a shared mutex) and call [`reset`] around each case.
+//!
+//! [`fault_point!`]: crate::fault_point
+
+use std::collections::HashMap;
+use std::io;
+use std::sync::Mutex;
+
+/// Every fault point compiled into the workspace.
+///
+/// Kept in one place so coverage tests can demand an injection test per
+/// point; adding a `fault_point!` call site means adding its name here.
+pub const POINTS: &[&str] = &[
+    "io.read_binary.header",
+    "io.read_binary.payload",
+    "io.read_text.line",
+    "core.preprocess.build",
+    "core.phase.hhh_hhn",
+    "core.phase.hnn",
+    "core.phase.nnn",
+    "algos.forward.count",
+];
+
+/// What an armed fault injects when it triggers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// A generic I/O error (`ErrorKind::Other`).
+    IoError,
+    /// A short read (`ErrorKind::UnexpectedEof`), as if the stream were
+    /// truncated mid-payload.
+    ShortRead,
+    /// A panic, exercising the `catch_unwind` isolation layer.
+    Panic,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Armed {
+    kind: FaultKind,
+    /// 1-based hit number at which the fault starts firing. Once
+    /// triggered it keeps firing on every later hit, modelling a
+    /// persistently failing resource.
+    nth: u64,
+}
+
+#[derive(Default)]
+struct Registry {
+    armed: HashMap<String, Armed>,
+    hits: HashMap<String, u64>,
+}
+
+static REGISTRY: Mutex<Option<Registry>> = Mutex::new(None);
+
+fn with_registry<T>(f: impl FnOnce(&mut Registry) -> T) -> T {
+    let mut guard = REGISTRY
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    f(guard.get_or_insert_with(Registry::default))
+}
+
+/// Arms `point` to inject `kind` from its `nth` hit onward (1-based;
+/// `nth == 1` fires immediately). Re-arming replaces the previous plan.
+pub fn arm(point: &str, kind: FaultKind, nth: u64) {
+    assert!(nth >= 1, "hit numbers are 1-based");
+    with_registry(|r| {
+        r.armed.insert(point.to_string(), Armed { kind, nth });
+    });
+}
+
+/// Disarms every point and zeroes all hit counters.
+pub fn reset() {
+    with_registry(|r| {
+        r.armed.clear();
+        r.hits.clear();
+    });
+}
+
+/// How many times `point` has been hit since the last [`reset`].
+pub fn hits(point: &str) -> u64 {
+    with_registry(|r| r.hits.get(point).copied().unwrap_or(0))
+}
+
+fn record_hit(point: &str) -> Option<FaultKind> {
+    with_registry(|r| {
+        let count = r.hits.entry(point.to_string()).or_insert(0);
+        *count += 1;
+        let count = *count;
+        r.armed
+            .get(point)
+            .filter(|armed| count >= armed.nth)
+            .map(|armed| armed.kind)
+    })
+}
+
+/// Fires `point` at a fallible call site: returns the injected I/O error
+/// if an error fault is due, panics if a [`FaultKind::Panic`] fault is
+/// due, and returns `Ok(())` otherwise.
+pub fn fire(point: &'static str) -> Result<(), io::Error> {
+    match record_hit(point) {
+        None => Ok(()),
+        Some(FaultKind::IoError) => Err(io::Error::other(format!(
+            "injected I/O error at fault point '{point}'"
+        ))),
+        Some(FaultKind::ShortRead) => Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            format!("injected short read at fault point '{point}'"),
+        )),
+        Some(FaultKind::Panic) => trigger_panic(point),
+    }
+}
+
+/// Fires `point` at an infallible call site: *any* armed fault kind that
+/// is due panics (the surrounding phase is expected to run under
+/// [`crate::isolate`]).
+pub fn fire_panic(point: &'static str) {
+    if record_hit(point).is_some() {
+        trigger_panic(point);
+    }
+}
+
+fn trigger_panic(point: &str) -> ! {
+    panic!("injected panic at fault point '{point}'")
+}
+
+/// One entry of a seeded fault plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlannedFault {
+    /// The fault point to arm.
+    pub point: String,
+    /// The kind to inject.
+    pub kind: FaultKind,
+    /// The 1-based hit number to start firing at.
+    pub nth: u64,
+}
+
+/// Derives a deterministic fault plan from a seed: for each point, a
+/// kind and a hit number in `1..=max_nth`. The same seed always yields
+/// the same plan, so a failing fuzz run is reproducible from its seed
+/// alone.
+pub fn seeded_plan(seed: u64, points: &[&str], max_nth: u64) -> Vec<PlannedFault> {
+    let max_nth = max_nth.max(1);
+    let mut state = seed ^ 0x9e37_79b9_7f4a_7c15;
+    let mut next = || {
+        // SplitMix64: full-period, seedable, dependency-free.
+        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    };
+    points
+        .iter()
+        .map(|&point| {
+            let kind = match next() % 3 {
+                0 => FaultKind::IoError,
+                1 => FaultKind::ShortRead,
+                _ => FaultKind::Panic,
+            };
+            PlannedFault {
+                point: point.to_string(),
+                kind,
+                nth: 1 + next() % max_nth,
+            }
+        })
+        .collect()
+}
+
+/// Arms every entry of a plan (typically from [`seeded_plan`]).
+pub fn arm_plan(plan: &[PlannedFault]) {
+    for fault in plan {
+        arm(&fault.point, fault.kind, fault.nth);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The registry is process-global; this crate's fault tests share one
+    // lock so they cannot interleave arms/resets.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn locked() -> std::sync::MutexGuard<'static, ()> {
+        TEST_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    #[test]
+    fn unarmed_points_pass_and_count_hits() {
+        let _guard = locked();
+        reset();
+        assert!(fire("p.unarmed").is_ok());
+        assert!(fire("p.unarmed").is_ok());
+        assert_eq!(hits("p.unarmed"), 2);
+        reset();
+        assert_eq!(hits("p.unarmed"), 0);
+    }
+
+    #[test]
+    fn io_fault_fires_from_nth_hit_onward() {
+        let _guard = locked();
+        reset();
+        arm("p.io", FaultKind::IoError, 3);
+        assert!(fire("p.io").is_ok());
+        assert!(fire("p.io").is_ok());
+        let err = fire("p.io").unwrap_err();
+        assert!(err.to_string().contains("p.io"), "{err}");
+        // Persistent from the Nth hit on.
+        assert!(fire("p.io").is_err());
+        reset();
+    }
+
+    #[test]
+    fn short_read_maps_to_unexpected_eof() {
+        let _guard = locked();
+        reset();
+        arm("p.short", FaultKind::ShortRead, 1);
+        let err = fire("p.short").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+        reset();
+    }
+
+    #[test]
+    fn panic_faults_panic_and_are_isolatable() {
+        let _guard = locked();
+        reset();
+        arm("p.panic", FaultKind::Panic, 1);
+        let caught = crate::isolate(|| fire_panic("p.panic")).unwrap_err();
+        assert!(caught.message.contains("p.panic"), "{}", caught.message);
+        reset();
+    }
+
+    #[test]
+    fn seeded_plans_are_deterministic_and_seed_sensitive() {
+        let points = ["a", "b", "c"];
+        let p1 = seeded_plan(7, &points, 4);
+        let p2 = seeded_plan(7, &points, 4);
+        assert_eq!(p1, p2);
+        assert_eq!(p1.len(), 3);
+        assert!(p1.iter().all(|f| (1..=4).contains(&f.nth)));
+        // Some nearby seed must produce a different plan.
+        assert!((0..16).any(|s| seeded_plan(s, &points, 4) != p1));
+    }
+
+    #[test]
+    fn arm_plan_arms_every_entry() {
+        let _guard = locked();
+        reset();
+        let plan = vec![PlannedFault {
+            point: "p.planned".into(),
+            kind: FaultKind::IoError,
+            nth: 1,
+        }];
+        arm_plan(&plan);
+        assert!(fire("p.planned").is_err());
+        reset();
+    }
+
+    #[test]
+    fn canonical_point_list_is_wellformed() {
+        assert!(!POINTS.is_empty());
+        let unique: std::collections::HashSet<_> = POINTS.iter().collect();
+        assert_eq!(unique.len(), POINTS.len(), "duplicate fault point names");
+        for point in POINTS {
+            assert!(point.contains('.'), "point '{point}' lacks a layer prefix");
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! Panic isolation.
+//!
+//! Counting phases run arbitrary (possibly buggy, possibly
+//! fault-injected) kernels. [`isolate`] fences one unit of work with
+//! [`std::panic::catch_unwind`] so a worker panic surfaces as a
+//! structured [`PanicCaught`] value the caller can attach context to
+//! (which phase died, what was counted so far) instead of aborting the
+//! whole process.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// A panic converted into a value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PanicCaught {
+    /// The panic payload, stringified (`panic!` message or
+    /// `"<non-string panic payload>"`).
+    pub message: String,
+}
+
+impl std::fmt::Display for PanicCaught {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "panic: {}", self.message)
+    }
+}
+
+/// Runs `f`, converting a panic into `Err(PanicCaught)`.
+///
+/// The closure is wrapped in [`AssertUnwindSafe`]: callers hand in reads
+/// of shared graph structures and locally owned accumulators, which are
+/// discarded on the error path, so no torn state escapes.
+pub fn isolate<T>(f: impl FnOnce() -> T) -> Result<T, PanicCaught> {
+    match catch_unwind(AssertUnwindSafe(f)) {
+        Ok(value) => Ok(value),
+        Err(payload) => {
+            let message = if let Some(s) = payload.downcast_ref::<&str>() {
+                (*s).to_string()
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "<non-string panic payload>".to_string()
+            };
+            Err(PanicCaught { message })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passes_values_through() {
+        assert_eq!(isolate(|| 41 + 1), Ok(42));
+    }
+
+    #[test]
+    fn catches_str_panics() {
+        let err = isolate(|| panic!("boom")).unwrap_err();
+        assert_eq!(err.message, "boom");
+        assert!(err.to_string().contains("boom"));
+    }
+
+    #[test]
+    fn catches_formatted_panics() {
+        let err = isolate(|| panic!("bad tile {}", 7)).unwrap_err();
+        assert_eq!(err.message, "bad tile 7");
+    }
+
+    #[test]
+    fn catches_non_string_payloads() {
+        let err = isolate(|| std::panic::panic_any(1234u32)).unwrap_err();
+        assert_eq!(err.message, "<non-string panic payload>");
+    }
+}

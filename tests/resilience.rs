@@ -1,0 +1,139 @@
+//! End-to-end resilience behaviour: cooperative cancellation, deadline
+//! expiry, and memory-budget degradation across the workspace layers.
+
+use std::time::Duration;
+
+use lotus_algos::forward::{forward_count, forward_count_guarded};
+use lotus_core::config::{HubCount, LotusConfig};
+use lotus_core::count::{CountError, LotusCounter, Phase};
+use lotus_core::resilient::{count_with_budget, estimate_footprint, DegradeReason};
+use lotus_resilience::{CancelToken, Deadline, MemoryBudget, RunGuard, StopReason};
+
+fn cfg(hubs: u32) -> LotusConfig {
+    LotusConfig::default().with_hub_count(HubCount::Fixed(hubs))
+}
+
+fn test_graph() -> lotus_graph::UndirectedCsr {
+    lotus_gen::Rmat::new(10, 10).generate(23)
+}
+
+#[test]
+fn expired_deadline_returns_structured_interruption() {
+    let g = test_graph();
+    let guard = RunGuard::unlimited().with_deadline(Deadline::after(Duration::ZERO));
+    let err = LotusCounter::new(cfg(64))
+        .count_guarded(&g, &guard)
+        .expect_err("a zero deadline must interrupt the run");
+    match err {
+        CountError::Interrupted { reason, phase, .. } => {
+            assert_eq!(reason, StopReason::DeadlineExpired);
+            // The earliest poll is in preprocessing.
+            assert_eq!(phase, Phase::Preprocess);
+        }
+        other => panic!("expected Interrupted, got {other:?}"),
+    }
+}
+
+#[test]
+fn cancellation_wins_over_deadline_and_reports_partial() {
+    let g = test_graph();
+    let token = CancelToken::new();
+    token.cancel();
+    let guard = RunGuard::unlimited()
+        .with_cancel(token)
+        .with_deadline(Deadline::after(Duration::ZERO));
+    let err = LotusCounter::new(cfg(64))
+        .count_guarded(&g, &guard)
+        .expect_err("cancelled run");
+    match err {
+        CountError::Interrupted {
+            reason, partial, ..
+        } => {
+            assert_eq!(reason, StopReason::Cancelled);
+            assert_eq!(partial.total(), 0, "nothing counted before preprocessing");
+        }
+        other => panic!("expected Interrupted, got {other:?}"),
+    }
+}
+
+#[test]
+fn forward_driver_honours_the_guard() {
+    let g = test_graph();
+    let guard = RunGuard::unlimited().with_deadline(Deadline::after(Duration::ZERO));
+    let (reason, partial) = forward_count_guarded(&g, &guard).expect_err("interrupted");
+    assert_eq!(reason, StopReason::DeadlineExpired);
+    assert_eq!(partial, 0);
+
+    let full = forward_count_guarded(&g, &RunGuard::unlimited()).expect("unlimited");
+    assert_eq!(full, forward_count(&g));
+}
+
+#[test]
+fn insufficient_budget_shrinks_hubs_without_changing_the_count() {
+    let g = test_graph();
+    let want = forward_count(&g);
+    let configured = 512u32;
+    let full = estimate_footprint(g.num_vertices(), g.num_edges(), configured);
+    let hubless = estimate_footprint(g.num_vertices(), g.num_edges(), 0);
+    assert!(full > hubless, "H2H must contribute to the estimate");
+
+    let budget = MemoryBudget::from_bytes((full + hubless) / 2);
+    let r = count_with_budget(&cfg(configured), &g, &budget, &RunGuard::unlimited())
+        .expect("shrunk run completes");
+    match r.degraded {
+        Some(DegradeReason::ShrunkHubs {
+            from,
+            to,
+            estimated,
+            budget: b,
+        }) => {
+            assert_eq!(from, configured);
+            assert!(to < from);
+            assert!(estimated <= b, "the chosen configuration fits");
+        }
+        other => panic!("expected ShrunkHubs, got {other:?}"),
+    }
+    assert_eq!(r.total(), want, "degraded runs must stay exact");
+}
+
+#[test]
+fn hopeless_budget_falls_back_to_forward_hashed() {
+    let g = test_graph();
+    let want = forward_count(&g);
+    let budget = MemoryBudget::from_bytes(1);
+    let r = count_with_budget(&cfg(512), &g, &budget, &RunGuard::unlimited())
+        .expect("fallback completes");
+    assert!(matches!(
+        r.degraded,
+        Some(DegradeReason::ForwardFallback { .. })
+    ));
+    assert_eq!(r.total(), want);
+}
+
+#[test]
+fn budget_fallback_still_honours_the_deadline() {
+    let g = test_graph();
+    let budget = MemoryBudget::from_bytes(1);
+    let guard = RunGuard::unlimited().with_deadline(Deadline::after(Duration::ZERO));
+    let err = count_with_budget(&cfg(64), &g, &budget, &guard)
+        .expect_err("zero deadline interrupts the fallback too");
+    match err {
+        CountError::Interrupted { phase, reason, .. } => {
+            assert_eq!(phase, Phase::Fallback);
+            assert_eq!(reason, StopReason::DeadlineExpired);
+        }
+        other => panic!("expected Interrupted, got {other:?}"),
+    }
+}
+
+#[test]
+fn generous_budget_and_deadline_match_the_plain_path() {
+    let g = test_graph();
+    let counter = LotusCounter::new(cfg(64));
+    let plain = counter.count(&g);
+    let guard = RunGuard::unlimited().with_deadline(Deadline::after(Duration::from_secs(3600)));
+    let budget = MemoryBudget::from_bytes(u64::MAX);
+    let r = count_with_budget(counter.config(), &g, &budget, &guard).expect("completes");
+    assert!(r.degraded.is_none());
+    assert_eq!(r.result.stats, plain.stats);
+}
