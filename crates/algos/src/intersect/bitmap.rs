@@ -63,6 +63,8 @@ impl Bitmap {
     /// Counts how many elements of `probe` are currently marked.
     #[inline]
     pub fn count_marked<N: NeighborId>(&self, probe: &[N]) -> u64 {
+        #[cfg(feature = "telemetry")]
+        lotus_telemetry::counters::add(lotus_telemetry::Counter::BitmapProbes, probe.len() as u64);
         probe.iter().filter(|x| self.test(x.index())).count() as u64
     }
 
@@ -71,6 +73,12 @@ impl Bitmap {
         self.mark(a);
         let n = self.count_marked(b);
         self.unmark(a);
+        #[cfg(feature = "telemetry")]
+        {
+            use lotus_telemetry::{counters, Counter};
+            counters::incr(Counter::Intersections);
+            counters::add(Counter::FruitlessIntersections, u64::from(n == 0));
+        }
         n
     }
 

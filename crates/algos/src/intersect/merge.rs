@@ -6,6 +6,19 @@
 
 use lotus_graph::NeighborId;
 
+/// Records one merge-join's telemetry: the intersection itself, its
+/// steps (total index advances), and whether it was fruitless. Compiled
+/// out (together with the step arithmetic at the call sites) unless the
+/// `telemetry` feature is on.
+#[cfg(feature = "telemetry")]
+#[inline]
+fn record_merge(steps: u64, matches: u64) {
+    use lotus_telemetry::{counters, Counter};
+    counters::incr(Counter::Intersections);
+    counters::add(Counter::MergeSteps, steps);
+    counters::add(Counter::FruitlessIntersections, u64::from(matches == 0));
+}
+
 /// Counts `|a ∩ b|` by merging two sorted, duplicate-free slices.
 #[inline]
 pub fn count_merge<N: NeighborId>(a: &[N], b: &[N]) -> u64 {
@@ -27,6 +40,8 @@ pub fn count_merge<N: NeighborId>(a: &[N], b: &[N]) -> u64 {
             j += 1;
         }
     }
+    #[cfg(feature = "telemetry")]
+    record_merge((i + j) as u64, count);
     count
 }
 
@@ -51,6 +66,8 @@ pub fn merge_for_each<N: NeighborId>(a: &[N], b: &[N], mut on_match: impl FnMut(
             j += 1;
         }
     }
+    #[cfg(feature = "telemetry")]
+    record_merge((i + j) as u64, count);
     count
 }
 

@@ -1,0 +1,368 @@
+//! The perf-regression gate behind `lotus bench compare`.
+//!
+//! Two `BENCH.json` artifacts are diffed run-by-run, matched on
+//! `(dataset, algorithm)`. Three classes of outcome:
+//!
+//! * **Hard failures** — triangle counts differ (a correctness bug, no
+//!   tolerance applies), a baseline run is missing from the current
+//!   artifact, or the artifacts have incompatible schema versions.
+//! * **Regressions** — `wall_ms` grew beyond `(1 + tolerance) ×`
+//!   baseline. Speedups never fail.
+//! * **Notes** — informational only: counter drift (tile visits depend
+//!   on the thread count, so counters are not gated), runs present only
+//!   in the current artifact, and environment differences.
+
+use std::fmt;
+
+use crate::report::{BenchReport, BenchRun};
+
+/// Tolerance used by the CI gate when none is given on the command line.
+pub const DEFAULT_TOLERANCE: f64 = 0.25;
+
+/// Severity of one [`Finding`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Informational; never fails the gate.
+    Note,
+    /// `wall_ms` grew beyond tolerance.
+    Regression,
+    /// Correctness or structural mismatch; tolerance does not apply.
+    Failure,
+}
+
+/// One comparison observation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Finding {
+    /// How serious it is.
+    pub severity: Severity,
+    /// Human-readable description, one line.
+    pub message: String,
+}
+
+impl Finding {
+    fn note(message: String) -> Finding {
+        Finding {
+            severity: Severity::Note,
+            message,
+        }
+    }
+
+    fn regression(message: String) -> Finding {
+        Finding {
+            severity: Severity::Regression,
+            message,
+        }
+    }
+
+    fn failure(message: String) -> Finding {
+        Finding {
+            severity: Severity::Failure,
+            message,
+        }
+    }
+}
+
+/// Outcome of comparing a current artifact against a baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comparison {
+    /// Tolerance the gate ran with (fractional, e.g. `0.25` = ±25%).
+    pub tolerance: f64,
+    /// Everything observed, notes included.
+    pub findings: Vec<Finding>,
+    /// Runs compared (matched pairs).
+    pub matched: usize,
+}
+
+impl Comparison {
+    /// True when no regression or failure was found.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.findings.iter().all(|f| f.severity == Severity::Note)
+    }
+
+    /// Findings of a given severity.
+    #[must_use]
+    pub fn with_severity(&self, severity: Severity) -> Vec<&Finding> {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == severity)
+            .collect()
+    }
+}
+
+impl fmt::Display for Comparison {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "bench compare: {} matched run(s), tolerance {:.0}%",
+            self.matched,
+            self.tolerance * 100.0
+        )?;
+        for finding in &self.findings {
+            let tag = match finding.severity {
+                Severity::Note => "note",
+                Severity::Regression => "REGRESSION",
+                Severity::Failure => "FAIL",
+            };
+            writeln!(f, "  [{tag}] {}", finding.message)?;
+        }
+        if self.passed() {
+            writeln!(f, "result: PASS")
+        } else {
+            writeln!(f, "result: FAIL")
+        }
+    }
+}
+
+/// Compares `current` against `baseline` at the given fractional
+/// tolerance. See the module docs for what fails versus what is noted.
+#[must_use]
+pub fn compare(baseline: &BenchReport, current: &BenchReport, tolerance: f64) -> Comparison {
+    let mut findings = Vec::new();
+    let mut matched = 0usize;
+
+    if baseline.schema_version != current.schema_version {
+        findings.push(Finding::failure(format!(
+            "schema_version mismatch: baseline {} vs current {}",
+            baseline.schema_version, current.schema_version
+        )));
+    }
+    if baseline.suite != current.suite {
+        findings.push(Finding::note(format!(
+            "suite differs: baseline '{}' vs current '{}'",
+            baseline.suite, current.suite
+        )));
+    }
+    if baseline.environment.threads != current.environment.threads {
+        findings.push(Finding::note(format!(
+            "thread count differs: baseline {} vs current {} (times may not be comparable)",
+            baseline.environment.threads, current.environment.threads
+        )));
+    }
+    if baseline.environment.telemetry != current.environment.telemetry {
+        findings.push(Finding::note(format!(
+            "telemetry armed in one artifact only (baseline {}, current {})",
+            baseline.environment.telemetry, current.environment.telemetry
+        )));
+    }
+
+    for base in &baseline.runs {
+        let Some(cur) = current.find(&base.dataset, &base.algorithm) else {
+            findings.push(Finding::failure(format!(
+                "{}/{}: run present in baseline but missing from current artifact",
+                base.dataset, base.algorithm
+            )));
+            continue;
+        };
+        matched += 1;
+        compare_run(base, cur, tolerance, &mut findings);
+    }
+
+    for cur in &current.runs {
+        if baseline.find(&cur.dataset, &cur.algorithm).is_none() {
+            findings.push(Finding::note(format!(
+                "{}/{}: new run not present in baseline (refresh the baseline to gate it)",
+                cur.dataset, cur.algorithm
+            )));
+        }
+    }
+
+    Comparison {
+        tolerance,
+        findings,
+        matched,
+    }
+}
+
+fn compare_run(base: &BenchRun, cur: &BenchRun, tolerance: f64, findings: &mut Vec<Finding>) {
+    let key = format!("{}/{}", base.dataset, base.algorithm);
+
+    // Triangle counts are exact; any drift is a correctness failure.
+    if base.triangles != cur.triangles {
+        findings.push(Finding::failure(format!(
+            "{key}: triangle count changed: baseline {} vs current {} (correctness, not perf)",
+            base.triangles, cur.triangles
+        )));
+    }
+
+    let limit = base.wall_ms * (1.0 + tolerance);
+    if cur.wall_ms > limit && base.wall_ms > 0.0 {
+        findings.push(Finding::regression(format!(
+            "{key}: wall_ms {:.2} exceeds baseline {:.2} by {:+.1}% (limit {:+.0}%)",
+            cur.wall_ms,
+            base.wall_ms,
+            (cur.wall_ms / base.wall_ms - 1.0) * 100.0,
+            tolerance * 100.0
+        )));
+    } else if base.wall_ms > 0.0 && cur.wall_ms < base.wall_ms / (1.0 + tolerance) {
+        findings.push(Finding::note(format!(
+            "{key}: wall_ms improved {:.2} -> {:.2} ({:+.1}%); consider refreshing the baseline",
+            base.wall_ms,
+            cur.wall_ms,
+            (cur.wall_ms / base.wall_ms - 1.0) * 100.0
+        )));
+    }
+
+    // Counters are informational: tile visits scale with the thread
+    // count, so machines with different parallelism disagree legitimately.
+    for (name, base_value) in &base.counters {
+        let cur_value = cur.counter(name);
+        if *base_value > 0 && cur_value == 0 {
+            findings.push(Finding::note(format!(
+                "{key}: counter '{name}' dropped to 0 (baseline {base_value}); telemetry off?"
+            )));
+        } else if *base_value > 0 {
+            let ratio = cur_value as f64 / *base_value as f64;
+            if !(0.5..=2.0).contains(&ratio) {
+                findings.push(Finding::note(format!(
+                    "{key}: counter '{name}' drifted {base_value} -> {cur_value} ({ratio:.2}x)"
+                )));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::envinfo::EnvInfo;
+    use crate::report::{PhaseMillis, SCHEMA_VERSION};
+
+    fn env() -> EnvInfo {
+        EnvInfo {
+            commit: "test".into(),
+            threads: 4,
+            cpu: "test".into(),
+            os: "linux".into(),
+            arch: "x86_64".into(),
+            telemetry: true,
+        }
+    }
+
+    fn run(dataset: &str, algorithm: &str, triangles: u64, wall_ms: f64) -> BenchRun {
+        BenchRun {
+            dataset: dataset.into(),
+            algorithm: algorithm.into(),
+            vertices: 100,
+            edges: 500,
+            triangles,
+            wall_ms,
+            phases_ms: PhaseMillis::default(),
+            counters: vec![("intersections", 1000)],
+            edges_per_sec: 500.0 / (wall_ms / 1e3),
+            triangles_per_sec: triangles as f64 / (wall_ms / 1e3),
+        }
+    }
+
+    fn report(runs: Vec<BenchRun>) -> BenchReport {
+        BenchReport {
+            schema_version: SCHEMA_VERSION,
+            suite: "ci".into(),
+            environment: env(),
+            runs,
+        }
+    }
+
+    #[test]
+    fn identical_artifacts_pass() {
+        let a = report(vec![run("d", "Lotus", 42, 10.0)]);
+        let cmp = compare(&a, &a.clone(), DEFAULT_TOLERANCE);
+        assert!(cmp.passed(), "{cmp}");
+        assert_eq!(cmp.matched, 1);
+    }
+
+    #[test]
+    fn within_tolerance_slowdown_passes() {
+        let base = report(vec![run("d", "Lotus", 42, 10.0)]);
+        let cur = report(vec![run("d", "Lotus", 42, 12.0)]);
+        assert!(compare(&base, &cur, 0.25).passed());
+    }
+
+    #[test]
+    fn injected_regression_beyond_tolerance_fails() {
+        let base = report(vec![run("d", "Lotus", 42, 10.0)]);
+        let cur = report(vec![run("d", "Lotus", 42, 14.0)]); // +40% > 25%
+        let cmp = compare(&base, &cur, 0.25);
+        assert!(!cmp.passed(), "{cmp}");
+        assert_eq!(cmp.with_severity(Severity::Regression).len(), 1);
+        assert!(cmp.to_string().contains("REGRESSION"), "{cmp}");
+    }
+
+    #[test]
+    fn tolerance_boundary_is_exclusive() {
+        let base = report(vec![run("d", "Lotus", 42, 10.0)]);
+        // Exactly at the limit: passes (gate fires strictly beyond it).
+        let at = report(vec![run("d", "Lotus", 42, 12.5)]);
+        assert!(compare(&base, &at, 0.25).passed());
+        let over = report(vec![run("d", "Lotus", 42, 12.6)]);
+        assert!(!compare(&base, &over, 0.25).passed());
+    }
+
+    #[test]
+    fn speedup_is_a_note_not_a_failure() {
+        let base = report(vec![run("d", "Lotus", 42, 10.0)]);
+        let cur = report(vec![run("d", "Lotus", 42, 2.0)]);
+        let cmp = compare(&base, &cur, 0.25);
+        assert!(cmp.passed(), "{cmp}");
+        assert!(!cmp.with_severity(Severity::Note).is_empty());
+    }
+
+    #[test]
+    fn triangle_mismatch_is_a_hard_failure_regardless_of_tolerance() {
+        let base = report(vec![run("d", "Lotus", 42, 10.0)]);
+        let cur = report(vec![run("d", "Lotus", 41, 10.0)]);
+        let cmp = compare(&base, &cur, 1000.0);
+        assert!(!cmp.passed());
+        assert_eq!(cmp.with_severity(Severity::Failure).len(), 1);
+        assert!(cmp.to_string().contains("correctness"), "{cmp}");
+    }
+
+    #[test]
+    fn missing_baseline_run_fails_extra_run_notes() {
+        let base = report(vec![run("d", "Lotus", 42, 10.0), run("d", "GAP", 42, 10.0)]);
+        let cur = report(vec![run("d", "Lotus", 42, 10.0), run("e", "Lotus", 7, 3.0)]);
+        let cmp = compare(&base, &cur, 0.25);
+        assert!(!cmp.passed());
+        let failures = cmp.with_severity(Severity::Failure);
+        assert_eq!(failures.len(), 1);
+        assert!(
+            failures[0].message.contains("d/GAP"),
+            "{}",
+            failures[0].message
+        );
+        assert!(cmp
+            .with_severity(Severity::Note)
+            .iter()
+            .any(|f| f.message.contains("e/Lotus")));
+    }
+
+    #[test]
+    fn schema_version_mismatch_fails() {
+        let base = report(vec![run("d", "Lotus", 42, 10.0)]);
+        let mut cur = base.clone();
+        cur.schema_version = 2;
+        assert!(!compare(&base, &cur, 0.25).passed());
+    }
+
+    #[test]
+    fn counter_drift_and_env_changes_are_notes() {
+        let base = report(vec![run("d", "Lotus", 42, 10.0)]);
+        let mut cur = report(vec![run("d", "Lotus", 42, 10.0)]);
+        cur.environment.threads = 16;
+        cur.environment.telemetry = false;
+        cur.runs[0].counters = vec![("intersections", 5000)];
+        let cmp = compare(&base, &cur, 0.25);
+        assert!(cmp.passed(), "{cmp}");
+        let notes = cmp.with_severity(Severity::Note);
+        assert!(notes.iter().any(|f| f.message.contains("thread count")));
+        assert!(notes.iter().any(|f| f.message.contains("drifted")));
+    }
+
+    #[test]
+    fn round_trip_then_compare_is_stable() {
+        // serialize -> parse -> compare: the ISSUE's acceptance loop.
+        let base = report(vec![run("d", "Lotus", 42, 10.0)]);
+        let parsed = BenchReport::parse(&base.to_pretty_string()).unwrap();
+        assert!(compare(&base, &parsed, 0.0).passed());
+    }
+}

@@ -1,0 +1,139 @@
+//! The `environment` block of `BENCH.json`: enough context to judge
+//! whether two benchmark artifacts are comparable (same machine class,
+//! same commit, same thread count, counters armed or not).
+
+use lotus_telemetry::json::Json;
+
+/// Environment captured alongside a benchmark run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnvInfo {
+    /// Git commit (from `LOTUS_COMMIT`/`GITHUB_SHA`, else `git
+    /// rev-parse`, else `unknown`).
+    pub commit: String,
+    /// Worker threads the parallel runtime will use.
+    pub threads: u64,
+    /// CPU model string (from `/proc/cpuinfo` where available).
+    pub cpu: String,
+    /// Operating system (`std::env::consts::OS`).
+    pub os: String,
+    /// Architecture (`std::env::consts::ARCH`).
+    pub arch: String,
+    /// Whether this build records work counters (`telemetry` feature).
+    pub telemetry: bool,
+}
+
+impl EnvInfo {
+    /// Captures the current process environment.
+    #[must_use]
+    pub fn capture() -> EnvInfo {
+        EnvInfo {
+            commit: detect_commit(),
+            threads: rayon::current_num_threads().max(1) as u64,
+            cpu: detect_cpu(),
+            os: std::env::consts::OS.to_string(),
+            arch: std::env::consts::ARCH.to_string(),
+            telemetry: lotus_telemetry::enabled(),
+        }
+    }
+
+    /// Serializes to the schema's `environment` object.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("commit".into(), Json::Str(self.commit.clone())),
+            ("threads".into(), Json::Int(self.threads as i64)),
+            ("cpu".into(), Json::Str(self.cpu.clone())),
+            ("os".into(), Json::Str(self.os.clone())),
+            ("arch".into(), Json::Str(self.arch.clone())),
+            ("telemetry".into(), Json::Bool(self.telemetry)),
+        ])
+    }
+
+    /// Parses the schema's `environment` object; missing fields get
+    /// neutral defaults so older artifacts stay readable.
+    #[must_use]
+    pub fn from_json(v: &Json) -> EnvInfo {
+        let str_field = |key: &str| {
+            v.get(key)
+                .and_then(Json::as_str)
+                .unwrap_or("unknown")
+                .to_string()
+        };
+        EnvInfo {
+            commit: str_field("commit"),
+            threads: v.get("threads").and_then(Json::as_u64).unwrap_or(0),
+            cpu: str_field("cpu"),
+            os: str_field("os"),
+            arch: str_field("arch"),
+            telemetry: v.get("telemetry").and_then(Json::as_bool).unwrap_or(false),
+        }
+    }
+}
+
+fn detect_commit() -> String {
+    for var in ["LOTUS_COMMIT", "GITHUB_SHA"] {
+        if let Ok(sha) = std::env::var(var) {
+            if !sha.trim().is_empty() {
+                return sha.trim().to_string();
+            }
+        }
+    }
+    std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+fn detect_cpu() -> String {
+    if let Ok(info) = std::fs::read_to_string("/proc/cpuinfo") {
+        for line in info.lines() {
+            if let Some(rest) = line.strip_prefix("model name") {
+                if let Some((_, model)) = rest.split_once(':') {
+                    return model.trim().to_string();
+                }
+            }
+        }
+    }
+    "unknown".to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capture_fills_every_field() {
+        let e = EnvInfo::capture();
+        assert!(e.threads >= 1);
+        assert!(!e.os.is_empty());
+        assert!(!e.arch.is_empty());
+        assert!(!e.commit.is_empty());
+        assert_eq!(e.telemetry, lotus_telemetry::enabled());
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let e = EnvInfo {
+            commit: "deadbeef".into(),
+            threads: 8,
+            cpu: "Test CPU @ 3.0GHz".into(),
+            os: "linux".into(),
+            arch: "x86_64".into(),
+            telemetry: true,
+        };
+        assert_eq!(EnvInfo::from_json(&e.to_json()), e);
+    }
+
+    #[test]
+    fn missing_fields_default() {
+        let e = EnvInfo::from_json(&Json::Obj(vec![]));
+        assert_eq!(e.commit, "unknown");
+        assert_eq!(e.threads, 0);
+        assert!(!e.telemetry);
+    }
+}

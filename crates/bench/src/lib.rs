@@ -10,10 +10,23 @@
 //! Dataset sizing is controlled by the `LOTUS_SCALE` environment variable
 //! (`tiny` | `small` | `full`, default `small`); `LOTUS_DATASETS` filters
 //! rows by comma-separated dataset names.
+//!
+//! The machine-readable side — `lotus bench --suite <name> --json` — is
+//! built from [`suite`] (named dataset × algorithm matrices), [`report`]
+//! (the versioned `BENCH.json` artifact), [`envinfo`] (its environment
+//! block), and [`compare`] (the perf-regression gate).
 
+pub mod compare;
+pub mod envinfo;
 pub mod harness;
+pub mod report;
 pub mod reports;
+pub mod suite;
 pub mod table;
 
+pub use compare::{Comparison, DEFAULT_TOLERANCE};
+pub use envinfo::EnvInfo;
 pub use harness::{run_algorithm, Algorithm};
+pub use report::{BenchReport, BenchRun};
+pub use suite::BenchSuite;
 pub use table::Table;

@@ -1,0 +1,484 @@
+//! The machine-readable benchmark artifact (`BENCH.json`, schema v1).
+//!
+//! A [`BenchReport`] is the versioned, schema-stable record of one suite
+//! run: per-run wall times, the per-phase breakdown, telemetry counter
+//! totals, and GraphChallenge-style rate metrics (edges/s, triangles/s)
+//! that make triangle-counting runs comparable over time, plus an
+//! environment block. Serialization is dependency-free via
+//! [`lotus_telemetry::json`]; parsing tolerates unknown fields so the
+//! schema can grow without breaking old readers.
+//!
+//! Schema v1 layout:
+//!
+//! ```json
+//! {
+//!   "schema_version": 1,
+//!   "suite": "ci",
+//!   "environment": {"commit", "threads", "cpu", "os", "arch", "telemetry"},
+//!   "runs": [{
+//!     "dataset", "algorithm", "vertices", "edges", "triangles",
+//!     "wall_ms",
+//!     "phases_ms": {"preprocess", "hhh_hhn", "hnn", "nnn"},
+//!     "counters": {"<counter name>": total, ...},
+//!     "edges_per_sec", "triangles_per_sec"
+//!   }, ...]
+//! }
+//! ```
+
+use std::time::Instant;
+
+use lotus_core::count::LotusCounter;
+use lotus_core::LotusConfig;
+use lotus_telemetry::json::{Json, JsonError};
+use lotus_telemetry::Counter;
+
+use crate::envinfo::EnvInfo;
+use crate::harness::{run_algorithm, Algorithm};
+use crate::suite::BenchSuite;
+
+/// The current schema version emitted by [`BenchReport::to_json`].
+pub const SCHEMA_VERSION: i64 = 1;
+
+/// Per-phase wall times of one run, in milliseconds. Zero for
+/// algorithms that do not have the LOTUS phase structure.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PhaseMillis {
+    /// Algorithm 2 preprocessing.
+    pub preprocess: f64,
+    /// Phase 1 (HHH + HHN).
+    pub hhh_hhn: f64,
+    /// Phase 2 (HNN).
+    pub hnn: f64,
+    /// Phase 3 (NNN).
+    pub nnn: f64,
+}
+
+impl PhaseMillis {
+    fn to_json(self) -> Json {
+        Json::Obj(vec![
+            ("preprocess".into(), Json::Float(self.preprocess)),
+            ("hhh_hhn".into(), Json::Float(self.hhh_hhn)),
+            ("hnn".into(), Json::Float(self.hnn)),
+            ("nnn".into(), Json::Float(self.nnn)),
+        ])
+    }
+
+    fn from_json(v: &Json) -> PhaseMillis {
+        let field = |key: &str| v.get(key).and_then(Json::as_f64).unwrap_or(0.0);
+        PhaseMillis {
+            preprocess: field("preprocess"),
+            hhh_hhn: field("hhh_hhn"),
+            hnn: field("hnn"),
+            nnn: field("nnn"),
+        }
+    }
+}
+
+/// One cell of the dataset × algorithm matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRun {
+    /// Suite dataset name.
+    pub dataset: String,
+    /// Algorithm name (see [`Algorithm::name`]).
+    pub algorithm: String,
+    /// Graph vertices.
+    pub vertices: u64,
+    /// Graph undirected edges.
+    pub edges: u64,
+    /// Triangles found (the correctness cross-check between artifacts).
+    pub triangles: u64,
+    /// End-to-end wall time (including preprocessing), milliseconds.
+    pub wall_ms: f64,
+    /// Per-phase breakdown (paper Fig. 6); zero for non-LOTUS runs.
+    pub phases_ms: PhaseMillis,
+    /// Telemetry counter totals for this run, in
+    /// [`Counter::ALL`] order. All zero in a `telemetry`-off build.
+    pub counters: Vec<(&'static str, u64)>,
+    /// GraphChallenge-style rate: `edges / wall seconds`.
+    pub edges_per_sec: f64,
+    /// Rate: `triangles / wall seconds`.
+    pub triangles_per_sec: f64,
+}
+
+impl BenchRun {
+    /// The `(dataset, algorithm)` key runs are matched by in compare.
+    #[must_use]
+    pub fn key(&self) -> (String, String) {
+        (self.dataset.clone(), self.algorithm.clone())
+    }
+
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("dataset".into(), Json::Str(self.dataset.clone())),
+            ("algorithm".into(), Json::Str(self.algorithm.clone())),
+            ("vertices".into(), Json::Int(self.vertices as i64)),
+            ("edges".into(), Json::Int(self.edges as i64)),
+            ("triangles".into(), Json::Int(self.triangles as i64)),
+            ("wall_ms".into(), Json::Float(self.wall_ms)),
+            ("phases_ms".into(), self.phases_ms.to_json()),
+            (
+                "counters".into(),
+                Json::Obj(
+                    self.counters
+                        .iter()
+                        .map(|(name, value)| ((*name).to_string(), Json::Int(*value as i64)))
+                        .collect(),
+                ),
+            ),
+            ("edges_per_sec".into(), Json::Float(self.edges_per_sec)),
+            (
+                "triangles_per_sec".into(),
+                Json::Float(self.triangles_per_sec),
+            ),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<BenchRun, String> {
+        let str_field = |key: &str| {
+            v.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("run is missing string field '{key}'"))
+        };
+        let int_field = |key: &str| {
+            v.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("run is missing integer field '{key}'"))
+        };
+        let float_field = |key: &str| {
+            v.get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("run is missing number field '{key}'"))
+        };
+        let counters = match v.get("counters") {
+            Some(Json::Obj(members)) => members
+                .iter()
+                .filter_map(|(name, value)| {
+                    // Unknown counter names are skipped so old readers
+                    // survive schema growth.
+                    let c = Counter::from_name(name)?;
+                    Some((c.name(), value.as_u64().unwrap_or(0)))
+                })
+                .collect(),
+            _ => Vec::new(),
+        };
+        Ok(BenchRun {
+            dataset: str_field("dataset")?,
+            algorithm: str_field("algorithm")?,
+            vertices: int_field("vertices")?,
+            edges: int_field("edges")?,
+            triangles: int_field("triangles")?,
+            wall_ms: float_field("wall_ms")?,
+            phases_ms: v
+                .get("phases_ms")
+                .map(PhaseMillis::from_json)
+                .unwrap_or_default(),
+            counters,
+            edges_per_sec: float_field("edges_per_sec")?,
+            triangles_per_sec: float_field("triangles_per_sec")?,
+        })
+    }
+
+    /// The counter total recorded under `name`, zero when absent.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map_or(0, |(_, v)| *v)
+    }
+}
+
+/// One execution of a matrix cell: `(triangles, wall_ms, phases_ms)`.
+/// LOTUS runs directly (not via [`run_algorithm`]) so the per-phase
+/// breakdown lands in the artifact; baselines report zero phases.
+fn run_cell(algorithm: Algorithm, graph: &lotus_graph::UndirectedCsr) -> (u64, f64, PhaseMillis) {
+    match algorithm {
+        Algorithm::Lotus => {
+            let start = Instant::now();
+            let r = LotusCounter::new(LotusConfig::auto(graph)).count(graph);
+            let wall = start.elapsed().as_secs_f64() * 1e3;
+            let b = &r.breakdown;
+            (
+                r.total(),
+                wall,
+                PhaseMillis {
+                    preprocess: b.preprocess.as_secs_f64() * 1e3,
+                    hhh_hhn: b.hhh_hhn.as_secs_f64() * 1e3,
+                    hnn: b.hnn.as_secs_f64() * 1e3,
+                    nnn: b.nnn.as_secs_f64() * 1e3,
+                },
+            )
+        }
+        other => {
+            let outcome = run_algorithm(other, graph);
+            (
+                outcome.triangles,
+                outcome.elapsed.as_secs_f64() * 1e3,
+                PhaseMillis::default(),
+            )
+        }
+    }
+}
+
+/// A complete benchmark artifact.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// Schema version of the artifact (see [`SCHEMA_VERSION`]).
+    pub schema_version: i64,
+    /// Suite name that produced it.
+    pub suite: String,
+    /// Environment block.
+    pub environment: EnvInfo,
+    /// All runs, in suite order.
+    pub runs: Vec<BenchRun>,
+}
+
+impl BenchReport {
+    /// Runs every cell of the suite's matrix and collects the artifact.
+    /// Each cell executes [`BenchSuite::reps`] times and the fastest
+    /// repetition is reported (minimum wall time is far more
+    /// noise-robust than any single run, keeping the CI gate's
+    /// tolerance meaningful). Telemetry (when compiled in) is reset
+    /// around each repetition so counter totals are per-run; the work
+    /// is deterministic per cell, so the last repetition's counters
+    /// stand for all of them. Graphs are generated once per dataset.
+    #[must_use]
+    pub fn run_suite(suite: &BenchSuite) -> BenchReport {
+        let mut runs = Vec::with_capacity(suite.len());
+        for dataset in &suite.datasets {
+            let graph = dataset.generate();
+            for &algorithm in &suite.algorithms {
+                let mut best: Option<(u64, f64, PhaseMillis)> = None;
+                for _ in 0..suite.reps.max(1) {
+                    lotus_telemetry::reset();
+                    let rep = run_cell(algorithm, &graph);
+                    if best.as_ref().is_none_or(|(_, wall, _)| rep.1 < *wall) {
+                        best = Some(rep);
+                    }
+                }
+                let (triangles, wall_ms, phases_ms) = best.expect("reps.max(1) ran at least once");
+                let counters = lotus_telemetry::counters::snapshot()
+                    .iter()
+                    .map(|(c, v)| (c.name(), v))
+                    .collect();
+                let wall_secs = (wall_ms / 1e3).max(1e-9);
+                runs.push(BenchRun {
+                    dataset: dataset.name.clone(),
+                    algorithm: algorithm.name().to_string(),
+                    vertices: u64::from(graph.num_vertices()),
+                    edges: graph.num_edges(),
+                    triangles,
+                    wall_ms,
+                    phases_ms,
+                    counters,
+                    edges_per_sec: graph.num_edges() as f64 / wall_secs,
+                    triangles_per_sec: triangles as f64 / wall_secs,
+                });
+            }
+        }
+        BenchReport {
+            schema_version: SCHEMA_VERSION,
+            suite: suite.name.clone(),
+            environment: EnvInfo::capture(),
+            runs,
+        }
+    }
+
+    /// Serializes to the schema v1 JSON tree.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("schema_version".into(), Json::Int(self.schema_version)),
+            ("suite".into(), Json::Str(self.suite.clone())),
+            ("environment".into(), self.environment.to_json()),
+            (
+                "runs".into(),
+                Json::Arr(self.runs.iter().map(BenchRun::to_json).collect()),
+            ),
+        ])
+    }
+
+    /// Pretty-printed JSON document (the on-disk `BENCH.json` format).
+    #[must_use]
+    pub fn to_pretty_string(&self) -> String {
+        self.to_json().pretty()
+    }
+
+    /// Parses a `BENCH.json` document, validating the schema version
+    /// and every run's required fields.
+    pub fn parse(text: &str) -> Result<BenchReport, String> {
+        let v = lotus_telemetry::json::parse(text).map_err(|e: JsonError| e.to_string())?;
+        let schema_version = v
+            .get("schema_version")
+            .and_then(Json::as_u64)
+            .ok_or("missing schema_version")? as i64;
+        if schema_version != SCHEMA_VERSION {
+            return Err(format!(
+                "unsupported schema_version {schema_version} (this build reads {SCHEMA_VERSION})"
+            ));
+        }
+        let suite = v
+            .get("suite")
+            .and_then(Json::as_str)
+            .ok_or("missing suite")?
+            .to_string();
+        let environment = EnvInfo::from_json(v.get("environment").unwrap_or(&Json::Null));
+        let runs = v
+            .get("runs")
+            .and_then(Json::as_array)
+            .ok_or("missing runs array")?
+            .iter()
+            .map(BenchRun::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(BenchReport {
+            schema_version,
+            suite,
+            environment,
+            runs,
+        })
+    }
+
+    /// Finds a run by `(dataset, algorithm)`.
+    #[must_use]
+    pub fn find(&self, dataset: &str, algorithm: &str) -> Option<&BenchRun> {
+        self.runs
+            .iter()
+            .find(|r| r.dataset == dataset && r.algorithm == algorithm)
+    }
+
+    /// One human-oriented summary line per run.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "suite '{}' on {} ({} threads, telemetry {}):",
+            self.suite,
+            self.environment.cpu,
+            self.environment.threads,
+            if self.environment.telemetry {
+                "on"
+            } else {
+                "off"
+            },
+        );
+        for r in &self.runs {
+            let _ = writeln!(
+                out,
+                "  {:<14} {:<6} {:>12} triangles  {:>9.2} ms  {:>12.0} edges/s",
+                r.dataset, r.algorithm, r.triangles, r.wall_ms, r.edges_per_sec
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suite::SuiteDataset;
+    use lotus_gen::RmatParams;
+    use std::sync::{Mutex, MutexGuard, PoisonError};
+
+    /// Suite runs reset and read the process-global telemetry state, so
+    /// tests that invoke [`BenchReport::run_suite`] hold this lock.
+    fn suite_lock() -> MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn tiny_suite() -> BenchSuite {
+        BenchSuite {
+            name: "test".into(),
+            datasets: vec![SuiteDataset::rmat("r9", 9, 8, RmatParams::GRAPH500, 3)],
+            algorithms: vec![Algorithm::Gap, Algorithm::Lotus],
+            reps: 2,
+        }
+    }
+
+    #[test]
+    fn run_suite_fills_the_matrix_and_agrees() {
+        let _guard = suite_lock();
+        let report = BenchReport::run_suite(&tiny_suite());
+        assert_eq!(report.schema_version, SCHEMA_VERSION);
+        assert_eq!(report.runs.len(), 2);
+        let gap = report.find("r9", "GAP").unwrap();
+        let lotus = report.find("r9", "Lotus").unwrap();
+        assert_eq!(gap.triangles, lotus.triangles);
+        assert!(lotus.wall_ms > 0.0);
+        assert!(lotus.edges_per_sec > 0.0);
+        // The LOTUS run carries a populated breakdown.
+        assert!(lotus.phases_ms.preprocess > 0.0);
+        // Counter presence matches the build's telemetry mode.
+        assert_eq!(
+            lotus.counter("intersections") > 0,
+            lotus_telemetry::enabled()
+        );
+    }
+
+    #[test]
+    fn json_round_trip_is_lossless_modulo_float_text() {
+        let _guard = suite_lock();
+        let report = BenchReport::run_suite(&tiny_suite());
+        let text = report.to_pretty_string();
+        let back = BenchReport::parse(&text).unwrap();
+        assert_eq!(back.suite, report.suite);
+        assert_eq!(back.environment, report.environment);
+        assert_eq!(back.runs.len(), report.runs.len());
+        for (a, b) in report.runs.iter().zip(&back.runs) {
+            assert_eq!(a.key(), b.key());
+            assert_eq!(a.triangles, b.triangles);
+            assert_eq!(a.counters, b.counters);
+            assert!((a.wall_ms - b.wall_ms).abs() < 1e-9);
+            assert!((a.phases_ms.nnn - b.phases_ms.nnn).abs() < 1e-9);
+        }
+        // A second serialize → parse is exact (canonical text form).
+        let again = BenchReport::parse(&back.to_pretty_string()).unwrap();
+        assert_eq!(again, back);
+    }
+
+    #[test]
+    fn parse_rejects_bad_documents() {
+        assert!(BenchReport::parse("not json").is_err());
+        assert!(BenchReport::parse("{}").is_err());
+        let wrong_version = r#"{"schema_version": 99, "suite": "x", "runs": []}"#;
+        let err = BenchReport::parse(wrong_version).unwrap_err();
+        assert!(err.contains("schema_version 99"), "{err}");
+        let missing_field = r#"{"schema_version": 1, "suite": "x",
+            "runs": [{"dataset": "d", "algorithm": "a"}]}"#;
+        let err = BenchReport::parse(missing_field).unwrap_err();
+        assert!(err.contains("missing"), "{err}");
+    }
+
+    #[test]
+    fn parse_tolerates_unknown_fields_and_counters() {
+        let text = r#"{
+          "schema_version": 1, "suite": "x", "future_field": [1,2],
+          "environment": {"commit": "c", "threads": 4, "cpu": "t",
+                          "os": "linux", "arch": "x", "telemetry": false},
+          "runs": [{
+            "dataset": "d", "algorithm": "Lotus",
+            "vertices": 10, "edges": 20, "triangles": 5,
+            "wall_ms": 1.5, "extra": true,
+            "counters": {"intersections": 7, "counter_from_the_future": 9},
+            "edges_per_sec": 100.0, "triangles_per_sec": 10.0
+          }]
+        }"#;
+        let report = BenchReport::parse(text).unwrap();
+        let run = &report.runs[0];
+        assert_eq!(run.counter("intersections"), 7);
+        assert_eq!(run.counter("counter_from_the_future"), 0);
+        assert_eq!(run.phases_ms, PhaseMillis::default());
+    }
+
+    #[test]
+    fn summary_lists_every_run() {
+        let _guard = suite_lock();
+        let report = BenchReport::run_suite(&tiny_suite());
+        let s = report.summary();
+        assert!(s.contains("GAP") && s.contains("Lotus"), "{s}");
+        assert!(s.contains("edges/s"), "{s}");
+    }
+}

@@ -1,0 +1,191 @@
+//! Named benchmark suites: the dataset × algorithm matrix behind
+//! `lotus bench --suite <name>`.
+//!
+//! * `ci` — two seeded scale-12 R-MATs (social and web skew) across all
+//!   five algorithms; small enough for a per-PR smoke gate, skewed
+//!   enough that the LOTUS phases all do real work.
+//! * `small` — the Table 5 datasets at `Tiny` scale, LOTUS + GAP.
+//! * `full` — the Table 5 datasets at `Small` scale, all algorithms
+//!   (the paper's end-to-end comparison, Table 5).
+
+use lotus_gen::{Dataset, DatasetScale, Rmat, RmatParams};
+use lotus_graph::UndirectedCsr;
+
+use crate::harness::Algorithm;
+
+/// One dataset of a suite: a stable name plus how to generate it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SuiteDataset {
+    /// Stable name used in `BENCH.json` (runs are matched by it).
+    pub name: String,
+    source: Source,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Source {
+    Rmat {
+        scale: u32,
+        edge_factor: u32,
+        params: RmatParams,
+        seed: u64,
+    },
+    Paper(Dataset),
+}
+
+impl SuiteDataset {
+    /// A seeded R-MAT entry.
+    #[must_use]
+    pub fn rmat(name: &str, scale: u32, edge_factor: u32, params: RmatParams, seed: u64) -> Self {
+        SuiteDataset {
+            name: name.to_string(),
+            source: Source::Rmat {
+                scale,
+                edge_factor,
+                params,
+                seed,
+            },
+        }
+    }
+
+    /// A paper-suite dataset at the given scale.
+    #[must_use]
+    pub fn paper(d: Dataset, scale: DatasetScale) -> Self {
+        let d = d.at_scale(scale);
+        SuiteDataset {
+            name: d.name.to_string(),
+            source: Source::Paper(d),
+        }
+    }
+
+    /// Generates the graph (deterministic per entry).
+    #[must_use]
+    pub fn generate(&self) -> UndirectedCsr {
+        match &self.source {
+            Source::Rmat {
+                scale,
+                edge_factor,
+                params,
+                seed,
+            } => Rmat {
+                scale: *scale,
+                edge_factor: *edge_factor,
+                params: *params,
+                noise: 0.05,
+            }
+            .generate(*seed),
+            Source::Paper(d) => d.generate(),
+        }
+    }
+}
+
+/// A named suite: the full dataset × algorithm matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchSuite {
+    /// Suite name (recorded in `BENCH.json`).
+    pub name: String,
+    /// Datasets, in run order.
+    pub datasets: Vec<SuiteDataset>,
+    /// Algorithms run on every dataset.
+    pub algorithms: Vec<Algorithm>,
+    /// Repetitions per cell; the best (minimum) wall time is reported,
+    /// which is far more noise-robust than a single run and keeps the
+    /// CI perf gate's tolerance meaningful.
+    pub reps: usize,
+}
+
+impl BenchSuite {
+    /// Suite names accepted by [`BenchSuite::by_name`].
+    pub const NAMES: [&'static str; 3] = ["ci", "small", "full"];
+
+    /// Resolves a suite by name.
+    #[must_use]
+    pub fn by_name(name: &str) -> Option<BenchSuite> {
+        match name {
+            "ci" => Some(BenchSuite {
+                name: "ci".into(),
+                datasets: vec![
+                    // Seed 7 matches the CI `lotus check` gate's graph.
+                    SuiteDataset::rmat("rmat12-social", 12, 8, RmatParams::GRAPH500, 7),
+                    SuiteDataset::rmat("rmat12-web", 12, 8, RmatParams::WEB, 7),
+                ],
+                algorithms: Algorithm::ALL.to_vec(),
+                reps: 5,
+            }),
+            "small" => Some(BenchSuite {
+                name: "small".into(),
+                datasets: Dataset::small_suite()
+                    .into_iter()
+                    .map(|d| SuiteDataset::paper(d, DatasetScale::Tiny))
+                    .collect(),
+                algorithms: vec![Algorithm::Gap, Algorithm::Lotus],
+                reps: 3,
+            }),
+            "full" => Some(BenchSuite {
+                name: "full".into(),
+                datasets: Dataset::small_suite()
+                    .into_iter()
+                    .map(|d| SuiteDataset::paper(d, DatasetScale::Small))
+                    .collect(),
+                algorithms: Algorithm::ALL.to_vec(),
+                reps: 2,
+            }),
+            _ => None,
+        }
+    }
+
+    /// Number of runs in the matrix.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.datasets.len() * self.algorithms.len()
+    }
+
+    /// True when the matrix is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_listed_suite_resolves() {
+        for name in BenchSuite::NAMES {
+            let suite = BenchSuite::by_name(name).expect(name);
+            assert_eq!(suite.name, name);
+            assert!(!suite.is_empty());
+        }
+        assert!(BenchSuite::by_name("nope").is_none());
+    }
+
+    #[test]
+    fn ci_suite_is_the_documented_matrix() {
+        let ci = BenchSuite::by_name("ci").unwrap();
+        assert_eq!(ci.datasets.len(), 2);
+        assert_eq!(ci.algorithms.len(), 5);
+        assert_eq!(ci.len(), 10);
+        assert_eq!(ci.datasets[0].name, "rmat12-social");
+    }
+
+    #[test]
+    fn suite_dataset_names_are_unique() {
+        for name in BenchSuite::NAMES {
+            let suite = BenchSuite::by_name(name).unwrap();
+            let mut names: Vec<_> = suite.datasets.iter().map(|d| d.name.clone()).collect();
+            names.sort();
+            names.dedup();
+            assert_eq!(names.len(), suite.datasets.len(), "{name}");
+        }
+    }
+
+    #[test]
+    fn rmat_entry_generates_deterministically() {
+        let d = SuiteDataset::rmat("x", 9, 8, RmatParams::GRAPH500, 3);
+        let a = d.generate();
+        let b = d.generate();
+        assert_eq!(a.num_vertices(), 1 << 9);
+        assert_eq!(a.num_edges(), b.num_edges());
+    }
+}

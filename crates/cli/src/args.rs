@@ -17,12 +17,21 @@ USAGE:
                  [--params social|web|mild] -o <file>
   lotus convert <input> <output> [--strict]
   lotus check <graph> [--hubs N] [--differential]
+  lotus bench [--suite ci|small|full] [--json FILE]
+  lotus bench compare <baseline.json> <current.json> [--tolerance F]
   lotus help
 
 Graph files: whitespace edge lists (any extension) or binary .lotg files.
 --timeout interrupts the run cooperatively (exit code 124); --mem-budget
 (e.g. 512m, 2g) degrades LOTUS to fit; --strict rejects text edge lists
 with trailing garbage tokens instead of warning.
+
+bench runs a named dataset x algorithm suite (default ci) and, with
+--json, writes the machine-readable BENCH.json artifact (schema v1,
+documented in EXPERIMENTS.md). bench compare diffs two artifacts and
+fails (exit 1) on triangle-count changes, missing runs, or wall-time
+regressions beyond --tolerance (fractional, default 0.25 = +25%).
+Builds without `--features telemetry` report all work counters as 0.
 
 Exit codes: 0 success (including degraded runs), 1 runtime error,
 2 usage error, 101 isolated worker panic, 124 interrupted.";
@@ -40,8 +49,39 @@ pub enum Command {
     Convert(ConvertArgs),
     /// `lotus check`.
     Check(CheckArgs),
+    /// `lotus bench` (suite run or `compare`).
+    Bench(BenchArgs),
     /// `lotus help`.
     Help,
+}
+
+/// Arguments of `lotus bench`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BenchArgs {
+    /// Run a named suite, optionally writing `BENCH.json`.
+    Run(BenchRunArgs),
+    /// Diff two `BENCH.json` artifacts and gate on regressions.
+    Compare(BenchCompareArgs),
+}
+
+/// Arguments of a `lotus bench` suite run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRunArgs {
+    /// Suite name (`ci`, `small`, `full`).
+    pub suite: String,
+    /// Where to write the `BENCH.json` artifact, if anywhere.
+    pub json: Option<String>,
+}
+
+/// Arguments of `lotus bench compare`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchCompareArgs {
+    /// Baseline artifact path.
+    pub baseline: String,
+    /// Current artifact path.
+    pub current: String,
+    /// Fractional wall-time tolerance (0.25 = +25%).
+    pub tolerance: f64,
 }
 
 /// Arguments of `lotus count`.
@@ -276,6 +316,56 @@ pub fn parse(argv: &[&str]) -> Result<Command, ParseError> {
                 differential,
             }))
         }
+        "bench" => {
+            let rest: Vec<&str> = it.collect();
+            if rest.first() == Some(&"compare") {
+                let mut tolerance = 0.25f64;
+                let mut paths = Vec::new();
+                let mut it = rest[1..].iter().copied();
+                while let Some(arg) = it.next() {
+                    match arg {
+                        "--tolerance" | "-t" => {
+                            tolerance = parse_num(arg, &take_value(arg, &mut it)?)?;
+                            if !(tolerance.is_finite() && tolerance >= 0.0) {
+                                return Err(ParseError(
+                                    "--tolerance must be a non-negative fraction (0.25 = +25%)"
+                                        .into(),
+                                ));
+                            }
+                        }
+                        _ if !arg.starts_with('-') => paths.push(arg.to_string()),
+                        _ => return Err(ParseError(format!("unexpected argument '{arg}'"))),
+                    }
+                }
+                let mut paths = paths.into_iter();
+                let baseline = paths
+                    .next()
+                    .ok_or_else(|| ParseError("bench compare: missing baseline path".into()))?;
+                let current = paths
+                    .next()
+                    .ok_or_else(|| ParseError("bench compare: missing current path".into()))?;
+                if let Some(extra) = paths.next() {
+                    return Err(ParseError(format!("unexpected argument '{extra}'")));
+                }
+                Ok(Command::Bench(BenchArgs::Compare(BenchCompareArgs {
+                    baseline,
+                    current,
+                    tolerance,
+                })))
+            } else {
+                let mut suite = "ci".to_string();
+                let mut json = None;
+                let mut it = rest.iter().copied();
+                while let Some(arg) = it.next() {
+                    match arg {
+                        "--suite" | "-s" => suite = take_value(arg, &mut it)?,
+                        "--json" | "-j" => json = Some(take_value(arg, &mut it)?),
+                        _ => return Err(ParseError(format!("unexpected argument '{arg}'"))),
+                    }
+                }
+                Ok(Command::Bench(BenchArgs::Run(BenchRunArgs { suite, json })))
+            }
+        }
         "convert" => {
             let mut positional = Vec::new();
             let mut strict = false;
@@ -444,6 +534,50 @@ mod tests {
         );
         assert!(parse(&["check"]).is_err());
         assert!(parse(&["check", "g.txt", "--hubs"]).is_err());
+    }
+
+    #[test]
+    fn parses_bench_run() {
+        assert_eq!(
+            parse(&["bench"]).unwrap(),
+            Command::Bench(BenchArgs::Run(BenchRunArgs {
+                suite: "ci".into(),
+                json: None,
+            }))
+        );
+        assert_eq!(
+            parse(&["bench", "--suite", "full", "--json", "out.json"]).unwrap(),
+            Command::Bench(BenchArgs::Run(BenchRunArgs {
+                suite: "full".into(),
+                json: Some("out.json".into()),
+            }))
+        );
+        assert!(parse(&["bench", "--suite"]).is_err());
+        assert!(parse(&["bench", "extra"]).is_err());
+    }
+
+    #[test]
+    fn parses_bench_compare() {
+        assert_eq!(
+            parse(&["bench", "compare", "a.json", "b.json"]).unwrap(),
+            Command::Bench(BenchArgs::Compare(BenchCompareArgs {
+                baseline: "a.json".into(),
+                current: "b.json".into(),
+                tolerance: 0.25,
+            }))
+        );
+        assert_eq!(
+            parse(&["bench", "compare", "a.json", "b.json", "--tolerance", "0.1"]).unwrap(),
+            Command::Bench(BenchArgs::Compare(BenchCompareArgs {
+                baseline: "a.json".into(),
+                current: "b.json".into(),
+                tolerance: 0.1,
+            }))
+        );
+        assert!(parse(&["bench", "compare", "a.json"]).is_err());
+        assert!(parse(&["bench", "compare", "a", "b", "c"]).is_err());
+        assert!(parse(&["bench", "compare", "a", "b", "--tolerance", "-1"]).is_err());
+        assert!(parse(&["bench", "compare", "a", "b", "--tolerance", "nan"]).is_err());
     }
 
     #[test]

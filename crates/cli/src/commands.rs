@@ -21,7 +21,10 @@ use lotus_gen::{BarabasiAlbert, ErdosRenyi, Rmat, RmatParams, WattsStrogatz};
 use lotus_graph::{io, EdgeList, GraphStats, ParseWarning, Strictness, UndirectedCsr};
 use lotus_resilience::{isolate, Deadline, MemoryBudget, RunGuard};
 
-use crate::args::{AnalyzeArgs, CheckArgs, ConvertArgs, CountArgs, GenerateArgs};
+use crate::args::{
+    AnalyzeArgs, BenchArgs, BenchCompareArgs, BenchRunArgs, CheckArgs, ConvertArgs, CountArgs,
+    GenerateArgs,
+};
 
 /// A command failure: user-facing message plus process exit code.
 ///
@@ -386,6 +389,53 @@ pub fn check(args: CheckArgs) -> Result<String, CliError> {
     }
 }
 
+/// `lotus bench`: run a named suite (writing `BENCH.json` with
+/// `--json`) or diff two artifacts with `bench compare`.
+pub fn bench(args: BenchArgs) -> Result<String, CliError> {
+    match args {
+        BenchArgs::Run(run) => bench_run(&run),
+        BenchArgs::Compare(cmp) => bench_compare(&cmp),
+    }
+}
+
+fn bench_run(args: &BenchRunArgs) -> Result<String, CliError> {
+    let suite = lotus_bench::BenchSuite::by_name(&args.suite).ok_or_else(|| {
+        CliError::usage(format!(
+            "unknown suite '{}' (expected one of: {})",
+            args.suite,
+            lotus_bench::BenchSuite::NAMES.join(", ")
+        ))
+    })?;
+    let report = isolated(|| lotus_bench::BenchReport::run_suite(&suite))?;
+    let mut out = report.summary();
+    if let Some(path) = &args.json {
+        std::fs::write(path, report.to_pretty_string())
+            .map_err(|e| CliError::runtime(format!("cannot write '{path}': {e}")))?;
+        let _ = writeln!(out, "wrote {} run(s) to {path}", report.runs.len());
+    }
+    Ok(out)
+}
+
+/// Gates on the baseline: any hard failure or beyond-tolerance wall-time
+/// regression exits nonzero, so CI can call this directly.
+fn bench_compare(args: &BenchCompareArgs) -> Result<String, CliError> {
+    let load = |path: &str| -> Result<lotus_bench::BenchReport, CliError> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| CliError::runtime(format!("cannot read '{path}': {e}")))?;
+        lotus_bench::BenchReport::parse(&text)
+            .map_err(|e| CliError::runtime(format!("'{path}' is not a valid BENCH.json: {e}")))
+    };
+    let baseline = load(&args.baseline)?;
+    let current = load(&args.current)?;
+    let cmp = lotus_bench::compare::compare(&baseline, &current, args.tolerance);
+    let rendered = cmp.to_string();
+    if cmp.passed() {
+        Ok(rendered)
+    } else {
+        Err(CliError::runtime(rendered))
+    }
+}
+
 /// `lotus convert`.
 pub fn convert(args: ConvertArgs) -> Result<String, CliError> {
     let strictness = if args.strict {
@@ -651,6 +701,99 @@ mod tests {
         .is_err());
         std::fs::remove_file(&path).ok();
         std::fs::remove_file(&converted).ok();
+    }
+
+    #[test]
+    fn bench_small_suite_writes_and_gates_a_valid_artifact() {
+        let json = tmp("bench_small.json");
+        // `small` (Tiny scale, 2 algorithms) keeps this test quick.
+        let out = bench(BenchArgs::Run(BenchRunArgs {
+            suite: "small".into(),
+            json: Some(json.clone()),
+        }))
+        .unwrap();
+        assert!(out.contains("suite 'small'"), "{out}");
+        assert!(out.contains("edges/s"), "{out}");
+
+        // The artifact round-trips and self-compares clean at 0 tolerance.
+        let report =
+            lotus_bench::BenchReport::parse(&std::fs::read_to_string(&json).unwrap()).unwrap();
+        assert!(!report.runs.is_empty());
+        let out = bench(BenchArgs::Compare(BenchCompareArgs {
+            baseline: json.clone(),
+            current: json.clone(),
+            tolerance: 0.0,
+        }))
+        .unwrap();
+        assert!(out.contains("result: PASS"), "{out}");
+
+        // An injected beyond-tolerance regression fails with exit code 1.
+        let mut slow = report.clone();
+        for run in &mut slow.runs {
+            run.wall_ms *= 2.0;
+        }
+        let slow_path = tmp("bench_small_slow.json");
+        std::fs::write(&slow_path, slow.to_pretty_string()).unwrap();
+        let err = bench(BenchArgs::Compare(BenchCompareArgs {
+            baseline: json.clone(),
+            current: slow_path.clone(),
+            tolerance: 0.25,
+        }))
+        .unwrap_err();
+        assert_eq!(err.code, 1);
+        assert!(err.message.contains("REGRESSION"), "{}", err.message);
+
+        // A triangle-count change fails even at huge tolerance.
+        let mut wrong = report;
+        wrong.runs[0].triangles += 1;
+        std::fs::write(&slow_path, wrong.to_pretty_string()).unwrap();
+        let err = bench(BenchArgs::Compare(BenchCompareArgs {
+            baseline: json.clone(),
+            current: slow_path.clone(),
+            tolerance: 100.0,
+        }))
+        .unwrap_err();
+        assert_eq!(err.code, 1);
+        assert!(err.message.contains("triangle count"), "{}", err.message);
+
+        std::fs::remove_file(&json).ok();
+        std::fs::remove_file(&slow_path).ok();
+    }
+
+    #[test]
+    fn bench_rejects_unknown_suite_and_bad_artifacts() {
+        let err = bench(BenchArgs::Run(BenchRunArgs {
+            suite: "nope".into(),
+            json: None,
+        }))
+        .unwrap_err();
+        assert_eq!(err.code, 2);
+        assert!(err.message.contains("unknown suite"), "{}", err.message);
+
+        let err = bench(BenchArgs::Compare(BenchCompareArgs {
+            baseline: "/nonexistent/base.json".into(),
+            current: "/nonexistent/cur.json".into(),
+            tolerance: 0.25,
+        }))
+        .unwrap_err();
+        assert_eq!(err.code, 1);
+        assert!(err.message.contains("cannot read"), "{}", err.message);
+
+        let bad = tmp("bench_bad.json");
+        std::fs::write(&bad, "{\"schema_version\": 99}").unwrap();
+        let err = bench(BenchArgs::Compare(BenchCompareArgs {
+            baseline: bad.clone(),
+            current: bad.clone(),
+            tolerance: 0.25,
+        }))
+        .unwrap_err();
+        assert_eq!(err.code, 1);
+        assert!(
+            err.message.contains("not a valid BENCH.json"),
+            "{}",
+            err.message
+        );
+        std::fs::remove_file(&bad).ok();
     }
 
     #[test]

@@ -9,6 +9,9 @@
 //! * `convert <in> <out>` — text ↔ binary edge-list conversion.
 //! * `check <graph> [--hubs N] [--differential]` — structural and LOTUS
 //!   invariant audit, optionally cross-checking every algorithm's count.
+//! * `bench [--suite S] [--json FILE]` — named benchmark suites emitting
+//!   the machine-readable `BENCH.json` artifact; `bench compare` diffs
+//!   two artifacts and fails on regressions (the CI perf gate).
 //!
 //! Graph files are whitespace edge lists (`.txt`, `.el`) or the binary
 //! `.lotg` format; the format is chosen by extension.
@@ -32,6 +35,7 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
         Command::Generate(c) => commands::generate(c),
         Command::Convert(c) => commands::convert(c),
         Command::Check(c) => commands::check(c),
+        Command::Bench(c) => commands::bench(c),
         Command::Help => Ok(args::USAGE.to_string()),
     }
 }

@@ -30,6 +30,7 @@ use rayon::prelude::*;
 use lotus_algos::intersect::count_merge;
 use lotus_graph::UndirectedCsr;
 use lotus_resilience::{fault_point, isolate, RunGuard, StopReason};
+use lotus_telemetry::{counters, Counter, Span, SpanId};
 
 use crate::breakdown::Breakdown;
 use crate::config::LotusConfig;
@@ -186,7 +187,10 @@ impl LotusCounter {
     /// (Algorithm 3).
     pub fn count(&self, graph: &UndirectedCsr) -> LotusResult {
         let pre_start = Instant::now();
-        let lg = build_lotus_graph(graph, &self.config);
+        let lg = {
+            let _span = Span::enter(SpanId::Preprocess);
+            build_lotus_graph(graph, &self.config)
+        };
         let preprocess = pre_start.elapsed();
         let mut result = self.count_prepared(&lg);
         result.breakdown.preprocess = preprocess;
@@ -199,15 +203,19 @@ impl LotusCounter {
 
         // Phase 1: HHH and HHN.
         let start = Instant::now();
+        let span = Span::enter(SpanId::HhhHhn);
         let tiles = make_tiles(
             &lg.he,
             self.config.tiling_threshold,
             self.config.partitions_per_vertex,
         );
         let (hhh, hhn) = count_hub_pairs(lg, &tiles);
+        drop(span);
         breakdown.hhh_hhn = start.elapsed();
 
         let (hnn, nnn) = if self.config.fuse_hnn_nnn {
+            // Ablation path: the fused pass has no per-phase span; its
+            // merge work still lands in the kernel counters.
             let start = Instant::now();
             let counts = count_hnn_nnn_fused(lg);
             // Attribute the fused time to both phases evenly.
@@ -218,12 +226,16 @@ impl LotusCounter {
         } else {
             // Phase 2: HNN.
             let start = Instant::now();
+            let span = Span::enter(SpanId::Hnn);
             let hnn = count_hnn(lg);
+            drop(span);
             breakdown.hnn = start.elapsed();
 
             // Phase 3: NNN.
             let start = Instant::now();
+            let span = Span::enter(SpanId::Nnn);
             let nnn = count_nnn(lg);
+            drop(span);
             breakdown.nnn = start.elapsed();
             (hnn, nnn)
         };
@@ -260,22 +272,27 @@ impl LotusCounter {
         let stats = LotusStats::default();
 
         let start = Instant::now();
-        let lg = match isolate(|| build_lotus_graph_guarded(graph, &self.config, guard)) {
+        let lg = match isolate(|| {
+            let _span = Span::enter(SpanId::Preprocess);
+            build_lotus_graph_guarded(graph, &self.config, guard)
+        }) {
             Err(panic) => {
+                counters::incr(Counter::PhasePanics);
                 return Err(CountError::PhasePanic {
                     phase: Phase::Preprocess,
                     message: panic.message,
                     partial: stats,
                     breakdown,
-                })
+                });
             }
             Ok(Err(reason)) => {
+                counters::incr(Counter::GuardStops);
                 return Err(CountError::Interrupted {
                     phase: Phase::Preprocess,
                     reason,
                     partial: stats,
                     breakdown,
-                })
+                });
             }
             Ok(Ok(lg)) => lg,
         };
@@ -313,6 +330,7 @@ impl LotusCounter {
             self.config.partitions_per_vertex,
         );
         let outcome = isolate(|| {
+            let _span = Span::enter(SpanId::HhhHhn);
             fault_point!(panic: "core.phase.hhh_hhn");
             count_hub_pairs_guarded(lg, &tiles, guard)
         });
@@ -333,6 +351,7 @@ impl LotusCounter {
         // Phase 2: HNN.
         let start = Instant::now();
         let outcome = isolate(|| {
+            let _span = Span::enter(SpanId::Hnn);
             fault_point!(panic: "core.phase.hnn");
             count_hnn_guarded(lg, guard)
         });
@@ -345,6 +364,7 @@ impl LotusCounter {
         // Phase 3: NNN.
         let start = Instant::now();
         let outcome = isolate(|| {
+            let _span = Span::enter(SpanId::Nnn);
             fault_point!(panic: "core.phase.nnn");
             count_nnn_guarded(lg, guard)
         });
@@ -371,6 +391,7 @@ fn unwrap_phase<C: Copy>(
     match outcome {
         Ok(Ok(counts)) => Ok(counts),
         Ok(Err((reason, partial_counts))) => {
+            counters::incr(Counter::GuardStops);
             record(stats, partial_counts);
             Err(CountError::Interrupted {
                 phase,
@@ -379,12 +400,15 @@ fn unwrap_phase<C: Copy>(
                 breakdown: *breakdown,
             })
         }
-        Err(panic) => Err(CountError::PhasePanic {
-            phase,
-            message: panic.message,
-            partial: *stats,
-            breakdown: *breakdown,
-        }),
+        Err(panic) => {
+            counters::incr(Counter::PhasePanics);
+            Err(CountError::PhasePanic {
+                phase,
+                message: panic.message,
+                partial: *stats,
+                breakdown: *breakdown,
+            })
+        }
     }
 }
 
@@ -419,6 +443,18 @@ fn count_tile(h2h: &TriBitArray, he: &[u16], tile: &Tile) -> u64 {
                 found += 1;
             }
         }
+    }
+    #[cfg(feature = "telemetry")]
+    {
+        // Row `i` probes `i` earlier hub neighbours, so the tile's probe
+        // count is the difference of two triangular numbers.
+        let (b, e) = (tile.begin as u64, tile.end as u64);
+        counters::incr(Counter::TileVisits);
+        counters::add(
+            Counter::H2hProbes,
+            (e * e.saturating_sub(1) - b * b.saturating_sub(1)) / 2,
+        );
+        counters::add(Counter::H2hHits, found);
     }
     found
 }

@@ -20,6 +20,7 @@ use std::time::Instant;
 use lotus_algos::forward_hashed::forward_hashed_count_guarded;
 use lotus_graph::UndirectedCsr;
 use lotus_resilience::{isolate, MemoryBudget, RunGuard};
+use lotus_telemetry::{span, Span, SpanId};
 
 use crate::breakdown::Breakdown;
 use crate::config::{HubCount, LotusConfig};
@@ -145,12 +146,20 @@ pub fn count_with_budget(
 
     if !budget.fits(estimated) {
         // Even hub-less LOTUS is over budget: forward-hashed fallback.
-        let degraded = Some(DegradeReason::ForwardFallback {
+        let reason = DegradeReason::ForwardFallback {
             estimated,
             budget: budget.bytes(),
-        });
+        };
+        // The degrade path is part of the run's observable story: record
+        // it before the fallback driver starts, so telemetry keeps the
+        // explanation even if the driver is later stopped or panics.
+        span::record_degrade(&reason.to_string());
+        let degraded = Some(reason);
         let start = Instant::now();
-        let outcome = isolate(|| forward_hashed_count_guarded(graph, guard));
+        let outcome = isolate(|| {
+            let _span = Span::enter(SpanId::Fallback);
+            forward_hashed_count_guarded(graph, guard)
+        });
         let breakdown = Breakdown {
             nnn: start.elapsed(),
             ..Breakdown::default()
@@ -195,6 +204,9 @@ pub fn count_with_budget(
         estimated,
         budget: budget.bytes(),
     });
+    if let Some(reason) = &degraded {
+        span::record_degrade(&reason.to_string());
+    }
     let effective = if hubs == configured {
         *config
     } else {

@@ -1,0 +1,95 @@
+//! Observability-layer integration: the LOTUS pipeline records spans,
+//! work counters, and the degrade path when built with `--features
+//! telemetry`, and records nothing at all without it.
+//!
+//! Global telemetry state is shared, so the feature-on checks run as one
+//! sequential test body.
+
+use lotus_core::count::LotusCounter;
+use lotus_core::resilient::count_with_budget;
+use lotus_core::{HubCount, LotusConfig};
+use lotus_resilience::{CancelToken, MemoryBudget, RunGuard};
+#[cfg(not(feature = "telemetry"))]
+use lotus_telemetry::counters;
+use lotus_telemetry::{span, Counter, SpanId};
+
+fn cfg(hubs: u32) -> LotusConfig {
+    LotusConfig::default().with_hub_count(HubCount::Fixed(hubs))
+}
+
+#[test]
+#[cfg(feature = "telemetry")]
+fn pipeline_records_spans_counters_and_degrade_path() {
+    let g = lotus_gen::Rmat::new(10, 8).generate(42);
+
+    // A full run populates every phase span and the kernel counters.
+    lotus_telemetry::reset();
+    let result = LotusCounter::new(cfg(64)).count(&g);
+    assert!(result.total() > 0);
+    let snap = lotus_telemetry::snapshot();
+    for id in [SpanId::Preprocess, SpanId::HhhHhn, SpanId::Hnn, SpanId::Nnn] {
+        assert_eq!(snap.spans.get(id).entries, 1, "span {id} entered once");
+    }
+    // Span wall time tracks the breakdown's own measurement.
+    assert!(snap.spans.get(SpanId::Nnn).nanos > 0);
+    assert!(snap.counters.get(Counter::Intersections) > 0);
+    assert!(snap.counters.get(Counter::MergeSteps) > 0);
+    assert!(snap.counters.get(Counter::TileVisits) > 0);
+    assert!(
+        snap.counters.get(Counter::H2hProbes) >= snap.counters.get(Counter::H2hHits),
+        "probes bound hits"
+    );
+    // Phase-1 hits are exactly the hub-pair triangles found.
+    assert_eq!(
+        snap.counters.get(Counter::H2hHits),
+        result.stats.hhh + result.stats.hhn
+    );
+    assert_eq!(snap.degrade, None);
+
+    // The degrade path is recorded and the fallback driver is spanned.
+    lotus_telemetry::reset();
+    let budget = MemoryBudget::from_bytes(16);
+    let r = count_with_budget(&cfg(64), &g, &budget, &RunGuard::unlimited()).unwrap();
+    assert!(r.degraded.is_some());
+    let snap = lotus_telemetry::snapshot();
+    assert_eq!(snap.counters.get(Counter::DegradedRuns), 1);
+    assert_eq!(snap.spans.get(SpanId::Fallback).entries, 1);
+    let degrade = span::last_degrade().expect("degrade recorded");
+    assert!(degrade.contains("forward-hashed"), "{degrade}");
+
+    // Spans survive cooperative cancellation: the preprocessing span is
+    // still recorded even though the run was interrupted inside it.
+    lotus_telemetry::reset();
+    let token = CancelToken::new();
+    token.cancel();
+    let guard = RunGuard::unlimited().with_cancel(token);
+    let err = LotusCounter::new(cfg(64)).count_guarded(&g, &guard);
+    assert!(err.is_err());
+    let snap = lotus_telemetry::snapshot();
+    assert_eq!(snap.spans.get(SpanId::Preprocess).entries, 1);
+    assert_eq!(snap.counters.get(Counter::GuardStops), 1);
+    lotus_telemetry::reset();
+}
+
+#[test]
+#[cfg(not(feature = "telemetry"))]
+fn pipeline_records_nothing_without_the_feature() {
+    let g = lotus_gen::Rmat::new(9, 8).generate(42);
+    let result = LotusCounter::new(cfg(64)).count(&g);
+    assert!(result.total() > 0);
+    let budget = MemoryBudget::from_bytes(16);
+    count_with_budget(&cfg(64), &g, &budget, &RunGuard::unlimited()).unwrap();
+    let token = CancelToken::new();
+    token.cancel();
+    let _ = LotusCounter::new(cfg(64)).count_guarded(&g, &RunGuard::unlimited().with_cancel(token));
+
+    // Instrumentation compiled to no-ops: nothing was recorded.
+    let snap = lotus_telemetry::snapshot();
+    assert!(snap.counters.is_zero());
+    assert!(SpanId::ALL
+        .iter()
+        .all(|&id| snap.spans.get(id).entries == 0));
+    assert_eq!(span::last_degrade(), None);
+    assert!(!lotus_telemetry::enabled());
+    let _ = counters::get(Counter::Intersections);
+}

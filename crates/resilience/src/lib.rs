@@ -14,9 +14,9 @@
 //! * [`MemoryBudget`] — a byte budget that callers compare against
 //!   pre-build footprint estimates so an oversized request degrades
 //!   (smaller hub set, leaner algorithm) instead of OOMing.
-//! * [`isolate`] — `catch_unwind`-based panic isolation that converts a
+//! * [`isolate()`] — `catch_unwind`-based panic isolation that converts a
 //!   worker panic into a structured [`PanicCaught`] error.
-//! * [`fault`] (behind the `fault-injection` feature) — a registry of
+//! * `fault` (behind the `fault-injection` feature) — a registry of
 //!   named fault points ([`fault_point!`]) that deterministically inject
 //!   I/O errors, short reads, or panics on the Nth hit, so tests can
 //!   prove every failure path yields a clean typed error.
@@ -41,7 +41,7 @@ pub use isolate::{isolate, PanicCaught};
 ///   panics.
 /// * `fault_point!(panic: "name")` — a statement for infallible call
 ///   sites; any armed fault at this point panics (the surrounding phase
-///   is expected to be wrapped in [`isolate`]).
+///   is expected to be wrapped in [`isolate()`]).
 ///
 /// Without the `fault-injection` feature **on the calling crate**, both
 /// forms compile to nothing (the first to `Ok(())`), so release builds

@@ -1,0 +1,99 @@
+#![warn(missing_docs)]
+
+//! Observability layer for the LOTUS workspace.
+//!
+//! The paper's whole argument is measured per-phase behaviour (§5
+//! end-to-end times, Fig. 6 phase breakdown, Fig. 5 hardware-event
+//! counts), so the counting kernels are threaded with two primitives:
+//!
+//! * [`span::Span`] — a scoped wall-clock timer per pipeline stage.
+//!   Recording happens in `Drop`, so a span survives cooperative
+//!   cancellation and `catch_unwind` panic isolation: whatever time a
+//!   phase spent before it was stopped is still attributed to it.
+//! * [`counters`] — process-wide work counters (intersections, merge
+//!   steps, bitmap/H2H probes, tile visits, fruitless work, degrade and
+//!   stop events) incremented from the hot loops.
+//!
+//! Both compile to no-ops unless the `telemetry` cargo feature is on:
+//! every recording function has an empty `#[inline(always)]` body, so an
+//! un-instrumented build pays nothing — not even an atomic load — on the
+//! kernels the paper benchmarks. Crates that add *per-iteration* work to
+//! feed a counter (e.g. step counting inside the merge join) gate that
+//! arithmetic behind their own forwarded `telemetry` feature, so the
+//! extra local additions vanish too.
+//!
+//! [`json`] is the dependency-free JSON reader/writer behind the
+//! machine-readable `BENCH.json` artifact (see `lotus-bench`).
+
+pub mod counters;
+pub mod json;
+pub mod span;
+
+pub use counters::{Counter, CounterSnapshot};
+pub use span::{Span, SpanId, SpanSnapshot, SpanStat};
+
+/// Whether this build records telemetry (`telemetry` feature).
+#[must_use]
+pub const fn enabled() -> bool {
+    cfg!(feature = "telemetry")
+}
+
+/// One consistent snapshot of everything recorded so far: counters,
+/// span timings, and the last degrade event.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TelemetrySnapshot {
+    /// Work counter totals.
+    pub counters: CounterSnapshot,
+    /// Accumulated span wall times and enter counts.
+    pub spans: SpanSnapshot,
+    /// The most recent degrade-path description, if any run degraded.
+    pub degrade: Option<String>,
+}
+
+/// Snapshots all recorded telemetry without resetting it.
+#[must_use]
+pub fn snapshot() -> TelemetrySnapshot {
+    TelemetrySnapshot {
+        counters: counters::snapshot(),
+        spans: span::snapshot(),
+        degrade: span::last_degrade(),
+    }
+}
+
+/// Resets counters, spans, and the degrade record to zero. Benchmark
+/// drivers call this between runs so each run's totals are isolated.
+pub fn reset() {
+    counters::reset();
+    span::reset();
+}
+
+/// Serializes tests that mutate the global counter/span state.
+#[cfg(test)]
+pub(crate) fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enabled_matches_feature() {
+        assert_eq!(enabled(), cfg!(feature = "telemetry"));
+    }
+
+    #[test]
+    fn snapshot_is_consistent_with_parts() {
+        let _guard = test_lock();
+        reset();
+        counters::add(Counter::TileVisits, 3);
+        let s = snapshot();
+        assert_eq!(
+            s.counters.get(Counter::TileVisits),
+            counters::get(Counter::TileVisits)
+        );
+        reset();
+    }
+}

@@ -1,0 +1,309 @@
+//! Scoped wall-clock spans per pipeline stage.
+//!
+//! A [`Span`] is entered at the top of a stage and records its elapsed
+//! time when dropped. Because recording happens in `Drop`, the time is
+//! captured even when the stage is cut short by cooperative cancellation
+//! or unwinds into `catch_unwind` panic isolation — the resilience
+//! layer's degrade paths stay visible in the telemetry instead of
+//! vanishing with the failed phase.
+
+use std::fmt;
+
+/// A pipeline stage with its own accumulated span. Names are stable:
+/// they are the keys of the `spans` object in `BENCH.json` (schema v1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpanId {
+    /// Algorithm 2: relabeling + HE/NHE/H2H construction.
+    Preprocess,
+    /// Phase 1: HHH + HHN over the H2H bit array.
+    HhhHhn,
+    /// Phase 2: HNN over the HE lists.
+    Hnn,
+    /// Phase 3: NNN over the NHE lists.
+    Nnn,
+    /// The forward-hashed driver of the memory-budget degrade path.
+    Fallback,
+    /// Graph loading / generation outside the counting pipeline.
+    Io,
+}
+
+impl SpanId {
+    /// Every span, in schema order.
+    pub const ALL: [SpanId; 6] = [
+        SpanId::Preprocess,
+        SpanId::HhhHhn,
+        SpanId::Hnn,
+        SpanId::Nnn,
+        SpanId::Fallback,
+        SpanId::Io,
+    ];
+
+    /// The stable snake_case name used as the JSON key.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            SpanId::Preprocess => "preprocess",
+            SpanId::HhhHhn => "hhh_hhn",
+            SpanId::Hnn => "hnn",
+            SpanId::Nnn => "nnn",
+            SpanId::Fallback => "fallback",
+            SpanId::Io => "io",
+        }
+    }
+
+    /// Resolves a stable name back to its span id.
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<SpanId> {
+        SpanId::ALL.into_iter().find(|s| s.name() == name)
+    }
+}
+
+impl fmt::Display for SpanId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(feature = "telemetry")]
+mod imp {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Mutex;
+
+    use super::SpanId;
+
+    struct Cell {
+        nanos: AtomicU64,
+        entries: AtomicU64,
+    }
+
+    static SPANS: [Cell; SpanId::ALL.len()] = [const {
+        Cell {
+            nanos: AtomicU64::new(0),
+            entries: AtomicU64::new(0),
+        }
+    }; SpanId::ALL.len()];
+
+    static DEGRADE: Mutex<Option<String>> = Mutex::new(None);
+
+    pub(super) fn record(id: SpanId, nanos: u64) {
+        let cell = &SPANS[id as usize];
+        cell.nanos.fetch_add(nanos, Ordering::Relaxed);
+        cell.entries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(super) fn read(id: SpanId) -> (u64, u64) {
+        let cell = &SPANS[id as usize];
+        (
+            cell.nanos.load(Ordering::Relaxed),
+            cell.entries.load(Ordering::Relaxed),
+        )
+    }
+
+    pub(super) fn reset() {
+        for cell in &SPANS {
+            cell.nanos.store(0, Ordering::Relaxed);
+            cell.entries.store(0, Ordering::Relaxed);
+        }
+        *DEGRADE.lock().expect("degrade record poisoned") = None;
+    }
+
+    pub(super) fn record_degrade(reason: &str) {
+        *DEGRADE.lock().expect("degrade record poisoned") = Some(reason.to_string());
+    }
+
+    pub(super) fn last_degrade() -> Option<String> {
+        DEGRADE.lock().expect("degrade record poisoned").clone()
+    }
+}
+
+/// An RAII guard timing one stage; records into the global span table on
+/// drop. Without the `telemetry` feature this is a zero-sized no-op that
+/// never reads the clock.
+#[derive(Debug)]
+#[must_use = "a span records on drop; binding it to _ ends it immediately"]
+pub struct Span {
+    #[cfg(feature = "telemetry")]
+    id: SpanId,
+    #[cfg(feature = "telemetry")]
+    start: std::time::Instant,
+}
+
+impl Span {
+    /// Enters the span for `id`.
+    #[inline(always)]
+    pub fn enter(id: SpanId) -> Span {
+        #[cfg(not(feature = "telemetry"))]
+        let _ = id;
+        Span {
+            #[cfg(feature = "telemetry")]
+            id,
+            #[cfg(feature = "telemetry")]
+            start: std::time::Instant::now(),
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        #[cfg(feature = "telemetry")]
+        imp::record(self.id, self.start.elapsed().as_nanos() as u64);
+    }
+}
+
+/// Records the degrade path taken by a budgeted run (also bumps the
+/// `degraded_runs` counter). No-op without the `telemetry` feature.
+pub fn record_degrade(reason: &str) {
+    #[cfg(feature = "telemetry")]
+    {
+        imp::record_degrade(reason);
+        crate::counters::incr(crate::Counter::DegradedRuns);
+    }
+    #[cfg(not(feature = "telemetry"))]
+    let _ = reason;
+}
+
+/// The most recent degrade description, if any (always `None` without
+/// the feature).
+#[must_use]
+pub fn last_degrade() -> Option<String> {
+    #[cfg(feature = "telemetry")]
+    return imp::last_degrade();
+    #[cfg(not(feature = "telemetry"))]
+    None
+}
+
+/// Accumulated time and enter count of one span.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpanStat {
+    /// Total nanoseconds across all entries.
+    pub nanos: u64,
+    /// How many times the span was entered.
+    pub entries: u64,
+}
+
+impl SpanStat {
+    /// Total span time in (fractional) milliseconds.
+    #[must_use]
+    pub fn millis(&self) -> f64 {
+        self.nanos as f64 / 1e6
+    }
+}
+
+/// A point-in-time copy of every span's accumulated stat.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SpanSnapshot {
+    values: Vec<(SpanId, SpanStat)>,
+}
+
+impl SpanSnapshot {
+    /// The stat a span had when the snapshot was taken.
+    #[must_use]
+    pub fn get(&self, id: SpanId) -> SpanStat {
+        self.values
+            .iter()
+            .find(|(k, _)| *k == id)
+            .map_or(SpanStat::default(), |(_, v)| *v)
+    }
+
+    /// Iterates `(span, stat)` pairs in schema order.
+    pub fn iter(&self) -> impl Iterator<Item = (SpanId, SpanStat)> + '_ {
+        self.values.iter().copied()
+    }
+}
+
+/// Copies every span's accumulated time and entry count.
+#[must_use]
+pub fn snapshot() -> SpanSnapshot {
+    SpanSnapshot {
+        values: SpanId::ALL
+            .into_iter()
+            .map(|id| {
+                #[cfg(feature = "telemetry")]
+                let (nanos, entries) = imp::read(id);
+                #[cfg(not(feature = "telemetry"))]
+                let (nanos, entries) = (0, 0);
+                (id, SpanStat { nanos, entries })
+            })
+            .collect(),
+    }
+}
+
+/// Zeroes every span and clears the degrade record.
+pub fn reset() {
+    #[cfg(feature = "telemetry")]
+    imp::reset();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_unique_and_resolvable() {
+        for s in SpanId::ALL {
+            assert_eq!(SpanId::from_name(s.name()), Some(s));
+        }
+        let mut names: Vec<_> = SpanId::ALL.iter().map(SpanId::name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), SpanId::ALL.len());
+    }
+
+    #[test]
+    fn span_records_iff_feature_enabled() {
+        let _guard = crate::test_lock();
+        reset();
+        {
+            let _s = Span::enter(SpanId::Hnn);
+            std::hint::black_box(1 + 1);
+        }
+        let stat = snapshot().get(SpanId::Hnn);
+        if crate::enabled() {
+            assert_eq!(stat.entries, 1);
+        } else {
+            assert_eq!(stat, SpanStat::default());
+        }
+        reset();
+        assert_eq!(snapshot().get(SpanId::Hnn).entries, 0);
+    }
+
+    #[test]
+    fn span_survives_unwind() {
+        let _guard = crate::test_lock();
+        reset();
+        let caught = std::panic::catch_unwind(|| {
+            let _s = Span::enter(SpanId::Nnn);
+            panic!("boom");
+        });
+        assert!(caught.is_err());
+        if crate::enabled() {
+            assert_eq!(snapshot().get(SpanId::Nnn).entries, 1);
+        }
+        reset();
+    }
+
+    #[test]
+    fn degrade_record_round_trips() {
+        let _guard = crate::test_lock();
+        reset();
+        assert_eq!(last_degrade(), None);
+        record_degrade("shrunk hub set 512 -> 64");
+        if crate::enabled() {
+            assert_eq!(last_degrade().as_deref(), Some("shrunk hub set 512 -> 64"));
+            assert_eq!(crate::counters::get(crate::Counter::DegradedRuns), 1);
+        } else {
+            assert_eq!(last_degrade(), None);
+        }
+        reset();
+        assert_eq!(last_degrade(), None);
+    }
+
+    #[test]
+    fn stat_millis() {
+        let s = SpanStat {
+            nanos: 2_500_000,
+            entries: 1,
+        };
+        assert!((s.millis() - 2.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,246 @@
+//! Minimal timing harness exposing the subset of the `criterion` API the
+//! workspace's benches use, so `cargo bench` works offline.
+//!
+//! The root manifest renames this package to the `criterion` dependency
+//! key, so bench files keep their `use criterion::{...}` imports. The
+//! harness runs each benchmark for the configured measurement time and
+//! prints mean wall-clock per iteration — no statistics, plots, or
+//! baselines, just enough to exercise and smoke-compare the kernels.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export so `criterion::black_box` resolves like the real crate.
+pub use std::hint::black_box;
+
+/// Benchmark identifier: `function_id/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with both a function name and a parameter value.
+    pub fn new(function_id: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{}/{parameter}", function_id.into()),
+        }
+    }
+
+    /// An id carrying only a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Timing loop handed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    /// `(total_elapsed, iterations)` of the measurement phase.
+    result: Option<(Duration, u64)>,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly for the configured measurement window.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let warm_end = Instant::now() + self.warm_up_time;
+        while Instant::now() < warm_end {
+            black_box(routine());
+        }
+        let start = Instant::now();
+        let mut iters = 0u64;
+        loop {
+            black_box(routine());
+            iters += 1;
+            let elapsed = start.elapsed();
+            if elapsed >= self.measurement_time {
+                self.result = Some((elapsed, iters));
+                return;
+            }
+        }
+    }
+}
+
+fn run_bench(
+    id: &str,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    f: impl FnOnce(&mut Bencher),
+) {
+    let mut b = Bencher {
+        measurement_time,
+        warm_up_time,
+        result: None,
+    };
+    f(&mut b);
+    match b.result {
+        Some((elapsed, iters)) => {
+            let per_iter = elapsed.as_secs_f64() / iters as f64;
+            println!("{id:<50} {:>12.3} µs/iter ({iters} iters)", per_iter * 1e6);
+        }
+        None => println!("{id:<50} (no measurement)"),
+    }
+}
+
+/// A named group of benchmarks sharing timing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the measurement window.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up window.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Accepted for API compatibility; the shim sizes runs by time only.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        run_bench(
+            &format!("{}/{id}", self.name),
+            self.measurement_time,
+            self.warm_up_time,
+            f,
+        );
+        self
+    }
+
+    /// Runs one benchmark with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher, &I),
+    {
+        run_bench(
+            &format!("{}/{id}", self.name),
+            self.measurement_time,
+            self.warm_up_time,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// Ends the group (printing happens eagerly; nothing to flush).
+    pub fn finish(&mut self) {}
+}
+
+/// The top-level harness handle.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(500),
+            _criterion: self,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        run_bench(
+            &id.to_string(),
+            Duration::from_secs(2),
+            Duration::from_millis(500),
+            f,
+        );
+        self
+    }
+}
+
+/// Declares a group of benchmark functions (mirrors `criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench `main` (mirrors `criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_and_counts() {
+        let mut b = Bencher {
+            measurement_time: Duration::from_millis(5),
+            warm_up_time: Duration::ZERO,
+            result: None,
+        };
+        let mut runs = 0u64;
+        b.iter(|| runs += 1);
+        let (elapsed, iters) = b.result.expect("measured");
+        assert!(iters >= 1);
+        assert_eq!(iters, runs);
+        assert!(elapsed >= Duration::from_millis(5));
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::new("alg", 32).to_string(), "alg/32");
+        assert_eq!(BenchmarkId::from_parameter("web").to_string(), "web");
+    }
+
+    #[test]
+    fn group_runs_benchmarks() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.measurement_time(Duration::from_millis(1));
+        group.warm_up_time(Duration::ZERO);
+        group.sample_size(10);
+        let mut ran = false;
+        group.bench_function("noop", |b| b.iter(|| 1 + 1));
+        group.bench_with_input(BenchmarkId::new("in", 3), &3u32, |b, &x| {
+            ran = true;
+            b.iter(|| x * 2);
+        });
+        group.finish();
+        assert!(ran);
+    }
+}
