@@ -91,6 +91,7 @@ pub fn count_oriented(forward: &Csr<u32>, kernel: IntersectKind) -> u64 {
         .into_par_iter()
         .map(|v| {
             let nv = forward.neighbors(v);
+            rayon::sched::log_read(nv, "forward.n_minus");
             let mut local = 0u64;
             for &u in nv {
                 local += kernel.count(nv, forward.neighbors(u));
@@ -103,6 +104,10 @@ pub fn count_oriented(forward: &Csr<u32>, kernel: IntersectKind) -> u64 {
 /// Guarded variant of [`count_oriented`]: polls the guard every 256
 /// vertices. On a stop, returns the partial sum accumulated so far with
 /// the reason.
+///
+/// # Errors
+/// Returns the guard's stop reason together with the partial sum
+/// accumulated before the stop.
 pub fn count_oriented_guarded(
     forward: &Csr<u32>,
     kernel: IntersectKind,
@@ -120,6 +125,7 @@ pub fn count_oriented_guarded(
                 return 0;
             }
             let nv = forward.neighbors(v);
+            rayon::sched::log_read(nv, "forward.n_minus");
             let mut local = 0u64;
             for &u in nv {
                 local += kernel.count(nv, forward.neighbors(u));
@@ -137,6 +143,10 @@ pub fn count_oriented_guarded(
 /// graph (checking the guard before and after), then counts under the
 /// guard. Partial counts from an interrupted counting loop are returned
 /// with the reason; an interruption during orientation reports 0.
+///
+/// # Errors
+/// Returns the guard's stop reason together with the partial count
+/// (0 when orientation itself was interrupted).
 pub fn forward_count_guarded(
     graph: &UndirectedCsr,
     guard: &RunGuard,

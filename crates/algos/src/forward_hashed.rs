@@ -46,6 +46,7 @@ pub fn count_oriented_hashed(forward: &Csr<u32>) -> u64 {
             || (HashSide::<u32>::new(), 0u64),
             |(mut side, mut total), v| {
                 let nv = forward.neighbors(v);
+                rayon::sched::log_read(nv, "forward_hashed.n_minus");
                 if nv.len() >= 2 {
                     side.fill(nv);
                     for &u in nv {
@@ -77,6 +78,10 @@ pub fn forward_hashed_count_timed(graph: &UndirectedCsr) -> ForwardHashedResult 
 /// Guarded variant of [`count_oriented_hashed`]: polls the guard every
 /// 256 vertices; each worker keeps its reusable hash set. On a stop,
 /// returns the partial sum with the reason.
+///
+/// # Errors
+/// Returns the guard's stop reason together with the partial sum
+/// accumulated before the stop.
 pub fn count_oriented_hashed_guarded(
     forward: &Csr<u32>,
     guard: &RunGuard,
@@ -95,6 +100,7 @@ pub fn count_oriented_hashed_guarded(
                     return (side, total);
                 }
                 let nv = forward.neighbors(v);
+                rayon::sched::log_read(nv, "forward_hashed.n_minus");
                 if nv.len() >= 2 {
                     side.fill(nv);
                     for &u in nv {
@@ -115,6 +121,10 @@ pub fn count_oriented_hashed_guarded(
 /// End-to-end guarded forward-hashed count: orientation (guard checked
 /// before and after) plus guarded counting. This is the driver of the
 /// memory-budget fallback path in `lotus-core`.
+///
+/// # Errors
+/// Returns the guard's stop reason together with the partial count
+/// (0 when orientation itself was interrupted).
 pub fn forward_hashed_count_guarded(
     graph: &UndirectedCsr,
     guard: &RunGuard,

@@ -50,11 +50,11 @@ pub fn schedule_idle(costs: &[u64], workers: usize) -> f64 {
     assert!(workers >= 1);
     let mut finish = vec![0u64; workers];
     for &c in costs {
-        let (idx, _) = finish
+        let idx = finish
             .iter()
             .enumerate()
             .min_by_key(|&(_, &f)| f)
-            .expect("at least one worker");
+            .map_or(0, |(i, _)| i);
         finish[idx] += c;
     }
     let makespan = finish.iter().copied().max().unwrap_or(0);

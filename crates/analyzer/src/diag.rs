@@ -1,0 +1,218 @@
+//! Machine-readable diagnostics, mirroring `lotus check`'s violation
+//! format: every finding names a rule, a file, a line, and a severity,
+//! and the whole report renders as stable, ordered JSON (hand-rolled,
+//! like `lotus-telemetry`'s writer — no external dependencies).
+
+use std::fmt;
+
+/// Severity of a finding. All project rules gate the build, so the
+/// distinction is informational: `Error` findings are violations of a
+/// hard rule, `Warning` marks report-hygiene issues (e.g. stale
+/// waivers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// A hard project-rule violation.
+    Error,
+    /// A hygiene issue that still fails the gate until resolved.
+    Warning,
+}
+
+impl Severity {
+    /// Stable lowercase name used in JSON output.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        }
+    }
+}
+
+/// One lint finding.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Kebab-case rule identifier (see the catalog in DESIGN.md §10).
+    pub rule: &'static str,
+    /// Severity class.
+    pub severity: Severity,
+    /// Repo-relative path with forward slashes.
+    pub file: String,
+    /// 1-based line; 0 means the finding concerns the file as a whole.
+    pub line: u32,
+    /// Human-readable explanation.
+    pub message: String,
+    /// Whether a waiver (file entry or inline allow) covers the finding.
+    pub waived: bool,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let waived = if self.waived { " (waived)" } else { "" };
+        write!(
+            f,
+            "{}[{}] {}:{}: {}{waived}",
+            self.severity.as_str(),
+            self.rule,
+            self.file,
+            self.line,
+            self.message
+        )
+    }
+}
+
+/// A full lint run: all findings plus scan statistics.
+#[derive(Debug, Clone, Default)]
+pub struct LintReport {
+    /// Every finding, waived ones included, ordered by (file, line).
+    pub findings: Vec<Finding>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+impl LintReport {
+    /// Number of findings not covered by a waiver.
+    pub fn unwaived(&self) -> usize {
+        self.findings.iter().filter(|f| !f.waived).count()
+    }
+
+    /// Whether the gate passes: zero unwaived findings.
+    pub fn is_clean(&self) -> bool {
+        self.unwaived() == 0
+    }
+
+    /// Renders the report as stable JSON (keys in fixed order, findings
+    /// sorted by file/line/rule).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256 + self.findings.len() * 128);
+        out.push_str(
+            "{\n  \"schema_version\": 1,\n  \"tool\": \"lotus-analyzer\",\n  \"mode\": \"lint\",\n",
+        );
+        out.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        out.push_str(&format!("  \"total\": {},\n", self.findings.len()));
+        out.push_str(&format!("  \"unwaived\": {},\n", self.unwaived()));
+        out.push_str("  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {");
+            out.push_str(&format!("\"rule\": {}, ", json_str(f.rule)));
+            out.push_str(&format!(
+                "\"severity\": {}, ",
+                json_str(f.severity.as_str())
+            ));
+            out.push_str(&format!("\"file\": {}, ", json_str(&f.file)));
+            out.push_str(&format!("\"line\": {}, ", f.line));
+            out.push_str(&format!("\"message\": {}, ", json_str(&f.message)));
+            out.push_str(&format!("\"waived\": {}", f.waived));
+            out.push('}');
+        }
+        if !self.findings.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+
+    /// Sorts findings into the stable report order.
+    pub fn sort(&mut self) {
+        self.findings
+            .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    }
+}
+
+impl fmt::Display for LintReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for finding in &self.findings {
+            writeln!(f, "{finding}")?;
+        }
+        write!(
+            f,
+            "{} file(s) scanned, {} finding(s), {} unwaived",
+            self.files_scanned,
+            self.findings.len(),
+            self.unwaived()
+        )
+    }
+}
+
+/// Escapes a string for JSON output.
+pub(crate) fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(file: &str, line: u32, waived: bool) -> Finding {
+        Finding {
+            rule: "no-panic",
+            severity: Severity::Error,
+            file: file.to_owned(),
+            line,
+            message: "library code calls `unwrap`".to_owned(),
+            waived,
+        }
+    }
+
+    #[test]
+    fn unwaived_counts_only_active_findings() {
+        let report = LintReport {
+            findings: vec![finding("a.rs", 1, true), finding("b.rs", 2, false)],
+            files_scanned: 2,
+        };
+        assert_eq!(report.unwaived(), 1);
+        assert!(!report.is_clean());
+    }
+
+    #[test]
+    fn empty_report_is_clean() {
+        assert!(LintReport::default().is_clean());
+    }
+
+    #[test]
+    fn json_is_parseable_and_ordered() {
+        let mut report = LintReport {
+            findings: vec![finding("b.rs", 2, false), finding("a.rs", 9, true)],
+            files_scanned: 2,
+        };
+        report.sort();
+        assert_eq!(report.findings[0].file, "a.rs");
+        let json = report.to_json();
+        let parsed = lotus_telemetry::json::parse(&json).expect("valid JSON");
+        assert_eq!(
+            parsed
+                .get("unwaived")
+                .and_then(lotus_telemetry::json::Json::as_u64),
+            Some(1)
+        );
+        let findings = parsed
+            .get("findings")
+            .and_then(|v| v.as_array())
+            .expect("findings array");
+        assert_eq!(findings.len(), 2);
+        assert_eq!(
+            findings[0].get("file").and_then(|v| v.as_str()),
+            Some("a.rs")
+        );
+    }
+
+    #[test]
+    fn json_escapes_quotes() {
+        assert_eq!(json_str("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+    }
+}

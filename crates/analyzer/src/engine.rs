@@ -1,0 +1,207 @@
+//! Workspace scanning and orchestration: walks every `.rs` file under
+//! `crates/`, `shims/` and `src/`, runs the rule catalog, applies the
+//! waiver file, and reports stale waivers.
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use crate::diag::{Finding, LintReport, Severity};
+use crate::rules;
+use crate::waiver::{WaiverError, WaiverSet};
+
+/// Default repo-relative location of the waiver file.
+pub const DEFAULT_WAIVER_FILE: &str = "analyzer-waivers.json";
+
+/// One source file to lint: repo-relative path plus contents.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Repo-relative path with forward slashes.
+    pub path: String,
+    /// File contents.
+    pub src: String,
+}
+
+/// Failure of a workspace analysis run.
+#[derive(Debug)]
+pub enum AnalyzeError {
+    /// A file or directory could not be read.
+    Io(io::Error),
+    /// The waiver file is malformed.
+    Waiver(WaiverError),
+}
+
+impl fmt::Display for AnalyzeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalyzeError::Io(e) => write!(f, "analysis failed reading sources: {e}"),
+            AnalyzeError::Waiver(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for AnalyzeError {}
+
+impl From<io::Error> for AnalyzeError {
+    fn from(e: io::Error) -> Self {
+        AnalyzeError::Io(e)
+    }
+}
+
+impl From<WaiverError> for AnalyzeError {
+    fn from(e: WaiverError) -> Self {
+        AnalyzeError::Waiver(e)
+    }
+}
+
+/// Lints a set of in-memory files (no waivers applied).
+pub fn lint_files(files: &[SourceFile]) -> LintReport {
+    let mut findings = Vec::new();
+    for f in files {
+        rules::lint_source(&f.path, &f.src, &mut findings);
+    }
+    let mut report = LintReport {
+        findings,
+        files_scanned: files.len(),
+    };
+    report.sort();
+    report
+}
+
+/// Collects every `.rs` file of the workspace rooted at `root`
+/// (`crates/`, `shims/` and the root `src/`), sorted by path.
+///
+/// # Errors
+///
+/// Returns the underlying [`io::Error`] when a directory or file cannot
+/// be read.
+pub fn collect_workspace_files(root: &Path) -> io::Result<Vec<SourceFile>> {
+    let mut out = Vec::new();
+    for top in ["crates", "shims", "src"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            walk(&dir, root, &mut out)?;
+        }
+    }
+    out.sort_by(|a, b| a.path.cmp(&b.path));
+    Ok(out)
+}
+
+fn walk(dir: &Path, root: &Path, out: &mut Vec<SourceFile>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if name.starts_with('.') || name == "target" {
+            continue;
+        }
+        if path.is_dir() {
+            walk(&path, root, out)?;
+        } else if name.ends_with(".rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            out.push(SourceFile {
+                path: rel,
+                src: fs::read_to_string(&path)?,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Full analysis: scan the workspace at `root`, apply the waiver file
+/// at `waiver_path` (missing file = empty set), and append
+/// `stale-waiver` findings for entries that matched nothing.
+///
+/// # Errors
+///
+/// Returns [`AnalyzeError`] when sources cannot be read or the waiver
+/// file is malformed.
+pub fn analyze_workspace(root: &Path, waiver_path: &Path) -> Result<LintReport, AnalyzeError> {
+    let files = collect_workspace_files(root)?;
+    let mut report = lint_files(&files);
+    let waivers = WaiverSet::load(waiver_path)?;
+    let stale: Vec<(String, String)> = waivers
+        .apply(&mut report)
+        .into_iter()
+        .map(|w| (w.rule.clone(), w.file.clone()))
+        .collect();
+    let waiver_rel = waiver_path
+        .strip_prefix(root)
+        .unwrap_or(waiver_path)
+        .to_string_lossy()
+        .replace('\\', "/");
+    for (rule, file) in stale {
+        report.findings.push(Finding {
+            rule: "stale-waiver",
+            severity: Severity::Warning,
+            file: waiver_rel.clone(),
+            line: 0,
+            message: format!("waiver for rule `{rule}` on `{file}` matches no finding; remove it"),
+            waived: false,
+        });
+    }
+    report.sort();
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(path: &str, src: &str) -> SourceFile {
+        SourceFile {
+            path: path.to_owned(),
+            src: src.to_owned(),
+        }
+    }
+
+    #[test]
+    fn lint_files_aggregates_and_sorts() {
+        let report = lint_files(&[
+            file(
+                "crates/b/src/lib.rs",
+                "fn f(o: Option<u32>) -> u32 { o.unwrap() }",
+            ),
+            file("crates/a/src/lib.rs", "fn g() { panic!(\"x\") }"),
+        ]);
+        assert_eq!(report.files_scanned, 2);
+        assert_eq!(report.findings.len(), 2);
+        assert_eq!(report.findings[0].file, "crates/a/src/lib.rs");
+    }
+
+    #[test]
+    fn collect_walks_this_workspace() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let files = collect_workspace_files(&root).expect("workspace readable");
+        assert!(files
+            .iter()
+            .any(|f| f.path == "crates/analyzer/src/engine.rs"));
+        assert!(files.iter().any(|f| f.path.starts_with("shims/par/")));
+        // Sorted and repo-relative.
+        assert!(files.windows(2).all(|w| w[0].path <= w[1].path));
+    }
+
+    #[test]
+    fn analyze_reports_stale_waivers() {
+        let dir = std::env::temp_dir().join(format!("lotus-analyzer-test-{}", std::process::id()));
+        let src_dir = dir.join("crates/x/src");
+        fs::create_dir_all(&src_dir).expect("mkdir");
+        fs::write(src_dir.join("lib.rs"), "pub fn ok() -> u32 { 1 }\n").expect("write");
+        let waivers = dir.join("analyzer-waivers.json");
+        fs::write(
+            &waivers,
+            r#"{"schema_version":1,"waivers":[{"rule":"no-panic","file":"crates/x/src/lib.rs","reason":"gone"}]}"#,
+        )
+        .expect("write waivers");
+        let report = analyze_workspace(&dir, &waivers).expect("analyze");
+        assert_eq!(report.findings.len(), 1);
+        assert_eq!(report.findings[0].rule, "stale-waiver");
+        assert!(!report.is_clean());
+        fs::remove_dir_all(&dir).ok();
+    }
+}

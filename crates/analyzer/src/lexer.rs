@@ -1,0 +1,370 @@
+//! A minimal, dependency-free Rust lexer.
+//!
+//! The lint rules only need a faithful token stream — identifiers,
+//! literals, comments, punctuation — with correct line numbers, not a
+//! full grammar. The tricky parts a naive `split_whitespace` scanner
+//! gets wrong are handled properly:
+//!
+//! * nested block comments (`/* a /* b */ c */`),
+//! * raw strings with hash fences (`r#"…"#`, `br##"…"##`),
+//! * lifetimes vs. char literals (`<'a>` vs. `'a'` vs. `'\''`),
+//! * raw identifiers (`r#type`),
+//! * multi-line strings (line numbers keep counting inside).
+//!
+//! Anything the lexer does not recognise falls through to a single-byte
+//! [`TokKind::Punct`] token, so the scan never gets stuck.
+
+/// Token categories. Deliberately coarse: rules match on identifier
+/// text and adjacency, not on a parse tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword, including raw identifiers (`r#type`).
+    Ident,
+    /// A lifetime such as `'a` or `'static`.
+    Lifetime,
+    /// Any string literal: `"…"`, `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`.
+    Str,
+    /// A character literal such as `'x'`, `'\n'` or `'\''`.
+    Char,
+    /// A numeric literal (any base, optional fraction and suffix).
+    Num,
+    /// A `// …` comment, including doc comments (`///`, `//!`).
+    LineComment,
+    /// A `/* … */` comment; nesting is respected.
+    BlockComment,
+    /// Any other single character.
+    Punct,
+}
+
+impl TokKind {
+    /// Whether this token is source code (not a comment).
+    pub fn is_code(self) -> bool {
+        !matches!(self, TokKind::LineComment | TokKind::BlockComment)
+    }
+}
+
+/// One token: its kind, exact source text, and 1-based start line.
+#[derive(Debug, Clone, Copy)]
+pub struct Tok<'a> {
+    /// Category.
+    pub kind: TokKind,
+    /// The exact source slice, delimiters included.
+    pub text: &'a str,
+    /// 1-based line number of the token's first character.
+    pub line: u32,
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Tokenizes `src`. Never fails: unrecognised bytes become punctuation.
+pub fn lex(src: &str) -> Vec<Tok<'_>> {
+    let b = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < b.len() {
+        let start = i;
+        let start_line = line;
+        let c = b[i];
+        let kind = match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+                continue;
+            }
+            _ if c.is_ascii_whitespace() => {
+                i += 1;
+                continue;
+            }
+            b'/' if b.get(i + 1) == Some(&b'/') => {
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                TokKind::LineComment
+            }
+            b'/' if b.get(i + 1) == Some(&b'*') => {
+                i += 2;
+                let mut depth = 1u32;
+                while i < b.len() && depth > 0 {
+                    match b[i] {
+                        b'\n' => {
+                            line += 1;
+                            i += 1;
+                        }
+                        b'/' if b.get(i + 1) == Some(&b'*') => {
+                            depth += 1;
+                            i += 2;
+                        }
+                        b'*' if b.get(i + 1) == Some(&b'/') => {
+                            depth -= 1;
+                            i += 2;
+                        }
+                        _ => i += 1,
+                    }
+                }
+                TokKind::BlockComment
+            }
+            b'"' => {
+                i = scan_plain_string(b, i, &mut line);
+                TokKind::Str
+            }
+            b'r' | b'b' => {
+                if let Some(end) = scan_raw_or_byte_string(b, i, &mut line) {
+                    i = end;
+                    TokKind::Str
+                } else if c == b'r'
+                    && b.get(i + 1) == Some(&b'#')
+                    && b.get(i + 2).copied().is_some_and(is_ident_start)
+                {
+                    // Raw identifier `r#type`.
+                    i += 3;
+                    while i < b.len() && is_ident_continue(b[i]) {
+                        i += 1;
+                    }
+                    TokKind::Ident
+                } else {
+                    i += 1;
+                    while i < b.len() && is_ident_continue(b[i]) {
+                        i += 1;
+                    }
+                    TokKind::Ident
+                }
+            }
+            b'\'' => {
+                let (end, kind) = scan_char_or_lifetime(src, i);
+                i = end;
+                kind
+            }
+            _ if c.is_ascii_digit() => {
+                i += 1;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                // A fraction, but not the start of a `..` range.
+                if i < b.len()
+                    && b[i] == b'.'
+                    && b.get(i + 1).copied().is_some_and(|d| d.is_ascii_digit())
+                {
+                    i += 1;
+                    while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                        i += 1;
+                    }
+                }
+                TokKind::Num
+            }
+            _ if is_ident_start(c) => {
+                i += 1;
+                while i < b.len() && is_ident_continue(b[i]) {
+                    i += 1;
+                }
+                TokKind::Ident
+            }
+            _ => {
+                i += 1;
+                TokKind::Punct
+            }
+        };
+        toks.push(Tok {
+            kind,
+            text: &src[start..i],
+            line: start_line,
+        });
+    }
+    toks
+}
+
+/// Scans a `"…"` string starting at the opening quote; returns the index
+/// one past the closing quote. Escapes and embedded newlines handled.
+fn scan_plain_string(b: &[u8], open: usize, line: &mut u32) -> usize {
+    let mut i = open + 1;
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'"' => return i + 1,
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Recognises `r"…"`, `r#"…"#`, `b"…"`, `br"…"`, `br#"…"#` starting at
+/// `open` (which holds `r` or `b`). Returns the end index, or `None` if
+/// the bytes at `open` are not a string prefix (e.g. an identifier that
+/// merely starts with `r`).
+fn scan_raw_or_byte_string(b: &[u8], open: usize, line: &mut u32) -> Option<usize> {
+    let mut j = open;
+    if b[j] == b'b' {
+        j += 1;
+    }
+    // When `open` holds `r` the prefix itself is the raw marker; after a
+    // `b` an `r` may follow (`br"…"`).
+    let raw = b.get(j) == Some(&b'r');
+    if raw {
+        j += 1;
+    }
+    if raw {
+        let mut hashes = 0usize;
+        while b.get(j) == Some(&b'#') {
+            hashes += 1;
+            j += 1;
+        }
+        if b.get(j) != Some(&b'"') {
+            return None;
+        }
+        j += 1;
+        // Raw strings have no escapes: scan for `"` followed by the fence.
+        while j < b.len() {
+            if b[j] == b'\n' {
+                *line += 1;
+            } else if b[j] == b'"'
+                && b[j + 1..]
+                    .iter()
+                    .take(hashes)
+                    .filter(|&&h| h == b'#')
+                    .count()
+                    == hashes
+            {
+                return Some(j + 1 + hashes);
+            }
+            j += 1;
+        }
+        Some(j)
+    } else if b.get(j) == Some(&b'"') {
+        Some(scan_plain_string(b, j, line))
+    } else {
+        None
+    }
+}
+
+/// Disambiguates `'…` into a char literal or a lifetime, starting at the
+/// quote. Returns `(end_index, kind)`.
+fn scan_char_or_lifetime(src: &str, open: usize) -> (usize, TokKind) {
+    let b = src.as_bytes();
+    if b.get(open + 1) == Some(&b'\\') {
+        // Escaped char literal: skip `'\x`, then scan to the close quote
+        // (covers `'\''`, `'\\'`, `'\u{…}'`).
+        let mut j = open + 3;
+        while j < b.len() && b[j] != b'\'' {
+            j += 1;
+        }
+        return ((j + 1).min(b.len()), TokKind::Char);
+    }
+    let Some(ch) = src[open + 1..].chars().next() else {
+        return (open + 1, TokKind::Punct);
+    };
+    let after = open + 1 + ch.len_utf8();
+    if b.get(after) == Some(&b'\'') && ch != '\'' {
+        (after + 1, TokKind::Char)
+    } else if ch == '_' || ch.is_alphabetic() {
+        let mut j = open + 1;
+        while j < b.len() && is_ident_continue(b[j]) {
+            j += 1;
+        }
+        (j, TokKind::Lifetime)
+    } else {
+        (open + 1, TokKind::Punct)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokKind> {
+        lex(src).iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let toks = lex("fn main() {}");
+        let texts: Vec<_> = toks.iter().map(|t| t.text).collect();
+        assert_eq!(texts, ["fn", "main", "(", ")", "{", "}"]);
+    }
+
+    #[test]
+    fn line_numbers_advance() {
+        let toks = lex("a\nb\n\nc");
+        let lines: Vec<_> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, [1, 2, 4]);
+    }
+
+    #[test]
+    fn nested_block_comment_is_one_token() {
+        let toks = lex("/* a /* b */ c */ x");
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[0].kind, TokKind::BlockComment);
+        assert_eq!(toks[1].text, "x");
+    }
+
+    #[test]
+    fn raw_string_with_fence() {
+        let toks = lex(r####"let s = r#"has "quotes" inside"#;"####);
+        let strs: Vec<_> = toks.iter().filter(|t| t.kind == TokKind::Str).collect();
+        assert_eq!(strs.len(), 1);
+        assert_eq!(strs[0].text, r####"r#"has "quotes" inside"#"####);
+    }
+
+    #[test]
+    fn lifetime_vs_char_literal() {
+        assert_eq!(
+            kinds("<'a> 'x' '\\'' 'static"),
+            [
+                TokKind::Punct,
+                TokKind::Lifetime,
+                TokKind::Punct,
+                TokKind::Char,
+                TokKind::Char,
+                TokKind::Lifetime,
+            ]
+        );
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings() {
+        assert_eq!(
+            kinds(r###"b"x" br#"y"# r"z" ready"###),
+            [TokKind::Str, TokKind::Str, TokKind::Str, TokKind::Ident]
+        );
+    }
+
+    #[test]
+    fn raw_identifier() {
+        let toks = lex("r#type + rest");
+        assert_eq!(toks[0].kind, TokKind::Ident);
+        assert_eq!(toks[0].text, "r#type");
+    }
+
+    #[test]
+    fn numbers_with_bases_and_suffixes() {
+        assert_eq!(
+            kinds("0x3ff 1_000u64 3.25 0..n"),
+            [
+                TokKind::Num,
+                TokKind::Num,
+                TokKind::Num,
+                TokKind::Num,
+                TokKind::Punct,
+                TokKind::Punct,
+                TokKind::Ident,
+            ]
+        );
+    }
+
+    #[test]
+    fn multiline_string_counts_lines() {
+        let toks = lex("\"a\nb\"\nx");
+        assert_eq!(toks[0].kind, TokKind::Str);
+        assert_eq!(toks[1].text, "x");
+        assert_eq!(toks[1].line, 3);
+    }
+}

@@ -1,0 +1,32 @@
+//! `lotus-analyzer` — project-specific static analysis for LOTUS.
+//!
+//! Two engines behind the `lotus analyze` CLI gate (DESIGN.md §10):
+//!
+//! * **Source lint engine** ([`engine`], [`rules`], [`lexer`]): a
+//!   hand-rolled Rust lexer plus token-stream rules enforcing the
+//!   project's concurrency and hygiene invariants — SAFETY comments on
+//!   `unsafe`, no panicking calls in library code, `Relaxed`-only
+//!   telemetry atomics, guard polling in lotus-core, and `# Errors`
+//!   docs on public fallible APIs. Findings are machine-readable JSON
+//!   ([`diag`]) with a checked-in waiver file ([`waiver`]), mirroring
+//!   `lotus check`'s violation format.
+//! * **Race checker** ([`race`]): replays the parallel kernels under
+//!   seeded deterministic schedules (`shims/par`'s scheduler mode)
+//!   while a shadow access log detects overlapping unsynchronized
+//!   writes across logical tasks, and verifies schedule-order
+//!   independence of every result.
+
+pub mod diag;
+pub mod engine;
+pub mod lexer;
+pub mod race;
+pub mod rules;
+pub mod waiver;
+
+pub use diag::{Finding, LintReport, Severity};
+pub use engine::{
+    analyze_workspace, collect_workspace_files, lint_files, SourceFile, DEFAULT_WAIVER_FILE,
+};
+pub use race::{planted_overlap, run_suite, RaceSuiteReport, ScenarioOutcome, FIXED_SEEDS};
+pub use rules::RULES;
+pub use waiver::{Waiver, WaiverSet};

@@ -1,0 +1,212 @@
+//! Deterministic-schedule race checking over the LOTUS kernels.
+//!
+//! Built on `shims/par`'s scheduler mode ([`rayon::sched`]): inside
+//! [`rayon::sched::with_schedule`] every parallel-for replays its task
+//! bodies in a seeded permutation while the instrumented kernels log the
+//! address ranges each logical task reads and writes (the per-vertex
+//! degree/entry windows of Algorithm 2, the HE/NHE lists the three
+//! counting phases of Algorithm 3 scan, the forward drivers' `N⁻`
+//! lists). Two properties are checked per scenario:
+//!
+//! 1. **no overlap** — no two distinct tasks write overlapping byte
+//!    ranges, and no task reads a range another task writes
+//!    (synchronized atomics are deliberately not logged: the shadow log
+//!    models *plain* accesses);
+//! 2. **order independence** — the scheduled result equals the
+//!    unscheduled reference, under every seed.
+//!
+//! [`planted_overlap`] is the negative control: a test-only kernel with
+//! a real overlapping window claim, proving the detector actually fires.
+
+use lotus_core::config::HubCount;
+use lotus_core::per_vertex::count_per_vertex;
+use lotus_core::preprocess::build_lotus_graph;
+use lotus_core::{LotusConfig, LotusCounter};
+use lotus_graph::UndirectedCsr;
+use lotus_resilience::RunGuard;
+use rayon::sched::{self, RaceReport};
+
+use crate::diag::json_str;
+
+/// The fixed seeds CI replays (documented in DESIGN.md §10).
+pub const FIXED_SEEDS: [u64; 3] = [7, 42, 0x5EED];
+
+/// One scenario under one seed.
+#[derive(Debug)]
+pub struct ScenarioOutcome {
+    /// Kernel-under-test name.
+    pub scenario: &'static str,
+    /// Schedule seed.
+    pub seed: u64,
+    /// Shadow-access-log verdict.
+    pub race: RaceReport,
+    /// Whether the scheduled run reproduced the unscheduled reference.
+    pub agrees: bool,
+}
+
+impl ScenarioOutcome {
+    /// Clean = no races and the result matched the reference.
+    pub fn is_clean(&self) -> bool {
+        self.race.is_clean() && self.agrees
+    }
+}
+
+/// All scenarios across all seeds.
+#[derive(Debug, Default)]
+pub struct RaceSuiteReport {
+    /// Per-(scenario, seed) outcomes.
+    pub outcomes: Vec<ScenarioOutcome>,
+}
+
+impl RaceSuiteReport {
+    /// Whether every scenario is race-free and order-independent.
+    pub fn is_clean(&self) -> bool {
+        self.outcomes.iter().all(ScenarioOutcome::is_clean)
+    }
+
+    /// Renders the suite as stable JSON for the CI artifact.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256 + self.outcomes.len() * 160);
+        out.push_str(
+            "{\n  \"schema_version\": 1,\n  \"tool\": \"lotus-analyzer\",\n  \"mode\": \"race\",\n",
+        );
+        out.push_str(&format!("  \"clean\": {},\n", self.is_clean()));
+        out.push_str("  \"outcomes\": [");
+        for (i, o) in self.outcomes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {");
+            out.push_str(&format!("\"scenario\": {}, ", json_str(o.scenario)));
+            out.push_str(&format!("\"seed\": {}, ", o.seed));
+            out.push_str(&format!("\"regions\": {}, ", o.race.regions));
+            out.push_str(&format!("\"accesses\": {}, ", o.race.accesses));
+            out.push_str(&format!("\"races\": {}, ", o.race.total_races));
+            out.push_str(&format!("\"agrees\": {}, ", o.agrees));
+            out.push_str("\"race_details\": [");
+            for (j, r) in o.race.races.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!(
+                    "{{\"label_a\": {}, \"task_a\": {}, \"label_b\": {}, \"task_b\": {}, \
+                     \"write_write\": {}, \"overlap_len\": {}}}",
+                    json_str(r.label_a),
+                    r.task_a,
+                    json_str(r.label_b),
+                    r.task_b,
+                    r.write_write,
+                    r.overlap_len
+                ));
+            }
+            out.push_str("]}");
+        }
+        if !self.outcomes.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+}
+
+fn test_graph() -> UndirectedCsr {
+    lotus_gen::Rmat::new(8, 8).generate(3)
+}
+
+fn config() -> LotusConfig {
+    LotusConfig::default().with_hub_count(HubCount::Fixed(32))
+}
+
+/// Runs every shipped LOTUS kernel under every seed, comparing against
+/// the unscheduled reference result.
+pub fn run_suite(seeds: &[u64]) -> RaceSuiteReport {
+    let g = test_graph();
+    let mut outcomes = Vec::new();
+
+    let mut scenario = |name: &'static str, f: &dyn Fn(&UndirectedCsr) -> u64| {
+        let reference = f(&g);
+        for &seed in seeds {
+            let (value, race) = sched::with_schedule(seed, || f(&g));
+            outcomes.push(ScenarioOutcome {
+                scenario: name,
+                seed,
+                race,
+                agrees: value == reference,
+            });
+        }
+    };
+
+    scenario("preprocess+phases", &|g| {
+        LotusCounter::new(config()).count(g).total()
+    });
+    scenario("phases-guarded", &|g| {
+        LotusCounter::new(config())
+            .count_guarded(g, &RunGuard::unlimited())
+            .map_or(u64::MAX, |r| r.total())
+    });
+    scenario("per-vertex", &|g| {
+        let lg = build_lotus_graph(g, &config());
+        count_per_vertex(&lg).iter().sum()
+    });
+    scenario("forward", &|g| lotus_algos::forward_count(g));
+    scenario("forward-hashed", &|g| {
+        lotus_algos::forward_hashed::forward_hashed_count(g)
+    });
+
+    RaceSuiteReport { outcomes }
+}
+
+/// Negative control: a kernel with a *real* overlapping write claim.
+///
+/// Task `i` owns the window `out[i .. i+2]`, so neighbouring tasks
+/// overlap in one slot — the classic off-by-one tile-boundary bug in
+/// hub-partitioned kernels. The slots are atomics so the demo stays
+/// well-defined on a genuinely parallel runtime; the *logged* ranges are plain
+/// writes, which is exactly what the shadow log checks.
+pub fn planted_overlap(seed: u64, tasks: usize) -> RaceReport {
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    use rayon::prelude::*;
+
+    let out: Vec<AtomicU32> = (0..=tasks).map(|_| AtomicU32::new(0)).collect();
+    let ((), report) = sched::with_schedule(seed, || {
+        (0..tasks).into_par_iter().for_each(|i| {
+            let window = &out[i..i + 2];
+            sched::log_write(window, "planted.window");
+            window[0].fetch_add(1, Ordering::Relaxed);
+            window[1].fetch_add(1, Ordering::Relaxed);
+        });
+    });
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn planted_overlap_is_detected() {
+        let report = planted_overlap(FIXED_SEEDS[0], 16);
+        assert!(!report.is_clean(), "planted overlap must be detected");
+        assert!(report.races.iter().all(|r| r.write_write));
+        assert!(report.races.iter().all(|r| r.overlap_len == 4)); // one u32 slot
+    }
+
+    #[test]
+    fn suite_json_shape() {
+        let mut suite = RaceSuiteReport::default();
+        suite.outcomes.push(ScenarioOutcome {
+            scenario: "demo",
+            seed: 7,
+            race: RaceReport::default(),
+            agrees: true,
+        });
+        let parsed = lotus_telemetry::json::parse(&suite.to_json()).expect("valid JSON");
+        assert_eq!(
+            parsed
+                .get("clean")
+                .and_then(lotus_telemetry::json::Json::as_bool),
+            Some(true)
+        );
+    }
+}

@@ -1,0 +1,205 @@
+//! The checked-in waiver file: deliberate, reviewed exceptions to the
+//! lint rules.
+//!
+//! Format (JSON, parsed with `lotus-telemetry`'s dependency-free
+//! parser):
+//!
+//! ```json
+//! {
+//!   "schema_version": 1,
+//!   "waivers": [
+//!     {
+//!       "rule": "no-panic",
+//!       "file": "crates/resilience/src/fault.rs",
+//!       "reason": "fault points deliberately panic when armed"
+//!     }
+//!   ]
+//! }
+//! ```
+//!
+//! A waiver matches every finding of `rule` in `file` (repo-relative,
+//! forward slashes). A `reason` is mandatory: the file is the audit
+//! trail. Waivers that match nothing are themselves reported as
+//! `stale-waiver` findings so the file cannot accumulate dead entries.
+
+use std::fmt;
+use std::path::Path;
+
+use crate::diag::LintReport;
+
+/// One reviewed exception.
+#[derive(Debug, Clone)]
+pub struct Waiver {
+    /// Rule identifier the waiver applies to.
+    pub rule: String,
+    /// Repo-relative file the waiver covers.
+    pub file: String,
+    /// Why the exception is justified (mandatory).
+    pub reason: String,
+}
+
+/// All waivers of the checked-in waiver file.
+#[derive(Debug, Clone, Default)]
+pub struct WaiverSet {
+    /// Entries in file order.
+    pub waivers: Vec<Waiver>,
+}
+
+/// Failure to load or understand the waiver file.
+#[derive(Debug)]
+pub enum WaiverError {
+    /// The file could not be read.
+    Io(std::io::Error),
+    /// The file is not valid JSON.
+    Parse(String),
+    /// The JSON is valid but missing required fields.
+    Schema(String),
+}
+
+impl fmt::Display for WaiverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WaiverError::Io(e) => write!(f, "cannot read waiver file: {e}"),
+            WaiverError::Parse(e) => write!(f, "waiver file is not valid JSON: {e}"),
+            WaiverError::Schema(e) => write!(f, "waiver file schema error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WaiverError {}
+
+impl WaiverSet {
+    /// Loads waivers from `path`. A missing file is an empty set: the
+    /// gate then requires a fully clean workspace.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WaiverError`] when the file exists but cannot be read
+    /// or does not follow the documented schema.
+    pub fn load(path: &Path) -> Result<Self, WaiverError> {
+        if !path.exists() {
+            return Ok(Self::default());
+        }
+        let text = std::fs::read_to_string(path).map_err(WaiverError::Io)?;
+        Self::parse(&text)
+    }
+
+    /// Parses the waiver file format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WaiverError`] on malformed JSON or a missing/empty
+    /// `rule`, `file` or `reason` field.
+    pub fn parse(text: &str) -> Result<Self, WaiverError> {
+        let root =
+            lotus_telemetry::json::parse(text).map_err(|e| WaiverError::Parse(e.to_string()))?;
+        let entries = root
+            .get("waivers")
+            .and_then(|v| v.as_array())
+            .ok_or_else(|| WaiverError::Schema("missing `waivers` array".to_owned()))?;
+        let mut waivers = Vec::with_capacity(entries.len());
+        for (idx, entry) in entries.iter().enumerate() {
+            let field = |name: &str| -> Result<String, WaiverError> {
+                entry
+                    .get(name)
+                    .and_then(|v| v.as_str())
+                    .filter(|s| !s.is_empty())
+                    .map(str::to_owned)
+                    .ok_or_else(|| {
+                        WaiverError::Schema(format!("waiver #{idx}: missing or empty `{name}`"))
+                    })
+            };
+            waivers.push(Waiver {
+                rule: field("rule")?,
+                file: field("file")?,
+                reason: field("reason")?,
+            });
+        }
+        Ok(Self { waivers })
+    }
+
+    /// Marks findings covered by a waiver and returns the entries that
+    /// matched nothing (stale waivers).
+    pub fn apply(&self, report: &mut LintReport) -> Vec<&Waiver> {
+        let mut used = vec![false; self.waivers.len()];
+        for finding in &mut report.findings {
+            if finding.waived {
+                continue; // already covered by an inline allow
+            }
+            for (w_idx, w) in self.waivers.iter().enumerate() {
+                if w.rule == finding.rule && w.file == finding.file {
+                    finding.waived = true;
+                    used[w_idx] = true;
+                    break;
+                }
+            }
+        }
+        self.waivers
+            .iter()
+            .zip(&used)
+            .filter_map(|(w, &u)| (!u).then_some(w))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::{Finding, Severity};
+
+    fn finding(rule: &'static str, file: &str) -> Finding {
+        Finding {
+            rule,
+            severity: Severity::Error,
+            file: file.to_owned(),
+            line: 3,
+            message: "m".to_owned(),
+            waived: false,
+        }
+    }
+
+    const SAMPLE: &str = r#"{
+        "schema_version": 1,
+        "waivers": [
+            {"rule": "no-panic", "file": "crates/x/src/lib.rs", "reason": "demo"}
+        ]
+    }"#;
+
+    #[test]
+    fn parses_and_applies() {
+        let set = WaiverSet::parse(SAMPLE).expect("valid waiver file");
+        let mut report = LintReport {
+            findings: vec![
+                finding("no-panic", "crates/x/src/lib.rs"),
+                finding("no-panic", "crates/y/src/lib.rs"),
+            ],
+            files_scanned: 2,
+        };
+        let stale = set.apply(&mut report);
+        assert!(stale.is_empty());
+        assert!(report.findings[0].waived);
+        assert!(!report.findings[1].waived);
+        assert_eq!(report.unwaived(), 1);
+    }
+
+    #[test]
+    fn unused_waiver_is_reported_stale() {
+        let set = WaiverSet::parse(SAMPLE).expect("valid waiver file");
+        let mut report = LintReport::default();
+        let stale = set.apply(&mut report);
+        assert_eq!(stale.len(), 1);
+        assert_eq!(stale[0].rule, "no-panic");
+    }
+
+    #[test]
+    fn missing_reason_is_rejected() {
+        let bad = r#"{"waivers": [{"rule": "no-panic", "file": "a.rs"}]}"#;
+        assert!(matches!(WaiverSet::parse(bad), Err(WaiverError::Schema(_))));
+    }
+
+    #[test]
+    fn missing_file_is_empty_set() {
+        let set = WaiverSet::load(Path::new("/nonexistent/waivers.json")).expect("empty");
+        assert!(set.waivers.is_empty());
+    }
+}

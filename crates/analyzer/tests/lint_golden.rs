@@ -1,0 +1,50 @@
+//! Golden-JSON snapshot of the lint engine over a torture fixture:
+//! raw strings, nested block comments, fenced raw strings, lifetimes vs
+//! char literals, and `unsafe` inside a macro with its SAFETY comment.
+//! The exact JSON (rule, line, severity, waived flags) is pinned so any
+//! lexer or rule regression shows up as a diff. The fixture is stored as
+//! `.txt` so the workspace gate does not scan its deliberate violations.
+
+use lotus_analyzer::{lint_files, SourceFile};
+
+const FIXTURE: &str = include_str!("fixtures/tricky.rs.txt");
+
+#[test]
+fn tricky_fixture_matches_golden_json() {
+    let files = [SourceFile {
+        // A path without /tests/ so the fixture is linted as library code.
+        path: "fixtures/tricky.rs".to_owned(),
+        src: FIXTURE.to_owned(),
+    }];
+    let report = lint_files(&files);
+    let expected = include_str!("fixtures/tricky.golden.json");
+    assert_eq!(
+        report.to_json(),
+        expected,
+        "lint output diverged from the golden snapshot; \
+         if the change is intentional, regenerate tricky.golden.json"
+    );
+}
+
+#[test]
+fn tricky_fixture_finding_shape() {
+    let files = [SourceFile {
+        path: "fixtures/tricky.rs".to_owned(),
+        src: FIXTURE.to_owned(),
+    }];
+    let report = lint_files(&files);
+    // Three live violations (unwrap, SeqCst, missing SAFETY) and one
+    // inline-waived expect; the macro's SAFETY-commented unsafe and all
+    // string/comment decoys contribute nothing.
+    assert_eq!(report.findings.len(), 4);
+    assert_eq!(report.unwaived(), 3);
+    let rules: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| !f.waived)
+        .map(|f| f.rule)
+        .collect();
+    assert!(rules.contains(&"no-panic"));
+    assert!(rules.contains(&"no-seqcst"));
+    assert!(rules.contains(&"safety-comment"));
+}

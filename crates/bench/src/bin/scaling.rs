@@ -26,17 +26,22 @@ fn main() {
     let mut t = Table::new("Thread scaling: Lotus counting time (seconds)").headers(&header_refs);
 
     for name in ["Twtr", "SK", "UKDls"] {
-        let dataset = Dataset::by_name(name)
-            .expect("known dataset")
-            .at_scale(scale);
+        let Some(dataset) = Dataset::by_name(name) else {
+            eprintln!("scaling: unknown dataset {name}");
+            std::process::exit(2);
+        };
+        let dataset = dataset.at_scale(scale);
         let graph = dataset.generate();
         let lg = build_lotus_graph(&graph, &LotusConfig::default());
         let mut cells = vec![name.to_string()];
         for &n in &threads {
-            let pool = rayon::ThreadPoolBuilder::new()
-                .num_threads(n)
-                .build()
-                .expect("pool");
+            let pool = match rayon::ThreadPoolBuilder::new().num_threads(n).build() {
+                Ok(pool) => pool,
+                Err(e) => {
+                    eprintln!("scaling: failed to build {n}-thread pool: {e}");
+                    std::process::exit(2);
+                }
+            };
             let counter = LotusCounter::new(LotusConfig::default());
             let start = Instant::now();
             let total = pool.install(|| counter.count_prepared(&lg).total());

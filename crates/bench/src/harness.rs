@@ -2,7 +2,7 @@
 //! environment-controlled dataset selection.
 
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 use std::time::Duration;
 
 use lotus_algos::bbtc::BbtcCounter;
@@ -112,13 +112,17 @@ pub fn cached_graph(d: &Dataset) -> Arc<UndirectedCsr> {
     static CACHE: OnceLock<Cache> = OnceLock::new();
     let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
     let key = (d.name.to_string(), d.scale, d.seed);
-    if let Some(g) = cache.lock().expect("cache poisoned").get(&key) {
+    if let Some(g) = cache
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .get(&key)
+    {
         return Arc::clone(g);
     }
     let g = Arc::new(d.generate());
     cache
         .lock()
-        .expect("cache poisoned")
+        .unwrap_or_else(PoisonError::into_inner)
         .insert(key, Arc::clone(&g));
     g
 }

@@ -194,6 +194,9 @@ impl Report {
     }
 
     /// Converts to `Err(self)` when violations exist.
+    ///
+    /// # Errors
+    /// Returns `Err(self)` when the report contains violations.
     pub fn into_result(self) -> Result<(), Report> {
         if self.is_clean() {
             Ok(())

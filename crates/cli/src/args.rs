@@ -12,7 +12,9 @@ USAGE:
   lotus count <graph> [--algorithm lotus|forward|edge-iterator|gbbs|bbtc|adaptive]
                       [--hubs N] [--per-vertex] [--timeout SECS]
                       [--mem-budget SIZE] [--strict]
-  lotus analyze <graph> [--hub-fraction F]
+  lotus analyze [graph] <graph> [--hub-fraction F]
+  lotus analyze lint [--waivers FILE] [--json FILE]
+  lotus analyze race [--seeds A,B,C] [--json FILE]
   lotus generate <rmat|ba|er|ws> --scale S [--edge-factor F] [--seed X]
                  [--params social|web|mild] -o <file>
   lotus convert <input> <output> [--strict]
@@ -33,8 +35,16 @@ fails (exit 1) on triangle-count changes, missing runs, or wall-time
 regressions beyond --tolerance (fractional, default 0.25 = +25%).
 Builds without `--features telemetry` report all work counters as 0.
 
-Exit codes: 0 success (including degraded runs), 1 runtime error,
-2 usage error, 101 isolated worker panic, 124 interrupted.";
+analyze lint runs the project-rule source lint over the workspace
+(run from the repo root) against the checked-in waiver file; analyze
+race replays every parallel kernel under seeded deterministic
+schedules and fails on shadow-log races or order-dependent results.
+Both gates share `lotus check`'s exit-code contract: 0 clean,
+1 violations found, 2 usage error.
+
+Exit codes: 0 success (including degraded runs), 1 runtime error or
+violations found, 2 usage error, 101 isolated worker panic,
+124 interrupted.";
 
 /// A parsed subcommand.
 #[derive(Debug, Clone, PartialEq)]
@@ -103,13 +113,43 @@ pub struct CountArgs {
     pub strict: bool,
 }
 
-/// Arguments of `lotus analyze`.
+/// Arguments of `lotus analyze`: a graph analysis or one of the two
+/// static-analysis gates.
 #[derive(Debug, Clone, PartialEq)]
-pub struct AnalyzeArgs {
+pub enum AnalyzeArgs {
+    /// `lotus analyze [graph] <path>` — the §3 hub/topology analysis.
+    Graph(AnalyzeGraphArgs),
+    /// `lotus analyze lint` — the project-rule source lint gate.
+    Lint(AnalyzeLintArgs),
+    /// `lotus analyze race` — the deterministic-schedule race checker.
+    Race(AnalyzeRaceArgs),
+}
+
+/// Arguments of `lotus analyze [graph] <path>`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnalyzeGraphArgs {
     /// Input graph path.
     pub input: String,
     /// Hub fraction for the §3 analysis (default 0.01).
     pub hub_fraction: f64,
+}
+
+/// Arguments of `lotus analyze lint`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnalyzeLintArgs {
+    /// Waiver file path (default `analyzer-waivers.json`).
+    pub waivers: Option<String>,
+    /// Where to write the JSON diagnostics artifact, if anywhere.
+    pub json: Option<String>,
+}
+
+/// Arguments of `lotus analyze race`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnalyzeRaceArgs {
+    /// Schedule seeds (`--seeds 7,42,3` — empty means the fixed CI set).
+    pub seeds: Vec<u64>,
+    /// Where to write the JSON report artifact, if anywhere.
+    pub json: Option<String>,
 }
 
 /// Arguments of `lotus generate`.
@@ -177,6 +217,10 @@ fn parse_num<T: std::str::FromStr>(flag: &str, value: &str) -> Result<T, ParseEr
 }
 
 /// Parses an argument vector (without the program name).
+///
+/// # Errors
+/// Returns a [`ParseError`] naming the first unknown command, unknown
+/// flag, or invalid value.
 pub fn parse(argv: &[&str]) -> Result<Command, ParseError> {
     let mut it = argv.iter().copied();
     let sub = it
@@ -232,27 +276,78 @@ pub fn parse(argv: &[&str]) -> Result<Command, ParseError> {
             }))
         }
         "analyze" => {
-            let mut input = None;
-            let mut hub_fraction = 0.01f64;
-            while let Some(arg) = it.next() {
-                match arg {
-                    "--hub-fraction" => {
-                        hub_fraction = parse_num(arg, &take_value(arg, &mut it)?)?;
+            let rest: Vec<&str> = it.collect();
+            match rest.first().copied() {
+                Some("lint") => {
+                    let mut waivers = None;
+                    let mut json = None;
+                    let mut it = rest[1..].iter().copied();
+                    while let Some(arg) = it.next() {
+                        match arg {
+                            "--waivers" | "-w" => waivers = Some(take_value(arg, &mut it)?),
+                            "--json" | "-j" => json = Some(take_value(arg, &mut it)?),
+                            _ => return Err(ParseError(format!("unexpected argument '{arg}'"))),
+                        }
                     }
-                    _ if input.is_none() && !arg.starts_with('-') => {
-                        input = Some(arg.to_string());
+                    Ok(Command::Analyze(AnalyzeArgs::Lint(AnalyzeLintArgs {
+                        waivers,
+                        json,
+                    })))
+                }
+                Some("race") => {
+                    let mut seeds = Vec::new();
+                    let mut json = None;
+                    let mut it = rest[1..].iter().copied();
+                    while let Some(arg) = it.next() {
+                        match arg {
+                            "--seeds" | "-s" => {
+                                let value = take_value(arg, &mut it)?;
+                                for part in value.split(',') {
+                                    seeds.push(parse_num(arg, part.trim())?);
+                                }
+                            }
+                            "--json" | "-j" => json = Some(take_value(arg, &mut it)?),
+                            _ => return Err(ParseError(format!("unexpected argument '{arg}'"))),
+                        }
                     }
-                    _ => return Err(ParseError(format!("unexpected argument '{arg}'"))),
+                    Ok(Command::Analyze(AnalyzeArgs::Race(AnalyzeRaceArgs {
+                        seeds,
+                        json,
+                    })))
+                }
+                _ => {
+                    // Bare `analyze <path>` keeps working; `analyze graph
+                    // <path>` is the explicit spelling.
+                    let args = if rest.first() == Some(&"graph") {
+                        &rest[1..]
+                    } else {
+                        &rest[..]
+                    };
+                    let mut input = None;
+                    let mut hub_fraction = 0.01f64;
+                    let mut it = args.iter().copied();
+                    while let Some(arg) = it.next() {
+                        match arg {
+                            "--hub-fraction" => {
+                                hub_fraction = parse_num(arg, &take_value(arg, &mut it)?)?;
+                            }
+                            _ if input.is_none() && !arg.starts_with('-') => {
+                                input = Some(arg.to_string());
+                            }
+                            _ => return Err(ParseError(format!("unexpected argument '{arg}'"))),
+                        }
+                    }
+                    let input =
+                        input.ok_or_else(|| ParseError("analyze: missing graph path".into()))?;
+                    if !(hub_fraction > 0.0 && hub_fraction <= 1.0) {
+                        return Err(ParseError("--hub-fraction must be in (0, 1]".into()));
+                    }
+                    Ok(Command::Analyze(AnalyzeArgs::Graph(AnalyzeGraphArgs {
+                        input,
+                        hub_fraction,
+                    })))
                 }
             }
-            let input = input.ok_or_else(|| ParseError("analyze: missing graph path".into()))?;
-            if !(hub_fraction > 0.0 && hub_fraction <= 1.0) {
-                return Err(ParseError("--hub-fraction must be in (0, 1]".into()));
-            }
-            Ok(Command::Analyze(AnalyzeArgs {
-                input,
-                hub_fraction,
-            }))
         }
         "generate" => {
             let kind = it
@@ -578,6 +673,62 @@ mod tests {
         assert!(parse(&["bench", "compare", "a", "b", "c"]).is_err());
         assert!(parse(&["bench", "compare", "a", "b", "--tolerance", "-1"]).is_err());
         assert!(parse(&["bench", "compare", "a", "b", "--tolerance", "nan"]).is_err());
+    }
+
+    #[test]
+    fn parses_analyze_modes() {
+        // Bare path (back-compat) and explicit `graph` spelling agree.
+        let bare = parse(&["analyze", "g.txt"]).unwrap();
+        let explicit = parse(&["analyze", "graph", "g.txt"]).unwrap();
+        assert_eq!(bare, explicit);
+        assert_eq!(
+            bare,
+            Command::Analyze(AnalyzeArgs::Graph(AnalyzeGraphArgs {
+                input: "g.txt".into(),
+                hub_fraction: 0.01,
+            }))
+        );
+        assert_eq!(
+            parse(&["analyze", "lint"]).unwrap(),
+            Command::Analyze(AnalyzeArgs::Lint(AnalyzeLintArgs {
+                waivers: None,
+                json: None,
+            }))
+        );
+        assert_eq!(
+            parse(&[
+                "analyze",
+                "lint",
+                "--waivers",
+                "w.json",
+                "--json",
+                "out.json"
+            ])
+            .unwrap(),
+            Command::Analyze(AnalyzeArgs::Lint(AnalyzeLintArgs {
+                waivers: Some("w.json".into()),
+                json: Some("out.json".into()),
+            }))
+        );
+        assert_eq!(
+            parse(&["analyze", "race"]).unwrap(),
+            Command::Analyze(AnalyzeArgs::Race(AnalyzeRaceArgs {
+                seeds: vec![],
+                json: None,
+            }))
+        );
+        assert_eq!(
+            parse(&["analyze", "race", "--seeds", "7,42, 3", "--json", "r.json"]).unwrap(),
+            Command::Analyze(AnalyzeArgs::Race(AnalyzeRaceArgs {
+                seeds: vec![7, 42, 3],
+                json: Some("r.json".into()),
+            }))
+        );
+        assert!(parse(&["analyze"]).is_err());
+        assert!(parse(&["analyze", "lint", "--waivers"]).is_err());
+        assert!(parse(&["analyze", "lint", "extra"]).is_err());
+        assert!(parse(&["analyze", "race", "--seeds", "x"]).is_err());
+        assert!(parse(&["analyze", "graph"]).is_err());
     }
 
     #[test]

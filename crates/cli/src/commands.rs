@@ -2,6 +2,7 @@
 
 use std::fmt;
 use std::fmt::Write as _;
+use std::path::Path;
 use std::time::{Duration, Instant};
 
 use lotus_algos::bbtc::BbtcCounter;
@@ -22,8 +23,8 @@ use lotus_graph::{io, EdgeList, GraphStats, ParseWarning, Strictness, Undirected
 use lotus_resilience::{isolate, Deadline, MemoryBudget, RunGuard};
 
 use crate::args::{
-    AnalyzeArgs, BenchArgs, BenchCompareArgs, BenchRunArgs, CheckArgs, ConvertArgs, CountArgs,
-    GenerateArgs,
+    AnalyzeArgs, AnalyzeGraphArgs, AnalyzeLintArgs, AnalyzeRaceArgs, BenchArgs, BenchCompareArgs,
+    BenchRunArgs, CheckArgs, ConvertArgs, CountArgs, GenerateArgs,
 };
 
 /// A command failure: user-facing message plus process exit code.
@@ -126,6 +127,10 @@ fn lotus_config(hubs: Option<u32>, graph: &UndirectedCsr) -> LotusConfig {
 }
 
 /// `lotus count`.
+///
+/// # Errors
+/// Returns a [`CliError`] when the graph cannot be loaded or the
+/// guarded run stops early.
 pub fn count(args: CountArgs) -> Result<String, CliError> {
     let strictness = if args.strict {
         Strictness::Strict
@@ -248,8 +253,21 @@ pub fn count(args: CountArgs) -> Result<String, CliError> {
     Ok(out)
 }
 
-/// `lotus analyze`.
+/// `lotus analyze`: graph analysis or one of the static-analysis gates.
+///
+/// # Errors
+/// Returns a [`CliError`] when input is unreadable, the lint gate
+/// finds unwaived violations, or a race scenario fails.
 pub fn analyze(args: AnalyzeArgs) -> Result<String, CliError> {
+    match args {
+        AnalyzeArgs::Graph(a) => analyze_graph(a),
+        AnalyzeArgs::Lint(a) => analyze_lint(&a),
+        AnalyzeArgs::Race(a) => analyze_race(&a),
+    }
+}
+
+/// `lotus analyze [graph] <path>` — the paper's §3 hub/topology analysis.
+fn analyze_graph(args: AnalyzeGraphArgs) -> Result<String, CliError> {
     let (graph, warnings) = load_graph(&args.input, Strictness::Lenient)?;
     let mut out = String::new();
     write_warnings(&mut out, &args.input, &warnings);
@@ -293,7 +311,78 @@ pub fn analyze(args: AnalyzeArgs) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// `lotus analyze lint` — the project-rule source lint gate. Scans the
+/// workspace from the current directory, applies the waiver file, and
+/// fails (exit 1) on any unwaived finding, mirroring `lotus check`.
+fn analyze_lint(args: &AnalyzeLintArgs) -> Result<String, CliError> {
+    let waiver_path = args
+        .waivers
+        .as_deref()
+        .unwrap_or(lotus_analyzer::DEFAULT_WAIVER_FILE);
+    let report = lotus_analyzer::analyze_workspace(Path::new("."), Path::new(waiver_path))
+        .map_err(|e| CliError::runtime(e.to_string()))?;
+    if let Some(path) = &args.json {
+        std::fs::write(path, report.to_json())
+            .map_err(|e| CliError::runtime(format!("cannot write '{path}': {e}")))?;
+    }
+    let rendered = format!("{report}\n");
+    if report.is_clean() {
+        Ok(rendered)
+    } else {
+        Err(CliError::runtime(rendered))
+    }
+}
+
+/// `lotus analyze race` — replays every shipped parallel kernel under
+/// seeded deterministic schedules; fails (exit 1) on any shadow-log race
+/// or schedule-dependent result.
+fn analyze_race(args: &AnalyzeRaceArgs) -> Result<String, CliError> {
+    let seeds: &[u64] = if args.seeds.is_empty() {
+        &lotus_analyzer::FIXED_SEEDS
+    } else {
+        &args.seeds
+    };
+    let suite = lotus_analyzer::run_suite(seeds);
+    if let Some(path) = &args.json {
+        std::fs::write(path, suite.to_json())
+            .map_err(|e| CliError::runtime(format!("cannot write '{path}': {e}")))?;
+    }
+    let mut out = String::new();
+    for o in &suite.outcomes {
+        let verdict = if o.is_clean() {
+            "ok".to_string()
+        } else if o.agrees {
+            format!("{} race(s)", o.race.total_races)
+        } else {
+            "result diverged".to_string()
+        };
+        let _ = writeln!(
+            out,
+            "{:<20} seed {:<6} regions {:<4} accesses {:<7} {verdict}",
+            o.scenario, o.seed, o.race.regions, o.race.accesses
+        );
+    }
+    let _ = writeln!(
+        out,
+        "{} scenario run(s), {}",
+        suite.outcomes.len(),
+        if suite.is_clean() {
+            "all clean"
+        } else {
+            "RACES FOUND"
+        }
+    );
+    if suite.is_clean() {
+        Ok(out)
+    } else {
+        Err(CliError::runtime(out))
+    }
+}
+
 /// `lotus generate`.
+///
+/// # Errors
+/// Returns a [`CliError`] when the output file cannot be written.
 pub fn generate(args: GenerateArgs) -> Result<String, CliError> {
     let n = 1u32 << args.scale;
     let edges = match args.kind.as_str() {
@@ -332,6 +421,10 @@ pub fn generate(args: GenerateArgs) -> Result<String, CliError> {
 /// phase-sum cross-check; `--differential` additionally runs every
 /// algorithm in the workspace and compares counts. Returns `Err` (nonzero
 /// exit) when any violation is found, so it can gate CI.
+///
+/// # Errors
+/// Returns a [`CliError`] when the graph cannot be loaded or any
+/// validation rule is violated (nonzero exit for CI).
 pub fn check(args: CheckArgs) -> Result<String, CliError> {
     let (graph, warnings) = load_graph(&args.input, Strictness::Lenient)?;
     let mut out = String::new();
@@ -391,6 +484,10 @@ pub fn check(args: CheckArgs) -> Result<String, CliError> {
 
 /// `lotus bench`: run a named suite (writing `BENCH.json` with
 /// `--json`) or diff two artifacts with `bench compare`.
+///
+/// # Errors
+/// Returns a [`CliError`] when the suite fails, an artifact cannot be
+/// read or written, or a compare regresses past tolerance.
 pub fn bench(args: BenchArgs) -> Result<String, CliError> {
     match args {
         BenchArgs::Run(run) => bench_run(&run),
@@ -437,6 +534,10 @@ fn bench_compare(args: &BenchCompareArgs) -> Result<String, CliError> {
 }
 
 /// `lotus convert`.
+///
+/// # Errors
+/// Returns a [`CliError`] when either file cannot be read or written
+/// or the formats cannot be inferred.
 pub fn convert(args: ConvertArgs) -> Result<String, CliError> {
     let strictness = if args.strict {
         Strictness::Strict
@@ -516,10 +617,10 @@ mod tests {
             assert_eq!(extract_triangles(&out), reference, "{alg}");
         }
 
-        let out = analyze(AnalyzeArgs {
+        let out = analyze(AnalyzeArgs::Graph(AnalyzeGraphArgs {
             input: path.clone(),
             hub_fraction: 0.01,
-        })
+        }))
         .unwrap();
         assert!(out.contains("hub triangles"), "{out}");
         std::fs::remove_file(&path).ok();

@@ -28,6 +28,10 @@ pub use commands::CliError;
 
 /// Runs a parsed command, returning the text to print or a structured
 /// error carrying the process exit code.
+///
+/// # Errors
+/// Returns the command's [`CliError`], which carries the process exit
+/// code.
 pub fn run(cmd: Command) -> Result<String, CliError> {
     match cmd {
         Command::Count(c) => commands::count(c),

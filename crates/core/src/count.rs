@@ -263,6 +263,10 @@ impl LotusCounter {
     /// executes the paper's split HNN/NNN phases (the fused ablation of
     /// [`LotusConfig::with_fused_phases`] is a perf experiment, not a
     /// production path).
+    ///
+    /// # Errors
+    /// Returns a [`CountError`] when the guard stops the run or a worker
+    /// panics inside an isolated phase.
     pub fn count_guarded(
         &self,
         graph: &UndirectedCsr,
@@ -302,6 +306,10 @@ impl LotusCounter {
     }
 
     /// Guarded counting of an already-built LOTUS graph.
+    ///
+    /// # Errors
+    /// Returns a [`CountError`] when the guard stops the run or a worker
+    /// panics inside an isolated phase.
     pub fn count_prepared_guarded(
         &self,
         lg: &LotusGraph,
@@ -433,6 +441,7 @@ fn count_hub_pairs(lg: &LotusGraph, tiles: &[Tile]) -> (u64, u64) {
 /// inner loop probes consecutive bits (§4.4.1).
 #[inline]
 fn count_tile(h2h: &TriBitArray, he: &[u16], tile: &Tile) -> u64 {
+    rayon::sched::log_read(he, "phase1.he");
     let mut found = 0u64;
     for i in tile.begin..tile.end {
         let h1 = he[i as usize] as u32;
@@ -468,6 +477,7 @@ fn count_hnn(lg: &LotusGraph) -> u64 {
             if he_v.is_empty() {
                 return 0;
             }
+            rayon::sched::log_read(he_v, "phase2.he");
             let mut local = 0u64;
             for &u in lg.nonhub_neighbors(v) {
                 local += count_merge(he_v, lg.hub_neighbors(u));
@@ -483,6 +493,7 @@ fn count_nnn(lg: &LotusGraph) -> u64 {
         .into_par_iter()
         .map(|v| {
             let nhe_v = lg.nonhub_neighbors(v);
+            rayon::sched::log_read(nhe_v, "phase3.nhe");
             let mut local = 0u64;
             for &u in nhe_v {
                 local += count_merge(nhe_v, lg.nonhub_neighbors(u));
@@ -545,6 +556,7 @@ fn count_hnn_guarded(lg: &LotusGraph, guard: &RunGuard) -> Result<u64, (StopReas
             if he_v.is_empty() {
                 return 0;
             }
+            rayon::sched::log_read(he_v, "phase2.he");
             let mut local = 0u64;
             for &u in lg.nonhub_neighbors(v) {
                 local += count_merge(he_v, lg.hub_neighbors(u));
@@ -573,6 +585,7 @@ fn count_nnn_guarded(lg: &LotusGraph, guard: &RunGuard) -> Result<u64, (StopReas
                 return 0;
             }
             let nhe_v = lg.nonhub_neighbors(v);
+            rayon::sched::log_read(nhe_v, "phase3.nhe");
             let mut local = 0u64;
             for &u in nhe_v {
                 local += count_merge(nhe_v, lg.nonhub_neighbors(u));

@@ -53,7 +53,11 @@ fn extend_clique(forward: &Csr<u32>, cand: &[u32], depth: usize, scratch: &mut [
     if depth == 1 {
         return cand.len() as u64;
     }
-    let (head, tail) = scratch.split_first_mut().expect("scratch depth");
+    // The caller sizes `scratch` to the recursion depth; an empty slice
+    // can only mean there is nothing left to extend.
+    let Some((head, tail)) = scratch.split_first_mut() else {
+        return 0;
+    };
     let mut total = 0u64;
     for &u in cand {
         head.clear();

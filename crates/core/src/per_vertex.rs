@@ -26,6 +26,7 @@ pub fn count_per_vertex(lg: &LotusGraph) -> Vec<u64> {
     let tiles = make_tiles(&lg.he, u32::MAX, 1);
     tiles.par_iter().for_each(|t: &Tile| {
         let he = lg.hub_neighbors(t.v);
+        rayon::sched::log_read(he, "per_vertex.phase1.he");
         for i in t.begin..t.end {
             let h1 = he[i as usize] as u32;
             let base = crate::h2h::TriBitArray::row_base(h1);
@@ -45,6 +46,7 @@ pub fn count_per_vertex(lg: &LotusGraph) -> Vec<u64> {
         if he_v.is_empty() {
             return;
         }
+        rayon::sched::log_read(he_v, "per_vertex.phase2.he");
         for &u in lg.nonhub_neighbors(v) {
             merge_for_each(he_v, lg.hub_neighbors(u), |h| {
                 counts[v as usize].fetch_add(1, Ordering::Relaxed);
@@ -57,6 +59,7 @@ pub fn count_per_vertex(lg: &LotusGraph) -> Vec<u64> {
     // Phase 3: NNN — corners are (v, u, w).
     (0..lg.num_vertices()).into_par_iter().for_each(|v| {
         let nhe_v = lg.nonhub_neighbors(v);
+        rayon::sched::log_read(nhe_v, "per_vertex.phase3.nhe");
         for &u in nhe_v {
             merge_for_each(nhe_v, lg.nonhub_neighbors(u), |w| {
                 counts[v as usize].fetch_add(1, Ordering::Relaxed);

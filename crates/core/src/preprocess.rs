@@ -36,6 +36,9 @@ pub fn build_lotus_graph(graph: &UndirectedCsr, config: &LotusConfig) -> LotusGr
 /// or deadline expiry every 1024 vertices in both parallel passes.
 /// Preprocessing has no meaningful partial result, so a stop discards
 /// everything built so far.
+///
+/// # Errors
+/// Returns the guard's stop reason; no partial graph is kept.
 pub fn build_lotus_graph_guarded(
     graph: &UndirectedCsr,
     config: &LotusConfig,
@@ -72,8 +75,12 @@ pub fn build_lotus_graph_guarded(
             if poll(v_new) {
                 return;
             }
+            rayon::sched::log_write(std::slice::from_ref(he_d), "preprocess.he_deg");
+            rayon::sched::log_write(std::slice::from_ref(nhe_d), "preprocess.nhe_deg");
             let v_old = relabeling.old_id(v_new);
-            for &u_old in graph.neighbors(v_old) {
+            let nbrs = graph.neighbors(v_old);
+            rayon::sched::log_read(nbrs, "preprocess.csr_neighbors");
+            for &u_old in nbrs {
                 let u_new = relabeling.new_id(u_old);
                 if u_new >= v_new {
                     continue; // symmetric edge (self-edges were removed at build)
@@ -104,8 +111,8 @@ pub fn build_lotus_graph_guarded(
 
     // Pass 2: fill the flat arrays; one writer per vertex, so the slices
     // can be handed out disjointly.
-    let mut he_entries = vec![0u16; *he_offsets.last().unwrap() as usize];
-    let mut nhe_entries = vec![0u32; *nhe_offsets.last().unwrap() as usize];
+    let mut he_entries = vec![0u16; he_offsets.last().copied().unwrap_or(0) as usize];
+    let mut nhe_entries = vec![0u32; nhe_offsets.last().copied().unwrap_or(0) as usize];
     let h2h = TriBitArrayBuilder::new(hub_count);
 
     {
@@ -113,17 +120,21 @@ pub fn build_lotus_graph_guarded(
         let nhe_slices = split_by_offsets(&mut nhe_entries, &nhe_offsets);
         he_slices
             .into_par_iter()
-            .zip(nhe_slices)
+            .zip(nhe_slices.into_par_iter())
             .enumerate()
             .for_each(|(v_new, (he_out, nhe_out))| {
                 let v_new = v_new as u32;
                 if poll(v_new) {
                     return;
                 }
+                rayon::sched::log_write(he_out, "preprocess.he_entries");
+                rayon::sched::log_write(nhe_out, "preprocess.nhe_entries");
                 let v_old = relabeling.old_id(v_new);
+                let nbrs = graph.neighbors(v_old);
+                rayon::sched::log_read(nbrs, "preprocess.csr_neighbors");
                 let mut hi = 0;
                 let mut ni = 0;
-                for &u_old in graph.neighbors(v_old) {
+                for &u_old in nbrs {
                     let u_new = relabeling.new_id(u_old);
                     if u_new >= v_new {
                         continue;

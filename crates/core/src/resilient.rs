@@ -127,6 +127,10 @@ impl ResilientCount {
 /// instead ([`DegradeReason::ForwardFallback`]). Guard stops and worker
 /// panics surface as [`CountError`] exactly as in
 /// [`LotusCounter::count_guarded`].
+///
+/// # Errors
+/// Returns a [`CountError`] when the guard stops the run or a worker
+/// panics; budget degradation itself is not an error.
 pub fn count_with_budget(
     config: &LotusConfig,
     graph: &UndirectedCsr,

@@ -90,6 +90,9 @@ impl LotusGraph {
     /// * every NHE entry is a non-hub with ID `< v`;
     /// * hubs have empty NHE lists;
     /// * H2H bits correspond exactly to hub–hub HE entries.
+    ///
+    /// # Errors
+    /// Returns a description of the first violated invariant.
     pub fn validate(&self) -> Result<(), String> {
         let n = self.num_vertices();
         if self.nhe.num_vertices() != n {

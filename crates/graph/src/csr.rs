@@ -65,7 +65,10 @@ impl<N: NeighborId> Csr<N> {
             offsets.windows(2).all(|w| w[0] <= w[1]),
             "offsets must be monotonic"
         );
-        assert_eq!(*offsets.last().unwrap() as usize, neighbors.len());
+        assert_eq!(
+            offsets.last().copied().unwrap_or(0) as usize,
+            neighbors.len()
+        );
         assert_eq!(offsets[0], 0);
         Self {
             offsets: offsets.into_boxed_slice(),
@@ -82,7 +85,7 @@ impl<N: NeighborId> Csr<N> {
     /// Total number of stored neighbour entries (directed edge slots).
     #[inline(always)]
     pub fn num_entries(&self) -> u64 {
-        *self.offsets.last().unwrap()
+        self.offsets.last().copied().unwrap_or(0)
     }
 
     /// Neighbour list of `v`.

@@ -85,6 +85,10 @@ pub struct ParsedEdgeList {
 /// Parses a whitespace-separated edge list (`u v` per line, `#`/`%`
 /// comments), reporting lines with trailing garbage tokens as warnings
 /// (lenient) or errors (strict).
+///
+/// # Errors
+/// Returns a [`GraphError`] on I/O failure or malformed input; under
+/// [`Strictness::Strict`], trailing garbage is also an error.
 pub fn read_edge_list_text_with<R: Read>(
     reader: R,
     strictness: Strictness,
@@ -140,17 +144,26 @@ pub fn read_edge_list_text_with<R: Read>(
 /// Parses a whitespace-separated edge list leniently, discarding any
 /// warnings. Prefer [`read_edge_list_text_with`] in user-facing paths so
 /// irregular input is reported rather than silently accepted.
+///
+/// # Errors
+/// Returns a [`GraphError`] on I/O failure or malformed input.
 pub fn read_edge_list_text<R: Read>(reader: R) -> Result<EdgeList, GraphError> {
     read_edge_list_text_with(reader, Strictness::Lenient).map(|parsed| parsed.edges)
 }
 
 /// Reads an edge-list text file (lenient; warnings discarded).
+///
+/// # Errors
+/// Returns a [`GraphError`] when the file cannot be opened or parsed.
 pub fn load_edge_list_text(path: impl AsRef<Path>) -> Result<EdgeList, GraphError> {
     read_edge_list_text(File::open(path)?)
 }
 
 /// Reads an edge-list text file with the given strictness, reporting
 /// warnings.
+///
+/// # Errors
+/// Returns a [`GraphError`] when the file cannot be opened or parsed.
 pub fn load_edge_list_text_with(
     path: impl AsRef<Path>,
     strictness: Strictness,
@@ -159,6 +172,9 @@ pub fn load_edge_list_text_with(
 }
 
 /// Writes an edge list as text (`u v` per line).
+///
+/// # Errors
+/// Returns a [`GraphError`] when writing fails.
 pub fn write_edge_list_text<W: Write>(el: &EdgeList, writer: W) -> Result<(), GraphError> {
     let mut w = BufWriter::new(writer);
     for &(u, v) in el.pairs() {
@@ -169,6 +185,9 @@ pub fn write_edge_list_text<W: Write>(el: &EdgeList, writer: W) -> Result<(), Gr
 }
 
 /// Writes the canonical binary format (version 2, with CRC32 trailer).
+///
+/// # Errors
+/// Returns a [`GraphError`] when writing fails.
 pub fn write_binary<W: Write>(el: &EdgeList, writer: W) -> Result<(), GraphError> {
     let mut w = BufWriter::new(writer);
     let mut digest = Crc32::new();
@@ -193,6 +212,9 @@ pub fn write_binary<W: Write>(el: &EdgeList, writer: W) -> Result<(), GraphError
 
 /// Writes the legacy version-1 binary format (no checksum). Kept for
 /// compatibility tooling and for tests that prove v1 files still load.
+///
+/// # Errors
+/// Returns a [`GraphError`] when writing fails.
 pub fn write_binary_v1<W: Write>(el: &EdgeList, writer: W) -> Result<(), GraphError> {
     let mut w = BufWriter::new(writer);
     w.write_all(MAGIC)?;
@@ -209,6 +231,10 @@ pub fn write_binary_v1<W: Write>(el: &EdgeList, writer: W) -> Result<(), GraphEr
 
 /// Reads the canonical binary format (versions 1 and 2; version 2
 /// verifies the CRC32 trailer).
+///
+/// # Errors
+/// Returns a [`GraphError`] on I/O failure, a bad magic or version,
+/// an out-of-range vertex, or a checksum mismatch.
 pub fn read_binary<R: Read>(reader: R) -> Result<EdgeList, GraphError> {
     let mut r = BufReader::new(reader);
     let mut digest = Crc32::new();
@@ -242,8 +268,8 @@ pub fn read_binary<R: Read>(reader: R) -> Result<EdgeList, GraphError> {
         fault_point!("io.read_binary.payload")?;
         r.read_exact(&mut buf_edge)?;
         digest.update(&buf_edge);
-        let u = u32::from_le_bytes(buf_edge[..4].try_into().expect("4-byte slice"));
-        let v = u32::from_le_bytes(buf_edge[4..].try_into().expect("4-byte slice"));
+        let u = u32::from_le_bytes([buf_edge[0], buf_edge[1], buf_edge[2], buf_edge[3]]);
+        let v = u32::from_le_bytes([buf_edge[4], buf_edge[5], buf_edge[6], buf_edge[7]]);
         if u >= num_vertices || v >= num_vertices {
             return Err(GraphError::VertexOutOfRange {
                 vertex: u.max(v) as u64,
@@ -267,11 +293,19 @@ pub fn read_binary<R: Read>(reader: R) -> Result<EdgeList, GraphError> {
 }
 
 /// Saves an edge list to a binary file.
+///
+/// # Errors
+/// Returns a [`GraphError`] when the file cannot be created or
+/// written.
 pub fn save_binary(el: &EdgeList, path: impl AsRef<Path>) -> Result<(), GraphError> {
     write_binary(el, File::create(path)?)
 }
 
 /// Loads an edge list from a binary file.
+///
+/// # Errors
+/// Returns a [`GraphError`] when the file cannot be opened, read, or
+/// validated.
 pub fn load_binary(path: impl AsRef<Path>) -> Result<EdgeList, GraphError> {
     read_binary(File::open(path)?)
 }

@@ -33,6 +33,10 @@ impl MemoryBudget {
     /// Parses a human-friendly size: a plain byte count or a number with
     /// a binary suffix `k`/`m`/`g` (case-insensitive, optional trailing
     /// `b`/`ib`), e.g. `"65536"`, `"64k"`, `"512MiB"`, `"2G"`.
+    ///
+    /// # Errors
+    /// Returns a message when the string is empty, non-numeric, has an
+    /// unknown suffix, or overflows `u64`.
     pub fn parse(s: &str) -> Result<Self, String> {
         let s = s.trim();
         let lower = s.to_ascii_lowercase();

@@ -105,6 +105,10 @@ fn record_hit(point: &str) -> Option<FaultKind> {
 /// Fires `point` at a fallible call site: returns the injected I/O error
 /// if an error fault is due, panics if a [`FaultKind::Panic`] fault is
 /// due, and returns `Ok(())` otherwise.
+///
+/// # Errors
+/// Returns the injected I/O error when an error-kind fault is due at
+/// `point`.
 pub fn fire(point: &'static str) -> Result<(), io::Error> {
     match record_hit(point) {
         None => Ok(()),

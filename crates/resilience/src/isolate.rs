@@ -28,6 +28,9 @@ impl std::fmt::Display for PanicCaught {
 /// The closure is wrapped in [`AssertUnwindSafe`]: callers hand in reads
 /// of shared graph structures and locally owned accumulators, which are
 /// discarded on the error path, so no torn state escapes.
+///
+/// # Errors
+/// Returns [`PanicCaught`] (with the panic message) when `f` panics.
 pub fn isolate<T>(f: impl FnOnce() -> T) -> Result<T, PanicCaught> {
     match catch_unwind(AssertUnwindSafe(f)) {
         Ok(value) => Ok(value),

@@ -227,6 +227,10 @@ impl fmt::Display for JsonError {
 impl std::error::Error for JsonError {}
 
 /// Parses a complete JSON document (trailing whitespace allowed).
+///
+/// # Errors
+/// Returns a [`JsonError`] with the byte offset of the first syntax
+/// error.
 pub fn parse(input: &str) -> Result<Json, JsonError> {
     let mut p = Parser {
         input,
@@ -270,7 +274,7 @@ impl Parser<'_> {
         }
     }
 
-    fn expect(&mut self, byte: u8) -> Result<(), JsonError> {
+    fn expect_byte(&mut self, byte: u8) -> Result<(), JsonError> {
         if self.peek() == Some(byte) {
             self.pos += 1;
             Ok(())
@@ -305,7 +309,7 @@ impl Parser<'_> {
     }
 
     fn array(&mut self, depth: usize) -> Result<Json, JsonError> {
-        self.expect(b'[')?;
+        self.expect_byte(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
@@ -328,7 +332,7 @@ impl Parser<'_> {
     }
 
     fn object(&mut self, depth: usize) -> Result<Json, JsonError> {
-        self.expect(b'{')?;
+        self.expect_byte(b'{')?;
         let mut members = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
@@ -339,7 +343,7 @@ impl Parser<'_> {
             self.skip_ws();
             let key = self.string()?;
             self.skip_ws();
-            self.expect(b':')?;
+            self.expect_byte(b':')?;
             self.skip_ws();
             let value = self.value(depth + 1)?;
             members.push((key, value));
@@ -356,7 +360,7 @@ impl Parser<'_> {
     }
 
     fn string(&mut self) -> Result<String, JsonError> {
-        self.expect(b'"')?;
+        self.expect_byte(b'"')?;
         let mut out = String::new();
         loop {
             match self.peek() {
@@ -394,8 +398,11 @@ impl Parser<'_> {
                 }
                 Some(_) => {
                     // Consume one UTF-8 scalar; `pos` only ever stops on
-                    // ASCII structure bytes, so it is a char boundary.
-                    let c = self.input[self.pos..].chars().next().expect("non-empty");
+                    // ASCII structure bytes, so it is a char boundary and
+                    // `peek()` returning `Some` guarantees a next char.
+                    let Some(c) = self.input[self.pos..].chars().next() else {
+                        return Err(self.err("unterminated string"));
+                    };
                     out.push(c);
                     self.pos += c.len_utf8();
                 }
@@ -429,8 +436,10 @@ impl Parser<'_> {
                 self.pos += 1;
             }
         }
-        let text =
-            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number bytes are ASCII");
+        // The scanned range contains only ASCII sign/digit/dot/exponent
+        // bytes, so UTF-8 validation cannot fail.
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("bad number"))?;
         if is_float {
             text.parse::<f64>()
                 .map(Json::Float)

@@ -67,7 +67,7 @@ impl fmt::Display for SpanId {
 #[cfg(feature = "telemetry")]
 mod imp {
     use std::sync::atomic::{AtomicU64, Ordering};
-    use std::sync::Mutex;
+    use std::sync::{Mutex, PoisonError};
 
     use super::SpanId;
 
@@ -104,15 +104,18 @@ mod imp {
             cell.nanos.store(0, Ordering::Relaxed);
             cell.entries.store(0, Ordering::Relaxed);
         }
-        *DEGRADE.lock().expect("degrade record poisoned") = None;
+        *DEGRADE.lock().unwrap_or_else(PoisonError::into_inner) = None;
     }
 
     pub(super) fn record_degrade(reason: &str) {
-        *DEGRADE.lock().expect("degrade record poisoned") = Some(reason.to_string());
+        *DEGRADE.lock().unwrap_or_else(PoisonError::into_inner) = Some(reason.to_string());
     }
 
     pub(super) fn last_degrade() -> Option<String> {
-        DEGRADE.lock().expect("degrade record poisoned").clone()
+        DEGRADE
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
     }
 }
 

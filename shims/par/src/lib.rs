@@ -14,6 +14,8 @@
 
 use std::cmp::Ordering;
 
+pub mod sched;
+
 /// A "parallel" iterator: a newtype over a sequential iterator.
 ///
 /// Does **not** implement [`Iterator`]; all adapters come from
@@ -21,6 +23,143 @@ use std::cmp::Ordering;
 /// never collide.
 #[derive(Debug, Clone)]
 pub struct Par<I>(I);
+
+/// Source iterator honoring the deterministic scheduler
+/// ([`sched::with_schedule`]).
+///
+/// Outside a schedule it passes items straight through. Inside one, the
+/// first `next()` materializes the source, permutes it with the seeded
+/// `(seed, len)` permutation, and then yields items in schedule order
+/// while publishing each item's *original* index as the current logical
+/// task (consumed by [`ParEnumerate`] and the shadow access log).
+pub struct Sched<I: Iterator> {
+    state: SchedState<I>,
+}
+
+impl<I: Iterator + Clone> Clone for Sched<I>
+where
+    I::Item: Clone,
+{
+    fn clone(&self) -> Self {
+        Sched {
+            state: self.state.clone(),
+        }
+    }
+}
+
+impl<I: Iterator> std::fmt::Debug for Sched<I> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let state = match &self.state {
+            SchedState::Unpolled(_) => "unpolled",
+            SchedState::Pass(_) => "pass",
+            SchedState::Perm { .. } => "perm",
+        };
+        f.debug_struct("Sched").field("state", &state).finish()
+    }
+}
+
+enum SchedState<I: Iterator> {
+    /// Mode not yet sampled; holds the untouched source.
+    Unpolled(Option<I>),
+    /// Pass-through (no schedule active at first pull).
+    Pass(I),
+    /// Permuted items tagged with their original indices.
+    Perm {
+        items: std::vec::IntoIter<(u32, I::Item)>,
+        region: u32,
+    },
+}
+
+impl<I: Iterator + Clone> Clone for SchedState<I>
+where
+    I::Item: Clone,
+{
+    fn clone(&self) -> Self {
+        match self {
+            SchedState::Unpolled(slot) => SchedState::Unpolled(slot.clone()),
+            SchedState::Pass(it) => SchedState::Pass(it.clone()),
+            SchedState::Perm { items, region } => SchedState::Perm {
+                items: items.clone(),
+                region: *region,
+            },
+        }
+    }
+}
+
+impl<I: Iterator> Sched<I> {
+    fn new(inner: I) -> Self {
+        Sched {
+            state: SchedState::Unpolled(Some(inner)),
+        }
+    }
+}
+
+impl<I: Iterator> Iterator for Sched<I> {
+    type Item = I::Item;
+
+    fn next(&mut self) -> Option<I::Item> {
+        loop {
+            match &mut self.state {
+                SchedState::Unpolled(slot) => {
+                    let it = slot.take()?;
+                    self.state = match sched::active_seed() {
+                        None => SchedState::Pass(it),
+                        Some(seed) => {
+                            let items: Vec<I::Item> = it.collect();
+                            let perm = sched::permutation(seed, items.len());
+                            let mut slots: Vec<Option<I::Item>> =
+                                items.into_iter().map(Some).collect();
+                            let ordered: Vec<(u32, I::Item)> = perm
+                                .into_iter()
+                                .filter_map(|orig| {
+                                    slots[orig as usize].take().map(|item| (orig, item))
+                                })
+                                .collect();
+                            SchedState::Perm {
+                                items: ordered.into_iter(),
+                                region: sched::next_region(),
+                            }
+                        }
+                    };
+                }
+                SchedState::Pass(it) => return it.next(),
+                SchedState::Perm { items, region } => {
+                    return match items.next() {
+                        Some((task, item)) => {
+                            sched::set_current(*region, task);
+                            Some(item)
+                        }
+                        None => {
+                            sched::clear_current();
+                            None
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Index-accurate `enumerate`: under an active schedule each item is
+/// paired with its *original* index (rayon semantics — `enumerate` on an
+/// indexed parallel iterator is execution-order independent); otherwise
+/// with the sequential position.
+#[derive(Debug, Clone)]
+pub struct ParEnumerate<I> {
+    inner: I,
+    pos: usize,
+}
+
+impl<I: Iterator> Iterator for ParEnumerate<I> {
+    type Item = (usize, I::Item);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let item = self.inner.next()?;
+        let idx = sched::current_task_index().unwrap_or(self.pos);
+        self.pos += 1;
+        Some((idx, item))
+    }
+}
 
 impl<I: Iterator> IntoIterator for Par<I> {
     type Item = I::Item;
@@ -75,18 +214,24 @@ pub trait ParallelIterator: Sized {
         Par(self.seq().flat_map(f))
     }
 
-    /// Pairs items with their index (rayon: `enumerate`).
-    fn enumerate(self) -> Par<std::iter::Enumerate<Self::Inner>> {
-        Par(self.seq().enumerate())
+    /// Pairs items with their index (rayon: `enumerate`). Under an
+    /// active schedule the index is the item's original position, not
+    /// its (permuted) execution order.
+    fn enumerate(self) -> Par<ParEnumerate<Self::Inner>> {
+        Par(ParEnumerate {
+            inner: self.seq(),
+            pos: 0,
+        })
     }
 
-    /// Zips with anything convertible to a parallel iterator (rayon:
-    /// `zip`).
-    fn zip<Z>(self, other: Z) -> Par<std::iter::Zip<Self::Inner, Z::Iter>>
+    /// Zips with another parallel iterator (rayon: `zip`). Takes an
+    /// already-converted [`Par`] so scheduled sources are not wrapped
+    /// twice; equal-length sides permute identically and stay aligned.
+    fn zip<J>(self, other: Par<J>) -> Par<std::iter::Zip<Self::Inner, J>>
     where
-        Z: IntoParallelIterator,
+        J: Iterator,
     {
-        Par(self.seq().zip(other.into_par_iter().seq()))
+        Par(self.seq().zip(other.0))
     }
 
     /// Copies `&T` items (rayon: `copied`).
@@ -158,11 +303,25 @@ pub trait ParallelIterator: Sized {
     }
 
     /// Collects into any [`FromIterator`] collection (rayon: `collect`).
+    /// Under an active schedule, items are restored to their original
+    /// order first (rayon's `collect` on indexed pipelines is
+    /// execution-order independent).
     fn collect<C>(self) -> C
     where
         C: FromIterator<Self::Item>,
     {
-        self.seq().collect()
+        let mut it = self.seq();
+        if sched::is_scheduled() {
+            let mut tagged: Vec<(usize, Self::Item)> = Vec::new();
+            for (pos, item) in (&mut it).enumerate() {
+                let idx = sched::current_task_index().unwrap_or(pos);
+                tagged.push((idx, item));
+            }
+            tagged.sort_by_key(|t| t.0);
+            tagged.into_iter().map(|t| t.1).collect()
+        } else {
+            it.collect()
+        }
     }
 }
 
@@ -194,10 +353,10 @@ pub trait IntoParallelIterator {
 
 impl<T: IntoIterator> IntoParallelIterator for T {
     type Item = T::Item;
-    type Iter = T::IntoIter;
+    type Iter = Sched<T::IntoIter>;
 
-    fn into_par_iter(self) -> Par<T::IntoIter> {
-        Par(self.into_iter())
+    fn into_par_iter(self) -> Par<Sched<T::IntoIter>> {
+        Par(Sched::new(self.into_iter()))
     }
 }
 
@@ -217,10 +376,10 @@ where
     &'a C: IntoIterator,
 {
     type Item = <&'a C as IntoIterator>::Item;
-    type Iter = <&'a C as IntoIterator>::IntoIter;
+    type Iter = Sched<<&'a C as IntoIterator>::IntoIter>;
 
     fn par_iter(&'a self) -> Par<Self::Iter> {
-        Par(self.into_iter())
+        Par(Sched::new(self.into_iter()))
     }
 }
 
@@ -242,10 +401,10 @@ where
     &'a mut C: IntoIterator,
 {
     type Item = <&'a mut C as IntoIterator>::Item;
-    type Iter = <&'a mut C as IntoIterator>::IntoIter;
+    type Iter = Sched<<&'a mut C as IntoIterator>::IntoIter>;
 
     fn par_iter_mut(&'a mut self) -> Par<Self::Iter> {
-        Par(self.into_iter())
+        Par(Sched::new(self.into_iter()))
     }
 }
 
@@ -332,6 +491,9 @@ impl ThreadPoolBuilder {
     }
 
     /// Builds the (sequential) pool; never fails.
+    ///
+    /// # Errors
+    /// Never returns `Err`; the `Result` only mirrors rayon's signature.
     pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
         let n = if self.num_threads == 0 {
             current_num_threads()
@@ -415,6 +577,62 @@ mod tests {
         assert_eq!(v, vec![1, 3, 5, 9]);
         v.par_sort_unstable_by(|a, b| b.cmp(a));
         assert_eq!(v, vec![9, 5, 3, 1]);
+    }
+
+    #[test]
+    fn scheduled_enumerate_keeps_original_indices() {
+        let v: Vec<u32> = (0..64).collect();
+        let (pairs, report) = sched::with_schedule(3, || {
+            v.par_iter()
+                .enumerate()
+                .map(|(i, &x)| (i, x))
+                .collect::<Vec<_>>()
+        });
+        assert!(report.is_clean());
+        assert_eq!(report.regions, 1);
+        // collect() restores original order, and every index matches.
+        assert_eq!(
+            pairs,
+            (0u32..64).map(|x| (x as usize, x)).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn scheduled_zip_sides_stay_aligned() {
+        let a: Vec<u32> = (0..50).collect();
+        let b: Vec<u32> = (100..150).collect();
+        let (ok, _) = sched::with_schedule(7, || {
+            a.par_iter()
+                .zip(b.par_iter())
+                .map(|(&x, &y)| y - x == 100)
+                .reduce(|| true, |p, q| p && q)
+        });
+        assert!(ok, "zipped pairs must stay aligned under a schedule");
+    }
+
+    #[test]
+    fn scheduled_sum_matches_unscheduled() {
+        let want: u64 = (0u64..100).map(|x| x * x).sum();
+        for seed in [1, 2, 3] {
+            let (got, _) = sched::with_schedule(seed, || {
+                (0u64..100).into_par_iter().map(|x| x * x).sum::<u64>()
+            });
+            assert_eq!(got, want, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn schedules_actually_permute_execution_order() {
+        let (order, _) = sched::with_schedule(5, || {
+            let mut seen = Vec::new();
+            (0u32..32).into_par_iter().for_each(|x| seen.push(x));
+            seen
+        });
+        let identity: Vec<u32> = (0..32).collect();
+        assert_ne!(order, identity, "seeded schedule should reorder tasks");
+        let mut sorted = order;
+        sorted.sort_unstable();
+        assert_eq!(sorted, identity, "every task runs exactly once");
     }
 
     #[test]

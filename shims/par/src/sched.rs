@@ -1,0 +1,486 @@
+//! Deterministic scheduler mode and shadow access log.
+//!
+//! Inside [`with_schedule`], every parallel-for source materializes its
+//! items and executes them in a seeded permutation (the "schedule"),
+//! while each logical task is tagged with its *original* index so that
+//! `enumerate` and the access log stay index-accurate regardless of
+//! execution order. Kernels declare the shared memory they touch with
+//! [`log_write`] / [`log_read`]; after the closure returns, the log is
+//! checked for overlapping unsynchronized accesses across tasks and the
+//! result is returned as a [`RaceReport`].
+//!
+//! The permutation of a parallel region depends only on `(seed, len)`.
+//! This is deliberate: the two sides of a `zip` then permute
+//! identically, so zipped pairs stay aligned under any schedule.
+//!
+//! Scheduled mode assumes reductions are commutative (every reduction
+//! in this workspace is a sum/max/min or a tuple thereof). Outside
+//! `with_schedule` the wrapper passes items straight through and the
+//! log functions return immediately after one thread-local check.
+
+use std::cell::{Cell, RefCell};
+
+/// Sentinel task id for accesses made outside any parallel region.
+const SERIAL_TASK: u32 = u32::MAX;
+
+#[derive(Debug, Clone, Copy)]
+struct Current {
+    region: u32,
+    task: u32,
+}
+
+thread_local! {
+    /// Active schedule seed; `None` means pass-through mode.
+    static MODE: Cell<Option<u64>> = const { Cell::new(None) };
+    /// Monotonic id of the next materialized parallel region.
+    static REGION: Cell<u32> = const { Cell::new(0) };
+    /// The logical task currently executing, if any.
+    static CURRENT: Cell<Option<Current>> = const { Cell::new(None) };
+    /// Shadow access log, drained by [`with_schedule`].
+    static LOG: RefCell<Vec<Access>> = const { RefCell::new(Vec::new()) };
+}
+
+/// One logged access: a byte range touched by a logical task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Access {
+    /// Parallel region (one per materialized source) the access ran in.
+    pub region: u32,
+    /// Original (pre-permutation) index of the logical task, or
+    /// `u32::MAX` for serial code between regions.
+    pub task: u32,
+    /// True for writes, false for reads.
+    pub write: bool,
+    /// Start address of the range.
+    pub base: usize,
+    /// Length of the range in bytes.
+    pub len: usize,
+    /// Call-site label, e.g. `"preprocess.he_out"`.
+    pub label: &'static str,
+}
+
+impl Access {
+    fn end(&self) -> usize {
+        self.base.saturating_add(self.len)
+    }
+
+    fn overlaps(&self, other: &Access) -> bool {
+        self.base < other.end() && other.base < self.end()
+    }
+}
+
+/// Two tasks of one region touched overlapping bytes and at least one
+/// of them wrote: a data race under any real parallel execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Race {
+    /// The region both accesses belong to.
+    pub region: u32,
+    /// Label of the (first) writing access.
+    pub label_a: &'static str,
+    /// Task id of the writing access.
+    pub task_a: u32,
+    /// Label of the conflicting access.
+    pub label_b: &'static str,
+    /// Task id of the conflicting access.
+    pub task_b: u32,
+    /// True when both sides wrote (write-write); false for read-write.
+    pub write_write: bool,
+    /// Number of overlapping bytes.
+    pub overlap_len: usize,
+}
+
+impl std::fmt::Display for Race {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let kind = if self.write_write {
+            "write-write"
+        } else {
+            "read-write"
+        };
+        write!(
+            f,
+            "{kind} race in region {}: {} (task {}) overlaps {} (task {}) by {} byte(s)",
+            self.region, self.label_a, self.task_a, self.label_b, self.task_b, self.overlap_len
+        )
+    }
+}
+
+/// Maximum races a [`RaceReport`] materializes; further ones are counted.
+pub const MAX_RACES_RECORDED: usize = 100;
+
+/// Outcome of one scheduled run: detected races plus coverage counts.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RaceReport {
+    /// Detected races (at most [`MAX_RACES_RECORDED`]).
+    pub races: Vec<Race>,
+    /// Total races found, including ones beyond the recording cap.
+    pub total_races: usize,
+    /// Parallel regions materialized during the run.
+    pub regions: u32,
+    /// Accesses logged during the run.
+    pub accesses: usize,
+}
+
+impl RaceReport {
+    /// True when no conflicting access pair was found.
+    pub fn is_clean(&self) -> bool {
+        self.total_races == 0
+    }
+}
+
+impl std::fmt::Display for RaceReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_clean() {
+            return write!(
+                f,
+                "ok: no races ({} region(s), {} access(es) checked)",
+                self.regions, self.accesses
+            );
+        }
+        writeln!(f, "{} race(s):", self.total_races)?;
+        for r in &self.races {
+            writeln!(f, "  {r}")?;
+        }
+        if self.total_races > self.races.len() {
+            writeln!(f, "  ... and {} more", self.total_races - self.races.len())?;
+        }
+        Ok(())
+    }
+}
+
+/// Restores the previous scheduler state on drop (panic-safe).
+struct ModeGuard {
+    prev_mode: Option<u64>,
+    prev_region: u32,
+    prev_current: Option<Current>,
+}
+
+impl Drop for ModeGuard {
+    fn drop(&mut self) {
+        MODE.with(|m| m.set(self.prev_mode));
+        REGION.with(|r| r.set(self.prev_region));
+        CURRENT.with(|c| c.set(self.prev_current));
+    }
+}
+
+/// Runs `f` with the deterministic scheduler active, then detects races
+/// in the shadow access log. Nested calls are allowed; the inner call
+/// sees only its own accesses and restores the outer schedule on exit.
+pub fn with_schedule<R>(seed: u64, f: impl FnOnce() -> R) -> (R, RaceReport) {
+    let guard = ModeGuard {
+        prev_mode: MODE.with(Cell::get),
+        prev_region: REGION.with(Cell::get),
+        prev_current: CURRENT.with(Cell::get),
+    };
+    let log_mark = LOG.with(|l| l.borrow().len());
+    MODE.with(|m| m.set(Some(seed)));
+    REGION.with(|r| r.set(0));
+    CURRENT.with(|c| c.set(None));
+    let result = f();
+    let regions = REGION.with(Cell::get);
+    let accesses: Vec<Access> = LOG.with(|l| l.borrow_mut().split_off(log_mark));
+    drop(guard);
+    let mut report = detect(&accesses);
+    report.regions = regions;
+    report.accesses = accesses.len();
+    (result, report)
+}
+
+/// True while a [`with_schedule`] scope is active on this thread.
+pub fn is_scheduled() -> bool {
+    MODE.with(Cell::get).is_some()
+}
+
+pub(crate) fn active_seed() -> Option<u64> {
+    MODE.with(Cell::get)
+}
+
+pub(crate) fn next_region() -> u32 {
+    REGION.with(|r| {
+        let id = r.get();
+        r.set(id.wrapping_add(1));
+        id
+    })
+}
+
+pub(crate) fn set_current(region: u32, task: u32) {
+    CURRENT.with(|c| c.set(Some(Current { region, task })));
+}
+
+pub(crate) fn clear_current() {
+    CURRENT.with(|c| c.set(None));
+}
+
+/// Original index of the logical task currently executing under an
+/// active schedule, if any. Drives index-accurate `enumerate`.
+pub(crate) fn current_task_index() -> Option<usize> {
+    if !is_scheduled() {
+        return None;
+    }
+    CURRENT.with(Cell::get).map(|c| c.task as usize)
+}
+
+fn log_access(write: bool, base: usize, len: usize, label: &'static str) {
+    if !is_scheduled() || len == 0 {
+        return;
+    }
+    let (region, task) = match CURRENT.with(Cell::get) {
+        Some(c) => (c.region, c.task),
+        None => (u32::MAX, SERIAL_TASK),
+    };
+    LOG.with(|l| {
+        l.borrow_mut().push(Access {
+            region,
+            task,
+            write,
+            base,
+            len,
+            label,
+        });
+    });
+}
+
+/// Declares that the current logical task writes `slice` (no-op outside
+/// [`with_schedule`]). Call this for every shared range a task writes
+/// without synchronization; atomics are synchronized and must not be
+/// logged.
+#[inline]
+pub fn log_write<T>(slice: &[T], label: &'static str) {
+    log_access(
+        true,
+        slice.as_ptr() as usize,
+        std::mem::size_of_val(slice),
+        label,
+    );
+}
+
+/// Declares that the current logical task reads `slice` (no-op outside
+/// [`with_schedule`]).
+#[inline]
+pub fn log_read<T>(slice: &[T], label: &'static str) {
+    log_access(
+        false,
+        slice.as_ptr() as usize,
+        std::mem::size_of_val(slice),
+        label,
+    );
+}
+
+/// SplitMix64 step (same generator the fault-injection planner uses).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The seeded Fisher–Yates permutation of `0..len`. Depends only on
+/// `(seed, len)` so equal-length sources (the two sides of a `zip`)
+/// permute identically.
+pub(crate) fn permutation(seed: u64, len: usize) -> Vec<u32> {
+    let mut perm: Vec<u32> = (0..len as u32).collect();
+    let mut state = seed ^ (len as u64).wrapping_mul(0xA076_1D64_78BD_642F);
+    for i in (1..len).rev() {
+        let j = (splitmix64(&mut state) % (i as u64 + 1)) as usize;
+        perm.swap(i, j);
+    }
+    perm
+}
+
+/// Overlap detection over one run's access log.
+///
+/// Per region: write-write overlaps via a sorted sweep, read-write
+/// overlaps by probing each read against the sorted writes (read-read
+/// pairs are never compared). Same-task overlaps are not races.
+fn detect(accesses: &[Access]) -> RaceReport {
+    let mut report = RaceReport::default();
+    let mut regions: Vec<u32> = accesses.iter().map(|a| a.region).collect();
+    regions.sort_unstable();
+    regions.dedup();
+
+    for region in regions {
+        let mut writes: Vec<&Access> = accesses
+            .iter()
+            .filter(|a| a.region == region && a.write)
+            .collect();
+        writes.sort_by_key(|a| (a.base, a.task));
+
+        // Running prefix max of write ends, for backward overlap scans.
+        let mut prefix_max_end = Vec::with_capacity(writes.len());
+        let mut max_end = 0usize;
+        for w in &writes {
+            max_end = max_end.max(w.end());
+            prefix_max_end.push(max_end);
+        }
+
+        let mut record = |a: &Access, b: &Access, write_write: bool| {
+            let overlap = a.end().min(b.end()) - a.base.max(b.base);
+            report.total_races += 1;
+            if report.races.len() < MAX_RACES_RECORDED {
+                report.races.push(Race {
+                    region,
+                    label_a: a.label,
+                    task_a: a.task,
+                    label_b: b.label,
+                    task_b: b.task,
+                    write_write,
+                    overlap_len: overlap,
+                });
+            }
+        };
+
+        // Write-write: scan each write backward while an earlier write
+        // can still reach it.
+        for (i, w) in writes.iter().enumerate() {
+            for j in (0..i).rev() {
+                if prefix_max_end[j] <= w.base {
+                    break;
+                }
+                let prev = writes[j];
+                if prev.task != w.task && prev.overlaps(w) {
+                    record(prev, w, true);
+                }
+            }
+        }
+
+        // Read-write: probe each read against the writes overlapping it.
+        for r in accesses.iter().filter(|a| a.region == region && !a.write) {
+            let start = writes.partition_point(|w| w.base < r.end());
+            for j in (0..start).rev() {
+                if prefix_max_end[j] <= r.base {
+                    break;
+                }
+                let w = writes[j];
+                if w.task != r.task && w.overlaps(r) {
+                    record(w, r, false);
+                }
+            }
+        }
+    }
+
+    report.races.sort_by(|a, b| {
+        (a.region, a.label_a, a.task_a, a.label_b, a.task_b)
+            .cmp(&(b.region, b.label_a, b.task_a, b.label_b, b.task_b))
+    });
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn permutation_is_deterministic_and_bijective() {
+        let p1 = permutation(7, 100);
+        let p2 = permutation(7, 100);
+        assert_eq!(p1, p2);
+        let mut sorted = p1.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<u32>>());
+        assert_ne!(p1, sorted, "seeded permutation should shuffle");
+        assert_ne!(permutation(8, 100), p1, "different seeds differ");
+    }
+
+    #[test]
+    fn no_mode_means_no_logging() {
+        let data = [1u32, 2, 3];
+        log_write(&data, "test.unscheduled");
+        let ((), report) = with_schedule(1, || {});
+        assert_eq!(report.accesses, 0);
+        assert!(report.is_clean());
+    }
+
+    #[test]
+    fn disjoint_writes_are_clean() {
+        let data = [0u8; 64];
+        let ((), report) = with_schedule(3, || {
+            set_current(0, 0);
+            log_write(&data[0..32], "a");
+            set_current(0, 1);
+            log_write(&data[32..64], "b");
+            clear_current();
+        });
+        assert!(report.is_clean(), "{report}");
+        assert_eq!(report.accesses, 2);
+    }
+
+    #[test]
+    fn overlapping_writes_race() {
+        let data = [0u8; 64];
+        let ((), report) = with_schedule(3, || {
+            set_current(0, 0);
+            log_write(&data[0..40], "a");
+            set_current(0, 1);
+            log_write(&data[32..64], "b");
+            clear_current();
+        });
+        assert_eq!(report.total_races, 1, "{report}");
+        let race = &report.races[0];
+        assert!(race.write_write);
+        assert_eq!(race.overlap_len, 8);
+        assert_eq!((race.task_a, race.task_b), (0, 1));
+    }
+
+    #[test]
+    fn read_write_overlap_races_but_read_read_does_not() {
+        let data = [0u8; 16];
+        let ((), report) = with_schedule(5, || {
+            set_current(0, 0);
+            log_read(&data[..], "r0");
+            set_current(0, 1);
+            log_read(&data[..], "r1");
+            set_current(0, 2);
+            log_write(&data[4..8], "w");
+            clear_current();
+        });
+        // The write conflicts with both reads; the reads do not conflict.
+        assert_eq!(report.total_races, 2, "{report}");
+        assert!(report.races.iter().all(|r| !r.write_write));
+    }
+
+    #[test]
+    fn same_task_overlap_is_not_a_race() {
+        let data = [0u8; 8];
+        let ((), report) = with_schedule(9, || {
+            set_current(0, 4);
+            log_write(&data[..], "first");
+            log_write(&data[..], "second");
+            clear_current();
+        });
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn different_regions_do_not_conflict() {
+        let data = [0u8; 8];
+        let ((), report) = with_schedule(11, || {
+            set_current(0, 0);
+            log_write(&data[..], "r0.w");
+            set_current(1, 1);
+            log_write(&data[..], "r1.w");
+            clear_current();
+        });
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn nested_schedules_restore_outer_state() {
+        let data = [0u8; 8];
+        let ((), outer) = with_schedule(1, || {
+            set_current(0, 0);
+            log_write(&data[..], "outer");
+            let ((), inner) = with_schedule(2, || {
+                set_current(0, 1);
+                log_write(&data[..], "inner");
+                clear_current();
+            });
+            assert_eq!(inner.accesses, 1);
+            assert!(inner.is_clean());
+            // The outer task is restored after the inner scope.
+            assert_eq!(current_task_index(), Some(0));
+            log_write(&data[..], "outer.after");
+        });
+        // Both outer accesses are same-task: clean.
+        assert!(outer.is_clean(), "{outer}");
+        assert_eq!(outer.accesses, 2);
+    }
+}
