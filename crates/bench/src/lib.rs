@@ -21,6 +21,7 @@ pub mod envinfo;
 pub mod harness;
 pub mod report;
 pub mod reports;
+pub mod serve_section;
 pub mod suite;
 pub mod table;
 
@@ -28,5 +29,6 @@ pub use compare::{Comparison, DEFAULT_TOLERANCE};
 pub use envinfo::EnvInfo;
 pub use harness::{run_algorithm, Algorithm};
 pub use report::{BenchReport, BenchRun};
+pub use serve_section::ServeSection;
 pub use suite::BenchSuite;
 pub use table::Table;

@@ -1,0 +1,184 @@
+//! The `serve` section of the benchmark artifact: request-latency
+//! percentiles and throughput from a `lotus loadgen` run.
+//!
+//! The section lives under the top-level `"serve"` key of a
+//! `BENCH.json` document. [`crate::BenchReport::parse`] tolerates
+//! unknown fields (schema v1 contract), so a document carrying this
+//! section alongside the counting runs stays readable by every
+//! artifact consumer; readers that care call [`ServeSection::from_json`]
+//! on the raw document.
+//!
+//! ```json
+//! "serve": {
+//!   "suite": "ci", "graph": "rmat:9:8:7",
+//!   "connections": 4, "requests": 200,
+//!   "ok": 198, "overloaded": 2, "deadline_expired": 0, "errors": 0,
+//!   "p50_us": 850, "p90_us": 2100, "p99_us": 4800,
+//!   "throughput_rps": 1234.5, "wall_ms": 162
+//! }
+//! ```
+
+use lotus_telemetry::json::Json;
+
+/// Aggregated serving-layer measurements (see module docs for the JSON
+/// layout).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ServeSection {
+    /// Loadgen suite name (`ci`, `custom`, ...).
+    pub suite: String,
+    /// Graph spec the daemon served.
+    pub graph: String,
+    /// Concurrent connections driven.
+    pub connections: u64,
+    /// Requests issued in total.
+    pub requests: u64,
+    /// Successful responses.
+    pub ok: u64,
+    /// `Overloaded` rejections (admission control).
+    pub overloaded: u64,
+    /// `DeadlineExpired` responses.
+    pub deadline_expired: u64,
+    /// Any other error response.
+    pub errors: u64,
+    /// Median request latency, microseconds.
+    pub p50_us: u64,
+    /// 90th-percentile latency, microseconds.
+    pub p90_us: u64,
+    /// 99th-percentile latency, microseconds.
+    pub p99_us: u64,
+    /// Requests per second over the run.
+    pub throughput_rps: f64,
+    /// Wall time of the whole run, milliseconds.
+    pub wall_ms: u64,
+}
+
+impl ServeSection {
+    /// Serializes to the `"serve"` JSON object.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("suite".into(), Json::Str(self.suite.clone())),
+            ("graph".into(), Json::Str(self.graph.clone())),
+            ("connections".into(), Json::Int(self.connections as i64)),
+            ("requests".into(), Json::Int(self.requests as i64)),
+            ("ok".into(), Json::Int(self.ok as i64)),
+            ("overloaded".into(), Json::Int(self.overloaded as i64)),
+            (
+                "deadline_expired".into(),
+                Json::Int(self.deadline_expired as i64),
+            ),
+            ("errors".into(), Json::Int(self.errors as i64)),
+            ("p50_us".into(), Json::Int(self.p50_us as i64)),
+            ("p90_us".into(), Json::Int(self.p90_us as i64)),
+            ("p99_us".into(), Json::Int(self.p99_us as i64)),
+            ("throughput_rps".into(), Json::Float(self.throughput_rps)),
+            ("wall_ms".into(), Json::Int(self.wall_ms as i64)),
+        ])
+    }
+
+    /// Parses a `"serve"` object (unknown fields are ignored, missing
+    /// numeric fields default to zero).
+    ///
+    /// # Errors
+    /// Returns a description when required string fields are absent.
+    pub fn from_json(v: &Json) -> Result<ServeSection, String> {
+        let str_field = |key: &str| {
+            v.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("serve section is missing string field '{key}'"))
+        };
+        let int_field = |key: &str| v.get(key).and_then(Json::as_u64).unwrap_or(0);
+        Ok(ServeSection {
+            suite: str_field("suite")?,
+            graph: str_field("graph")?,
+            connections: int_field("connections"),
+            requests: int_field("requests"),
+            ok: int_field("ok"),
+            overloaded: int_field("overloaded"),
+            deadline_expired: int_field("deadline_expired"),
+            errors: int_field("errors"),
+            p50_us: int_field("p50_us"),
+            p90_us: int_field("p90_us"),
+            p99_us: int_field("p99_us"),
+            throughput_rps: v
+                .get("throughput_rps")
+                .and_then(Json::as_f64)
+                .unwrap_or(0.0),
+            wall_ms: int_field("wall_ms"),
+        })
+    }
+
+    /// Extracts the section from a whole `BENCH.json` document, if the
+    /// document carries one.
+    ///
+    /// # Errors
+    /// Returns a description when the document is not valid JSON or the
+    /// present section is malformed; `Ok(None)` when there is no
+    /// `"serve"` key at all.
+    pub fn from_document(text: &str) -> Result<Option<ServeSection>, String> {
+        let v = lotus_telemetry::json::parse(text).map_err(|e| e.to_string())?;
+        match v.get("serve") {
+            Some(section) => Ok(Some(ServeSection::from_json(section)?)),
+            None => Ok(None),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::{BenchReport, SCHEMA_VERSION};
+
+    fn sample() -> ServeSection {
+        ServeSection {
+            suite: "ci".into(),
+            graph: "rmat:9:8:7".into(),
+            connections: 4,
+            requests: 200,
+            ok: 198,
+            overloaded: 2,
+            deadline_expired: 0,
+            errors: 0,
+            p50_us: 850,
+            p90_us: 2100,
+            p99_us: 4800,
+            throughput_rps: 1234.5,
+            wall_ms: 162,
+        }
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let section = sample();
+        let back = ServeSection::from_json(&section.to_json()).unwrap();
+        assert_eq!(back, section);
+    }
+
+    #[test]
+    fn document_extraction_and_absence() {
+        let mut doc = Json::Obj(vec![
+            ("schema_version".into(), Json::Int(SCHEMA_VERSION)),
+            ("suite".into(), Json::Str("ci".into())),
+            ("runs".into(), Json::Arr(vec![])),
+        ]);
+        assert_eq!(ServeSection::from_document(&doc.pretty()), Ok(None));
+
+        if let Json::Obj(members) = &mut doc {
+            members.push(("serve".into(), sample().to_json()));
+        }
+        let text = doc.pretty();
+        assert_eq!(ServeSection::from_document(&text), Ok(Some(sample())));
+        // The counting-report parser tolerates the extra key (schema v1
+        // unknown-field contract), so one artifact serves both readers.
+        let report = BenchReport::parse(&text).unwrap();
+        assert_eq!(report.suite, "ci");
+    }
+
+    #[test]
+    fn missing_required_fields_are_reported() {
+        let err = ServeSection::from_json(&Json::Obj(vec![])).unwrap_err();
+        assert!(err.contains("suite"), "{err}");
+        assert!(ServeSection::from_document("not json").is_err());
+    }
+}

@@ -21,6 +21,13 @@ USAGE:
   lotus check <graph> [--hubs N] [--differential]
   lotus bench [--suite ci|small|full] [--json FILE]
   lotus bench compare <baseline.json> <current.json> [--tolerance F]
+  lotus serve [--bind ADDR] [--port P] [--workers N] [--queue N]
+              [--mem-budget SIZE] [--preload NAME=SPEC]...
+  lotus query <addr> <ping|stats|drain|count NAME|per-vertex NAME
+              [--range A..B]|kclique NAME K|load NAME SPEC|evict NAME>
+              [--deadline-ms MS]
+  lotus loadgen <addr> [--suite ci] [--connections N] [--requests M]
+                [--seed S] [--graph SPEC] [--json FILE]
   lotus help
 
 Graph files: whitespace edge lists (any extension) or binary .lotg files.
@@ -61,8 +68,105 @@ pub enum Command {
     Check(CheckArgs),
     /// `lotus bench` (suite run or `compare`).
     Bench(BenchArgs),
+    /// `lotus serve`.
+    Serve(ServeCliArgs),
+    /// `lotus query`.
+    Query(QueryArgs),
+    /// `lotus loadgen`.
+    Loadgen(LoadgenCliArgs),
     /// `lotus help`.
     Help,
+}
+
+/// Arguments of `lotus serve`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeCliArgs {
+    /// Bind address (default `127.0.0.1`).
+    pub bind: String,
+    /// TCP port; 0 picks an ephemeral port.
+    pub port: u16,
+    /// Worker threads; 0 means one per core.
+    pub workers: usize,
+    /// Queue capacity; 0 means 4x workers.
+    pub queue: usize,
+    /// Registry memory budget (default 512m).
+    pub mem_budget: Option<MemoryBudget>,
+    /// Graphs to build before accepting connections (`--preload NAME=SPEC`).
+    pub preload: Vec<(String, String)>,
+}
+
+/// Arguments of `lotus query`: target address plus one action.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryArgs {
+    /// Daemon address (`host:port`).
+    pub addr: String,
+    /// What to ask the daemon.
+    pub action: QueryAction,
+    /// Optional cooperative deadline in milliseconds.
+    pub deadline_ms: Option<u64>,
+}
+
+/// The single request a `lotus query` invocation issues.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryAction {
+    /// Liveness probe.
+    Ping,
+    /// Daemon statistics.
+    Stats,
+    /// Graceful shutdown.
+    Drain,
+    /// Total triangle count of a registered graph.
+    Count {
+        /// Registered name or graph spec.
+        name: String,
+    },
+    /// Per-vertex triangle counts over a vertex range.
+    PerVertex {
+        /// Registered name or graph spec.
+        name: String,
+        /// Half-open vertex range (`--range A..B`); `None` = default span.
+        range: Option<(u32, u32)>,
+    },
+    /// k-clique count of a registered graph.
+    KClique {
+        /// Registered name or graph spec.
+        name: String,
+        /// Clique size.
+        k: u32,
+    },
+    /// Admin: build and register a graph.
+    Load {
+        /// Registry name.
+        name: String,
+        /// Graph spec (`path:...`, `rmat:...`, `er:...`).
+        spec: String,
+    },
+    /// Admin: drop a registered graph.
+    Evict {
+        /// Registry name.
+        name: String,
+    },
+}
+
+/// Arguments of `lotus loadgen`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadgenCliArgs {
+    /// Daemon address (`host:port`).
+    pub addr: String,
+    /// Named suite preset (`ci`), if any.
+    pub suite: Option<String>,
+    /// Concurrent connections (default 4).
+    pub connections: Option<usize>,
+    /// Requests per connection (default 50).
+    pub requests: Option<usize>,
+    /// Mix seed (default 42).
+    pub seed: Option<u64>,
+    /// Graph spec the run warms and queries (default `rmat:9:8:7`).
+    pub graph: Option<String>,
+    /// Per-request deadline in milliseconds, if any.
+    pub deadline_ms: Option<u64>,
+    /// Where to write the BENCH-schema `serve` artifact, if anywhere.
+    pub json: Option<String>,
 }
 
 /// Arguments of `lotus bench`.
@@ -487,6 +591,180 @@ pub fn parse(argv: &[&str]) -> Result<Command, ParseError> {
                 strict,
             }))
         }
+        "serve" => {
+            let mut bind = "127.0.0.1".to_string();
+            let mut port = 0u16;
+            let mut workers = 0usize;
+            let mut queue = 0usize;
+            let mut mem_budget = None;
+            let mut preload = Vec::new();
+            while let Some(arg) = it.next() {
+                match arg {
+                    "--bind" | "-b" => bind = take_value(arg, &mut it)?,
+                    "--port" | "-p" => port = parse_num(arg, &take_value(arg, &mut it)?)?,
+                    "--workers" | "-w" => workers = parse_num(arg, &take_value(arg, &mut it)?)?,
+                    "--queue" | "-q" => queue = parse_num(arg, &take_value(arg, &mut it)?)?,
+                    "--mem-budget" => {
+                        let value = take_value(arg, &mut it)?;
+                        mem_budget = Some(
+                            MemoryBudget::parse(&value)
+                                .map_err(|e| ParseError(format!("--mem-budget: {e}")))?,
+                        );
+                    }
+                    "--preload" => {
+                        let value = take_value(arg, &mut it)?;
+                        let (name, spec) = value.split_once('=').ok_or_else(|| {
+                            ParseError(format!("--preload expects NAME=SPEC, got '{value}'"))
+                        })?;
+                        if name.is_empty() || spec.is_empty() {
+                            return Err(ParseError(format!(
+                                "--preload expects NAME=SPEC, got '{value}'"
+                            )));
+                        }
+                        preload.push((name.to_string(), spec.to_string()));
+                    }
+                    _ => return Err(ParseError(format!("unexpected argument '{arg}'"))),
+                }
+            }
+            Ok(Command::Serve(ServeCliArgs {
+                bind,
+                port,
+                workers,
+                queue,
+                mem_budget,
+                preload,
+            }))
+        }
+        "query" => {
+            let mut deadline_ms = None;
+            let mut positional = Vec::new();
+            while let Some(arg) = it.next() {
+                match arg {
+                    "--deadline-ms" | "-d" => {
+                        deadline_ms = Some(parse_num(arg, &take_value(arg, &mut it)?)?);
+                    }
+                    "--range" | "-r" => positional.push(("--range", take_value(arg, &mut it)?)),
+                    _ if !arg.starts_with('-') => positional.push(("", arg.to_string())),
+                    _ => return Err(ParseError(format!("unexpected argument '{arg}'"))),
+                }
+            }
+            let mut range = None;
+            let mut words = Vec::new();
+            for (flag, value) in positional {
+                if flag == "--range" {
+                    let (a, b) = value.split_once("..").ok_or_else(|| {
+                        ParseError(format!("--range expects A..B, got '{value}'"))
+                    })?;
+                    let start: u32 = parse_num("--range", a)?;
+                    let end: u32 = parse_num("--range", b)?;
+                    if start > end {
+                        return Err(ParseError(format!(
+                            "--range start {start} exceeds end {end}"
+                        )));
+                    }
+                    range = Some((start, end));
+                } else {
+                    words.push(value);
+                }
+            }
+            let mut words = words.into_iter();
+            let addr = words
+                .next()
+                .ok_or_else(|| ParseError("query: missing daemon address".into()))?;
+            let verb = words
+                .next()
+                .ok_or_else(|| ParseError("query: missing action".into()))?;
+            let mut need = |what: &str| {
+                words
+                    .next()
+                    .ok_or_else(|| ParseError(format!("query {verb}: missing {what}")))
+            };
+            let action = match verb.as_str() {
+                "ping" => QueryAction::Ping,
+                "stats" => QueryAction::Stats,
+                "drain" => QueryAction::Drain,
+                "count" => QueryAction::Count {
+                    name: need("graph name")?,
+                },
+                "per-vertex" => QueryAction::PerVertex {
+                    name: need("graph name")?,
+                    range,
+                },
+                "kclique" => {
+                    let name = need("graph name")?;
+                    let k = parse_num("kclique k", &need("clique size k")?)?;
+                    QueryAction::KClique { name, k }
+                }
+                "load" => {
+                    let name = need("graph name")?;
+                    let spec = need("graph spec")?;
+                    QueryAction::Load { name, spec }
+                }
+                "evict" => QueryAction::Evict {
+                    name: need("graph name")?,
+                },
+                other => return Err(ParseError(format!("unknown query action '{other}'"))),
+            };
+            if range.is_some() && !matches!(action, QueryAction::PerVertex { .. }) {
+                return Err(ParseError("--range only applies to per-vertex".into()));
+            }
+            if let Some(extra) = words.next() {
+                return Err(ParseError(format!("unexpected argument '{extra}'")));
+            }
+            Ok(Command::Query(QueryArgs {
+                addr,
+                action,
+                deadline_ms,
+            }))
+        }
+        "loadgen" => {
+            let mut addr = None;
+            let mut suite = None;
+            let mut connections = None;
+            let mut requests = None;
+            let mut seed = None;
+            let mut graph = None;
+            let mut deadline_ms = None;
+            let mut json = None;
+            while let Some(arg) = it.next() {
+                match arg {
+                    "--suite" | "-s" => {
+                        let value = take_value(arg, &mut it)?;
+                        if value != "ci" {
+                            return Err(ParseError(format!("unknown loadgen suite '{value}'")));
+                        }
+                        suite = Some(value);
+                    }
+                    "--connections" | "-c" => {
+                        connections = Some(parse_num(arg, &take_value(arg, &mut it)?)?);
+                    }
+                    "--requests" | "-n" => {
+                        requests = Some(parse_num(arg, &take_value(arg, &mut it)?)?);
+                    }
+                    "--seed" => seed = Some(parse_num(arg, &take_value(arg, &mut it)?)?),
+                    "--graph" | "-g" => graph = Some(take_value(arg, &mut it)?),
+                    "--deadline-ms" | "-d" => {
+                        deadline_ms = Some(parse_num(arg, &take_value(arg, &mut it)?)?);
+                    }
+                    "--json" | "-j" => json = Some(take_value(arg, &mut it)?),
+                    _ if addr.is_none() && !arg.starts_with('-') => {
+                        addr = Some(arg.to_string());
+                    }
+                    _ => return Err(ParseError(format!("unexpected argument '{arg}'"))),
+                }
+            }
+            let addr = addr.ok_or_else(|| ParseError("loadgen: missing daemon address".into()))?;
+            Ok(Command::Loadgen(LoadgenCliArgs {
+                addr,
+                suite,
+                connections,
+                requests,
+                seed,
+                graph,
+                deadline_ms,
+                json,
+            }))
+        }
         other => Err(ParseError(format!("unknown subcommand '{other}'"))),
     }
 }
@@ -729,6 +1007,179 @@ mod tests {
         assert!(parse(&["analyze", "lint", "extra"]).is_err());
         assert!(parse(&["analyze", "race", "--seeds", "x"]).is_err());
         assert!(parse(&["analyze", "graph"]).is_err());
+    }
+
+    #[test]
+    fn parses_serve() {
+        assert_eq!(
+            parse(&["serve"]).unwrap(),
+            Command::Serve(ServeCliArgs {
+                bind: "127.0.0.1".into(),
+                port: 0,
+                workers: 0,
+                queue: 0,
+                mem_budget: None,
+                preload: vec![],
+            })
+        );
+        let c = parse(&[
+            "serve",
+            "--bind",
+            "0.0.0.0",
+            "--port",
+            "7070",
+            "--workers",
+            "8",
+            "--queue",
+            "32",
+            "--mem-budget",
+            "1g",
+            "--preload",
+            "g=rmat:9:8:7",
+            "--preload",
+            "h=er:128:512:3",
+        ])
+        .unwrap();
+        match c {
+            Command::Serve(a) => {
+                assert_eq!(a.bind, "0.0.0.0");
+                assert_eq!(a.port, 7070);
+                assert_eq!(a.workers, 8);
+                assert_eq!(a.queue, 32);
+                assert_eq!(a.mem_budget, Some(MemoryBudget::from_bytes(1 << 30)));
+                assert_eq!(
+                    a.preload,
+                    vec![
+                        ("g".into(), "rmat:9:8:7".into()),
+                        ("h".into(), "er:128:512:3".into())
+                    ]
+                );
+            }
+            _ => panic!("wrong command"),
+        }
+        assert!(parse(&["serve", "--port", "99999"]).is_err());
+        assert!(parse(&["serve", "--preload", "no-equals"]).is_err());
+        assert!(parse(&["serve", "--preload", "=spec"]).is_err());
+        assert!(parse(&["serve", "stray"]).is_err());
+    }
+
+    #[test]
+    fn parses_query_actions() {
+        assert_eq!(
+            parse(&["query", "127.0.0.1:7070", "ping"]).unwrap(),
+            Command::Query(QueryArgs {
+                addr: "127.0.0.1:7070".into(),
+                action: QueryAction::Ping,
+                deadline_ms: None,
+            })
+        );
+        assert_eq!(
+            parse(&["query", "a:1", "count", "g", "--deadline-ms", "250"]).unwrap(),
+            Command::Query(QueryArgs {
+                addr: "a:1".into(),
+                action: QueryAction::Count { name: "g".into() },
+                deadline_ms: Some(250),
+            })
+        );
+        assert_eq!(
+            parse(&["query", "a:1", "per-vertex", "g", "--range", "16..80"]).unwrap(),
+            Command::Query(QueryArgs {
+                addr: "a:1".into(),
+                action: QueryAction::PerVertex {
+                    name: "g".into(),
+                    range: Some((16, 80)),
+                },
+                deadline_ms: None,
+            })
+        );
+        assert_eq!(
+            parse(&["query", "a:1", "kclique", "g", "5"]).unwrap(),
+            Command::Query(QueryArgs {
+                addr: "a:1".into(),
+                action: QueryAction::KClique {
+                    name: "g".into(),
+                    k: 5
+                },
+                deadline_ms: None,
+            })
+        );
+        assert_eq!(
+            parse(&["query", "a:1", "load", "g", "rmat:9:8:7"]).unwrap(),
+            Command::Query(QueryArgs {
+                addr: "a:1".into(),
+                action: QueryAction::Load {
+                    name: "g".into(),
+                    spec: "rmat:9:8:7".into()
+                },
+                deadline_ms: None,
+            })
+        );
+        assert_eq!(
+            parse(&["query", "a:1", "evict", "g"]).unwrap(),
+            Command::Query(QueryArgs {
+                addr: "a:1".into(),
+                action: QueryAction::Evict { name: "g".into() },
+                deadline_ms: None,
+            })
+        );
+        assert!(parse(&["query"]).is_err());
+        assert!(parse(&["query", "a:1"]).is_err());
+        assert!(parse(&["query", "a:1", "frobnicate"]).is_err());
+        assert!(parse(&["query", "a:1", "count"]).is_err());
+        assert!(parse(&["query", "a:1", "kclique", "g"]).is_err());
+        assert!(parse(&["query", "a:1", "kclique", "g", "x"]).is_err());
+        assert!(parse(&["query", "a:1", "per-vertex", "g", "--range", "80..16"]).is_err());
+        assert!(parse(&["query", "a:1", "per-vertex", "g", "--range", "16"]).is_err());
+        assert!(parse(&["query", "a:1", "count", "g", "--range", "0..4"]).is_err());
+        assert!(parse(&["query", "a:1", "ping", "extra"]).is_err());
+    }
+
+    #[test]
+    fn parses_loadgen() {
+        assert_eq!(
+            parse(&["loadgen", "a:1", "--suite", "ci"]).unwrap(),
+            Command::Loadgen(LoadgenCliArgs {
+                addr: "a:1".into(),
+                suite: Some("ci".into()),
+                connections: None,
+                requests: None,
+                seed: None,
+                graph: None,
+                deadline_ms: None,
+                json: None,
+            })
+        );
+        let c = parse(&[
+            "loadgen",
+            "a:1",
+            "--connections",
+            "8",
+            "--requests",
+            "100",
+            "--seed",
+            "7",
+            "--graph",
+            "er:256:1024:5",
+            "--deadline-ms",
+            "500",
+            "--json",
+            "serve.json",
+        ])
+        .unwrap();
+        match c {
+            Command::Loadgen(a) => {
+                assert_eq!(a.connections, Some(8));
+                assert_eq!(a.requests, Some(100));
+                assert_eq!(a.seed, Some(7));
+                assert_eq!(a.graph.as_deref(), Some("er:256:1024:5"));
+                assert_eq!(a.deadline_ms, Some(500));
+                assert_eq!(a.json.as_deref(), Some("serve.json"));
+            }
+            _ => panic!("wrong command"),
+        }
+        assert!(parse(&["loadgen"]).is_err());
+        assert!(parse(&["loadgen", "a:1", "--suite", "nope"]).is_err());
+        assert!(parse(&["loadgen", "a:1", "--connections", "x"]).is_err());
     }
 
     #[test]

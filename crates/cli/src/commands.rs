@@ -24,7 +24,8 @@ use lotus_resilience::{isolate, Deadline, MemoryBudget, RunGuard};
 
 use crate::args::{
     AnalyzeArgs, AnalyzeGraphArgs, AnalyzeLintArgs, AnalyzeRaceArgs, BenchArgs, BenchCompareArgs,
-    BenchRunArgs, CheckArgs, ConvertArgs, CountArgs, GenerateArgs,
+    BenchRunArgs, CheckArgs, ConvertArgs, CountArgs, GenerateArgs, LoadgenCliArgs, QueryAction,
+    QueryArgs, ServeCliArgs,
 };
 
 /// A command failure: user-facing message plus process exit code.
@@ -553,6 +554,174 @@ pub fn convert(args: ConvertArgs) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// `lotus serve`: run the graph query daemon until drained.
+///
+/// Prints `listening on <addr>` (flushed) before blocking, so scripts
+/// can poll stdout for the bound ephemeral port.
+///
+/// # Errors
+/// Returns a [`CliError`] when the listener cannot bind or a
+/// `--preload` graph fails to build.
+pub fn serve(args: ServeCliArgs) -> Result<String, CliError> {
+    use std::io::Write as _;
+
+    let mut config = lotus_serve::ServeConfig {
+        bind: args.bind,
+        port: args.port,
+        workers: args.workers,
+        queue_capacity: args.queue,
+        preload: args.preload,
+        ..lotus_serve::ServeConfig::default()
+    };
+    if let Some(budget) = args.mem_budget {
+        config.budget = budget;
+    }
+    let handle = lotus_serve::spawn(config).map_err(|e| CliError::runtime(e.to_string()))?;
+    println!("listening on {}", handle.addr());
+    let _ = std::io::stdout().flush();
+    handle.wait();
+    Ok("drained".into())
+}
+
+/// `lotus query`: issue one request to a running daemon and print the
+/// reply as JSON.
+///
+/// Error replies map onto the shared exit-code contract: deadline or
+/// cancellation 124, worker panic 101, bad request 2, everything
+/// else 1.
+///
+/// # Errors
+/// Returns a [`CliError`] when the daemon is unreachable, the
+/// transport fails, or the daemon answers with an error response.
+pub fn query(args: QueryArgs) -> Result<String, CliError> {
+    use lotus_serve::proto::NO_DEADLINE;
+    use lotus_serve::{ErrorKind, Request, Response};
+
+    let deadline_ms = args.deadline_ms.unwrap_or(NO_DEADLINE);
+    let request = match args.action {
+        QueryAction::Ping => Request::Ping,
+        QueryAction::Stats => Request::Stats,
+        QueryAction::Drain => Request::Drain,
+        QueryAction::Count { name } => Request::Count { name, deadline_ms },
+        QueryAction::PerVertex { name, range } => {
+            // (0, 0) asks the daemon for its default span.
+            let (start, end) = range.unwrap_or((0, 0));
+            Request::PerVertex {
+                name,
+                start,
+                end,
+                deadline_ms,
+            }
+        }
+        QueryAction::KClique { name, k } => Request::KClique {
+            name,
+            k,
+            deadline_ms,
+        },
+        QueryAction::Load { name, spec } => Request::LoadGraph { name, spec },
+        QueryAction::Evict { name } => Request::EvictGraph { name },
+    };
+    let mut client = lotus_serve::Client::connect(args.addr.as_str())
+        .map_err(|e| CliError::runtime(format!("connecting to {}: {e}", args.addr)))?;
+    let reply = client
+        .call(&request)
+        .map_err(|e| CliError::runtime(format!("request failed: {e}")))?;
+    let rendered = reply.to_json().pretty();
+    match reply {
+        Response::Error { kind, message } => {
+            let code = match kind {
+                ErrorKind::DeadlineExpired | ErrorKind::Cancelled => 124,
+                ErrorKind::WorkerPanic => 101,
+                ErrorKind::BadRequest => 2,
+                _ => 1,
+            };
+            Err(CliError {
+                message: format!("{}: {message}\n{rendered}", kind.name()),
+                code,
+            })
+        }
+        _ => Ok(rendered),
+    }
+}
+
+/// `lotus loadgen`: drive a seeded request mix against a running
+/// daemon and render the latency report; `--json` writes the
+/// BENCH-schema artifact carrying the `serve` section.
+///
+/// # Errors
+/// Returns a [`CliError`] when the daemon is unreachable, the warm-up
+/// graph is refused, or the artifact cannot be written.
+pub fn loadgen(args: LoadgenCliArgs) -> Result<String, CliError> {
+    let mut config = lotus_serve::LoadgenConfig::ci_suite(&args.addr);
+    let suite = args.suite.unwrap_or_else(|| "custom".to_string());
+    if let Some(connections) = args.connections {
+        config.connections = connections.max(1);
+    }
+    if let Some(requests) = args.requests {
+        config.requests = requests;
+    }
+    if let Some(seed) = args.seed {
+        config.seed = seed;
+    }
+    if let Some(graph) = args.graph {
+        config.graph = graph;
+    }
+    if let Some(deadline_ms) = args.deadline_ms {
+        config.deadline_ms = deadline_ms;
+    }
+    let report = lotus_serve::loadgen::run(&config).map_err(CliError::runtime)?;
+    let section = lotus_bench::ServeSection {
+        suite: suite.clone(),
+        graph: config.graph.clone(),
+        connections: report.connections as u64,
+        requests: report.sent,
+        ok: report.ok,
+        overloaded: report.overloaded,
+        deadline_expired: report.deadline_expired,
+        errors: report.errors,
+        p50_us: report.percentile_us(50.0),
+        p90_us: report.percentile_us(90.0),
+        p99_us: report.percentile_us(99.0),
+        throughput_rps: report.throughput_rps(),
+        wall_ms: report.wall_ms,
+    };
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "loadgen '{suite}' against {}: {} connections x {} requests on {}",
+        config.addr, config.connections, config.requests, config.graph
+    );
+    let _ = writeln!(
+        out,
+        "sent {} ok {} overloaded {} deadline-expired {} errors {}",
+        report.sent, report.ok, report.overloaded, report.deadline_expired, report.errors
+    );
+    let _ = writeln!(
+        out,
+        "latency p50 {} us, p90 {} us, p99 {} us; {:.1} req/s over {} ms",
+        section.p50_us, section.p90_us, section.p99_us, section.throughput_rps, section.wall_ms
+    );
+    if let Some(path) = &args.json {
+        use lotus_telemetry::json::Json;
+        let doc = Json::Obj(vec![
+            (
+                "schema_version".into(),
+                Json::Int(lotus_bench::report::SCHEMA_VERSION),
+            ),
+            ("suite".into(), Json::Str(suite)),
+            ("serve".into(), section.to_json()),
+        ]);
+        std::fs::write(path, doc.pretty())
+            .map_err(|e| CliError::runtime(format!("cannot write '{path}': {e}")))?;
+        let _ = writeln!(out, "wrote serve section to {path}");
+    }
+    if report.ok == 0 {
+        return Err(CliError::runtime(format!("no request succeeded\n{out}")));
+    }
+    Ok(out)
+}
+
 fn save_edges(el: &EdgeList, path: &str) -> Result<(), CliError> {
     let result = if path.ends_with(".lotg") {
         io::save_binary(el, path)
@@ -895,6 +1064,90 @@ mod tests {
             err.message
         );
         std::fs::remove_file(&bad).ok();
+    }
+
+    #[test]
+    fn query_and_loadgen_against_in_process_daemon() {
+        let handle = lotus_serve::spawn(lotus_serve::ServeConfig::default()).unwrap();
+        let addr = handle.addr().to_string();
+
+        let out = query(QueryArgs {
+            addr: addr.clone(),
+            action: QueryAction::Ping,
+            deadline_ms: None,
+        })
+        .unwrap();
+        assert!(out.contains("pong"), "{out}");
+
+        let out = query(QueryArgs {
+            addr: addr.clone(),
+            action: QueryAction::Load {
+                name: "g".into(),
+                spec: "rmat:7:8:5".into(),
+            },
+            deadline_ms: None,
+        })
+        .unwrap();
+        assert!(out.contains("loaded"), "{out}");
+        let out = query(QueryArgs {
+            addr: addr.clone(),
+            action: QueryAction::Count { name: "g".into() },
+            deadline_ms: None,
+        })
+        .unwrap();
+        assert!(out.contains("triangles"), "{out}");
+
+        // A 0 ms deadline maps onto the interrupted exit code.
+        let err = query(QueryArgs {
+            addr: addr.clone(),
+            action: QueryAction::Count { name: "g".into() },
+            deadline_ms: Some(0),
+        })
+        .unwrap_err();
+        assert_eq!(err.code, 124, "{}", err.message);
+        // An unknown graph is a runtime error.
+        let err = query(QueryArgs {
+            addr: addr.clone(),
+            action: QueryAction::Count {
+                name: "missing".into(),
+            },
+            deadline_ms: None,
+        })
+        .unwrap_err();
+        assert_eq!(err.code, 1, "{}", err.message);
+
+        // A tiny loadgen run writes a parseable serve section.
+        let json = tmp("loadgen.json");
+        let out = loadgen(LoadgenCliArgs {
+            addr: addr.clone(),
+            suite: None,
+            connections: Some(2),
+            requests: Some(5),
+            seed: Some(7),
+            graph: Some("rmat:7:8:5".into()),
+            deadline_ms: None,
+            json: Some(json.clone()),
+        })
+        .unwrap();
+        assert!(out.contains("latency p50"), "{out}");
+        let section =
+            lotus_bench::ServeSection::from_document(&std::fs::read_to_string(&json).unwrap())
+                .unwrap()
+                .expect("serve section");
+        assert_eq!(section.suite, "custom");
+        assert_eq!(section.requests, 10);
+        assert_eq!(section.ok + section.overloaded + section.errors, 10);
+        std::fs::remove_file(&json).ok();
+
+        // Drain through the client path shuts the daemon down.
+        let out = query(QueryArgs {
+            addr,
+            action: QueryAction::Drain,
+            deadline_ms: None,
+        })
+        .unwrap();
+        assert!(out.contains("draining"), "{out}");
+        handle.wait();
     }
 
     #[test]

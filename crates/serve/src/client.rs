@@ -1,0 +1,43 @@
+//! A minimal blocking client for the `lotus-serve` protocol.
+
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use crate::proto::{read_response, write_request, ProtoError, Request, Response};
+
+/// One connection to a daemon; requests run strictly in order.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects to `addr` (any `host:port` form).
+    ///
+    /// # Errors
+    /// Returns the connect failure as [`ProtoError::Io`].
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ProtoError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client { stream })
+    }
+
+    /// Bounds how long one [`Client::call`] may wait for its response.
+    ///
+    /// # Errors
+    /// Returns the socket-option failure as [`ProtoError::Io`].
+    pub fn set_timeout(&mut self, timeout: Option<Duration>) -> Result<(), ProtoError> {
+        self.stream.set_read_timeout(timeout)?;
+        Ok(())
+    }
+
+    /// Sends one request and reads its response.
+    ///
+    /// # Errors
+    /// Propagates framing, checksum, and transport failures as
+    /// [`ProtoError`]; after an error the connection should be dropped.
+    pub fn call(&mut self, request: &Request) -> Result<Response, ProtoError> {
+        write_request(&mut self.stream, request)?;
+        read_response(&mut self.stream)
+    }
+}

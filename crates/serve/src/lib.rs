@@ -1,0 +1,36 @@
+//! `lotus-serve`: the graph query service of the LOTUS workspace.
+//!
+//! A dependency-free `std::net` TCP daemon that serves triangle and
+//! clique queries over fully preprocessed LOTUS graphs:
+//!
+//! - [`proto`] — the length-prefixed binary wire protocol (magic +
+//!   version + CRC32 trailer, untrusted-length hardening shared with
+//!   `lotus_graph::io`).
+//! - [`registry`] — the preprocessed-graph registry: load/build once,
+//!   serve many times, LRU-evicted against a
+//!   `lotus_resilience::MemoryBudget`.
+//! - [`pool`] — the bounded worker pool behind admission control.
+//! - [`server`] — the daemon itself: accept loop, connection threads,
+//!   request dispatch, per-request deadlines, panic isolation.
+//! - [`client`] — a minimal blocking client.
+//! - [`loadgen`] — the load-generator harness measuring request
+//!   latency percentiles for the BENCH `serve` section.
+//!
+//! The daemon speaks nine request types — `Ping`, `Stats`, `Count`,
+//! `PerVertex`, `KClique`, `Batch`, and the admin `LoadGraph` /
+//! `EvictGraph` / `Drain` — and always answers with a structured
+//! [`proto::Response`], including typed errors for overload, expired
+//! deadlines, and isolated worker panics. See DESIGN.md §11.
+
+pub mod client;
+pub mod loadgen;
+pub mod pool;
+pub mod proto;
+pub mod registry;
+pub mod server;
+
+pub use client::Client;
+pub use loadgen::{LoadgenConfig, LoadgenReport};
+pub use proto::{ErrorKind, ProtoError, Request, Response, StatsReply};
+pub use registry::{GraphSpec, PreparedGraph, Registry, RegistryError};
+pub use server::{spawn, ServeConfig, ServeError, ServeStats, ServerHandle, ServerState};

@@ -1,0 +1,1089 @@
+//! The `lotus-serve` wire protocol: length-prefixed binary frames.
+//!
+//! Every message (request or response) travels in one frame:
+//!
+//! ```text
+//! magic  "LSRV"          4 bytes
+//! version u32            4 bytes   (currently 1)
+//! payload_len u32        4 bytes   (bytes of payload, ≤ MAX_FRAME_PAYLOAD)
+//! payload                payload_len bytes
+//! crc32 u32              4 bytes   (over everything above)
+//! ```
+//!
+//! The framing reuses the v2 discipline of `lotus_graph::io`: a magic +
+//! version prefix, a CRC32 trailer over the whole frame, and *untrusted*
+//! header fields — a declared payload length is validated against
+//! [`MAX_FRAME_PAYLOAD`] before any allocation, and buffer reservations
+//! are additionally capped at `lotus_graph::io::MAX_PREALLOC_BYTES`, so a
+//! hostile 4 GiB length costs a typed error, not an allocation.
+//!
+//! Payloads are a one-byte tag followed by little-endian fields; strings
+//! are a u16 length plus UTF-8 bytes. Deadlines travel as milliseconds
+//! with [`NO_DEADLINE`] meaning "none" (so an explicit `0` is an
+//! *already-expired* deadline — useful for admission-control tests).
+
+use std::io::{Read, Write};
+
+use lotus_graph::crc32::Crc32;
+use lotus_graph::io::MAX_PREALLOC_BYTES;
+use lotus_telemetry::json::Json;
+
+/// Frame magic, distinct from the `.lotg` file magic.
+pub const MAGIC: &[u8; 4] = b"LSRV";
+/// Current protocol version.
+pub const VERSION: u32 = 1;
+/// Hard cap on a frame's declared payload length. Larger declarations
+/// are rejected before any allocation happens.
+pub const MAX_FRAME_PAYLOAD: u32 = 4 << 20;
+/// Sentinel for "no deadline" in the wire encoding of deadlines.
+pub const NO_DEADLINE: u64 = u64::MAX;
+/// Largest per-vertex slice a single request may ask for (bounds the
+/// response frame size: 64 Ki counts × 8 bytes = 512 KiB).
+pub const MAX_PER_VERTEX_SPAN: u32 = 1 << 16;
+/// Largest clique size `KClique` accepts.
+pub const MAX_CLIQUE_K: u32 = 8;
+/// Largest number of sub-requests in one `Batch`.
+pub const MAX_BATCH: usize = 256;
+
+/// A protocol-level failure while reading or decoding a frame.
+#[derive(Debug)]
+pub enum ProtoError {
+    /// Transport failure (includes EOF between frames).
+    Io(std::io::Error),
+    /// Stream did not start with [`MAGIC`].
+    BadMagic([u8; 4]),
+    /// Unsupported protocol version.
+    BadVersion(u32),
+    /// Declared payload length exceeds [`MAX_FRAME_PAYLOAD`].
+    Oversized(u32),
+    /// Connection closed mid-frame.
+    Truncated,
+    /// CRC32 trailer mismatch.
+    BadCrc {
+        /// Checksum stored in the frame trailer.
+        stored: u32,
+        /// Checksum computed over the received bytes.
+        computed: u32,
+    },
+    /// Payload bytes do not decode as a valid message.
+    Malformed(String),
+    /// First payload byte is not a known message tag.
+    UnknownTag(u8),
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtoError::Io(e) => write!(f, "i/o: {e}"),
+            ProtoError::BadMagic(m) => write!(f, "bad frame magic {m:02x?}"),
+            ProtoError::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
+            ProtoError::Oversized(len) => write!(
+                f,
+                "declared payload length {len} exceeds cap {MAX_FRAME_PAYLOAD}"
+            ),
+            ProtoError::Truncated => write!(f, "connection closed mid-frame"),
+            ProtoError::BadCrc { stored, computed } => write!(
+                f,
+                "frame checksum mismatch: stored {stored:#010x}, computed {computed:#010x}"
+            ),
+            ProtoError::Malformed(m) => write!(f, "malformed payload: {m}"),
+            ProtoError::UnknownTag(t) => write!(f, "unknown message tag {t}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+impl From<std::io::Error> for ProtoError {
+    fn from(e: std::io::Error) -> Self {
+        ProtoError::Io(e)
+    }
+}
+
+/// Why a request failed, as carried by [`Response::Error`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// Frame-level problem (bad magic/version/length/CRC).
+    Protocol,
+    /// Well-framed but semantically invalid request.
+    BadRequest,
+    /// Named graph is not resident and the name is not a buildable spec.
+    NotFound,
+    /// Bounded request queue was full; retry later.
+    Overloaded,
+    /// The request's deadline expired before or during execution.
+    DeadlineExpired,
+    /// The request was cancelled.
+    Cancelled,
+    /// A worker panicked executing the request (isolated; daemon lives).
+    WorkerPanic,
+    /// The daemon is draining and no longer accepts work.
+    ShuttingDown,
+}
+
+impl ErrorKind {
+    const ALL: [ErrorKind; 8] = [
+        ErrorKind::Protocol,
+        ErrorKind::BadRequest,
+        ErrorKind::NotFound,
+        ErrorKind::Overloaded,
+        ErrorKind::DeadlineExpired,
+        ErrorKind::Cancelled,
+        ErrorKind::WorkerPanic,
+        ErrorKind::ShuttingDown,
+    ];
+
+    /// Stable snake_case name (the `"error"` field of the JSON form).
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            ErrorKind::Protocol => "protocol",
+            ErrorKind::BadRequest => "bad_request",
+            ErrorKind::NotFound => "not_found",
+            ErrorKind::Overloaded => "overloaded",
+            ErrorKind::DeadlineExpired => "deadline_expired",
+            ErrorKind::Cancelled => "cancelled",
+            ErrorKind::WorkerPanic => "worker_panic",
+            ErrorKind::ShuttingDown => "shutting_down",
+        }
+    }
+
+    fn tag(self) -> u8 {
+        // Declaration order is the wire tag.
+        ErrorKind::ALL.iter().position(|k| *k == self).unwrap_or(0) as u8
+    }
+
+    fn from_tag(t: u8) -> Result<ErrorKind, ProtoError> {
+        ErrorKind::ALL
+            .get(t as usize)
+            .copied()
+            .ok_or(ProtoError::Malformed(format!("unknown error kind {t}")))
+    }
+}
+
+/// A client request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// Server / registry statistics.
+    Stats,
+    /// Total triangle count of a resident (or spec-buildable) graph.
+    Count {
+        /// Registry key: a loaded name or a buildable spec.
+        name: String,
+        /// Milliseconds until the deadline; [`NO_DEADLINE`] for none.
+        deadline_ms: u64,
+    },
+    /// Per-vertex triangle counts over `[start, end)` (original IDs).
+    /// `start == end == 0` means the whole graph (still capped at
+    /// [`MAX_PER_VERTEX_SPAN`]).
+    PerVertex {
+        /// Registry key.
+        name: String,
+        /// First vertex of the slice.
+        start: u32,
+        /// One past the last vertex of the slice.
+        end: u32,
+        /// Milliseconds until the deadline; [`NO_DEADLINE`] for none.
+        deadline_ms: u64,
+    },
+    /// k-clique count (`1 ≤ k ≤` [`MAX_CLIQUE_K`]).
+    KClique {
+        /// Registry key.
+        name: String,
+        /// Clique size.
+        k: u32,
+        /// Milliseconds until the deadline; [`NO_DEADLINE`] for none.
+        deadline_ms: u64,
+    },
+    /// Admin: build/load a graph into the registry under `name`.
+    LoadGraph {
+        /// Registry key to store under.
+        name: String,
+        /// Graph source spec (see `registry::GraphSpec`).
+        spec: String,
+    },
+    /// Admin: drop a graph from the registry.
+    EvictGraph {
+        /// Registry key to drop.
+        name: String,
+    },
+    /// Admin: finish in-flight work, then shut the daemon down.
+    Drain,
+    /// Several non-admin requests executed as one worker-pool job (one
+    /// queue slot, one span) — the batching path.
+    Batch(Vec<Request>),
+}
+
+/// Server/registry statistics carried by [`Response::Stats`]. These are
+/// the always-on serving counters; armed `telemetry` builds mirror them
+/// into `lotus_telemetry::counters` as well.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StatsReply {
+    /// Graphs resident in the registry.
+    pub graphs: u32,
+    /// Bytes charged against the registry's memory budget.
+    pub resident_bytes: u64,
+    /// The registry's byte budget.
+    pub budget_bytes: u64,
+    /// Requests answered successfully.
+    pub requests_served: u64,
+    /// Requests rejected by admission control.
+    pub overloaded: u64,
+    /// Requests that expired their deadline.
+    pub deadline_expired: u64,
+    /// Registry lookups served from cache.
+    pub cache_hits: u64,
+    /// Registry lookups that had to build/load.
+    pub cache_misses: u64,
+    /// Worker panics confined by isolation.
+    pub panics: u64,
+    /// Worker threads in the pool.
+    pub workers: u32,
+    /// Capacity of the bounded request queue.
+    pub queue_capacity: u32,
+}
+
+/// A server response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// Reply to [`Request::Ping`].
+    Pong,
+    /// Reply to [`Request::Stats`].
+    Stats(StatsReply),
+    /// Reply to [`Request::Count`].
+    Count {
+        /// Total triangles.
+        triangles: u64,
+        /// Whether the preprocessed graph came from the registry cache.
+        cached: bool,
+        /// Server-side execution time, microseconds.
+        wall_micros: u64,
+    },
+    /// Reply to [`Request::PerVertex`].
+    PerVertex {
+        /// First vertex of the returned slice.
+        start: u32,
+        /// Per-vertex triangle counts for `[start, start + len)`.
+        counts: Vec<u64>,
+    },
+    /// Reply to [`Request::KClique`].
+    KClique {
+        /// Clique size counted.
+        k: u32,
+        /// Number of k-cliques.
+        cliques: u64,
+    },
+    /// Reply to [`Request::LoadGraph`].
+    Loaded {
+        /// Vertices of the loaded graph.
+        vertices: u32,
+        /// Undirected edges.
+        edges: u64,
+        /// Bytes charged against the registry budget.
+        bytes: u64,
+        /// Resident graphs evicted to make room.
+        evicted: u32,
+    },
+    /// Reply to [`Request::EvictGraph`].
+    Evicted {
+        /// Whether the name was resident.
+        existed: bool,
+    },
+    /// Reply to [`Request::Drain`]: the daemon finishes in-flight work
+    /// and exits.
+    Draining,
+    /// Reply to [`Request::Batch`]: one response per sub-request.
+    Batch(Vec<Response>),
+    /// A structured failure.
+    Error {
+        /// Failure category.
+        kind: ErrorKind,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+impl Response {
+    /// Convenience constructor for [`Response::Error`].
+    #[must_use]
+    pub fn error(kind: ErrorKind, message: impl Into<String>) -> Response {
+        Response::Error {
+            kind,
+            message: message.into(),
+        }
+    }
+
+    /// The JSON rendering printed by `lotus query`.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        match self {
+            Response::Pong => Json::Obj(vec![("pong".into(), Json::Bool(true))]),
+            Response::Stats(s) => Json::Obj(vec![
+                ("graphs".into(), Json::Int(i64::from(s.graphs))),
+                ("resident_bytes".into(), Json::Int(s.resident_bytes as i64)),
+                ("budget_bytes".into(), Json::Int(s.budget_bytes as i64)),
+                (
+                    "requests_served".into(),
+                    Json::Int(s.requests_served as i64),
+                ),
+                ("overloaded".into(), Json::Int(s.overloaded as i64)),
+                (
+                    "deadline_expired".into(),
+                    Json::Int(s.deadline_expired as i64),
+                ),
+                ("cache_hits".into(), Json::Int(s.cache_hits as i64)),
+                ("cache_misses".into(), Json::Int(s.cache_misses as i64)),
+                ("panics".into(), Json::Int(s.panics as i64)),
+                ("workers".into(), Json::Int(i64::from(s.workers))),
+                (
+                    "queue_capacity".into(),
+                    Json::Int(i64::from(s.queue_capacity)),
+                ),
+            ]),
+            Response::Count {
+                triangles,
+                cached,
+                wall_micros,
+            } => Json::Obj(vec![
+                ("triangles".into(), Json::Int(*triangles as i64)),
+                ("cached".into(), Json::Bool(*cached)),
+                ("wall_micros".into(), Json::Int(*wall_micros as i64)),
+            ]),
+            Response::PerVertex { start, counts } => Json::Obj(vec![
+                ("start".into(), Json::Int(i64::from(*start))),
+                (
+                    "counts".into(),
+                    Json::Arr(counts.iter().map(|&c| Json::Int(c as i64)).collect()),
+                ),
+            ]),
+            Response::KClique { k, cliques } => Json::Obj(vec![
+                ("k".into(), Json::Int(i64::from(*k))),
+                ("cliques".into(), Json::Int(*cliques as i64)),
+            ]),
+            Response::Loaded {
+                vertices,
+                edges,
+                bytes,
+                evicted,
+            } => Json::Obj(vec![
+                ("loaded".into(), Json::Bool(true)),
+                ("vertices".into(), Json::Int(i64::from(*vertices))),
+                ("edges".into(), Json::Int(*edges as i64)),
+                ("bytes".into(), Json::Int(*bytes as i64)),
+                ("evicted".into(), Json::Int(i64::from(*evicted))),
+            ]),
+            Response::Evicted { existed } => {
+                Json::Obj(vec![("evicted".into(), Json::Bool(*existed))])
+            }
+            Response::Draining => Json::Obj(vec![("draining".into(), Json::Bool(true))]),
+            Response::Batch(items) => Json::Obj(vec![(
+                "batch".into(),
+                Json::Arr(items.iter().map(Response::to_json).collect()),
+            )]),
+            Response::Error { kind, message } => Json::Obj(vec![
+                ("error".into(), Json::Str(kind.name().into())),
+                ("message".into(), Json::Str(message.clone())),
+            ]),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Payload encoding
+// ---------------------------------------------------------------------
+
+fn put_str(buf: &mut Vec<u8>, s: &str) -> Result<(), ProtoError> {
+    let bytes = s.as_bytes();
+    if bytes.len() > u16::MAX as usize {
+        return Err(ProtoError::Malformed(format!(
+            "string of {} bytes exceeds the u16 length prefix",
+            bytes.len()
+        )));
+    }
+    buf.extend_from_slice(&(bytes.len() as u16).to_le_bytes());
+    buf.extend_from_slice(bytes);
+    Ok(())
+}
+
+/// Cursor over a received payload. All reads are bounds-checked; running
+/// past the end is a [`ProtoError::Malformed`].
+struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Dec { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ProtoError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| ProtoError::Malformed("payload ends early".into()))?;
+        let slice = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, ProtoError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, ProtoError> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self) -> Result<u32, ProtoError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, ProtoError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    fn string(&mut self) -> Result<String, ProtoError> {
+        let len = self.u16()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| ProtoError::Malformed("string is not UTF-8".into()))
+    }
+
+    fn finish(self) -> Result<(), ProtoError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(ProtoError::Malformed(format!(
+                "{} trailing byte(s) after the message",
+                self.buf.len() - self.pos
+            )))
+        }
+    }
+}
+
+impl Request {
+    /// Encodes the request payload (tag + fields).
+    ///
+    /// # Errors
+    /// Returns [`ProtoError::Malformed`] when a string field exceeds the
+    /// u16 length prefix or a batch exceeds [`MAX_BATCH`].
+    pub fn encode(&self) -> Result<Vec<u8>, ProtoError> {
+        let mut buf = Vec::new();
+        match self {
+            Request::Ping => buf.push(0),
+            Request::Stats => buf.push(1),
+            Request::Count { name, deadline_ms } => {
+                buf.push(2);
+                put_str(&mut buf, name)?;
+                buf.extend_from_slice(&deadline_ms.to_le_bytes());
+            }
+            Request::PerVertex {
+                name,
+                start,
+                end,
+                deadline_ms,
+            } => {
+                buf.push(3);
+                put_str(&mut buf, name)?;
+                buf.extend_from_slice(&start.to_le_bytes());
+                buf.extend_from_slice(&end.to_le_bytes());
+                buf.extend_from_slice(&deadline_ms.to_le_bytes());
+            }
+            Request::KClique {
+                name,
+                k,
+                deadline_ms,
+            } => {
+                buf.push(4);
+                put_str(&mut buf, name)?;
+                buf.extend_from_slice(&k.to_le_bytes());
+                buf.extend_from_slice(&deadline_ms.to_le_bytes());
+            }
+            Request::LoadGraph { name, spec } => {
+                buf.push(5);
+                put_str(&mut buf, name)?;
+                put_str(&mut buf, spec)?;
+            }
+            Request::EvictGraph { name } => {
+                buf.push(6);
+                put_str(&mut buf, name)?;
+            }
+            Request::Drain => buf.push(7),
+            Request::Batch(items) => {
+                if items.len() > MAX_BATCH {
+                    return Err(ProtoError::Malformed(format!(
+                        "batch of {} exceeds the {MAX_BATCH}-request cap",
+                        items.len()
+                    )));
+                }
+                buf.push(8);
+                buf.extend_from_slice(&(items.len() as u16).to_le_bytes());
+                for item in items {
+                    if matches!(item, Request::Batch(_)) {
+                        return Err(ProtoError::Malformed("batches do not nest".into()));
+                    }
+                    let inner = item.encode()?;
+                    buf.extend_from_slice(&(inner.len() as u32).to_le_bytes());
+                    buf.extend_from_slice(&inner);
+                }
+            }
+        }
+        Ok(buf)
+    }
+
+    /// Decodes a request payload.
+    ///
+    /// # Errors
+    /// Returns [`ProtoError::UnknownTag`] for an unrecognized first byte
+    /// and [`ProtoError::Malformed`] for anything that does not decode.
+    pub fn decode(payload: &[u8]) -> Result<Request, ProtoError> {
+        let mut d = Dec::new(payload);
+        let req = Self::decode_inner(&mut d, true)?;
+        d.finish()?;
+        Ok(req)
+    }
+
+    fn decode_inner(d: &mut Dec<'_>, allow_batch: bool) -> Result<Request, ProtoError> {
+        let tag = d.u8()?;
+        let req = match tag {
+            0 => Request::Ping,
+            1 => Request::Stats,
+            2 => Request::Count {
+                name: d.string()?,
+                deadline_ms: d.u64()?,
+            },
+            3 => Request::PerVertex {
+                name: d.string()?,
+                start: d.u32()?,
+                end: d.u32()?,
+                deadline_ms: d.u64()?,
+            },
+            4 => Request::KClique {
+                name: d.string()?,
+                k: d.u32()?,
+                deadline_ms: d.u64()?,
+            },
+            5 => Request::LoadGraph {
+                name: d.string()?,
+                spec: d.string()?,
+            },
+            6 => Request::EvictGraph { name: d.string()? },
+            7 => Request::Drain,
+            8 => {
+                if !allow_batch {
+                    return Err(ProtoError::Malformed("batches do not nest".into()));
+                }
+                let count = d.u16()? as usize;
+                if count > MAX_BATCH {
+                    return Err(ProtoError::Malformed(format!(
+                        "batch of {count} exceeds the {MAX_BATCH}-request cap"
+                    )));
+                }
+                let mut items = Vec::with_capacity(count.min(MAX_PREALLOC_BYTES / 64));
+                for _ in 0..count {
+                    let len = d.u32()? as usize;
+                    let bytes = d.take(len)?;
+                    let mut inner = Dec::new(bytes);
+                    let item = Self::decode_inner(&mut inner, false)?;
+                    inner.finish()?;
+                    items.push(item);
+                }
+                Request::Batch(items)
+            }
+            other => return Err(ProtoError::UnknownTag(other)),
+        };
+        Ok(req)
+    }
+}
+
+impl Response {
+    /// Encodes the response payload (tag + fields).
+    ///
+    /// # Errors
+    /// Returns [`ProtoError::Malformed`] when a string field exceeds the
+    /// u16 length prefix.
+    pub fn encode(&self) -> Result<Vec<u8>, ProtoError> {
+        let mut buf = Vec::new();
+        match self {
+            Response::Pong => buf.push(0),
+            Response::Stats(s) => {
+                buf.push(1);
+                buf.extend_from_slice(&s.graphs.to_le_bytes());
+                buf.extend_from_slice(&s.resident_bytes.to_le_bytes());
+                buf.extend_from_slice(&s.budget_bytes.to_le_bytes());
+                buf.extend_from_slice(&s.requests_served.to_le_bytes());
+                buf.extend_from_slice(&s.overloaded.to_le_bytes());
+                buf.extend_from_slice(&s.deadline_expired.to_le_bytes());
+                buf.extend_from_slice(&s.cache_hits.to_le_bytes());
+                buf.extend_from_slice(&s.cache_misses.to_le_bytes());
+                buf.extend_from_slice(&s.panics.to_le_bytes());
+                buf.extend_from_slice(&s.workers.to_le_bytes());
+                buf.extend_from_slice(&s.queue_capacity.to_le_bytes());
+            }
+            Response::Count {
+                triangles,
+                cached,
+                wall_micros,
+            } => {
+                buf.push(2);
+                buf.extend_from_slice(&triangles.to_le_bytes());
+                buf.push(u8::from(*cached));
+                buf.extend_from_slice(&wall_micros.to_le_bytes());
+            }
+            Response::PerVertex { start, counts } => {
+                buf.push(3);
+                buf.extend_from_slice(&start.to_le_bytes());
+                buf.extend_from_slice(&(counts.len() as u32).to_le_bytes());
+                for &c in counts {
+                    buf.extend_from_slice(&c.to_le_bytes());
+                }
+            }
+            Response::KClique { k, cliques } => {
+                buf.push(4);
+                buf.extend_from_slice(&k.to_le_bytes());
+                buf.extend_from_slice(&cliques.to_le_bytes());
+            }
+            Response::Loaded {
+                vertices,
+                edges,
+                bytes,
+                evicted,
+            } => {
+                buf.push(5);
+                buf.extend_from_slice(&vertices.to_le_bytes());
+                buf.extend_from_slice(&edges.to_le_bytes());
+                buf.extend_from_slice(&bytes.to_le_bytes());
+                buf.extend_from_slice(&evicted.to_le_bytes());
+            }
+            Response::Evicted { existed } => {
+                buf.push(6);
+                buf.push(u8::from(*existed));
+            }
+            Response::Draining => buf.push(7),
+            Response::Batch(items) => {
+                buf.push(8);
+                buf.extend_from_slice(&(items.len() as u16).to_le_bytes());
+                for item in items {
+                    let inner = item.encode()?;
+                    buf.extend_from_slice(&(inner.len() as u32).to_le_bytes());
+                    buf.extend_from_slice(&inner);
+                }
+            }
+            Response::Error { kind, message } => {
+                buf.push(9);
+                buf.push(kind.tag());
+                put_str(&mut buf, message)?;
+            }
+        }
+        Ok(buf)
+    }
+
+    /// Decodes a response payload.
+    ///
+    /// # Errors
+    /// Returns [`ProtoError::UnknownTag`] for an unrecognized first byte
+    /// and [`ProtoError::Malformed`] for anything that does not decode.
+    pub fn decode(payload: &[u8]) -> Result<Response, ProtoError> {
+        let mut d = Dec::new(payload);
+        let resp = Self::decode_inner(&mut d, true)?;
+        d.finish()?;
+        Ok(resp)
+    }
+
+    fn decode_inner(d: &mut Dec<'_>, allow_batch: bool) -> Result<Response, ProtoError> {
+        let tag = d.u8()?;
+        let resp = match tag {
+            0 => Response::Pong,
+            1 => Response::Stats(StatsReply {
+                graphs: d.u32()?,
+                resident_bytes: d.u64()?,
+                budget_bytes: d.u64()?,
+                requests_served: d.u64()?,
+                overloaded: d.u64()?,
+                deadline_expired: d.u64()?,
+                cache_hits: d.u64()?,
+                cache_misses: d.u64()?,
+                panics: d.u64()?,
+                workers: d.u32()?,
+                queue_capacity: d.u32()?,
+            }),
+            2 => Response::Count {
+                triangles: d.u64()?,
+                cached: d.u8()? != 0,
+                wall_micros: d.u64()?,
+            },
+            3 => {
+                let start = d.u32()?;
+                let len = d.u32()? as usize;
+                let mut counts = Vec::with_capacity(len.min(MAX_PREALLOC_BYTES / 8));
+                for _ in 0..len {
+                    counts.push(d.u64()?);
+                }
+                Response::PerVertex { start, counts }
+            }
+            4 => Response::KClique {
+                k: d.u32()?,
+                cliques: d.u64()?,
+            },
+            5 => Response::Loaded {
+                vertices: d.u32()?,
+                edges: d.u64()?,
+                bytes: d.u64()?,
+                evicted: d.u32()?,
+            },
+            6 => Response::Evicted {
+                existed: d.u8()? != 0,
+            },
+            7 => Response::Draining,
+            8 => {
+                if !allow_batch {
+                    return Err(ProtoError::Malformed("batches do not nest".into()));
+                }
+                let count = d.u16()? as usize;
+                let mut items = Vec::with_capacity(count.min(MAX_PREALLOC_BYTES / 64));
+                for _ in 0..count {
+                    let len = d.u32()? as usize;
+                    let bytes = d.take(len)?;
+                    let mut inner = Dec::new(bytes);
+                    let item = Self::decode_inner(&mut inner, false)?;
+                    inner.finish()?;
+                    items.push(item);
+                }
+                Response::Batch(items)
+            }
+            9 => Response::Error {
+                kind: ErrorKind::from_tag(d.u8()?)?,
+                message: d.string()?,
+            },
+            other => return Err(ProtoError::UnknownTag(other)),
+        };
+        Ok(resp)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------
+
+/// Writes one frame around an already-encoded payload.
+///
+/// # Errors
+/// Returns [`ProtoError::Oversized`] when the payload exceeds
+/// [`MAX_FRAME_PAYLOAD`], or an [`ProtoError::Io`] on write failure.
+pub fn write_frame<W: Write>(writer: &mut W, payload: &[u8]) -> Result<(), ProtoError> {
+    if payload.len() > MAX_FRAME_PAYLOAD as usize {
+        return Err(ProtoError::Oversized(payload.len() as u32));
+    }
+    let mut digest = Crc32::new();
+    let mut head = Vec::with_capacity(12 + payload.len() + 4);
+    head.extend_from_slice(MAGIC);
+    head.extend_from_slice(&VERSION.to_le_bytes());
+    head.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    head.extend_from_slice(payload);
+    digest.update(&head);
+    head.extend_from_slice(&digest.finalize().to_le_bytes());
+    writer.write_all(&head)?;
+    writer.flush()?;
+    Ok(())
+}
+
+/// Reads one frame, returning the verified payload bytes.
+///
+/// The declared length is validated against [`MAX_FRAME_PAYLOAD`] before
+/// anything is allocated, and the read buffer's reservation is capped at
+/// `lotus_graph::io::MAX_PREALLOC_BYTES` — a hostile length costs a typed
+/// error, never a giant allocation.
+///
+/// # Errors
+/// Returns the specific [`ProtoError`] for EOF mid-frame, a bad magic,
+/// version, length, or CRC, or any transport failure.
+pub fn read_frame<R: Read>(reader: &mut R) -> Result<Vec<u8>, ProtoError> {
+    let mut digest = Crc32::new();
+    let mut head = [0u8; 4];
+    reader.read_exact(&mut head)?;
+    digest.update(&head);
+    if &head != MAGIC {
+        return Err(ProtoError::BadMagic(head));
+    }
+    let mut buf4 = [0u8; 4];
+    read_exact_or_truncated(reader, &mut buf4)?;
+    digest.update(&buf4);
+    let version = u32::from_le_bytes(buf4);
+    if version != VERSION {
+        return Err(ProtoError::BadVersion(version));
+    }
+    read_exact_or_truncated(reader, &mut buf4)?;
+    digest.update(&buf4);
+    let len = u32::from_le_bytes(buf4);
+    if len > MAX_FRAME_PAYLOAD {
+        return Err(ProtoError::Oversized(len));
+    }
+    let mut payload = vec![0u8; (len as usize).min(MAX_PRELLOC_CHUNK)];
+    let mut filled = 0usize;
+    while filled < len as usize {
+        let want = ((len as usize) - filled).min(MAX_PRELLOC_CHUNK);
+        if payload.len() < filled + want {
+            payload.resize(filled + want, 0);
+        }
+        read_exact_or_truncated(reader, &mut payload[filled..filled + want])?;
+        filled += want;
+    }
+    digest.update(&payload);
+    read_exact_or_truncated(reader, &mut buf4)?;
+    let stored = u32::from_le_bytes(buf4);
+    let computed = digest.finalize();
+    if stored != computed {
+        return Err(ProtoError::BadCrc { stored, computed });
+    }
+    Ok(payload)
+}
+
+/// Largest single growth step while reading a declared-length payload;
+/// equals the untrusted-header prealloc cap of `lotus_graph::io`.
+const MAX_PRELLOC_CHUNK: usize = MAX_PREALLOC_BYTES;
+
+/// `read_exact` that maps EOF inside a frame to [`ProtoError::Truncated`].
+fn read_exact_or_truncated<R: Read>(reader: &mut R, buf: &mut [u8]) -> Result<(), ProtoError> {
+    reader.read_exact(buf).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            ProtoError::Truncated
+        } else {
+            ProtoError::Io(e)
+        }
+    })
+}
+
+/// Encodes and frames a request in one step.
+///
+/// # Errors
+/// Propagates encoding and transport errors as [`ProtoError`].
+pub fn write_request<W: Write>(writer: &mut W, req: &Request) -> Result<(), ProtoError> {
+    write_frame(writer, &req.encode()?)
+}
+
+/// Encodes and frames a response in one step.
+///
+/// # Errors
+/// Propagates encoding and transport errors as [`ProtoError`].
+pub fn write_response<W: Write>(writer: &mut W, resp: &Response) -> Result<(), ProtoError> {
+    write_frame(writer, &resp.encode()?)
+}
+
+/// Reads and decodes one response frame.
+///
+/// # Errors
+/// Propagates framing and decoding failures as [`ProtoError`].
+pub fn read_response<R: Read>(reader: &mut R) -> Result<Response, ProtoError> {
+    Response::decode(&read_frame(reader)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip_request(req: &Request) {
+        let mut wire = Vec::new();
+        write_request(&mut wire, req).unwrap();
+        let payload = read_frame(&mut wire.as_slice()).unwrap();
+        assert_eq!(&Request::decode(&payload).unwrap(), req);
+    }
+
+    fn round_trip_response(resp: &Response) {
+        let mut wire = Vec::new();
+        write_response(&mut wire, resp).unwrap();
+        assert_eq!(&read_response(&mut wire.as_slice()).unwrap(), resp);
+    }
+
+    #[test]
+    fn all_requests_round_trip() {
+        let reqs = [
+            Request::Ping,
+            Request::Stats,
+            Request::Count {
+                name: "g".into(),
+                deadline_ms: NO_DEADLINE,
+            },
+            Request::PerVertex {
+                name: "graph-ü".into(),
+                start: 5,
+                end: 105,
+                deadline_ms: 250,
+            },
+            Request::KClique {
+                name: "g".into(),
+                k: 4,
+                deadline_ms: 0,
+            },
+            Request::LoadGraph {
+                name: "ci".into(),
+                spec: "rmat:9:8:7".into(),
+            },
+            Request::EvictGraph { name: "ci".into() },
+            Request::Drain,
+            Request::Batch(vec![
+                Request::Ping,
+                Request::Count {
+                    name: "g".into(),
+                    deadline_ms: 9,
+                },
+            ]),
+        ];
+        for req in &reqs {
+            round_trip_request(req);
+        }
+    }
+
+    #[test]
+    fn all_responses_round_trip() {
+        let resps = [
+            Response::Pong,
+            Response::Stats(StatsReply {
+                graphs: 2,
+                resident_bytes: 1024,
+                budget_bytes: 1 << 20,
+                requests_served: 10,
+                overloaded: 1,
+                deadline_expired: 2,
+                cache_hits: 7,
+                cache_misses: 3,
+                panics: 0,
+                workers: 4,
+                queue_capacity: 64,
+            }),
+            Response::Count {
+                triangles: 123_456,
+                cached: true,
+                wall_micros: 42,
+            },
+            Response::PerVertex {
+                start: 3,
+                counts: vec![0, 5, 17, u64::MAX],
+            },
+            Response::KClique { k: 5, cliques: 99 },
+            Response::Loaded {
+                vertices: 512,
+                edges: 4096,
+                bytes: 123_456,
+                evicted: 1,
+            },
+            Response::Evicted { existed: false },
+            Response::Draining,
+            Response::Batch(vec![
+                Response::Pong,
+                Response::error(ErrorKind::NotFound, "x"),
+            ]),
+            Response::error(ErrorKind::Overloaded, "queue full"),
+        ];
+        for resp in &resps {
+            round_trip_response(resp);
+        }
+    }
+
+    #[test]
+    fn error_kinds_round_trip_their_tags() {
+        for kind in ErrorKind::ALL {
+            assert_eq!(ErrorKind::from_tag(kind.tag()).unwrap(), kind);
+        }
+        assert!(ErrorKind::from_tag(200).is_err());
+    }
+
+    #[test]
+    fn oversized_declared_length_is_rejected_before_allocation() {
+        // Hand-craft a frame declaring a 4 GiB-ish payload.
+        let mut wire = Vec::new();
+        wire.extend_from_slice(MAGIC);
+        wire.extend_from_slice(&VERSION.to_le_bytes());
+        wire.extend_from_slice(&u32::MAX.to_le_bytes());
+        let err = read_frame(&mut wire.as_slice()).unwrap_err();
+        assert!(
+            matches!(err, ProtoError::Oversized(len) if len == u32::MAX),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn large_declared_length_with_short_body_is_truncated_not_allocated() {
+        // Declared length below the cap but way past the prealloc chunk:
+        // the reader grows in ≤64 KiB steps and reports Truncated.
+        let mut wire = Vec::new();
+        wire.extend_from_slice(MAGIC);
+        wire.extend_from_slice(&VERSION.to_le_bytes());
+        wire.extend_from_slice(&(MAX_FRAME_PAYLOAD - 1).to_le_bytes());
+        wire.extend_from_slice(&[0u8; 100]);
+        let err = read_frame(&mut wire.as_slice()).unwrap_err();
+        assert!(matches!(err, ProtoError::Truncated), "{err}");
+    }
+
+    #[test]
+    fn corrupted_byte_fails_the_crc() {
+        let mut wire = Vec::new();
+        write_request(
+            &mut wire,
+            &Request::Count {
+                name: "graph".into(),
+                deadline_ms: NO_DEADLINE,
+            },
+        )
+        .unwrap();
+        let mid = wire.len() / 2;
+        wire[mid] ^= 0x40;
+        let err = read_frame(&mut wire.as_slice()).unwrap_err();
+        assert!(
+            matches!(err, ProtoError::BadCrc { .. } | ProtoError::Malformed(_)),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn bad_magic_and_version_are_typed() {
+        let err = read_frame(&mut &b"XXXXxxxxxxxx"[..]).unwrap_err();
+        assert!(matches!(err, ProtoError::BadMagic(_)), "{err}");
+
+        let mut wire = Vec::new();
+        wire.extend_from_slice(MAGIC);
+        wire.extend_from_slice(&99u32.to_le_bytes());
+        wire.extend_from_slice(&0u32.to_le_bytes());
+        let err = read_frame(&mut wire.as_slice()).unwrap_err();
+        assert!(matches!(err, ProtoError::BadVersion(99)), "{err}");
+    }
+
+    #[test]
+    fn unknown_tag_is_typed() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &[200u8]).unwrap();
+        let payload = read_frame(&mut wire.as_slice()).unwrap();
+        assert!(matches!(
+            Request::decode(&payload).unwrap_err(),
+            ProtoError::UnknownTag(200)
+        ));
+        assert!(matches!(
+            Response::decode(&payload).unwrap_err(),
+            ProtoError::UnknownTag(200)
+        ));
+    }
+
+    #[test]
+    fn trailing_garbage_after_message_is_malformed() {
+        let mut payload = Request::Ping.encode().unwrap();
+        payload.push(7);
+        assert!(matches!(
+            Request::decode(&payload).unwrap_err(),
+            ProtoError::Malformed(_)
+        ));
+    }
+
+    #[test]
+    fn nested_batches_are_rejected() {
+        let nested = Request::Batch(vec![Request::Batch(vec![Request::Ping])]);
+        assert!(nested.encode().is_err());
+    }
+}

@@ -1,0 +1,687 @@
+//! The TCP daemon: accept loop, connection threads, request dispatch.
+//!
+//! Architecture (DESIGN.md §11):
+//!
+//! - One nonblocking accept loop polls the listener and a shutdown
+//!   [`CancelToken`].
+//! - Each connection gets its own thread that reads frames with a short
+//!   socket timeout, so it notices shutdown within a poll interval.
+//! - Admin requests (`Ping`, `Stats`, `LoadGraph`, `EvictGraph`,
+//!   `Drain`) run inline on the connection thread.
+//! - Work requests (`Count`, `PerVertex`, `KClique`, `Batch`) pass
+//!   through the bounded [`WorkerPool`]: a full queue yields an explicit
+//!   `Overloaded` response (admission control), never a hang.
+//! - Every work request carries a [`Deadline`] fixed at admission; jobs
+//!   re-check it at dequeue and counting kernels poll it via their
+//!   [`RunGuard`], so a `0 ms` deadline reliably returns
+//!   `DeadlineExpired` without killing anything.
+
+use std::io::Read;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use lotus_core::{kclique::count_kcliques, per_vertex::count_per_vertex, CountError, LotusCounter};
+use lotus_resilience::{isolate, CancelToken, Deadline, MemoryBudget, RunGuard, StopReason};
+use lotus_telemetry::{counters, Counter, Span, SpanId};
+
+use crate::pool::WorkerPool;
+use crate::proto::{
+    read_frame, write_response, ErrorKind, ProtoError, Request, Response, StatsReply, MAX_CLIQUE_K,
+    MAX_PER_VERTEX_SPAN, NO_DEADLINE,
+};
+use crate::registry::{Registry, RegistryError};
+
+/// How often blocked reads and the accept loop re-check shutdown.
+const POLL_INTERVAL: Duration = Duration::from_millis(25);
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Address to bind (no port), e.g. `127.0.0.1`.
+    pub bind: String,
+    /// TCP port; `0` asks the OS for an ephemeral port (the bound port
+    /// is in [`ServerHandle::addr`]).
+    pub port: u16,
+    /// Worker threads; `0` means `rayon::current_num_threads()`.
+    pub workers: usize,
+    /// Bounded queue slots; `0` means `4 × workers`.
+    pub queue_capacity: usize,
+    /// Registry memory budget.
+    pub budget: MemoryBudget,
+    /// Graphs to load before accepting connections: `(name, spec)`.
+    pub preload: Vec<(String, String)>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            bind: "127.0.0.1".to_string(),
+            port: 0,
+            workers: 0,
+            queue_capacity: 0,
+            budget: MemoryBudget::from_bytes(512 << 20),
+            preload: Vec::new(),
+        }
+    }
+}
+
+/// Always-on serving counters (plain relaxed atomics — *not* gated on
+/// the `telemetry` feature, so `Stats` works in every build; armed
+/// builds additionally mirror each increment into
+/// `lotus_telemetry::counters`).
+#[derive(Debug, Default)]
+pub struct ServeStats {
+    served: AtomicU64,
+    overloaded: AtomicU64,
+    deadline_expired: AtomicU64,
+    panics: AtomicU64,
+}
+
+impl ServeStats {
+    /// Requests answered successfully.
+    #[must_use]
+    pub fn served(&self) -> u64 {
+        self.served.load(Ordering::Relaxed)
+    }
+
+    /// Requests refused by admission control.
+    #[must_use]
+    pub fn overloaded(&self) -> u64 {
+        self.overloaded.load(Ordering::Relaxed)
+    }
+
+    /// Requests that expired their deadline.
+    #[must_use]
+    pub fn deadline_expired(&self) -> u64 {
+        self.deadline_expired.load(Ordering::Relaxed)
+    }
+
+    /// Worker panics confined by isolation.
+    #[must_use]
+    pub fn panics(&self) -> u64 {
+        self.panics.load(Ordering::Relaxed)
+    }
+
+    fn record_served(&self) {
+        self.served.fetch_add(1, Ordering::Relaxed);
+        counters::incr(Counter::RequestsServed);
+    }
+
+    fn record_overloaded(&self) {
+        self.overloaded.fetch_add(1, Ordering::Relaxed);
+        counters::incr(Counter::RequestsOverloaded);
+    }
+
+    fn record_deadline_expired(&self) {
+        self.deadline_expired.fetch_add(1, Ordering::Relaxed);
+        counters::incr(Counter::RequestsDeadlineExpired);
+    }
+
+    fn record_panic(&self) {
+        self.panics.fetch_add(1, Ordering::Relaxed);
+        counters::incr(Counter::PhasePanics);
+    }
+}
+
+/// Shared daemon state: registry, pool, stats, shutdown flag.
+pub struct ServerState {
+    registry: Registry,
+    pool: WorkerPool,
+    stats: ServeStats,
+    shutdown: CancelToken,
+}
+
+impl ServerState {
+    /// The graph registry.
+    #[must_use]
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// The always-on serving counters.
+    #[must_use]
+    pub fn stats(&self) -> &ServeStats {
+        &self.stats
+    }
+
+    /// Assembles the wire-level stats reply.
+    #[must_use]
+    pub fn stats_reply(&self) -> StatsReply {
+        StatsReply {
+            graphs: self.registry.len() as u32,
+            resident_bytes: self.registry.resident_bytes(),
+            budget_bytes: self.registry.budget_bytes(),
+            requests_served: self.stats.served(),
+            overloaded: self.stats.overloaded(),
+            deadline_expired: self.stats.deadline_expired(),
+            cache_hits: self.registry.hits(),
+            cache_misses: self.registry.misses(),
+            panics: self.stats.panics() + self.pool.panics(),
+            workers: self.pool.workers() as u32,
+            queue_capacity: self.pool.capacity() as u32,
+        }
+    }
+}
+
+impl std::fmt::Debug for ServerState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerState")
+            .field("registry", &self.registry)
+            .field("pool", &self.pool)
+            .finish()
+    }
+}
+
+/// Handle to a running daemon.
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    state: Arc<ServerState>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port `0` to the real ephemeral port).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared daemon state (registry + stats), for in-process tests
+    /// and embedding.
+    #[must_use]
+    pub fn state(&self) -> &Arc<ServerState> {
+        &self.state
+    }
+
+    /// Requests shutdown (same path as a `Drain` request). Returns
+    /// immediately; use [`ServerHandle::wait`] to join.
+    pub fn shutdown(&self) {
+        self.state.shutdown.cancel();
+    }
+
+    /// Blocks until the daemon exits (accept loop joined, connections
+    /// closed, worker pool drained).
+    pub fn wait(mut self) {
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.state.shutdown.cancel();
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// A daemon startup failure.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Binding the listener failed.
+    Bind(std::io::Error),
+    /// Spawning the worker pool failed.
+    Workers(std::io::Error),
+    /// A `--preload` graph failed to load.
+    Preload {
+        /// Registry key that failed.
+        name: String,
+        /// The underlying registry error.
+        error: RegistryError,
+    },
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Bind(e) => write!(f, "binding listener: {e}"),
+            ServeError::Workers(e) => write!(f, "spawning worker pool: {e}"),
+            ServeError::Preload { name, error } => {
+                write!(f, "preloading `{name}`: {error}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Binds the listener, preloads graphs, and spawns the accept loop.
+///
+/// # Errors
+/// Returns [`ServeError::Bind`] when the address cannot be bound and
+/// [`ServeError::Preload`] when a preload graph fails to load.
+pub fn spawn(config: ServeConfig) -> Result<ServerHandle, ServeError> {
+    let workers = if config.workers == 0 {
+        rayon::current_num_threads()
+    } else {
+        config.workers
+    };
+    let queue_capacity = if config.queue_capacity == 0 {
+        workers * 4
+    } else {
+        config.queue_capacity
+    };
+    let state = Arc::new(ServerState {
+        registry: Registry::new(config.budget),
+        pool: WorkerPool::new(workers, queue_capacity).map_err(ServeError::Workers)?,
+        stats: ServeStats::default(),
+        shutdown: CancelToken::new(),
+    });
+    for (name, spec) in &config.preload {
+        state
+            .registry
+            .load(name, spec)
+            .map_err(|error| ServeError::Preload {
+                name: name.clone(),
+                error,
+            })?;
+    }
+    let listener =
+        TcpListener::bind((config.bind.as_str(), config.port)).map_err(ServeError::Bind)?;
+    let addr = listener.local_addr().map_err(ServeError::Bind)?;
+    listener.set_nonblocking(true).map_err(ServeError::Bind)?;
+
+    let accept_state = Arc::clone(&state);
+    let accept = std::thread::Builder::new()
+        .name("lotus-serve-accept".to_string())
+        .spawn(move || accept_loop(&listener, &accept_state))
+        .map_err(ServeError::Bind)?;
+
+    Ok(ServerHandle {
+        addr,
+        state,
+        accept: Some(accept),
+    })
+}
+
+fn accept_loop(listener: &TcpListener, state: &Arc<ServerState>) {
+    let mut connections: Vec<JoinHandle<()>> = Vec::new();
+    while !state.shutdown.is_cancelled() {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let conn_state = Arc::clone(state);
+                if let Ok(handle) = std::thread::Builder::new()
+                    .name("lotus-serve-conn".to_string())
+                    .spawn(move || serve_connection(stream, &conn_state))
+                {
+                    connections.push(handle);
+                }
+                connections.retain(|h| !h.is_finished());
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(POLL_INTERVAL);
+            }
+            Err(_) => std::thread::sleep(POLL_INTERVAL),
+        }
+    }
+    // Shutdown: connection threads observe the token within one poll
+    // interval; the pool drain below finishes in-flight work.
+    for handle in connections {
+        let _ = handle.join();
+    }
+    state.pool.shutdown();
+}
+
+/// A `Read` adapter over a timeout-bearing `TcpStream` that turns read
+/// timeouts into shutdown polls: a blocked `read_frame` wakes every
+/// [`POLL_INTERVAL`] and aborts with `ConnectionAborted` once the daemon
+/// is shutting down, instead of blocking forever on an idle client.
+struct PollingStream<'a> {
+    stream: &'a TcpStream,
+    shutdown: &'a CancelToken,
+}
+
+impl Read for PollingStream<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        loop {
+            match self.stream.read(buf) {
+                Ok(n) => return Ok(n),
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    if self.shutdown.is_cancelled() {
+                        return Err(std::io::Error::new(
+                            std::io::ErrorKind::ConnectionAborted,
+                            "daemon shutting down",
+                        ));
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+fn serve_connection(stream: TcpStream, state: &Arc<ServerState>) {
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+    let _ = stream.set_nodelay(true);
+    let Ok(mut writer) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = PollingStream {
+        stream: &stream,
+        shutdown: &state.shutdown,
+    };
+    loop {
+        let payload = match read_frame(&mut reader) {
+            Ok(payload) => payload,
+            Err(ProtoError::Io(e)) => {
+                // Clean close (EOF before a frame), client vanishing, or
+                // the shutdown abort — nothing to answer.
+                let _ = e;
+                return;
+            }
+            Err(ProtoError::Truncated) => {
+                // The peer died mid-frame; no way to answer it.
+                return;
+            }
+            Err(
+                e @ (ProtoError::BadMagic(_)
+                | ProtoError::BadVersion(_)
+                | ProtoError::Oversized(_)
+                | ProtoError::BadCrc { .. }),
+            ) => {
+                // Frame-level damage: answer with a structured error,
+                // then close — the stream cannot be resynchronized.
+                let _ = write_response(
+                    &mut writer,
+                    &Response::error(ErrorKind::Protocol, e.to_string()),
+                );
+                return;
+            }
+            Err(e) => {
+                let _ = write_response(
+                    &mut writer,
+                    &Response::error(ErrorKind::Protocol, e.to_string()),
+                );
+                return;
+            }
+        };
+        let request = match Request::decode(&payload) {
+            Ok(request) => request,
+            Err(e) => {
+                // The frame itself was sound (CRC passed), so the stream
+                // stays synchronized: answer and keep the connection.
+                if write_response(
+                    &mut writer,
+                    &Response::error(ErrorKind::BadRequest, e.to_string()),
+                )
+                .is_err()
+                {
+                    return;
+                }
+                continue;
+            }
+        };
+        let response = dispatch(request, state);
+        let draining = matches!(response, Response::Draining);
+        if write_response(&mut writer, &response).is_err() {
+            return;
+        }
+        if draining {
+            return;
+        }
+    }
+}
+
+/// Routes one request: admin inline, work through the pool.
+fn dispatch(request: Request, state: &Arc<ServerState>) -> Response {
+    match request {
+        Request::Ping => Response::Pong,
+        Request::Stats => Response::Stats(state.stats_reply()),
+        Request::LoadGraph { name, spec } => match state.registry.load(&name, &spec) {
+            Ok((prepared, evicted)) => Response::Loaded {
+                vertices: prepared.graph.num_vertices(),
+                edges: prepared.graph.num_edges(),
+                bytes: prepared.bytes,
+                evicted,
+            },
+            Err(e) => registry_error_response(&e),
+        },
+        Request::EvictGraph { name } => Response::Evicted {
+            existed: state.registry.evict(&name),
+        },
+        Request::Drain => {
+            state.shutdown.cancel();
+            Response::Draining
+        }
+        work @ (Request::Count { .. }
+        | Request::PerVertex { .. }
+        | Request::KClique { .. }
+        | Request::Batch(_)) => submit_work(work, state),
+    }
+}
+
+/// Admission control: one queue slot per work request; a full queue is
+/// an immediate `Overloaded` response.
+fn submit_work(request: Request, state: &Arc<ServerState>) -> Response {
+    if state.shutdown.is_cancelled() {
+        return Response::error(ErrorKind::ShuttingDown, "daemon is draining");
+    }
+    // The deadline starts at admission, so queueing time counts against
+    // it — a 0 ms deadline expires before the job even dequeues.
+    let deadline = request_deadline(&request);
+    let (tx, rx) = mpsc::channel();
+    let job_state = Arc::clone(state);
+    let submitted = state.pool.try_submit(Box::new(move || {
+        let _span = Span::enter(SpanId::ServeRequest);
+        let response =
+            isolate(|| execute_work(&request, deadline, &job_state)).unwrap_or_else(|panic| {
+                job_state.stats.record_panic();
+                Response::error(ErrorKind::WorkerPanic, panic.message)
+            });
+        record_outcome(&response, &job_state);
+        let _ = tx.send(response);
+    }));
+    if !submitted {
+        state.stats.record_overloaded();
+        return Response::error(ErrorKind::Overloaded, "request queue is full");
+    }
+    // Workers survive job panics (double isolation), so a reply always
+    // arrives.
+    rx.recv()
+        .unwrap_or_else(|_| Response::error(ErrorKind::WorkerPanic, "worker dropped the reply"))
+}
+
+/// Bumps the served / deadline-expired stats for a completed work
+/// response (batches count once, by their worst member).
+fn record_outcome(response: &Response, state: &Arc<ServerState>) {
+    let kind = match response {
+        Response::Batch(items) => items.iter().find_map(|r| match r {
+            Response::Error { kind, .. } => Some(*kind),
+            _ => None,
+        }),
+        Response::Error { kind, .. } => Some(*kind),
+        _ => None,
+    };
+    match kind {
+        None => state.stats.record_served(),
+        Some(ErrorKind::DeadlineExpired) => state.stats.record_deadline_expired(),
+        Some(_) => {}
+    }
+}
+
+fn request_deadline(request: &Request) -> Option<Deadline> {
+    let ms = match request {
+        Request::Count { deadline_ms, .. }
+        | Request::PerVertex { deadline_ms, .. }
+        | Request::KClique { deadline_ms, .. } => *deadline_ms,
+        Request::Batch(items) => items
+            .iter()
+            .filter_map(|item| match item {
+                Request::Count { deadline_ms, .. }
+                | Request::PerVertex { deadline_ms, .. }
+                | Request::KClique { deadline_ms, .. } => Some(*deadline_ms),
+                _ => None,
+            })
+            .min()
+            .unwrap_or(NO_DEADLINE),
+        _ => NO_DEADLINE,
+    };
+    (ms != NO_DEADLINE).then(|| Deadline::after(Duration::from_millis(ms)))
+}
+
+/// Executes a work request on a worker thread.
+fn execute_work(
+    request: &Request,
+    deadline: Option<Deadline>,
+    state: &Arc<ServerState>,
+) -> Response {
+    if deadline.is_some_and(|d| d.expired()) {
+        return Response::error(
+            ErrorKind::DeadlineExpired,
+            "deadline expired before execution",
+        );
+    }
+    match request {
+        Request::Count { name, .. } => run_count(name, deadline, state),
+        Request::PerVertex {
+            name, start, end, ..
+        } => run_per_vertex(name, *start, *end, deadline, state),
+        Request::KClique { name, k, .. } => run_kclique(name, *k, deadline, state),
+        Request::Batch(items) => Response::Batch(
+            items
+                .iter()
+                .map(|item| match item {
+                    Request::Ping => Response::Pong,
+                    Request::Stats => Response::Stats(state.stats_reply()),
+                    Request::Count { .. } | Request::PerVertex { .. } | Request::KClique { .. } => {
+                        execute_work(item, request_deadline(item), state)
+                    }
+                    _ => Response::error(
+                        ErrorKind::BadRequest,
+                        "admin requests are not allowed inside a batch",
+                    ),
+                })
+                .collect(),
+        ),
+        _ => Response::error(ErrorKind::BadRequest, "not a work request"),
+    }
+}
+
+fn run_count(name: &str, deadline: Option<Deadline>, state: &Arc<ServerState>) -> Response {
+    let (prepared, cached) = match state.registry.get_or_load(name) {
+        Ok(found) => found,
+        Err(e) => return registry_error_response(&e),
+    };
+    let mut guard = RunGuard::unlimited();
+    if let Some(d) = deadline {
+        guard = guard.with_deadline(d);
+    }
+    let start = Instant::now();
+    let counter = LotusCounter::new(prepared.config);
+    match counter.count_prepared_guarded(&prepared.lotus, &guard) {
+        Ok(result) => Response::Count {
+            triangles: result.total(),
+            cached,
+            wall_micros: start.elapsed().as_micros() as u64,
+        },
+        Err(CountError::Interrupted { reason, .. }) => match reason {
+            StopReason::DeadlineExpired => {
+                Response::error(ErrorKind::DeadlineExpired, "deadline expired mid-count")
+            }
+            StopReason::Cancelled => Response::error(ErrorKind::Cancelled, "count cancelled"),
+        },
+        Err(CountError::PhasePanic { message, phase, .. }) => {
+            state.stats.record_panic();
+            Response::error(
+                ErrorKind::WorkerPanic,
+                format!("phase {phase:?} panicked: {message}"),
+            )
+        }
+    }
+}
+
+fn run_per_vertex(
+    name: &str,
+    start: u32,
+    end: u32,
+    deadline: Option<Deadline>,
+    state: &Arc<ServerState>,
+) -> Response {
+    let (prepared, _cached) = match state.registry.get_or_load(name) {
+        Ok(found) => found,
+        Err(e) => return registry_error_response(&e),
+    };
+    let n = prepared.graph.num_vertices();
+    // (0, 0) means "from the start": the span cap still applies.
+    let (start, end) = if start == 0 && end == 0 {
+        (0, n.min(MAX_PER_VERTEX_SPAN))
+    } else {
+        (start, end.min(n))
+    };
+    if start > end {
+        return Response::error(
+            ErrorKind::BadRequest,
+            format!("range start {start} is past end {end}"),
+        );
+    }
+    if end - start > MAX_PER_VERTEX_SPAN {
+        return Response::error(
+            ErrorKind::BadRequest,
+            format!(
+                "range of {} vertices exceeds the {MAX_PER_VERTEX_SPAN}-vertex cap",
+                end - start
+            ),
+        );
+    }
+    if deadline.is_some_and(|d| d.expired()) {
+        return Response::error(
+            ErrorKind::DeadlineExpired,
+            "deadline expired before counting",
+        );
+    }
+    let counts = count_per_vertex(&prepared.lotus);
+    Response::PerVertex {
+        start,
+        counts: counts[start as usize..end as usize].to_vec(),
+    }
+}
+
+fn run_kclique(
+    name: &str,
+    k: u32,
+    deadline: Option<Deadline>,
+    state: &Arc<ServerState>,
+) -> Response {
+    if k == 0 || k > MAX_CLIQUE_K {
+        return Response::error(
+            ErrorKind::BadRequest,
+            format!("clique size {k} outside 1..={MAX_CLIQUE_K}"),
+        );
+    }
+    let (prepared, _cached) = match state.registry.get_or_load(name) {
+        Ok(found) => found,
+        Err(e) => return registry_error_response(&e),
+    };
+    if deadline.is_some_and(|d| d.expired()) {
+        return Response::error(
+            ErrorKind::DeadlineExpired,
+            "deadline expired before counting",
+        );
+    }
+    Response::KClique {
+        k,
+        cliques: count_kcliques(&prepared.graph, k as usize),
+    }
+}
+
+fn registry_error_response(e: &RegistryError) -> Response {
+    let kind = match e {
+        RegistryError::NotFound(_) => ErrorKind::NotFound,
+        RegistryError::BadSpec(_) | RegistryError::OverBudget { .. } => ErrorKind::BadRequest,
+    };
+    Response::error(kind, e.to_string())
+}

@@ -1,0 +1,207 @@
+//! Protocol robustness: hostile and damaged frames must produce
+//! structured error responses (where a response is possible at all) and
+//! must never take the daemon down — a fresh connection works after
+//! every abuse.
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::time::Duration;
+
+use lotus_resilience::MemoryBudget;
+use lotus_serve::proto::{
+    read_response, write_frame, write_request, ErrorKind, Request, Response, MAGIC, VERSION,
+};
+use lotus_serve::{spawn, Client, ServeConfig, ServerHandle};
+
+fn start_daemon() -> ServerHandle {
+    spawn(ServeConfig {
+        workers: 2,
+        queue_capacity: 16,
+        budget: MemoryBudget::from_bytes(64 << 20),
+        ..ServeConfig::default()
+    })
+    .expect("daemon should start")
+}
+
+fn raw_connect(handle: &ServerHandle) -> TcpStream {
+    let stream = TcpStream::connect(handle.addr()).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout");
+    stream
+}
+
+/// The daemon is alive: a fresh connection answers a Ping.
+fn assert_daemon_healthy(handle: &ServerHandle) {
+    let mut client = Client::connect(handle.addr()).expect("fresh connection");
+    assert_eq!(client.call(&Request::Ping).expect("ping"), Response::Pong);
+}
+
+#[test]
+fn truncated_frame_leaves_daemon_healthy() {
+    let handle = start_daemon();
+    {
+        let mut stream = raw_connect(&handle);
+        // A valid prefix declaring 100 payload bytes, then hang up.
+        stream.write_all(MAGIC).expect("write");
+        stream.write_all(&VERSION.to_le_bytes()).expect("write");
+        stream.write_all(&100u32.to_le_bytes()).expect("write");
+        stream.write_all(&[7u8; 10]).expect("write");
+    } // dropped: connection closed mid-frame
+    assert_daemon_healthy(&handle);
+    handle.shutdown();
+    handle.wait();
+}
+
+#[test]
+fn oversized_declared_length_is_refused_without_preallocating() {
+    let handle = start_daemon();
+    let mut stream = raw_connect(&handle);
+    // Declare a 4 GiB-ish payload; the daemon must answer with a typed
+    // protocol error *before* reading (or allocating) any of it.
+    stream.write_all(MAGIC).expect("write");
+    stream.write_all(&VERSION.to_le_bytes()).expect("write");
+    stream.write_all(&u32::MAX.to_le_bytes()).expect("write");
+    stream.flush().expect("flush");
+    let reply = read_response(&mut stream).expect("error response");
+    match reply {
+        Response::Error { kind, message } => {
+            assert_eq!(kind, ErrorKind::Protocol);
+            assert!(message.contains("exceeds"), "{message}");
+        }
+        other => panic!("expected protocol error, got {other:?}"),
+    }
+    assert_daemon_healthy(&handle);
+    handle.shutdown();
+    handle.wait();
+}
+
+#[test]
+fn bad_crc_yields_protocol_error() {
+    let handle = start_daemon();
+    let mut stream = raw_connect(&handle);
+    // A well-formed Ping frame with one payload-adjacent byte flipped.
+    let mut wire = Vec::new();
+    write_request(&mut wire, &Request::Ping).expect("encode");
+    let last = wire.len() - 1;
+    wire[last] ^= 0xFF; // corrupt the CRC trailer itself
+    stream.write_all(&wire).expect("write");
+    stream.flush().expect("flush");
+    let reply = read_response(&mut stream).expect("error response");
+    match reply {
+        Response::Error { kind, message } => {
+            assert_eq!(kind, ErrorKind::Protocol);
+            assert!(message.contains("checksum"), "{message}");
+        }
+        other => panic!("expected protocol error, got {other:?}"),
+    }
+    assert_daemon_healthy(&handle);
+    handle.shutdown();
+    handle.wait();
+}
+
+#[test]
+fn unknown_request_tag_keeps_the_connection_open() {
+    let handle = start_daemon();
+    let mut stream = raw_connect(&handle);
+    // Frame-valid payload whose first byte is no known request tag.
+    let mut wire = Vec::new();
+    write_frame(&mut wire, &[0xEEu8, 1, 2, 3]).expect("frame");
+    stream.write_all(&wire).expect("write");
+    stream.flush().expect("flush");
+    let reply = read_response(&mut stream).expect("error response");
+    match reply {
+        Response::Error { kind, message } => {
+            assert_eq!(kind, ErrorKind::BadRequest);
+            assert!(message.contains("unknown message tag"), "{message}");
+        }
+        other => panic!("expected bad-request error, got {other:?}"),
+    }
+    // The CRC passed, so the stream is still synchronized: the *same*
+    // connection keeps working.
+    let mut wire = Vec::new();
+    write_request(&mut wire, &Request::Ping).expect("encode");
+    stream.write_all(&wire).expect("write");
+    assert_eq!(
+        read_response(&mut stream).expect("ping on same connection"),
+        Response::Pong
+    );
+    assert_daemon_healthy(&handle);
+    handle.shutdown();
+    handle.wait();
+}
+
+#[test]
+fn bad_magic_yields_protocol_error() {
+    let handle = start_daemon();
+    let mut stream = raw_connect(&handle);
+    stream.write_all(b"GET / HTTP/1.1\r\n").expect("write");
+    stream.flush().expect("flush");
+    let reply = read_response(&mut stream).expect("error response");
+    assert!(matches!(
+        reply,
+        Response::Error {
+            kind: ErrorKind::Protocol,
+            ..
+        }
+    ));
+    assert_daemon_healthy(&handle);
+    handle.shutdown();
+    handle.wait();
+}
+
+#[test]
+fn malformed_payload_keeps_the_connection_open() {
+    let handle = start_daemon();
+    let mut stream = raw_connect(&handle);
+    // Tag 2 (Count) with a string length pointing past the payload end.
+    let mut wire = Vec::new();
+    write_frame(&mut wire, &[2u8, 0xFF, 0xFF]).expect("frame");
+    stream.write_all(&wire).expect("write");
+    stream.flush().expect("flush");
+    let reply = read_response(&mut stream).expect("error response");
+    assert!(matches!(
+        reply,
+        Response::Error {
+            kind: ErrorKind::BadRequest,
+            ..
+        }
+    ));
+    // Same connection still serves.
+    let mut wire = Vec::new();
+    write_request(&mut wire, &Request::Stats).expect("encode");
+    stream.write_all(&wire).expect("write");
+    assert!(matches!(
+        read_response(&mut stream).expect("stats"),
+        Response::Stats(_)
+    ));
+    handle.shutdown();
+    handle.wait();
+}
+
+#[test]
+fn slow_lorris_style_idle_connection_does_not_block_others() {
+    let handle = start_daemon();
+    // An idle connection that never sends a byte...
+    let _idle = raw_connect(&handle);
+    // ...must not stop other clients from being served.
+    assert_daemon_healthy(&handle);
+    handle.shutdown();
+    handle.wait();
+}
+
+#[test]
+fn eof_between_frames_is_a_clean_close() {
+    let handle = start_daemon();
+    {
+        let mut stream = raw_connect(&handle);
+        // One good request, then hang up between frames.
+        let mut wire = Vec::new();
+        write_request(&mut wire, &Request::Ping).expect("encode");
+        stream.write_all(&wire).expect("write");
+        assert_eq!(read_response(&mut stream).expect("ping"), Response::Pong);
+    } // dropped between frames: clean EOF on the daemon side
+    assert_daemon_healthy(&handle);
+    handle.shutdown();
+    handle.wait();
+}

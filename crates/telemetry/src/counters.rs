@@ -32,11 +32,21 @@ pub enum Counter {
     GuardStops,
     /// Worker panics confined by phase isolation.
     PhasePanics,
+    /// Requests answered successfully by the serving layer.
+    RequestsServed,
+    /// Requests rejected by admission control (bounded queue full).
+    RequestsOverloaded,
+    /// Requests that expired their deadline before or during execution.
+    RequestsDeadlineExpired,
+    /// Graph-registry lookups served from the preprocessed cache.
+    RegistryHits,
+    /// Graph-registry lookups that had to build or load the graph.
+    RegistryMisses,
 }
 
 impl Counter {
     /// Every counter, in schema order.
-    pub const ALL: [Counter; 10] = [
+    pub const ALL: [Counter; 15] = [
         Counter::Intersections,
         Counter::MergeSteps,
         Counter::FruitlessIntersections,
@@ -47,6 +57,11 @@ impl Counter {
         Counter::DegradedRuns,
         Counter::GuardStops,
         Counter::PhasePanics,
+        Counter::RequestsServed,
+        Counter::RequestsOverloaded,
+        Counter::RequestsDeadlineExpired,
+        Counter::RegistryHits,
+        Counter::RegistryMisses,
     ];
 
     /// The stable snake_case name used as the JSON key.
@@ -63,6 +78,11 @@ impl Counter {
             Counter::DegradedRuns => "degraded_runs",
             Counter::GuardStops => "guard_stops",
             Counter::PhasePanics => "phase_panics",
+            Counter::RequestsServed => "requests_served",
+            Counter::RequestsOverloaded => "requests_overloaded",
+            Counter::RequestsDeadlineExpired => "requests_deadline_expired",
+            Counter::RegistryHits => "registry_hits",
+            Counter::RegistryMisses => "registry_misses",
         }
     }
 

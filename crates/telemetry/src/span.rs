@@ -25,17 +25,21 @@ pub enum SpanId {
     Fallback,
     /// Graph loading / generation outside the counting pipeline.
     Io,
+    /// One request executed by the `lotus-serve` worker pool, queue to
+    /// response (recorded even when the request expires or panics).
+    ServeRequest,
 }
 
 impl SpanId {
     /// Every span, in schema order.
-    pub const ALL: [SpanId; 6] = [
+    pub const ALL: [SpanId; 7] = [
         SpanId::Preprocess,
         SpanId::HhhHhn,
         SpanId::Hnn,
         SpanId::Nnn,
         SpanId::Fallback,
         SpanId::Io,
+        SpanId::ServeRequest,
     ];
 
     /// The stable snake_case name used as the JSON key.
@@ -48,6 +52,7 @@ impl SpanId {
             SpanId::Nnn => "nnn",
             SpanId::Fallback => "fallback",
             SpanId::Io => "io",
+            SpanId::ServeRequest => "serve_request",
         }
     }
 

@@ -200,3 +200,35 @@ fn degree_relabeling_is_sorted_permutation() {
         assert!(degs.windows(2).all(|w| w[0] >= w[1]), "seed {seed}");
     }
 }
+
+/// The per-vertex triangle counts sum to exactly three times the total
+/// (every triangle is incident to three vertices) on both skewed R-MAT
+/// and uniform Erdős–Rényi graphs. `lotus query per-vertex` relies on
+/// this identity being exact, not approximate.
+#[test]
+fn per_vertex_sum_is_three_times_total() {
+    use lotus::core::per_vertex::count_per_vertex;
+
+    for seed in 0..8u64 {
+        let graphs = [
+            ("rmat", Rmat::new(7, 8).generate(seed)),
+            ("er", ErdosRenyi::new(128, 512).generate(seed)),
+        ];
+        for (kind, g) in graphs {
+            let cfg = LotusConfig::auto(&g);
+            let lg = build_lotus_graph(&g, &cfg);
+            let total = LotusCounter::new(cfg).count_prepared(&lg).total();
+            let per_vertex = count_per_vertex(&lg);
+            assert_eq!(
+                per_vertex.len(),
+                g.num_vertices() as usize,
+                "{kind} seed {seed}"
+            );
+            assert_eq!(
+                per_vertex.iter().sum::<u64>(),
+                3 * total,
+                "{kind} seed {seed}"
+            );
+        }
+    }
+}
