@@ -24,7 +24,8 @@ use lotus_core::preprocess::build_lotus_graph;
 use lotus_core::{LotusConfig, LotusCounter};
 use lotus_graph::UndirectedCsr;
 use lotus_resilience::RunGuard;
-use rayon::sched::{self, RaceReport};
+use rayon::hb::{self, Event};
+use rayon::sched::{self, Access, ClockInfo, RaceReport, SERIAL_TASK};
 
 use crate::diag::json_str;
 
@@ -51,17 +52,39 @@ impl ScenarioOutcome {
     }
 }
 
-/// All scenarios across all seeds.
+/// One planted-race negative control: a fixture with a deliberate
+/// synchronization bug that the detector must flag.
+#[derive(Debug)]
+pub struct ControlOutcome {
+    /// Control name (one per sync feature, see [`planted_controls`]).
+    pub name: &'static str,
+    /// The detector's verdict on the planted bug.
+    pub report: RaceReport,
+}
+
+impl ControlOutcome {
+    /// A control passes by being *flagged* — a clean report means the
+    /// detector went blind to this bug class.
+    pub fn flagged(&self) -> bool {
+        !self.report.is_clean()
+    }
+}
+
+/// All scenarios across all seeds, plus the planted negative controls.
 #[derive(Debug, Default)]
 pub struct RaceSuiteReport {
     /// Per-(scenario, seed) outcomes.
     pub outcomes: Vec<ScenarioOutcome>,
+    /// Planted-race controls (must all be flagged).
+    pub controls: Vec<ControlOutcome>,
 }
 
 impl RaceSuiteReport {
-    /// Whether every scenario is race-free and order-independent.
+    /// Whether every scenario is race-free and order-independent, and
+    /// every planted control was caught.
     pub fn is_clean(&self) -> bool {
         self.outcomes.iter().all(ScenarioOutcome::is_clean)
+            && self.controls.iter().all(ControlOutcome::flagged)
     }
 
     /// Renders the suite as stable JSON for the CI artifact.
@@ -84,29 +107,72 @@ impl RaceSuiteReport {
             out.push_str(&format!("\"races\": {}, ", o.race.total_races));
             out.push_str(&format!("\"agrees\": {}, ", o.agrees));
             out.push_str("\"race_details\": [");
-            for (j, r) in o.race.races.iter().enumerate() {
-                if j > 0 {
-                    out.push_str(", ");
-                }
-                out.push_str(&format!(
-                    "{{\"label_a\": {}, \"task_a\": {}, \"label_b\": {}, \"task_b\": {}, \
-                     \"write_write\": {}, \"overlap_len\": {}}}",
-                    json_str(r.label_a),
-                    r.task_a,
-                    json_str(r.label_b),
-                    r.task_b,
-                    r.write_write,
-                    r.overlap_len
-                ));
-            }
+            push_races(&mut out, &o.race);
             out.push_str("]}");
         }
         if !self.outcomes.is_empty() {
             out.push_str("\n  ");
         }
+        out.push_str("],\n  \"controls\": [");
+        for (i, c) in self.controls.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {");
+            out.push_str(&format!("\"name\": {}, ", json_str(c.name)));
+            out.push_str(&format!("\"flagged\": {}, ", c.flagged()));
+            out.push_str(&format!("\"races\": {}, ", c.report.total_races));
+            out.push_str("\"race_details\": [");
+            push_races(&mut out, &c.report);
+            out.push_str("]}");
+        }
+        if !self.controls.is_empty() {
+            out.push_str("\n  ");
+        }
         out.push_str("]\n}\n");
         out
     }
+}
+
+/// Appends one report's races (with clock evidence) as JSON objects.
+fn push_races(out: &mut String, report: &RaceReport) {
+    for (j, r) in report.races.iter().enumerate() {
+        if j > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!(
+            "{{\"label_a\": {}, \"task_a\": {}, \"label_b\": {}, \"task_b\": {}, \
+             \"write_write\": {}, \"overlap_len\": {}, \"clock_a\": {}, \"clock_b\": {}}}",
+            json_str(r.label_a),
+            r.task_a,
+            json_str(r.label_b),
+            r.task_b,
+            r.write_write,
+            r.overlap_len,
+            clock_json(&r.clock_a),
+            clock_json(&r.clock_b)
+        ));
+    }
+}
+
+/// One side's clock evidence as a JSON object. The serial mainline is
+/// `"region": null`; an unjoined task is `"join": null`.
+fn clock_json(c: &ClockInfo) -> String {
+    let region = if c.region == u32::MAX {
+        "null".to_owned()
+    } else {
+        c.region.to_string()
+    };
+    let task = if c.task == SERIAL_TASK {
+        "null".to_owned()
+    } else {
+        c.task.to_string()
+    };
+    let join = c.join.map_or("null".to_owned(), |j| j.to_string());
+    format!(
+        "{{\"region\": {region}, \"task\": {task}, \"epoch\": {}, \"fork\": {}, \"join\": {join}}}",
+        c.epoch, c.fork
+    )
 }
 
 fn test_graph() -> UndirectedCsr {
@@ -153,7 +219,111 @@ pub fn run_suite(seeds: &[u64]) -> RaceSuiteReport {
         lotus_algos::forward_hashed::forward_hashed_count(g)
     });
 
-    RaceSuiteReport { outcomes }
+    RaceSuiteReport {
+        outcomes,
+        controls: planted_controls(),
+    }
+}
+
+fn ev_access(region: u32, task: u32, write: bool, base: usize, len: usize) -> Event {
+    Event::Access(Access {
+        region,
+        task,
+        write,
+        base,
+        len,
+        label: if write {
+            "control.write"
+        } else {
+            "control.read"
+        },
+    })
+}
+
+/// The planted-race negative controls — one deliberate bug per
+/// synchronization feature the happens-before detector models. Each
+/// must come back flagged; a clean verdict means the detector lost
+/// sight of that bug class.
+///
+/// - `planted-overlap` (PR-4 control): sibling tasks claim overlapping
+///   windows inside one region — caught by the basic fork-level
+///   concurrency check.
+/// - `missing-join`: a forked region never joins, so nothing orders its
+///   write before the continuation's read.
+/// - `dropped-combine`: in a reduction region, one task's combine edge
+///   is missing — its write must stay unordered against the
+///   continuation even though the region joined.
+/// - `relaxed-publication`: a producer "publishes" with a Relaxed flag
+///   (no release/acquire edge recorded), so the consumer's read races;
+///   the same stream with the edges present is verified clean by the
+///   detector's own tests.
+pub fn planted_controls() -> Vec<ControlOutcome> {
+    let missing_join = [
+        Event::Fork {
+            region: 0,
+            tasks: 1,
+        },
+        Event::Begin { region: 0, task: 0 },
+        ev_access(0, 0, true, 0x1000, 8),
+        Event::End { region: 0, task: 0 },
+        // Join deliberately missing.
+        ev_access(u32::MAX, SERIAL_TASK, false, 0x1000, 8),
+    ];
+
+    let dropped_combine = [
+        Event::Fork {
+            region: 0,
+            tasks: 2,
+        },
+        Event::Begin { region: 0, task: 0 },
+        ev_access(0, 0, true, 0x1000, 8),
+        Event::End { region: 0, task: 0 },
+        Event::Begin { region: 0, task: 1 },
+        ev_access(0, 1, true, 0x2000, 8),
+        Event::Combine { region: 0, task: 1 },
+        Event::End { region: 0, task: 1 },
+        Event::Join { region: 0 },
+        ev_access(u32::MAX, SERIAL_TASK, false, 0x1000, 8),
+        ev_access(u32::MAX, SERIAL_TASK, false, 0x2000, 8),
+    ];
+
+    // Producer writes, then flips a completion flag with `Relaxed` —
+    // which records no Release event — and the consumer polls the flag
+    // and reads. Without the publication edge the read races.
+    let relaxed_publication = [
+        Event::Fork {
+            region: 0,
+            tasks: 2,
+        },
+        Event::Begin { region: 0, task: 0 },
+        ev_access(0, 0, true, 0x3000, 64),
+        // (a correct kernel would record Release { addr } here)
+        Event::End { region: 0, task: 0 },
+        Event::Begin { region: 0, task: 1 },
+        // (…and Acquire { addr } here)
+        ev_access(0, 1, false, 0x3000, 64),
+        Event::End { region: 0, task: 1 },
+        Event::Join { region: 0 },
+    ];
+
+    vec![
+        ControlOutcome {
+            name: "planted-overlap",
+            report: planted_overlap(FIXED_SEEDS[0], 16),
+        },
+        ControlOutcome {
+            name: "missing-join",
+            report: hb::detect(&missing_join),
+        },
+        ControlOutcome {
+            name: "dropped-combine",
+            report: hb::detect(&dropped_combine),
+        },
+        ControlOutcome {
+            name: "relaxed-publication",
+            report: hb::detect(&relaxed_publication),
+        },
+    ]
 }
 
 /// Negative control: a kernel with a *real* overlapping write claim.
@@ -208,5 +378,77 @@ mod tests {
                 .and_then(lotus_telemetry::json::Json::as_bool),
             Some(true)
         );
+    }
+
+    #[test]
+    fn planted_controls_all_flagged() {
+        let controls = planted_controls();
+        let names: Vec<_> = controls.iter().map(|c| c.name).collect();
+        assert_eq!(
+            names,
+            [
+                "planted-overlap",
+                "missing-join",
+                "dropped-combine",
+                "relaxed-publication"
+            ]
+        );
+        for c in &controls {
+            assert!(c.flagged(), "control {} must be flagged", c.name);
+        }
+    }
+
+    #[test]
+    fn missing_join_control_shows_unjoined_clock() {
+        let c = &planted_controls()[1];
+        let race = &c.report.races[0];
+        // The forked task's clock carries no join stamp — that is the
+        // evidence the ordering edge is absent.
+        assert!(race.clock_a.join.is_none() || race.clock_b.join.is_none());
+    }
+
+    #[test]
+    fn dropped_combine_control_races_only_on_uncombined_task() {
+        let c = &planted_controls()[2];
+        assert!(c.flagged());
+        // Only task 0 (combine edge dropped) may race; task 1's combine
+        // edge orders it before the continuation.
+        for race in &c.report.races {
+            for (task, clock) in [(race.task_a, &race.clock_a), (race.task_b, &race.clock_b)] {
+                if task != SERIAL_TASK {
+                    assert_eq!(task, 0, "combined task must not race");
+                    assert!(clock.join.is_none());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn relaxed_publication_control_is_read_write() {
+        let c = &planted_controls()[3];
+        assert!(c.flagged());
+        assert!(c.report.races.iter().any(|r| !r.write_write));
+    }
+
+    #[test]
+    fn control_json_carries_clock_evidence() {
+        let suite = RaceSuiteReport {
+            outcomes: Vec::new(),
+            controls: planted_controls(),
+        };
+        let json = suite.to_json();
+        let parsed = lotus_telemetry::json::parse(&json).expect("valid JSON");
+        // All controls flagged and no real scenarios → overall clean.
+        assert_eq!(
+            parsed
+                .get("clean")
+                .and_then(lotus_telemetry::json::Json::as_bool),
+            Some(true)
+        );
+        assert!(
+            json.contains("\"clock_a\""),
+            "races must carry clock evidence"
+        );
+        assert!(json.contains("\"relaxed-publication\""));
     }
 }

@@ -15,7 +15,7 @@ use crate::diag::{Finding, Severity};
 use crate::lexer::{lex, Tok, TokKind};
 
 /// `(id, summary)` of every rule, for CLI help and docs.
-pub const RULES: [(&str, &str); 7] = [
+pub const RULES: [(&str, &str); 10] = [
     (
         "safety-comment",
         "`unsafe` requires a `// SAFETY:` (or `# Safety` doc) justification within 10 lines",
@@ -43,6 +43,18 @@ pub const RULES: [(&str, &str); 7] = [
     (
         "stale-waiver",
         "waiver entries that match no finding must be removed",
+    ),
+    (
+        "no-thread-spawn",
+        "raw `std::thread` spawning is confined to `shims/par` and `crates/serve` (tests exempt)",
+    ),
+    (
+        "no-shared-mut-statics",
+        "`static mut` is forbidden; `UnsafeCell` is confined to SAFETY-annotated `shims/par` internals",
+    ),
+    (
+        "relaxed-handshake",
+        "handshake flags (`*_done`/`*_ready`) must not use `Ordering::Relaxed` — publication needs Acquire/Release",
     ),
 ];
 
@@ -98,6 +110,9 @@ pub(crate) fn lint_source(path: &str, src: &str, out: &mut Vec<Finding>) {
     rule_relaxed_telemetry(&ctx, out);
     rule_guard_poll(&ctx, out);
     rule_result_errors_doc(&ctx, out);
+    rule_no_thread_spawn(&ctx, out);
+    rule_no_shared_mut_statics(&ctx, out);
+    rule_relaxed_handshake(&ctx, out);
 }
 
 fn is_punct(t: &Tok<'_>, s: &str) -> bool {
@@ -632,6 +647,143 @@ fn has_errors_doc_or_reasoned_must_use(toks: &[Tok<'_>], i: usize) -> bool {
     false
 }
 
+/// Paths whose library code may spawn OS threads: the work-stealing
+/// pool itself and the serving layer's accept/worker/load-gen threads.
+/// Everything else must go through the `rayon` shim so the pool's
+/// thread budget, panic isolation and telemetry stay authoritative.
+fn may_spawn_threads(path: &str) -> bool {
+    path.starts_with("shims/par/") || path.starts_with("crates/serve/")
+}
+
+/// `no-thread-spawn`: flags `thread::spawn` / `thread::Builder` outside
+/// the two sanctioned layers. Tests are exempt — a test harness driving
+/// real concurrency is fine; library code smuggling its own threads
+/// past the pool is not.
+fn rule_no_thread_spawn(ctx: &Ctx<'_>, out: &mut Vec<Finding>) {
+    if may_spawn_threads(ctx.path) {
+        return;
+    }
+    for (i, t) in ctx.toks.iter().enumerate() {
+        if !is_ident(t, "thread") || ctx.mask[i] {
+            continue;
+        }
+        let Some(c1) = next_code(ctx.toks, i) else {
+            continue;
+        };
+        let Some(c2) = next_code(ctx.toks, c1) else {
+            continue;
+        };
+        let Some(callee) = next_code(ctx.toks, c2) else {
+            continue;
+        };
+        if is_punct(&ctx.toks[c1], ":")
+            && is_punct(&ctx.toks[c2], ":")
+            && (is_ident(&ctx.toks[callee], "spawn") || is_ident(&ctx.toks[callee], "Builder"))
+        {
+            ctx.emit(
+                out,
+                "no-thread-spawn",
+                t.line,
+                format!(
+                    "`thread::{}` outside `shims/par`/`crates/serve`; parallel work must go \
+                     through the rayon shim's pool",
+                    ctx.toks[callee].text
+                ),
+            );
+        }
+    }
+}
+
+/// `no-shared-mut-statics`: `static mut` is flagged workspace-wide
+/// (tests included — there is always a sound alternative), and
+/// `UnsafeCell` is confined to `shims/par` pool internals where it must
+/// carry a `// SAFETY:` justification like any other `unsafe` surface.
+fn rule_no_shared_mut_statics(ctx: &Ctx<'_>, out: &mut Vec<Finding>) {
+    for (i, t) in ctx.toks.iter().enumerate() {
+        if is_ident(t, "static")
+            && next_code(ctx.toks, i).is_some_and(|n| is_ident(&ctx.toks[n], "mut"))
+        {
+            ctx.emit(
+                out,
+                "no-shared-mut-statics",
+                t.line,
+                "`static mut` creates unsynchronized shared `&mut`; use an atomic, a lock, \
+                 or `OnceLock`"
+                    .to_owned(),
+            );
+        }
+        if is_ident(t, "UnsafeCell") && !ctx.mask[i] {
+            if !ctx.path.starts_with("shims/par/") {
+                ctx.emit(
+                    out,
+                    "no-shared-mut-statics",
+                    t.line,
+                    "`UnsafeCell` outside `shims/par`; shared mutability belongs behind the \
+                     pool's audited internals"
+                        .to_owned(),
+                );
+            } else {
+                let line = t.line;
+                let justified = ctx.toks[..i]
+                    .iter()
+                    .rev()
+                    .take_while(|c| c.line + 10 >= line)
+                    .any(|c| is_comment(c) && has_safety_text(c.text));
+                if !justified {
+                    ctx.emit(
+                        out,
+                        "no-shared-mut-statics",
+                        line,
+                        "`UnsafeCell` in pool internals without a `// SAFETY:` justification \
+                         within 10 lines"
+                            .to_owned(),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Whether an identifier names a completion/readiness handshake flag.
+fn is_handshake_name(name: &str) -> bool {
+    let lower = name.to_ascii_lowercase();
+    lower == "done" || lower == "ready" || lower.ends_with("_done") || lower.ends_with("_ready")
+}
+
+/// `relaxed-handshake`: a statement that touches a `*_done`/`*_ready`
+/// flag with `Ordering::Relaxed` is the classic broken-publication
+/// pattern — the flag becomes visible without the data it guards.
+/// Detection is line-based: a handshake-named identifier and a
+/// `Relaxed` ordering on the same line.
+fn rule_relaxed_handshake(ctx: &Ctx<'_>, out: &mut Vec<Finding>) {
+    let relaxed_lines: Vec<u32> = ctx
+        .toks
+        .iter()
+        .filter(|t| is_ident(t, "Relaxed"))
+        .map(|t| t.line)
+        .collect();
+    if relaxed_lines.is_empty() {
+        return;
+    }
+    for (i, t) in ctx.toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || ctx.mask[i] || !is_handshake_name(t.text) {
+            continue;
+        }
+        if relaxed_lines.contains(&t.line) {
+            ctx.emit(
+                out,
+                "relaxed-handshake",
+                t.line,
+                format!(
+                    "handshake flag `{}` used with `Ordering::Relaxed`; publication requires \
+                     Release on the store and Acquire on the load",
+                    t.text
+                ),
+            );
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -756,6 +908,64 @@ mod tests {
     fn non_result_pub_fn_is_fine() {
         let src = "pub fn f() -> u32 { 0 }\npub fn g(h: impl Fn(u32) -> u64) { h(1); }";
         assert!(findings("crates/x/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn thread_spawn_is_confined_to_pool_and_serve() {
+        let spawn = "fn f() { std::thread::spawn(|| {}); }";
+        let builder = "fn f() { std::thread::Builder::new(); }";
+        assert_eq!(
+            rules_of(&findings("crates/core/src/x.rs", spawn)),
+            ["no-thread-spawn"]
+        );
+        assert_eq!(
+            rules_of(&findings("crates/core/src/x.rs", builder)),
+            ["no-thread-spawn"]
+        );
+        assert!(findings("shims/par/src/pool.rs", spawn).is_empty());
+        assert!(findings("crates/serve/src/server.rs", builder).is_empty());
+        // Tests may drive real threads.
+        let in_test = "#[cfg(test)]\nmod tests {\n  fn f() { std::thread::spawn(|| {}); }\n}\n";
+        assert!(findings("crates/core/src/x.rs", in_test).is_empty());
+    }
+
+    #[test]
+    fn static_mut_is_flagged_everywhere() {
+        let src = "static mut COUNTER: u32 = 0;";
+        assert_eq!(
+            rules_of(&findings("crates/x/src/lib.rs", src)),
+            ["no-shared-mut-statics"]
+        );
+        // Even inside the pool internals.
+        assert_eq!(
+            rules_of(&findings("shims/par/src/pool.rs", src)),
+            ["no-shared-mut-statics"]
+        );
+    }
+
+    #[test]
+    fn unsafe_cell_needs_pool_internals_and_safety_comment() {
+        let bare = "struct S { v: UnsafeCell<u32> }";
+        assert_eq!(
+            rules_of(&findings("crates/x/src/lib.rs", bare)),
+            ["no-shared-mut-statics"]
+        );
+        assert_eq!(
+            rules_of(&findings("shims/par/src/pool.rs", bare)),
+            ["no-shared-mut-statics"]
+        );
+        let justified = "// SAFETY: only the owning worker dereferences between fences\nstruct S { v: UnsafeCell<u32> }";
+        assert!(findings("shims/par/src/pool.rs", justified).is_empty());
+    }
+
+    #[test]
+    fn relaxed_handshake_flags_done_and_ready_names() {
+        let bad = "fn f(io_done: &AtomicBool) {\n  io_done.store(true, Ordering::Relaxed);\n}";
+        let f = findings("crates/x/src/lib.rs", bad);
+        assert_eq!(rules_of(&f), ["relaxed-handshake"]);
+        // Release/Acquire handshakes and non-handshake names are fine.
+        let good = "fn f(x: &AtomicBool) {\n  let io_done = x.load(Ordering::Acquire);\n  let stopped = x.load(Ordering::Relaxed);\n  let _ = (io_done, stopped);\n}";
+        assert!(findings("crates/x/src/lib.rs", good).is_empty());
     }
 
     #[test]

@@ -23,6 +23,12 @@ fn shipped_kernels_clean_under_all_fixed_seeds() {
             o.scenario, o.seed
         );
     }
+    // Every planted negative control must be flagged, or the clean
+    // verdict above is worthless.
+    assert_eq!(suite.controls.len(), 4);
+    for c in &suite.controls {
+        assert!(c.flagged(), "planted control '{}' was missed", c.name);
+    }
     assert!(suite.is_clean());
 }
 

@@ -8,7 +8,12 @@
 //! ```text
 //! LOTUS_SCALE=small cargo run --release -p lotus-bench --bin scaling
 //! ```
+//!
+//! Set `LOTUS_SCALING_JSON=curve.json` to also write the
+//! machine-readable scaling-curve artifact (schema documented in
+//! EXPERIMENTS.md).
 
+use std::fmt::Write as _;
 use std::time::Instant;
 
 use lotus_bench::table::{secs, Table};
@@ -16,6 +21,45 @@ use lotus_core::count::LotusCounter;
 use lotus_core::preprocess::build_lotus_graph;
 use lotus_core::LotusConfig;
 use lotus_gen::Dataset;
+
+struct Curve {
+    dataset: &'static str,
+    vertices: usize,
+    edges: usize,
+    wall_ms: Vec<f64>,
+}
+
+fn curves_json(threads: &[usize], curves: &[Curve]) -> String {
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+    let mut out = String::from("{\n  \"schema_version\": 1,\n  \"report\": \"scaling\",\n");
+    let _ = write!(
+        out,
+        "  \"environment\": {{ \"cores\": {cores} }},\n  \"threads\": ["
+    );
+    let list: Vec<String> = threads.iter().map(ToString::to_string).collect();
+    let _ = write!(out, "{}],\n  \"curves\": [", list.join(", "));
+    for (i, c) in curves.iter().enumerate() {
+        let sep = if i == 0 { "" } else { "," };
+        let walls: Vec<String> = c.wall_ms.iter().map(|w| format!("{w:.3}")).collect();
+        let speedups: Vec<String> = c
+            .wall_ms
+            .iter()
+            .map(|&w| format!("{:.3}", c.wall_ms[0] / w.max(f64::MIN_POSITIVE)))
+            .collect();
+        let _ = write!(
+            out,
+            "{sep}\n    {{ \"dataset\": \"{}\", \"vertices\": {}, \"edges\": {}, \
+             \"wall_ms\": [{}], \"speedup\": [{}] }}",
+            c.dataset,
+            c.vertices,
+            c.edges,
+            walls.join(", "),
+            speedups.join(", ")
+        );
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
 
 fn main() {
     let scale = lotus_bench::harness::scale_from_env();
@@ -25,6 +69,7 @@ fn main() {
     let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
     let mut t = Table::new("Thread scaling: Lotus counting time (seconds)").headers(&header_refs);
 
+    let mut curves = Vec::new();
     for name in ["Twtr", "SK", "UKDls"] {
         let Some(dataset) = Dataset::by_name(name) else {
             eprintln!("scaling: unknown dataset {name}");
@@ -34,6 +79,12 @@ fn main() {
         let graph = dataset.generate();
         let lg = build_lotus_graph(&graph, &LotusConfig::default());
         let mut cells = vec![name.to_string()];
+        let mut curve = Curve {
+            dataset: name,
+            vertices: graph.num_vertices() as usize,
+            edges: graph.num_edges() as usize,
+            wall_ms: Vec::new(),
+        };
         for &n in &threads {
             let pool = match rayon::ThreadPoolBuilder::new().num_threads(n).build() {
                 Ok(pool) => pool,
@@ -45,14 +96,25 @@ fn main() {
             let counter = LotusCounter::new(LotusConfig::default());
             let start = Instant::now();
             let total = pool.install(|| counter.count_prepared(&lg).total());
-            cells.push(secs(start.elapsed()));
+            let elapsed = start.elapsed();
+            cells.push(secs(elapsed));
+            curve.wall_ms.push(elapsed.as_secs_f64() * 1e3);
             assert!(total > 0);
         }
         t.row(cells);
+        curves.push(curve);
     }
     t.footnote(format!(
         "Host exposes {} hardware thread(s); speedups require a multi-core host",
         std::thread::available_parallelism().map_or(1, std::num::NonZero::get)
     ));
     println!("{}", t.render());
+
+    if let Ok(path) = std::env::var("LOTUS_SCALING_JSON") {
+        if let Err(e) = std::fs::write(&path, curves_json(&threads, &curves)) {
+            eprintln!("scaling: cannot write '{path}': {e}");
+            std::process::exit(1);
+        }
+        println!("wrote scaling curves to {path}");
+    }
 }

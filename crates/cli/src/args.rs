@@ -11,7 +11,7 @@ lotus — locality-optimizing triangle counting (PPoPP'22 reproduction)
 USAGE:
   lotus count <graph> [--algorithm lotus|forward|edge-iterator|gbbs|bbtc|adaptive]
                       [--hubs N] [--per-vertex] [--timeout SECS]
-                      [--mem-budget SIZE] [--strict]
+                      [--mem-budget SIZE] [--strict] [--threads N]
   lotus analyze [graph] <graph> [--hub-fraction F]
   lotus analyze lint [--waivers FILE] [--json FILE]
   lotus analyze race [--seeds A,B,C] [--json FILE]
@@ -19,7 +19,7 @@ USAGE:
                  [--params social|web|mild] -o <file>
   lotus convert <input> <output> [--strict]
   lotus check <graph> [--hubs N] [--differential]
-  lotus bench [--suite ci|small|full] [--json FILE]
+  lotus bench [--suite ci|small|full] [--json FILE] [--threads N]
   lotus bench compare <baseline.json> <current.json> [--tolerance F]
   lotus serve [--bind ADDR] [--port P] [--workers N] [--queue N]
               [--mem-budget SIZE] [--preload NAME=SPEC]...
@@ -33,7 +33,8 @@ USAGE:
 Graph files: whitespace edge lists (any extension) or binary .lotg files.
 --timeout interrupts the run cooperatively (exit code 124); --mem-budget
 (e.g. 512m, 2g) degrades LOTUS to fit; --strict rejects text edge lists
-with trailing garbage tokens instead of warning.
+with trailing garbage tokens instead of warning. --threads pins the
+counting pool size (default: one worker per core).
 
 bench runs a named dataset x algorithm suite (default ci) and, with
 --json, writes the machine-readable BENCH.json artifact (schema v1,
@@ -185,6 +186,8 @@ pub struct BenchRunArgs {
     pub suite: String,
     /// Where to write the `BENCH.json` artifact, if anywhere.
     pub json: Option<String>,
+    /// Thread-pool size override (`--threads`); `None` = one per core.
+    pub threads: Option<usize>,
 }
 
 /// Arguments of `lotus bench compare`.
@@ -215,6 +218,8 @@ pub struct CountArgs {
     pub mem_budget: Option<MemoryBudget>,
     /// Reject (rather than warn about) malformed edge-list lines.
     pub strict: bool,
+    /// Thread-pool size override (`--threads`); `None` = one per core.
+    pub threads: Option<usize>,
 }
 
 /// Arguments of `lotus analyze`: a graph analysis or one of the two
@@ -320,6 +325,14 @@ fn parse_num<T: std::str::FromStr>(flag: &str, value: &str) -> Result<T, ParseEr
         .map_err(|_| ParseError(format!("invalid value '{value}' for {flag}")))
 }
 
+fn parse_threads<'a>(it: &mut impl Iterator<Item = &'a str>) -> Result<usize, ParseError> {
+    let n: usize = parse_num("--threads", &take_value("--threads", it)?)?;
+    if n == 0 {
+        return Err(ParseError("--threads must be at least 1".into()));
+    }
+    Ok(n)
+}
+
 /// Parses an argument vector (without the program name).
 ///
 /// # Errors
@@ -340,9 +353,11 @@ pub fn parse(argv: &[&str]) -> Result<Command, ParseError> {
             let mut timeout = None;
             let mut mem_budget = None;
             let mut strict = false;
+            let mut threads = None;
             while let Some(arg) = it.next() {
                 match arg {
                     "--algorithm" | "-a" => algorithm = take_value(arg, &mut it)?,
+                    "--threads" => threads = Some(parse_threads(&mut it)?),
                     "--hubs" => hubs = Some(parse_num(arg, &take_value(arg, &mut it)?)?),
                     "--per-vertex" => per_vertex = true,
                     "--timeout" => {
@@ -377,6 +392,7 @@ pub fn parse(argv: &[&str]) -> Result<Command, ParseError> {
                 timeout,
                 mem_budget,
                 strict,
+                threads,
             }))
         }
         "analyze" => {
@@ -554,15 +570,21 @@ pub fn parse(argv: &[&str]) -> Result<Command, ParseError> {
             } else {
                 let mut suite = "ci".to_string();
                 let mut json = None;
+                let mut threads = None;
                 let mut it = rest.iter().copied();
                 while let Some(arg) = it.next() {
                     match arg {
                         "--suite" | "-s" => suite = take_value(arg, &mut it)?,
                         "--json" | "-j" => json = Some(take_value(arg, &mut it)?),
+                        "--threads" => threads = Some(parse_threads(&mut it)?),
                         _ => return Err(ParseError(format!("unexpected argument '{arg}'"))),
                     }
                 }
-                Ok(Command::Bench(BenchArgs::Run(BenchRunArgs { suite, json })))
+                Ok(Command::Bench(BenchArgs::Run(BenchRunArgs {
+                    suite,
+                    json,
+                    threads,
+                })))
             }
         }
         "convert" => {
@@ -786,6 +808,7 @@ mod tests {
                 timeout: None,
                 mem_budget: None,
                 strict: false,
+                threads: None,
             })
         );
     }
@@ -822,6 +845,8 @@ mod tests {
             "--mem-budget",
             "512m",
             "--strict",
+            "--threads",
+            "2",
         ])
         .unwrap();
         match c {
@@ -829,6 +854,7 @@ mod tests {
                 assert_eq!(a.timeout, Some(2.5));
                 assert_eq!(a.mem_budget, Some(MemoryBudget::from_bytes(512 << 20)));
                 assert!(a.strict);
+                assert_eq!(a.threads, Some(2));
             }
             _ => panic!("wrong command"),
         }
@@ -916,17 +942,30 @@ mod tests {
             Command::Bench(BenchArgs::Run(BenchRunArgs {
                 suite: "ci".into(),
                 json: None,
+                threads: None,
             }))
         );
         assert_eq!(
-            parse(&["bench", "--suite", "full", "--json", "out.json"]).unwrap(),
+            parse(&[
+                "bench",
+                "--suite",
+                "full",
+                "--json",
+                "out.json",
+                "--threads",
+                "4"
+            ])
+            .unwrap(),
             Command::Bench(BenchArgs::Run(BenchRunArgs {
                 suite: "full".into(),
                 json: Some("out.json".into()),
+                threads: Some(4),
             }))
         );
         assert!(parse(&["bench", "--suite"]).is_err());
         assert!(parse(&["bench", "extra"]).is_err());
+        assert!(parse(&["bench", "--threads", "0"]).is_err());
+        assert!(parse(&["bench", "--threads", "x"]).is_err());
     }
 
     #[test]

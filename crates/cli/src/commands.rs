@@ -133,6 +133,9 @@ fn lotus_config(hubs: Option<u32>, graph: &UndirectedCsr) -> LotusConfig {
 /// Returns a [`CliError`] when the graph cannot be loaded or the
 /// guarded run stops early.
 pub fn count(args: CountArgs) -> Result<String, CliError> {
+    if let Some(n) = args.threads {
+        rayon::configure_threads(n);
+    }
     let strictness = if args.strict {
         Strictness::Strict
     } else {
@@ -363,10 +366,32 @@ fn analyze_race(args: &AnalyzeRaceArgs) -> Result<String, CliError> {
             o.scenario, o.seed, o.race.regions, o.race.accesses
         );
     }
+    for c in &suite.controls {
+        if c.flagged() {
+            let clocks = c
+                .report
+                .races
+                .first()
+                .map(|r| format!("; clocks {} vs {}", r.clock_a, r.clock_b))
+                .unwrap_or_default();
+            let _ = writeln!(
+                out,
+                "control {:<20} flagged ({} race(s){clocks})",
+                c.name, c.report.total_races
+            );
+        } else {
+            let _ = writeln!(
+                out,
+                "control {:<20} MISSED — detector failed to fire",
+                c.name
+            );
+        }
+    }
     let _ = writeln!(
         out,
-        "{} scenario run(s), {}",
+        "{} scenario run(s), {} planted control(s), {}",
         suite.outcomes.len(),
+        suite.controls.len(),
         if suite.is_clean() {
             "all clean"
         } else {
@@ -497,6 +522,9 @@ pub fn bench(args: BenchArgs) -> Result<String, CliError> {
 }
 
 fn bench_run(args: &BenchRunArgs) -> Result<String, CliError> {
+    if let Some(n) = args.threads {
+        rayon::configure_threads(n);
+    }
     let suite = lotus_bench::BenchSuite::by_name(&args.suite).ok_or_else(|| {
         CliError::usage(format!(
             "unknown suite '{}' (expected one of: {})",
@@ -754,6 +782,7 @@ mod tests {
             timeout: None,
             mem_budget: None,
             strict: false,
+            threads: None,
         }
     }
 
@@ -980,6 +1009,7 @@ mod tests {
         let out = bench(BenchArgs::Run(BenchRunArgs {
             suite: "small".into(),
             json: Some(json.clone()),
+            threads: None,
         }))
         .unwrap();
         assert!(out.contains("suite 'small'"), "{out}");
@@ -1035,6 +1065,7 @@ mod tests {
         let err = bench(BenchArgs::Run(BenchRunArgs {
             suite: "nope".into(),
             json: None,
+            threads: None,
         }))
         .unwrap_err();
         assert_eq!(err.code, 2);

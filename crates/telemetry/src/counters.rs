@@ -42,11 +42,17 @@ pub enum Counter {
     RegistryHits,
     /// Graph-registry lookups that had to build or load the graph.
     RegistryMisses,
+    /// Chunks executed by the work-stealing pool (drivers and workers).
+    PoolTasks,
+    /// Deque entries stolen by an idle worker (steal-half events).
+    PoolSteals,
+    /// Times a worker parked on the condvar for lack of work.
+    PoolParks,
 }
 
 impl Counter {
     /// Every counter, in schema order.
-    pub const ALL: [Counter; 15] = [
+    pub const ALL: [Counter; 18] = [
         Counter::Intersections,
         Counter::MergeSteps,
         Counter::FruitlessIntersections,
@@ -62,6 +68,9 @@ impl Counter {
         Counter::RequestsDeadlineExpired,
         Counter::RegistryHits,
         Counter::RegistryMisses,
+        Counter::PoolTasks,
+        Counter::PoolSteals,
+        Counter::PoolParks,
     ];
 
     /// The stable snake_case name used as the JSON key.
@@ -83,6 +92,9 @@ impl Counter {
             Counter::RequestsDeadlineExpired => "requests_deadline_expired",
             Counter::RegistryHits => "registry_hits",
             Counter::RegistryMisses => "registry_misses",
+            Counter::PoolTasks => "pool_tasks",
+            Counter::PoolSteals => "pool_steals",
+            Counter::PoolParks => "pool_parks",
         }
     }
 

@@ -1,0 +1,623 @@
+//! FastTrack-style happens-before race detection over the scheduler's
+//! event log (DESIGN.md §12).
+//!
+//! The deterministic replay mode ([`crate::sched::with_schedule`])
+//! serializes one parallel execution into a single ordered stream of
+//! [`Event`]s: fork/begin/end/join edges from the region lifecycle,
+//! combine edges from reduction terminals, release/acquire edges from
+//! explicitly logged atomic publication, and the shadow byte-range
+//! access log. This module replays that stream against a clock model
+//! and reports every pair of overlapping, conflicting accesses that the
+//! synchronization events fail to order.
+//!
+//! # Clock model
+//!
+//! Every execution context — the serial mainline plus one context per
+//! logical task — carries a scalar event counter (its *epoch*). Full
+//! per-task vector clocks are never materialized: because the replayed
+//! execution is a series-parallel fork/join tree, the ordering question
+//! "does task A's epoch 3 happen before task B's epoch 5?" reduces to
+//! projecting both epochs onto the closest common ancestor context and
+//! comparing there — A's side projects through its region's *join*
+//! point (unjoined tasks project to infinity), B's side through its
+//! region's *fork* point. This is the epoch compression of FastTrack:
+//! an access is stamped with `(context, epoch)` instead of a clock
+//! vector, and vector comparisons happen structurally on the region
+//! tree. Acquire events additionally graft the release point (and the
+//! releaser's own acquired knowledge) into the acquiring context, which
+//! orders cross-task publication that the tree alone cannot see.
+//!
+//! # Join classification
+//!
+//! A region that emitted any [`Event::Combine`] is a *reduction*
+//! region: its tasks join the continuation only through their combine
+//! edge (a task whose result was never combined stays unordered — the
+//! "dropped combine" bug class). A region with no combine events is a
+//! *barrier* region (`for_each`-style): every task that ended joins at
+//! the region's join event. A region with no join event at all leaves
+//! every task unordered against the continuation — the "missing join"
+//! bug class.
+
+use std::collections::HashMap;
+
+use crate::sched::{Access, ClockInfo, Race, RaceReport, MAX_RACES_RECORDED, SERIAL_TASK};
+
+/// One entry of the replayed execution's event stream.
+///
+/// Synchronization events carry their originating context explicitly
+/// (`region == u32::MAX` marks the serial mainline), so a stream can be
+/// built by hand for detector fixtures as well as recorded live.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// A parallel region of `tasks` logical tasks was forked from the
+    /// context active at this point in the stream.
+    Fork {
+        /// The new region's id.
+        region: u32,
+        /// Number of logical tasks the region was forked with.
+        tasks: u32,
+    },
+    /// Logical task `task` of `region` started executing.
+    Begin {
+        /// Region the task belongs to.
+        region: u32,
+        /// Original (pre-permutation) task index.
+        task: u32,
+    },
+    /// Logical task `task` of `region` finished its body.
+    End {
+        /// Region the task belongs to.
+        region: u32,
+        /// Original task index.
+        task: u32,
+    },
+    /// Task `task`'s value was folded into `region`'s reduction.
+    Combine {
+        /// Region being reduced.
+        region: u32,
+        /// Task whose result was combined.
+        task: u32,
+    },
+    /// `region` joined back into the context it was forked from.
+    Join {
+        /// The joining region.
+        region: u32,
+    },
+    /// The given context published `addr` with Release ordering.
+    Release {
+        /// Releasing region (`u32::MAX` = serial).
+        region: u32,
+        /// Releasing task.
+        task: u32,
+        /// Address of the atomic being published.
+        addr: usize,
+    },
+    /// The given context observed `addr` with Acquire ordering.
+    Acquire {
+        /// Acquiring region (`u32::MAX` = serial).
+        region: u32,
+        /// Acquiring task.
+        task: u32,
+        /// Address of the atomic being observed.
+        addr: usize,
+    },
+    /// A logged byte-range access (see [`crate::sched::log_write`]).
+    Access(Access),
+}
+
+/// Index of the serial mainline in the context table.
+const SERIAL_CTX: usize = 0;
+
+/// One execution context: the serial mainline or a logical task.
+struct Ctx {
+    /// Region this context belongs to (`u32::MAX` for serial).
+    region: u32,
+    /// Event counter — the context's scalar clock.
+    counter: u32,
+    /// Acquired knowledge: `(context, epoch)` pairs this context is
+    /// ordered after via release/acquire chains.
+    acq: Vec<(usize, u32)>,
+    ended: bool,
+    combined: bool,
+}
+
+/// Per-region fork/join bookkeeping.
+struct RegionMeta {
+    /// Context the region was forked from.
+    parent: usize,
+    /// Fork point on the parent's clock.
+    fork: u32,
+    /// Join point on the parent's clock (`None`: never joined).
+    join: Option<u32>,
+    /// Whether any task combined — selects the join classification.
+    combining: bool,
+}
+
+/// One stamped access record.
+struct Rec {
+    access: Access,
+    ctx: usize,
+    epoch: u32,
+    /// Length of the context's acquire set when the access happened.
+    acq_len: usize,
+    /// Position in the event stream (replay order).
+    seq: usize,
+}
+
+/// Last release on one address: `(ctx, epoch, inherited knowledge)`.
+type ReleasePoint = (usize, u32, Vec<(usize, u32)>);
+
+struct Detector {
+    ctxs: Vec<Ctx>,
+    ctx_of: HashMap<(u32, u32), usize>,
+    regions: HashMap<u32, RegionMeta>,
+    /// Context active at the current stream position.
+    cur: usize,
+    releases: HashMap<usize, ReleasePoint>,
+    recs: Vec<Rec>,
+}
+
+impl Detector {
+    fn new() -> Self {
+        Detector {
+            ctxs: vec![Ctx {
+                region: u32::MAX,
+                counter: 0,
+                acq: Vec::new(),
+                ended: false,
+                combined: false,
+            }],
+            ctx_of: HashMap::new(),
+            regions: HashMap::new(),
+            cur: SERIAL_CTX,
+            releases: HashMap::new(),
+            recs: Vec::new(),
+        }
+    }
+
+    fn bump(&mut self, ctx: usize) -> u32 {
+        let c = &mut self.ctxs[ctx];
+        c.counter += 1;
+        c.counter
+    }
+
+    /// Region lookup, creating an implicit region (forked from the
+    /// current context at its present epoch) for hand-built streams
+    /// that skip the explicit fork.
+    fn ensure_region(&mut self, region: u32) {
+        if self.regions.contains_key(&region) {
+            return;
+        }
+        let parent = self.cur;
+        let fork = self.ctxs[parent].counter;
+        self.regions.insert(
+            region,
+            RegionMeta {
+                parent,
+                fork,
+                join: None,
+                combining: false,
+            },
+        );
+    }
+
+    /// Context lookup/creation for an event's `(region, task)` stamp.
+    fn ctx_for(&mut self, region: u32, task: u32) -> usize {
+        if region == u32::MAX || task == SERIAL_TASK {
+            return SERIAL_CTX;
+        }
+        if let Some(&c) = self.ctx_of.get(&(region, task)) {
+            return c;
+        }
+        self.ensure_region(region);
+        let c = self.ctxs.len();
+        self.ctxs.push(Ctx {
+            region,
+            counter: 0,
+            acq: Vec::new(),
+            ended: false,
+            combined: false,
+        });
+        self.ctx_of.insert((region, task), c);
+        c
+    }
+
+    fn feed(&mut self, seq: usize, ev: &Event) {
+        match *ev {
+            Event::Fork { region, tasks: _ } => {
+                let parent = self.cur;
+                let fork = self.bump(parent);
+                self.regions.entry(region).or_insert(RegionMeta {
+                    parent,
+                    fork,
+                    join: None,
+                    combining: false,
+                });
+            }
+            Event::Begin { region, task } => {
+                self.cur = self.ctx_for(region, task);
+            }
+            Event::End { region, task } => {
+                let c = self.ctx_for(region, task);
+                self.ctxs[c].ended = true;
+                self.cur = self.regions[&region].parent;
+            }
+            Event::Combine { region, task } => {
+                let c = self.ctx_for(region, task);
+                self.ctxs[c].combined = true;
+                if let Some(meta) = self.regions.get_mut(&region) {
+                    meta.combining = true;
+                }
+            }
+            Event::Join { region } => {
+                self.ensure_region(region);
+                let parent = self.regions[&region].parent;
+                let at = self.bump(parent);
+                if let Some(meta) = self.regions.get_mut(&region) {
+                    if meta.join.is_none() {
+                        meta.join = Some(at);
+                    }
+                }
+                self.cur = parent;
+            }
+            Event::Release { region, task, addr } => {
+                let c = self.ctx_for(region, task);
+                let epoch = self.bump(c);
+                let inherited = self.ctxs[c].acq.clone();
+                self.releases.insert(addr, (c, epoch, inherited));
+            }
+            Event::Acquire { region, task, addr } => {
+                let c = self.ctx_for(region, task);
+                self.bump(c);
+                if let Some((rc, re, inherited)) = self.releases.get(&addr).cloned() {
+                    self.ctxs[c].acq.push((rc, re));
+                    self.ctxs[c].acq.extend(inherited);
+                }
+            }
+            Event::Access(access) => {
+                let c = self.ctx_for(access.region, access.task);
+                let epoch = self.bump(c);
+                self.recs.push(Rec {
+                    access,
+                    ctx: c,
+                    epoch,
+                    acq_len: self.ctxs[c].acq.len(),
+                    seq,
+                });
+            }
+        }
+    }
+
+    /// Whether task context `c` joins its region's continuation: via
+    /// its combine edge in a reduction region, via its end in a barrier
+    /// region.
+    fn task_joins(&self, c: usize) -> bool {
+        let ctx = &self.ctxs[c];
+        match self.regions.get(&ctx.region) {
+            Some(meta) if meta.combining => ctx.combined,
+            Some(_) => ctx.ended,
+            None => false,
+        }
+    }
+
+    /// Projects an epoch up the region tree: `(context, epoch)` pairs
+    /// at every ancestor the event's ordering escapes to. `exit` mode
+    /// projects through join points (stopping at an unjoined level);
+    /// entry mode projects through fork points.
+    fn chain(&self, ctx: usize, epoch: u32, exit: bool) -> Vec<(usize, u32)> {
+        let mut out = vec![(ctx, epoch)];
+        let mut c = ctx;
+        while c != SERIAL_CTX {
+            let Some(meta) = self.regions.get(&self.ctxs[c].region) else {
+                break;
+            };
+            if exit {
+                let Some(at) = meta.join.filter(|_| self.task_joins(c)) else {
+                    break;
+                };
+                out.push((meta.parent, at));
+            } else {
+                out.push((meta.parent, meta.fork));
+            }
+            c = meta.parent;
+        }
+        out
+    }
+
+    /// Happens-before: does `a` (earlier in the stream) order before
+    /// `b` under the recorded synchronization?
+    fn hb(&self, a: &Rec, b: &Rec) -> bool {
+        if a.ctx == b.ctx {
+            return true;
+        }
+        // Release/acquire edge into b's context.
+        if self.ctxs[b.ctx].acq[..b.acq_len]
+            .iter()
+            .any(|&(c, e)| c == a.ctx && e >= a.epoch)
+        {
+            return true;
+        }
+        // Series-parallel tree: a's exit projection meets b's entry
+        // projection at a common ancestor.
+        let exits = self.chain(a.ctx, a.epoch, true);
+        let entries = self.chain(b.ctx, b.epoch, false);
+        exits
+            .iter()
+            .any(|&(c, ea)| entries.iter().any(|&(c2, eb)| c == c2 && ea <= eb))
+    }
+
+    /// Clock evidence for one side of a race report.
+    fn clock_info(&self, rec: &Rec) -> ClockInfo {
+        let ctx = &self.ctxs[rec.ctx];
+        if rec.ctx == SERIAL_CTX {
+            return ClockInfo {
+                region: u32::MAX,
+                task: SERIAL_TASK,
+                epoch: rec.epoch,
+                fork: 0,
+                join: None,
+            };
+        }
+        let meta = self.regions.get(&ctx.region);
+        ClockInfo {
+            region: ctx.region,
+            task: rec.access.task,
+            epoch: rec.epoch,
+            fork: meta.map_or(0, |m| m.fork),
+            join: meta
+                .and_then(|m| m.join)
+                .filter(|_| self.task_joins(rec.ctx)),
+        }
+    }
+}
+
+/// Replays `events` against the clock model and reports every pair of
+/// overlapping conflicting accesses not ordered by happens-before.
+#[must_use]
+pub fn detect(events: &[Event]) -> RaceReport {
+    let mut det = Detector::new();
+    for (seq, ev) in events.iter().enumerate() {
+        det.feed(seq, ev);
+    }
+
+    let mut report = RaceReport::default();
+    let mut writes: Vec<&Rec> = det.recs.iter().filter(|r| r.access.write).collect();
+    writes.sort_by_key(|r| (r.access.base, r.access.task, r.seq));
+
+    // Running prefix max of write ends, for backward overlap scans.
+    let mut prefix_max_end = Vec::with_capacity(writes.len());
+    let mut max_end = 0usize;
+    for w in &writes {
+        max_end = max_end.max(w.access.end());
+        prefix_max_end.push(max_end);
+    }
+
+    let mut record = |det: &Detector, x: &Rec, y: &Rec, write_write: bool| {
+        // Report in replay order: `a` is the earlier access.
+        let (a, b) = if x.seq <= y.seq { (x, y) } else { (y, x) };
+        if det.hb(a, b) {
+            return;
+        }
+        let overlap = a.access.end().min(b.access.end()) - a.access.base.max(b.access.base);
+        report.total_races += 1;
+        if report.races.len() < MAX_RACES_RECORDED {
+            report.races.push(Race {
+                region: a.access.region,
+                label_a: a.access.label,
+                task_a: a.access.task,
+                label_b: b.access.label,
+                task_b: b.access.task,
+                write_write,
+                overlap_len: overlap,
+                clock_a: det.clock_info(a),
+                clock_b: det.clock_info(b),
+            });
+        }
+    };
+
+    // Write-write: scan each write backward while an earlier (by base)
+    // write can still reach it.
+    for (i, w) in writes.iter().enumerate() {
+        for j in (0..i).rev() {
+            if prefix_max_end[j] <= w.access.base {
+                break;
+            }
+            let prev = writes[j];
+            if prev.ctx != w.ctx && prev.access.overlaps(&w.access) {
+                record(&det, prev, w, true);
+            }
+        }
+    }
+
+    // Read-write: probe each read against the writes overlapping it.
+    for r in det.recs.iter().filter(|r| !r.access.write) {
+        let start = writes.partition_point(|w| w.access.base < r.access.end());
+        for j in (0..start).rev() {
+            if prefix_max_end[j] <= r.access.base {
+                break;
+            }
+            let w = writes[j];
+            if w.ctx != r.ctx && w.access.overlaps(&r.access) {
+                record(&det, w, r, false);
+            }
+        }
+    }
+
+    report.races.sort_by(|a, b| {
+        (a.region, a.label_a, a.task_a, a.label_b, a.task_b)
+            .cmp(&(b.region, b.label_a, b.task_a, b.label_b, b.task_b))
+    });
+    report.accesses = det.recs.len();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn access(region: u32, task: u32, write: bool, base: usize, len: usize) -> Event {
+        Event::Access(Access {
+            region,
+            task,
+            write,
+            base,
+            len,
+            label: "fixture",
+        })
+    }
+
+    #[test]
+    fn joined_tasks_order_before_continuation() {
+        // Task writes, region joins, serial reads: ordered.
+        let events = [
+            Event::Fork {
+                region: 0,
+                tasks: 1,
+            },
+            Event::Begin { region: 0, task: 0 },
+            access(0, 0, true, 100, 8),
+            Event::End { region: 0, task: 0 },
+            Event::Join { region: 0 },
+            access(u32::MAX, SERIAL_TASK, false, 100, 8),
+        ];
+        assert!(detect(&events).is_clean());
+    }
+
+    #[test]
+    fn missing_join_leaves_task_unordered() {
+        let events = [
+            Event::Fork {
+                region: 0,
+                tasks: 1,
+            },
+            Event::Begin { region: 0, task: 0 },
+            access(0, 0, true, 100, 8),
+            Event::End { region: 0, task: 0 },
+            // No Join: the continuation read races.
+            access(u32::MAX, SERIAL_TASK, false, 100, 8),
+        ];
+        let report = detect(&events);
+        assert_eq!(report.total_races, 1);
+        assert!(report.races[0].clock_a.join.is_none());
+    }
+
+    #[test]
+    fn dropped_combine_in_reduction_region_races() {
+        // Task 1 combined; task 0's combine edge was dropped, so its
+        // write stays unordered against the continuation.
+        let events = [
+            Event::Fork {
+                region: 0,
+                tasks: 2,
+            },
+            Event::Begin { region: 0, task: 0 },
+            access(0, 0, true, 100, 8),
+            Event::End { region: 0, task: 0 },
+            Event::Begin { region: 0, task: 1 },
+            access(0, 1, true, 200, 8),
+            Event::Combine { region: 0, task: 1 },
+            Event::End { region: 0, task: 1 },
+            Event::Join { region: 0 },
+            access(u32::MAX, SERIAL_TASK, false, 100, 8),
+            access(u32::MAX, SERIAL_TASK, false, 200, 8),
+        ];
+        let report = detect(&events);
+        assert_eq!(report.total_races, 1, "{report}");
+        assert_eq!(report.races[0].task_a, 0);
+        assert!(report.races[0].clock_a.join.is_none());
+    }
+
+    #[test]
+    fn release_acquire_orders_cross_task_publication() {
+        let published = [
+            Event::Fork {
+                region: 0,
+                tasks: 2,
+            },
+            Event::Begin { region: 0, task: 0 },
+            access(0, 0, true, 100, 8),
+            Event::Release {
+                region: 0,
+                task: 0,
+                addr: 0xF1A6,
+            },
+            Event::End { region: 0, task: 0 },
+            Event::Begin { region: 0, task: 1 },
+            Event::Acquire {
+                region: 0,
+                task: 1,
+                addr: 0xF1A6,
+            },
+            access(0, 1, false, 100, 8),
+            Event::End { region: 0, task: 1 },
+            Event::Join { region: 0 },
+        ];
+        assert!(detect(&published).is_clean());
+        // Same accesses without the release/acquire pair (e.g. the flag
+        // was Relaxed): the sibling tasks race.
+        let relaxed: Vec<Event> = published
+            .iter()
+            .copied()
+            .filter(|e| !matches!(e, Event::Release { .. } | Event::Acquire { .. }))
+            .collect();
+        let report = detect(&relaxed);
+        assert_eq!(report.total_races, 1);
+        assert!(!report.races[0].write_write);
+    }
+
+    #[test]
+    fn sibling_overlap_still_races_with_clock_evidence() {
+        let events = [
+            Event::Fork {
+                region: 0,
+                tasks: 2,
+            },
+            Event::Begin { region: 0, task: 0 },
+            access(0, 0, true, 100, 8),
+            Event::End { region: 0, task: 0 },
+            Event::Begin { region: 0, task: 1 },
+            access(0, 1, true, 104, 8),
+            Event::End { region: 0, task: 1 },
+            Event::Join { region: 0 },
+        ];
+        let report = detect(&events);
+        assert_eq!(report.total_races, 1);
+        let race = &report.races[0];
+        assert!(race.write_write);
+        assert_eq!(race.overlap_len, 4);
+        // Both sides carry clock evidence: same fork point, both joined.
+        assert_eq!(race.clock_a.fork, race.clock_b.fork);
+        assert!(race.clock_a.join.is_some());
+    }
+
+    #[test]
+    fn nested_region_joins_into_parent_task() {
+        // Inner region forked from task 0; after the inner join, a
+        // sibling-of-inner serial-side read is ordered, while task 1 of
+        // the outer region stays concurrent with the inner task.
+        let events = [
+            Event::Fork {
+                region: 0,
+                tasks: 2,
+            },
+            Event::Begin { region: 0, task: 0 },
+            Event::Fork {
+                region: 1,
+                tasks: 1,
+            },
+            Event::Begin { region: 1, task: 0 },
+            access(1, 0, true, 100, 8),
+            Event::End { region: 1, task: 0 },
+            Event::Join { region: 1 },
+            access(0, 0, false, 100, 8), // parent task after inner join: ordered
+            Event::End { region: 0, task: 0 },
+            Event::Begin { region: 0, task: 1 },
+            access(0, 1, false, 100, 8), // sibling of parent: races with inner write
+            Event::End { region: 0, task: 1 },
+            Event::Join { region: 0 },
+        ];
+        let report = detect(&events);
+        assert_eq!(report.total_races, 1, "{report}");
+        assert_eq!(report.races[0].task_b, 1);
+    }
+}

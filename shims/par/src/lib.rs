@@ -1,268 +1,629 @@
-//! Sequential stand-in for the subset of the `rayon` API this workspace
-//! uses, so the workspace builds in offline environments where the real
-//! crate cannot be fetched.
+//! Multi-threaded implementation of the subset of the `rayon` API this
+//! workspace uses, with a deterministic replay mode and a
+//! happens-before race detector built in.
 //!
 //! The root manifest renames this package to the `rayon` dependency key
 //! (`rayon = { path = "shims/par", package = "lotus-par" }`), so every
 //! `use rayon::prelude::*` in the workspace resolves here unchanged.
-//! Execution is sequential: a "parallel iterator" is a thin [`Par`]
-//! wrapper over a standard iterator, and the adapter methods reproduce
-//! rayon's *signatures* (notably `fold(|| init, f)` and
-//! `reduce(|| identity, op)`, which differ from [`Iterator`]'s) while
-//! running on the calling thread. Swapping the real rayon back in is a
-//! one-line manifest change; no call sites need to move.
+//!
+//! Execution model: a parallel pipeline is a materialized source
+//! (`Vec` of items) plus a composable per-chunk transform
+//! ([`ChunkXform`]). Terminals split the source into contiguous chunks
+//! and run transform + consumer over them on the work-stealing pool
+//! (the private `pool` module), merging per-chunk partial results in
+//! chunk order — so
+//! results (sums, collected vectors, triangle counts) are deterministic
+//! and identical to a sequential run for the associative, commutative
+//! reductions this workspace uses.
+//!
+//! Inside [`sched::with_schedule`] the same pipeline replays
+//! deterministically on the calling thread: one logical task per item,
+//! executed in a seeded permutation, with fork/join/combine and
+//! byte-range access events recorded for the happens-before detector
+//! ([`hb`]). The pool honors a process-wide thread limit
+//! ([`configure_threads`], `ThreadPool::install`); with one thread (the
+//! default on single-core hosts) terminals run inline on the caller.
 
 use std::cmp::Ordering;
+use std::marker::PhantomData;
 
+pub mod hb;
+mod pool;
 pub mod sched;
 
-/// A "parallel" iterator: a newtype over a sequential iterator.
-///
-/// Does **not** implement [`Iterator`]; all adapters come from
-/// [`ParallelIterator`], so rayon-style and std-style method resolution
-/// never collide.
+pub use pool::configure_threads;
+
+/// Terminals with fewer items than this run inline: chunking overhead
+/// dominates below it.
+const MIN_PAR_ITEMS: usize = 32;
+
+/// Slices shorter than this sort sequentially.
+const MIN_PAR_SORT: usize = 4096;
+
+/// A composable transform applied to one contiguous chunk of source
+/// items. `base` is the chunk's offset in the original source, which
+/// keeps [`EnumerateX`] index-accurate under any chunking (and equal to
+/// the logical task id under deterministic replay).
+pub trait ChunkXform<T> {
+    /// Output item type.
+    type Out;
+
+    /// Transforms one chunk.
+    fn apply(&self, base: usize, items: Vec<T>) -> Vec<Self::Out>;
+}
+
+/// The identity transform: source items pass through untouched.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IdentityX;
+
+impl<T> ChunkXform<T> for IdentityX {
+    type Out = T;
+
+    fn apply(&self, _base: usize, items: Vec<T>) -> Vec<T> {
+        items
+    }
+}
+
+/// `map` transform (see [`ParallelIterator::map`]).
 #[derive(Debug, Clone)]
-pub struct Par<I>(I);
+pub struct MapX<X, F> {
+    inner: X,
+    f: F,
+}
 
-/// Source iterator honoring the deterministic scheduler
-/// ([`sched::with_schedule`]).
+impl<T, X, F, R> ChunkXform<T> for MapX<X, F>
+where
+    X: ChunkXform<T>,
+    F: Fn(X::Out) -> R,
+{
+    type Out = R;
+
+    fn apply(&self, base: usize, items: Vec<T>) -> Vec<R> {
+        self.inner
+            .apply(base, items)
+            .into_iter()
+            .map(&self.f)
+            .collect()
+    }
+}
+
+/// `filter` transform (see [`ParallelIterator::filter`]).
+#[derive(Debug, Clone)]
+pub struct FilterX<X, F> {
+    inner: X,
+    f: F,
+}
+
+impl<T, X, F> ChunkXform<T> for FilterX<X, F>
+where
+    X: ChunkXform<T>,
+    F: Fn(&X::Out) -> bool,
+{
+    type Out = X::Out;
+
+    fn apply(&self, base: usize, items: Vec<T>) -> Vec<X::Out> {
+        self.inner
+            .apply(base, items)
+            .into_iter()
+            .filter(|x| (self.f)(x))
+            .collect()
+    }
+}
+
+/// `flat_map_iter` transform (see [`ParallelIterator::flat_map_iter`]).
+#[derive(Debug, Clone)]
+pub struct FlatMapX<X, F> {
+    inner: X,
+    f: F,
+}
+
+impl<T, X, F, U> ChunkXform<T> for FlatMapX<X, F>
+where
+    X: ChunkXform<T>,
+    F: Fn(X::Out) -> U,
+    U: IntoIterator,
+{
+    type Out = U::Item;
+
+    fn apply(&self, base: usize, items: Vec<T>) -> Vec<U::Item> {
+        self.inner
+            .apply(base, items)
+            .into_iter()
+            .flat_map(|x| (self.f)(x))
+            .collect()
+    }
+}
+
+/// `enumerate` transform: pairs each item with its *original* index
+/// (`base + position`), independent of execution order and chunking.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EnumerateX;
+
+impl<T> ChunkXform<T> for EnumerateX {
+    type Out = (usize, T);
+
+    fn apply(&self, base: usize, items: Vec<T>) -> Vec<(usize, T)> {
+        items
+            .into_iter()
+            .enumerate()
+            .map(|(i, x)| (base + i, x))
+            .collect()
+    }
+}
+
+/// `copied` transform (see [`ParallelIterator::copied`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CopiedX<X> {
+    inner: X,
+}
+
+impl<'a, T, U, X> ChunkXform<T> for CopiedX<X>
+where
+    U: 'a + Copy,
+    X: ChunkXform<T, Out = &'a U>,
+{
+    type Out = U;
+
+    fn apply(&self, base: usize, items: Vec<T>) -> Vec<U> {
+        self.inner.apply(base, items).into_iter().copied().collect()
+    }
+}
+
+/// `cloned` transform (see [`ParallelIterator::cloned`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ClonedX<X> {
+    inner: X,
+}
+
+impl<'a, T, U, X> ChunkXform<T> for ClonedX<X>
+where
+    U: 'a + Clone,
+    X: ChunkXform<T, Out = &'a U>,
+{
+    type Out = U;
+
+    fn apply(&self, base: usize, items: Vec<T>) -> Vec<U> {
+        self.inner.apply(base, items).into_iter().cloned().collect()
+    }
+}
+
+/// Replay bookkeeping for a source materialized under an active
+/// schedule: its region id and the seeded task permutation.
+#[derive(Debug, Clone)]
+struct SchedInfo {
+    region: u32,
+    perm: Vec<u32>,
+}
+
+/// A parallel pipeline: materialized source items plus the composed
+/// per-chunk transform. Created by the `IntoParallel*` traits; consumed
+/// by the [`ParallelIterator`] terminals.
+#[derive(Debug)]
+pub struct Par<T, X> {
+    items: Vec<T>,
+    xform: X,
+    sched: Option<SchedInfo>,
+}
+
+impl<T> Par<T, IdentityX> {
+    /// Materializes a source. Under an active schedule this forks a
+    /// region and fixes the seeded task permutation.
+    fn from_source(it: impl Iterator<Item = T>) -> Self {
+        let items: Vec<T> = it.collect();
+        let sched = sched::active_seed().map(|seed| SchedInfo {
+            perm: sched::permutation(seed, items.len()),
+            region: sched::fork_region(items.len() as u32),
+        });
+        Par {
+            items,
+            xform: IdentityX,
+            sched,
+        }
+    }
+
+    /// Wraps already-computed values (e.g. `fold` accumulators) without
+    /// forking a replay region: the values flow in the surrounding
+    /// context.
+    fn raw(items: Vec<T>) -> Self {
+        Par {
+            items,
+            xform: IdentityX,
+            sched: None,
+        }
+    }
+}
+
+/// A terminal: consumes one chunk's transformed items into a partial
+/// result and merges partials (always in chunk order).
+trait Consumer<T>: Sync {
+    /// Whether this terminal folds task values into the continuation —
+    /// reduction terminals emit per-task combine edges under replay.
+    const COMBINES: bool;
+
+    /// Partial (and final) result type.
+    type Out: Send;
+
+    /// Consumes one chunk.
+    fn consume<I: Iterator<Item = T>>(&self, items: I) -> Self::Out;
+
+    /// Merges two partials; `a` is from the earlier chunk.
+    fn merge(&self, a: Self::Out, b: Self::Out) -> Self::Out;
+}
+
+struct ForEachConsumer<F> {
+    f: F,
+}
+
+impl<T, F: Fn(T) + Sync> Consumer<T> for ForEachConsumer<F> {
+    const COMBINES: bool = false;
+    type Out = ();
+
+    fn consume<I: Iterator<Item = T>>(&self, items: I) {
+        for x in items {
+            (self.f)(x);
+        }
+    }
+
+    fn merge(&self, (): (), (): ()) {}
+}
+
+struct CollectConsumer;
+
+impl<T: Send> Consumer<T> for CollectConsumer {
+    const COMBINES: bool = false;
+    type Out = Vec<T>;
+
+    fn consume<I: Iterator<Item = T>>(&self, items: I) -> Vec<T> {
+        items.collect()
+    }
+
+    fn merge(&self, mut a: Vec<T>, mut b: Vec<T>) -> Vec<T> {
+        a.append(&mut b);
+        a
+    }
+}
+
+struct SumConsumer<S>(PhantomData<fn() -> S>);
+
+impl<T, S> Consumer<T> for SumConsumer<S>
+where
+    S: Send + std::iter::Sum<T> + std::iter::Sum<S>,
+{
+    const COMBINES: bool = true;
+    type Out = S;
+
+    fn consume<I: Iterator<Item = T>>(&self, items: I) -> S {
+        items.sum()
+    }
+
+    fn merge(&self, a: S, b: S) -> S {
+        std::iter::once(a).chain(std::iter::once(b)).sum()
+    }
+}
+
+struct CountConsumer;
+
+impl<T> Consumer<T> for CountConsumer {
+    const COMBINES: bool = true;
+    type Out = usize;
+
+    fn consume<I: Iterator<Item = T>>(&self, items: I) -> usize {
+        items.count()
+    }
+
+    fn merge(&self, a: usize, b: usize) -> usize {
+        a + b
+    }
+}
+
+struct MaxConsumer;
+
+impl<T: Ord + Send> Consumer<T> for MaxConsumer {
+    const COMBINES: bool = true;
+    type Out = Option<T>;
+
+    fn consume<I: Iterator<Item = T>>(&self, items: I) -> Option<T> {
+        items.max()
+    }
+
+    fn merge(&self, a: Option<T>, b: Option<T>) -> Option<T> {
+        match (a, b) {
+            (Some(x), Some(y)) => Some(x.max(y)),
+            (x, y) => x.or(y),
+        }
+    }
+}
+
+struct MinConsumer;
+
+impl<T: Ord + Send> Consumer<T> for MinConsumer {
+    const COMBINES: bool = true;
+    type Out = Option<T>;
+
+    fn consume<I: Iterator<Item = T>>(&self, items: I) -> Option<T> {
+        items.min()
+    }
+
+    fn merge(&self, a: Option<T>, b: Option<T>) -> Option<T> {
+        match (a, b) {
+            (Some(x), Some(y)) => Some(x.min(y)),
+            (x, y) => x.or(y),
+        }
+    }
+}
+
+struct ReduceConsumer<Id, Op> {
+    identity: Id,
+    op: Op,
+}
+
+impl<T, Id, Op> Consumer<T> for ReduceConsumer<Id, Op>
+where
+    T: Send,
+    Id: Fn() -> T + Sync,
+    Op: Fn(T, T) -> T + Sync,
+{
+    const COMBINES: bool = true;
+    type Out = T;
+
+    fn consume<I: Iterator<Item = T>>(&self, items: I) -> T {
+        items.fold((self.identity)(), &self.op)
+    }
+
+    fn merge(&self, a: T, b: T) -> T {
+        (self.op)(a, b)
+    }
+}
+
+struct FoldConsumer<Id, F> {
+    identity: Id,
+    f: F,
+}
+
+impl<T, A, Id, F> Consumer<T> for FoldConsumer<Id, F>
+where
+    A: Send,
+    Id: Fn() -> A + Sync,
+    F: Fn(A, T) -> A + Sync,
+{
+    const COMBINES: bool = true;
+    type Out = Vec<A>;
+
+    fn consume<I: Iterator<Item = T>>(&self, items: I) -> Vec<A> {
+        vec![items.fold((self.identity)(), &self.f)]
+    }
+
+    fn merge(&self, mut a: Vec<A>, mut b: Vec<A>) -> Vec<A> {
+        a.append(&mut b);
+        a
+    }
+}
+
+/// Runs a pipeline to completion through `consumer`.
 ///
-/// Outside a schedule it passes items straight through. Inside one, the
-/// first `next()` materializes the source, permutes it with the seeded
-/// `(seed, len)` permutation, and then yields items in schedule order
-/// while publishing each item's *original* index as the current logical
-/// task (consumed by [`ParEnumerate`] and the shadow access log).
-pub struct Sched<I: Iterator> {
-    state: SchedState<I>,
-}
-
-impl<I: Iterator + Clone> Clone for Sched<I>
+/// Three paths: deterministic replay (one logical task per item, seeded
+/// permutation order, full event logging), inline sequential (single
+/// thread, small inputs, or scheduled-but-unforked values), or chunked
+/// execution on the work-stealing pool with partials merged in chunk
+/// order.
+fn drive<T, X, C>(par: Par<T, X>, consumer: &C) -> C::Out
 where
-    I::Item: Clone,
+    T: Send,
+    X: ChunkXform<T> + Sync,
+    X::Out: Send,
+    C: Consumer<X::Out>,
 {
-    fn clone(&self) -> Self {
-        Sched {
-            state: self.state.clone(),
-        }
-    }
-}
+    let Par {
+        items,
+        xform,
+        sched: info,
+    } = par;
 
-impl<I: Iterator> std::fmt::Debug for Sched<I> {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let state = match &self.state {
-            SchedState::Unpolled(_) => "unpolled",
-            SchedState::Pass(_) => "pass",
-            SchedState::Perm { .. } => "perm",
-        };
-        f.debug_struct("Sched").field("state", &state).finish()
-    }
-}
-
-enum SchedState<I: Iterator> {
-    /// Mode not yet sampled; holds the untouched source.
-    Unpolled(Option<I>),
-    /// Pass-through (no schedule active at first pull).
-    Pass(I),
-    /// Permuted items tagged with their original indices.
-    Perm {
-        items: std::vec::IntoIter<(u32, I::Item)>,
-        region: u32,
-    },
-}
-
-impl<I: Iterator + Clone> Clone for SchedState<I>
-where
-    I::Item: Clone,
-{
-    fn clone(&self) -> Self {
-        match self {
-            SchedState::Unpolled(slot) => SchedState::Unpolled(slot.clone()),
-            SchedState::Pass(it) => SchedState::Pass(it.clone()),
-            SchedState::Perm { items, region } => SchedState::Perm {
-                items: items.clone(),
-                region: *region,
-            },
-        }
-    }
-}
-
-impl<I: Iterator> Sched<I> {
-    fn new(inner: I) -> Self {
-        Sched {
-            state: SchedState::Unpolled(Some(inner)),
-        }
-    }
-}
-
-impl<I: Iterator> Iterator for Sched<I> {
-    type Item = I::Item;
-
-    fn next(&mut self) -> Option<I::Item> {
-        loop {
-            match &mut self.state {
-                SchedState::Unpolled(slot) => {
-                    let it = slot.take()?;
-                    self.state = match sched::active_seed() {
-                        None => SchedState::Pass(it),
-                        Some(seed) => {
-                            let items: Vec<I::Item> = it.collect();
-                            let perm = sched::permutation(seed, items.len());
-                            let mut slots: Vec<Option<I::Item>> =
-                                items.into_iter().map(Some).collect();
-                            let ordered: Vec<(u32, I::Item)> = perm
-                                .into_iter()
-                                .filter_map(|orig| {
-                                    slots[orig as usize].take().map(|item| (orig, item))
-                                })
-                                .collect();
-                            SchedState::Perm {
-                                items: ordered.into_iter(),
-                                region: sched::next_region(),
-                            }
-                        }
-                    };
-                }
-                SchedState::Pass(it) => return it.next(),
-                SchedState::Perm { items, region } => {
-                    return match items.next() {
-                        Some((task, item)) => {
-                            sched::set_current(*region, task);
-                            Some(item)
-                        }
-                        None => {
-                            sched::clear_current();
-                            None
-                        }
-                    }
-                }
+    if let Some(info) = info {
+        // Deterministic replay: one chunk per logical task, permuted
+        // execution order, original-index attribution.
+        let mut slots: Vec<Option<T>> = items.into_iter().map(Some).collect();
+        let mut parts: Vec<(u32, C::Out)> = Vec::with_capacity(slots.len());
+        for &task in &info.perm {
+            let Some(item) = slots[task as usize].take() else {
+                continue;
+            };
+            sched::begin_task(info.region, task);
+            let outs = xform.apply(task as usize, vec![item]);
+            let part = consumer.consume(outs.into_iter());
+            if C::COMBINES {
+                sched::combine_current();
             }
+            sched::end_task(info.region, task);
+            parts.push((task, part));
         }
+        sched::join_region(info.region);
+        parts.sort_unstable_by_key(|p| p.0);
+        return parts
+            .into_iter()
+            .map(|p| p.1)
+            .reduce(|a, b| consumer.merge(a, b))
+            .unwrap_or_else(|| consumer.consume(std::iter::empty()));
     }
-}
 
-/// Index-accurate `enumerate`: under an active schedule each item is
-/// paired with its *original* index (rayon semantics — `enumerate` on an
-/// indexed parallel iterator is execution-order independent); otherwise
-/// with the sequential position.
-#[derive(Debug, Clone)]
-pub struct ParEnumerate<I> {
-    inner: I,
-    pos: usize,
-}
-
-impl<I: Iterator> Iterator for ParEnumerate<I> {
-    type Item = (usize, I::Item);
-
-    fn next(&mut self) -> Option<Self::Item> {
-        let item = self.inner.next()?;
-        let idx = sched::current_task_index().unwrap_or(self.pos);
-        self.pos += 1;
-        Some((idx, item))
+    let threads = pool::effective_threads();
+    if sched::is_scheduled() || threads <= 1 || items.len() < MIN_PAR_ITEMS {
+        return consumer.consume(xform.apply(0, items).into_iter());
     }
-}
 
-impl<I: Iterator> IntoIterator for Par<I> {
-    type Item = I::Item;
-    type IntoIter = I;
-
-    fn into_iter(self) -> I {
-        self.0
+    // Chunked execution on the pool; merge partials in chunk order.
+    let n = items.len();
+    let chunk_size = n.div_ceil((threads * 4).min(n));
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(n.div_ceil(chunk_size));
+    let mut it = items.into_iter();
+    loop {
+        let chunk: Vec<T> = it.by_ref().take(chunk_size).collect();
+        if chunk.is_empty() {
+            break;
+        }
+        chunks.push(chunk);
     }
+    let xform = &xform;
+    let parts = pool::run(chunks, move |idx, chunk| {
+        let base = idx as usize * chunk_size;
+        consumer.consume(xform.apply(base, chunk).into_iter())
+    });
+    parts
+        .into_iter()
+        .reduce(|a, b| consumer.merge(a, b))
+        .unwrap_or_else(|| consumer.consume(std::iter::empty()))
 }
 
-/// The rayon `ParallelIterator` adapter surface, executed sequentially.
+/// The rayon `ParallelIterator` adapter/terminal surface.
 pub trait ParallelIterator: Sized {
     /// Item type, mirroring `rayon::iter::ParallelIterator::Item`.
-    type Item;
-    /// The underlying sequential iterator.
-    type Inner: Iterator<Item = Self::Item>;
+    type Item: Send;
+    /// The materialized source item type.
+    type SrcItem: Send;
+    /// The composed per-chunk transform.
+    type Xform: ChunkXform<Self::SrcItem, Out = Self::Item> + Sync;
 
-    /// Unwraps into the underlying sequential iterator.
-    fn seq(self) -> Self::Inner;
+    /// Converts into the concrete pipeline representation.
+    fn into_par(self) -> Par<Self::SrcItem, Self::Xform>;
 
     /// Maps each item (rayon: `map`).
-    fn map<R, F>(self, f: F) -> Par<std::iter::Map<Self::Inner, F>>
+    fn map<R, F>(self, f: F) -> Par<Self::SrcItem, MapX<Self::Xform, F>>
     where
-        F: FnMut(Self::Item) -> R,
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync + Send,
     {
-        Par(self.seq().map(f))
+        let p = self.into_par();
+        Par {
+            items: p.items,
+            xform: MapX { inner: p.xform, f },
+            sched: p.sched,
+        }
+    }
+
+    /// Keeps items matching the predicate (rayon: `filter`).
+    fn filter<F>(self, f: F) -> Par<Self::SrcItem, FilterX<Self::Xform, F>>
+    where
+        F: Fn(&Self::Item) -> bool + Sync + Send,
+    {
+        let p = self.into_par();
+        Par {
+            items: p.items,
+            xform: FilterX { inner: p.xform, f },
+            sched: p.sched,
+        }
+    }
+
+    /// Maps each item to a *sequential* iterator and flattens (rayon:
+    /// `flat_map_iter`).
+    fn flat_map_iter<U, F>(self, f: F) -> Par<Self::SrcItem, FlatMapX<Self::Xform, F>>
+    where
+        U: IntoIterator,
+        U::Item: Send,
+        F: Fn(Self::Item) -> U + Sync + Send,
+    {
+        let p = self.into_par();
+        Par {
+            items: p.items,
+            xform: FlatMapX { inner: p.xform, f },
+            sched: p.sched,
+        }
+    }
+
+    /// Pairs items with their original index (rayon: `enumerate`),
+    /// independent of execution order. Only available at the source
+    /// level (rayon: indexed parallel iterators).
+    fn enumerate(self) -> Par<Self::SrcItem, EnumerateX>
+    where
+        Self: ParallelIterator<Xform = IdentityX>,
+    {
+        let p = self.into_par();
+        Par {
+            items: p.items,
+            xform: EnumerateX,
+            sched: p.sched,
+        }
+    }
+
+    /// Zips with another source-level parallel iterator (rayon: `zip`).
+    /// The zipped pairs form a single region under replay, so the two
+    /// sides stay aligned under any schedule.
+    fn zip<B>(self, other: B) -> Par<(Self::SrcItem, B::SrcItem), IdentityX>
+    where
+        Self: ParallelIterator<Xform = IdentityX>,
+        B: ParallelIterator<Xform = IdentityX>,
+    {
+        let a = self.into_par();
+        let b = other.into_par();
+        // The pairs inherit the left region; the right source's region
+        // becomes empty and joins immediately.
+        if let Some(info) = b.sched {
+            sched::join_region(info.region);
+        }
+        let items: Vec<_> = a.items.into_iter().zip(b.items).collect();
+        let sched = a.sched.map(|info| {
+            if info.perm.len() == items.len() {
+                info
+            } else {
+                SchedInfo {
+                    perm: sched::permutation(sched::active_seed().unwrap_or_default(), items.len()),
+                    region: info.region,
+                }
+            }
+        });
+        Par {
+            items,
+            xform: IdentityX,
+            sched,
+        }
+    }
+
+    /// Copies `&T` items (rayon: `copied`).
+    fn copied<'a, T>(self) -> Par<Self::SrcItem, CopiedX<Self::Xform>>
+    where
+        Self: ParallelIterator<Item = &'a T>,
+        T: 'a + Copy + Send + Sync,
+    {
+        let p = self.into_par();
+        Par {
+            items: p.items,
+            xform: CopiedX { inner: p.xform },
+            sched: p.sched,
+        }
+    }
+
+    /// Clones `&T` items (rayon: `cloned`).
+    fn cloned<'a, T>(self) -> Par<Self::SrcItem, ClonedX<Self::Xform>>
+    where
+        Self: ParallelIterator<Item = &'a T>,
+        T: 'a + Clone + Send + Sync,
+    {
+        let p = self.into_par();
+        Par {
+            items: p.items,
+            xform: ClonedX { inner: p.xform },
+            sched: p.sched,
+        }
     }
 
     /// Runs `f` on every item (rayon: `for_each`).
     fn for_each<F>(self, f: F)
     where
-        F: FnMut(Self::Item),
+        F: Fn(Self::Item) + Sync + Send,
     {
-        self.seq().for_each(f);
-    }
-
-    /// Keeps items matching the predicate (rayon: `filter`).
-    fn filter<F>(self, f: F) -> Par<std::iter::Filter<Self::Inner, F>>
-    where
-        F: FnMut(&Self::Item) -> bool,
-    {
-        Par(self.seq().filter(f))
-    }
-
-    /// Maps each item to a *sequential* iterator and flattens (rayon:
-    /// `flat_map_iter`).
-    fn flat_map_iter<U, F>(self, f: F) -> Par<std::iter::FlatMap<Self::Inner, U, F>>
-    where
-        U: IntoIterator,
-        F: FnMut(Self::Item) -> U,
-    {
-        Par(self.seq().flat_map(f))
-    }
-
-    /// Pairs items with their index (rayon: `enumerate`). Under an
-    /// active schedule the index is the item's original position, not
-    /// its (permuted) execution order.
-    fn enumerate(self) -> Par<ParEnumerate<Self::Inner>> {
-        Par(ParEnumerate {
-            inner: self.seq(),
-            pos: 0,
-        })
-    }
-
-    /// Zips with another parallel iterator (rayon: `zip`). Takes an
-    /// already-converted [`Par`] so scheduled sources are not wrapped
-    /// twice; equal-length sides permute identically and stay aligned.
-    fn zip<J>(self, other: Par<J>) -> Par<std::iter::Zip<Self::Inner, J>>
-    where
-        J: Iterator,
-    {
-        Par(self.seq().zip(other.0))
-    }
-
-    /// Copies `&T` items (rayon: `copied`).
-    fn copied<'a, T>(self) -> Par<std::iter::Copied<Self::Inner>>
-    where
-        Self: ParallelIterator<Item = &'a T>,
-        T: 'a + Copy,
-    {
-        Par(self.seq().copied())
-    }
-
-    /// Clones `&T` items (rayon: `cloned`).
-    fn cloned<'a, T>(self) -> Par<std::iter::Cloned<Self::Inner>>
-    where
-        Self: ParallelIterator<Item = &'a T>,
-        T: 'a + Clone,
-    {
-        Par(self.seq().cloned())
+        drive(self.into_par(), &ForEachConsumer { f });
     }
 
     /// Sums the items (rayon: `sum`).
     fn sum<S>(self) -> S
     where
-        S: std::iter::Sum<Self::Item>,
+        S: Send + std::iter::Sum<Self::Item> + std::iter::Sum<S>,
     {
-        self.seq().sum()
+        drive(self.into_par(), &SumConsumer(PhantomData))
     }
 
     /// Counts the items (rayon: `count`).
     fn count(self) -> usize {
-        self.seq().count()
+        drive(self.into_par(), &CountConsumer)
     }
 
     /// Maximum item (rayon: `max`).
@@ -270,7 +631,7 @@ pub trait ParallelIterator: Sized {
     where
         Self::Item: Ord,
     {
-        self.seq().max()
+        drive(self.into_par(), &MaxConsumer)
     }
 
     /// Minimum item (rayon: `min`).
@@ -278,108 +639,137 @@ pub trait ParallelIterator: Sized {
     where
         Self::Item: Ord,
     {
-        self.seq().min()
+        drive(self.into_par(), &MinConsumer)
     }
 
     /// Reduces with an identity-producing closure — rayon's signature,
-    /// not [`Iterator::reduce`]'s.
+    /// not [`Iterator::reduce`]'s. The operation must be associative
+    /// and commutative with a true identity.
     fn reduce<Id, Op>(self, identity: Id, op: Op) -> Self::Item
     where
-        Id: Fn() -> Self::Item,
-        Op: Fn(Self::Item, Self::Item) -> Self::Item,
+        Id: Fn() -> Self::Item + Sync + Send,
+        Op: Fn(Self::Item, Self::Item) -> Self::Item + Sync + Send,
     {
-        self.seq().fold(identity(), op)
+        drive(self.into_par(), &ReduceConsumer { identity, op })
     }
 
-    /// Folds into per-"thread" accumulators — rayon's signature. The
-    /// sequential version produces exactly one accumulator, wrapped in a
-    /// single-item parallel iterator so a following `reduce`/`sum` works.
-    fn fold<T, Id, F>(self, identity: Id, fold_op: F) -> Par<std::iter::Once<T>>
+    /// Folds into per-chunk accumulators — rayon's signature. Produces
+    /// one accumulator per executed chunk (one per logical task under
+    /// replay), wrapped in a parallel iterator so a following
+    /// `reduce`/`sum`/`map` works.
+    fn fold<A, Id, F>(self, identity: Id, fold_op: F) -> Par<A, IdentityX>
     where
-        Id: Fn() -> T,
-        F: Fn(T, Self::Item) -> T,
+        A: Send,
+        Id: Fn() -> A + Sync + Send,
+        F: Fn(A, Self::Item) -> A + Sync + Send,
     {
-        Par(std::iter::once(self.seq().fold(identity(), fold_op)))
+        Par::raw(drive(
+            self.into_par(),
+            &FoldConsumer {
+                identity,
+                f: fold_op,
+            },
+        ))
     }
 
     /// Collects into any [`FromIterator`] collection (rayon: `collect`).
-    /// Under an active schedule, items are restored to their original
-    /// order first (rayon's `collect` on indexed pipelines is
-    /// execution-order independent).
+    /// Items arrive in their original order regardless of execution
+    /// order or chunking.
     fn collect<C>(self) -> C
     where
         C: FromIterator<Self::Item>,
     {
-        let mut it = self.seq();
-        if sched::is_scheduled() {
-            let mut tagged: Vec<(usize, Self::Item)> = Vec::new();
-            for (pos, item) in (&mut it).enumerate() {
-                let idx = sched::current_task_index().unwrap_or(pos);
-                tagged.push((idx, item));
-            }
-            tagged.sort_by_key(|t| t.0);
-            tagged.into_iter().map(|t| t.1).collect()
-        } else {
-            it.collect()
-        }
+        drive(self.into_par(), &CollectConsumer)
+            .into_iter()
+            .collect()
     }
 }
 
-impl<I: Iterator> ParallelIterator for Par<I> {
-    type Item = I::Item;
-    type Inner = I;
+impl<T, X> ParallelIterator for Par<T, X>
+where
+    T: Send,
+    X: ChunkXform<T> + Sync,
+    X::Out: Send,
+{
+    type Item = X::Out;
+    type SrcItem = T;
+    type Xform = X;
 
-    fn seq(self) -> I {
-        self.0
+    fn into_par(self) -> Par<T, X> {
+        self
     }
 }
 
-/// Marker mirroring rayon's `IndexedParallelIterator` (every sequential
-/// iterator is trivially "indexed" here).
+impl<T, X> IntoIterator for Par<T, X>
+where
+    T: Send,
+    X: ChunkXform<T> + Sync,
+    X::Out: Send,
+{
+    type Item = X::Out;
+    type IntoIter = std::vec::IntoIter<X::Out>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        drive(self, &CollectConsumer).into_iter()
+    }
+}
+
+/// Marker mirroring rayon's `IndexedParallelIterator` (every pipeline
+/// here is backed by a materialized, indexable source).
 pub trait IndexedParallelIterator: ParallelIterator {}
 
-impl<I: Iterator> IndexedParallelIterator for Par<I> {}
-
-/// Conversion into a [`Par`] iterator (rayon: `IntoParallelIterator`).
-pub trait IntoParallelIterator {
-    /// Item type of the resulting iterator.
-    type Item;
-    /// Underlying sequential iterator type.
-    type Iter: Iterator<Item = Self::Item>;
-
-    /// Wraps `self` in a [`Par`].
-    fn into_par_iter(self) -> Par<Self::Iter>;
+impl<T, X> IndexedParallelIterator for Par<T, X>
+where
+    T: Send,
+    X: ChunkXform<T> + Sync,
+    X::Out: Send,
+{
 }
 
-impl<T: IntoIterator> IntoParallelIterator for T {
-    type Item = T::Item;
-    type Iter = Sched<T::IntoIter>;
+/// Conversion into a [`Par`] pipeline (rayon: `IntoParallelIterator`).
+pub trait IntoParallelIterator {
+    /// Item type of the resulting iterator.
+    type Item: Send;
+    /// The resulting pipeline type.
+    type Iter: ParallelIterator<Item = Self::Item>;
 
-    fn into_par_iter(self) -> Par<Sched<T::IntoIter>> {
-        Par(Sched::new(self.into_iter()))
+    /// Materializes `self` into a parallel pipeline.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<T: IntoIterator> IntoParallelIterator for T
+where
+    T::Item: Send,
+{
+    type Item = T::Item;
+    type Iter = Par<T::Item, IdentityX>;
+
+    fn into_par_iter(self) -> Par<T::Item, IdentityX> {
+        Par::from_source(self.into_iter())
     }
 }
 
 /// `par_iter` on shared references (rayon: `IntoParallelRefIterator`).
 pub trait IntoParallelRefIterator<'a> {
     /// Item type (typically `&'a T`).
-    type Item: 'a;
-    /// Underlying sequential iterator type.
-    type Iter: Iterator<Item = Self::Item>;
+    type Item: 'a + Send;
+    /// The resulting pipeline type.
+    type Iter: ParallelIterator<Item = Self::Item>;
 
     /// Borrowing counterpart of [`IntoParallelIterator::into_par_iter`].
-    fn par_iter(&'a self) -> Par<Self::Iter>;
+    fn par_iter(&'a self) -> Self::Iter;
 }
 
 impl<'a, C: 'a + ?Sized> IntoParallelRefIterator<'a> for C
 where
     &'a C: IntoIterator,
+    <&'a C as IntoIterator>::Item: Send,
 {
     type Item = <&'a C as IntoIterator>::Item;
-    type Iter = Sched<<&'a C as IntoIterator>::IntoIter>;
+    type Iter = Par<Self::Item, IdentityX>;
 
-    fn par_iter(&'a self) -> Par<Self::Iter> {
-        Par(Sched::new(self.into_iter()))
+    fn par_iter(&'a self) -> Par<Self::Item, IdentityX> {
+        Par::from_source(self.into_iter())
     }
 }
 
@@ -387,29 +777,30 @@ where
 /// `IntoParallelRefMutIterator`).
 pub trait IntoParallelRefMutIterator<'a> {
     /// Item type (typically `&'a mut T`).
-    type Item: 'a;
-    /// Underlying sequential iterator type.
-    type Iter: Iterator<Item = Self::Item>;
+    type Item: 'a + Send;
+    /// The resulting pipeline type.
+    type Iter: ParallelIterator<Item = Self::Item>;
 
     /// Mutably borrowing counterpart of
     /// [`IntoParallelIterator::into_par_iter`].
-    fn par_iter_mut(&'a mut self) -> Par<Self::Iter>;
+    fn par_iter_mut(&'a mut self) -> Self::Iter;
 }
 
 impl<'a, C: 'a + ?Sized> IntoParallelRefMutIterator<'a> for C
 where
     &'a mut C: IntoIterator,
+    <&'a mut C as IntoIterator>::Item: Send,
 {
     type Item = <&'a mut C as IntoIterator>::Item;
-    type Iter = Sched<<&'a mut C as IntoIterator>::IntoIter>;
+    type Iter = Par<Self::Item, IdentityX>;
 
-    fn par_iter_mut(&'a mut self) -> Par<Self::Iter> {
-        Par(Sched::new(self.into_iter()))
+    fn par_iter_mut(&'a mut self) -> Par<Self::Item, IdentityX> {
+        Par::from_source(self.into_iter())
     }
 }
 
 /// Parallel sorting on mutable slices (rayon: `ParallelSliceMut`).
-pub trait ParallelSliceMut<T> {
+pub trait ParallelSliceMut<T: Send + Sync> {
     /// Unstable sort (rayon: `par_sort_unstable`).
     fn par_sort_unstable(&mut self)
     where
@@ -418,45 +809,128 @@ pub trait ParallelSliceMut<T> {
     /// Unstable sort by comparator (rayon: `par_sort_unstable_by`).
     fn par_sort_unstable_by<F>(&mut self, compare: F)
     where
-        F: Fn(&T, &T) -> Ordering;
+        F: Fn(&T, &T) -> Ordering + Sync;
 
     /// Unstable sort by key (rayon: `par_sort_unstable_by_key`).
     fn par_sort_unstable_by_key<K, F>(&mut self, key: F)
     where
         K: Ord,
-        F: Fn(&T) -> K;
+        F: Fn(&T) -> K + Sync;
 }
 
-impl<T> ParallelSliceMut<T> for [T] {
+impl<T: Send + Sync> ParallelSliceMut<T> for [T] {
     fn par_sort_unstable(&mut self)
     where
         T: Ord,
     {
-        self.sort_unstable();
+        par_sort_impl(self, T::cmp);
     }
 
     fn par_sort_unstable_by<F>(&mut self, compare: F)
     where
-        F: Fn(&T, &T) -> Ordering,
+        F: Fn(&T, &T) -> Ordering + Sync,
     {
-        self.sort_unstable_by(compare);
+        par_sort_impl(self, compare);
     }
 
     fn par_sort_unstable_by_key<K, F>(&mut self, key: F)
     where
         K: Ord,
-        F: Fn(&T) -> K,
+        F: Fn(&T) -> K + Sync,
     {
-        self.sort_unstable_by_key(key);
+        par_sort_impl(self, |a, b| key(a).cmp(&key(b)));
     }
 }
 
-/// Logical worker count used for sizing work partitions. Reports the
-/// host's available parallelism even though execution is sequential, so
-/// configuration derived from it (e.g. partitions per vertex) matches
-/// what the real thread pool would use.
+/// Parallel index-permutation sort: chunked index sorts on the pool, a
+/// sequential round-based merge, then an in-place cycle-following
+/// permutation of the data. Ties break on the original index, so the
+/// result is deterministic for any thread count.
+fn par_sort_impl<T, F>(data: &mut [T], compare: F)
+where
+    T: Send + Sync,
+    F: Fn(&T, &T) -> Ordering + Sync,
+{
+    let n = data.len();
+    let threads = pool::effective_threads();
+    if sched::is_scheduled() || threads <= 1 || n < MIN_PAR_SORT {
+        data.sort_unstable_by(compare);
+        return;
+    }
+
+    let chunk_size = n.div_ceil(threads);
+    let idx_chunks: Vec<Vec<u32>> = (0..n as u32)
+        .collect::<Vec<u32>>()
+        .chunks(chunk_size)
+        .map(<[u32]>::to_vec)
+        .collect();
+    let shared: &[T] = data;
+    let by_index =
+        |i: u32, j: u32| compare(&shared[i as usize], &shared[j as usize]).then_with(|| i.cmp(&j));
+    let mut runs = pool::run(idx_chunks, |_, mut chunk| {
+        chunk.sort_unstable_by(|&i, &j| by_index(i, j));
+        chunk
+    });
+
+    // Merge runs pairwise in rounds (log k passes over the indices).
+    while runs.len() > 1 {
+        let mut next = Vec::with_capacity(runs.len().div_ceil(2));
+        let mut it = runs.into_iter();
+        while let Some(a) = it.next() {
+            match it.next() {
+                Some(b) => next.push(merge_runs(a, b, &by_index)),
+                None => next.push(a),
+            }
+        }
+        runs = next;
+    }
+    let Some(idx) = runs.pop() else {
+        return;
+    };
+
+    // `idx[i]` is where the element belonging at `i` currently lives;
+    // invert it so `pos[j]` is where the element at `j` must go, then
+    // follow swap cycles — `data[i] = old_data[idx[i]]` for every `i`.
+    let mut pos = vec![0u32; n];
+    for (i, &j) in idx.iter().enumerate() {
+        pos[j as usize] = i as u32;
+    }
+    for i in 0..n {
+        while pos[i] as usize != i {
+            let j = pos[i] as usize;
+            data.swap(i, j);
+            pos.swap(i, j);
+        }
+    }
+}
+
+/// Merges two sorted index runs.
+fn merge_runs<C: Fn(u32, u32) -> Ordering>(a: Vec<u32>, b: Vec<u32>, less: &C) -> Vec<u32> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let mut ia = a.into_iter().peekable();
+    let mut ib = b.into_iter().peekable();
+    loop {
+        match (ia.peek(), ib.peek()) {
+            (Some(&x), Some(&y)) => {
+                if less(x, y) == Ordering::Greater {
+                    out.extend(ib.next());
+                } else {
+                    out.extend(ia.next());
+                }
+            }
+            (Some(_), None) => out.extend(ia.by_ref()),
+            (None, Some(_)) => out.extend(ib.by_ref()),
+            (None, None) => break,
+        }
+    }
+    out
+}
+
+/// The number of logical executors parallel work may currently use:
+/// the configured limit ([`configure_threads`] / `ThreadPool::install`)
+/// or, unlimited, the host's available parallelism.
 pub fn current_num_threads() -> usize {
-    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    pool::effective_threads()
 }
 
 /// Error type of [`ThreadPoolBuilder::build`] (never produced).
@@ -483,14 +957,14 @@ impl ThreadPoolBuilder {
         Self::default()
     }
 
-    /// Records the requested thread count (advisory only).
+    /// Requests a thread count for pools built from this builder.
     #[must_use]
     pub fn num_threads(mut self, n: usize) -> Self {
         self.num_threads = n;
         self
     }
 
-    /// Builds the (sequential) pool; never fails.
+    /// Builds a pool handle; never fails.
     ///
     /// # Errors
     /// Never returns `Err`; the `Result` only mirrors rayon's signature.
@@ -504,21 +978,23 @@ impl ThreadPoolBuilder {
     }
 }
 
-/// A "thread pool" that runs closures on the calling thread.
+/// A handle applying a thread limit to the process-global pool.
 #[derive(Debug)]
 pub struct ThreadPool {
     num_threads: usize,
 }
 
 impl ThreadPool {
-    /// Nominal thread count this pool was built with.
+    /// Thread count this pool was built with.
     pub fn current_num_threads(&self) -> usize {
         self.num_threads
     }
 
-    /// Runs `op` (on the calling thread).
+    /// Runs `op` with this pool's thread limit installed process-wide,
+    /// restoring the previous limit afterwards. Parallel work started
+    /// by `op` (on any thread) uses at most this many executors.
     pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
-        op()
+        pool::install_limit(self.num_threads, op)
     }
 }
 
@@ -571,12 +1047,88 @@ mod tests {
     }
 
     #[test]
+    fn filter_and_flat_map() {
+        let v: Vec<u32> = (0..10)
+            .into_par_iter()
+            .filter(|x| x % 2 == 0)
+            .flat_map_iter(|x| [x, x + 100])
+            .collect();
+        assert_eq!(v, vec![0, 100, 2, 102, 4, 104, 6, 106, 8, 108]);
+    }
+
+    #[test]
     fn par_sort_variants() {
         let mut v = vec![5, 3, 9, 1];
         v.par_sort_unstable();
         assert_eq!(v, vec![1, 3, 5, 9]);
         v.par_sort_unstable_by(|a, b| b.cmp(a));
         assert_eq!(v, vec![9, 5, 3, 1]);
+    }
+
+    #[test]
+    fn par_sort_large_is_correct_on_the_pool() {
+        let pool = ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .expect("pool");
+        pool.install(|| {
+            let mut v: Vec<u64> = (0..20_000u64)
+                .map(|i| i.wrapping_mul(0x9E37) % 4096)
+                .collect();
+            let mut want = v.clone();
+            want.sort_unstable();
+            v.par_sort_unstable();
+            assert_eq!(v, want);
+        });
+    }
+
+    #[test]
+    fn parallel_terminals_match_sequential_on_the_pool() {
+        let pool = ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .expect("pool");
+        pool.install(|| {
+            let s: u64 = (0u64..10_000).into_par_iter().map(|x| x * 3).sum();
+            assert_eq!(s, (0u64..10_000).map(|x| x * 3).sum());
+            let collected: Vec<u32> = (0u32..5_000).into_par_iter().map(|x| x + 1).collect();
+            assert_eq!(collected, (1u32..=5_000).collect::<Vec<_>>());
+            let m = (0i64..2_048).into_par_iter().map(|x| -x).min();
+            assert_eq!(m, Some(-2_047));
+        });
+    }
+
+    #[test]
+    fn zero_length_pipelines_are_fine() {
+        let empty: Vec<u32> = Vec::new();
+        assert_eq!(empty.par_iter().copied().sum::<u32>(), 0);
+        assert_eq!(empty.par_iter().count(), 0);
+        assert_eq!(empty.par_iter().max(), None);
+        let collected: Vec<u32> = empty.par_iter().copied().collect();
+        assert!(collected.is_empty());
+        let folded = empty
+            .par_iter()
+            .fold(|| 0u32, |a, x| a + x)
+            .reduce(|| 0, |a, b| a + b);
+        assert_eq!(folded, 0);
+    }
+
+    #[test]
+    fn nested_parallel_for_inside_a_task() {
+        let pool = ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .expect("pool");
+        pool.install(|| {
+            let total: u64 = (0u64..64)
+                .into_par_iter()
+                .map(|x| (0u64..64).into_par_iter().map(|y| x + y).sum::<u64>())
+                .sum();
+            let want: u64 = (0u64..64)
+                .map(|x| (0u64..64).map(|y| x + y).sum::<u64>())
+                .sum();
+            assert_eq!(total, want);
+        });
     }
 
     #[test]
@@ -601,13 +1153,14 @@ mod tests {
     fn scheduled_zip_sides_stay_aligned() {
         let a: Vec<u32> = (0..50).collect();
         let b: Vec<u32> = (100..150).collect();
-        let (ok, _) = sched::with_schedule(7, || {
+        let (ok, report) = sched::with_schedule(7, || {
             a.par_iter()
                 .zip(b.par_iter())
                 .map(|(&x, &y)| y - x == 100)
                 .reduce(|| true, |p, q| p && q)
         });
         assert!(ok, "zipped pairs must stay aligned under a schedule");
+        assert!(report.is_clean());
     }
 
     #[test]
@@ -623,11 +1176,13 @@ mod tests {
 
     #[test]
     fn schedules_actually_permute_execution_order() {
-        let (order, _) = sched::with_schedule(5, || {
-            let mut seen = Vec::new();
-            (0u32..32).into_par_iter().for_each(|x| seen.push(x));
-            seen
+        let seen = std::sync::Mutex::new(Vec::new());
+        let ((), _) = sched::with_schedule(5, || {
+            (0u32..32).into_par_iter().for_each(|x| {
+                seen.lock().expect("poisoned").push(x);
+            });
         });
+        let order = seen.into_inner().expect("poisoned");
         let identity: Vec<u32> = (0..32).collect();
         assert_ne!(order, identity, "seeded schedule should reorder tasks");
         let mut sorted = order;
@@ -636,13 +1191,38 @@ mod tests {
     }
 
     #[test]
-    fn pool_installs_on_calling_thread() {
+    fn pool_installs_a_thread_limit() {
         let pool = ThreadPoolBuilder::new()
             .num_threads(4)
             .build()
             .expect("pool");
         assert_eq!(pool.current_num_threads(), 4);
-        assert_eq!(pool.install(|| 7), 7);
+        assert_eq!(
+            pool.install(|| {
+                assert_eq!(current_num_threads(), 4);
+                7
+            }),
+            7
+        );
         assert!(current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn worker_panic_reaches_the_caller_and_pool_survives() {
+        let pool = ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .expect("pool");
+        pool.install(|| {
+            let r = std::panic::catch_unwind(|| {
+                (0u32..4_096).into_par_iter().for_each(|x| {
+                    assert!(x != 2_000, "planted task panic");
+                });
+            });
+            assert!(r.is_err(), "panic must propagate to the driving thread");
+            // The pool keeps working after a panicked region.
+            let s: u64 = (0u64..4_096).into_par_iter().sum();
+            assert_eq!(s, 4_096 * 4_095 / 2);
+        });
     }
 }

@@ -1,13 +1,18 @@
-//! Deterministic scheduler mode and shadow access log.
+//! Deterministic scheduler mode, the shadow event log, and race-report
+//! types.
 //!
 //! Inside [`with_schedule`], every parallel-for source materializes its
-//! items and executes them in a seeded permutation (the "schedule"),
-//! while each logical task is tagged with its *original* index so that
-//! `enumerate` and the access log stay index-accurate regardless of
-//! execution order. Kernels declare the shared memory they touch with
-//! [`log_write`] / [`log_read`]; after the closure returns, the log is
-//! checked for overlapping unsynchronized accesses across tasks and the
-//! result is returned as a [`RaceReport`].
+//! items and executes them on the calling thread in a seeded
+//! permutation (the "schedule"), while each logical task is tagged with
+//! its *original* index so that `enumerate` and the access log stay
+//! index-accurate regardless of execution order. The replay records a
+//! full synchronization event stream — fork/begin/end/join region
+//! edges, combine edges from reduction terminals, release/acquire
+//! publication declared via [`log_release`] / [`log_acquire`], and the
+//! byte ranges kernels declare with [`log_write`] / [`log_read`]. After
+//! the closure returns, the stream is checked by the happens-before
+//! detector ([`crate::hb`]) and the result comes back as a
+//! [`RaceReport`] whose races carry clock evidence.
 //!
 //! The permutation of a parallel region depends only on `(seed, len)`.
 //! This is deliberate: the two sides of a `zip` then permute
@@ -15,13 +20,15 @@
 //!
 //! Scheduled mode assumes reductions are commutative (every reduction
 //! in this workspace is a sum/max/min or a tuple thereof). Outside
-//! `with_schedule` the wrapper passes items straight through and the
-//! log functions return immediately after one thread-local check.
+//! `with_schedule` the log functions return immediately after one
+//! thread-local check and parallel work runs on the real pool.
 
 use std::cell::{Cell, RefCell};
 
+use crate::hb;
+
 /// Sentinel task id for accesses made outside any parallel region.
-const SERIAL_TASK: u32 = u32::MAX;
+pub const SERIAL_TASK: u32 = u32::MAX;
 
 #[derive(Debug, Clone, Copy)]
 struct Current {
@@ -36,8 +43,11 @@ thread_local! {
     static REGION: Cell<u32> = const { Cell::new(0) };
     /// The logical task currently executing, if any.
     static CURRENT: Cell<Option<Current>> = const { Cell::new(None) };
-    /// Shadow access log, drained by [`with_schedule`].
-    static LOG: RefCell<Vec<Access>> = const { RefCell::new(Vec::new()) };
+    /// Shadow event log, drained by [`with_schedule`].
+    static LOG: RefCell<Vec<hb::Event>> = const { RefCell::new(Vec::new()) };
+    /// Forked-but-not-yet-joined regions with the context each was
+    /// forked from, innermost last.
+    static OPEN: RefCell<Vec<(u32, Option<Current>)>> = const { RefCell::new(Vec::new()) };
 }
 
 /// One logged access: a byte range touched by a logical task.
@@ -59,33 +69,75 @@ pub struct Access {
 }
 
 impl Access {
-    fn end(&self) -> usize {
+    /// One past the last byte of the range.
+    pub(crate) fn end(&self) -> usize {
         self.base.saturating_add(self.len)
     }
 
-    fn overlaps(&self, other: &Access) -> bool {
+    /// Whether the two byte ranges intersect.
+    pub(crate) fn overlaps(&self, other: &Access) -> bool {
         self.base < other.end() && other.base < self.end()
     }
 }
 
-/// Two tasks of one region touched overlapping bytes and at least one
-/// of them wrote: a data race under any real parallel execution.
+/// Clock evidence for one side of a race: where the access sits on its
+/// context's scalar clock and how that context relates to its region's
+/// fork/join points (see `crate::hb` for the model).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClockInfo {
+    /// Region of the access's context (`u32::MAX` = serial mainline).
+    pub region: u32,
+    /// Task id of the context (`u32::MAX` = serial mainline).
+    pub task: u32,
+    /// The access's epoch on its context's clock.
+    pub epoch: u32,
+    /// The region's fork point on the parent clock (0 for serial).
+    pub fork: u32,
+    /// The region's join point on the parent clock, if the task's
+    /// effects actually reach it (`None`: the task never synchronizes
+    /// with the continuation — missing join or dropped combine).
+    pub join: Option<u32>,
+}
+
+impl std::fmt::Display for ClockInfo {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.region == u32::MAX {
+            return write!(f, "serial@{}", self.epoch);
+        }
+        write!(
+            f,
+            "r{}t{}@{} fork@{}",
+            self.region, self.task, self.epoch, self.fork
+        )?;
+        match self.join {
+            Some(j) => write!(f, " join@{j}"),
+            None => write!(f, " unjoined"),
+        }
+    }
+}
+
+/// Two unordered accesses touched overlapping bytes and at least one of
+/// them wrote: a data race under any real parallel execution.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Race {
-    /// The region both accesses belong to.
+    /// Region of the earlier access (`u32::MAX` = serial mainline).
     pub region: u32,
-    /// Label of the (first) writing access.
+    /// Label of the earlier access (in replay order).
     pub label_a: &'static str,
-    /// Task id of the writing access.
+    /// Task id of the earlier access.
     pub task_a: u32,
-    /// Label of the conflicting access.
+    /// Label of the later conflicting access.
     pub label_b: &'static str,
-    /// Task id of the conflicting access.
+    /// Task id of the later conflicting access.
     pub task_b: u32,
     /// True when both sides wrote (write-write); false for read-write.
     pub write_write: bool,
     /// Number of overlapping bytes.
     pub overlap_len: usize,
+    /// Clock evidence for the earlier access.
+    pub clock_a: ClockInfo,
+    /// Clock evidence for the later access.
+    pub clock_b: ClockInfo,
 }
 
 impl std::fmt::Display for Race {
@@ -97,8 +149,14 @@ impl std::fmt::Display for Race {
         };
         write!(
             f,
-            "{kind} race in region {}: {} (task {}) overlaps {} (task {}) by {} byte(s)",
-            self.region, self.label_a, self.task_a, self.label_b, self.task_b, self.overlap_len
+            "{kind} race: {} (task {}) overlaps {} (task {}) by {} byte(s); clocks {} vs {}",
+            self.label_a,
+            self.task_a,
+            self.label_b,
+            self.task_b,
+            self.overlap_len,
+            self.clock_a,
+            self.clock_b
         )
     }
 }
@@ -151,6 +209,7 @@ struct ModeGuard {
     prev_mode: Option<u64>,
     prev_region: u32,
     prev_current: Option<Current>,
+    prev_open: Vec<(u32, Option<Current>)>,
 }
 
 impl Drop for ModeGuard {
@@ -158,17 +217,20 @@ impl Drop for ModeGuard {
         MODE.with(|m| m.set(self.prev_mode));
         REGION.with(|r| r.set(self.prev_region));
         CURRENT.with(|c| c.set(self.prev_current));
+        OPEN.with(|o| *o.borrow_mut() = std::mem::take(&mut self.prev_open));
     }
 }
 
-/// Runs `f` with the deterministic scheduler active, then detects races
-/// in the shadow access log. Nested calls are allowed; the inner call
-/// sees only its own accesses and restores the outer schedule on exit.
+/// Runs `f` with the deterministic scheduler active, then replays the
+/// recorded event stream through the happens-before detector. Nested
+/// calls are allowed; the inner call sees only its own events and
+/// restores the outer schedule on exit.
 pub fn with_schedule<R>(seed: u64, f: impl FnOnce() -> R) -> (R, RaceReport) {
     let guard = ModeGuard {
         prev_mode: MODE.with(Cell::get),
         prev_region: REGION.with(Cell::get),
         prev_current: CURRENT.with(Cell::get),
+        prev_open: OPEN.with(|o| std::mem::take(&mut *o.borrow_mut())),
     };
     let log_mark = LOG.with(|l| l.borrow().len());
     MODE.with(|m| m.set(Some(seed)));
@@ -176,11 +238,10 @@ pub fn with_schedule<R>(seed: u64, f: impl FnOnce() -> R) -> (R, RaceReport) {
     CURRENT.with(|c| c.set(None));
     let result = f();
     let regions = REGION.with(Cell::get);
-    let accesses: Vec<Access> = LOG.with(|l| l.borrow_mut().split_off(log_mark));
+    let events: Vec<hb::Event> = LOG.with(|l| l.borrow_mut().split_off(log_mark));
     drop(guard);
-    let mut report = detect(&accesses);
+    let mut report = hb::detect(&events);
     report.regions = regions;
-    report.accesses = accesses.len();
     (result, report)
 }
 
@@ -193,24 +254,84 @@ pub(crate) fn active_seed() -> Option<u64> {
     MODE.with(Cell::get)
 }
 
-pub(crate) fn next_region() -> u32 {
-    REGION.with(|r| {
+/// Stamp of the context active at this point of the replay.
+fn current_ids() -> (u32, u32) {
+    match CURRENT.with(Cell::get) {
+        Some(c) => (c.region, c.task),
+        None => (u32::MAX, SERIAL_TASK),
+    }
+}
+
+/// Restores `saved` as the current context, but only if its region is
+/// still open — a context saved before a region that has since joined
+/// (e.g. the right side of a `zip`) must not come back to life.
+fn restore_current(saved: Option<Current>) {
+    let valid = saved.is_none_or(|c| OPEN.with(|o| o.borrow().iter().any(|(r, _)| *r == c.region)));
+    CURRENT.with(|cell| cell.set(if valid { saved } else { None }));
+}
+
+/// Forks a new parallel region of `tasks` logical tasks from the
+/// current context, recording the fork edge. Only called under an
+/// active schedule.
+pub(crate) fn fork_region(tasks: u32) -> u32 {
+    let id = REGION.with(|r| {
         let id = r.get();
         r.set(id.wrapping_add(1));
         id
-    })
+    });
+    LOG.with(|l| l.borrow_mut().push(hb::Event::Fork { region: id, tasks }));
+    OPEN.with(|o| o.borrow_mut().push((id, CURRENT.with(Cell::get))));
+    id
 }
 
-pub(crate) fn set_current(region: u32, task: u32) {
+/// Enters logical task `task` of `region`.
+pub(crate) fn begin_task(region: u32, task: u32) {
+    LOG.with(|l| l.borrow_mut().push(hb::Event::Begin { region, task }));
     CURRENT.with(|c| c.set(Some(Current { region, task })));
 }
 
-pub(crate) fn clear_current() {
-    CURRENT.with(|c| c.set(None));
+/// Leaves logical task `task` of `region`, restoring the context the
+/// region was forked from.
+pub(crate) fn end_task(region: u32, task: u32) {
+    LOG.with(|l| l.borrow_mut().push(hb::Event::End { region, task }));
+    let saved = OPEN.with(|o| {
+        o.borrow()
+            .iter()
+            .rev()
+            .find(|(r, _)| *r == region)
+            .map(|(_, s)| *s)
+    });
+    restore_current(saved.flatten());
+}
+
+/// Records that the current task's value was folded into its region's
+/// reduction (the combine edge reduction terminals emit per task).
+pub(crate) fn combine_current() {
+    if let Some(c) = CURRENT.with(Cell::get) {
+        LOG.with(|l| {
+            l.borrow_mut().push(hb::Event::Combine {
+                region: c.region,
+                task: c.task,
+            });
+        });
+    }
+}
+
+/// Joins `region` back into the context it was forked from.
+pub(crate) fn join_region(region: u32) {
+    LOG.with(|l| l.borrow_mut().push(hb::Event::Join { region }));
+    let saved = OPEN.with(|o| {
+        let mut open = o.borrow_mut();
+        open.iter()
+            .rposition(|(r, _)| *r == region)
+            .map(|i| open.remove(i).1)
+    });
+    restore_current(saved.flatten());
 }
 
 /// Original index of the logical task currently executing under an
-/// active schedule, if any. Drives index-accurate `enumerate`.
+/// active schedule, if any.
+#[cfg(test)]
 pub(crate) fn current_task_index() -> Option<usize> {
     if !is_scheduled() {
         return None;
@@ -222,26 +343,24 @@ fn log_access(write: bool, base: usize, len: usize, label: &'static str) {
     if !is_scheduled() || len == 0 {
         return;
     }
-    let (region, task) = match CURRENT.with(Cell::get) {
-        Some(c) => (c.region, c.task),
-        None => (u32::MAX, SERIAL_TASK),
-    };
+    let (region, task) = current_ids();
     LOG.with(|l| {
-        l.borrow_mut().push(Access {
+        l.borrow_mut().push(hb::Event::Access(Access {
             region,
             task,
             write,
             base,
             len,
             label,
-        });
+        }));
     });
 }
 
 /// Declares that the current logical task writes `slice` (no-op outside
 /// [`with_schedule`]). Call this for every shared range a task writes
 /// without synchronization; atomics are synchronized and must not be
-/// logged.
+/// logged as plain accesses — declare their ordering with
+/// [`log_release`] / [`log_acquire`] instead.
 #[inline]
 pub fn log_write<T>(slice: &[T], label: &'static str) {
     log_access(
@@ -264,6 +383,41 @@ pub fn log_read<T>(slice: &[T], label: &'static str) {
     );
 }
 
+/// Declares that the current context performs a Release store on
+/// `atomic` (no-op outside [`with_schedule`]). A later [`log_acquire`]
+/// on the same atomic orders this context's prior accesses before the
+/// acquirer's subsequent ones — the publication edge the detector
+/// credits. Do not call this for `Ordering::Relaxed` stores: Relaxed
+/// publishes nothing, and claiming the edge would mask a real race.
+#[inline]
+pub fn log_release<T>(atomic: &T) {
+    if !is_scheduled() {
+        return;
+    }
+    let (region, task) = current_ids();
+    let addr = std::ptr::from_ref(atomic) as usize;
+    LOG.with(|l| {
+        l.borrow_mut()
+            .push(hb::Event::Release { region, task, addr });
+    });
+}
+
+/// Declares that the current context performs an Acquire load on
+/// `atomic` that observed the released value (no-op outside
+/// [`with_schedule`]). See [`log_release`].
+#[inline]
+pub fn log_acquire<T>(atomic: &T) {
+    if !is_scheduled() {
+        return;
+    }
+    let (region, task) = current_ids();
+    let addr = std::ptr::from_ref(atomic) as usize;
+    LOG.with(|l| {
+        l.borrow_mut()
+            .push(hb::Event::Acquire { region, task, addr });
+    });
+}
+
 /// SplitMix64 step (same generator the fault-injection planner uses).
 fn splitmix64(state: &mut u64) -> u64 {
     *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -284,84 +438,6 @@ pub(crate) fn permutation(seed: u64, len: usize) -> Vec<u32> {
         perm.swap(i, j);
     }
     perm
-}
-
-/// Overlap detection over one run's access log.
-///
-/// Per region: write-write overlaps via a sorted sweep, read-write
-/// overlaps by probing each read against the sorted writes (read-read
-/// pairs are never compared). Same-task overlaps are not races.
-fn detect(accesses: &[Access]) -> RaceReport {
-    let mut report = RaceReport::default();
-    let mut regions: Vec<u32> = accesses.iter().map(|a| a.region).collect();
-    regions.sort_unstable();
-    regions.dedup();
-
-    for region in regions {
-        let mut writes: Vec<&Access> = accesses
-            .iter()
-            .filter(|a| a.region == region && a.write)
-            .collect();
-        writes.sort_by_key(|a| (a.base, a.task));
-
-        // Running prefix max of write ends, for backward overlap scans.
-        let mut prefix_max_end = Vec::with_capacity(writes.len());
-        let mut max_end = 0usize;
-        for w in &writes {
-            max_end = max_end.max(w.end());
-            prefix_max_end.push(max_end);
-        }
-
-        let mut record = |a: &Access, b: &Access, write_write: bool| {
-            let overlap = a.end().min(b.end()) - a.base.max(b.base);
-            report.total_races += 1;
-            if report.races.len() < MAX_RACES_RECORDED {
-                report.races.push(Race {
-                    region,
-                    label_a: a.label,
-                    task_a: a.task,
-                    label_b: b.label,
-                    task_b: b.task,
-                    write_write,
-                    overlap_len: overlap,
-                });
-            }
-        };
-
-        // Write-write: scan each write backward while an earlier write
-        // can still reach it.
-        for (i, w) in writes.iter().enumerate() {
-            for j in (0..i).rev() {
-                if prefix_max_end[j] <= w.base {
-                    break;
-                }
-                let prev = writes[j];
-                if prev.task != w.task && prev.overlaps(w) {
-                    record(prev, w, true);
-                }
-            }
-        }
-
-        // Read-write: probe each read against the writes overlapping it.
-        for r in accesses.iter().filter(|a| a.region == region && !a.write) {
-            let start = writes.partition_point(|w| w.base < r.end());
-            for j in (0..start).rev() {
-                if prefix_max_end[j] <= r.base {
-                    break;
-                }
-                let w = writes[j];
-                if w.task != r.task && w.overlaps(r) {
-                    record(w, r, false);
-                }
-            }
-        }
-    }
-
-    report.races.sort_by(|a, b| {
-        (a.region, a.label_a, a.task_a, a.label_b, a.task_b)
-            .cmp(&(b.region, b.label_a, b.task_a, b.label_b, b.task_b))
-    });
-    report
 }
 
 #[cfg(test)]
@@ -393,44 +469,57 @@ mod tests {
     fn disjoint_writes_are_clean() {
         let data = [0u8; 64];
         let ((), report) = with_schedule(3, || {
-            set_current(0, 0);
+            let r = fork_region(2);
+            begin_task(r, 0);
             log_write(&data[0..32], "a");
-            set_current(0, 1);
+            end_task(r, 0);
+            begin_task(r, 1);
             log_write(&data[32..64], "b");
-            clear_current();
+            end_task(r, 1);
+            join_region(r);
         });
         assert!(report.is_clean(), "{report}");
         assert_eq!(report.accesses, 2);
     }
 
     #[test]
-    fn overlapping_writes_race() {
+    fn overlapping_writes_race_with_clock_evidence() {
         let data = [0u8; 64];
         let ((), report) = with_schedule(3, || {
-            set_current(0, 0);
+            let r = fork_region(2);
+            begin_task(r, 0);
             log_write(&data[0..40], "a");
-            set_current(0, 1);
+            end_task(r, 0);
+            begin_task(r, 1);
             log_write(&data[32..64], "b");
-            clear_current();
+            end_task(r, 1);
+            join_region(r);
         });
         assert_eq!(report.total_races, 1, "{report}");
         let race = &report.races[0];
         assert!(race.write_write);
         assert_eq!(race.overlap_len, 8);
         assert_eq!((race.task_a, race.task_b), (0, 1));
+        // Sibling tasks: same fork point, both joined, still racing.
+        assert_eq!(race.clock_a.fork, race.clock_b.fork);
+        assert!(race.clock_a.join.is_some());
     }
 
     #[test]
     fn read_write_overlap_races_but_read_read_does_not() {
         let data = [0u8; 16];
         let ((), report) = with_schedule(5, || {
-            set_current(0, 0);
+            let r = fork_region(3);
+            begin_task(r, 0);
             log_read(&data[..], "r0");
-            set_current(0, 1);
+            end_task(r, 0);
+            begin_task(r, 1);
             log_read(&data[..], "r1");
-            set_current(0, 2);
+            end_task(r, 1);
+            begin_task(r, 2);
             log_write(&data[4..8], "w");
-            clear_current();
+            end_task(r, 2);
+            join_region(r);
         });
         // The write conflicts with both reads; the reads do not conflict.
         assert_eq!(report.total_races, 2, "{report}");
@@ -441,23 +530,72 @@ mod tests {
     fn same_task_overlap_is_not_a_race() {
         let data = [0u8; 8];
         let ((), report) = with_schedule(9, || {
-            set_current(0, 4);
+            let r = fork_region(5);
+            begin_task(r, 4);
             log_write(&data[..], "first");
             log_write(&data[..], "second");
-            clear_current();
+            end_task(r, 4);
+            join_region(r);
         });
         assert!(report.is_clean(), "{report}");
     }
 
     #[test]
-    fn different_regions_do_not_conflict() {
+    fn joined_regions_do_not_conflict() {
+        // Sequential regions reusing one buffer: the join edge of the
+        // first orders it before the fork of the second.
         let data = [0u8; 8];
         let ((), report) = with_schedule(11, || {
-            set_current(0, 0);
+            let r0 = fork_region(1);
+            begin_task(r0, 0);
             log_write(&data[..], "r0.w");
-            set_current(1, 1);
+            end_task(r0, 0);
+            join_region(r0);
+            let r1 = fork_region(1);
+            begin_task(r1, 0);
             log_write(&data[..], "r1.w");
-            clear_current();
+            end_task(r1, 0);
+            join_region(r1);
+        });
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn unjoined_region_races_with_later_region() {
+        // Without the first region's join edge, nothing orders its
+        // write before the second region's — the missing-join bug class.
+        let data = [0u8; 8];
+        let ((), report) = with_schedule(11, || {
+            let r0 = fork_region(1);
+            begin_task(r0, 0);
+            log_write(&data[..], "r0.w");
+            end_task(r0, 0);
+            // join_region(r0) deliberately missing.
+            let r1 = fork_region(1);
+            begin_task(r1, 0);
+            log_write(&data[..], "r1.w");
+            end_task(r1, 0);
+            join_region(r1);
+        });
+        assert_eq!(report.total_races, 1, "{report}");
+        assert!(report.races[0].clock_a.join.is_none());
+    }
+
+    #[test]
+    fn logged_publication_orders_unjoined_handoff() {
+        // A release/acquire pair is the only edge ordering the write
+        // before the read (the region never joins) — the detector must
+        // credit it.
+        let flag = std::sync::atomic::AtomicBool::new(false);
+        let data = [0u8; 8];
+        let ((), report) = with_schedule(3, || {
+            let r = fork_region(1);
+            begin_task(r, 0);
+            log_write(&data[..], "producer");
+            log_release(&flag);
+            end_task(r, 0);
+            log_acquire(&flag);
+            log_read(&data[..], "consumer");
         });
         assert!(report.is_clean(), "{report}");
     }
@@ -466,18 +604,23 @@ mod tests {
     fn nested_schedules_restore_outer_state() {
         let data = [0u8; 8];
         let ((), outer) = with_schedule(1, || {
-            set_current(0, 0);
+            let r = fork_region(1);
+            begin_task(r, 0);
             log_write(&data[..], "outer");
             let ((), inner) = with_schedule(2, || {
-                set_current(0, 1);
+                let r2 = fork_region(1);
+                begin_task(r2, 0);
                 log_write(&data[..], "inner");
-                clear_current();
+                end_task(r2, 0);
+                join_region(r2);
             });
             assert_eq!(inner.accesses, 1);
             assert!(inner.is_clean());
             // The outer task is restored after the inner scope.
             assert_eq!(current_task_index(), Some(0));
             log_write(&data[..], "outer.after");
+            end_task(r, 0);
+            join_region(r);
         });
         // Both outer accesses are same-task: clean.
         assert!(outer.is_clean(), "{outer}");
