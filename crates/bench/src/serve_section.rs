@@ -14,7 +14,9 @@
 //!   "connections": 4, "requests": 200,
 //!   "ok": 198, "overloaded": 2, "deadline_expired": 0, "errors": 0,
 //!   "p50_us": 850, "p90_us": 2100, "p99_us": 4800,
-//!   "throughput_rps": 1234.5, "wall_ms": 162
+//!   "throughput_rps": 1234.5, "wall_ms": 162,
+//!   "retries": 3, "snapshot_writes": 1, "journal_appends": 2,
+//!   "journal_replays": 4, "quarantined": 0, "recovery_ms": 9
 //! }
 //! ```
 
@@ -50,6 +52,19 @@ pub struct ServeSection {
     pub throughput_rps: f64,
     /// Wall time of the whole run, milliseconds.
     pub wall_ms: u64,
+    /// Retried attempts (overload backoff / reconnects), counted
+    /// separately from `requests` so percentiles stay honest.
+    pub retries: u64,
+    /// Daemon-side snapshots durably written (0 without a data dir).
+    pub snapshot_writes: u64,
+    /// Daemon-side journal records appended and synced.
+    pub journal_appends: u64,
+    /// Journal records the daemon replayed at startup.
+    pub journal_replays: u64,
+    /// Files the daemon quarantined during startup recovery.
+    pub quarantined: u64,
+    /// Milliseconds the daemon's startup recovery pass took.
+    pub recovery_ms: u64,
 }
 
 impl ServeSection {
@@ -73,6 +88,21 @@ impl ServeSection {
             ("p99_us".into(), Json::Int(self.p99_us as i64)),
             ("throughput_rps".into(), Json::Float(self.throughput_rps)),
             ("wall_ms".into(), Json::Int(self.wall_ms as i64)),
+            ("retries".into(), Json::Int(self.retries as i64)),
+            (
+                "snapshot_writes".into(),
+                Json::Int(self.snapshot_writes as i64),
+            ),
+            (
+                "journal_appends".into(),
+                Json::Int(self.journal_appends as i64),
+            ),
+            (
+                "journal_replays".into(),
+                Json::Int(self.journal_replays as i64),
+            ),
+            ("quarantined".into(), Json::Int(self.quarantined as i64)),
+            ("recovery_ms".into(), Json::Int(self.recovery_ms as i64)),
         ])
     }
 
@@ -106,6 +136,14 @@ impl ServeSection {
                 .and_then(Json::as_f64)
                 .unwrap_or(0.0),
             wall_ms: int_field("wall_ms"),
+            // Durability fields arrived with schema-tolerant defaults:
+            // documents written before them still parse.
+            retries: int_field("retries"),
+            snapshot_writes: int_field("snapshot_writes"),
+            journal_appends: int_field("journal_appends"),
+            journal_replays: int_field("journal_replays"),
+            quarantined: int_field("quarantined"),
+            recovery_ms: int_field("recovery_ms"),
         })
     }
 
@@ -145,7 +183,26 @@ mod tests {
             p99_us: 4800,
             throughput_rps: 1234.5,
             wall_ms: 162,
+            retries: 3,
+            snapshot_writes: 1,
+            journal_appends: 2,
+            journal_replays: 4,
+            quarantined: 1,
+            recovery_ms: 9,
         }
+    }
+
+    #[test]
+    fn documents_without_durability_fields_default_to_zero() {
+        let legacy = Json::Obj(vec![
+            ("suite".into(), Json::Str("ci".into())),
+            ("graph".into(), Json::Str("rmat:9:8:7".into())),
+            ("requests".into(), Json::Int(10)),
+        ]);
+        let section = ServeSection::from_json(&legacy).unwrap();
+        assert_eq!(section.retries, 0);
+        assert_eq!(section.snapshot_writes, 0);
+        assert_eq!(section.recovery_ms, 0);
     }
 
     #[test]

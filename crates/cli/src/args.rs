@@ -23,6 +23,8 @@ USAGE:
   lotus bench compare <baseline.json> <current.json> [--tolerance F]
   lotus serve [--bind ADDR] [--port P] [--workers N] [--queue N]
               [--mem-budget SIZE] [--preload NAME=SPEC]...
+              [--data-dir DIR] [--snapshot-interval SECS]
+  lotus serve recover <data-dir> [--dry-run] [--json FILE]
   lotus query <addr> <ping|stats|drain|count NAME|per-vertex NAME
               [--range A..B]|kclique NAME K|load NAME SPEC|evict NAME>
               [--deadline-ms MS]
@@ -42,6 +44,14 @@ documented in EXPERIMENTS.md). bench compare diffs two artifacts and
 fails (exit 1) on triangle-count changes, missing runs, or wall-time
 regressions beyond --tolerance (fractional, default 0.25 = +25%).
 Builds without `--features telemetry` report all work counters as 0.
+
+serve with --data-dir persists registered graphs (snapshots plus a
+write-ahead manifest journal) and replays them on restart, quarantining
+any torn or corrupt file instead of refusing to start;
+--snapshot-interval bounds how often the journal is compacted. serve
+recover replays a data directory offline and prints the recovery
+report as JSON without starting a daemon (--dry-run also skips
+quarantining and compaction).
 
 analyze lint runs the project-rule source lint over the workspace
 (run from the repo root) against the checked-in waiver file; analyze
@@ -71,6 +81,8 @@ pub enum Command {
     Bench(BenchArgs),
     /// `lotus serve`.
     Serve(ServeCliArgs),
+    /// `lotus serve recover`: offline durability-state inspection.
+    ServeRecover(ServeRecoverArgs),
     /// `lotus query`.
     Query(QueryArgs),
     /// `lotus loadgen`.
@@ -94,6 +106,22 @@ pub struct ServeCliArgs {
     pub mem_budget: Option<MemoryBudget>,
     /// Graphs to build before accepting connections (`--preload NAME=SPEC`).
     pub preload: Vec<(String, String)>,
+    /// Durability directory (`--data-dir`); `None` = in-memory only.
+    pub data_dir: Option<String>,
+    /// Seconds between journal checkpoints (`--snapshot-interval`);
+    /// `None` = checkpoint only at shutdown.
+    pub snapshot_interval_secs: Option<u64>,
+}
+
+/// Arguments of `lotus serve recover`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeRecoverArgs {
+    /// The daemon data directory to replay.
+    pub data_dir: String,
+    /// Report only: quarantine nothing, compact nothing.
+    pub dry_run: bool,
+    /// Where to write the recovery report JSON, if anywhere.
+    pub json: Option<String>,
 }
 
 /// Arguments of `lotus query`: target address plus one action.
@@ -614,12 +642,41 @@ pub fn parse(argv: &[&str]) -> Result<Command, ParseError> {
             }))
         }
         "serve" => {
+            let rest: Vec<&str> = it.collect();
+            // `serve recover` is its own verb (offline replay); every
+            // other positional under `serve` stays an error.
+            if rest.first().copied() == Some("recover") {
+                let mut data_dir = None;
+                let mut dry_run = false;
+                let mut json = None;
+                let mut it = rest[1..].iter().copied();
+                while let Some(arg) = it.next() {
+                    match arg {
+                        "--dry-run" => dry_run = true,
+                        "--json" | "-j" => json = Some(take_value(arg, &mut it)?),
+                        _ if data_dir.is_none() && !arg.starts_with('-') => {
+                            data_dir = Some(arg.to_string());
+                        }
+                        _ => return Err(ParseError(format!("unexpected argument '{arg}'"))),
+                    }
+                }
+                let data_dir = data_dir
+                    .ok_or_else(|| ParseError("serve recover: missing data directory".into()))?;
+                return Ok(Command::ServeRecover(ServeRecoverArgs {
+                    data_dir,
+                    dry_run,
+                    json,
+                }));
+            }
             let mut bind = "127.0.0.1".to_string();
             let mut port = 0u16;
             let mut workers = 0usize;
             let mut queue = 0usize;
             let mut mem_budget = None;
             let mut preload = Vec::new();
+            let mut data_dir = None;
+            let mut snapshot_interval_secs = None;
+            let mut it = rest.iter().copied();
             while let Some(arg) = it.next() {
                 match arg {
                     "--bind" | "-b" => bind = take_value(arg, &mut it)?,
@@ -645,6 +702,10 @@ pub fn parse(argv: &[&str]) -> Result<Command, ParseError> {
                         }
                         preload.push((name.to_string(), spec.to_string()));
                     }
+                    "--data-dir" => data_dir = Some(take_value(arg, &mut it)?),
+                    "--snapshot-interval" => {
+                        snapshot_interval_secs = Some(parse_num(arg, &take_value(arg, &mut it)?)?);
+                    }
                     _ => return Err(ParseError(format!("unexpected argument '{arg}'"))),
                 }
             }
@@ -655,6 +716,8 @@ pub fn parse(argv: &[&str]) -> Result<Command, ParseError> {
                 queue,
                 mem_budget,
                 preload,
+                data_dir,
+                snapshot_interval_secs,
             }))
         }
         "query" => {
@@ -1059,6 +1122,8 @@ mod tests {
                 queue: 0,
                 mem_budget: None,
                 preload: vec![],
+                data_dir: None,
+                snapshot_interval_secs: None,
             })
         );
         let c = parse(&[
@@ -1077,6 +1142,10 @@ mod tests {
             "g=rmat:9:8:7",
             "--preload",
             "h=er:128:512:3",
+            "--data-dir",
+            "/tmp/lotus-data",
+            "--snapshot-interval",
+            "30",
         ])
         .unwrap();
         match c {
@@ -1093,13 +1162,39 @@ mod tests {
                         ("h".into(), "er:128:512:3".into())
                     ]
                 );
+                assert_eq!(a.data_dir.as_deref(), Some("/tmp/lotus-data"));
+                assert_eq!(a.snapshot_interval_secs, Some(30));
             }
             _ => panic!("wrong command"),
         }
         assert!(parse(&["serve", "--port", "99999"]).is_err());
         assert!(parse(&["serve", "--preload", "no-equals"]).is_err());
         assert!(parse(&["serve", "--preload", "=spec"]).is_err());
+        assert!(parse(&["serve", "--snapshot-interval", "x"]).is_err());
         assert!(parse(&["serve", "stray"]).is_err());
+    }
+
+    #[test]
+    fn parses_serve_recover() {
+        assert_eq!(
+            parse(&["serve", "recover", "/var/lotus"]).unwrap(),
+            Command::ServeRecover(ServeRecoverArgs {
+                data_dir: "/var/lotus".into(),
+                dry_run: false,
+                json: None,
+            })
+        );
+        assert_eq!(
+            parse(&["serve", "recover", "d", "--dry-run", "--json", "r.json"]).unwrap(),
+            Command::ServeRecover(ServeRecoverArgs {
+                data_dir: "d".into(),
+                dry_run: true,
+                json: Some("r.json".into()),
+            })
+        );
+        assert!(parse(&["serve", "recover"]).is_err());
+        assert!(parse(&["serve", "recover", "a", "b"]).is_err());
+        assert!(parse(&["serve", "recover", "d", "--frob"]).is_err());
     }
 
     #[test]

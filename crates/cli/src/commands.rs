@@ -25,7 +25,7 @@ use lotus_resilience::{isolate, Deadline, MemoryBudget, RunGuard};
 use crate::args::{
     AnalyzeArgs, AnalyzeGraphArgs, AnalyzeLintArgs, AnalyzeRaceArgs, BenchArgs, BenchCompareArgs,
     BenchRunArgs, CheckArgs, ConvertArgs, CountArgs, GenerateArgs, LoadgenCliArgs, QueryAction,
-    QueryArgs, ServeCliArgs,
+    QueryArgs, ServeCliArgs, ServeRecoverArgs,
 };
 
 /// A command failure: user-facing message plus process exit code.
@@ -593,22 +593,63 @@ pub fn convert(args: ConvertArgs) -> Result<String, CliError> {
 pub fn serve(args: ServeCliArgs) -> Result<String, CliError> {
     use std::io::Write as _;
 
+    // Crash-recovery tests arm fault points in the spawned daemon via
+    // LOTUS_FAULT_PLAN; a plain build ignores the variable entirely.
+    #[cfg(feature = "fault-injection")]
+    lotus_resilience::fault::arm_from_env();
+
     let mut config = lotus_serve::ServeConfig {
         bind: args.bind,
         port: args.port,
         workers: args.workers,
         queue_capacity: args.queue,
         preload: args.preload,
+        data_dir: args.data_dir.map(std::path::PathBuf::from),
+        snapshot_interval: args.snapshot_interval_secs.map(Duration::from_secs),
         ..lotus_serve::ServeConfig::default()
     };
     if let Some(budget) = args.mem_budget {
         config.budget = budget;
     }
     let handle = lotus_serve::spawn(config).map_err(|e| CliError::runtime(e.to_string()))?;
+    if let Some(report) = handle.state().recovery_report() {
+        println!(
+            "recovered {} graph(s) in {} ms ({} quarantined)",
+            report.recovered,
+            report.recovery_ms,
+            report.quarantined.len()
+        );
+    }
     println!("listening on {}", handle.addr());
     let _ = std::io::stdout().flush();
     handle.wait();
     Ok("drained".into())
+}
+
+/// `lotus serve recover`: replay a daemon data directory offline and
+/// print the recovery report as JSON — no daemon is started.
+///
+/// With `--dry-run` the pass only reports: nothing is quarantined and
+/// the journal is left untouched. Exit code 1 signals that damage was
+/// found (quarantined files or a torn journal), mirroring the audit
+/// commands' exit-code contract.
+///
+/// # Errors
+/// Returns a [`CliError`] when the data directory cannot be read or the
+/// report cannot be written.
+pub fn serve_recover(args: ServeRecoverArgs) -> Result<String, CliError> {
+    let state = lotus_serve::recover(Path::new(&args.data_dir), args.dry_run)
+        .map_err(|e| CliError::runtime(format!("recovering '{}': {e}", args.data_dir)))?;
+    let rendered = state.report.to_json().pretty();
+    if let Some(path) = &args.json {
+        std::fs::write(path, &rendered)
+            .map_err(|e| CliError::runtime(format!("cannot write '{path}': {e}")))?;
+    }
+    let damaged = !state.report.quarantined.is_empty() || state.report.journal_damage.is_some();
+    if damaged {
+        return Err(CliError::runtime(rendered));
+    }
+    Ok(rendered)
 }
 
 /// `lotus query`: issue one request to a running daemon and print the
@@ -697,7 +738,12 @@ pub fn loadgen(args: LoadgenCliArgs) -> Result<String, CliError> {
     if let Some(deadline_ms) = args.deadline_ms {
         config.deadline_ms = deadline_ms;
     }
+    // Backoff jitter follows the mix seed so two runs retry identically.
+    config.retry = lotus_resilience::RetryPolicy::serve_default(config.seed);
     let report = lotus_serve::loadgen::run(&config).map_err(CliError::runtime)?;
+    // One Stats round-trip fills the durability columns; a daemon
+    // running without --data-dir legitimately reports all zeros.
+    let durability = query_durability_stats(&config.addr, &config.retry);
     let section = lotus_bench::ServeSection {
         suite: suite.clone(),
         graph: config.graph.clone(),
@@ -712,6 +758,12 @@ pub fn loadgen(args: LoadgenCliArgs) -> Result<String, CliError> {
         p99_us: report.percentile_us(99.0),
         throughput_rps: report.throughput_rps(),
         wall_ms: report.wall_ms,
+        retries: report.retries,
+        snapshot_writes: durability.snapshot_writes,
+        journal_appends: durability.journal_appends,
+        journal_replays: durability.journal_replays,
+        quarantined: durability.recovery_quarantined,
+        recovery_ms: durability.recovery_ms,
     };
 
     let mut out = String::new();
@@ -727,8 +779,13 @@ pub fn loadgen(args: LoadgenCliArgs) -> Result<String, CliError> {
     );
     let _ = writeln!(
         out,
-        "latency p50 {} us, p90 {} us, p99 {} us; {:.1} req/s over {} ms",
-        section.p50_us, section.p90_us, section.p99_us, section.throughput_rps, section.wall_ms
+        "latency p50 {} us, p90 {} us, p99 {} us; {:.1} req/s over {} ms ({} retries)",
+        section.p50_us,
+        section.p90_us,
+        section.p99_us,
+        section.throughput_rps,
+        section.wall_ms,
+        section.retries,
     );
     if let Some(path) = &args.json {
         use lotus_telemetry::json::Json;
@@ -748,6 +805,24 @@ pub fn loadgen(args: LoadgenCliArgs) -> Result<String, CliError> {
         return Err(CliError::runtime(format!("no request succeeded\n{out}")));
     }
     Ok(out)
+}
+
+/// Asks the daemon for its durability counters; best-effort — a daemon
+/// that vanished mid-teardown just yields zeros rather than failing the
+/// whole loadgen run (the latency report is already in hand).
+fn query_durability_stats(
+    addr: &str,
+    retry: &lotus_resilience::RetryPolicy,
+) -> lotus_serve::StatsReply {
+    use lotus_serve::{Client, Request, Response};
+
+    let reply = Client::connect_with_retry(addr, retry)
+        .ok()
+        .and_then(|(mut client, _)| client.call(&Request::Stats).ok());
+    match reply {
+        Some(Response::Stats(stats)) => stats,
+        _ => lotus_serve::StatsReply::default(),
+    }
 }
 
 fn save_edges(el: &EdgeList, path: &str) -> Result<(), CliError> {

@@ -12,9 +12,12 @@
 //! * `bench [--suite S] [--json FILE]` — named benchmark suites emitting
 //!   the machine-readable `BENCH.json` artifact; `bench compare` diffs
 //!   two artifacts and fails on regressions (the CI perf gate).
-//! * `serve [--port P] [--preload NAME=SPEC]` — the graph query daemon
-//!   (DESIGN.md §11); `query <addr> <action>` is its one-shot client and
-//!   `loadgen <addr>` the latency-measuring harness.
+//! * `serve [--port P] [--preload NAME=SPEC] [--data-dir DIR]` — the
+//!   graph query daemon (DESIGN.md §11); with `--data-dir` it persists
+//!   registered graphs and recovers them on restart (DESIGN.md §13).
+//!   `serve recover <dir>` replays a data directory offline; `query
+//!   <addr> <action>` is the one-shot client and `loadgen <addr>` the
+//!   latency-measuring harness.
 //!
 //! Graph files are whitespace edge lists (`.txt`, `.el`) or the binary
 //! `.lotg` format; the format is chosen by extension.
@@ -44,6 +47,7 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
         Command::Check(c) => commands::check(c),
         Command::Bench(c) => commands::bench(c),
         Command::Serve(c) => commands::serve(c),
+        Command::ServeRecover(c) => commands::serve_recover(c),
         Command::Query(c) => commands::query(c),
         Command::Loadgen(c) => commands::loadgen(c),
         Command::Help => Ok(args::USAGE.to_string()),

@@ -1,0 +1,221 @@
+//! End-to-end crash durability: `kill -9` a live daemon while it is
+//! inside a snapshot write, restart it on the same data directory, and
+//! assert it quarantines the torn file and serves bit-identical counts
+//! for every graph whose registration was durably acknowledged.
+//!
+//! Requires `--features fault-injection`: the daemon under test is held
+//! mid-write by a `stall` fault armed through `LOTUS_FAULT_PLAN`, which
+//! turns "kill at exactly the wrong instant" into a deterministic test.
+
+#![cfg(feature = "fault-injection")]
+
+use std::io::{BufRead, BufReader};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use lotus_serve::store::{enc_name, snapshot_dir};
+use lotus_serve::{Client, Request, Response};
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("lotus-crash-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Spawns `lotus serve --data-dir <dir>` and returns the child plus the
+/// bound address scraped from its stdout.
+fn spawn_daemon(data_dir: &Path, fault_plan: Option<&str>) -> (Child, String) {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_lotus"));
+    cmd.args([
+        "serve",
+        "--port",
+        "0",
+        "--data-dir",
+        data_dir.to_str().unwrap(),
+    ])
+    .stdout(Stdio::piped())
+    .stderr(Stdio::null());
+    match fault_plan {
+        Some(plan) => cmd.env("LOTUS_FAULT_PLAN", plan),
+        None => cmd.env_remove("LOTUS_FAULT_PLAN"),
+    };
+    let mut child = cmd.spawn().expect("spawn daemon");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut lines = BufReader::new(stdout).lines();
+    let addr = loop {
+        let line = lines
+            .next()
+            .expect("daemon exited before listening")
+            .expect("read stdout");
+        if let Some(addr) = line.strip_prefix("listening on ") {
+            break addr.to_string();
+        }
+    };
+    // Keep draining stdout so the daemon never blocks on a full pipe.
+    std::thread::spawn(move || for _ in lines {});
+    (child, addr)
+}
+
+fn connect(addr: &str) -> Client {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        match Client::connect(addr) {
+            Ok(client) => return client,
+            Err(e) if Instant::now() < deadline => {
+                let _ = e;
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(e) => panic!("connect {addr}: {e}"),
+        }
+    }
+}
+
+fn load(client: &mut Client, name: &str, spec: &str) {
+    match client.call(&Request::LoadGraph {
+        name: name.into(),
+        spec: spec.into(),
+    }) {
+        Ok(Response::Loaded { .. }) => {}
+        other => panic!("LoadGraph {name}: {other:?}"),
+    }
+}
+
+fn count(client: &mut Client, name: &str) -> u64 {
+    match client.call(&Request::Count {
+        name: name.into(),
+        deadline_ms: lotus_serve::proto::NO_DEADLINE,
+    }) {
+        Ok(Response::Count { triangles, .. }) => triangles,
+        other => panic!("Count {name}: {other:?}"),
+    }
+}
+
+#[test]
+fn kill_nine_mid_snapshot_recovers_identical_counts() {
+    let dir = tmp_dir("kill9");
+
+    // Phase 1 — a clean daemon registers two graphs durably and we
+    // record their ground-truth counts.
+    let (mut daemon, addr) = spawn_daemon(&dir, None);
+    let mut client = connect(&addr);
+    load(&mut client, "keep1", "rmat:9:8:7");
+    load(&mut client, "keep2", "er:512:2048:11");
+    let want1 = count(&mut client, "keep1");
+    let want2 = count(&mut client, "keep2");
+    assert!(client.call(&Request::Drain).is_ok());
+    let _ = daemon.wait();
+
+    // Phase 2 — a daemon armed to stall inside the second 4 KiB chunk
+    // of any snapshot write. Registering `victim` wedges mid-write with
+    // a genuinely torn temp file on disk; SIGKILL lands right there.
+    let (mut daemon, addr) = spawn_daemon(&dir, Some("serve.snapshot.write=stall:60000@2"));
+    let addr2 = addr.clone();
+    let loader = std::thread::spawn(move || {
+        let mut client = connect(&addr2);
+        // This call never completes: the worker stalls, then dies.
+        let _ = client.call(&Request::LoadGraph {
+            name: "victim".into(),
+            spec: "rmat:9:8:3".into(),
+        });
+    });
+    let temp = snapshot_dir(&dir).join(format!("{}.lotg.tmp", enc_name("victim")));
+    let deadline = Instant::now() + Duration::from_secs(20);
+    while !temp.exists() {
+        assert!(Instant::now() < deadline, "daemon never reached the write");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    daemon.kill().expect("SIGKILL the daemon");
+    let _ = daemon.wait();
+    let _ = loader.join();
+    assert!(temp.exists(), "the torn temp survives the kill");
+
+    // Phase 3 — restart on the same directory: the torn temp is
+    // quarantined, both durable graphs come back, and their counts are
+    // bit-identical to phase 1.
+    let (mut daemon, addr) = spawn_daemon(&dir, None);
+    let mut client = connect(&addr);
+    assert_eq!(count(&mut client, "keep1"), want1);
+    assert_eq!(count(&mut client, "keep2"), want2);
+    assert!(!temp.exists(), "torn temp was moved aside");
+    assert!(dir.join("quarantine").read_dir().unwrap().next().is_some());
+
+    match client.call(&Request::Stats) {
+        Ok(Response::Stats(stats)) => {
+            // Phase 1's clean shutdown checkpointed the journal, so the
+            // two registrations replay as one Checkpoint record.
+            assert!(stats.journal_replays >= 1, "{stats:?}");
+            assert!(stats.recovery_quarantined >= 1, "{stats:?}");
+            assert!(stats.recovery_ms < 5_000, "{stats:?}");
+        }
+        other => panic!("Stats: {other:?}"),
+    }
+    // `victim` was never durably acknowledged, so the restarted daemon
+    // must not serve it from disk (counting it now rebuilds it fresh).
+    match client.call(&Request::EvictGraph {
+        name: "victim".into(),
+    }) {
+        Ok(Response::Error { .. } | Response::Evicted { .. }) => {}
+        other => panic!("EvictGraph victim: {other:?}"),
+    }
+    assert!(client.call(&Request::Drain).is_ok());
+    let _ = daemon.wait();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn serve_recover_cli_reports_and_heals_offline() {
+    let dir = tmp_dir("cli-recover");
+
+    // Seed one durable graph, then fake a crash artifact by hand.
+    let (mut daemon, addr) = spawn_daemon(&dir, None);
+    let mut client = connect(&addr);
+    load(&mut client, "g", "rmat:8:8:5");
+    assert!(client.call(&Request::Drain).is_ok());
+    let _ = daemon.wait();
+    std::fs::write(
+        snapshot_dir(&dir).join(format!("{}.lotg.tmp", enc_name("torn"))),
+        b"partial bytes",
+    )
+    .unwrap();
+
+    // Dry run reports damage (exit 1) without touching the file.
+    let out = Command::new(env!("CARGO_BIN_EXE_lotus"))
+        .args(["serve", "recover", dir.to_str().unwrap(), "--dry-run"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "damage found => exit 1");
+    assert!(snapshot_dir(&dir)
+        .join(format!("{}.lotg.tmp", enc_name("torn")))
+        .exists());
+
+    // A real pass quarantines it and writes the JSON artifact.
+    let json_path = dir.join("recovery.json");
+    let out = Command::new(env!("CARGO_BIN_EXE_lotus"))
+        .args([
+            "serve",
+            "recover",
+            dir.to_str().unwrap(),
+            "--json",
+            json_path.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "quarantining run reports damage"
+    );
+    let report = std::fs::read_to_string(&json_path).unwrap();
+    assert!(report.contains("\"recovered\": 1"), "{report}");
+    assert!(report.contains("torn temp"), "{report}");
+
+    // Healed: the next pass is clean and exits 0.
+    let out = Command::new(env!("CARGO_BIN_EXE_lotus"))
+        .args(["serve", "recover", dir.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let _ = std::fs::remove_dir_all(&dir);
+}

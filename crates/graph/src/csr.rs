@@ -343,6 +343,20 @@ impl UndirectedCsr {
         self.csr.topology_bytes()
     }
 
+    /// Extracts the canonical edge list (`u < v`, sorted) this graph was
+    /// built from. `from_canonical_edges(&g.to_canonical_edges())`
+    /// reproduces `g` bit-for-bit, which is what makes a serialized
+    /// snapshot of a resident graph trustworthy.
+    pub fn to_canonical_edges(&self) -> EdgeList {
+        let mut pairs = Vec::with_capacity(self.num_edges as usize);
+        for v in 0..self.num_vertices() {
+            for &w in self.upper_neighbors(v) {
+                pairs.push((v, w));
+            }
+        }
+        EdgeList::from_pairs_with_vertices(pairs, self.num_vertices())
+    }
+
     /// Degree array of all vertices.
     pub fn degrees(&self) -> Vec<u32> {
         (0..self.num_vertices()).map(|v| self.degree(v)).collect()
@@ -358,6 +372,15 @@ mod tests {
         let mut el = EdgeList::from_pairs(vec![(0, 1), (1, 2), (0, 2), (2, 3)]);
         el.canonicalize();
         UndirectedCsr::from_canonical_edges(&el)
+    }
+
+    #[test]
+    fn canonical_edges_round_trip() {
+        let g = triangle_plus_tail();
+        let el = g.to_canonical_edges();
+        assert!(el.is_canonical());
+        assert_eq!(el.len() as u64, g.num_edges());
+        assert_eq!(UndirectedCsr::from_canonical_edges(&el), g);
     }
 
     #[test]

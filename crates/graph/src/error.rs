@@ -29,6 +29,16 @@ pub enum GraphError {
     },
     /// A binary graph file has an invalid header or truncated payload.
     Format(String),
+    /// The input ended before a complete record could be read — a torn
+    /// or truncated stream. Distinct from [`GraphError::Io`] so recovery
+    /// code can treat a short file as quarantinable damage rather than a
+    /// transient I/O failure.
+    Truncated {
+        /// Which section of the format the reader was mid-way through.
+        section: &'static str,
+        /// Bytes the section still needed when the stream ended.
+        needed: usize,
+    },
     /// Underlying I/O failure.
     Io(io::Error),
 }
@@ -52,6 +62,10 @@ impl fmt::Display for GraphError {
                 write!(f, "parse error on line {line}: {message}")
             }
             GraphError::Format(msg) => write!(f, "invalid graph file: {msg}"),
+            GraphError::Truncated { section, needed } => write!(
+                f,
+                "truncated input: stream ended {needed} byte(s) short while reading {section}"
+            ),
             GraphError::Io(e) => write!(f, "I/O error: {e}"),
         }
     }

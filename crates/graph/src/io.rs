@@ -18,7 +18,10 @@
 //!
 //! All readers treat their input as untrusted: header counts never drive
 //! unbounded allocations (reservations are capped at
-//! [`MAX_PREALLOC_BYTES`]), a corrupt version-2 payload fails the CRC
+//! [`MAX_PREALLOC_BYTES`]), every record is read through a take-limited
+//! helper that maps EOF-mid-record to the typed
+//! [`GraphError::Truncated`] (a torn snapshot is *damage*, not a
+//! transient I/O failure), a corrupt version-2 payload fails the CRC
 //! check with [`GraphError::Format`], and the fault points
 //! `io.read_binary.header`, `io.read_binary.payload` and
 //! `io.read_text.line` let the fault-injection harness prove every error
@@ -229,34 +232,69 @@ pub fn write_binary_v1<W: Write>(el: &EdgeList, writer: W) -> Result<(), GraphEr
     Ok(())
 }
 
+/// `read_exact` with the EOF case mapped to the typed
+/// [`GraphError::Truncated`]: a short stream is *damage* (torn write,
+/// truncated snapshot), not a transient I/O failure, and recovery code
+/// needs to tell the two apart. The read is take-limited to the exact
+/// record size, so a hostile length can never drive an oversized read.
+fn read_exact_or_truncated<R: Read>(
+    r: &mut R,
+    buf: &mut [u8],
+    section: &'static str,
+) -> Result<(), GraphError> {
+    let mut limited = r.take(buf.len() as u64);
+    let mut filled = 0usize;
+    while filled < buf.len() {
+        match limited.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Err(GraphError::Truncated {
+                    section,
+                    needed: buf.len() - filled,
+                })
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => {
+                return Err(GraphError::Truncated {
+                    section,
+                    needed: buf.len() - filled,
+                })
+            }
+            Err(e) => return Err(GraphError::Io(e)),
+        }
+    }
+    Ok(())
+}
+
 /// Reads the canonical binary format (versions 1 and 2; version 2
 /// verifies the CRC32 trailer).
 ///
 /// # Errors
 /// Returns a [`GraphError`] on I/O failure, a bad magic or version,
-/// an out-of-range vertex, or a checksum mismatch.
+/// an out-of-range vertex, or a checksum mismatch;
+/// [`GraphError::Truncated`] when the stream ends mid-record.
 pub fn read_binary<R: Read>(reader: R) -> Result<EdgeList, GraphError> {
     let mut r = BufReader::new(reader);
     let mut digest = Crc32::new();
     fault_point!("io.read_binary.header")?;
     let mut magic = [0u8; 4];
-    r.read_exact(&mut magic)?;
+    read_exact_or_truncated(&mut r, &mut magic, "magic")?;
     digest.update(&magic);
     if &magic != MAGIC {
         return Err(GraphError::Format("bad magic".into()));
     }
     let mut buf4 = [0u8; 4];
-    r.read_exact(&mut buf4)?;
+    read_exact_or_truncated(&mut r, &mut buf4, "version")?;
     digest.update(&buf4);
     let version = u32::from_le_bytes(buf4);
     if version != VERSION_V1 && version != VERSION {
         return Err(GraphError::Format(format!("unsupported version {version}")));
     }
-    r.read_exact(&mut buf4)?;
+    read_exact_or_truncated(&mut r, &mut buf4, "num_vertices")?;
     digest.update(&buf4);
     let num_vertices = u32::from_le_bytes(buf4);
     let mut buf8 = [0u8; 8];
-    r.read_exact(&mut buf8)?;
+    read_exact_or_truncated(&mut r, &mut buf8, "num_edges")?;
     digest.update(&buf8);
     let num_edges = u64::from_le_bytes(buf8) as usize;
     // The header is untrusted: cap the reservation so a corrupt edge
@@ -266,7 +304,7 @@ pub fn read_binary<R: Read>(reader: R) -> Result<EdgeList, GraphError> {
     let mut buf_edge = [0u8; 8];
     for _ in 0..num_edges {
         fault_point!("io.read_binary.payload")?;
-        r.read_exact(&mut buf_edge)?;
+        read_exact_or_truncated(&mut r, &mut buf_edge, "edge payload")?;
         digest.update(&buf_edge);
         let u = u32::from_le_bytes([buf_edge[0], buf_edge[1], buf_edge[2], buf_edge[3]]);
         let v = u32::from_le_bytes([buf_edge[4], buf_edge[5], buf_edge[6], buf_edge[7]]);
@@ -280,7 +318,7 @@ pub fn read_binary<R: Read>(reader: R) -> Result<EdgeList, GraphError> {
     }
     if version == VERSION {
         let mut trailer = [0u8; 4];
-        r.read_exact(&mut trailer)?;
+        read_exact_or_truncated(&mut r, &mut trailer, "crc trailer")?;
         let stored = u32::from_le_bytes(trailer);
         let computed = digest.finalize();
         if stored != computed {
@@ -451,7 +489,29 @@ mod tests {
         let mut buf = Vec::new();
         write_binary(&el, &mut buf).unwrap();
         buf.truncate(buf.len() - 3);
-        assert!(read_binary(&buf[..]).is_err());
+        let err = read_binary(&buf[..]).unwrap_err();
+        assert!(matches!(err, GraphError::Truncated { .. }), "{err:?}");
+    }
+
+    /// Byte-boundary truncation fuzz: every proper prefix of a valid v2
+    /// file must fail with the typed `Truncated` error — never a panic,
+    /// never a silent success, never an untyped I/O error.
+    #[test]
+    fn every_truncation_boundary_fails_typed() {
+        let el = EdgeList::from_pairs((0..40u32).map(|i| (i, i + 1)).collect()).canonicalized();
+        let mut buf = Vec::new();
+        write_binary(&el, &mut buf).unwrap();
+        assert!(read_binary(&buf[..]).is_ok(), "whole file loads");
+        for cut in 0..buf.len() {
+            let result = read_binary(&buf[..cut]);
+            let Err(err) = result else {
+                panic!("prefix of {cut} bytes must not load")
+            };
+            assert!(
+                matches!(err, GraphError::Truncated { .. }),
+                "cut {cut}: {err:?}"
+            );
+        }
     }
 
     #[test]
@@ -479,7 +539,7 @@ mod tests {
         buf.extend_from_slice(&100u32.to_le_bytes());
         buf.extend_from_slice(&u64::MAX.to_le_bytes());
         let err = read_binary(&buf[..]).unwrap_err();
-        assert!(matches!(err, GraphError::Io(_)), "{err:?}");
+        assert!(matches!(err, GraphError::Truncated { .. }), "{err:?}");
     }
 
     #[test]

@@ -30,6 +30,10 @@ pub const POINTS: &[&str] = &[
     "core.phase.hnn",
     "core.phase.nnn",
     "algos.forward.count",
+    "serve.snapshot.write",
+    "serve.snapshot.fsync",
+    "serve.snapshot.rename",
+    "serve.journal.append",
 ];
 
 /// What an armed fault injects when it triggers.
@@ -42,6 +46,10 @@ pub enum FaultKind {
     ShortRead,
     /// A panic, exercising the `catch_unwind` isolation layer.
     Panic,
+    /// A delay of the given milliseconds, then success. Used by the
+    /// crash-recovery harness to hold a daemon *inside* a write long
+    /// enough for an external `kill -9` to land mid-operation.
+    Stall(u64),
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -120,16 +128,71 @@ pub fn fire(point: &'static str) -> Result<(), io::Error> {
             format!("injected short read at fault point '{point}'"),
         )),
         Some(FaultKind::Panic) => trigger_panic(point),
+        Some(FaultKind::Stall(ms)) => {
+            std::thread::sleep(std::time::Duration::from_millis(ms));
+            Ok(())
+        }
     }
 }
 
-/// Fires `point` at an infallible call site: *any* armed fault kind that
-/// is due panics (the surrounding phase is expected to run under
-/// [`crate::isolate`]).
+/// Fires `point` at an infallible call site: any armed error/panic fault
+/// that is due panics (the surrounding phase is expected to run under
+/// [`crate::isolate`]); an armed [`FaultKind::Stall`] sleeps and
+/// continues.
 pub fn fire_panic(point: &'static str) {
-    if record_hit(point).is_some() {
-        trigger_panic(point);
+    match record_hit(point) {
+        None => {}
+        Some(FaultKind::Stall(ms)) => {
+            std::thread::sleep(std::time::Duration::from_millis(ms));
+        }
+        Some(_) => trigger_panic(point),
     }
+}
+
+/// Arms fault points from the `LOTUS_FAULT_PLAN` environment variable,
+/// so an externally launched process (the crash-recovery CI harness
+/// kills a live daemon mid-snapshot) can be armed without code changes.
+///
+/// Grammar: `point=kind[:arg][@nth]` entries separated by `;`.
+/// Kinds: `io`, `short`, `panic`, `stall:<ms>`. `@nth` defaults to 1.
+/// Example: `serve.snapshot.write=stall:3000@1;serve.journal.append=io`.
+///
+/// Returns how many entries were armed; malformed entries are skipped
+/// (an armed-from-env process must never fail to start because of a
+/// typo in a test harness).
+pub fn arm_from_env() -> usize {
+    let Ok(plan) = std::env::var("LOTUS_FAULT_PLAN") else {
+        return 0;
+    };
+    let mut armed = 0;
+    for entry in plan.split(';').filter(|e| !e.trim().is_empty()) {
+        let Some((point, rest)) = entry.trim().split_once('=') else {
+            continue;
+        };
+        let (kind_str, nth) = match rest.split_once('@') {
+            Some((k, n)) => match n.parse::<u64>() {
+                Ok(n) if n >= 1 => (k, n),
+                _ => continue,
+            },
+            None => (rest, 1),
+        };
+        let kind = match kind_str.split_once(':') {
+            Some(("stall", ms)) => match ms.parse::<u64>() {
+                Ok(ms) => FaultKind::Stall(ms),
+                Err(_) => continue,
+            },
+            None => match kind_str {
+                "io" => FaultKind::IoError,
+                "short" => FaultKind::ShortRead,
+                "panic" => FaultKind::Panic,
+                _ => continue,
+            },
+            Some(_) => continue,
+        };
+        arm(point, kind, nth);
+        armed += 1;
+    }
+    armed
 }
 
 fn trigger_panic(point: &str) -> ! {
@@ -268,6 +331,52 @@ mod tests {
         }];
         arm_plan(&plan);
         assert!(fire("p.planned").is_err());
+        reset();
+    }
+
+    #[test]
+    fn stall_faults_delay_then_succeed() {
+        let _guard = locked();
+        reset();
+        arm("p.stall", FaultKind::Stall(30), 1);
+        let start = std::time::Instant::now();
+        assert!(fire("p.stall").is_ok());
+        assert!(start.elapsed() >= std::time::Duration::from_millis(25));
+        // Infallible sites also just delay, never panic.
+        let caught = crate::isolate(|| fire_panic("p.stall"));
+        assert!(caught.is_ok());
+        reset();
+    }
+
+    #[test]
+    fn env_plan_grammar_arms_points() {
+        let _guard = locked();
+        reset();
+        // Serialized by the shared lock; the variable is process-global,
+        // so set + parse + remove inside one critical section.
+        std::env::set_var(
+            "LOTUS_FAULT_PLAN",
+            "p.env.io=io;p.env.stall=stall:1@2;bogus;p.env.bad=nope;p.env.short=short@3",
+        );
+        let armed = arm_from_env();
+        std::env::remove_var("LOTUS_FAULT_PLAN");
+        assert_eq!(armed, 3, "two malformed entries skipped");
+        assert!(fire("p.env.io").is_err());
+        assert!(fire("p.env.stall").is_ok()); // hit 1 < nth 2
+        assert!(fire("p.env.stall").is_ok()); // stall fires: delays, Ok
+        assert!(fire("p.env.short").is_ok());
+        assert!(fire("p.env.short").is_ok());
+        let err = fire("p.env.short").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+        reset();
+    }
+
+    #[test]
+    fn env_plan_absent_is_a_noop() {
+        let _guard = locked();
+        reset();
+        std::env::remove_var("LOTUS_FAULT_PLAN");
+        assert_eq!(arm_from_env(), 0);
         reset();
     }
 

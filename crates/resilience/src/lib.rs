@@ -26,10 +26,12 @@ pub mod cancel;
 #[cfg(feature = "fault-injection")]
 pub mod fault;
 pub mod isolate;
+pub mod retry;
 
 pub use budget::MemoryBudget;
 pub use cancel::{CancelToken, Deadline, RunGuard, StopReason};
 pub use isolate::{isolate, PanicCaught};
+pub use retry::{is_transient_io, RetryPolicy};
 
 /// Declares a named fault point.
 ///

@@ -1,0 +1,231 @@
+//! Capped exponential backoff with deterministic seeded jitter.
+//!
+//! Serving-layer clients retry two transient conditions: an
+//! `Overloaded` admission-control rejection (the daemon answered; the
+//! connection is fine) and a transient connect failure (refused/reset
+//! while a daemon restarts). The delay schedule is fully determined by
+//! `(policy, seed, attempt)`, so a load-generator run that retried is
+//! reproducible from its seed alone — the same property the
+//! fault-injection plans have.
+
+use std::io;
+use std::time::Duration;
+
+/// A bounded retry schedule: up to `max_attempts` tries with capped
+/// exponential backoff and seeded jitter between them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (`1` = no retries).
+    pub max_attempts: u32,
+    /// Backoff base: the full delay before the first retry.
+    pub base_delay_ms: u64,
+    /// Ceiling the exponential doubling saturates at.
+    pub max_delay_ms: u64,
+    /// Jitter seed; the same seed yields the same delay sequence.
+    pub seed: u64,
+}
+
+impl RetryPolicy {
+    /// A single attempt, no retries, no delays.
+    #[must_use]
+    pub fn no_retry() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 1,
+            base_delay_ms: 0,
+            max_delay_ms: 0,
+            seed: 0,
+        }
+    }
+
+    /// The serving-layer default: 3 extra attempts, 2 ms base doubling
+    /// to a 50 ms cap.
+    #[must_use]
+    pub fn serve_default(seed: u64) -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 4,
+            base_delay_ms: 2,
+            max_delay_ms: 50,
+            seed,
+        }
+    }
+
+    /// Whether a failed attempt number (1-based) has retries left.
+    #[must_use]
+    pub fn should_retry(&self, attempt: u32) -> bool {
+        attempt < self.max_attempts
+    }
+
+    /// The delay before retry number `attempt` (1-based: the delay after
+    /// the first failed attempt is `delay_for(1)`): `base · 2^(attempt-1)`
+    /// capped at `max_delay_ms`, then jittered into the upper half of the
+    /// interval (`[delay/2, delay]`) by a SplitMix64 draw on
+    /// `(seed, attempt)`. Deterministic: same policy, same sequence.
+    #[must_use]
+    pub fn delay_for(&self, attempt: u32) -> Duration {
+        if self.base_delay_ms == 0 {
+            return Duration::ZERO;
+        }
+        let exp = attempt.saturating_sub(1).min(20);
+        let uncapped = self.base_delay_ms.saturating_mul(1u64 << exp);
+        let capped = uncapped.min(self.max_delay_ms.max(self.base_delay_ms));
+        let jitter_span = capped / 2;
+        let jitter = if jitter_span == 0 {
+            0
+        } else {
+            splitmix64(self.seed ^ u64::from(attempt).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+                % (jitter_span + 1)
+        };
+        Duration::from_millis(capped - jitter)
+    }
+}
+
+/// Whether an I/O error is worth retrying: connection-level failures
+/// that a daemon restart or a drained accept queue explain. Data-level
+/// errors (corrupt frames, protocol violations) are never transient.
+#[must_use]
+pub fn is_transient_io(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::ConnectionRefused
+            | io::ErrorKind::ConnectionReset
+            | io::ErrorKind::ConnectionAborted
+            | io::ErrorKind::TimedOut
+            | io::ErrorKind::Interrupted
+            | io::ErrorKind::WouldBlock
+    )
+}
+
+/// Runs `op` under the policy, sleeping the schedule's delay between
+/// attempts, retrying only errors `is_transient` accepts. Returns the
+/// first success or the last error, plus how many retries were spent.
+///
+/// # Errors
+/// Returns the final attempt's error when every attempt failed or a
+/// non-transient error as soon as it appears.
+pub fn retry<T, E>(
+    policy: &RetryPolicy,
+    mut is_transient: impl FnMut(&E) -> bool,
+    mut op: impl FnMut() -> Result<T, E>,
+) -> (Result<T, E>, u32) {
+    let mut retries = 0;
+    loop {
+        let attempt = retries + 1;
+        match op() {
+            Ok(value) => return (Ok(value), retries),
+            Err(e) if policy.should_retry(attempt) && is_transient(&e) => {
+                std::thread::sleep(policy.delay_for(attempt));
+                retries += 1;
+            }
+            Err(e) => return (Err(e), retries),
+        }
+    }
+}
+
+fn splitmix64(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell;
+
+    #[test]
+    fn delays_are_deterministic_capped_and_seed_sensitive() {
+        let policy = RetryPolicy::serve_default(7);
+        let seq: Vec<u64> = (1..=6)
+            .map(|a| policy.delay_for(a).as_millis() as u64)
+            .collect();
+        let again: Vec<u64> = (1..=6)
+            .map(|a| policy.delay_for(a).as_millis() as u64)
+            .collect();
+        assert_eq!(seq, again, "same policy, same schedule");
+        for (i, &d) in seq.iter().enumerate() {
+            let attempt = i as u32 + 1;
+            let cap = policy
+                .base_delay_ms
+                .saturating_mul(1 << i.min(20))
+                .min(policy.max_delay_ms);
+            assert!(d <= cap, "attempt {attempt}: {d} > cap {cap}");
+            assert!(d >= cap / 2, "attempt {attempt}: {d} below jitter floor");
+        }
+        let other = RetryPolicy::serve_default(8);
+        assert!(
+            (1..=6).any(|a| other.delay_for(a) != policy.delay_for(a)),
+            "different seeds must jitter differently"
+        );
+    }
+
+    #[test]
+    fn no_retry_never_sleeps() {
+        let policy = RetryPolicy::no_retry();
+        assert!(!policy.should_retry(1));
+        assert_eq!(policy.delay_for(1), Duration::ZERO);
+    }
+
+    #[test]
+    fn retry_spends_attempts_only_on_transient_errors() {
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            base_delay_ms: 1,
+            max_delay_ms: 2,
+            seed: 1,
+        };
+        // Transient failures until the last attempt succeeds.
+        let calls = Cell::new(0u32);
+        let (result, retries) = retry(
+            &policy,
+            |_: &&str| true,
+            || {
+                calls.set(calls.get() + 1);
+                if calls.get() < 3 {
+                    Err("transient")
+                } else {
+                    Ok(calls.get())
+                }
+            },
+        );
+        assert_eq!(result, Ok(3));
+        assert_eq!(retries, 2);
+
+        // A non-transient error short-circuits at once.
+        let calls = Cell::new(0u32);
+        let (result, retries) = retry(
+            &policy,
+            |_: &&str| false,
+            || -> Result<(), &str> {
+                calls.set(calls.get() + 1);
+                Err("fatal")
+            },
+        );
+        assert_eq!(result, Err("fatal"));
+        assert_eq!(retries, 0);
+        assert_eq!(calls.get(), 1);
+
+        // Exhausted transient retries surface the last error.
+        let (result, retries) = retry(
+            &policy,
+            |_: &&str| true,
+            || -> Result<(), &str> { Err("still down") },
+        );
+        assert_eq!(result, Err("still down"));
+        assert_eq!(retries, 2);
+    }
+
+    #[test]
+    fn transient_classification() {
+        assert!(is_transient_io(&io::Error::from(
+            io::ErrorKind::ConnectionRefused
+        )));
+        assert!(is_transient_io(&io::Error::from(
+            io::ErrorKind::ConnectionReset
+        )));
+        assert!(!is_transient_io(&io::Error::other("corrupt frame")));
+        assert!(!is_transient_io(&io::Error::from(
+            io::ErrorKind::UnexpectedEof
+        )));
+    }
+}

@@ -23,14 +23,20 @@
 //! deadlines, and isolated worker panics. See DESIGN.md §11.
 
 pub mod client;
+pub mod journal;
 pub mod loadgen;
 pub mod pool;
 pub mod proto;
+pub mod recovery;
 pub mod registry;
 pub mod server;
+pub mod store;
 
 pub use client::Client;
+pub use journal::{Journal, JournalRecord};
 pub use loadgen::{LoadgenConfig, LoadgenReport};
 pub use proto::{ErrorKind, ProtoError, Request, Response, StatsReply};
+pub use recovery::{recover, RecoveredState, RecoveryReport};
 pub use registry::{GraphSpec, PreparedGraph, Registry, RegistryError};
 pub use server::{spawn, ServeConfig, ServeError, ServeStats, ServerHandle, ServerState};
+pub use store::{DurableStore, StoreError};

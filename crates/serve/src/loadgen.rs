@@ -9,6 +9,7 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use lotus_resilience::RetryPolicy;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -34,6 +35,10 @@ pub struct LoadgenConfig {
     /// Deadline attached to every counting request ([`NO_DEADLINE`] for
     /// none).
     pub deadline_ms: u64,
+    /// Retry schedule for `Overloaded` rejections and transient connect
+    /// failures. Every retried attempt's latency is still recorded and
+    /// retries are counted separately, so percentiles stay honest.
+    pub retry: RetryPolicy,
 }
 
 impl LoadgenConfig {
@@ -48,6 +53,7 @@ impl LoadgenConfig {
             seed: 42,
             graph: "rmat:9:8:7".to_string(),
             deadline_ms: NO_DEADLINE,
+            retry: RetryPolicy::serve_default(42),
         }
     }
 }
@@ -67,7 +73,11 @@ pub struct LoadgenReport {
     pub deadline_expired: u64,
     /// Any other error response.
     pub errors: u64,
-    /// Per-request latencies in microseconds, sorted ascending.
+    /// Retried attempts (overload backoff / reconnects) — *not* counted
+    /// in `sent`, but their latencies are in `latencies_us`.
+    pub retries: u64,
+    /// Per-attempt latencies in microseconds, sorted ascending (retried
+    /// attempts included).
     pub latencies_us: Vec<u64>,
     /// Wall time of the whole run in milliseconds.
     pub wall_ms: u64,
@@ -103,7 +113,9 @@ impl LoadgenReport {
 /// *measurements* (counted in the report), not errors.
 pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport, String> {
     // Warm the registry so the measured stream hits a resident graph.
-    let mut admin = Client::connect(config.addr.as_str())
+    // A daemon mid-restart answers after a short backoff instead of
+    // failing the whole run.
+    let (mut admin, _retries) = Client::connect_with_retry(config.addr.as_str(), &config.retry)
         .map_err(|e| format!("connecting to {}: {e}", config.addr))?;
     let loaded = admin
         .call(&Request::LoadGraph {
@@ -145,6 +157,7 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport, String> {
                 report.overloaded += partial.overloaded;
                 report.deadline_expired += partial.deadline_expired;
                 report.errors += partial.errors;
+                report.retries += partial.retries;
                 report.latencies_us.extend(partial.latencies_us);
             }
             Ok(Err(msg)) => connect_failures.push(msg),
@@ -165,8 +178,14 @@ fn drive_connection(
     index: u64,
     vertices: u32,
 ) -> Result<LoadgenReport, String> {
-    let mut client =
-        Client::connect(config.addr.as_str()).map_err(|e| format!("connection {index}: {e}"))?;
+    // Each connection derives its own jitter seed so backoff delays
+    // stay deterministic per (seed, connection) yet decorrelated.
+    let retry = RetryPolicy {
+        seed: config.retry.seed.wrapping_add(index),
+        ..config.retry
+    };
+    let (mut client, connect_retries) = Client::connect_with_retry(config.addr.as_str(), &retry)
+        .map_err(|e| format!("connection {index}: {e}"))?;
     client
         .set_timeout(Some(Duration::from_secs(60)))
         .map_err(|e| format!("connection {index}: {e}"))?;
@@ -176,28 +195,53 @@ fn drive_connection(
             .wrapping_mul(0x9E37_79B9_7F4A_7C15)
             .wrapping_add(index),
     );
-    let mut report = LoadgenReport::default();
+    let mut report = LoadgenReport {
+        retries: u64::from(connect_retries),
+        ..LoadgenReport::default()
+    };
     for _ in 0..config.requests {
         let request = pick_request(&mut rng, config, vertices);
-        let sent_at = Instant::now();
-        let response = match client.call(&request) {
-            Ok(response) => response,
-            Err(e) => {
-                // Transport damage mid-run: count it and stop this
-                // connection; the others keep measuring.
-                report.errors += 1;
-                report.sent += 1;
-                return if report.sent > 1 {
-                    Ok(report)
-                } else {
-                    Err(format!("connection {index}: {e}"))
-                };
+        // Overload backoff loop: every attempt's latency is measured
+        // (so p99 reflects what a caller actually waited through), each
+        // retry is counted separately, and the request's final outcome
+        // is classified exactly once below.
+        let mut attempt = 0u32;
+        let response = loop {
+            attempt += 1;
+            let sent_at = Instant::now();
+            match client.call(&request) {
+                Ok(response) => {
+                    report
+                        .latencies_us
+                        .push(sent_at.elapsed().as_micros() as u64);
+                    let overloaded = matches!(
+                        response,
+                        Response::Error {
+                            kind: ErrorKind::Overloaded,
+                            ..
+                        }
+                    );
+                    if overloaded && retry.should_retry(attempt) {
+                        report.retries += 1;
+                        std::thread::sleep(retry.delay_for(attempt));
+                        continue;
+                    }
+                    break response;
+                }
+                Err(e) => {
+                    // Transport damage mid-run: count it and stop this
+                    // connection; the others keep measuring.
+                    report.errors += 1;
+                    report.sent += 1;
+                    return if report.sent > 1 {
+                        Ok(report)
+                    } else {
+                        Err(format!("connection {index}: {e}"))
+                    };
+                }
             }
         };
         report.sent += 1;
-        report
-            .latencies_us
-            .push(sent_at.elapsed().as_micros() as u64);
         match response {
             Response::Error { kind, .. } => match kind {
                 ErrorKind::Overloaded => report.overloaded += 1,

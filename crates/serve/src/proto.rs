@@ -119,10 +119,13 @@ pub enum ErrorKind {
     WorkerPanic,
     /// The daemon is draining and no longer accepts work.
     ShuttingDown,
+    /// The request succeeded in memory but its durability step
+    /// (snapshot or journal) failed — the result is not crash-safe.
+    DurabilityFailed,
 }
 
 impl ErrorKind {
-    const ALL: [ErrorKind; 8] = [
+    const ALL: [ErrorKind; 9] = [
         ErrorKind::Protocol,
         ErrorKind::BadRequest,
         ErrorKind::NotFound,
@@ -131,6 +134,7 @@ impl ErrorKind {
         ErrorKind::Cancelled,
         ErrorKind::WorkerPanic,
         ErrorKind::ShuttingDown,
+        ErrorKind::DurabilityFailed,
     ];
 
     /// Stable snake_case name (the `"error"` field of the JSON form).
@@ -145,6 +149,7 @@ impl ErrorKind {
             ErrorKind::Cancelled => "cancelled",
             ErrorKind::WorkerPanic => "worker_panic",
             ErrorKind::ShuttingDown => "shutting_down",
+            ErrorKind::DurabilityFailed => "durability_failed",
         }
     }
 
@@ -243,6 +248,16 @@ pub struct StatsReply {
     pub workers: u32,
     /// Capacity of the bounded request queue.
     pub queue_capacity: u32,
+    /// Graph snapshots durably written (0 without a data dir).
+    pub snapshot_writes: u64,
+    /// Manifest journal records appended and synced.
+    pub journal_appends: u64,
+    /// Journal records replayed by startup recovery.
+    pub journal_replays: u64,
+    /// Files quarantined by startup recovery.
+    pub recovery_quarantined: u64,
+    /// Milliseconds the startup recovery pass took.
+    pub recovery_ms: u64,
 }
 
 /// A server response.
@@ -341,6 +356,23 @@ impl Response {
                     "queue_capacity".into(),
                     Json::Int(i64::from(s.queue_capacity)),
                 ),
+                (
+                    "snapshot_writes".into(),
+                    Json::Int(s.snapshot_writes as i64),
+                ),
+                (
+                    "journal_appends".into(),
+                    Json::Int(s.journal_appends as i64),
+                ),
+                (
+                    "journal_replays".into(),
+                    Json::Int(s.journal_replays as i64),
+                ),
+                (
+                    "recovery_quarantined".into(),
+                    Json::Int(s.recovery_quarantined as i64),
+                ),
+                ("recovery_ms".into(), Json::Int(s.recovery_ms as i64)),
             ]),
             Response::Count {
                 triangles,
@@ -628,6 +660,11 @@ impl Response {
                 buf.extend_from_slice(&s.panics.to_le_bytes());
                 buf.extend_from_slice(&s.workers.to_le_bytes());
                 buf.extend_from_slice(&s.queue_capacity.to_le_bytes());
+                buf.extend_from_slice(&s.snapshot_writes.to_le_bytes());
+                buf.extend_from_slice(&s.journal_appends.to_le_bytes());
+                buf.extend_from_slice(&s.journal_replays.to_le_bytes());
+                buf.extend_from_slice(&s.recovery_quarantined.to_le_bytes());
+                buf.extend_from_slice(&s.recovery_ms.to_le_bytes());
             }
             Response::Count {
                 triangles,
@@ -715,6 +752,11 @@ impl Response {
                 panics: d.u64()?,
                 workers: d.u32()?,
                 queue_capacity: d.u32()?,
+                snapshot_writes: d.u64()?,
+                journal_appends: d.u64()?,
+                journal_replays: d.u64()?,
+                recovery_quarantined: d.u64()?,
+                recovery_ms: d.u64()?,
             }),
             2 => Response::Count {
                 triangles: d.u64()?,
@@ -958,6 +1000,11 @@ mod tests {
                 panics: 0,
                 workers: 4,
                 queue_capacity: 64,
+                snapshot_writes: 6,
+                journal_appends: 8,
+                journal_replays: 5,
+                recovery_quarantined: 1,
+                recovery_ms: 17,
             }),
             Response::Count {
                 triangles: 123_456,

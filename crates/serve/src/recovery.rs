@@ -1,0 +1,339 @@
+//! Startup recovery: rebuild the durable registry state from disk.
+//!
+//! Recovery replays the manifest journal to the last synced record,
+//! then verifies every snapshot the folded state references — full
+//! CRC-checked `lotus_graph::io::load_binary` reads, not just header
+//! sniffs. Damage never aborts startup: a torn or corrupt snapshot is
+//! *quarantined* (renamed into `<data_dir>/quarantine/`, logged in the
+//! report) and its graph dropped from the recovered set; a torn journal
+//! tail is discarded by compaction; leftover `*.tmp` files from a crash
+//! before rename are quarantined too. The daemon then serves exactly
+//! the graphs whose registration was durably acknowledged — bit-identical
+//! counts, because snapshots store the canonical edge list and
+//! preprocessing is deterministic. See DESIGN.md §13.
+
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use lotus_graph::io::load_binary;
+use lotus_graph::EdgeList;
+use lotus_telemetry::json::Json;
+
+use crate::journal::{self, JournalReadout};
+use crate::store::{dec_name, snapshot_dir, SNAPSHOT_SUFFIX, TEMP_SUFFIX};
+
+/// One graph recovered from its snapshot, ready to prepare and serve.
+#[derive(Debug)]
+pub struct RecoveredGraph {
+    /// Registry key.
+    pub name: String,
+    /// Source spec recorded at registration time.
+    pub spec: String,
+    /// The CRC-verified canonical edge list from the snapshot.
+    pub edges: EdgeList,
+}
+
+/// A damaged file set aside during recovery.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Quarantined {
+    /// File name (relative to the data dir) that was damaged.
+    pub file: String,
+    /// Human-readable reason (truncated, crc mismatch, orphan temp...).
+    pub reason: String,
+}
+
+/// What recovery did, for logs, `Stats`, and `BENCH.json`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Graphs whose snapshots verified and were reloaded.
+    pub recovered: u64,
+    /// Files set aside (or journal entries dropped) as damaged.
+    pub quarantined: Vec<Quarantined>,
+    /// Intact journal records replayed.
+    pub journal_records: u64,
+    /// Journal damage (torn tail / corruption), if any was found.
+    pub journal_damage: Option<String>,
+    /// Wall-clock milliseconds the whole recovery pass took.
+    pub recovery_ms: u64,
+}
+
+impl RecoveryReport {
+    /// The report as a JSON object (the `recovery.json` artifact and
+    /// the `lotus serve recover` output).
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            (
+                "recovered".into(),
+                Json::Int(i64::try_from(self.recovered).unwrap_or(i64::MAX)),
+            ),
+            (
+                "quarantined".into(),
+                Json::Arr(
+                    self.quarantined
+                        .iter()
+                        .map(|q| {
+                            Json::Obj(vec![
+                                ("file".into(), Json::Str(q.file.clone())),
+                                ("reason".into(), Json::Str(q.reason.clone())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "journal_records".into(),
+                Json::Int(i64::try_from(self.journal_records).unwrap_or(i64::MAX)),
+            ),
+            (
+                "journal_damage".into(),
+                self.journal_damage
+                    .as_ref()
+                    .map_or(Json::Null, |d| Json::Str(d.clone())),
+            ),
+            (
+                "recovery_ms".into(),
+                Json::Int(i64::try_from(self.recovery_ms).unwrap_or(i64::MAX)),
+            ),
+        ])
+    }
+}
+
+/// Everything recovery reconstructed from the data dir.
+#[derive(Debug)]
+pub struct RecoveredState {
+    /// Verified graphs, in journal (registration) order.
+    pub graphs: Vec<RecoveredGraph>,
+    /// The surviving durable `(name, spec)` set — `graphs` minus nothing;
+    /// kept separately so the store can seed its manifest map without
+    /// cloning edge lists.
+    pub entries: Vec<(String, String)>,
+    /// What happened.
+    pub report: RecoveryReport,
+}
+
+/// Replays the journal and verifies snapshots under `data_dir`.
+///
+/// With `dry_run` set, nothing on disk is touched: damaged files are
+/// reported but not renamed and the journal is not compacted. Otherwise
+/// damaged snapshots and orphan temp files move to
+/// `<data_dir>/quarantine/` and a journal with a torn tail is rewritten
+/// to just the synced, surviving state.
+///
+/// # Errors
+/// Only environmental I/O failures (cannot create the data or
+/// quarantine dirs, cannot list snapshots). Damaged *contents* are
+/// never an error — that is the point.
+pub fn recover(data_dir: impl AsRef<Path>, dry_run: bool) -> std::io::Result<RecoveredState> {
+    let start = Instant::now();
+    let data_dir = data_dir.as_ref();
+    let snap_dir = snapshot_dir(data_dir);
+    if !dry_run {
+        std::fs::create_dir_all(&snap_dir)?;
+    }
+
+    let journal_path = data_dir.join("journal.lotj");
+    let readout: JournalReadout = journal::read_journal(&journal_path)?;
+    let folded = readout.fold();
+
+    let mut report = RecoveryReport {
+        journal_records: readout.records.len() as u64,
+        journal_damage: readout.damage.clone(),
+        ..RecoveryReport::default()
+    };
+    let mut graphs = Vec::new();
+    let mut entries = Vec::new();
+
+    for (name, spec) in folded {
+        let file = crate::store::snapshot_file_name(&name);
+        let path = snap_dir.join(&file);
+        match load_binary(&path) {
+            Ok(edges) => {
+                report.recovered += 1;
+                entries.push((name.clone(), spec.clone()));
+                graphs.push(RecoveredGraph { name, spec, edges });
+            }
+            Err(e) => {
+                let missing = matches!(
+                    &e,
+                    lotus_graph::GraphError::Io(io)
+                        if io.kind() == std::io::ErrorKind::NotFound
+                );
+                let reason = if missing {
+                    "journal names it but no snapshot exists".to_string()
+                } else {
+                    format!("{e}")
+                };
+                if !missing && !dry_run {
+                    quarantine(data_dir, &path)?;
+                }
+                report.quarantined.push(Quarantined {
+                    file: format!("snapshots/{file}"),
+                    reason,
+                });
+            }
+        }
+    }
+
+    // Crash-before-rename leaves `*.tmp` behind; set those aside too so
+    // the snapshot dir only ever holds verified, complete files.
+    if let Ok(dir) = std::fs::read_dir(&snap_dir) {
+        let mut temps: Vec<PathBuf> = dir
+            .flatten()
+            .map(|e| e.path())
+            .filter(|p| p.to_string_lossy().ends_with(TEMP_SUFFIX))
+            .collect();
+        temps.sort();
+        for path in temps {
+            let file = path
+                .file_name()
+                .map(|f| f.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            if !dry_run {
+                quarantine(data_dir, &path)?;
+            }
+            report.quarantined.push(Quarantined {
+                file: format!("snapshots/{file}"),
+                reason: "torn temp file (crash before rename)".to_string(),
+            });
+        }
+    }
+
+    // A torn or damaged journal compacts down to the verified state so
+    // the next crash replays from a clean file.
+    if !dry_run && (report.journal_damage.is_some() || !report.quarantined.is_empty()) {
+        journal::rewrite(&journal_path, &entries)?;
+    }
+
+    report.recovery_ms = u64::try_from(start.elapsed().as_millis()).unwrap_or(u64::MAX);
+    Ok(RecoveredState {
+        graphs,
+        entries,
+        report,
+    })
+}
+
+/// Moves a damaged file into `<data_dir>/quarantine/`, preserving its
+/// file name. Rename within the same filesystem, so cheap and atomic.
+fn quarantine(data_dir: &Path, path: &Path) -> std::io::Result<()> {
+    let qdir = data_dir.join("quarantine");
+    std::fs::create_dir_all(&qdir)?;
+    let file = path.file_name().map_or_else(
+        || "unnamed".to_string(),
+        |f| f.to_string_lossy().into_owned(),
+    );
+    std::fs::rename(path, qdir.join(file))?;
+    Ok(())
+}
+
+/// Names (decoded) of every complete snapshot present on disk,
+/// whether or not the journal references them. Used by checkpoint GC.
+pub(crate) fn snapshots_on_disk(data_dir: &Path) -> Vec<(String, PathBuf)> {
+    let mut out = Vec::new();
+    if let Ok(dir) = std::fs::read_dir(snapshot_dir(data_dir)) {
+        for entry in dir.flatten() {
+            let path = entry.path();
+            let file = path
+                .file_name()
+                .map(|f| f.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            if let Some(stem) = file.strip_suffix(SNAPSHOT_SUFFIX) {
+                out.push((dec_name(stem), path));
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::DurableStore;
+    use lotus_gen::Rmat;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("lotus-recovery-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn empty_data_dir_recovers_to_nothing() {
+        let dir = tmp_dir("empty");
+        let state = recover(&dir, false).unwrap();
+        assert!(state.graphs.is_empty());
+        assert!(state.report.quarantined.is_empty());
+        assert_eq!(state.report.journal_records, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn registered_graphs_come_back_bit_identical() {
+        let dir = tmp_dir("roundtrip");
+        let graph = Rmat::new(6, 4).generate(7);
+        let edges = graph.to_canonical_edges();
+        {
+            let store = DurableStore::open(&dir).unwrap().0;
+            store.record_register("g", "rmat:6:4:7", &graph).unwrap();
+        }
+        let state = recover(&dir, false).unwrap();
+        assert_eq!(state.graphs.len(), 1);
+        assert_eq!(state.graphs[0].name, "g");
+        assert_eq!(state.graphs[0].spec, "rmat:6:4:7");
+        assert_eq!(state.graphs[0].edges, edges);
+        assert_eq!(state.report.recovered, 1);
+        assert!(state.report.quarantined.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn dry_run_reports_but_touches_nothing() {
+        let dir = tmp_dir("dry");
+        let graph = Rmat::new(6, 4).generate(7);
+        {
+            let store = DurableStore::open(&dir).unwrap().0;
+            store.record_register("g", "rmat:6:4:7", &graph).unwrap();
+        }
+        // Corrupt the snapshot payload.
+        let snaps = snapshots_on_disk(&dir);
+        assert_eq!(snaps.len(), 1);
+        let mut bytes = std::fs::read(&snaps[0].1).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        std::fs::write(&snaps[0].1, &bytes).unwrap();
+
+        let state = recover(&dir, true).unwrap();
+        assert_eq!(state.report.recovered, 0);
+        assert_eq!(state.report.quarantined.len(), 1);
+        // Dry run: file still in place, no quarantine dir.
+        assert!(snaps[0].1.exists());
+        assert!(!dir.join("quarantine").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn report_json_shape() {
+        let report = RecoveryReport {
+            recovered: 2,
+            quarantined: vec![Quarantined {
+                file: "snapshots/x.lotg".into(),
+                reason: "crc mismatch".into(),
+            }],
+            journal_records: 5,
+            journal_damage: Some("torn record at offset 99".into()),
+            recovery_ms: 12,
+        };
+        let json = report.to_json();
+        assert_eq!(json.get("recovered").and_then(Json::as_u64), Some(2));
+        assert_eq!(json.get("recovery_ms").and_then(Json::as_u64), Some(12));
+        assert_eq!(
+            json.get("quarantined")
+                .and_then(Json::as_array)
+                .map(<[Json]>::len),
+            Some(1)
+        );
+        assert!(json.get("journal_damage").and_then(Json::as_str).is_some());
+    }
+}

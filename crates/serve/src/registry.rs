@@ -174,6 +174,10 @@ struct Inner {
     resident: u64,
 }
 
+/// Observer invoked with each name the LRU loop evicts (used by the
+/// durability layer to journal evictions it would otherwise never see).
+type EvictHook = Arc<dyn Fn(&str) + Send + Sync>;
+
 /// The graph registry: name → prepared graph, LRU-evicted against a
 /// byte budget. All methods are callable from any worker thread.
 pub struct Registry {
@@ -181,6 +185,7 @@ pub struct Registry {
     budget: MemoryBudget,
     hits: AtomicU64,
     misses: AtomicU64,
+    evict_hook: Mutex<Option<EvictHook>>,
 }
 
 impl Registry {
@@ -192,6 +197,34 @@ impl Registry {
             budget,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            evict_hook: Mutex::new(None),
+        }
+    }
+
+    /// Installs the hook fired (outside the registry lock) for every
+    /// name the LRU loop evicts to make room. Explicit [`Registry::evict`]
+    /// calls and same-name replacements do *not* fire it — their callers
+    /// already know the name.
+    pub fn set_evict_hook(&self, hook: impl Fn(&str) + Send + Sync + 'static) {
+        *self
+            .evict_hook
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner) = Some(Arc::new(hook));
+    }
+
+    fn fire_evict_hook(&self, names: &[String]) {
+        if names.is_empty() {
+            return;
+        }
+        let hook = self
+            .evict_hook
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone();
+        if let Some(hook) = hook {
+            for name in names {
+                hook(name);
+            }
         }
     }
 
@@ -299,14 +332,35 @@ impl Registry {
             config,
             bytes,
         });
+        let evicted = self.insert_prepared(Arc::clone(&prepared))?;
+        Ok((prepared, evicted))
+    }
+
+    /// Inserts an externally prepared graph (recovery re-inserting a
+    /// snapshot, or the build half of [`Registry::load`]), evicting LRU
+    /// residents as needed. Returns how many were evicted; the evict
+    /// hook fires for each, outside the lock.
+    ///
+    /// # Errors
+    /// [`RegistryError::OverBudget`] when the graph alone exceeds the
+    /// whole budget.
+    pub fn insert_prepared(&self, prepared: Arc<PreparedGraph>) -> Result<u32, RegistryError> {
+        let bytes = prepared.bytes;
+        if !self.budget.fits(bytes) {
+            return Err(RegistryError::OverBudget {
+                need: bytes,
+                budget: self.budget.bytes(),
+            });
+        }
+        let name = prepared.name.clone();
+        let mut evicted_names = Vec::new();
 
         let mut inner = self.lock();
         // Replacing a resident entry under the same name frees its bytes
         // first so the eviction loop sees the true resident total.
-        if let Some(old) = inner.map.remove(name) {
+        if let Some(old) = inner.map.remove(&name) {
             inner.resident -= old.prepared.bytes;
         }
-        let mut evicted = 0u32;
         while inner.resident + bytes > self.budget.bytes() {
             let lru = inner
                 .map
@@ -316,20 +370,23 @@ impl Registry {
             let Some(key) = lru else { break };
             if let Some(old) = inner.map.remove(&key) {
                 inner.resident -= old.prepared.bytes;
-                evicted += 1;
+                evicted_names.push(key);
             }
         }
         let clock = inner.clock + 1;
         inner.clock = clock;
         inner.resident += bytes;
         inner.map.insert(
-            name.to_string(),
+            name,
             Entry {
-                prepared: Arc::clone(&prepared),
+                prepared,
                 last_used: clock,
             },
         );
-        Ok((prepared, evicted))
+        drop(inner);
+
+        self.fire_evict_hook(&evicted_names);
+        Ok(u32::try_from(evicted_names.len()).unwrap_or(u32::MAX))
     }
 
     /// Drops a resident graph; returns whether it existed.
@@ -490,6 +547,41 @@ mod tests {
         // Same generator shape: replacement stays in the same ballpark
         // instead of doubling.
         assert!(reg.resident_bytes() < before * 2);
+    }
+
+    #[test]
+    fn evict_hook_sees_lru_victims_but_not_explicit_evicts() {
+        let (a, _) = Registry::new(big_budget()).load("a", "rmat:7:4:1").unwrap();
+        let per = a.bytes;
+        let reg = Registry::new(MemoryBudget::from_bytes(per * 2 + per / 2));
+        let seen = Arc::new(Mutex::new(Vec::<String>::new()));
+        let sink = Arc::clone(&seen);
+        reg.set_evict_hook(move |name| {
+            sink.lock().unwrap().push(name.to_string());
+        });
+        reg.load("a", "rmat:7:4:1").unwrap();
+        reg.load("b", "rmat:7:4:1").unwrap();
+        reg.get_or_load("b").unwrap();
+        // `a` is LRU; inserting `c` must evict it through the hook.
+        reg.load("c", "rmat:7:4:1").unwrap();
+        assert_eq!(seen.lock().unwrap().as_slice(), ["a".to_string()]);
+        // Explicit evicts bypass the hook: callers know the name.
+        assert!(reg.evict("b"));
+        assert_eq!(seen.lock().unwrap().len(), 1);
+        // Same-name replacement is not an eviction either.
+        reg.load("c", "rmat:7:4:2").unwrap();
+        assert_eq!(seen.lock().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn insert_prepared_rejects_oversized_graphs() {
+        let reg = Registry::new(big_budget());
+        let (g, _) = reg.load("g", "rmat:6:4:1").unwrap();
+        let small = Registry::new(MemoryBudget::from_bytes(64));
+        assert!(matches!(
+            small.insert_prepared(g),
+            Err(RegistryError::OverBudget { .. })
+        ));
     }
 
     #[test]

@@ -18,13 +18,18 @@
 
 use std::io::Read;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use lotus_core::{kclique::count_kcliques, per_vertex::count_per_vertex, CountError, LotusCounter};
+use lotus_core::preprocess::build_lotus_graph;
+use lotus_core::{
+    kclique::count_kcliques, per_vertex::count_per_vertex, CountError, LotusConfig, LotusCounter,
+};
+use lotus_graph::UndirectedCsr;
 use lotus_resilience::{isolate, CancelToken, Deadline, MemoryBudget, RunGuard, StopReason};
 use lotus_telemetry::{counters, Counter, Span, SpanId};
 
@@ -33,7 +38,9 @@ use crate::proto::{
     read_frame, write_response, ErrorKind, ProtoError, Request, Response, StatsReply, MAX_CLIQUE_K,
     MAX_PER_VERTEX_SPAN, NO_DEADLINE,
 };
-use crate::registry::{Registry, RegistryError};
+use crate::recovery::RecoveryReport;
+use crate::registry::{PreparedGraph, Registry, RegistryError};
+use crate::store::{DurableStore, StoreError};
 
 /// How often blocked reads and the accept loop re-check shutdown.
 const POLL_INTERVAL: Duration = Duration::from_millis(25);
@@ -54,6 +61,14 @@ pub struct ServeConfig {
     pub budget: MemoryBudget,
     /// Graphs to load before accepting connections: `(name, spec)`.
     pub preload: Vec<(String, String)>,
+    /// Durability directory; `None` runs fully in-memory (the previous
+    /// behavior). With a data dir, startup recovers snapshots + journal
+    /// and explicit registrations persist crash-safely (DESIGN.md §13).
+    pub data_dir: Option<PathBuf>,
+    /// How often the checkpoint thread compacts the journal and GCs
+    /// orphan snapshots; `None` disables periodic checkpoints (one still
+    /// runs at shutdown). Ignored without a data dir.
+    pub snapshot_interval: Option<Duration>,
 }
 
 impl Default for ServeConfig {
@@ -65,6 +80,8 @@ impl Default for ServeConfig {
             queue_capacity: 0,
             budget: MemoryBudget::from_bytes(512 << 20),
             preload: Vec::new(),
+            data_dir: None,
+            snapshot_interval: None,
         }
     }
 }
@@ -127,12 +144,14 @@ impl ServeStats {
     }
 }
 
-/// Shared daemon state: registry, pool, stats, shutdown flag.
+/// Shared daemon state: registry, pool, stats, durability, shutdown.
 pub struct ServerState {
     registry: Registry,
     pool: WorkerPool,
     stats: ServeStats,
     shutdown: CancelToken,
+    store: Option<Arc<DurableStore>>,
+    recovery: Option<RecoveryReport>,
 }
 
 impl ServerState {
@@ -148,9 +167,25 @@ impl ServerState {
         &self.stats
     }
 
+    /// The durable store, when the daemon runs with a data dir.
+    #[must_use]
+    pub fn store(&self) -> Option<&Arc<DurableStore>> {
+        self.store.as_ref()
+    }
+
+    /// What startup recovery did, when the daemon runs with a data dir.
+    #[must_use]
+    pub fn recovery_report(&self) -> Option<&RecoveryReport> {
+        self.recovery.as_ref()
+    }
+
     /// Assembles the wire-level stats reply.
     #[must_use]
     pub fn stats_reply(&self) -> StatsReply {
+        let (snapshot_writes, journal_appends, journal_replays, recovery_quarantined, recovery_ms) =
+            self.store
+                .as_ref()
+                .map_or((0, 0, 0, 0, 0), |s| s.stat_values());
         StatsReply {
             graphs: self.registry.len() as u32,
             resident_bytes: self.registry.resident_bytes(),
@@ -163,6 +198,11 @@ impl ServerState {
             panics: self.stats.panics() + self.pool.panics(),
             workers: self.pool.workers() as u32,
             queue_capacity: self.pool.capacity() as u32,
+            snapshot_writes,
+            journal_appends,
+            journal_replays,
+            recovery_quarantined,
+            recovery_ms,
         }
     }
 }
@@ -182,6 +222,7 @@ pub struct ServerHandle {
     addr: SocketAddr,
     state: Arc<ServerState>,
     accept: Option<JoinHandle<()>>,
+    checkpoint: Option<JoinHandle<()>>,
 }
 
 impl ServerHandle {
@@ -205,9 +246,12 @@ impl ServerHandle {
     }
 
     /// Blocks until the daemon exits (accept loop joined, connections
-    /// closed, worker pool drained).
+    /// closed, worker pool drained, final checkpoint written).
     pub fn wait(mut self) {
         if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+        if let Some(handle) = self.checkpoint.take() {
             let _ = handle.join();
         }
     }
@@ -217,6 +261,9 @@ impl Drop for ServerHandle {
     fn drop(&mut self) {
         self.state.shutdown.cancel();
         if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+        if let Some(handle) = self.checkpoint.take() {
             let _ = handle.join();
         }
     }
@@ -236,6 +283,8 @@ pub enum ServeError {
         /// The underlying registry error.
         error: RegistryError,
     },
+    /// Opening the durable store (or running recovery) failed.
+    Durability(StoreError),
 }
 
 impl std::fmt::Display for ServeError {
@@ -246,16 +295,20 @@ impl std::fmt::Display for ServeError {
             ServeError::Preload { name, error } => {
                 write!(f, "preloading `{name}`: {error}")
             }
+            ServeError::Durability(e) => write!(f, "opening durable store: {e}"),
         }
     }
 }
 
 impl std::error::Error for ServeError {}
 
-/// Binds the listener, preloads graphs, and spawns the accept loop.
+/// Binds the listener, recovers durable state, preloads graphs, and
+/// spawns the accept loop (plus the checkpoint thread when a data dir
+/// is configured).
 ///
 /// # Errors
-/// Returns [`ServeError::Bind`] when the address cannot be bound and
+/// Returns [`ServeError::Bind`] when the address cannot be bound,
+/// [`ServeError::Durability`] when the data dir cannot be opened, and
 /// [`ServeError::Preload`] when a preload graph fails to load.
 pub fn spawn(config: ServeConfig) -> Result<ServerHandle, ServeError> {
     let workers = if config.workers == 0 {
@@ -268,20 +321,63 @@ pub fn spawn(config: ServeConfig) -> Result<ServerHandle, ServeError> {
     } else {
         config.queue_capacity
     };
+
+    // Durability first: recovery must finish before anything is served
+    // so the registry starts from exactly the last durably acknowledged
+    // state (damaged files quarantined, never fatal).
+    let mut recovered_graphs = Vec::new();
+    let mut store = None;
+    let mut recovery = None;
+    if let Some(data_dir) = &config.data_dir {
+        let (opened, recovered_state) =
+            DurableStore::open(data_dir).map_err(ServeError::Durability)?;
+        store = Some(Arc::new(opened));
+        recovery = Some(recovered_state.report);
+        recovered_graphs = recovered_state.graphs;
+    }
+
     let state = Arc::new(ServerState {
         registry: Registry::new(config.budget),
         pool: WorkerPool::new(workers, queue_capacity).map_err(ServeError::Workers)?,
         stats: ServeStats::default(),
         shutdown: CancelToken::new(),
+        store,
+        recovery,
     });
-    for (name, spec) in &config.preload {
-        state
-            .registry
-            .load(name, spec)
-            .map_err(|error| ServeError::Preload {
-                name: name.clone(),
+    if let Some(store) = &state.store {
+        // LRU evictions happen inside Registry::load, invisible to
+        // dispatch; the hook journals the durable ones so the manifest
+        // never resurrects a graph the budget pushed out.
+        let hook_store = Arc::clone(store);
+        state.registry.set_evict_hook(move |name| {
+            let _ = hook_store.record_evict(name);
+        });
+    }
+    for recovered in recovered_graphs {
+        // Snapshots hold the canonical edge list; preprocessing is
+        // deterministic, so the rebuilt counts are bit-identical.
+        let prepared = Arc::new(prepare_from_edges(&recovered.name, &recovered.edges));
+        if let Err(error) = state.registry.insert_prepared(prepared) {
+            return Err(ServeError::Preload {
+                name: recovered.name,
                 error,
-            })?;
+            });
+        }
+    }
+    for (name, spec) in &config.preload {
+        let (prepared, _evicted) =
+            state
+                .registry
+                .load(name, spec)
+                .map_err(|error| ServeError::Preload {
+                    name: name.clone(),
+                    error,
+                })?;
+        if let Some(store) = &state.store {
+            store
+                .record_register(name, spec, &prepared.graph)
+                .map_err(ServeError::Durability)?;
+        }
     }
     let listener =
         TcpListener::bind((config.bind.as_str(), config.port)).map_err(ServeError::Bind)?;
@@ -294,11 +390,59 @@ pub fn spawn(config: ServeConfig) -> Result<ServerHandle, ServeError> {
         .spawn(move || accept_loop(&listener, &accept_state))
         .map_err(ServeError::Bind)?;
 
+    let mut checkpoint = None;
+    if state.store.is_some() {
+        let ckpt_state = Arc::clone(&state);
+        let interval = config.snapshot_interval;
+        checkpoint = std::thread::Builder::new()
+            .name("lotus-serve-checkpoint".to_string())
+            .spawn(move || checkpoint_loop(&ckpt_state, interval))
+            .ok();
+    }
+
     Ok(ServerHandle {
         addr,
         state,
         accept: Some(accept),
+        checkpoint,
     })
+}
+
+/// Rebuilds a [`PreparedGraph`] from a recovered canonical edge list.
+#[must_use]
+pub fn prepare_from_edges(name: &str, edges: &lotus_graph::EdgeList) -> PreparedGraph {
+    let graph = UndirectedCsr::from_canonical_edges(edges);
+    let config = LotusConfig::auto(&graph);
+    let lotus = build_lotus_graph(&graph, &config);
+    let bytes = graph.topology_bytes() + lotus.topology_bytes();
+    PreparedGraph {
+        name: name.to_string(),
+        graph,
+        lotus,
+        config,
+        bytes,
+    }
+}
+
+/// Periodically compacts the journal and GCs orphan snapshots; always
+/// runs one final checkpoint at shutdown so a clean exit leaves a
+/// single-record journal behind.
+fn checkpoint_loop(state: &Arc<ServerState>, interval: Option<Duration>) {
+    let mut last = Instant::now();
+    while !state.shutdown.is_cancelled() {
+        std::thread::sleep(POLL_INTERVAL);
+        if let Some(every) = interval {
+            if last.elapsed() >= every {
+                if let Some(store) = &state.store {
+                    let _ = store.checkpoint();
+                }
+                last = Instant::now();
+            }
+        }
+    }
+    if let Some(store) = &state.store {
+        let _ = store.checkpoint();
+    }
 }
 
 fn accept_loop(listener: &TcpListener, state: &Arc<ServerState>) {
@@ -442,17 +586,39 @@ fn dispatch(request: Request, state: &Arc<ServerState>) -> Response {
         Request::Ping => Response::Pong,
         Request::Stats => Response::Stats(state.stats_reply()),
         Request::LoadGraph { name, spec } => match state.registry.load(&name, &spec) {
-            Ok((prepared, evicted)) => Response::Loaded {
-                vertices: prepared.graph.num_vertices(),
-                edges: prepared.graph.num_edges(),
-                bytes: prepared.bytes,
-                evicted,
-            },
+            Ok((prepared, evicted)) => {
+                // Persist only after the load succeeded; a durability
+                // failure is reported (the graph still serves from RAM,
+                // but the client must know it is not crash-safe).
+                if let Some(store) = state.store() {
+                    if let Err(e) = store.record_register(&name, &spec, &prepared.graph) {
+                        return Response::error(
+                            ErrorKind::DurabilityFailed,
+                            format!("`{name}` loaded but not persisted: {e}"),
+                        );
+                    }
+                }
+                Response::Loaded {
+                    vertices: prepared.graph.num_vertices(),
+                    edges: prepared.graph.num_edges(),
+                    bytes: prepared.bytes,
+                    evicted,
+                }
+            }
             Err(e) => registry_error_response(&e),
         },
-        Request::EvictGraph { name } => Response::Evicted {
-            existed: state.registry.evict(&name),
-        },
+        Request::EvictGraph { name } => {
+            let existed = state.registry.evict(&name);
+            if let Some(store) = state.store() {
+                if let Err(e) = store.record_evict(&name) {
+                    return Response::error(
+                        ErrorKind::DurabilityFailed,
+                        format!("`{name}` evicted but the journal append failed: {e}"),
+                    );
+                }
+            }
+            Response::Evicted { existed }
+        }
         Request::Drain => {
             state.shutdown.cancel();
             Response::Draining

@@ -1,0 +1,153 @@
+//! Arming tests for the durability fault points: each of the four
+//! points (`serve.snapshot.write` / `fsync` / `rename`,
+//! `serve.journal.append`) must surface as a typed [`StoreError`],
+//! leave behind exactly the artifact a real crash at that instant
+//! would, and be fully healed by the next recovery pass.
+//!
+//! Requires `--features fault-injection`; the fault registry is
+//! process-global, so tests serialize on a lock.
+
+#![cfg(feature = "fault-injection")]
+
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+use lotus_resilience::fault::{arm, reset, FaultKind};
+use lotus_serve::journal::read_journal;
+use lotus_serve::recovery::recover;
+use lotus_serve::store::{snapshot_dir, snapshot_file_name, DurableStore, StoreError};
+
+static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+fn locked() -> std::sync::MutexGuard<'static, ()> {
+    TEST_LOCK
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("lotus-faultrec-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn graph() -> lotus_graph::UndirectedCsr {
+    lotus_gen::Rmat::new(6, 4).generate(3)
+}
+
+/// Arms `point`, drives one registration into it, and asserts the
+/// typed error plus the expected on-disk wreckage; then verifies
+/// recovery heals the directory and a clean retry succeeds.
+fn crash_register_at(tag: &str, point: &'static str, expect_temp: bool) {
+    let dir = tmp_dir(tag);
+    let g = graph();
+    {
+        let store = DurableStore::open(&dir).unwrap().0;
+        arm(point, FaultKind::IoError, 1);
+        let err = store
+            .record_register("g", "rmat:6:4:3", &g)
+            .expect_err(point);
+        reset();
+        assert!(matches!(err, StoreError::Io { .. }), "{point}: {err:?}");
+        assert!(err.to_string().contains(point), "{point}: {err}");
+        // The failed registration must not be acknowledged as durable.
+        assert!(!store.is_durable("g"), "{point}");
+    }
+    let temp = snapshot_dir(&dir).join(format!("{}.tmp", snapshot_file_name("g")));
+    assert_eq!(temp.exists(), expect_temp, "{point}: torn temp on disk");
+
+    // Recovery: nothing comes back (the registration never reached the
+    // journal), any torn temp is quarantined, and the directory is
+    // clean enough that a retry registers durably.
+    let state = recover(&dir, false).unwrap();
+    assert_eq!(state.graphs.len(), 0, "{point}");
+    if expect_temp {
+        assert!(
+            state
+                .report
+                .quarantined
+                .iter()
+                .any(|q| q.reason.contains("torn temp")),
+            "{point}: {:?}",
+            state.report.quarantined
+        );
+        assert!(!temp.exists(), "{point}: temp quarantined away");
+    }
+
+    let (store, recovered) = DurableStore::open(&dir).unwrap();
+    assert!(recovered.graphs.is_empty(), "{point}");
+    store.record_register("g", "rmat:6:4:3", &g).unwrap();
+    drop(store);
+    let healed = recover(&dir, false).unwrap();
+    assert_eq!(healed.report.recovered, 1, "{point}");
+    assert_eq!(healed.graphs[0].edges, g.to_canonical_edges(), "{point}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn torn_snapshot_write_is_typed_and_quarantined() {
+    let _guard = locked();
+    reset();
+    // The fault fires on the first 4096-byte chunk: a partial temp file
+    // stays behind, exactly what a crash mid-write leaves.
+    crash_register_at("write", "serve.snapshot.write", true);
+    reset();
+}
+
+#[test]
+fn failed_snapshot_fsync_is_typed_and_quarantined() {
+    let _guard = locked();
+    reset();
+    // All bytes written but never synced: the temp is complete yet
+    // unacknowledged — recovery must still set it aside, because its
+    // durability was never established.
+    crash_register_at("fsync", "serve.snapshot.fsync", true);
+    reset();
+}
+
+#[test]
+fn crash_before_rename_is_typed_and_quarantined() {
+    let _guard = locked();
+    reset();
+    crash_register_at("rename", "serve.snapshot.rename", true);
+    reset();
+}
+
+#[test]
+fn torn_journal_append_loses_only_the_torn_record() {
+    let _guard = locked();
+    reset();
+    let dir = tmp_dir("append");
+    let g = graph();
+    {
+        let store = DurableStore::open(&dir).unwrap().0;
+        // First registration is durable; the second tears mid-append.
+        store.record_register("a", "rmat:6:4:3", &g).unwrap();
+        arm("serve.journal.append", FaultKind::IoError, 1);
+        let err = store
+            .record_register("b", "rmat:6:4:3", &g)
+            .expect_err("torn append");
+        reset();
+        assert!(matches!(err, StoreError::Io { .. }), "{err:?}");
+        assert!(!store.is_durable("b"));
+    }
+    // The journal carries `a` plus half of `b`'s frame: replay reports
+    // the tear and keeps the synced prefix.
+    let readout = read_journal(dir.join("journal.lotj")).unwrap();
+    assert_eq!(readout.records.len(), 1, "synced prefix only");
+    assert!(readout.damage.is_some(), "torn tail reported");
+
+    let state = recover(&dir, false).unwrap();
+    assert_eq!(state.report.recovered, 1);
+    assert_eq!(state.graphs[0].name, "a");
+    assert!(state.report.journal_damage.is_some());
+    // `b`'s snapshot was durable before the append — recovery leaves it
+    // as an orphan (checkpoint GC's job), quarantining nothing.
+    // After compaction the journal replays clean.
+    let again = recover(&dir, false).unwrap();
+    assert!(again.report.journal_damage.is_none());
+    assert_eq!(again.report.recovered, 1);
+    reset();
+    let _ = std::fs::remove_dir_all(&dir);
+}

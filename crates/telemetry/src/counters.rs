@@ -48,11 +48,19 @@ pub enum Counter {
     PoolSteals,
     /// Times a worker parked on the condvar for lack of work.
     PoolParks,
+    /// Graph snapshots durably written (temp + fsync + rename).
+    SnapshotWrites,
+    /// Records appended and synced to the manifest journal.
+    JournalAppends,
+    /// Journal records replayed during startup recovery.
+    JournalReplays,
+    /// Damaged durability files quarantined during recovery.
+    RecoveryQuarantined,
 }
 
 impl Counter {
     /// Every counter, in schema order.
-    pub const ALL: [Counter; 18] = [
+    pub const ALL: [Counter; 22] = [
         Counter::Intersections,
         Counter::MergeSteps,
         Counter::FruitlessIntersections,
@@ -71,6 +79,10 @@ impl Counter {
         Counter::PoolTasks,
         Counter::PoolSteals,
         Counter::PoolParks,
+        Counter::SnapshotWrites,
+        Counter::JournalAppends,
+        Counter::JournalReplays,
+        Counter::RecoveryQuarantined,
     ];
 
     /// The stable snake_case name used as the JSON key.
@@ -95,6 +107,10 @@ impl Counter {
             Counter::PoolTasks => "pool_tasks",
             Counter::PoolSteals => "pool_steals",
             Counter::PoolParks => "pool_parks",
+            Counter::SnapshotWrites => "snapshot_writes",
+            Counter::JournalAppends => "journal_appends",
+            Counter::JournalReplays => "journal_replays",
+            Counter::RecoveryQuarantined => "recovery_quarantined",
         }
     }
 

@@ -90,6 +90,31 @@ fn exercise(point: &'static str) {
                 .expect_err(point);
             assert!(caught.message.contains(point), "{}", caught.message);
         }
+        "serve.snapshot.write"
+        | "serve.snapshot.fsync"
+        | "serve.snapshot.rename"
+        | "serve.journal.append" => {
+            // Every durable-store fault must surface as a typed
+            // StoreError naming the failed step — the daemon turns it
+            // into a DurabilityFailed response, never a crash.
+            let dir = std::env::temp_dir().join(format!(
+                "lotus-fault-{}-{}",
+                point.replace('.', "_"),
+                std::process::id()
+            ));
+            let _ = std::fs::remove_dir_all(&dir);
+            std::fs::create_dir_all(&dir).expect("tmp dir");
+            let (store, _state) = lotus_serve::DurableStore::open(&dir).expect("open store");
+            let err = store
+                .record_register("g", "rmat:6:4:1", &lotus_gen::Rmat::new(6, 4).generate(1))
+                .expect_err(point);
+            assert!(
+                matches!(err, lotus_serve::StoreError::Io { .. }),
+                "{point}: {err:?}"
+            );
+            assert!(err.to_string().contains(point), "{point}: {err}");
+            let _ = std::fs::remove_dir_all(&dir);
+        }
         other => panic!("fault point '{other}' has no injection test"),
     }
 }
