@@ -196,6 +196,10 @@ impl Journal {
             file.write_all(JOURNAL_MAGIC)?;
             file.write_all(&JOURNAL_VERSION.to_le_bytes())?;
             file.sync_data()?;
+            // A brand-new journal also needs its directory entry made
+            // durable, mirroring the snapshot rename path — otherwise a
+            // power loss can vanish the file with its synced records.
+            sync_parent_dir(&path)?;
         }
         Ok(Journal { file, path })
     }

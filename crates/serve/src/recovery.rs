@@ -199,6 +199,20 @@ pub fn recover(data_dir: impl AsRef<Path>, dry_run: bool) -> std::io::Result<Rec
         }
     }
 
+    // A crash during journal compaction (`journal::rewrite`) leaves a
+    // `journal.lotj.tmp` in the data dir root; set it aside like any
+    // other torn temp so it cannot linger indefinitely.
+    let journal_tmp = data_dir.join("journal.lotj.tmp");
+    if journal_tmp.exists() {
+        if !dry_run {
+            quarantine(data_dir, &journal_tmp)?;
+        }
+        report.quarantined.push(Quarantined {
+            file: "journal.lotj.tmp".to_string(),
+            reason: "torn journal rewrite (crash mid-compaction)".to_string(),
+        });
+    }
+
     // A torn or damaged journal compacts down to the verified state so
     // the next crash replays from a clean file.
     if !dry_run && (report.journal_damage.is_some() || !report.quarantined.is_empty()) {
@@ -310,6 +324,40 @@ mod tests {
         // Dry run: file still in place, no quarantine dir.
         assert!(snaps[0].1.exists());
         assert!(!dir.join("quarantine").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_journal_rewrite_temp_is_quarantined() {
+        let dir = tmp_dir("jtmp");
+        let graph = Rmat::new(6, 4).generate(7);
+        {
+            let store = DurableStore::open(&dir).unwrap().0;
+            store.record_register("g", "rmat:6:4:7", &graph).unwrap();
+        }
+        // A crash mid-`journal::rewrite` leaves this behind in the data
+        // dir root (not under snapshots/).
+        std::fs::write(dir.join("journal.lotj.tmp"), b"half a checkpoint").unwrap();
+
+        // Dry run: reported, left in place.
+        let state = recover(&dir, true).unwrap();
+        assert!(state
+            .report
+            .quarantined
+            .iter()
+            .any(|q| q.file == "journal.lotj.tmp"));
+        assert!(dir.join("journal.lotj.tmp").exists());
+
+        // Real run: moved to quarantine, graph unaffected.
+        let state = recover(&dir, false).unwrap();
+        assert!(state
+            .report
+            .quarantined
+            .iter()
+            .any(|q| q.file == "journal.lotj.tmp"));
+        assert!(!dir.join("journal.lotj.tmp").exists());
+        assert!(dir.join("quarantine").join("journal.lotj.tmp").exists());
+        assert_eq!(state.graphs.len(), 1);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

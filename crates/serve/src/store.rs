@@ -19,6 +19,14 @@
 //! Spec-shaped cache builds (`Count { name: "rmat:9:8:7" }` without a
 //! prior `LoadGraph`) are *not* persisted — a deliberate non-guarantee,
 //! since they are cheap to rebuild and would churn the journal.
+//!
+//! Locking protocol: the durable-map mutex doubles as the *commit
+//! lock*. Every mutation (`record_register`, `record_evict`,
+//! `checkpoint`) holds it for its full sequence of snapshot write,
+//! journal append, and map update, so a checkpoint can never observe
+//! (and GC away) a half-committed registration, and its temp-file
+//! sweep is serialized against in-flight snapshot writes. Lock order
+//! is always durable → journal; nothing acquires them the other way.
 
 use std::collections::HashMap;
 use std::fs::File;
@@ -119,6 +127,11 @@ impl DurableStore {
     pub fn open(data_dir: impl AsRef<Path>) -> Result<(DurableStore, RecoveredState), StoreError> {
         let data_dir = data_dir.as_ref().to_path_buf();
         std::fs::create_dir_all(data_dir.join("snapshots")).map_err(io_err("data dir create"))?;
+        // Freshly created directories need their parents synced too, or
+        // a power loss can drop the whole tree (and with it the journal
+        // and snapshots) from the namespace.
+        journal::sync_parent_dir(&data_dir.join("snapshots")).map_err(io_err("data dir fsync"))?;
+        journal::sync_parent_dir(&data_dir).map_err(io_err("data dir fsync"))?;
         let recovered = recovery::recover(&data_dir, false).map_err(io_err("recovery"))?;
         let journal =
             Journal::open(data_dir.join("journal.lotj")).map_err(io_err("journal open"))?;
@@ -187,7 +200,10 @@ impl DurableStore {
     /// Persists an explicit registration: snapshot first (temp, fsync,
     /// rename, dir fsync), then the synced `Register` journal record.
     /// When this returns `Ok`, a crash at any later point recovers the
-    /// graph bit-identically.
+    /// graph bit-identically. The commit lock is held across all three
+    /// steps so a concurrent checkpoint sees the registration either
+    /// not at all or fully committed — never a snapshot without its
+    /// manifest entry (which GC would delete as an orphan).
     ///
     /// # Errors
     /// [`StoreError::Io`] naming the failed step. A failed snapshot
@@ -199,13 +215,13 @@ impl DurableStore {
         spec: &str,
         graph: &UndirectedCsr,
     ) -> Result<(), StoreError> {
+        let mut durable = self.lock_durable();
         self.write_snapshot(name, graph)?;
         self.append(&JournalRecord::Register {
             name: name.to_string(),
             spec: spec.to_string(),
         })?;
-        self.lock_durable()
-            .insert(name.to_string(), spec.to_string());
+        durable.insert(name.to_string(), spec.to_string());
         Ok(())
     }
 
@@ -216,12 +232,18 @@ impl DurableStore {
     /// [`StoreError::Io`] if the journal append fails; the snapshot file
     /// removal is best-effort (checkpoint GC sweeps leftovers).
     pub fn record_evict(&self, name: &str) -> Result<(), StoreError> {
-        if self.lock_durable().remove(name).is_none() {
+        let mut durable = self.lock_durable();
+        let Some(spec) = durable.remove(name) else {
             return Ok(());
-        }
-        self.append(&JournalRecord::Evict {
+        };
+        if let Err(e) = self.append(&JournalRecord::Evict {
             name: name.to_string(),
-        })?;
+        }) {
+            // The journal still says registered; keep the map in sync
+            // so a later checkpoint doesn't silently drop the graph.
+            durable.insert(name.to_string(), spec);
+            return Err(e);
+        }
         let _ = std::fs::remove_file(self.snapshot_path(name));
         Ok(())
     }
@@ -233,10 +255,15 @@ impl DurableStore {
     /// # Errors
     /// [`StoreError::Io`] if the rewrite or reopen fails.
     pub fn checkpoint(&self) -> Result<(), StoreError> {
-        // Hold the journal lock across rewrite + reopen so no append
-        // lands on the unlinked old file.
+        // Commit lock first (durable → journal order), held through the
+        // GC sweep: no registration can be mid-flight while we clone
+        // the manifest, rewrite the journal, or delete files — so the
+        // sweep never eats a temp file an active write_snapshot owns,
+        // and never GCs a snapshot whose Register record is about to
+        // land. The journal lock is additionally held across rewrite +
+        // reopen so no append lands on the unlinked old file.
+        let durable = self.lock_durable();
         let mut journal = self.journal.lock().unwrap_or_else(PoisonError::into_inner);
-        let durable = self.lock_durable().clone();
         let mut entries: Vec<(String, String)> = durable
             .iter()
             .map(|(n, s)| (n.clone(), s.clone()))
@@ -443,6 +470,48 @@ mod tests {
         drop(store);
         let (_, state) = DurableStore::open(&dir).unwrap();
         assert!(state.graphs.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_never_loses_concurrent_registrations() {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+
+        let dir = tmp_dir("race");
+        let graph = Rmat::new(6, 4).generate(1);
+        let store = Arc::new(DurableStore::open(&dir).unwrap().0);
+        let stop = Arc::new(AtomicBool::new(false));
+        // Checkpoint as fast as possible while registrations stream in:
+        // every acked registration must survive the reopen, and no
+        // checkpoint GC may delete an in-flight temp file (which would
+        // fail the registration's rename with NotFound).
+        let ckpt = {
+            let store = Arc::clone(&store);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    store.checkpoint().unwrap();
+                }
+            })
+        };
+        for i in 0..32 {
+            store
+                .record_register(&format!("g{i}"), "rmat:6:4:1", &graph)
+                .unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+        ckpt.join().unwrap();
+        drop(store);
+
+        let (store, state) = DurableStore::open(&dir).unwrap();
+        assert!(
+            state.report.quarantined.is_empty(),
+            "no acked registration may be lost or torn: {:?}",
+            state.report.quarantined
+        );
+        assert_eq!(state.graphs.len(), 32);
+        assert_eq!(store.durable_names().len(), 32);
         let _ = std::fs::remove_dir_all(&dir);
     }
 
