@@ -15,6 +15,7 @@
 use std::fmt;
 
 use crate::report::{BenchReport, BenchRun};
+use crate::serve_section::ServeSection;
 
 /// Tolerance used by the CI gate when none is given on the command line.
 pub const DEFAULT_TOLERANCE: f64 = 0.25;
@@ -172,6 +173,86 @@ pub fn compare(baseline: &BenchReport, current: &BenchReport, tolerance: f64) ->
         findings,
         matched,
     }
+}
+
+/// Gates the serving layer: compares the `serve` sections of two
+/// artifacts. Only gates when *both* documents carry a section — a
+/// baseline predating the serving layer must not fail every CI run —
+/// and a section present on one side only is noted.
+///
+/// Failures: any protocol/transport errors in the current run, or zero
+/// successful requests. Regressions: `p99_us` beyond
+/// `(1 + tolerance) ×` baseline. Throughput and `max_sustained_rps`
+/// drops are notes (they swing with runner load far more than tail
+/// latency does).
+#[must_use]
+pub fn compare_serve(
+    baseline: Option<&ServeSection>,
+    current: Option<&ServeSection>,
+    tolerance: f64,
+) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let (base, cur) = match (baseline, current) {
+        (Some(base), Some(cur)) => (base, cur),
+        (None, None) => return findings,
+        (Some(_), None) => {
+            findings.push(Finding::failure(
+                "serve: baseline has a serve section but the current artifact does not".into(),
+            ));
+            return findings;
+        }
+        (None, Some(_)) => {
+            findings.push(Finding::note(
+                "serve: new serve section not present in baseline (refresh the baseline to gate it)"
+                    .into(),
+            ));
+            return findings;
+        }
+    };
+
+    if cur.errors > 0 {
+        findings.push(Finding::failure(format!(
+            "serve: {} protocol/transport error(s) in the current run (baseline {})",
+            cur.errors, base.errors
+        )));
+    }
+    if cur.ok == 0 {
+        findings.push(Finding::failure(
+            "serve: no request succeeded in the current run".into(),
+        ));
+    }
+
+    let limit = base.p99_us as f64 * (1.0 + tolerance);
+    if base.p99_us > 0 && cur.p99_us as f64 > limit {
+        findings.push(Finding::regression(format!(
+            "serve: p99 {} us exceeds baseline {} us by {:+.1}% (limit {:+.0}%)",
+            cur.p99_us,
+            base.p99_us,
+            (cur.p99_us as f64 / base.p99_us as f64 - 1.0) * 100.0,
+            tolerance * 100.0
+        )));
+    } else if base.p99_us > 0 && (cur.p99_us as f64) < base.p99_us as f64 / (1.0 + tolerance) {
+        findings.push(Finding::note(format!(
+            "serve: p99 improved {} -> {} us; consider refreshing the baseline",
+            base.p99_us, cur.p99_us
+        )));
+    }
+
+    if base.throughput_rps > 0.0 && cur.throughput_rps < base.throughput_rps / (1.0 + tolerance) {
+        findings.push(Finding::note(format!(
+            "serve: throughput dropped {:.1} -> {:.1} req/s",
+            base.throughput_rps, cur.throughput_rps
+        )));
+    }
+    if base.max_sustained_rps > 0.0
+        && cur.max_sustained_rps < base.max_sustained_rps / (1.0 + tolerance)
+    {
+        findings.push(Finding::note(format!(
+            "serve: max sustained rate dropped {:.1} -> {:.1} req/s",
+            base.max_sustained_rps, cur.max_sustained_rps
+        )));
+    }
+    findings
 }
 
 fn compare_run(base: &BenchRun, cur: &BenchRun, tolerance: f64, findings: &mut Vec<Finding>) {
@@ -356,6 +437,69 @@ mod tests {
         let notes = cmp.with_severity(Severity::Note);
         assert!(notes.iter().any(|f| f.message.contains("thread count")));
         assert!(notes.iter().any(|f| f.message.contains("drifted")));
+    }
+
+    fn serve(p99_us: u64, errors: u64) -> ServeSection {
+        ServeSection {
+            suite: "ci".into(),
+            graph: "rmat:9:8:7".into(),
+            connections: 1024,
+            requests: 4096,
+            ok: 4096 - errors,
+            errors,
+            p99_us,
+            throughput_rps: 5000.0,
+            max_sustained_rps: 6000.0,
+            ..ServeSection::default()
+        }
+    }
+
+    #[test]
+    fn serve_gate_passes_identical_and_skips_absent_sections() {
+        let base = serve(4000, 0);
+        assert!(compare_serve(Some(&base), Some(&base.clone()), 0.25)
+            .iter()
+            .all(|f| f.severity == Severity::Note));
+        assert!(compare_serve(None, None, 0.25).is_empty());
+        // New section, no baseline: a note, not a gate.
+        let only_new = compare_serve(None, Some(&base), 0.25);
+        assert!(only_new.iter().all(|f| f.severity == Severity::Note));
+        // Section vanished from the current artifact: hard failure.
+        let vanished = compare_serve(Some(&base), None, 0.25);
+        assert_eq!(vanished[0].severity, Severity::Failure);
+    }
+
+    #[test]
+    fn serve_gate_fails_on_errors_and_p99_regressions() {
+        let base = serve(4000, 0);
+        let errored = serve(4000, 3);
+        let findings = compare_serve(Some(&base), Some(&errored), 0.25);
+        assert!(findings
+            .iter()
+            .any(|f| f.severity == Severity::Failure && f.message.contains("error")));
+
+        let slow = serve(9000, 0); // +125% > 25%
+        let findings = compare_serve(Some(&base), Some(&slow), 0.25);
+        assert!(findings
+            .iter()
+            .any(|f| f.severity == Severity::Regression && f.message.contains("p99")));
+
+        // Within tolerance: clean.
+        let ok = serve(4500, 0);
+        assert!(compare_serve(Some(&base), Some(&ok), 0.25)
+            .iter()
+            .all(|f| f.severity == Severity::Note));
+    }
+
+    #[test]
+    fn serve_throughput_drops_are_notes() {
+        let base = serve(4000, 0);
+        let mut slow = serve(4000, 0);
+        slow.throughput_rps = 100.0;
+        slow.max_sustained_rps = 100.0;
+        let findings = compare_serve(Some(&base), Some(&slow), 0.25);
+        assert_eq!(findings.len(), 2);
+        assert!(findings.iter().all(|f| f.severity == Severity::Note));
     }
 
     #[test]

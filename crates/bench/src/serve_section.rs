@@ -65,6 +65,11 @@ pub struct ServeSection {
     pub quarantined: u64,
     /// Milliseconds the daemon's startup recovery pass took.
     pub recovery_ms: u64,
+    /// Peak concurrently open loadgen connections (multiplexed driver;
+    /// 0 for artifacts written before the event-loop serving layer).
+    pub open_conns: u64,
+    /// Best completion rate sustained over any 1 s sliding window.
+    pub max_sustained_rps: f64,
 }
 
 impl ServeSection {
@@ -103,6 +108,11 @@ impl ServeSection {
             ),
             ("quarantined".into(), Json::Int(self.quarantined as i64)),
             ("recovery_ms".into(), Json::Int(self.recovery_ms as i64)),
+            ("open_conns".into(), Json::Int(self.open_conns as i64)),
+            (
+                "max_sustained_rps".into(),
+                Json::Float(self.max_sustained_rps),
+            ),
         ])
     }
 
@@ -144,6 +154,12 @@ impl ServeSection {
             journal_replays: int_field("journal_replays"),
             quarantined: int_field("quarantined"),
             recovery_ms: int_field("recovery_ms"),
+            // Event-loop fields, same tolerance.
+            open_conns: int_field("open_conns"),
+            max_sustained_rps: v
+                .get("max_sustained_rps")
+                .and_then(Json::as_f64)
+                .unwrap_or(0.0),
         })
     }
 
@@ -189,6 +205,8 @@ mod tests {
             journal_replays: 4,
             quarantined: 1,
             recovery_ms: 9,
+            open_conns: 4,
+            max_sustained_rps: 1400.0,
         }
     }
 
@@ -203,6 +221,8 @@ mod tests {
         assert_eq!(section.retries, 0);
         assert_eq!(section.snapshot_writes, 0);
         assert_eq!(section.recovery_ms, 0);
+        assert_eq!(section.open_conns, 0);
+        assert!(section.max_sustained_rps.abs() < f64::EPSILON);
     }
 
     #[test]

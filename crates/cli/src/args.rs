@@ -24,12 +24,14 @@ USAGE:
   lotus serve [--bind ADDR] [--port P] [--workers N] [--queue N]
               [--mem-budget SIZE] [--preload NAME=SPEC]...
               [--data-dir DIR] [--snapshot-interval SECS]
+              [--event-threads N] [--max-conns N]
   lotus serve recover <data-dir> [--dry-run] [--json FILE]
   lotus query <addr> <ping|stats|drain|count NAME|per-vertex NAME
               [--range A..B]|kclique NAME K|load NAME SPEC|evict NAME>
               [--deadline-ms MS]
   lotus loadgen <addr> [--suite ci] [--connections N] [--requests M]
-                [--seed S] [--graph SPEC] [--json FILE]
+                [--seed S] [--graph SPEC] [--json FILE] [--pipeline P]
+                [--legacy-threads]
   lotus help
 
 Graph files: whitespace edge lists (any extension) or binary .lotg files.
@@ -52,6 +54,14 @@ any torn or corrupt file instead of refusing to start;
 recover replays a data directory offline and prints the recovery
 report as JSON without starting a daemon (--dry-run also skips
 quarantining and compaction).
+
+serve multiplexes connections over a small set of readiness event
+loops: --event-threads sizes the loop set (default: cores/4, max 4)
+and --max-conns caps concurrently open connections (default 4096,
+excess is refused with a structured Overloaded frame). loadgen drives
+all connections through one multiplexed event loop; --pipeline keeps P
+requests in flight per connection (default 1) and --legacy-threads
+falls back to the old thread-per-connection driver.
 
 analyze lint runs the project-rule source lint over the workspace
 (run from the repo root) against the checked-in waiver file; analyze
@@ -111,6 +121,10 @@ pub struct ServeCliArgs {
     /// Seconds between journal checkpoints (`--snapshot-interval`);
     /// `None` = checkpoint only at shutdown.
     pub snapshot_interval_secs: Option<u64>,
+    /// Event-loop threads (`--event-threads`); 0 means cores/4 (max 4).
+    pub event_threads: usize,
+    /// Open-connection cap (`--max-conns`); 0 means 4096.
+    pub max_conns: usize,
 }
 
 /// Arguments of `lotus serve recover`.
@@ -196,6 +210,10 @@ pub struct LoadgenCliArgs {
     pub deadline_ms: Option<u64>,
     /// Where to write the BENCH-schema `serve` artifact, if anywhere.
     pub json: Option<String>,
+    /// In-flight requests per connection (`--pipeline`, default 1).
+    pub pipeline: Option<usize>,
+    /// Use the legacy thread-per-connection driver (`--legacy-threads`).
+    pub legacy_threads: bool,
 }
 
 /// Arguments of `lotus bench`.
@@ -676,10 +694,16 @@ pub fn parse(argv: &[&str]) -> Result<Command, ParseError> {
             let mut preload = Vec::new();
             let mut data_dir = None;
             let mut snapshot_interval_secs = None;
+            let mut event_threads = 0usize;
+            let mut max_conns = 0usize;
             let mut it = rest.iter().copied();
             while let Some(arg) = it.next() {
                 match arg {
                     "--bind" | "-b" => bind = take_value(arg, &mut it)?,
+                    "--event-threads" => {
+                        event_threads = parse_num(arg, &take_value(arg, &mut it)?)?;
+                    }
+                    "--max-conns" => max_conns = parse_num(arg, &take_value(arg, &mut it)?)?,
                     "--port" | "-p" => port = parse_num(arg, &take_value(arg, &mut it)?)?,
                     "--workers" | "-w" => workers = parse_num(arg, &take_value(arg, &mut it)?)?,
                     "--queue" | "-q" => queue = parse_num(arg, &take_value(arg, &mut it)?)?,
@@ -718,6 +742,8 @@ pub fn parse(argv: &[&str]) -> Result<Command, ParseError> {
                 preload,
                 data_dir,
                 snapshot_interval_secs,
+                event_threads,
+                max_conns,
             }))
         }
         "query" => {
@@ -811,6 +837,8 @@ pub fn parse(argv: &[&str]) -> Result<Command, ParseError> {
             let mut graph = None;
             let mut deadline_ms = None;
             let mut json = None;
+            let mut pipeline = None;
+            let mut legacy_threads = false;
             while let Some(arg) = it.next() {
                 match arg {
                     "--suite" | "-s" => {
@@ -820,6 +848,14 @@ pub fn parse(argv: &[&str]) -> Result<Command, ParseError> {
                         }
                         suite = Some(value);
                     }
+                    "--pipeline" => {
+                        let depth: usize = parse_num(arg, &take_value(arg, &mut it)?)?;
+                        if depth == 0 {
+                            return Err(ParseError("--pipeline must be at least 1".into()));
+                        }
+                        pipeline = Some(depth);
+                    }
+                    "--legacy-threads" => legacy_threads = true,
                     "--connections" | "-c" => {
                         connections = Some(parse_num(arg, &take_value(arg, &mut it)?)?);
                     }
@@ -848,6 +884,8 @@ pub fn parse(argv: &[&str]) -> Result<Command, ParseError> {
                 graph,
                 deadline_ms,
                 json,
+                pipeline,
+                legacy_threads,
             }))
         }
         other => Err(ParseError(format!("unknown subcommand '{other}'"))),
@@ -1124,6 +1162,8 @@ mod tests {
                 preload: vec![],
                 data_dir: None,
                 snapshot_interval_secs: None,
+                event_threads: 0,
+                max_conns: 0,
             })
         );
         let c = parse(&[
@@ -1146,6 +1186,10 @@ mod tests {
             "/tmp/lotus-data",
             "--snapshot-interval",
             "30",
+            "--event-threads",
+            "2",
+            "--max-conns",
+            "2048",
         ])
         .unwrap();
         match c {
@@ -1164,10 +1208,14 @@ mod tests {
                 );
                 assert_eq!(a.data_dir.as_deref(), Some("/tmp/lotus-data"));
                 assert_eq!(a.snapshot_interval_secs, Some(30));
+                assert_eq!(a.event_threads, 2);
+                assert_eq!(a.max_conns, 2048);
             }
             _ => panic!("wrong command"),
         }
         assert!(parse(&["serve", "--port", "99999"]).is_err());
+        assert!(parse(&["serve", "--event-threads", "x"]).is_err());
+        assert!(parse(&["serve", "--max-conns"]).is_err());
         assert!(parse(&["serve", "--preload", "no-equals"]).is_err());
         assert!(parse(&["serve", "--preload", "=spec"]).is_err());
         assert!(parse(&["serve", "--snapshot-interval", "x"]).is_err());
@@ -1281,6 +1329,8 @@ mod tests {
                 graph: None,
                 deadline_ms: None,
                 json: None,
+                pipeline: None,
+                legacy_threads: false,
             })
         );
         let c = parse(&[
@@ -1298,6 +1348,9 @@ mod tests {
             "500",
             "--json",
             "serve.json",
+            "--pipeline",
+            "4",
+            "--legacy-threads",
         ])
         .unwrap();
         match c {
@@ -1308,12 +1361,15 @@ mod tests {
                 assert_eq!(a.graph.as_deref(), Some("er:256:1024:5"));
                 assert_eq!(a.deadline_ms, Some(500));
                 assert_eq!(a.json.as_deref(), Some("serve.json"));
+                assert_eq!(a.pipeline, Some(4));
+                assert!(a.legacy_threads);
             }
             _ => panic!("wrong command"),
         }
         assert!(parse(&["loadgen"]).is_err());
         assert!(parse(&["loadgen", "a:1", "--suite", "nope"]).is_err());
         assert!(parse(&["loadgen", "a:1", "--connections", "x"]).is_err());
+        assert!(parse(&["loadgen", "a:1", "--pipeline", "0"]).is_err());
     }
 
     #[test]

@@ -545,15 +545,29 @@ fn bench_run(args: &BenchRunArgs) -> Result<String, CliError> {
 /// Gates on the baseline: any hard failure or beyond-tolerance wall-time
 /// regression exits nonzero, so CI can call this directly.
 fn bench_compare(args: &BenchCompareArgs) -> Result<String, CliError> {
-    let load = |path: &str| -> Result<lotus_bench::BenchReport, CliError> {
+    let load = |path: &str| -> Result<
+        (lotus_bench::BenchReport, Option<lotus_bench::ServeSection>),
+        CliError,
+    > {
         let text = std::fs::read_to_string(path)
             .map_err(|e| CliError::runtime(format!("cannot read '{path}': {e}")))?;
-        lotus_bench::BenchReport::parse(&text)
-            .map_err(|e| CliError::runtime(format!("'{path}' is not a valid BENCH.json: {e}")))
+        let report = lotus_bench::BenchReport::parse(&text)
+            .map_err(|e| CliError::runtime(format!("'{path}' is not a valid BENCH.json: {e}")))?;
+        let serve = lotus_bench::ServeSection::from_document(&text).map_err(|e| {
+            CliError::runtime(format!("'{path}' has a malformed serve section: {e}"))
+        })?;
+        Ok((report, serve))
     };
-    let baseline = load(&args.baseline)?;
-    let current = load(&args.current)?;
-    let cmp = lotus_bench::compare::compare(&baseline, &current, args.tolerance);
+    let (baseline, baseline_serve) = load(&args.baseline)?;
+    let (current, current_serve) = load(&args.current)?;
+    let mut cmp = lotus_bench::compare::compare(&baseline, &current, args.tolerance);
+    // The serving layer is gated alongside the counting runs: one gate,
+    // one exit code (sections absent on both sides are simply skipped).
+    cmp.findings.extend(lotus_bench::compare::compare_serve(
+        baseline_serve.as_ref(),
+        current_serve.as_ref(),
+        args.tolerance,
+    ));
     let rendered = cmp.to_string();
     if cmp.passed() {
         Ok(rendered)
@@ -606,6 +620,8 @@ pub fn serve(args: ServeCliArgs) -> Result<String, CliError> {
         preload: args.preload,
         data_dir: args.data_dir.map(std::path::PathBuf::from),
         snapshot_interval: args.snapshot_interval_secs.map(Duration::from_secs),
+        event_threads: args.event_threads,
+        max_conns: args.max_conns,
         ..lotus_serve::ServeConfig::default()
     };
     if let Some(budget) = args.mem_budget {
@@ -738,6 +754,10 @@ pub fn loadgen(args: LoadgenCliArgs) -> Result<String, CliError> {
     if let Some(deadline_ms) = args.deadline_ms {
         config.deadline_ms = deadline_ms;
     }
+    if let Some(pipeline) = args.pipeline {
+        config.pipeline = pipeline;
+    }
+    config.legacy_threads = args.legacy_threads;
     // Backoff jitter follows the mix seed so two runs retry identically.
     config.retry = lotus_resilience::RetryPolicy::serve_default(config.seed);
     let report = lotus_serve::loadgen::run(&config).map_err(CliError::runtime)?;
@@ -764,6 +784,8 @@ pub fn loadgen(args: LoadgenCliArgs) -> Result<String, CliError> {
         journal_replays: durability.journal_replays,
         quarantined: durability.recovery_quarantined,
         recovery_ms: durability.recovery_ms,
+        open_conns: report.open_conns,
+        max_sustained_rps: report.max_sustained_rps,
     };
 
     let mut out = String::new();
@@ -787,6 +809,11 @@ pub fn loadgen(args: LoadgenCliArgs) -> Result<String, CliError> {
         section.wall_ms,
         section.retries,
     );
+    let _ = writeln!(
+        out,
+        "open conns {} (peak), max sustained {:.1} req/s",
+        section.open_conns, section.max_sustained_rps,
+    );
     if let Some(path) = &args.json {
         use lotus_telemetry::json::Json;
         let doc = Json::Obj(vec![
@@ -795,6 +822,9 @@ pub fn loadgen(args: LoadgenCliArgs) -> Result<String, CliError> {
                 Json::Int(lotus_bench::report::SCHEMA_VERSION),
             ),
             ("suite".into(), Json::Str(suite)),
+            // An empty runs array keeps the artifact a valid BENCH.json
+            // document, so `bench compare` can gate serve-only runs.
+            ("runs".into(), Json::Arr(vec![])),
             ("serve".into(), section.to_json()),
         ]);
         std::fs::write(path, doc.pretty())
@@ -1233,6 +1263,8 @@ mod tests {
             graph: Some("rmat:7:8:5".into()),
             deadline_ms: None,
             json: Some(json.clone()),
+            pipeline: Some(2),
+            legacy_threads: false,
         })
         .unwrap();
         assert!(out.contains("latency p50"), "{out}");
@@ -1243,6 +1275,19 @@ mod tests {
         assert_eq!(section.suite, "custom");
         assert_eq!(section.requests, 10);
         assert_eq!(section.ok + section.overloaded + section.errors, 10);
+        assert_eq!(section.open_conns, 2);
+        assert!(section.max_sustained_rps > 0.0);
+        // The artifact is a full BENCH.json document and self-compares
+        // clean at zero tolerance — exactly what the serve-load CI gate
+        // runs against the checked-in serve baseline.
+        lotus_bench::BenchReport::parse(&std::fs::read_to_string(&json).unwrap()).unwrap();
+        let out = bench(BenchArgs::Compare(BenchCompareArgs {
+            baseline: json.clone(),
+            current: json.clone(),
+            tolerance: 0.0,
+        }))
+        .unwrap();
+        assert!(out.contains("result: PASS"), "{out}");
         std::fs::remove_file(&json).ok();
 
         // Drain through the client path shuts the daemon down.

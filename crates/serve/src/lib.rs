@@ -23,14 +23,17 @@
 //! deadlines, and isolated worker panics. See DESIGN.md §11.
 
 pub mod client;
+pub(crate) mod event_loop;
 pub mod journal;
 pub mod loadgen;
+pub(crate) mod mux;
 pub mod pool;
 pub mod proto;
 pub mod recovery;
 pub mod registry;
 pub mod server;
 pub mod store;
+pub mod timer;
 
 pub use client::Client;
 pub use journal::{Journal, JournalRecord};

@@ -39,6 +39,13 @@ pub struct LoadgenConfig {
     /// failures. Every retried attempt's latency is still recorded and
     /// retries are counted separately, so percentiles stay honest.
     pub retry: RetryPolicy,
+    /// In-flight requests per connection (pipelining depth). `1`
+    /// reproduces the legacy request/response lockstep.
+    pub pipeline: usize,
+    /// Use the legacy thread-per-connection driver instead of the
+    /// multiplexed event-loop client (escape hatch; caps out around a
+    /// few hundred connections).
+    pub legacy_threads: bool,
 }
 
 impl LoadgenConfig {
@@ -54,6 +61,8 @@ impl LoadgenConfig {
             graph: "rmat:9:8:7".to_string(),
             deadline_ms: NO_DEADLINE,
             retry: RetryPolicy::serve_default(42),
+            pipeline: 1,
+            legacy_threads: false,
         }
     }
 }
@@ -81,6 +90,12 @@ pub struct LoadgenReport {
     pub latencies_us: Vec<u64>,
     /// Wall time of the whole run in milliseconds.
     pub wall_ms: u64,
+    /// Peak concurrently open connections during the run.
+    pub open_conns: u64,
+    /// Best completion rate sustained over any 1 s sliding window
+    /// (equals the overall rate for sub-second runs; `0.0` when the
+    /// legacy driver, which does not timestamp completions, ran).
+    pub max_sustained_rps: f64,
 }
 
 impl LoadgenReport {
@@ -135,6 +150,10 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport, String> {
         other => return Err(format!("unexpected reply to LoadGraph: {other:?}")),
     };
 
+    if !config.legacy_threads {
+        return crate::mux::run(config, vertices);
+    }
+
     let config = Arc::new(config.clone());
     let start = Instant::now();
     let mut threads = Vec::new();
@@ -146,6 +165,8 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport, String> {
     }
     let mut report = LoadgenReport {
         connections: config.connections,
+        // Every legacy connection is open for the whole run.
+        open_conns: config.connections as u64,
         ..LoadgenReport::default()
     };
     let mut connect_failures = Vec::new();
@@ -256,8 +277,9 @@ fn drive_connection(
 
 /// The seeded request mix: mostly counts, a slice of per-vertex and
 /// clique queries, a sprinkle of pings and stats, and the occasional
-/// two-element batch.
-fn pick_request(rng: &mut SmallRng, config: &LoadgenConfig, vertices: u32) -> Request {
+/// two-element batch. Shared with the multiplexed driver so both issue
+/// identical streams.
+pub(crate) fn pick_request(rng: &mut SmallRng, config: &LoadgenConfig, vertices: u32) -> Request {
     let name = LOADGEN_GRAPH.to_string();
     let roll = rng.gen_range(0..100u32);
     if roll < 60 {

@@ -258,6 +258,12 @@ pub struct StatsReply {
     pub recovery_quarantined: u64,
     /// Milliseconds the startup recovery pass took.
     pub recovery_ms: u64,
+    /// Connections accepted since startup.
+    pub conns_accepted: u64,
+    /// Connections open right now.
+    pub conns_open: u64,
+    /// Event-loop threads multiplexing connections.
+    pub event_threads: u32,
 }
 
 /// A server response.
@@ -373,6 +379,12 @@ impl Response {
                     Json::Int(s.recovery_quarantined as i64),
                 ),
                 ("recovery_ms".into(), Json::Int(s.recovery_ms as i64)),
+                ("conns_accepted".into(), Json::Int(s.conns_accepted as i64)),
+                ("conns_open".into(), Json::Int(s.conns_open as i64)),
+                (
+                    "event_threads".into(),
+                    Json::Int(i64::from(s.event_threads)),
+                ),
             ]),
             Response::Count {
                 triangles,
@@ -665,6 +677,9 @@ impl Response {
                 buf.extend_from_slice(&s.journal_replays.to_le_bytes());
                 buf.extend_from_slice(&s.recovery_quarantined.to_le_bytes());
                 buf.extend_from_slice(&s.recovery_ms.to_le_bytes());
+                buf.extend_from_slice(&s.conns_accepted.to_le_bytes());
+                buf.extend_from_slice(&s.conns_open.to_le_bytes());
+                buf.extend_from_slice(&s.event_threads.to_le_bytes());
             }
             Response::Count {
                 triangles,
@@ -757,6 +772,9 @@ impl Response {
                 journal_replays: d.u64()?,
                 recovery_quarantined: d.u64()?,
                 recovery_ms: d.u64()?,
+                conns_accepted: d.u64()?,
+                conns_open: d.u64()?,
+                event_threads: d.u32()?,
             }),
             2 => Response::Count {
                 triangles: d.u64()?,
@@ -904,6 +922,89 @@ fn read_exact_or_truncated<R: Read>(reader: &mut R, buf: &mut [u8]) -> Result<()
     })
 }
 
+/// Outcome of scanning an accumulation buffer for one complete frame
+/// (the event loop's nonblocking counterpart of [`read_frame`]).
+#[derive(Debug)]
+pub enum FrameProgress {
+    /// Not enough bytes buffered yet; keep reading. Every check that
+    /// *could* fail on the bytes present has already passed — damage is
+    /// reported at the earliest byte that proves it.
+    Incomplete,
+    /// One complete, CRC-verified frame.
+    Frame {
+        /// The verified payload bytes.
+        payload: Vec<u8>,
+        /// Total frame bytes to drain from the buffer (header + payload
+        /// + trailer).
+        consumed: usize,
+    },
+    /// Unrecoverable framing damage: the stream cannot be
+    /// resynchronized. The connection must answer with a typed
+    /// `protocol` error and close.
+    Damaged(ProtoError),
+}
+
+/// Scans the front of `buf` for one frame without blocking.
+///
+/// Header fields are validated as soon as their bytes arrive — a bad
+/// magic fails on the first mismatching byte and an oversized declared
+/// length is rejected from the 12-byte header alone, before any payload
+/// is buffered (the same untrusted-length discipline as [`read_frame`]).
+/// The CRC trailer is checked once the whole frame is present.
+#[must_use]
+pub fn try_parse_frame(buf: &[u8]) -> FrameProgress {
+    // Magic: compare the prefix that has arrived so far, so garbage
+    // (e.g. an HTTP request) is rejected without waiting for 12 bytes.
+    let head = buf.len().min(4);
+    if buf[..head] != MAGIC[..head] {
+        let mut seen = [0u8; 4];
+        seen[..head].copy_from_slice(&buf[..head]);
+        return FrameProgress::Damaged(ProtoError::BadMagic(seen));
+    }
+    if buf.len() < 12 {
+        return FrameProgress::Incomplete;
+    }
+    let version = u32::from_le_bytes([buf[4], buf[5], buf[6], buf[7]]);
+    if version != VERSION {
+        return FrameProgress::Damaged(ProtoError::BadVersion(version));
+    }
+    let len = u32::from_le_bytes([buf[8], buf[9], buf[10], buf[11]]);
+    if len > MAX_FRAME_PAYLOAD {
+        return FrameProgress::Damaged(ProtoError::Oversized(len));
+    }
+    let total = 12 + len as usize + 4;
+    if buf.len() < total {
+        return FrameProgress::Incomplete;
+    }
+    let mut digest = Crc32::new();
+    digest.update(&buf[..total - 4]);
+    let computed = digest.finalize();
+    let stored = u32::from_le_bytes([
+        buf[total - 4],
+        buf[total - 3],
+        buf[total - 2],
+        buf[total - 1],
+    ]);
+    if stored != computed {
+        return FrameProgress::Damaged(ProtoError::BadCrc { stored, computed });
+    }
+    FrameProgress::Frame {
+        payload: buf[12..total - 4].to_vec(),
+        consumed: total,
+    }
+}
+
+/// Encodes a response and wraps it in a complete frame, returned as
+/// bytes (the event loop's write-queue unit).
+///
+/// # Errors
+/// Propagates encoding failures as [`ProtoError`].
+pub fn frame_response(resp: &Response) -> Result<Vec<u8>, ProtoError> {
+    let mut bytes = Vec::new();
+    write_response(&mut bytes, resp)?;
+    Ok(bytes)
+}
+
 /// Encodes and frames a request in one step.
 ///
 /// # Errors
@@ -1005,6 +1106,9 @@ mod tests {
                 journal_replays: 5,
                 recovery_quarantined: 1,
                 recovery_ms: 17,
+                conns_accepted: 100,
+                conns_open: 12,
+                event_threads: 2,
             }),
             Response::Count {
                 triangles: 123_456,
@@ -1132,5 +1236,89 @@ mod tests {
     fn nested_batches_are_rejected() {
         let nested = Request::Batch(vec![Request::Batch(vec![Request::Ping])]);
         assert!(nested.encode().is_err());
+    }
+
+    #[test]
+    fn incremental_parser_handles_byte_at_a_time_delivery() {
+        let mut wire = Vec::new();
+        write_request(
+            &mut wire,
+            &Request::Count {
+                name: "graph".into(),
+                deadline_ms: 120,
+            },
+        )
+        .unwrap();
+        for cut in 0..wire.len() {
+            assert!(
+                matches!(try_parse_frame(&wire[..cut]), FrameProgress::Incomplete),
+                "prefix of {cut} bytes should be incomplete"
+            );
+        }
+        match try_parse_frame(&wire) {
+            FrameProgress::Frame { payload, consumed } => {
+                assert_eq!(consumed, wire.len());
+                assert_eq!(
+                    Request::decode(&payload).unwrap(),
+                    Request::Count {
+                        name: "graph".into(),
+                        deadline_ms: 120,
+                    }
+                );
+            }
+            other => panic!("expected a complete frame, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn incremental_parser_finds_back_to_back_frames() {
+        let mut wire = Vec::new();
+        write_request(&mut wire, &Request::Ping).unwrap();
+        let first = wire.len();
+        write_request(&mut wire, &Request::Stats).unwrap();
+        let FrameProgress::Frame { consumed, .. } = try_parse_frame(&wire) else {
+            panic!("first frame should parse");
+        };
+        assert_eq!(consumed, first);
+        let FrameProgress::Frame { payload, consumed } = try_parse_frame(&wire[first..]) else {
+            panic!("second frame should parse");
+        };
+        assert_eq!(consumed, wire.len() - first);
+        assert_eq!(Request::decode(&payload).unwrap(), Request::Stats);
+    }
+
+    #[test]
+    fn incremental_parser_rejects_damage_at_the_earliest_byte() {
+        // One wrong byte of magic: damaged immediately, not Incomplete.
+        assert!(matches!(
+            try_parse_frame(b"X"),
+            FrameProgress::Damaged(ProtoError::BadMagic(_))
+        ));
+        // Oversized declared length: damaged from the header alone.
+        let mut wire = Vec::new();
+        wire.extend_from_slice(MAGIC);
+        wire.extend_from_slice(&VERSION.to_le_bytes());
+        wire.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            try_parse_frame(&wire),
+            FrameProgress::Damaged(ProtoError::Oversized(_))
+        ));
+        // Wrong version.
+        let mut wire = Vec::new();
+        wire.extend_from_slice(MAGIC);
+        wire.extend_from_slice(&7u32.to_le_bytes());
+        wire.extend_from_slice(&0u32.to_le_bytes());
+        assert!(matches!(
+            try_parse_frame(&wire),
+            FrameProgress::Damaged(ProtoError::BadVersion(7))
+        ));
+        // Flipped payload byte: CRC mismatch once the frame completes.
+        let mut wire = Vec::new();
+        write_request(&mut wire, &Request::Drain).unwrap();
+        wire[12] ^= 0x10;
+        assert!(matches!(
+            try_parse_frame(&wire),
+            FrameProgress::Damaged(ProtoError::BadCrc { .. })
+        ));
     }
 }

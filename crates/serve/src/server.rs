@@ -1,27 +1,29 @@
-//! The TCP daemon: accept loop, connection threads, request dispatch.
+//! The TCP daemon: acceptor, event loops, request dispatch.
 //!
-//! Architecture (DESIGN.md §11):
+//! Architecture (DESIGN.md §11 / §14):
 //!
-//! - One nonblocking accept loop polls the listener and a shutdown
-//!   [`CancelToken`].
-//! - Each connection gets its own thread that reads frames with a short
-//!   socket timeout, so it notices shutdown within a poll interval.
-//! - Admin requests (`Ping`, `Stats`, `LoadGraph`, `EvictGraph`,
-//!   `Drain`) run inline on the connection thread.
-//! - Work requests (`Count`, `PerVertex`, `KClique`, `Batch`) pass
-//!   through the bounded [`WorkerPool`]: a full queue yields an explicit
-//!   `Overloaded` response (admission control), never a hang.
+//! - One acceptor thread multiplexes the listener through a
+//!   `lotus_net::Poller`, enforces the connection quota, and hands
+//!   admitted sockets round-robin to the event loops.
+//! - A small set of event-loop threads (`--event-threads`) own the
+//!   per-connection state machines: nonblocking read-accumulate →
+//!   incremental frame parse → dispatch → in-order write-drain with
+//!   partial-write resume. See `event_loop`.
+//! - Fast admin requests (`Ping`, `Stats`, `EvictGraph`, `Drain`) run
+//!   inline on the loop; everything else (`Count`, `PerVertex`,
+//!   `KClique`, `Batch`, and `LoadGraph`, whose preprocessing can take
+//!   seconds) passes through the bounded [`WorkerPool`]: a full queue
+//!   yields an explicit `Overloaded` response (admission control),
+//!   never a hang.
 //! - Every work request carries a [`Deadline`] fixed at admission; jobs
 //!   re-check it at dequeue and counting kernels poll it via their
 //!   [`RunGuard`], so a `0 ms` deadline reliably returns
 //!   `DeadlineExpired` without killing anything.
 
-use std::io::Read;
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -33,16 +35,16 @@ use lotus_graph::UndirectedCsr;
 use lotus_resilience::{isolate, CancelToken, Deadline, MemoryBudget, RunGuard, StopReason};
 use lotus_telemetry::{counters, Counter, Span, SpanId};
 
+use crate::event_loop::{self, NetConfig};
 use crate::pool::WorkerPool;
 use crate::proto::{
-    read_frame, write_response, ErrorKind, ProtoError, Request, Response, StatsReply, MAX_CLIQUE_K,
-    MAX_PER_VERTEX_SPAN, NO_DEADLINE,
+    ErrorKind, Request, Response, StatsReply, MAX_CLIQUE_K, MAX_PER_VERTEX_SPAN, NO_DEADLINE,
 };
 use crate::recovery::RecoveryReport;
 use crate::registry::{PreparedGraph, Registry, RegistryError};
 use crate::store::{DurableStore, StoreError};
 
-/// How often blocked reads and the accept loop re-check shutdown.
+/// How often the checkpoint thread re-checks shutdown between sleeps.
 const POLL_INTERVAL: Duration = Duration::from_millis(25);
 
 /// Daemon configuration.
@@ -69,6 +71,21 @@ pub struct ServeConfig {
     /// orphan snapshots; `None` disables periodic checkpoints (one still
     /// runs at shutdown). Ignored without a data dir.
     pub snapshot_interval: Option<Duration>,
+    /// Event-loop threads multiplexing connections; `0` picks a small
+    /// default from the machine's parallelism (1–4).
+    pub event_threads: usize,
+    /// Connection quota: sockets accepted past this are answered with a
+    /// best-effort `Overloaded` frame and closed. `0` means the default
+    /// (4096).
+    pub max_conns: usize,
+    /// Idle / slow-loris timeout: a connection that makes no read
+    /// progress for this long (and has nothing in flight) is evicted by
+    /// the timer wheel. `Duration::ZERO` means the default (60 s).
+    pub idle_timeout: Duration,
+    /// Per-connection pipelining cap: the loop stops reading more
+    /// frames from a connection once this many of its requests are in
+    /// flight (backpressure, not an error). `0` means the default (64).
+    pub max_inflight: usize,
 }
 
 impl Default for ServeConfig {
@@ -82,6 +99,10 @@ impl Default for ServeConfig {
             preload: Vec::new(),
             data_dir: None,
             snapshot_interval: None,
+            event_threads: 0,
+            max_conns: 0,
+            idle_timeout: Duration::ZERO,
+            max_inflight: 0,
         }
     }
 }
@@ -144,6 +165,37 @@ impl ServeStats {
     }
 }
 
+/// Always-on connection-level counters plus the drain fan-out: one
+/// waker per poller (acceptor + each event loop), woken together so a
+/// drain interrupts every blocked wait immediately.
+#[derive(Debug, Default)]
+pub(crate) struct NetRuntime {
+    pub(crate) conns_accepted: AtomicU64,
+    pub(crate) conns_open: AtomicU64,
+    pub(crate) event_threads: AtomicU64,
+    pub(crate) wakers: Mutex<Vec<Arc<lotus_net::Waker>>>,
+}
+
+impl NetRuntime {
+    pub(crate) fn add_waker(&self, waker: Arc<lotus_net::Waker>) {
+        self.wakers
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(waker);
+    }
+
+    fn wake_all(&self) {
+        for waker in self
+            .wakers
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+        {
+            waker.wake();
+        }
+    }
+}
+
 /// Shared daemon state: registry, pool, stats, durability, shutdown.
 pub struct ServerState {
     registry: Registry,
@@ -152,6 +204,7 @@ pub struct ServerState {
     shutdown: CancelToken,
     store: Option<Arc<DurableStore>>,
     recovery: Option<RecoveryReport>,
+    pub(crate) net: NetRuntime,
 }
 
 impl ServerState {
@@ -179,6 +232,26 @@ impl ServerState {
         self.recovery.as_ref()
     }
 
+    /// The shutdown token (cancelled once a drain begins).
+    #[must_use]
+    pub(crate) fn shutdown_token(&self) -> &CancelToken {
+        &self.shutdown
+    }
+
+    /// The bounded worker pool.
+    #[must_use]
+    pub(crate) fn pool(&self) -> &WorkerPool {
+        &self.pool
+    }
+
+    /// Starts a graceful drain: cancels the shutdown token and wakes
+    /// every poller so the acceptor parks and the loops begin flushing
+    /// in-flight responses. Idempotent.
+    pub(crate) fn begin_drain(&self) {
+        self.shutdown.cancel();
+        self.net.wake_all();
+    }
+
     /// Assembles the wire-level stats reply.
     #[must_use]
     pub fn stats_reply(&self) -> StatsReply {
@@ -203,6 +276,9 @@ impl ServerState {
             journal_replays,
             recovery_quarantined,
             recovery_ms,
+            conns_accepted: self.net.conns_accepted.load(Ordering::Relaxed),
+            conns_open: self.net.conns_open.load(Ordering::Relaxed),
+            event_threads: self.net.event_threads.load(Ordering::Relaxed) as u32,
         }
     }
 }
@@ -242,7 +318,7 @@ impl ServerHandle {
     /// Requests shutdown (same path as a `Drain` request). Returns
     /// immediately; use [`ServerHandle::wait`] to join.
     pub fn shutdown(&self) {
-        self.state.shutdown.cancel();
+        self.state.begin_drain();
     }
 
     /// Blocks until the daemon exits (accept loop joined, connections
@@ -259,7 +335,7 @@ impl ServerHandle {
 
 impl Drop for ServerHandle {
     fn drop(&mut self) {
-        self.state.shutdown.cancel();
+        self.state.begin_drain();
         if let Some(handle) = self.accept.take() {
             let _ = handle.join();
         }
@@ -343,6 +419,7 @@ pub fn spawn(config: ServeConfig) -> Result<ServerHandle, ServeError> {
         shutdown: CancelToken::new(),
         store,
         recovery,
+        net: NetRuntime::default(),
     });
     if let Some(store) = &state.store {
         // LRU evictions happen inside Registry::load, invisible to
@@ -384,11 +461,13 @@ pub fn spawn(config: ServeConfig) -> Result<ServerHandle, ServeError> {
     let addr = listener.local_addr().map_err(ServeError::Bind)?;
     listener.set_nonblocking(true).map_err(ServeError::Bind)?;
 
-    let accept_state = Arc::clone(&state);
-    let accept = std::thread::Builder::new()
-        .name("lotus-serve-accept".to_string())
-        .spawn(move || accept_loop(&listener, &accept_state))
-        .map_err(ServeError::Bind)?;
+    let net_config = NetConfig::resolve(&config);
+    state
+        .net
+        .event_threads
+        .store(net_config.event_threads as u64, Ordering::Relaxed);
+    let accept =
+        event_loop::start(listener, Arc::clone(&state), net_config).map_err(ServeError::Bind)?;
 
     let mut checkpoint = None;
     if state.store.is_some() {
@@ -445,220 +524,88 @@ fn checkpoint_loop(state: &Arc<ServerState>, interval: Option<Duration>) {
     }
 }
 
-fn accept_loop(listener: &TcpListener, state: &Arc<ServerState>) {
-    let mut connections: Vec<JoinHandle<()>> = Vec::new();
-    while !state.shutdown.is_cancelled() {
-        match listener.accept() {
-            Ok((stream, _peer)) => {
-                let conn_state = Arc::clone(state);
-                if let Ok(handle) = std::thread::Builder::new()
-                    .name("lotus-serve-conn".to_string())
-                    .spawn(move || serve_connection(stream, &conn_state))
-                {
-                    connections.push(handle);
-                }
-                connections.retain(|h| !h.is_finished());
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(POLL_INTERVAL);
-            }
-            Err(_) => std::thread::sleep(POLL_INTERVAL),
-        }
-    }
-    // Shutdown: connection threads observe the token within one poll
-    // interval; the pool drain below finishes in-flight work.
-    for handle in connections {
-        let _ = handle.join();
-    }
-    state.pool.shutdown();
-}
-
-/// A `Read` adapter over a timeout-bearing `TcpStream` that turns read
-/// timeouts into shutdown polls: a blocked `read_frame` wakes every
-/// [`POLL_INTERVAL`] and aborts with `ConnectionAborted` once the daemon
-/// is shutting down, instead of blocking forever on an idle client.
-struct PollingStream<'a> {
-    stream: &'a TcpStream,
-    shutdown: &'a CancelToken,
-}
-
-impl Read for PollingStream<'_> {
-    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
-        loop {
-            match self.stream.read(buf) {
-                Ok(n) => return Ok(n),
-                Err(e)
-                    if matches!(
-                        e.kind(),
-                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
-                    ) =>
-                {
-                    if self.shutdown.is_cancelled() {
-                        return Err(std::io::Error::new(
-                            std::io::ErrorKind::ConnectionAborted,
-                            "daemon shutting down",
-                        ));
-                    }
-                }
-                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
-                Err(e) => return Err(e),
-            }
-        }
-    }
-}
-
-fn serve_connection(stream: TcpStream, state: &Arc<ServerState>) {
-    let _ = stream.set_nonblocking(false);
-    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
-    let _ = stream.set_nodelay(true);
-    let Ok(mut writer) = stream.try_clone() else {
-        return;
-    };
-    let mut reader = PollingStream {
-        stream: &stream,
-        shutdown: &state.shutdown,
-    };
-    loop {
-        let payload = match read_frame(&mut reader) {
-            Ok(payload) => payload,
-            Err(ProtoError::Io(e)) => {
-                // Clean close (EOF before a frame), client vanishing, or
-                // the shutdown abort — nothing to answer.
-                let _ = e;
-                return;
-            }
-            Err(ProtoError::Truncated) => {
-                // The peer died mid-frame; no way to answer it.
-                return;
-            }
-            Err(
-                e @ (ProtoError::BadMagic(_)
-                | ProtoError::BadVersion(_)
-                | ProtoError::Oversized(_)
-                | ProtoError::BadCrc { .. }),
-            ) => {
-                // Frame-level damage: answer with a structured error,
-                // then close — the stream cannot be resynchronized.
-                let _ = write_response(
-                    &mut writer,
-                    &Response::error(ErrorKind::Protocol, e.to_string()),
-                );
-                return;
-            }
-            Err(e) => {
-                let _ = write_response(
-                    &mut writer,
-                    &Response::error(ErrorKind::Protocol, e.to_string()),
-                );
-                return;
-            }
-        };
-        let request = match Request::decode(&payload) {
-            Ok(request) => request,
-            Err(e) => {
-                // The frame itself was sound (CRC passed), so the stream
-                // stays synchronized: answer and keep the connection.
-                if write_response(
-                    &mut writer,
-                    &Response::error(ErrorKind::BadRequest, e.to_string()),
-                )
-                .is_err()
-                {
-                    return;
-                }
-                continue;
-            }
-        };
-        let response = dispatch(request, state);
-        let draining = matches!(response, Response::Draining);
-        if write_response(&mut writer, &response).is_err() {
-            return;
-        }
-        if draining {
-            return;
-        }
-    }
-}
-
-/// Routes one request: admin inline, work through the pool.
-fn dispatch(request: Request, state: &Arc<ServerState>) -> Response {
+/// Handles a request cheap enough to run inline on an event-loop
+/// thread: `Ping`, `Stats`, `EvictGraph`, `Drain`. Returns `None` for
+/// everything that must go through the worker pool (`LoadGraph`'s
+/// preprocessing can take seconds, so it is pool-bound too — unlike the
+/// old thread-per-connection daemon, a stalled loop thread would stall
+/// every connection it owns).
+pub(crate) fn run_inline(request: &Request, state: &Arc<ServerState>) -> Option<Response> {
     match request {
-        Request::Ping => Response::Pong,
-        Request::Stats => Response::Stats(state.stats_reply()),
-        Request::LoadGraph { name, spec } => match state.registry.load(&name, &spec) {
-            Ok((prepared, evicted)) => {
-                // Persist only after the load succeeded; a durability
-                // failure is reported (the graph still serves from RAM,
-                // but the client must know it is not crash-safe).
-                if let Some(store) = state.store() {
-                    if let Err(e) = store.record_register(&name, &spec, &prepared.graph) {
-                        return Response::error(
-                            ErrorKind::DurabilityFailed,
-                            format!("`{name}` loaded but not persisted: {e}"),
-                        );
-                    }
-                }
-                Response::Loaded {
-                    vertices: prepared.graph.num_vertices(),
-                    edges: prepared.graph.num_edges(),
-                    bytes: prepared.bytes,
-                    evicted,
-                }
-            }
-            Err(e) => registry_error_response(&e),
-        },
+        Request::Ping => Some(Response::Pong),
+        Request::Stats => Some(Response::Stats(state.stats_reply())),
         Request::EvictGraph { name } => {
-            let existed = state.registry.evict(&name);
+            let existed = state.registry.evict(name);
             if let Some(store) = state.store() {
-                if let Err(e) = store.record_evict(&name) {
-                    return Response::error(
+                if let Err(e) = store.record_evict(name) {
+                    return Some(Response::error(
                         ErrorKind::DurabilityFailed,
                         format!("`{name}` evicted but the journal append failed: {e}"),
+                    ));
+                }
+            }
+            Some(Response::Evicted { existed })
+        }
+        Request::Drain => {
+            state.begin_drain();
+            Some(Response::Draining)
+        }
+        _ => None,
+    }
+}
+
+/// Runs a pool-bound request on a worker thread: panic-isolated, span-
+/// wrapped, outcome-counted. The deadline was fixed at admission, so
+/// queueing time counts against it — a `0 ms` deadline expires before
+/// the job even dequeues.
+pub(crate) fn run_pooled(
+    request: &Request,
+    deadline: Option<Deadline>,
+    state: &Arc<ServerState>,
+) -> Response {
+    let _span = Span::enter(SpanId::ServeRequest);
+    if let Request::LoadGraph { name, spec } = request {
+        // Registry loads run their own isolation inside the kernels;
+        // counting stats are not bumped for admin requests.
+        return run_load_graph(name, spec, state);
+    }
+    let response = isolate(|| execute_work(request, deadline, state)).unwrap_or_else(|panic| {
+        state.stats.record_panic();
+        Response::error(ErrorKind::WorkerPanic, panic.message)
+    });
+    record_outcome(&response, state);
+    response
+}
+
+/// Records a refused admission and builds the `Overloaded` response.
+pub(crate) fn overloaded_response(state: &Arc<ServerState>) -> Response {
+    state.stats.record_overloaded();
+    Response::error(ErrorKind::Overloaded, "request queue is full")
+}
+
+fn run_load_graph(name: &str, spec: &str, state: &Arc<ServerState>) -> Response {
+    match state.registry.load(name, spec) {
+        Ok((prepared, evicted)) => {
+            // Persist only after the load succeeded; a durability
+            // failure is reported (the graph still serves from RAM,
+            // but the client must know it is not crash-safe).
+            if let Some(store) = state.store() {
+                if let Err(e) = store.record_register(name, spec, &prepared.graph) {
+                    return Response::error(
+                        ErrorKind::DurabilityFailed,
+                        format!("`{name}` loaded but not persisted: {e}"),
                     );
                 }
             }
-            Response::Evicted { existed }
+            Response::Loaded {
+                vertices: prepared.graph.num_vertices(),
+                edges: prepared.graph.num_edges(),
+                bytes: prepared.bytes,
+                evicted,
+            }
         }
-        Request::Drain => {
-            state.shutdown.cancel();
-            Response::Draining
-        }
-        work @ (Request::Count { .. }
-        | Request::PerVertex { .. }
-        | Request::KClique { .. }
-        | Request::Batch(_)) => submit_work(work, state),
+        Err(e) => registry_error_response(&e),
     }
-}
-
-/// Admission control: one queue slot per work request; a full queue is
-/// an immediate `Overloaded` response.
-fn submit_work(request: Request, state: &Arc<ServerState>) -> Response {
-    if state.shutdown.is_cancelled() {
-        return Response::error(ErrorKind::ShuttingDown, "daemon is draining");
-    }
-    // The deadline starts at admission, so queueing time counts against
-    // it — a 0 ms deadline expires before the job even dequeues.
-    let deadline = request_deadline(&request);
-    let (tx, rx) = mpsc::channel();
-    let job_state = Arc::clone(state);
-    let submitted = state.pool.try_submit(Box::new(move || {
-        let _span = Span::enter(SpanId::ServeRequest);
-        let response =
-            isolate(|| execute_work(&request, deadline, &job_state)).unwrap_or_else(|panic| {
-                job_state.stats.record_panic();
-                Response::error(ErrorKind::WorkerPanic, panic.message)
-            });
-        record_outcome(&response, &job_state);
-        let _ = tx.send(response);
-    }));
-    if !submitted {
-        state.stats.record_overloaded();
-        return Response::error(ErrorKind::Overloaded, "request queue is full");
-    }
-    // Workers survive job panics (double isolation), so a reply always
-    // arrives.
-    rx.recv()
-        .unwrap_or_else(|_| Response::error(ErrorKind::WorkerPanic, "worker dropped the reply"))
 }
 
 /// Bumps the served / deadline-expired stats for a completed work
@@ -679,7 +626,7 @@ fn record_outcome(response: &Response, state: &Arc<ServerState>) {
     }
 }
 
-fn request_deadline(request: &Request) -> Option<Deadline> {
+pub(crate) fn request_deadline(request: &Request) -> Option<Deadline> {
     let ms = match request {
         Request::Count { deadline_ms, .. }
         | Request::PerVertex { deadline_ms, .. }

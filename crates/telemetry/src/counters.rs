@@ -56,11 +56,20 @@ pub enum Counter {
     JournalReplays,
     /// Damaged durability files quarantined during recovery.
     RecoveryQuarantined,
+    /// Connections admitted by the serve acceptor.
+    ConnsAccepted,
+    /// Readiness events delivered to the serve event loops.
+    ReadinessEvents,
+    /// Times a serve event loop woke from its poller wait.
+    LoopWakeups,
+    /// Socket writes that could not complete in one call (resumed when
+    /// the socket signals writable again).
+    PartialWrites,
 }
 
 impl Counter {
     /// Every counter, in schema order.
-    pub const ALL: [Counter; 22] = [
+    pub const ALL: [Counter; 26] = [
         Counter::Intersections,
         Counter::MergeSteps,
         Counter::FruitlessIntersections,
@@ -83,6 +92,10 @@ impl Counter {
         Counter::JournalAppends,
         Counter::JournalReplays,
         Counter::RecoveryQuarantined,
+        Counter::ConnsAccepted,
+        Counter::ReadinessEvents,
+        Counter::LoopWakeups,
+        Counter::PartialWrites,
     ];
 
     /// The stable snake_case name used as the JSON key.
@@ -111,6 +124,10 @@ impl Counter {
             Counter::JournalAppends => "journal_appends",
             Counter::JournalReplays => "journal_replays",
             Counter::RecoveryQuarantined => "recovery_quarantined",
+            Counter::ConnsAccepted => "conns_accepted",
+            Counter::ReadinessEvents => "readiness_events",
+            Counter::LoopWakeups => "loop_wakeups",
+            Counter::PartialWrites => "partial_writes",
         }
     }
 
