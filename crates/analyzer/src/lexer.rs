@@ -6,7 +6,9 @@
 //! gets wrong are handled properly:
 //!
 //! * nested block comments (`/* a /* b */ c */`),
-//! * raw strings with hash fences (`r#"…"#`, `br##"…"##`),
+//! * raw strings with hash fences (`r#"…"#`, `br##"…"##`, `cr#"…"#`),
+//! * C-string literals (`c"…"`, stable since Rust 1.77) vs. identifiers
+//!   that merely start with `c` (`crate`, `counters`),
 //! * lifetimes vs. char literals (`<'a>` vs. `'a'` vs. `'\''`),
 //! * raw identifiers (`r#type`),
 //! * multi-line strings (line numbers keep counting inside).
@@ -22,7 +24,8 @@ pub enum TokKind {
     Ident,
     /// A lifetime such as `'a` or `'static`.
     Lifetime,
-    /// Any string literal: `"…"`, `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`.
+    /// Any string literal: `"…"`, `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`,
+    /// `c"…"`, `cr#"…"#`.
     Str,
     /// A character literal such as `'x'`, `'\n'` or `'\''`.
     Char,
@@ -114,7 +117,7 @@ pub fn lex(src: &str) -> Vec<Tok<'_>> {
                 i = scan_plain_string(b, i, &mut line);
                 TokKind::Str
             }
-            b'r' | b'b' => {
+            b'r' | b'b' | b'c' => {
                 if let Some(end) = scan_raw_or_byte_string(b, i, &mut line) {
                     i = end;
                     TokKind::Str
@@ -197,17 +200,17 @@ fn scan_plain_string(b: &[u8], open: usize, line: &mut u32) -> usize {
     i
 }
 
-/// Recognises `r"…"`, `r#"…"#`, `b"…"`, `br"…"`, `br#"…"#` starting at
-/// `open` (which holds `r` or `b`). Returns the end index, or `None` if
-/// the bytes at `open` are not a string prefix (e.g. an identifier that
-/// merely starts with `r`).
+/// Recognises `r"…"`, `r#"…"#`, `b"…"`, `br"…"`, `br#"…"#`, `c"…"`,
+/// `cr"…"`, `cr#"…"#` starting at `open` (which holds `r`, `b` or `c`).
+/// Returns the end index, or `None` if the bytes at `open` are not a
+/// string prefix (e.g. an identifier that merely starts with `r`).
 fn scan_raw_or_byte_string(b: &[u8], open: usize, line: &mut u32) -> Option<usize> {
     let mut j = open;
-    if b[j] == b'b' {
+    if b[j] == b'b' || b[j] == b'c' {
         j += 1;
     }
     // When `open` holds `r` the prefix itself is the raw marker; after a
-    // `b` an `r` may follow (`br"…"`).
+    // `b` or `c` an `r` may follow (`br"…"`, `cr#"…"#`).
     let raw = b.get(j) == Some(&b'r');
     if raw {
         j += 1;
@@ -335,6 +338,35 @@ mod tests {
             kinds(r###"b"x" br#"y"# r"z" ready"###),
             [TokKind::Str, TokKind::Str, TokKind::Str, TokKind::Ident]
         );
+    }
+
+    #[test]
+    fn c_string_literals() {
+        // `c"…"` and `cr#"…"#` are literals; `crate`/`cfg` stay idents.
+        assert_eq!(
+            kinds(r###"c"null terminated" cr#"fen"ced"# cr"plain" crate cfg"###),
+            [
+                TokKind::Str,
+                TokKind::Str,
+                TokKind::Str,
+                TokKind::Ident,
+                TokKind::Ident,
+            ]
+        );
+        let toks = lex(r###"let p = cr##"deep "# fence"##;"###);
+        let strs: Vec<_> = toks.iter().filter(|t| t.kind == TokKind::Str).collect();
+        assert_eq!(strs.len(), 1);
+        assert_eq!(strs[0].text, r###"cr##"deep "# fence"##"###);
+    }
+
+    #[test]
+    fn c_string_with_escape_and_newline() {
+        // Escaped quote does not close the literal; embedded newlines
+        // keep the line counter honest for following tokens.
+        let toks = lex("c\"a\\\"b\nc\"\nx");
+        assert_eq!(toks[0].kind, TokKind::Str);
+        assert_eq!(toks[1].text, "x");
+        assert_eq!(toks[1].line, 3);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! `lotus-analyzer` — project-specific static analysis for LOTUS.
 //!
-//! Two engines behind the `lotus analyze` CLI gate (DESIGN.md §10):
+//! Three engines behind the `lotus analyze` CLI gate (DESIGN.md §10, §15):
 //!
 //! * **Source lint engine** ([`engine`], [`rules`], [`lexer`]): a
 //!   hand-rolled Rust lexer plus token-stream rules enforcing the
@@ -15,18 +15,28 @@
 //!   while a shadow access log detects overlapping unsynchronized
 //!   writes across logical tasks, and verifies schedule-order
 //!   independence of every result.
+//! * **Lock-order pass** ([`locks`] plus the item parser): a syntax-aware
+//!   pass over the same lexer that inventories every mutex in the
+//!   workspace, derives the cross-crate `held → acquired` graph, and
+//!   reports ABBA cycles, blocking calls under a live guard, and
+//!   same-scope double acquisition — cross-checked at runtime against
+//!   `lotus_telemetry::sync`'s lock witness.
 
 pub mod diag;
 pub mod engine;
 pub mod lexer;
+pub mod locks;
+mod parser;
 pub mod race;
 pub mod rules;
 pub mod waiver;
 
 pub use diag::{Finding, LintReport, Severity};
 pub use engine::{
-    analyze_workspace, collect_workspace_files, lint_files, SourceFile, DEFAULT_WAIVER_FILE,
+    analyze_locks_workspace, analyze_workspace, collect_workspace_files, lint_files, SourceFile,
+    DEFAULT_WAIVER_FILE,
 };
+pub use locks::{run_lock_suite, LockControl, LockEdge, LockGraph, LockSuiteReport, LOCK_RULES};
 pub use race::{planted_overlap, run_suite, RaceSuiteReport, ScenarioOutcome, FIXED_SEEDS};
 pub use rules::RULES;
 pub use waiver::{Waiver, WaiverSet};

@@ -1,0 +1,596 @@
+//! A lightweight item/block parser layered on the lexer.
+//!
+//! The lock-discipline pass needs more shape than the token-stream
+//! rules: which `fn` bodies exist, which `impl` owns them, what fields
+//! a struct declares, and where a body's braces open and close. This
+//! module recovers exactly that much structure — items, not
+//! expressions — and leaves everything inside a body as a raw token
+//! range for [`crate::locks`]'s scanner to walk.
+//!
+//! Deliberate non-goals (documented blind spots, DESIGN.md §15): no
+//! type inference, no trait resolution (calls through trait objects are
+//! invisible), no nested `fn` items inside bodies, and tuple-struct
+//! fields are skipped (locks live in named fields here).
+
+use crate::lexer::{Tok, TokKind};
+use crate::rules::{is_ident, is_punct, match_delim, next_code};
+
+/// A named struct field: `name: Type`.
+#[derive(Debug, Clone)]
+pub(crate) struct FieldDef {
+    /// Field name.
+    pub name: String,
+    /// Type text with all whitespace/comments dropped, e.g.
+    /// `TracedMutex<VecDeque<Job>>`.
+    pub ty: String,
+}
+
+/// A struct item with named fields (tuple/unit structs have none).
+#[derive(Debug, Clone)]
+pub(crate) struct StructDef {
+    /// Type name.
+    pub name: String,
+    /// Named fields in declaration order.
+    pub fields: Vec<FieldDef>,
+}
+
+/// A `static NAME: Type` item, found at any nesting depth (function
+/// bodies included — `fn`-local lock statics are real locks).
+#[derive(Debug, Clone)]
+pub(crate) struct StaticDef {
+    /// Static name.
+    pub name: String,
+    /// Type text, whitespace dropped.
+    pub ty: String,
+}
+
+/// A function item: enough signature to resolve calls plus the body's
+/// token range.
+#[derive(Debug, Clone)]
+pub(crate) struct FnDef {
+    /// Function name.
+    pub name: String,
+    /// `impl` type the function belongs to (`None` for free functions).
+    pub owner: Option<String>,
+    /// Return-type text (everything between `->` and the body or `;`),
+    /// whitespace dropped; empty when the function returns `()`.
+    pub ret: String,
+    /// `(pattern name, type text)` per parameter; receivers (`self`)
+    /// are skipped.
+    pub params: Vec<(String, String)>,
+    /// Token indexes of the body's `{` and `}`; `None` for trait
+    /// method declarations and extern fns.
+    pub body: Option<(usize, usize)>,
+    /// Whether the function sits inside test-only code.
+    pub masked: bool,
+}
+
+/// Everything the item parser recovers from one file.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct ParsedFile {
+    /// Struct items with named fields.
+    pub structs: Vec<StructDef>,
+    /// Function items, impl methods included.
+    pub fns: Vec<FnDef>,
+    /// `static` items (any depth).
+    pub statics: Vec<StaticDef>,
+}
+
+/// Parses item structure out of a token stream. `mask` marks test-only
+/// tokens (same convention as the lint rules).
+pub(crate) fn parse_items(toks: &[Tok<'_>], mask: &[bool]) -> ParsedFile {
+    let mut out = ParsedFile::default();
+    scan_items(toks, mask, 0, toks.len(), None, &mut out);
+    collect_statics(toks, &mut out);
+    out
+}
+
+/// Joins token texts into canonical whitespace-free type text.
+fn type_text(toks: &[Tok<'_>]) -> String {
+    let mut s = String::new();
+    for t in toks {
+        if t.kind.is_code() {
+            s.push_str(t.text);
+        }
+    }
+    s
+}
+
+/// Skips a `<…>` generic-argument list starting at `i` (which must hold
+/// `<`), tolerating `->` inside `Fn(..) -> T` bounds. Returns the index
+/// one past the closing `>`.
+fn skip_generics(toks: &[Tok<'_>], i: usize) -> usize {
+    let mut depth = 0i64;
+    let mut j = i;
+    while j < toks.len() {
+        let t = &toks[j];
+        if is_punct(t, "<") {
+            depth += 1;
+        } else if is_punct(t, ">") {
+            // `->`'s `>` is not a closer.
+            let arrow = j > 0 && is_punct(&toks[j - 1], "-");
+            if !arrow {
+                depth -= 1;
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+        }
+        j += 1;
+    }
+    j
+}
+
+/// Walks `[lo, hi)` at item position, recursing into `impl`/`mod`
+/// bodies. `owner` names the enclosing `impl` type, if any.
+fn scan_items(
+    toks: &[Tok<'_>],
+    mask: &[bool],
+    lo: usize,
+    hi: usize,
+    owner: Option<&str>,
+    out: &mut ParsedFile,
+) {
+    let mut i = lo;
+    while i < hi {
+        let t = &toks[i];
+        if !t.kind.is_code() {
+            i += 1;
+            continue;
+        }
+        if is_ident(t, "impl") {
+            i = parse_impl(toks, mask, i, hi, out);
+        } else if is_ident(t, "mod") {
+            // `mod name { … }` recurses; `mod name;` is skipped.
+            let Some(name_i) = next_code(toks, i) else {
+                break;
+            };
+            let mut j = name_i + 1;
+            while j < hi && !is_punct(&toks[j], "{") && !is_punct(&toks[j], ";") {
+                j += 1;
+            }
+            if j < hi && is_punct(&toks[j], "{") {
+                let close = match_delim(toks, j, "{", "}");
+                scan_items(toks, mask, j + 1, close.min(hi), owner, out);
+                i = close + 1;
+            } else {
+                i = j + 1;
+            }
+        } else if is_ident(t, "struct") {
+            i = parse_struct(toks, i, hi, out);
+        } else if is_ident(t, "fn") {
+            i = parse_fn(toks, mask, i, hi, owner, out);
+        } else if is_ident(t, "enum") || is_ident(t, "union") || is_ident(t, "trait") {
+            // Skip the whole item body (trait default methods are a
+            // documented blind spot).
+            let mut j = i + 1;
+            while j < hi && !is_punct(&toks[j], "{") && !is_punct(&toks[j], ";") {
+                j += 1;
+            }
+            i = if j < hi && is_punct(&toks[j], "{") {
+                match_delim(toks, j, "{", "}") + 1
+            } else {
+                j + 1
+            };
+        } else if is_punct(t, "{") {
+            // A stray block at item position (macro invocation body,
+            // `thread_local! { … }`); statics inside are still found by
+            // the flat static scan.
+            i = match_delim(toks, i, "{", "}") + 1;
+        } else {
+            i += 1;
+        }
+    }
+}
+
+/// Parses `impl … { … }` starting at the `impl` keyword; returns the
+/// index one past the body.
+fn parse_impl(
+    toks: &[Tok<'_>],
+    mask: &[bool],
+    at: usize,
+    hi: usize,
+    out: &mut ParsedFile,
+) -> usize {
+    let mut j = at + 1;
+    if j < hi && is_punct(&toks[j], "<") {
+        j = skip_generics(toks, j);
+    }
+    // Collect header tokens up to the body; `impl Trait for Type` takes
+    // the ident after `for`, otherwise the first ident is the type.
+    let mut ty: Option<String> = None;
+    let mut after_for = false;
+    while j < hi && !is_punct(&toks[j], "{") && !is_punct(&toks[j], ";") {
+        let t = &toks[j];
+        if is_ident(t, "for") {
+            after_for = true;
+            ty = None;
+        } else if t.kind == TokKind::Ident && ty.is_none() && !is_ident(t, "where") {
+            // Take the *last* path segment: `fmt::Debug for X` never
+            // gets here with `ty` unset after `for` resets it, and
+            // `crate::Registry` resolves to `Registry`.
+            let mut k = j;
+            while k + 2 < hi && is_punct(&toks[k + 1], ":") && is_punct(&toks[k + 2], ":") {
+                if let Some(n) = next_code(toks, k + 2) {
+                    if toks[n].kind == TokKind::Ident {
+                        k = n;
+                        continue;
+                    }
+                }
+                break;
+            }
+            ty = Some(toks[k].text.to_owned());
+            j = k;
+        }
+        j += 1;
+    }
+    let _ = after_for;
+    if j >= hi || !is_punct(&toks[j], "{") {
+        return j + 1;
+    }
+    let close = match_delim(toks, j, "{", "}");
+    let owner = ty.unwrap_or_default();
+    scan_items(
+        toks,
+        mask,
+        j + 1,
+        close.min(hi),
+        if owner.is_empty() { None } else { Some(&owner) },
+        out,
+    );
+    close + 1
+}
+
+/// Parses `struct Name { fields }` starting at the keyword; returns the
+/// index one past the item.
+fn parse_struct(toks: &[Tok<'_>], at: usize, hi: usize, out: &mut ParsedFile) -> usize {
+    let Some(name_i) = next_code(toks, at) else {
+        return at + 1;
+    };
+    if toks[name_i].kind != TokKind::Ident {
+        return name_i;
+    }
+    let name = toks[name_i].text.to_owned();
+    let mut j = name_i + 1;
+    if j < hi && is_punct(&toks[j], "<") {
+        j = skip_generics(toks, j);
+    }
+    // Tuple struct: skip `( … )` then run to the `;`.
+    if j < hi && is_punct(&toks[j], "(") {
+        let close = match_delim(toks, j, "(", ")");
+        out.structs.push(StructDef {
+            name,
+            fields: Vec::new(),
+        });
+        let mut k = close + 1;
+        while k < hi && !is_punct(&toks[k], ";") {
+            k += 1;
+        }
+        return k + 1;
+    }
+    // Skip a where clause to reach `{` (or `;` for a unit struct).
+    while j < hi && !is_punct(&toks[j], "{") && !is_punct(&toks[j], ";") {
+        j += 1;
+    }
+    if j >= hi || is_punct(&toks[j], ";") {
+        out.structs.push(StructDef {
+            name,
+            fields: Vec::new(),
+        });
+        return j + 1;
+    }
+    let close = match_delim(toks, j, "{", "}");
+    let mut fields = Vec::new();
+    let mut k = j + 1;
+    while k < close {
+        let t = &toks[k];
+        if !t.kind.is_code() {
+            k += 1;
+            continue;
+        }
+        if is_punct(t, "#") {
+            // Attribute: skip `#[…]`.
+            if let Some(open) = next_code(toks, k) {
+                if is_punct(&toks[open], "[") {
+                    k = match_delim(toks, open, "[", "]") + 1;
+                    continue;
+                }
+            }
+            k += 1;
+            continue;
+        }
+        if is_ident(t, "pub") {
+            k += 1;
+            if k < close && is_punct(&toks[k], "(") {
+                k = match_delim(toks, k, "(", ")") + 1;
+            }
+            continue;
+        }
+        if t.kind == TokKind::Ident {
+            // `name : Type` up to a top-level `,`.
+            let Some(colon) = next_code(toks, k) else {
+                break;
+            };
+            if !is_punct(&toks[colon], ":") {
+                k += 1;
+                continue;
+            }
+            let (ty_end, _) = scan_to_comma(toks, colon + 1, close);
+            fields.push(FieldDef {
+                name: t.text.to_owned(),
+                ty: type_text(&toks[colon + 1..ty_end]),
+            });
+            k = ty_end + 1;
+            continue;
+        }
+        k += 1;
+    }
+    out.structs.push(StructDef { name, fields });
+    close + 1
+}
+
+/// Scans from `from` to the next `,` at zero angle/paren/bracket depth,
+/// stopping at `hi`. Returns `(index_of_comma_or_hi, depth_balanced)`.
+fn scan_to_comma(toks: &[Tok<'_>], from: usize, hi: usize) -> (usize, bool) {
+    let mut angle = 0i64;
+    let mut round = 0i64;
+    let mut square = 0i64;
+    let mut j = from;
+    while j < hi {
+        let t = &toks[j];
+        if is_punct(t, "<") {
+            angle += 1;
+        } else if is_punct(t, ">") && !(j > 0 && is_punct(&toks[j - 1], "-")) {
+            angle -= 1;
+        } else if is_punct(t, "(") {
+            round += 1;
+        } else if is_punct(t, ")") {
+            round -= 1;
+        } else if is_punct(t, "[") {
+            square += 1;
+        } else if is_punct(t, "]") {
+            square -= 1;
+        } else if is_punct(t, ",") && angle == 0 && round == 0 && square == 0 {
+            return (j, true);
+        }
+        j += 1;
+    }
+    (hi, angle == 0 && round == 0 && square == 0)
+}
+
+/// Parses a `fn` item starting at the keyword; returns the index one
+/// past the body (or the `;`).
+fn parse_fn(
+    toks: &[Tok<'_>],
+    mask: &[bool],
+    at: usize,
+    hi: usize,
+    owner: Option<&str>,
+    out: &mut ParsedFile,
+) -> usize {
+    let Some(name_i) = next_code(toks, at) else {
+        return at + 1;
+    };
+    if toks[name_i].kind != TokKind::Ident {
+        return name_i;
+    }
+    let name = toks[name_i].text.to_owned();
+    let mut j = name_i + 1;
+    if j < hi && is_punct(&toks[j], "<") {
+        j = skip_generics(toks, j);
+    }
+    if j >= hi || !is_punct(&toks[j], "(") {
+        return j;
+    }
+    let pclose = match_delim(toks, j, "(", ")");
+    let params = parse_params(toks, j + 1, pclose);
+    // Return type: tokens between `->` and the body/`;`/`where`.
+    let mut k = pclose + 1;
+    let mut ret_lo = None;
+    while k < hi
+        && !is_punct(&toks[k], "{")
+        && !is_punct(&toks[k], ";")
+        && !is_ident(&toks[k], "where")
+    {
+        if ret_lo.is_none() && k > pclose && is_punct(&toks[k], ">") && is_punct(&toks[k - 1], "-")
+        {
+            ret_lo = Some(k + 1);
+        }
+        k += 1;
+    }
+    let ret = ret_lo.map_or(String::new(), |lo| type_text(&toks[lo..k.min(hi)]));
+    // Skip the where clause to the body.
+    while k < hi && !is_punct(&toks[k], "{") && !is_punct(&toks[k], ";") {
+        k += 1;
+    }
+    let body = (k < hi && is_punct(&toks[k], "{")).then(|| (k, match_delim(toks, k, "{", "}")));
+    out.fns.push(FnDef {
+        name,
+        owner: owner.map(str::to_owned),
+        ret,
+        params,
+        body,
+        masked: mask.get(at).copied().unwrap_or(false),
+    });
+    body.map_or(k + 1, |(_, close)| close + 1)
+}
+
+/// Parses `(pattern: Type, …)` between `lo` and `hi` (the parens
+/// excluded). `self` receivers are dropped.
+fn parse_params(toks: &[Tok<'_>], lo: usize, hi: usize) -> Vec<(String, String)> {
+    let mut params = Vec::new();
+    let mut j = lo;
+    while j < hi {
+        let (comma, _) = scan_to_comma(toks, j, hi);
+        let piece = &toks[j..comma];
+        // Split at the first top-level `:` (not `::`).
+        let mut colon = None;
+        for (idx, t) in piece.iter().enumerate() {
+            if is_punct(t, ":")
+                && !(idx + 1 < piece.len() && is_punct(&piece[idx + 1], ":"))
+                && !(idx > 0 && is_punct(&piece[idx - 1], ":"))
+            {
+                colon = Some(idx);
+                break;
+            }
+        }
+        if let Some(c) = colon {
+            let pat = &piece[..c];
+            let is_self = pat.iter().any(|t| is_ident(t, "self"));
+            let name = pat
+                .iter()
+                .rev()
+                .find(|t| t.kind == TokKind::Ident && !is_ident(t, "mut"))
+                .map(|t| t.text.to_owned());
+            if let Some(name) = name {
+                if !is_self {
+                    params.push((name, type_text(&piece[c + 1..])));
+                }
+            }
+        }
+        j = comma + 1;
+    }
+    params
+}
+
+/// Flat scan for `static [mut] NAME: Type =` at any depth; lifetimes
+/// (`'static`) are a different token kind and never match.
+fn collect_statics(toks: &[Tok<'_>], out: &mut ParsedFile) {
+    let mut i = 0;
+    while i < toks.len() {
+        if !is_ident(&toks[i], "static") {
+            i += 1;
+            continue;
+        }
+        let Some(mut name_i) = next_code(toks, i) else {
+            break;
+        };
+        if is_ident(&toks[name_i], "mut") {
+            let Some(n) = next_code(toks, name_i) else {
+                break;
+            };
+            name_i = n;
+        }
+        if toks[name_i].kind != TokKind::Ident {
+            i = name_i;
+            continue;
+        }
+        let Some(colon) = next_code(toks, name_i) else {
+            break;
+        };
+        if !is_punct(&toks[colon], ":") {
+            i = name_i + 1;
+            continue;
+        }
+        // Type runs to the `=` (or `;` for extern statics).
+        let mut j = colon + 1;
+        while j < toks.len() && !is_punct(&toks[j], "=") && !is_punct(&toks[j], ";") {
+            j += 1;
+        }
+        out.statics.push(StaticDef {
+            name: toks[name_i].text.to_owned(),
+            ty: type_text(&toks[colon + 1..j]),
+        });
+        i = j + 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::rules::test_mask;
+
+    fn parse(src: &str) -> ParsedFile {
+        let toks = lex(src);
+        let mask = test_mask(&toks);
+        parse_items(&toks, &mask)
+    }
+
+    #[test]
+    fn structs_with_fields_and_generics() {
+        let p = parse(
+            "pub struct Shared { queue: Mutex<VecDeque<Job>>, wake: Condvar, capacity: usize }\n\
+             struct Pair<T>(T, T);\n\
+             struct Unit;",
+        );
+        assert_eq!(p.structs.len(), 3);
+        let shared = &p.structs[0];
+        assert_eq!(shared.name, "Shared");
+        assert_eq!(shared.fields.len(), 3);
+        assert_eq!(shared.fields[0].name, "queue");
+        assert_eq!(shared.fields[0].ty, "Mutex<VecDeque<Job>>");
+        assert_eq!(shared.fields[1].ty, "Condvar");
+        assert!(p.structs[1].fields.is_empty());
+    }
+
+    #[test]
+    fn comma_inside_generics_does_not_split_fields() {
+        let p = parse("struct S { durable: Mutex<HashMap<String, String>>, n: u32 }");
+        assert_eq!(p.structs[0].fields.len(), 2);
+        assert_eq!(p.structs[0].fields[0].ty, "Mutex<HashMap<String,String>>");
+    }
+
+    #[test]
+    fn impl_methods_carry_their_owner() {
+        let p = parse(
+            "impl Registry {\n    fn lock(&self) -> MutexGuard<'_, Inner> { self.inner.lock() }\n}\n\
+             impl fmt::Debug for Registry { fn fmt(&self, f: &mut F) -> fmt::Result { ok() } }\n\
+             fn free() {}",
+        );
+        assert_eq!(p.fns.len(), 3);
+        assert_eq!(p.fns[0].name, "lock");
+        assert_eq!(p.fns[0].owner.as_deref(), Some("Registry"));
+        assert!(p.fns[0].ret.contains("MutexGuard"));
+        assert_eq!(p.fns[1].name, "fmt");
+        assert_eq!(p.fns[1].owner.as_deref(), Some("Registry"));
+        assert_eq!(p.fns[2].owner, None);
+        assert!(p.fns[2].body.is_some());
+    }
+
+    #[test]
+    fn generic_fn_params_resolve() {
+        let p = parse("fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> { m.lock().unwrap() }");
+        assert_eq!(p.fns.len(), 1);
+        assert_eq!(
+            p.fns[0].params,
+            vec![("m".to_owned(), "&Mutex<T>".to_owned())]
+        );
+        assert!(p.fns[0].ret.contains("Guard"));
+    }
+
+    #[test]
+    fn fn_local_static_is_found() {
+        let p = parse(
+            "fn limit_lock() -> MutexGuard<'static, usize> {\n\
+                 static LIMIT: Mutex<usize> = Mutex::new(0);\n\
+                 LIMIT.lock().unwrap()\n\
+             }",
+        );
+        assert_eq!(p.statics.len(), 1);
+        assert_eq!(p.statics[0].name, "LIMIT");
+        assert_eq!(p.statics[0].ty, "Mutex<usize>");
+    }
+
+    #[test]
+    fn test_items_are_masked() {
+        let p = parse(
+            "fn real() {}\n\
+             #[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {}\n}",
+        );
+        let real = p.fns.iter().find(|f| f.name == "real").expect("real");
+        let t = p.fns.iter().find(|f| f.name == "t").expect("t");
+        assert!(!real.masked);
+        assert!(t.masked);
+    }
+
+    #[test]
+    fn nested_mod_and_where_clause() {
+        let p = parse(
+            "mod inner {\n    pub struct S { m: Mutex<u8> }\n    impl S { fn get(&self) where Self: Sized { } }\n}",
+        );
+        assert_eq!(p.structs.len(), 1);
+        assert_eq!(p.fns[0].owner.as_deref(), Some("S"));
+        assert!(p.fns[0].body.is_some());
+    }
+}

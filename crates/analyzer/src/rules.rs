@@ -115,20 +115,20 @@ pub(crate) fn lint_source(path: &str, src: &str, out: &mut Vec<Finding>) {
     rule_relaxed_handshake(&ctx, out);
 }
 
-fn is_punct(t: &Tok<'_>, s: &str) -> bool {
+pub(crate) fn is_punct(t: &Tok<'_>, s: &str) -> bool {
     t.kind == TokKind::Punct && t.text == s
 }
 
-fn is_ident(t: &Tok<'_>, s: &str) -> bool {
+pub(crate) fn is_ident(t: &Tok<'_>, s: &str) -> bool {
     t.kind == TokKind::Ident && t.text == s
 }
 
-fn is_comment(t: &Tok<'_>) -> bool {
+pub(crate) fn is_comment(t: &Tok<'_>) -> bool {
     !t.kind.is_code()
 }
 
 /// Index of the next non-comment token after `i`.
-fn next_code(toks: &[Tok<'_>], i: usize) -> Option<usize> {
+pub(crate) fn next_code(toks: &[Tok<'_>], i: usize) -> Option<usize> {
     toks.iter()
         .enumerate()
         .skip(i + 1)
@@ -137,13 +137,13 @@ fn next_code(toks: &[Tok<'_>], i: usize) -> Option<usize> {
 }
 
 /// Index of the previous non-comment token before `i`.
-fn prev_code(toks: &[Tok<'_>], i: usize) -> Option<usize> {
+pub(crate) fn prev_code(toks: &[Tok<'_>], i: usize) -> Option<usize> {
     toks[..i].iter().rposition(|t| t.kind.is_code())
 }
 
 /// Index of the delimiter matching `toks[open_idx]`, or the last token
 /// if the file is truncated.
-fn match_delim(toks: &[Tok<'_>], open_idx: usize, open: &str, close: &str) -> usize {
+pub(crate) fn match_delim(toks: &[Tok<'_>], open_idx: usize, open: &str, close: &str) -> usize {
     let mut depth = 0i64;
     for (k, t) in toks.iter().enumerate().skip(open_idx) {
         if is_punct(t, open) {
@@ -160,7 +160,7 @@ fn match_delim(toks: &[Tok<'_>], open_idx: usize, open: &str, close: &str) -> us
 
 /// Marks every token belonging to an item decorated with a test
 /// attribute (`#[test]`, `#[cfg(test)]`, `#[cfg(any(test, …))]`, …).
-fn test_mask(toks: &[Tok<'_>]) -> Vec<bool> {
+pub(crate) fn test_mask(toks: &[Tok<'_>]) -> Vec<bool> {
     let mut mask = vec![false; toks.len()];
     let mut i = 0;
     while i < toks.len() {
@@ -226,7 +226,7 @@ fn test_mask(toks: &[Tok<'_>]) -> Vec<bool> {
 }
 
 /// Collects inline `// analyzer: allow(rule): reason` suppressions.
-fn inline_allows(toks: &[Tok<'_>]) -> Vec<(u32, String)> {
+pub(crate) fn inline_allows(toks: &[Tok<'_>]) -> Vec<(u32, String)> {
     let mut out = Vec::new();
     for t in toks {
         if !is_comment(t) {

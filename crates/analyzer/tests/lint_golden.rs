@@ -1,6 +1,7 @@
 //! Golden-JSON snapshot of the lint engine over a torture fixture:
-//! raw strings, nested block comments, fenced raw strings, lifetimes vs
-//! char literals, and `unsafe` inside a macro with its SAFETY comment.
+//! raw strings, nested block comments, fenced raw strings, c-string
+//! literals (`c"…"`, `cr#"…"#`), lifetimes vs char literals, and
+//! `unsafe` inside a macro with its SAFETY comment.
 //! The exact JSON (rule, line, severity, waived flags) is pinned so any
 //! lexer or rule regression shows up as a diff. The fixture is stored as
 //! `.txt` so the workspace gate does not scan its deliberate violations.
@@ -33,11 +34,12 @@ fn tricky_fixture_finding_shape() {
         src: FIXTURE.to_owned(),
     }];
     let report = lint_files(&files);
-    // Three live violations (unwrap, SeqCst, missing SAFETY) and one
-    // inline-waived expect; the macro's SAFETY-commented unsafe and all
-    // string/comment decoys contribute nothing.
-    assert_eq!(report.findings.len(), 4);
-    assert_eq!(report.unwaived(), 3);
+    // Four live violations (unwrap, SeqCst, missing SAFETY, and the
+    // expect placed after the c-string decoys) and one inline-waived
+    // expect; the macro's SAFETY-commented unsafe and all string/
+    // comment decoys — c-strings included — contribute nothing.
+    assert_eq!(report.findings.len(), 5);
+    assert_eq!(report.unwaived(), 4);
     let rules: Vec<_> = report
         .findings
         .iter()

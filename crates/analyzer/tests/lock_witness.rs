@@ -1,0 +1,105 @@
+//! Cross-check between the *runtime* lock witness and the *static*
+//! lock-order graph (DESIGN.md §15).
+//!
+//! Exercises the instrumented serving layer — worker pool, registry,
+//! durable store — then asserts that every lock-order edge the witness
+//! recorded at runtime is also present in the graph `analyze locks`
+//! derives from the sources, and that the dynamic edge set is acyclic.
+//! A dynamic edge missing from the static graph means the analyzer has
+//! a blind spot on real code; a cycle means a deadlock candidate
+//! slipped into the serving layer.
+//!
+//! When the witness is disarmed (release build without the
+//! `lock-witness` feature) the report is empty and the test passes
+//! vacuously.
+
+use std::path::Path;
+
+use lotus_resilience::MemoryBudget;
+use lotus_serve::pool::WorkerPool;
+use lotus_serve::{DurableStore, Registry};
+use lotus_telemetry::sync::{witness_report, WitnessFilter};
+
+/// Drives the instrumented serving-layer types through their normal
+/// lifecycles so the witness records their acquisition orders.
+fn exercise_serving_layer() {
+    // Worker pool: submit real jobs, then shut down (queue/wake/
+    // shutting_down/workers orderings).
+    let pool = WorkerPool::new(2, 8).expect("spawn pool");
+    for i in 0..8u32 {
+        while !pool.try_submit(Box::new(move || {
+            std::hint::black_box(i);
+        })) {
+            std::thread::yield_now();
+        }
+    }
+    pool.shutdown();
+
+    // Registry: load enough graphs into a tiny budget to trigger the
+    // LRU eviction path, plus an explicit evict (inner/evict_hook).
+    let reg = Registry::new(MemoryBudget::from_bytes(1 << 20));
+    reg.set_evict_hook(|_| {});
+    for (name, spec) in [
+        ("wa", "rmat:6:4:1"),
+        ("wb", "rmat:6:4:2"),
+        ("wc", "er:64:128:3"),
+    ] {
+        reg.load(name, spec).expect("load graph");
+    }
+    reg.evict("wb");
+
+    // Durable store: register, checkpoint, evict (durable/journal
+    // commit orderings).
+    let dir = std::env::temp_dir().join(format!("lotus-lock-witness-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let store = DurableStore::open(&dir).expect("open store").0;
+    let graph = lotus_gen::Rmat::new(6, 4).generate(7);
+    store
+        .record_register("w", "rmat:6:4:7", &graph)
+        .expect("register");
+    store.checkpoint().expect("checkpoint");
+    store.record_evict("w").expect("evict");
+    drop(store);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn dynamic_edges_are_a_subset_of_the_static_graph() {
+    exercise_serving_layer();
+    let dynamic = witness_report(WitnessFilter::Prefix("serve."));
+    if dynamic.nodes.is_empty() {
+        // Witness disarmed (release build without `lock-witness`).
+        return;
+    }
+    assert!(
+        dynamic.cycle().is_none(),
+        "runtime lock-order cycle: {:?}",
+        dynamic.cycle()
+    );
+    assert!(
+        !dynamic.edges.is_empty(),
+        "exercising the serving layer should record at least one ordering edge"
+    );
+
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = lotus_analyzer::analyze_locks_workspace(
+        &root,
+        &root.join(lotus_analyzer::DEFAULT_WAIVER_FILE),
+    )
+    .expect("static lock analysis");
+    assert!(report.graph.is_acyclic(), "static lock-order graph cyclic");
+    for (from, to) in &dynamic.edges {
+        assert!(
+            report.graph.has_edge(from, to),
+            "witness observed `{from}` -> `{to}` at runtime but the static \
+             graph has no such edge — the analyzer has a blind spot here \
+             (static edges: {:?})",
+            report
+                .graph
+                .edges
+                .iter()
+                .map(|e| format!("{} -> {}", e.from, e.to))
+                .collect::<Vec<_>>()
+        );
+    }
+}

@@ -1,0 +1,124 @@
+//! Golden-JSON snapshot of `analyze locks` over a lock-discipline
+//! torture fixture (ABBA pair, blocking write, inline-waived write,
+//! double acquire, plus clean patterns that must stay silent), and a
+//! round-trip check that the emitted artifact parses back into the
+//! same graph, findings, and control outcomes. The fixture is stored
+//! as `.txt` so the workspace gate does not scan its deliberate
+//! violations.
+
+use lotus_analyzer::{run_lock_suite, SourceFile};
+use lotus_telemetry::json;
+
+const FIXTURE: &str = include_str!("fixtures/locky.rs.txt");
+
+fn fixture_report() -> lotus_analyzer::LockSuiteReport {
+    run_lock_suite(&[SourceFile {
+        // A path without /tests/ so the fixture is analyzed as library code.
+        path: "fixtures/locky.rs".to_owned(),
+        src: FIXTURE.to_owned(),
+    }])
+}
+
+#[test]
+fn locky_fixture_matches_golden_json() {
+    let expected = include_str!("fixtures/locky.golden.json");
+    assert_eq!(
+        fixture_report().to_json(),
+        expected,
+        "lock-analysis output diverged from the golden snapshot; \
+         if the change is intentional, regenerate locky.golden.json"
+    );
+}
+
+#[test]
+fn locky_fixture_finding_shape() {
+    let report = fixture_report();
+    // The ABBA cycle, the live blocking write, and the double acquire
+    // are unwaived; the allow-commented write is waived; the clean
+    // patterns (take-then-join, drop-then-relock, own-guard wait)
+    // contribute nothing.
+    assert_eq!(report.findings.len(), 4);
+    assert_eq!(report.unwaived(), 3);
+    assert!(!report.graph.is_acyclic());
+    assert!(report.controls_ok());
+    let rules: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| !f.waived)
+        .map(|f| f.rule)
+        .collect();
+    assert!(rules.contains(&"lock-order-cycle"));
+    assert!(rules.contains(&"lock-blocking-call"));
+    assert!(rules.contains(&"lock-double-acquire"));
+}
+
+#[test]
+fn locks_json_round_trips_through_the_parser() {
+    let report = fixture_report();
+    let doc = json::parse(&report.to_json()).expect("artifact is valid JSON");
+
+    assert_eq!(doc.get("mode").and_then(json::Json::as_str), Some("locks"));
+    assert_eq!(
+        doc.get("schema_version").and_then(json::Json::as_u64),
+        Some(1)
+    );
+    assert_eq!(
+        doc.get("acyclic").and_then(json::Json::as_bool),
+        Some(report.graph.is_acyclic())
+    );
+    assert_eq!(
+        doc.get("total").and_then(json::Json::as_u64),
+        Some(report.findings.len() as u64)
+    );
+    assert_eq!(
+        doc.get("unwaived").and_then(json::Json::as_u64),
+        Some(report.unwaived() as u64)
+    );
+
+    let nodes = doc.get("nodes").and_then(json::Json::as_array).unwrap();
+    let parsed_nodes: Vec<&str> = nodes.iter().filter_map(json::Json::as_str).collect();
+    assert_eq!(parsed_nodes, report.graph.nodes);
+
+    let edges = doc.get("edges").and_then(json::Json::as_array).unwrap();
+    assert_eq!(edges.len(), report.graph.edges.len());
+    for (parsed, edge) in edges.iter().zip(&report.graph.edges) {
+        assert_eq!(
+            parsed.get("from").and_then(json::Json::as_str),
+            Some(edge.from.as_str())
+        );
+        assert_eq!(
+            parsed.get("to").and_then(json::Json::as_str),
+            Some(edge.to.as_str())
+        );
+        assert_eq!(
+            parsed.get("line").and_then(json::Json::as_u64),
+            Some(u64::from(edge.line))
+        );
+    }
+
+    let findings = doc.get("findings").and_then(json::Json::as_array).unwrap();
+    assert_eq!(findings.len(), report.findings.len());
+    for (parsed, finding) in findings.iter().zip(&report.findings) {
+        assert_eq!(
+            parsed.get("rule").and_then(json::Json::as_str),
+            Some(finding.rule)
+        );
+        assert_eq!(
+            parsed.get("waived").and_then(json::Json::as_bool),
+            Some(finding.waived)
+        );
+    }
+
+    let controls = doc.get("controls").and_then(json::Json::as_array).unwrap();
+    assert_eq!(controls.len(), report.controls.len());
+    for (parsed, control) in controls.iter().zip(&report.controls) {
+        assert_eq!(
+            parsed.get("name").and_then(json::Json::as_str),
+            Some(control.name)
+        );
+        assert_eq!(
+            parsed.get("flagged").and_then(json::Json::as_bool),
+            Some(control.flagged)
+        );
+    }
+}

@@ -13,8 +13,9 @@ USAGE:
                       [--hubs N] [--per-vertex] [--timeout SECS]
                       [--mem-budget SIZE] [--strict] [--threads N]
   lotus analyze [graph] <graph> [--hub-fraction F]
-  lotus analyze lint [--waivers FILE] [--json FILE]
+  lotus analyze lint [--waivers FILE] [--json FILE] [--deny-stale]
   lotus analyze race [--seeds A,B,C] [--json FILE]
+  lotus analyze locks [--waivers FILE] [--json FILE]
   lotus generate <rmat|ba|er|ws> --scale S [--edge-factor F] [--seed X]
                  [--params social|web|mild] -o <file>
   lotus convert <input> <output> [--strict]
@@ -64,11 +65,15 @@ requests in flight per connection (default 1) and --legacy-threads
 falls back to the old thread-per-connection driver.
 
 analyze lint runs the project-rule source lint over the workspace
-(run from the repo root) against the checked-in waiver file; analyze
-race replays every parallel kernel under seeded deterministic
+(run from the repo root) against the checked-in waiver file; stale
+waivers are reported but only fail the gate under --deny-stale.
+analyze race replays every parallel kernel under seeded deterministic
 schedules and fails on shadow-log races or order-dependent results.
-Both gates share `lotus check`'s exit-code contract: 0 clean,
-1 violations found, 2 usage error.
+analyze locks builds the static cross-crate lock-order graph and
+fails on ordering cycles (ABBA candidates), blocking calls under a
+live guard, double acquisition, or a planted control that does not
+fire. All three gates share `lotus check`'s exit-code contract:
+0 clean, 1 violations found, 2 usage error.
 
 Exit codes: 0 success (including degraded runs), 1 runtime error or
 violations found, 2 usage error, 101 isolated worker panic,
@@ -278,6 +283,8 @@ pub enum AnalyzeArgs {
     Lint(AnalyzeLintArgs),
     /// `lotus analyze race` — the deterministic-schedule race checker.
     Race(AnalyzeRaceArgs),
+    /// `lotus analyze locks` — the static lock-discipline gate.
+    Locks(AnalyzeLocksArgs),
 }
 
 /// Arguments of `lotus analyze [graph] <path>`.
@@ -295,6 +302,17 @@ pub struct AnalyzeLintArgs {
     /// Waiver file path (default `analyzer-waivers.json`).
     pub waivers: Option<String>,
     /// Where to write the JSON diagnostics artifact, if anywhere.
+    pub json: Option<String>,
+    /// Fail (exit 1) on stale waivers instead of just reporting them.
+    pub deny_stale: bool,
+}
+
+/// Arguments of `lotus analyze locks`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnalyzeLocksArgs {
+    /// Waiver file path (default `analyzer-waivers.json`).
+    pub waivers: Option<String>,
+    /// Where to write the JSON lock-graph artifact, if anywhere.
     pub json: Option<String>,
 }
 
@@ -447,6 +465,25 @@ pub fn parse(argv: &[&str]) -> Result<Command, ParseError> {
                 Some("lint") => {
                     let mut waivers = None;
                     let mut json = None;
+                    let mut deny_stale = false;
+                    let mut it = rest[1..].iter().copied();
+                    while let Some(arg) = it.next() {
+                        match arg {
+                            "--waivers" | "-w" => waivers = Some(take_value(arg, &mut it)?),
+                            "--json" | "-j" => json = Some(take_value(arg, &mut it)?),
+                            "--deny-stale" => deny_stale = true,
+                            _ => return Err(ParseError(format!("unexpected argument '{arg}'"))),
+                        }
+                    }
+                    Ok(Command::Analyze(AnalyzeArgs::Lint(AnalyzeLintArgs {
+                        waivers,
+                        json,
+                        deny_stale,
+                    })))
+                }
+                Some("locks") => {
+                    let mut waivers = None;
+                    let mut json = None;
                     let mut it = rest[1..].iter().copied();
                     while let Some(arg) = it.next() {
                         match arg {
@@ -455,7 +492,7 @@ pub fn parse(argv: &[&str]) -> Result<Command, ParseError> {
                             _ => return Err(ParseError(format!("unexpected argument '{arg}'"))),
                         }
                     }
-                    Ok(Command::Analyze(AnalyzeArgs::Lint(AnalyzeLintArgs {
+                    Ok(Command::Analyze(AnalyzeArgs::Locks(AnalyzeLocksArgs {
                         waivers,
                         json,
                     })))
@@ -1111,6 +1148,7 @@ mod tests {
             Command::Analyze(AnalyzeArgs::Lint(AnalyzeLintArgs {
                 waivers: None,
                 json: None,
+                deny_stale: false,
             }))
         );
         assert_eq!(
@@ -1120,12 +1158,36 @@ mod tests {
                 "--waivers",
                 "w.json",
                 "--json",
-                "out.json"
+                "out.json",
+                "--deny-stale"
             ])
             .unwrap(),
             Command::Analyze(AnalyzeArgs::Lint(AnalyzeLintArgs {
                 waivers: Some("w.json".into()),
                 json: Some("out.json".into()),
+                deny_stale: true,
+            }))
+        );
+        assert_eq!(
+            parse(&["analyze", "locks"]).unwrap(),
+            Command::Analyze(AnalyzeArgs::Locks(AnalyzeLocksArgs {
+                waivers: None,
+                json: None,
+            }))
+        );
+        assert_eq!(
+            parse(&[
+                "analyze",
+                "locks",
+                "--waivers",
+                "w.json",
+                "--json",
+                "l.json"
+            ])
+            .unwrap(),
+            Command::Analyze(AnalyzeArgs::Locks(AnalyzeLocksArgs {
+                waivers: Some("w.json".into()),
+                json: Some("l.json".into()),
             }))
         );
         assert_eq!(
@@ -1146,6 +1208,8 @@ mod tests {
         assert!(parse(&["analyze", "lint", "--waivers"]).is_err());
         assert!(parse(&["analyze", "lint", "extra"]).is_err());
         assert!(parse(&["analyze", "race", "--seeds", "x"]).is_err());
+        assert!(parse(&["analyze", "locks", "extra"]).is_err());
+        assert!(parse(&["analyze", "locks", "--waivers"]).is_err());
         assert!(parse(&["analyze", "graph"]).is_err());
     }
 

@@ -23,9 +23,9 @@ use lotus_graph::{io, EdgeList, GraphStats, ParseWarning, Strictness, Undirected
 use lotus_resilience::{isolate, Deadline, MemoryBudget, RunGuard};
 
 use crate::args::{
-    AnalyzeArgs, AnalyzeGraphArgs, AnalyzeLintArgs, AnalyzeRaceArgs, BenchArgs, BenchCompareArgs,
-    BenchRunArgs, CheckArgs, ConvertArgs, CountArgs, GenerateArgs, LoadgenCliArgs, QueryAction,
-    QueryArgs, ServeCliArgs, ServeRecoverArgs,
+    AnalyzeArgs, AnalyzeGraphArgs, AnalyzeLintArgs, AnalyzeLocksArgs, AnalyzeRaceArgs, BenchArgs,
+    BenchCompareArgs, BenchRunArgs, CheckArgs, ConvertArgs, CountArgs, GenerateArgs,
+    LoadgenCliArgs, QueryAction, QueryArgs, ServeCliArgs, ServeRecoverArgs,
 };
 
 /// A command failure: user-facing message plus process exit code.
@@ -267,6 +267,7 @@ pub fn analyze(args: AnalyzeArgs) -> Result<String, CliError> {
         AnalyzeArgs::Graph(a) => analyze_graph(a),
         AnalyzeArgs::Lint(a) => analyze_lint(&a),
         AnalyzeArgs::Race(a) => analyze_race(&a),
+        AnalyzeArgs::Locks(a) => analyze_locks(&a),
     }
 }
 
@@ -318,12 +319,42 @@ fn analyze_graph(args: AnalyzeGraphArgs) -> Result<String, CliError> {
 /// `lotus analyze lint` — the project-rule source lint gate. Scans the
 /// workspace from the current directory, applies the waiver file, and
 /// fails (exit 1) on any unwaived finding, mirroring `lotus check`.
+/// Stale waivers are reported but gate only under `--deny-stale`.
 fn analyze_lint(args: &AnalyzeLintArgs) -> Result<String, CliError> {
     let waiver_path = args
         .waivers
         .as_deref()
         .unwrap_or(lotus_analyzer::DEFAULT_WAIVER_FILE);
     let report = lotus_analyzer::analyze_workspace(Path::new("."), Path::new(waiver_path))
+        .map_err(|e| CliError::runtime(e.to_string()))?;
+    if let Some(path) = &args.json {
+        std::fs::write(path, report.to_json())
+            .map_err(|e| CliError::runtime(format!("cannot write '{path}': {e}")))?;
+    }
+    let rendered = format!("{report}\n");
+    let gating = report
+        .findings
+        .iter()
+        .filter(|f| !f.waived && (args.deny_stale || f.rule != "stale-waiver"))
+        .count();
+    if gating == 0 {
+        Ok(rendered)
+    } else {
+        Err(CliError::runtime(rendered))
+    }
+}
+
+/// `lotus analyze locks` — the static lock-discipline gate. Builds the
+/// cross-crate lock-order graph from the workspace sources, applies the
+/// lock-rule waivers, and fails (exit 1) on ordering cycles, blocking
+/// calls under a guard, double acquisition, or a planted detector
+/// control that fails to fire.
+fn analyze_locks(args: &AnalyzeLocksArgs) -> Result<String, CliError> {
+    let waiver_path = args
+        .waivers
+        .as_deref()
+        .unwrap_or(lotus_analyzer::DEFAULT_WAIVER_FILE);
+    let report = lotus_analyzer::analyze_locks_workspace(Path::new("."), Path::new(waiver_path))
         .map_err(|e| CliError::runtime(e.to_string()))?;
     if let Some(path) = &args.json {
         std::fs::write(path, report.to_json())

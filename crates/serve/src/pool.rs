@@ -15,22 +15,23 @@
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::sync::{Arc, PoisonError};
 use std::thread::JoinHandle;
 
 use lotus_resilience::isolate;
+use lotus_telemetry::sync::{TracedCondvar, TracedMutex};
 
 /// A unit of work: always runs to completion or panics (isolated);
 /// responsible for delivering its own reply.
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
 struct Shared {
-    queue: Mutex<VecDeque<Job>>,
-    wake: Condvar,
+    queue: TracedMutex<VecDeque<Job>>,
+    wake: TracedCondvar,
     capacity: usize,
     /// Set once by [`WorkerPool::shutdown`]; workers drain the queue and
     /// exit.
-    shutting_down: Mutex<bool>,
+    shutting_down: TracedMutex<bool>,
     panics: AtomicU64,
 }
 
@@ -46,7 +47,7 @@ impl Shared {
 /// Fixed-width pool of worker threads with a bounded job queue.
 pub struct WorkerPool {
     shared: Arc<Shared>,
-    workers: Mutex<Vec<JoinHandle<()>>>,
+    workers: TracedMutex<Vec<JoinHandle<()>>>,
     width: usize,
 }
 
@@ -61,10 +62,10 @@ impl WorkerPool {
         let width = workers.max(1);
         let capacity = capacity.max(1);
         let shared = Arc::new(Shared {
-            queue: Mutex::new(VecDeque::with_capacity(capacity)),
-            wake: Condvar::new(),
+            queue: TracedMutex::new("serve.pool.queue", VecDeque::with_capacity(capacity)),
+            wake: TracedCondvar::new("serve.pool.wake"),
             capacity,
-            shutting_down: Mutex::new(false),
+            shutting_down: TracedMutex::new("serve.pool.shutting_down", false),
             panics: AtomicU64::new(0),
         });
         let mut handles = Vec::with_capacity(width);
@@ -78,7 +79,7 @@ impl WorkerPool {
                 Err(e) => {
                     let partial = WorkerPool {
                         shared,
-                        workers: Mutex::new(handles),
+                        workers: TracedMutex::new("serve.pool.workers", handles),
                         width: i,
                     };
                     partial.shutdown();
@@ -88,7 +89,7 @@ impl WorkerPool {
         }
         Ok(WorkerPool {
             shared,
-            workers: Mutex::new(handles),
+            workers: TracedMutex::new("serve.pool.workers", handles),
             width,
         })
     }

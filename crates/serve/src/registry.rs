@@ -9,9 +9,10 @@
 //! larger than the whole budget is refused with a typed error rather
 //! than evicting everything for nothing.
 
+use lotus_telemetry::sync::{TracedGuard, TracedMutex};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, PoisonError};
+use std::sync::{Arc, PoisonError};
 
 use lotus_core::preprocess::build_lotus_graph;
 use lotus_core::{LotusConfig, LotusGraph};
@@ -181,11 +182,11 @@ type EvictHook = Arc<dyn Fn(&str) + Send + Sync>;
 /// The graph registry: name → prepared graph, LRU-evicted against a
 /// byte budget. All methods are callable from any worker thread.
 pub struct Registry {
-    inner: Mutex<Inner>,
+    inner: TracedMutex<Inner>,
     budget: MemoryBudget,
     hits: AtomicU64,
     misses: AtomicU64,
-    evict_hook: Mutex<Option<EvictHook>>,
+    evict_hook: TracedMutex<Option<EvictHook>>,
 }
 
 impl Registry {
@@ -193,11 +194,11 @@ impl Registry {
     #[must_use]
     pub fn new(budget: MemoryBudget) -> Registry {
         Registry {
-            inner: Mutex::new(Inner::default()),
+            inner: TracedMutex::new("serve.registry.inner", Inner::default()),
             budget,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
-            evict_hook: Mutex::new(None),
+            evict_hook: TracedMutex::new("serve.registry.evict_hook", None),
         }
     }
 
@@ -264,7 +265,7 @@ impl Registry {
         self.misses.load(Ordering::Relaxed)
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+    fn lock(&self) -> TracedGuard<'_, Inner> {
         self.inner.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
@@ -434,6 +435,7 @@ fn build_graph(spec: &GraphSpec) -> Result<UndirectedCsr, RegistryError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Mutex;
 
     fn big_budget() -> MemoryBudget {
         MemoryBudget::from_bytes(1 << 30)

@@ -33,7 +33,9 @@ use std::fs::File;
 use std::io::{self, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, PoisonError};
+use std::sync::PoisonError;
+
+use lotus_telemetry::sync::{TracedGuard, TracedMutex};
 
 use lotus_graph::io::write_binary;
 use lotus_graph::{GraphError, UndirectedCsr};
@@ -109,8 +111,8 @@ impl DurableStats {
 #[derive(Debug)]
 pub struct DurableStore {
     data_dir: PathBuf,
-    journal: Mutex<Journal>,
-    durable: Mutex<HashMap<String, String>>,
+    journal: TracedMutex<Journal>,
+    durable: TracedMutex<HashMap<String, String>>,
     stats: DurableStats,
 }
 
@@ -152,8 +154,11 @@ impl DurableStore {
         );
         let store = DurableStore {
             data_dir,
-            journal: Mutex::new(journal),
-            durable: Mutex::new(recovered.entries.iter().cloned().collect()),
+            journal: TracedMutex::new("serve.store.journal", journal),
+            durable: TracedMutex::new(
+                "serve.store.durable",
+                recovered.entries.iter().cloned().collect(),
+            ),
             stats,
         };
         Ok((store, recovered))
@@ -297,7 +302,7 @@ impl DurableStore {
         snapshot_dir(&self.data_dir).join(snapshot_file_name(name))
     }
 
-    fn lock_durable(&self) -> std::sync::MutexGuard<'_, HashMap<String, String>> {
+    fn lock_durable(&self) -> TracedGuard<'_, HashMap<String, String>> {
         self.durable.lock().unwrap_or_else(PoisonError::into_inner)
     }
 

@@ -28,9 +28,11 @@
 pub mod counters;
 pub mod json;
 pub mod span;
+pub mod sync;
 
 pub use counters::{Counter, CounterSnapshot};
 pub use span::{Span, SpanId, SpanSnapshot, SpanStat};
+pub use sync::{TracedCondvar, TracedGuard, TracedMutex, WitnessFilter, WitnessReport};
 
 /// Whether this build records telemetry (`telemetry` feature).
 #[must_use]
