@@ -46,7 +46,7 @@ pub const RULES: [(&str, &str); 10] = [
     ),
     (
         "no-thread-spawn",
-        "raw `std::thread` spawning is confined to `shims/par` and `crates/serve` (tests exempt)",
+        "raw `std::thread` spawning is confined to `shims/par` and the daemon layers `crates/serve` / `crates/cluster` (tests exempt)",
     ),
     (
         "no-shared-mut-statics",
@@ -652,7 +652,9 @@ fn has_errors_doc_or_reasoned_must_use(toks: &[Tok<'_>], i: usize) -> bool {
 /// Everything else must go through the `rayon` shim so the pool's
 /// thread budget, panic isolation and telemetry stay authoritative.
 fn may_spawn_threads(path: &str) -> bool {
-    path.starts_with("shims/par/") || path.starts_with("crates/serve/")
+    path.starts_with("shims/par/")
+        || path.starts_with("crates/serve/")
+        || path.starts_with("crates/cluster/")
 }
 
 /// `no-thread-spawn`: flags `thread::spawn` / `thread::Builder` outside
@@ -685,8 +687,8 @@ fn rule_no_thread_spawn(ctx: &Ctx<'_>, out: &mut Vec<Finding>) {
                 "no-thread-spawn",
                 t.line,
                 format!(
-                    "`thread::{}` outside `shims/par`/`crates/serve`; parallel work must go \
-                     through the rayon shim's pool",
+                    "`thread::{}` outside `shims/par`/`crates/serve`/`crates/cluster`; \
+                     parallel work must go through the rayon shim's pool",
                     ctx.toks[callee].text
                 ),
             );
@@ -924,6 +926,7 @@ mod tests {
         );
         assert!(findings("shims/par/src/pool.rs", spawn).is_empty());
         assert!(findings("crates/serve/src/server.rs", builder).is_empty());
+        assert!(findings("crates/cluster/src/coordinator.rs", builder).is_empty());
         // Tests may drive real threads.
         let in_test = "#[cfg(test)]\nmod tests {\n  fn f() { std::thread::spawn(|| {}); }\n}\n";
         assert!(findings("crates/core/src/x.rs", in_test).is_empty());

@@ -1,0 +1,131 @@
+//! The `cluster` section of the benchmark artifact: a loadgen run
+//! driven against a fan-out coordinator instead of a single daemon.
+//!
+//! The section lives under the top-level `"cluster"` key of a
+//! `BENCH.json` document, beside (not instead of) the single-node
+//! `"serve"` section, so one artifact can carry both sides of the
+//! scale-out comparison. Its layout is the [`ServeSection`] fields
+//! plus `shards`, the fleet size behind the coordinator:
+//!
+//! ```json
+//! "cluster": {
+//!   "shards": 3,
+//!   "suite": "ci", "graph": "rmat:9:8:7",
+//!   "connections": 4, "requests": 200, ...
+//! }
+//! ```
+//!
+//! [`crate::BenchReport::parse`] tolerates the extra key (schema v1
+//! unknown-field contract), exactly as it does for `"serve"`.
+
+use lotus_telemetry::json::Json;
+
+use crate::serve_section::ServeSection;
+
+/// Aggregated coordinator-path measurements: the usual serving-layer
+/// numbers plus how many shard daemons stood behind them.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ClusterSection {
+    /// Shard daemons in the fleet during the run.
+    pub shards: u64,
+    /// The request-latency measurements (same schema as `"serve"`).
+    pub section: ServeSection,
+}
+
+impl ClusterSection {
+    /// Serializes to the `"cluster"` JSON object (flat: `shards` plus
+    /// every [`ServeSection`] field).
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let mut members = vec![("shards".to_string(), Json::Int(self.shards as i64))];
+        if let Json::Obj(rest) = self.section.to_json() {
+            members.extend(rest);
+        }
+        Json::Obj(members)
+    }
+
+    /// Parses a `"cluster"` object (unknown fields ignored, missing
+    /// numeric fields default to zero — the same tolerance as
+    /// [`ServeSection::from_json`]).
+    ///
+    /// # Errors
+    /// Returns a description when required string fields are absent.
+    pub fn from_json(v: &Json) -> Result<ClusterSection, String> {
+        Ok(ClusterSection {
+            shards: v.get("shards").and_then(Json::as_u64).unwrap_or(0),
+            section: ServeSection::from_json(v)?,
+        })
+    }
+
+    /// Extracts the section from a whole `BENCH.json` document, if the
+    /// document carries one.
+    ///
+    /// # Errors
+    /// Returns a description when the document is not valid JSON or
+    /// the present section is malformed; `Ok(None)` when there is no
+    /// `"cluster"` key at all.
+    pub fn from_document(text: &str) -> Result<Option<ClusterSection>, String> {
+        let v = lotus_telemetry::json::parse(text).map_err(|e| e.to_string())?;
+        match v.get("cluster") {
+            Some(section) => Ok(Some(ClusterSection::from_json(section)?)),
+            None => Ok(None),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::SCHEMA_VERSION;
+
+    fn sample() -> ClusterSection {
+        ClusterSection {
+            shards: 3,
+            section: ServeSection {
+                suite: "ci".into(),
+                graph: "rmat:9:8:7".into(),
+                connections: 4,
+                requests: 200,
+                ok: 200,
+                p50_us: 900,
+                p90_us: 2300,
+                p99_us: 5100,
+                throughput_rps: 1100.0,
+                wall_ms: 180,
+                ..ServeSection::default()
+            },
+        }
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let section = sample();
+        let back = ClusterSection::from_json(&section.to_json()).unwrap();
+        assert_eq!(back, section);
+    }
+
+    #[test]
+    fn document_extraction_beside_a_serve_section() {
+        let doc = Json::Obj(vec![
+            ("schema_version".into(), Json::Int(SCHEMA_VERSION)),
+            ("suite".into(), Json::Str("ci".into())),
+            ("runs".into(), Json::Arr(vec![])),
+            ("serve".into(), sample().section.to_json()),
+            ("cluster".into(), sample().to_json()),
+        ]);
+        let text = doc.pretty();
+        assert_eq!(ClusterSection::from_document(&text), Ok(Some(sample())));
+        // Both sections coexist; neither reader trips on the other.
+        let serve = ServeSection::from_document(&text).unwrap().unwrap();
+        assert_eq!(serve, sample().section);
+        crate::BenchReport::parse(&text).unwrap();
+    }
+
+    #[test]
+    fn absence_and_malformation_are_distinct() {
+        assert_eq!(ClusterSection::from_document("{}"), Ok(None));
+        assert!(ClusterSection::from_document("not json").is_err());
+        let missing = Json::Obj(vec![("cluster".into(), Json::Obj(vec![]))]);
+        assert!(ClusterSection::from_document(&missing.pretty()).is_err());
+    }
+}

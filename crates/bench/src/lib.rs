@@ -16,6 +16,7 @@
 //! (the versioned `BENCH.json` artifact), [`envinfo`] (its environment
 //! block), and [`compare`] (the perf-regression gate).
 
+pub mod cluster_section;
 pub mod compare;
 pub mod envinfo;
 pub mod harness;
@@ -25,6 +26,7 @@ pub mod serve_section;
 pub mod suite;
 pub mod table;
 
+pub use cluster_section::ClusterSection;
 pub use compare::{Comparison, DEFAULT_TOLERANCE};
 pub use envinfo::EnvInfo;
 pub use harness::{run_algorithm, Algorithm};

@@ -27,12 +27,17 @@ USAGE:
               [--data-dir DIR] [--snapshot-interval SECS]
               [--event-threads N] [--max-conns N]
   lotus serve recover <data-dir> [--dry-run] [--json FILE]
+  lotus cluster serve [--bind ADDR] [--port P] [--shard ADDR]...
+                      [--data-dir DIR] [--deadline-ms MS]
+                      [--allow-partial] [--retry-seed S]
+  lotus cluster shard [serve flags] [--coordinator ADDR]
+  lotus cluster query <addr> <action> (alias of lotus query)
   lotus query <addr> <ping|stats|drain|count NAME|per-vertex NAME
-              [--range A..B]|kclique NAME K|load NAME SPEC|evict NAME>
-              [--deadline-ms MS]
+              [--range A..B]|kclique NAME K|load NAME SPEC|evict NAME
+              |shard-stat|join ADDR> [--deadline-ms MS]
   lotus loadgen <addr> [--suite ci] [--connections N] [--requests M]
                 [--seed S] [--graph SPEC] [--json FILE] [--pipeline P]
-                [--legacy-threads]
+                [--legacy-threads] [--cluster]
   lotus help
 
 Graph files: whitespace edge lists (any extension) or binary .lotg files.
@@ -63,6 +68,21 @@ excess is refused with a structured Overloaded frame). loadgen drives
 all connections through one multiplexed event loop; --pipeline keeps P
 requests in flight per connection (default 1) and --legacy-threads
 falls back to the old thread-per-connection driver.
+
+cluster serve runs the fan-out coordinator (DESIGN.md §16): it fronts
+the shard daemons named by repeatable --shard flags (more can join at
+runtime via `lotus query <coordinator> join ADDR`), speaks the same
+LSRV protocol as serve, and answers Count/PerVertex by summing exact
+per-shard counts. --data-dir journals the shard map so a restarted
+coordinator reconverges; --deadline-ms caps fan-out when a request
+carries no deadline; --allow-partial degrades to a partial sum
+(marked uncached) instead of failing when a shard is down. cluster
+shard is serve plus an optional --coordinator ADDR to self-register
+after binding. query shard-stat aggregates shard occupancy; query
+join registers a shard endpoint with a coordinator. loadgen --cluster
+drives a coordinator with a shard-safe mix (no k-clique, which
+cluster mode rejects) and writes the BENCH artifact section under
+\"cluster\" instead of \"serve\".
 
 analyze lint runs the project-rule source lint over the workspace
 (run from the repo root) against the checked-in waiver file; stale
@@ -98,6 +118,10 @@ pub enum Command {
     Serve(ServeCliArgs),
     /// `lotus serve recover`: offline durability-state inspection.
     ServeRecover(ServeRecoverArgs),
+    /// `lotus cluster serve`: the fan-out coordinator daemon.
+    ClusterServe(ClusterServeArgs),
+    /// `lotus cluster shard`: a shard daemon, optionally self-registering.
+    ClusterShard(ClusterShardArgs),
     /// `lotus query`.
     Query(QueryArgs),
     /// `lotus loadgen`.
@@ -130,6 +154,35 @@ pub struct ServeCliArgs {
     pub event_threads: usize,
     /// Open-connection cap (`--max-conns`); 0 means 4096.
     pub max_conns: usize,
+}
+
+/// Arguments of `lotus cluster serve`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterServeArgs {
+    /// Bind address (default `127.0.0.1`).
+    pub bind: String,
+    /// TCP port; 0 picks an ephemeral port.
+    pub port: u16,
+    /// Shard daemon endpoints to join at startup (`--shard ADDR`, repeatable).
+    pub shards: Vec<String>,
+    /// Shard-map journal directory (`--data-dir`); `None` = in-memory only.
+    pub data_dir: Option<String>,
+    /// Fan-out deadline for requests that carry none (`--deadline-ms`).
+    pub deadline_ms: Option<u64>,
+    /// Degrade to partial sums instead of failing when a shard is down.
+    pub allow_partial: bool,
+    /// Seed for the shard-dial retry backoff (`--retry-seed`).
+    pub retry_seed: Option<u64>,
+}
+
+/// Arguments of `lotus cluster shard`: a full serve daemon plus an
+/// optional coordinator to self-register with once bound.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterShardArgs {
+    /// The underlying daemon configuration (same flags as `lotus serve`).
+    pub serve: ServeCliArgs,
+    /// Coordinator address to send `ShardJoin` to (`--coordinator`).
+    pub coordinator: Option<String>,
 }
 
 /// Arguments of `lotus serve recover`.
@@ -194,6 +247,13 @@ pub enum QueryAction {
         /// Registry name.
         name: String,
     },
+    /// Cluster: aggregated shard occupancy (fleet fan-out).
+    ShardStat,
+    /// Cluster admin: register a shard endpoint with a coordinator.
+    Join {
+        /// Shard daemon address (`host:port`).
+        addr: String,
+    },
 }
 
 /// Arguments of `lotus loadgen`.
@@ -219,6 +279,9 @@ pub struct LoadgenCliArgs {
     pub pipeline: Option<usize>,
     /// Use the legacy thread-per-connection driver (`--legacy-threads`).
     pub legacy_threads: bool,
+    /// Target is a cluster coordinator (`--cluster`): use the
+    /// shard-safe request mix and write the `cluster` artifact section.
+    pub cluster: bool,
 }
 
 /// Arguments of `lotus bench`.
@@ -851,6 +914,10 @@ pub fn parse(argv: &[&str]) -> Result<Command, ParseError> {
                 "evict" => QueryAction::Evict {
                     name: need("graph name")?,
                 },
+                "shard-stat" => QueryAction::ShardStat,
+                "join" => QueryAction::Join {
+                    addr: need("shard address")?,
+                },
                 other => return Err(ParseError(format!("unknown query action '{other}'"))),
             };
             if range.is_some() && !matches!(action, QueryAction::PerVertex { .. }) {
@@ -876,6 +943,7 @@ pub fn parse(argv: &[&str]) -> Result<Command, ParseError> {
             let mut json = None;
             let mut pipeline = None;
             let mut legacy_threads = false;
+            let mut cluster = false;
             while let Some(arg) = it.next() {
                 match arg {
                     "--suite" | "-s" => {
@@ -893,6 +961,7 @@ pub fn parse(argv: &[&str]) -> Result<Command, ParseError> {
                         pipeline = Some(depth);
                     }
                     "--legacy-threads" => legacy_threads = true,
+                    "--cluster" => cluster = true,
                     "--connections" | "-c" => {
                         connections = Some(parse_num(arg, &take_value(arg, &mut it)?)?);
                     }
@@ -923,7 +992,82 @@ pub fn parse(argv: &[&str]) -> Result<Command, ParseError> {
                 json,
                 pipeline,
                 legacy_threads,
+                cluster,
             }))
+        }
+        "cluster" => {
+            let rest: Vec<&str> = it.collect();
+            match rest.first().copied() {
+                Some("serve") => {
+                    let mut bind = "127.0.0.1".to_string();
+                    let mut port = 0u16;
+                    let mut shards = Vec::new();
+                    let mut data_dir = None;
+                    let mut deadline_ms = None;
+                    let mut allow_partial = false;
+                    let mut retry_seed = None;
+                    let mut it = rest[1..].iter().copied();
+                    while let Some(arg) = it.next() {
+                        match arg {
+                            "--bind" | "-b" => bind = take_value(arg, &mut it)?,
+                            "--port" | "-p" => port = parse_num(arg, &take_value(arg, &mut it)?)?,
+                            "--shard" => shards.push(take_value(arg, &mut it)?),
+                            "--data-dir" => data_dir = Some(take_value(arg, &mut it)?),
+                            "--deadline-ms" | "-d" => {
+                                deadline_ms = Some(parse_num(arg, &take_value(arg, &mut it)?)?);
+                            }
+                            "--allow-partial" => allow_partial = true,
+                            "--retry-seed" => {
+                                retry_seed = Some(parse_num(arg, &take_value(arg, &mut it)?)?);
+                            }
+                            _ => return Err(ParseError(format!("unexpected argument '{arg}'"))),
+                        }
+                    }
+                    Ok(Command::ClusterServe(ClusterServeArgs {
+                        bind,
+                        port,
+                        shards,
+                        data_dir,
+                        deadline_ms,
+                        allow_partial,
+                        retry_seed,
+                    }))
+                }
+                Some("shard") => {
+                    // Peel --coordinator, forward everything else to the
+                    // serve parser so the two verbs never drift apart.
+                    let mut coordinator = None;
+                    let mut forwarded = vec!["serve"];
+                    let mut i = 1;
+                    while i < rest.len() {
+                        if rest[i] == "--coordinator" {
+                            i += 1;
+                            let addr = rest.get(i).copied().ok_or_else(|| {
+                                ParseError("--coordinator requires a value".into())
+                            })?;
+                            coordinator = Some(addr.to_string());
+                        } else {
+                            forwarded.push(rest[i]);
+                        }
+                        i += 1;
+                    }
+                    match parse(&forwarded)? {
+                        Command::Serve(serve) => Ok(Command::ClusterShard(ClusterShardArgs {
+                            serve,
+                            coordinator,
+                        })),
+                        _ => Err(ParseError("unexpected argument 'recover'".into())),
+                    }
+                }
+                Some("query") => {
+                    // Same wire protocol as a single daemon: alias.
+                    let mut forwarded = vec!["query"];
+                    forwarded.extend(rest[1..].iter().copied());
+                    parse(&forwarded)
+                }
+                Some(other) => Err(ParseError(format!("unknown cluster verb '{other}'"))),
+                None => Err(ParseError("cluster: missing verb (serve|shard|query)".into())),
+            }
         }
         other => Err(ParseError(format!("unknown subcommand '{other}'"))),
     }
@@ -1378,6 +1522,108 @@ mod tests {
         assert!(parse(&["query", "a:1", "per-vertex", "g", "--range", "16"]).is_err());
         assert!(parse(&["query", "a:1", "count", "g", "--range", "0..4"]).is_err());
         assert!(parse(&["query", "a:1", "ping", "extra"]).is_err());
+        assert_eq!(
+            parse(&["query", "a:1", "shard-stat"]).unwrap(),
+            Command::Query(QueryArgs {
+                addr: "a:1".into(),
+                action: QueryAction::ShardStat,
+                deadline_ms: None,
+            })
+        );
+        assert_eq!(
+            parse(&["query", "a:1", "join", "b:2"]).unwrap(),
+            Command::Query(QueryArgs {
+                addr: "a:1".into(),
+                action: QueryAction::Join { addr: "b:2".into() },
+                deadline_ms: None,
+            })
+        );
+        assert!(parse(&["query", "a:1", "join"]).is_err());
+    }
+
+    #[test]
+    fn parses_cluster_serve() {
+        assert_eq!(
+            parse(&[
+                "cluster",
+                "serve",
+                "--shard",
+                "a:1",
+                "--shard",
+                "b:2",
+                "--data-dir",
+                "/var/lotus",
+                "--deadline-ms",
+                "2500",
+                "--allow-partial",
+                "--retry-seed",
+                "9",
+            ])
+            .unwrap(),
+            Command::ClusterServe(ClusterServeArgs {
+                bind: "127.0.0.1".into(),
+                port: 0,
+                shards: vec!["a:1".into(), "b:2".into()],
+                data_dir: Some("/var/lotus".into()),
+                deadline_ms: Some(2500),
+                allow_partial: true,
+                retry_seed: Some(9),
+            })
+        );
+        assert_eq!(
+            parse(&["cluster", "serve"]).unwrap(),
+            Command::ClusterServe(ClusterServeArgs {
+                bind: "127.0.0.1".into(),
+                port: 0,
+                shards: vec![],
+                data_dir: None,
+                deadline_ms: None,
+                allow_partial: false,
+                retry_seed: None,
+            })
+        );
+        assert!(parse(&["cluster", "serve", "--shard"]).is_err());
+        assert!(parse(&["cluster", "serve", "stray"]).is_err());
+        assert!(parse(&["cluster"]).is_err());
+        assert!(parse(&["cluster", "frobnicate"]).is_err());
+    }
+
+    #[test]
+    fn parses_cluster_shard() {
+        let c = parse(&[
+            "cluster",
+            "shard",
+            "--port",
+            "7071",
+            "--workers",
+            "2",
+            "--coordinator",
+            "c:1",
+        ])
+        .unwrap();
+        match c {
+            Command::ClusterShard(a) => {
+                assert_eq!(a.serve.port, 7071);
+                assert_eq!(a.serve.workers, 2);
+                assert_eq!(a.coordinator.as_deref(), Some("c:1"));
+            }
+            other => panic!("{other:?}"),
+        }
+        // Without --coordinator the shard is a plain daemon awaiting a join.
+        match parse(&["cluster", "shard"]).unwrap() {
+            Command::ClusterShard(a) => assert_eq!(a.coordinator, None),
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&["cluster", "shard", "--coordinator"]).is_err());
+        assert!(parse(&["cluster", "shard", "recover", "d"]).is_err());
+    }
+
+    #[test]
+    fn cluster_query_is_an_alias() {
+        assert_eq!(
+            parse(&["cluster", "query", "a:1", "shard-stat"]).unwrap(),
+            parse(&["query", "a:1", "shard-stat"]).unwrap(),
+        );
     }
 
     #[test]
@@ -1395,6 +1641,7 @@ mod tests {
                 json: None,
                 pipeline: None,
                 legacy_threads: false,
+                cluster: false,
             })
         );
         let c = parse(&[
@@ -1427,6 +1674,7 @@ mod tests {
                 assert_eq!(a.json.as_deref(), Some("serve.json"));
                 assert_eq!(a.pipeline, Some(4));
                 assert!(a.legacy_threads);
+                assert!(!a.cluster);
             }
             _ => panic!("wrong command"),
         }

@@ -24,8 +24,9 @@ use lotus_resilience::{isolate, Deadline, MemoryBudget, RunGuard};
 
 use crate::args::{
     AnalyzeArgs, AnalyzeGraphArgs, AnalyzeLintArgs, AnalyzeLocksArgs, AnalyzeRaceArgs, BenchArgs,
-    BenchCompareArgs, BenchRunArgs, CheckArgs, ConvertArgs, CountArgs, GenerateArgs,
-    LoadgenCliArgs, QueryAction, QueryArgs, ServeCliArgs, ServeRecoverArgs,
+    BenchCompareArgs, BenchRunArgs, CheckArgs, ClusterServeArgs, ClusterShardArgs, ConvertArgs,
+    CountArgs, GenerateArgs, LoadgenCliArgs, QueryAction, QueryArgs, ServeCliArgs,
+    ServeRecoverArgs,
 };
 
 /// A command failure: user-facing message plus process exit code.
@@ -638,6 +639,17 @@ pub fn convert(args: ConvertArgs) -> Result<String, CliError> {
 pub fn serve(args: ServeCliArgs) -> Result<String, CliError> {
     use std::io::Write as _;
 
+    let handle = spawn_daemon(args)?;
+    println!("listening on {}", handle.addr());
+    let _ = std::io::stdout().flush();
+    handle.wait();
+    Ok("drained".into())
+}
+
+/// Spawns the serve daemon behind `lotus serve` / `lotus cluster
+/// shard`, printing the recovery report when the data directory
+/// replayed anything.
+fn spawn_daemon(args: ServeCliArgs) -> Result<lotus_serve::ServerHandle, CliError> {
     // Crash-recovery tests arm fault points in the spawned daemon via
     // LOTUS_FAULT_PLAN; a plain build ignores the variable entirely.
     #[cfg(feature = "fault-injection")]
@@ -667,7 +679,78 @@ pub fn serve(args: ServeCliArgs) -> Result<String, CliError> {
             report.quarantined.len()
         );
     }
+    Ok(handle)
+}
+
+/// `lotus cluster serve`: run the fan-out coordinator until drained.
+///
+/// Prints `coordinating on <addr>` (flushed) before blocking, mirroring
+/// `lotus serve`'s stdout contract so scripts can poll for the port.
+///
+/// # Errors
+/// Returns a [`CliError`] when the listener cannot bind or the
+/// shard-map journal cannot be opened.
+pub fn cluster_serve(args: ClusterServeArgs) -> Result<String, CliError> {
+    use std::io::Write as _;
+
+    let mut config = lotus_cluster::ClusterConfig {
+        bind: args.bind,
+        port: args.port,
+        shards: args.shards,
+        data_dir: args.data_dir.map(std::path::PathBuf::from),
+        allow_partial: args.allow_partial,
+        ..lotus_cluster::ClusterConfig::default()
+    };
+    if let Some(ms) = args.deadline_ms {
+        config.default_deadline = Duration::from_millis(ms);
+    }
+    if let Some(seed) = args.retry_seed {
+        config.retry_seed = seed;
+    }
+    let handle = lotus_cluster::spawn(config).map_err(|e| CliError::runtime(e.to_string()))?;
+    println!("coordinating on {}", handle.addr());
+    let _ = std::io::stdout().flush();
+    handle.wait();
+    Ok("drained".into())
+}
+
+/// `lotus cluster shard`: a full serve daemon that optionally
+/// registers itself with a coordinator once its port is bound.
+///
+/// # Errors
+/// Returns a [`CliError`] when the daemon cannot start, the
+/// coordinator is unreachable, or it refuses the join.
+pub fn cluster_shard(args: ClusterShardArgs) -> Result<String, CliError> {
+    use std::io::Write as _;
+
+    use lotus_serve::{Request, Response};
+
+    let handle = spawn_daemon(args.serve)?;
     println!("listening on {}", handle.addr());
+    if let Some(coordinator) = &args.coordinator {
+        let retry = lotus_resilience::RetryPolicy::serve_default(handle.addr().port().into());
+        let reply = lotus_serve::Client::connect_with_retry(coordinator, &retry)
+            .map_err(|e| {
+                CliError::runtime(format!("connecting to coordinator {coordinator}: {e}"))
+            })
+            .and_then(|(mut client, _)| {
+                client
+                    .call(&Request::ShardJoin {
+                        addr: handle.addr().to_string(),
+                    })
+                    .map_err(|e| CliError::runtime(format!("joining {coordinator}: {e}")))
+            })?;
+        match reply {
+            Response::ShardJoined { shards } => {
+                println!("joined {coordinator} as one of {shards} shard(s)");
+            }
+            other => {
+                return Err(CliError::runtime(format!(
+                    "coordinator {coordinator} refused the join: {other:?}"
+                )))
+            }
+        }
+    }
     let _ = std::io::stdout().flush();
     handle.wait();
     Ok("drained".into())
@@ -736,6 +819,8 @@ pub fn query(args: QueryArgs) -> Result<String, CliError> {
         },
         QueryAction::Load { name, spec } => Request::LoadGraph { name, spec },
         QueryAction::Evict { name } => Request::EvictGraph { name },
+        QueryAction::ShardStat => Request::ShardStat,
+        QueryAction::Join { addr } => Request::ShardJoin { addr },
     };
     let mut client = lotus_serve::Client::connect(args.addr.as_str())
         .map_err(|e| CliError::runtime(format!("connecting to {}: {e}", args.addr)))?;
@@ -789,6 +874,7 @@ pub fn loadgen(args: LoadgenCliArgs) -> Result<String, CliError> {
         config.pipeline = pipeline;
     }
     config.legacy_threads = args.legacy_threads;
+    config.cluster = args.cluster;
     // Backoff jitter follows the mix seed so two runs retry identically.
     config.retry = lotus_resilience::RetryPolicy::serve_default(config.seed);
     let report = lotus_serve::loadgen::run(&config).map_err(CliError::runtime)?;
@@ -847,6 +933,18 @@ pub fn loadgen(args: LoadgenCliArgs) -> Result<String, CliError> {
     );
     if let Some(path) = &args.json {
         use lotus_telemetry::json::Json;
+        // Against a coordinator the section goes under "cluster" with
+        // the fleet size; the Stats round-trip reports the fleet as
+        // `workers` (DESIGN.md §16).
+        let (key, section_json) = if args.cluster {
+            let cluster = lotus_bench::ClusterSection {
+                shards: u64::from(durability.workers),
+                section,
+            };
+            ("cluster", cluster.to_json())
+        } else {
+            ("serve", section.to_json())
+        };
         let doc = Json::Obj(vec![
             (
                 "schema_version".into(),
@@ -856,11 +954,11 @@ pub fn loadgen(args: LoadgenCliArgs) -> Result<String, CliError> {
             // An empty runs array keeps the artifact a valid BENCH.json
             // document, so `bench compare` can gate serve-only runs.
             ("runs".into(), Json::Arr(vec![])),
-            ("serve".into(), section.to_json()),
+            (key.into(), section_json),
         ]);
         std::fs::write(path, doc.pretty())
             .map_err(|e| CliError::runtime(format!("cannot write '{path}': {e}")))?;
-        let _ = writeln!(out, "wrote serve section to {path}");
+        let _ = writeln!(out, "wrote {key} section to {path}");
     }
     if report.ok == 0 {
         return Err(CliError::runtime(format!("no request succeeded\n{out}")));
@@ -1296,6 +1394,7 @@ mod tests {
             json: Some(json.clone()),
             pipeline: Some(2),
             legacy_threads: false,
+            cluster: false,
         })
         .unwrap();
         assert!(out.contains("latency p50"), "{out}");
@@ -1330,6 +1429,81 @@ mod tests {
         .unwrap();
         assert!(out.contains("draining"), "{out}");
         handle.wait();
+    }
+
+    #[test]
+    fn cluster_query_and_loadgen_against_in_process_fleet() {
+        let shard = |n| {
+            lotus_serve::spawn(lotus_serve::ServeConfig {
+                workers: n,
+                queue_capacity: 16,
+                ..lotus_serve::ServeConfig::default()
+            })
+            .unwrap()
+        };
+        let shards = [shard(2), shard(2)];
+        let extra = shard(2);
+        let coordinator = lotus_cluster::spawn(lotus_cluster::ClusterConfig {
+            shards: shards.iter().map(|s| s.addr().to_string()).collect(),
+            ..lotus_cluster::ClusterConfig::default()
+        })
+        .unwrap();
+        let addr = coordinator.addr().to_string();
+
+        // `query join` grows the fleet through the one-shot client.
+        let out = query(QueryArgs {
+            addr: addr.clone(),
+            action: QueryAction::Join {
+                addr: extra.addr().to_string(),
+            },
+            deadline_ms: None,
+        })
+        .unwrap();
+        assert!(out.contains("\"shards\": 3"), "{out}");
+
+        // A cluster loadgen run writes a parseable cluster section with
+        // the fleet size, beside no serve section at all.
+        let json = tmp("loadgen_cluster.json");
+        let out = loadgen(LoadgenCliArgs {
+            addr: addr.clone(),
+            suite: None,
+            connections: Some(2),
+            requests: Some(5),
+            seed: Some(7),
+            graph: Some("rmat:7:8:5".into()),
+            deadline_ms: None,
+            json: Some(json.clone()),
+            pipeline: Some(2),
+            legacy_threads: false,
+            cluster: true,
+        })
+        .unwrap();
+        assert!(out.contains("wrote cluster section"), "{out}");
+        let text = std::fs::read_to_string(&json).unwrap();
+        let section = lotus_bench::ClusterSection::from_document(&text)
+            .unwrap()
+            .expect("cluster section");
+        assert_eq!(section.shards, 3);
+        assert_eq!(section.section.requests, 10);
+        assert_eq!(section.section.errors, 0, "{text}");
+        assert_eq!(lotus_bench::ServeSection::from_document(&text), Ok(None));
+        std::fs::remove_file(&json).ok();
+
+        // `query shard-stat` aggregates fleet occupancy (the loadgen
+        // warm-up graph is still placed).
+        let out = query(QueryArgs {
+            addr,
+            action: QueryAction::ShardStat,
+            deadline_ms: None,
+        })
+        .unwrap();
+        assert!(out.contains("\"shard_graphs\": 1"), "{out}");
+
+        coordinator.shutdown();
+        for s in shards {
+            s.shutdown();
+        }
+        extra.shutdown();
     }
 
     #[test]

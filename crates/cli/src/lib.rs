@@ -18,6 +18,10 @@
 //!   `serve recover <dir>` replays a data directory offline; `query
 //!   <addr> <action>` is the one-shot client and `loadgen <addr>` the
 //!   latency-measuring harness.
+//! * `cluster serve|shard|query` — the sharded counting fleet
+//!   (DESIGN.md §16): a coordinator fanning requests over shard
+//!   daemons, a shard verb that self-registers with a coordinator, and
+//!   a query alias (the coordinator speaks the same LSRV protocol).
 //!
 //! Graph files are whitespace edge lists (`.txt`, `.el`) or the binary
 //! `.lotg` format; the format is chosen by extension.
@@ -48,6 +52,8 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
         Command::Bench(c) => commands::bench(c),
         Command::Serve(c) => commands::serve(c),
         Command::ServeRecover(c) => commands::serve_recover(c),
+        Command::ClusterServe(c) => commands::cluster_serve(c),
+        Command::ClusterShard(c) => commands::cluster_shard(c),
         Command::Query(c) => commands::query(c),
         Command::Loadgen(c) => commands::loadgen(c),
         Command::Help => Ok(args::USAGE.to_string()),

@@ -18,6 +18,9 @@
 //!   relabelings.
 //! * Partitioning ([`partition`]) — edge-balanced range partitioning used by
 //!   the load-balance experiments (Table 9 of the paper).
+//! * Sharding ([`shard`]) — extraction of a partition's forward columns plus
+//!   the ghost columns needed for exact cross-shard triangle counting, used
+//!   by the cluster tier (DESIGN.md §16).
 //! * I/O ([`io`]) — text edge-list and a compact binary format.
 
 pub mod builder;
@@ -31,6 +34,7 @@ pub mod ids;
 pub mod io;
 pub mod ordering;
 pub mod partition;
+pub mod shard;
 pub mod stats;
 pub mod varint;
 
@@ -43,4 +47,5 @@ pub use error::GraphError;
 pub use ids::{NeighborId, VertexId};
 pub use io::{ParseWarning, ParsedEdgeList, Strictness};
 pub use ordering::Relabeling;
+pub use shard::ShardSubgraph;
 pub use stats::GraphStats;

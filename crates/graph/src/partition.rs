@@ -144,6 +144,56 @@ mod tests {
     }
 
     #[test]
+    fn more_parts_than_vertices() {
+        // parts > n must still return exactly `parts` ranges covering
+        // 0..n exactly once; the surplus ranges come out empty.
+        let csr = path_graph(5);
+        for parts in [6, 17, 64] {
+            let ranges = edge_balanced(&csr, parts);
+            assert_eq!(ranges.len(), parts);
+            assert_eq!(ranges[0].start, 0);
+            assert_eq!(ranges.last().unwrap().end, 5);
+            for w in ranges.windows(2) {
+                assert_eq!(w[0].end, w[1].start);
+            }
+            let covered: u32 = ranges.iter().map(VertexRange::len).sum();
+            assert_eq!(covered, 5);
+            assert!(ranges.iter().filter(|r| r.is_empty()).count() >= parts - 5);
+        }
+    }
+
+    #[test]
+    fn single_giant_degree_hub() {
+        // Star graph: vertex 0 adjacent to everyone. The forward graph
+        // puts every edge in the non-hub columns (each v > 0 lists 0),
+        // so edge-balanced splitting can still spread the load; the
+        // invariants (exact cover, monotone bounds) must hold even when
+        // one vertex carries all the degree in the symmetric view.
+        let star = graph_from_edges((1..1000u32).map(|v| (0, v)));
+        let fwd = star.forward_graph();
+        for parts in [2, 3, 7] {
+            let ranges = edge_balanced(&fwd, parts);
+            assert_eq!(ranges.len(), parts);
+            assert_eq!(ranges[0].start, 0);
+            assert_eq!(ranges.last().unwrap().end, 1000);
+            for w in ranges.windows(2) {
+                assert_eq!(w[0].end, w[1].start);
+            }
+            let total: u64 = ranges.iter().map(|r| range_edges(&fwd, *r)).sum();
+            assert_eq!(total, fwd.num_entries());
+        }
+        // Hub-heavy symmetric CSR: all mass on column 0. The first range
+        // absorbs the hub; later ranges stay valid (possibly empty).
+        let sym = star.csr();
+        let ranges = edge_balanced(sym, 4);
+        assert_eq!(ranges.len(), 4);
+        assert_eq!(ranges[0].start, 0);
+        assert_eq!(ranges.last().unwrap().end, 1000);
+        let total: u64 = ranges.iter().map(|r| range_edges(sym, *r)).sum();
+        assert_eq!(total, sym.num_entries());
+    }
+
+    #[test]
     fn range_helpers() {
         let r = VertexRange { start: 3, end: 7 };
         assert_eq!(r.len(), 4);

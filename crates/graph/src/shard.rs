@@ -1,0 +1,334 @@
+//! Shard subgraph extraction for distributed triangle counting.
+//!
+//! The cluster tier (DESIGN.md §16) splits a graph across shard daemons
+//! by contiguous vertex range ([`crate::partition::edge_balanced`]) over
+//! the *forward-oriented* graph, where every vertex keeps only its
+//! lower-ID neighbours ([`crate::UndirectedCsr::forward_graph`]).
+//!
+//! Under that orientation each triangle `a < b < c` appears exactly once
+//! as the wedge closed at its **maximum** vertex `c` (the *apex*): the
+//! forward lists of `c` contain `a` and `b`, and `b`'s forward list
+//! contains `a`. A shard that owns the vertex range `[s, e)` therefore
+//! owns exactly the triangles whose apex lies in `[s, e)` — a partition
+//! of the triangle set, so summing per-shard counts is exact, with no
+//! double counting and no missed cross-shard triangles.
+//!
+//! To close its wedges a shard needs, besides the forward columns of its
+//! owned vertices, the forward columns of every vertex that *appears* in
+//! an owned column (the *ghost* columns). Ghosts are always at lower
+//! vertex IDs than the owned range. Counting on the subgraph must remain
+//! **apex-restricted** (only apexes in the owned range): a plain triangle
+//! count over the subgraph would also count ghost-only triangles, which
+//! belong to other shards.
+
+use crate::csr::Csr;
+use crate::ids::VertexId;
+use crate::partition::VertexRange;
+
+/// A shard's slice of a forward-oriented graph: the owned vertex range,
+/// the owned forward columns, and the ghost columns needed to close
+/// wedges whose apex is owned.
+///
+/// Stored as a full-width CSR (offsets over all `n + 1` vertices, empty
+/// columns for vertices the shard does not need) so neighbour lookups
+/// stay O(1) and vertex IDs stay global. The offsets array is O(n) per
+/// shard; the neighbour payload — the part that dominates at scale — is
+/// proportional to the owned partition plus its ghost fringe.
+#[derive(Debug, Clone)]
+pub struct ShardSubgraph {
+    owned: VertexRange,
+    csr: Csr<u32>,
+    ghost_columns: u32,
+    ghost_entries: u64,
+}
+
+impl ShardSubgraph {
+    /// Extracts the shard subgraph for `owned` from a forward-oriented
+    /// graph (each vertex's list holds only lower-ID neighbours, sorted).
+    ///
+    /// # Panics
+    /// Panics if `owned` does not lie within `0..forward.num_vertices()`.
+    pub fn extract(forward: &Csr<u32>, owned: VertexRange) -> Self {
+        let n = forward.num_vertices();
+        assert!(
+            owned.start <= owned.end && owned.end <= n,
+            "owned range {}..{} out of bounds for {n} vertices",
+            owned.start,
+            owned.end,
+        );
+        // Mark ghost columns: every vertex referenced from an owned column.
+        let mut ghost = vec![false; n as usize];
+        for v in owned.iter() {
+            for &u in forward.neighbors(v) {
+                ghost[u as usize] = true;
+            }
+        }
+        // Owned columns are copied wholesale; a vertex that is both owned
+        // and referenced counts as owned, not ghost.
+        let mut ghost_columns = 0u32;
+        let mut ghost_entries = 0u64;
+        let mut offsets = Vec::with_capacity(n as usize + 1);
+        offsets.push(0u64);
+        let mut acc = 0u64;
+        for v in 0..n {
+            let keep_owned = v >= owned.start && v < owned.end;
+            let keep_ghost = !keep_owned && ghost[v as usize];
+            if keep_owned || keep_ghost {
+                let deg = forward.neighbors(v).len() as u64;
+                acc += deg;
+                if keep_ghost {
+                    ghost_columns += 1;
+                    ghost_entries += deg;
+                }
+            }
+            offsets.push(acc);
+        }
+        let mut neighbors = Vec::with_capacity(acc as usize);
+        for v in 0..n {
+            let keep = (v >= owned.start && v < owned.end) || ghost[v as usize];
+            if keep {
+                neighbors.extend_from_slice(forward.neighbors(v));
+            }
+        }
+        Self {
+            owned,
+            csr: Csr::from_parts(offsets, neighbors),
+            ghost_columns,
+            ghost_entries,
+        }
+    }
+
+    /// The vertex range whose apex triangles this shard owns.
+    pub fn owned(&self) -> VertexRange {
+        self.owned
+    }
+
+    /// Total vertex-ID space of the original graph.
+    pub fn num_vertices(&self) -> u32 {
+        self.csr.num_vertices()
+    }
+
+    /// Forward entries stored (owned plus ghost columns).
+    pub fn num_entries(&self) -> u64 {
+        self.csr.num_entries()
+    }
+
+    /// Number of ghost (non-owned, referenced) columns retained.
+    pub fn ghost_columns(&self) -> u32 {
+        self.ghost_columns
+    }
+
+    /// Forward entries held in ghost columns.
+    pub fn ghost_entries(&self) -> u64 {
+        self.ghost_entries
+    }
+
+    /// Approximate resident bytes of the subgraph topology.
+    pub fn topology_bytes(&self) -> u64 {
+        self.csr.topology_bytes()
+    }
+
+    /// Counts the triangles owned by this shard: those whose apex
+    /// (maximum vertex) lies in the owned range. Summing this across an
+    /// exact partition of `0..n` yields the graph's triangle count.
+    pub fn count_owned_triangles(&self) -> u64 {
+        let mut total = 0u64;
+        for v in self.owned.iter() {
+            let fwd_v = self.csr.neighbors(v);
+            for &u in fwd_v {
+                total += sorted_intersection_len(fwd_v, self.csr.neighbors(u));
+            }
+        }
+        total
+    }
+
+    /// Accumulates per-vertex triangle participation for vertices in
+    /// `window`, restricted to triangles owned by this shard. Each owned
+    /// triangle `(w, u, v)` contributes `+1` to each of its three
+    /// corners that fall inside the window. Element-wise sums of these
+    /// windows across an exact partition equal the single-node
+    /// per-vertex counts.
+    ///
+    /// Returns a `window.len()`-sized vector indexed by `vertex - window.start`.
+    pub fn per_vertex_owned(&self, window: VertexRange) -> Vec<u64> {
+        let mut counts = vec![0u64; window.len() as usize];
+        let mut bump = |x: VertexId| {
+            if x >= window.start && x < window.end {
+                counts[(x - window.start) as usize] += 1;
+            }
+        };
+        for v in self.owned.iter() {
+            let fwd_v = self.csr.neighbors(v);
+            for &u in fwd_v {
+                for w in sorted_intersection(fwd_v, self.csr.neighbors(u)) {
+                    bump(w);
+                    bump(u);
+                    bump(v);
+                }
+            }
+        }
+        counts
+    }
+}
+
+/// Length of the intersection of two sorted ascending slices.
+fn sorted_intersection_len(a: &[u32], b: &[u32]) -> u64 {
+    let mut count = 0u64;
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            core::cmp::Ordering::Less => i += 1,
+            core::cmp::Ordering::Greater => j += 1,
+            core::cmp::Ordering::Equal => {
+                count += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    count
+}
+
+/// Iterates the intersection of two sorted ascending slices.
+fn sorted_intersection<'a>(a: &'a [u32], b: &'a [u32]) -> impl Iterator<Item = u32> + 'a {
+    let mut i = 0usize;
+    let mut j = 0usize;
+    core::iter::from_fn(move || {
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                core::cmp::Ordering::Less => i += 1,
+                core::cmp::Ordering::Greater => j += 1,
+                core::cmp::Ordering::Equal => {
+                    let v = a[i];
+                    i += 1;
+                    j += 1;
+                    return Some(v);
+                }
+            }
+        }
+        None
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::graph_from_edges;
+    use crate::partition::edge_balanced;
+    use crate::UndirectedCsr;
+
+    /// Single-node reference: forward count over the whole graph.
+    fn reference_count(g: &UndirectedCsr) -> u64 {
+        let fwd = g.forward_graph();
+        let whole = VertexRange {
+            start: 0,
+            end: g.num_vertices(),
+        };
+        ShardSubgraph::extract(&fwd, whole).count_owned_triangles()
+    }
+
+    fn reference_per_vertex(g: &UndirectedCsr) -> Vec<u64> {
+        let fwd = g.forward_graph();
+        let whole = VertexRange {
+            start: 0,
+            end: g.num_vertices(),
+        };
+        ShardSubgraph::extract(&fwd, whole).per_vertex_owned(whole)
+    }
+
+    fn pseudo_random_graph(n: u32, m: usize, seed: u64) -> UndirectedCsr {
+        // splitmix64-driven pair sampling; deterministic, self-contained.
+        let mut state = seed;
+        let mut next = move || {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        let edges = (0..m)
+            .map(|_| ((next() % n as u64) as u32, (next() % n as u64) as u32))
+            .filter(|(a, b)| a != b);
+        graph_from_edges(edges)
+    }
+
+    #[test]
+    fn sharded_count_matches_reference_across_partitions() {
+        let g = pseudo_random_graph(300, 2500, 7);
+        let expected = reference_count(&g);
+        assert!(expected > 0, "test graph should contain triangles");
+        let fwd = g.forward_graph();
+        for parts in [1, 2, 3, 5, 8, 300] {
+            let total: u64 = edge_balanced(&fwd, parts)
+                .into_iter()
+                .map(|r| ShardSubgraph::extract(&fwd, r).count_owned_triangles())
+                .sum();
+            assert_eq!(total, expected, "parts={parts}");
+        }
+    }
+
+    #[test]
+    fn sharded_per_vertex_matches_reference() {
+        let g = pseudo_random_graph(120, 900, 11);
+        let expected = reference_per_vertex(&g);
+        let fwd = g.forward_graph();
+        let window = VertexRange {
+            start: 0,
+            end: g.num_vertices(),
+        };
+        let mut summed = vec![0u64; window.len() as usize];
+        for r in edge_balanced(&fwd, 4) {
+            let shard = ShardSubgraph::extract(&fwd, r);
+            for (acc, c) in summed.iter_mut().zip(shard.per_vertex_owned(window)) {
+                *acc += c;
+            }
+        }
+        assert_eq!(summed, expected);
+    }
+
+    #[test]
+    fn per_vertex_window_subset() {
+        let g = pseudo_random_graph(80, 600, 3);
+        let full = reference_per_vertex(&g);
+        let fwd = g.forward_graph();
+        let window = VertexRange { start: 20, end: 50 };
+        let mut summed = vec![0u64; window.len() as usize];
+        for r in edge_balanced(&fwd, 3) {
+            let shard = ShardSubgraph::extract(&fwd, r);
+            for (acc, c) in summed.iter_mut().zip(shard.per_vertex_owned(window)) {
+                *acc += c;
+            }
+        }
+        assert_eq!(summed.as_slice(), &full[20..50]);
+    }
+
+    #[test]
+    fn ghost_only_triangles_are_not_counted() {
+        // Triangle 0-1-2 entirely below the owned range; shard owning
+        // [3, 4) sees vertex 3 attached to all of 0,1,2 — its subgraph
+        // contains the ghost triangle, but apex restriction skips it.
+        let g = graph_from_edges([(0, 1), (0, 2), (1, 2), (3, 0), (3, 1), (3, 2)]);
+        let fwd = g.forward_graph();
+        let shard = ShardSubgraph::extract(&fwd, VertexRange { start: 3, end: 4 });
+        // Shard 3 owns the triangles with apex 3: (0,1,3), (0,2,3), (1,2,3).
+        assert_eq!(shard.count_owned_triangles(), 3);
+        let lower = ShardSubgraph::extract(&fwd, VertexRange { start: 0, end: 3 });
+        assert_eq!(lower.count_owned_triangles(), 1);
+        assert_eq!(reference_count(&g), 4);
+    }
+
+    #[test]
+    fn ghost_accounting_and_empty_ranges() {
+        let g = graph_from_edges([(0, 1), (0, 2), (1, 2), (2, 3)]);
+        let fwd = g.forward_graph();
+        let shard = ShardSubgraph::extract(&fwd, VertexRange { start: 2, end: 4 });
+        // Columns 2 and 3 are owned; their lists reference 0 and 1 but
+        // only column 1 is non-empty as a ghost ({0}); column 0 is empty.
+        assert_eq!(shard.owned().len(), 2);
+        assert!(shard.ghost_columns() >= 1);
+        assert_eq!(shard.count_owned_triangles(), 1);
+        let empty = ShardSubgraph::extract(&fwd, VertexRange { start: 1, end: 1 });
+        assert_eq!(empty.count_owned_triangles(), 0);
+        assert_eq!(empty.num_entries(), 0);
+    }
+}

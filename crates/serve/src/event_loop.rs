@@ -44,7 +44,8 @@ use lotus_telemetry::{counters, Counter};
 
 use crate::proto::{frame_response, try_parse_frame, ErrorKind, FrameProgress, Request, Response};
 use crate::server::{
-    overloaded_response, request_deadline, run_inline, run_pooled, ServeConfig, ServerState,
+    overloaded_response, request_deadline, run_inline, run_pooled, LoopCounters, ServeConfig,
+    ServerState,
 };
 use crate::timer::TimerWheel;
 
@@ -124,6 +125,9 @@ struct LoopShared {
     incoming: Mutex<Vec<TcpStream>>,
     completions: Mutex<Vec<Completion>>,
     waker: Arc<Waker>,
+    /// This loop's always-on activity counters (readiness events and
+    /// wakeups), published per thread through `Stats`.
+    counters: Arc<LoopCounters>,
 }
 
 impl LoopShared {
@@ -153,12 +157,15 @@ pub(crate) fn start(
     for i in 0..config.event_threads {
         let poller = Poller::new()?;
         let waker = Arc::new(poller.waker(Token(WAKER_TOKEN))?);
+        let loop_counters = Arc::new(LoopCounters::default());
         let shared = Arc::new(LoopShared {
             incoming: Mutex::new(Vec::new()),
             completions: Mutex::new(Vec::new()),
             waker: Arc::clone(&waker),
+            counters: Arc::clone(&loop_counters),
         });
         state.net.add_waker(waker);
+        state.net.add_loop_counters(loop_counters);
         loops.push(Arc::clone(&shared));
         let loop_state = Arc::clone(&state);
         let handle = std::thread::Builder::new()
@@ -208,16 +215,15 @@ fn accept_loop(
             break;
         }
         loop {
-            match listener.accept() {
-                Ok((stream, _peer)) => {
+            // accept4(SOCK_NONBLOCK) where available: the socket is born
+            // nonblocking, so there is no accept-then-configure window.
+            match lotus_net::accept_nonblocking(listener) {
+                Ok(Some(stream)) => {
                     if state.net.conns_open.load(Ordering::Relaxed) >= config.max_conns as u64 {
                         refuse_over_quota(stream, state);
                         continue;
                     }
                     let _ = stream.set_nodelay(true);
-                    if stream.set_nonblocking(true).is_err() {
-                        continue;
-                    }
                     state.net.conns_accepted.fetch_add(1, Ordering::Relaxed);
                     state.net.conns_open.fetch_add(1, Ordering::Relaxed);
                     counters::incr(Counter::ConnsAccepted);
@@ -230,10 +236,10 @@ fn accept_loop(
                         .push(stream);
                     shared.waker.wake();
                 }
-                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
-                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Ok(None) => break,
                 // Transient accept failures (EMFILE, ECONNABORTED...):
-                // back off to the poller instead of spinning.
+                // back off to the poller instead of spinning. EINTR is
+                // retried inside accept_nonblocking.
                 Err(_) => break,
             }
         }
@@ -361,6 +367,14 @@ fn event_loop(
         let _ = poller.wait(&mut events, Some(timeout));
         counters::incr(Counter::LoopWakeups);
         counters::add(Counter::ReadinessEvents, events.len() as u64);
+        shared
+            .counters
+            .loop_wakeups
+            .fetch_add(1, Ordering::Relaxed);
+        shared
+            .counters
+            .readiness_events
+            .fetch_add(events.len() as u64, Ordering::Relaxed);
         let now = Instant::now();
 
         // 1. Readiness events for existing connections.

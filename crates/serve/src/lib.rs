@@ -32,14 +32,16 @@ pub mod proto;
 pub mod recovery;
 pub mod registry;
 pub mod server;
+pub mod shards;
 pub mod store;
 pub mod timer;
 
 pub use client::Client;
 pub use journal::{Journal, JournalRecord};
 pub use loadgen::{LoadgenConfig, LoadgenReport};
-pub use proto::{ErrorKind, ProtoError, Request, Response, StatsReply};
+pub use proto::{ErrorKind, LoopStat, ProtoError, Request, Response, StatsReply};
 pub use recovery::{recover, RecoveredState, RecoveryReport};
 pub use registry::{GraphSpec, PreparedGraph, Registry, RegistryError};
 pub use server::{spawn, ServeConfig, ServeError, ServeStats, ServerHandle, ServerState};
+pub use shards::{ShardStore, StoredShard};
 pub use store::{DurableStore, StoreError};

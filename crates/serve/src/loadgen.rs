@@ -46,6 +46,10 @@ pub struct LoadgenConfig {
     /// multiplexed event-loop client (escape hatch; caps out around a
     /// few hundred connections).
     pub legacy_threads: bool,
+    /// The target is a cluster coordinator: swap the k-clique slice of
+    /// the mix for queries the coordinator can fan out (cluster mode
+    /// rejects `KClique`, see DESIGN.md §16).
+    pub cluster: bool,
 }
 
 impl LoadgenConfig {
@@ -63,6 +67,7 @@ impl LoadgenConfig {
             retry: RetryPolicy::serve_default(42),
             pipeline: 1,
             legacy_threads: false,
+            cluster: false,
         }
     }
 }
@@ -296,22 +301,38 @@ pub(crate) fn pick_request(rng: &mut SmallRng, config: &LoadgenConfig, vertices:
             deadline_ms: config.deadline_ms,
         }
     } else if roll < 85 {
-        Request::KClique {
-            name,
-            k: rng.gen_range(3..5u32),
-            deadline_ms: config.deadline_ms,
-        }
-    } else if roll < 92 {
-        Request::Batch(vec![
+        // Cluster mode cannot fan k-clique out (per-shard sums would
+        // be inexact); substitute a count. `k` is drawn either way so
+        // one seed yields the same downstream schedule in both modes.
+        let k = rng.gen_range(3..5u32);
+        if config.cluster {
             Request::Count {
-                name: name.clone(),
+                name,
                 deadline_ms: config.deadline_ms,
-            },
+            }
+        } else {
             Request::KClique {
                 name,
+                k,
+                deadline_ms: config.deadline_ms,
+            }
+        }
+    } else if roll < 92 {
+        let second = if config.cluster {
+            Request::Ping
+        } else {
+            Request::KClique {
+                name: name.clone(),
                 k: 3,
                 deadline_ms: config.deadline_ms,
+            }
+        };
+        Request::Batch(vec![
+            Request::Count {
+                name,
+                deadline_ms: config.deadline_ms,
             },
+            second,
         ])
     } else if roll < 96 {
         Request::Stats

@@ -122,10 +122,13 @@ pub enum ErrorKind {
     /// The request succeeded in memory but its durability step
     /// (snapshot or journal) failed — the result is not crash-safe.
     DurabilityFailed,
+    /// A cluster fan-out could not reach (or timed out waiting for) a
+    /// shard daemon, so the exact merged answer cannot be produced.
+    ShardUnavailable,
 }
 
 impl ErrorKind {
-    const ALL: [ErrorKind; 9] = [
+    const ALL: [ErrorKind; 10] = [
         ErrorKind::Protocol,
         ErrorKind::BadRequest,
         ErrorKind::NotFound,
@@ -135,6 +138,7 @@ impl ErrorKind {
         ErrorKind::WorkerPanic,
         ErrorKind::ShuttingDown,
         ErrorKind::DurabilityFailed,
+        ErrorKind::ShardUnavailable,
     ];
 
     /// Stable snake_case name (the `"error"` field of the JSON form).
@@ -150,6 +154,7 @@ impl ErrorKind {
             ErrorKind::WorkerPanic => "worker_panic",
             ErrorKind::ShuttingDown => "shutting_down",
             ErrorKind::DurabilityFailed => "durability_failed",
+            ErrorKind::ShardUnavailable => "shard_unavailable",
         }
     }
 
@@ -219,6 +224,48 @@ pub enum Request {
     /// Several non-admin requests executed as one worker-pool job (one
     /// queue slot, one span) — the batching path.
     Batch(Vec<Request>),
+    /// Cluster: build the graph from `spec`, extract the edge-balanced
+    /// partition `index` of `parts` as a shard subgraph (owned forward
+    /// columns plus ghost columns), and store it under `name`. The full
+    /// graph is built transiently from the deterministic spec; only the
+    /// subgraph stays resident.
+    ShardLoad {
+        /// Shard-store key.
+        name: String,
+        /// Deterministic graph spec (see `registry::GraphSpec`).
+        spec: String,
+        /// Total shards the graph is split across.
+        parts: u32,
+        /// This shard's partition index (`0 ≤ index < parts`).
+        index: u32,
+    },
+    /// Cluster: count the triangles owned by the shard subgraph `name`
+    /// (apex-restricted — exact when summed across all shards).
+    ShardCount {
+        /// Shard-store key.
+        name: String,
+        /// Milliseconds until the deadline; [`NO_DEADLINE`] for none.
+        deadline_ms: u64,
+    },
+    /// Cluster: this shard's contribution to per-vertex counts over the
+    /// window `[start, end)`; element-wise sums across shards are exact.
+    ShardPerVertex {
+        /// Shard-store key.
+        name: String,
+        /// First vertex of the window.
+        start: u32,
+        /// One past the last vertex of the window.
+        end: u32,
+        /// Milliseconds until the deadline; [`NO_DEADLINE`] for none.
+        deadline_ms: u64,
+    },
+    /// Cluster: a shard daemon announces itself to the coordinator.
+    ShardJoin {
+        /// Address (`host:port`) the coordinator should dial back.
+        addr: String,
+    },
+    /// Cluster: health/occupancy probe answered by a shard daemon.
+    ShardStat,
 }
 
 /// Server/registry statistics carried by [`Response::Stats`]. These are
@@ -264,6 +311,19 @@ pub struct StatsReply {
     pub conns_open: u64,
     /// Event-loop threads multiplexing connections.
     pub event_threads: u32,
+    /// Per-event-loop readiness/wakeup tallies, indexed by loop thread.
+    /// Lets the soak lane spot one hot loop that totals would hide.
+    pub loop_stats: Vec<LoopStat>,
+}
+
+/// One event-loop thread's always-on activity counters (a row of
+/// [`StatsReply::loop_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LoopStat {
+    /// Readiness events delivered to this loop by the poller.
+    pub readiness_events: u64,
+    /// Times this loop's `wait` returned (including waker nudges).
+    pub loop_wakeups: u64,
 }
 
 /// A server response.
@@ -315,6 +375,23 @@ pub enum Response {
     /// Reply to [`Request::Drain`]: the daemon finishes in-flight work
     /// and exits.
     Draining,
+    /// Reply to [`Request::ShardJoin`]: the coordinator acknowledges the
+    /// shard and reports the fleet size it now tracks.
+    ShardJoined {
+        /// Shards registered with the coordinator after this join.
+        shards: u32,
+    },
+    /// Reply to [`Request::ShardStat`]: a shard daemon's occupancy.
+    ShardStat {
+        /// Shard subgraphs resident in the shard store.
+        graphs: u32,
+        /// Vertices owned across resident shard subgraphs.
+        owned_vertices: u64,
+        /// Forward entries resident (owned plus ghost columns).
+        entries: u64,
+        /// Entries held in ghost (non-owned) columns.
+        ghost_entries: u64,
+    },
     /// Reply to [`Request::Batch`]: one response per sub-request.
     Batch(Vec<Response>),
     /// A structured failure.
@@ -385,6 +462,23 @@ impl Response {
                     "event_threads".into(),
                     Json::Int(i64::from(s.event_threads)),
                 ),
+                (
+                    "loop_stats".into(),
+                    Json::Arr(
+                        s.loop_stats
+                            .iter()
+                            .map(|l| {
+                                Json::Obj(vec![
+                                    (
+                                        "readiness_events".into(),
+                                        Json::Int(l.readiness_events as i64),
+                                    ),
+                                    ("loop_wakeups".into(), Json::Int(l.loop_wakeups as i64)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
             ]),
             Response::Count {
                 triangles,
@@ -422,6 +516,21 @@ impl Response {
                 Json::Obj(vec![("evicted".into(), Json::Bool(*existed))])
             }
             Response::Draining => Json::Obj(vec![("draining".into(), Json::Bool(true))]),
+            Response::ShardJoined { shards } => Json::Obj(vec![
+                ("joined".into(), Json::Bool(true)),
+                ("shards".into(), Json::Int(i64::from(*shards))),
+            ]),
+            Response::ShardStat {
+                graphs,
+                owned_vertices,
+                entries,
+                ghost_entries,
+            } => Json::Obj(vec![
+                ("shard_graphs".into(), Json::Int(i64::from(*graphs))),
+                ("owned_vertices".into(), Json::Int(*owned_vertices as i64)),
+                ("entries".into(), Json::Int(*entries as i64)),
+                ("ghost_entries".into(), Json::Int(*ghost_entries as i64)),
+            ]),
             Response::Batch(items) => Json::Obj(vec![(
                 "batch".into(),
                 Json::Arr(items.iter().map(Response::to_json).collect()),
@@ -580,6 +689,40 @@ impl Request {
                     buf.extend_from_slice(&inner);
                 }
             }
+            Request::ShardLoad {
+                name,
+                spec,
+                parts,
+                index,
+            } => {
+                buf.push(9);
+                put_str(&mut buf, name)?;
+                put_str(&mut buf, spec)?;
+                buf.extend_from_slice(&parts.to_le_bytes());
+                buf.extend_from_slice(&index.to_le_bytes());
+            }
+            Request::ShardCount { name, deadline_ms } => {
+                buf.push(10);
+                put_str(&mut buf, name)?;
+                buf.extend_from_slice(&deadline_ms.to_le_bytes());
+            }
+            Request::ShardPerVertex {
+                name,
+                start,
+                end,
+                deadline_ms,
+            } => {
+                buf.push(11);
+                put_str(&mut buf, name)?;
+                buf.extend_from_slice(&start.to_le_bytes());
+                buf.extend_from_slice(&end.to_le_bytes());
+                buf.extend_from_slice(&deadline_ms.to_le_bytes());
+            }
+            Request::ShardJoin { addr } => {
+                buf.push(12);
+                put_str(&mut buf, addr)?;
+            }
+            Request::ShardStat => buf.push(13),
         }
         Ok(buf)
     }
@@ -643,6 +786,24 @@ impl Request {
                 }
                 Request::Batch(items)
             }
+            9 => Request::ShardLoad {
+                name: d.string()?,
+                spec: d.string()?,
+                parts: d.u32()?,
+                index: d.u32()?,
+            },
+            10 => Request::ShardCount {
+                name: d.string()?,
+                deadline_ms: d.u64()?,
+            },
+            11 => Request::ShardPerVertex {
+                name: d.string()?,
+                start: d.u32()?,
+                end: d.u32()?,
+                deadline_ms: d.u64()?,
+            },
+            12 => Request::ShardJoin { addr: d.string()? },
+            13 => Request::ShardStat,
             other => return Err(ProtoError::UnknownTag(other)),
         };
         Ok(req)
@@ -680,6 +841,17 @@ impl Response {
                 buf.extend_from_slice(&s.conns_accepted.to_le_bytes());
                 buf.extend_from_slice(&s.conns_open.to_le_bytes());
                 buf.extend_from_slice(&s.event_threads.to_le_bytes());
+                if s.loop_stats.len() > u16::MAX as usize {
+                    return Err(ProtoError::Malformed(format!(
+                        "{} loop stats exceed the u16 count prefix",
+                        s.loop_stats.len()
+                    )));
+                }
+                buf.extend_from_slice(&(s.loop_stats.len() as u16).to_le_bytes());
+                for l in &s.loop_stats {
+                    buf.extend_from_slice(&l.readiness_events.to_le_bytes());
+                    buf.extend_from_slice(&l.loop_wakeups.to_le_bytes());
+                }
             }
             Response::Count {
                 triangles,
@@ -721,6 +893,22 @@ impl Response {
                 buf.push(u8::from(*existed));
             }
             Response::Draining => buf.push(7),
+            Response::ShardJoined { shards } => {
+                buf.push(10);
+                buf.extend_from_slice(&shards.to_le_bytes());
+            }
+            Response::ShardStat {
+                graphs,
+                owned_vertices,
+                entries,
+                ghost_entries,
+            } => {
+                buf.push(11);
+                buf.extend_from_slice(&graphs.to_le_bytes());
+                buf.extend_from_slice(&owned_vertices.to_le_bytes());
+                buf.extend_from_slice(&entries.to_le_bytes());
+                buf.extend_from_slice(&ghost_entries.to_le_bytes());
+            }
             Response::Batch(items) => {
                 buf.push(8);
                 buf.extend_from_slice(&(items.len() as u16).to_le_bytes());
@@ -755,27 +943,39 @@ impl Response {
         let tag = d.u8()?;
         let resp = match tag {
             0 => Response::Pong,
-            1 => Response::Stats(StatsReply {
-                graphs: d.u32()?,
-                resident_bytes: d.u64()?,
-                budget_bytes: d.u64()?,
-                requests_served: d.u64()?,
-                overloaded: d.u64()?,
-                deadline_expired: d.u64()?,
-                cache_hits: d.u64()?,
-                cache_misses: d.u64()?,
-                panics: d.u64()?,
-                workers: d.u32()?,
-                queue_capacity: d.u32()?,
-                snapshot_writes: d.u64()?,
-                journal_appends: d.u64()?,
-                journal_replays: d.u64()?,
-                recovery_quarantined: d.u64()?,
-                recovery_ms: d.u64()?,
-                conns_accepted: d.u64()?,
-                conns_open: d.u64()?,
-                event_threads: d.u32()?,
-            }),
+            1 => {
+                let mut s = StatsReply {
+                    graphs: d.u32()?,
+                    resident_bytes: d.u64()?,
+                    budget_bytes: d.u64()?,
+                    requests_served: d.u64()?,
+                    overloaded: d.u64()?,
+                    deadline_expired: d.u64()?,
+                    cache_hits: d.u64()?,
+                    cache_misses: d.u64()?,
+                    panics: d.u64()?,
+                    workers: d.u32()?,
+                    queue_capacity: d.u32()?,
+                    snapshot_writes: d.u64()?,
+                    journal_appends: d.u64()?,
+                    journal_replays: d.u64()?,
+                    recovery_quarantined: d.u64()?,
+                    recovery_ms: d.u64()?,
+                    conns_accepted: d.u64()?,
+                    conns_open: d.u64()?,
+                    event_threads: d.u32()?,
+                    loop_stats: Vec::new(),
+                };
+                let loops = d.u16()? as usize;
+                s.loop_stats.reserve(loops.min(MAX_PREALLOC_BYTES / 16));
+                for _ in 0..loops {
+                    s.loop_stats.push(LoopStat {
+                        readiness_events: d.u64()?,
+                        loop_wakeups: d.u64()?,
+                    });
+                }
+                Response::Stats(s)
+            }
             2 => Response::Count {
                 triangles: d.u64()?,
                 cached: d.u8()? != 0,
@@ -823,6 +1023,13 @@ impl Response {
             9 => Response::Error {
                 kind: ErrorKind::from_tag(d.u8()?)?,
                 message: d.string()?,
+            },
+            10 => Response::ShardJoined { shards: d.u32()? },
+            11 => Response::ShardStat {
+                graphs: d.u32()?,
+                owned_vertices: d.u64()?,
+                entries: d.u64()?,
+                ghost_entries: d.u64()?,
             },
             other => return Err(ProtoError::UnknownTag(other)),
         };
@@ -1079,6 +1286,26 @@ mod tests {
                     deadline_ms: 9,
                 },
             ]),
+            Request::ShardLoad {
+                name: "ci".into(),
+                spec: "rmat:9:8:7".into(),
+                parts: 3,
+                index: 2,
+            },
+            Request::ShardCount {
+                name: "ci".into(),
+                deadline_ms: 400,
+            },
+            Request::ShardPerVertex {
+                name: "ci".into(),
+                start: 0,
+                end: 128,
+                deadline_ms: NO_DEADLINE,
+            },
+            Request::ShardJoin {
+                addr: "127.0.0.1:9001".into(),
+            },
+            Request::ShardStat,
         ];
         for req in &reqs {
             round_trip_request(req);
@@ -1109,6 +1336,16 @@ mod tests {
                 conns_accepted: 100,
                 conns_open: 12,
                 event_threads: 2,
+                loop_stats: vec![
+                    LoopStat {
+                        readiness_events: 40,
+                        loop_wakeups: 19,
+                    },
+                    LoopStat {
+                        readiness_events: 60,
+                        loop_wakeups: 23,
+                    },
+                ],
             }),
             Response::Count {
                 triangles: 123_456,
@@ -1128,6 +1365,14 @@ mod tests {
             },
             Response::Evicted { existed: false },
             Response::Draining,
+            Response::ShardJoined { shards: 3 },
+            Response::ShardStat {
+                graphs: 1,
+                owned_vertices: 171,
+                entries: 2048,
+                ghost_entries: 301,
+            },
+            Response::error(ErrorKind::ShardUnavailable, "shard 1 timed out"),
             Response::Batch(vec![
                 Response::Pong,
                 Response::error(ErrorKind::NotFound, "x"),

@@ -412,7 +412,7 @@ impl std::fmt::Debug for Registry {
     }
 }
 
-fn build_graph(spec: &GraphSpec) -> Result<UndirectedCsr, RegistryError> {
+pub(crate) fn build_graph(spec: &GraphSpec) -> Result<UndirectedCsr, RegistryError> {
     match spec {
         GraphSpec::Path(path) => {
             let el = if path.ends_with(".lotg") {

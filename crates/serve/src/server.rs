@@ -40,8 +40,10 @@ use crate::pool::WorkerPool;
 use crate::proto::{
     ErrorKind, Request, Response, StatsReply, MAX_CLIQUE_K, MAX_PER_VERTEX_SPAN, NO_DEADLINE,
 };
+use crate::proto::LoopStat;
 use crate::recovery::RecoveryReport;
 use crate::registry::{PreparedGraph, Registry, RegistryError};
+use crate::shards::{self, ShardStore};
 use crate::store::{DurableStore, StoreError};
 
 /// How often the checkpoint thread re-checks shutdown between sleeps.
@@ -174,6 +176,17 @@ pub(crate) struct NetRuntime {
     pub(crate) conns_open: AtomicU64,
     pub(crate) event_threads: AtomicU64,
     pub(crate) wakers: Mutex<Vec<Arc<lotus_net::Waker>>>,
+    /// One row per event-loop thread, installed at loop startup; read
+    /// by `Stats` so a hot loop is visible, not averaged away.
+    pub(crate) loop_counters: Mutex<Vec<Arc<LoopCounters>>>,
+}
+
+/// A single event loop's always-on activity counters (the source of
+/// [`LoopStat`] rows in the stats reply).
+#[derive(Debug, Default)]
+pub(crate) struct LoopCounters {
+    pub(crate) readiness_events: AtomicU64,
+    pub(crate) loop_wakeups: AtomicU64,
 }
 
 impl NetRuntime {
@@ -182,6 +195,26 @@ impl NetRuntime {
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
             .push(waker);
+    }
+
+    /// Registers an event loop's counter row, in loop-index order.
+    pub(crate) fn add_loop_counters(&self, counters: Arc<LoopCounters>) {
+        self.loop_counters
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(counters);
+    }
+
+    fn loop_stats(&self) -> Vec<LoopStat> {
+        self.loop_counters
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .map(|c| LoopStat {
+                readiness_events: c.readiness_events.load(Ordering::Relaxed),
+                loop_wakeups: c.loop_wakeups.load(Ordering::Relaxed),
+            })
+            .collect()
     }
 
     fn wake_all(&self) {
@@ -204,6 +237,7 @@ pub struct ServerState {
     shutdown: CancelToken,
     store: Option<Arc<DurableStore>>,
     recovery: Option<RecoveryReport>,
+    shards: ShardStore,
     pub(crate) net: NetRuntime,
 }
 
@@ -212,6 +246,12 @@ impl ServerState {
     #[must_use]
     pub fn registry(&self) -> &Registry {
         &self.registry
+    }
+
+    /// The shard-subgraph store (cluster tier, DESIGN.md §16).
+    #[must_use]
+    pub fn shards(&self) -> &ShardStore {
+        &self.shards
     }
 
     /// The always-on serving counters.
@@ -279,6 +319,7 @@ impl ServerState {
             conns_accepted: self.net.conns_accepted.load(Ordering::Relaxed),
             conns_open: self.net.conns_open.load(Ordering::Relaxed),
             event_threads: self.net.event_threads.load(Ordering::Relaxed) as u32,
+            loop_stats: self.net.loop_stats(),
         }
     }
 }
@@ -419,6 +460,7 @@ pub fn spawn(config: ServeConfig) -> Result<ServerHandle, ServeError> {
         shutdown: CancelToken::new(),
         store,
         recovery,
+        shards: ShardStore::new(),
         net: NetRuntime::default(),
     });
     if let Some(store) = &state.store {
@@ -535,7 +577,10 @@ pub(crate) fn run_inline(request: &Request, state: &Arc<ServerState>) -> Option<
         Request::Ping => Some(Response::Pong),
         Request::Stats => Some(Response::Stats(state.stats_reply())),
         Request::EvictGraph { name } => {
-            let existed = state.registry.evict(name);
+            // A coordinator fans EvictGraph to its shards, so the shard
+            // store must honor it too — either resident copy counts.
+            let shard_existed = state.shards.evict(name);
+            let existed = state.registry.evict(name) || shard_existed;
             if let Some(store) = state.store() {
                 if let Err(e) = store.record_evict(name) {
                     return Some(Response::error(
@@ -550,6 +595,19 @@ pub(crate) fn run_inline(request: &Request, state: &Arc<ServerState>) -> Option<
             state.begin_drain();
             Some(Response::Draining)
         }
+        Request::ShardStat => {
+            let (graphs, owned_vertices, entries, ghost_entries) = state.shards.stat();
+            Some(Response::ShardStat {
+                graphs,
+                owned_vertices,
+                entries,
+                ghost_entries,
+            })
+        }
+        Request::ShardJoin { .. } => Some(Response::error(
+            ErrorKind::BadRequest,
+            "ShardJoin is a coordinator request; this is a shard/serve daemon",
+        )),
         _ => None,
     }
 }
@@ -568,6 +626,22 @@ pub(crate) fn run_pooled(
         // Registry loads run their own isolation inside the kernels;
         // counting stats are not bumped for admin requests.
         return run_load_graph(name, spec, state);
+    }
+    if let Request::ShardLoad {
+        name,
+        spec,
+        parts,
+        index,
+    } = request
+    {
+        // Placement, like LoadGraph, is admin work: the transient full
+        // build can take seconds, so it is pool-bound but not counted
+        // against the serving stats.
+        return isolate(|| shards::run_shard_load(state.shards(), name, spec, *parts, *index))
+            .unwrap_or_else(|panic| {
+                state.stats.record_panic();
+                Response::error(ErrorKind::WorkerPanic, panic.message)
+            });
     }
     let response = isolate(|| execute_work(request, deadline, state)).unwrap_or_else(|panic| {
         state.stats.record_panic();
@@ -630,7 +704,9 @@ pub(crate) fn request_deadline(request: &Request) -> Option<Deadline> {
     let ms = match request {
         Request::Count { deadline_ms, .. }
         | Request::PerVertex { deadline_ms, .. }
-        | Request::KClique { deadline_ms, .. } => *deadline_ms,
+        | Request::KClique { deadline_ms, .. }
+        | Request::ShardCount { deadline_ms, .. }
+        | Request::ShardPerVertex { deadline_ms, .. } => *deadline_ms,
         Request::Batch(items) => items
             .iter()
             .filter_map(|item| match item {
@@ -664,6 +740,12 @@ fn execute_work(
             name, start, end, ..
         } => run_per_vertex(name, *start, *end, deadline, state),
         Request::KClique { name, k, .. } => run_kclique(name, *k, deadline, state),
+        Request::ShardCount { name, .. } => {
+            shards::run_shard_count(state.shards(), name, deadline)
+        }
+        Request::ShardPerVertex {
+            name, start, end, ..
+        } => shards::run_shard_per_vertex(state.shards(), name, *start, *end, deadline),
         Request::Batch(items) => Response::Batch(
             items
                 .iter()

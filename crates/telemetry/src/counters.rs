@@ -65,11 +65,21 @@ pub enum Counter {
     /// Socket writes that could not complete in one call (resumed when
     /// the socket signals writable again).
     PartialWrites,
+    /// Shard calls fanned out by a cluster coordinator.
+    ClusterFanoutCalls,
+    /// Fanned-out shard calls that resolved to an error (dead, slow, or
+    /// desynced shard).
+    ClusterShardFailures,
+    /// Degraded partial `Count` answers a coordinator returned.
+    ClusterPartialAnswers,
+    /// Malformed shard-map journal entries tolerated during coordinator
+    /// recovery.
+    ClusterMapRecoveryErrors,
 }
 
 impl Counter {
     /// Every counter, in schema order.
-    pub const ALL: [Counter; 26] = [
+    pub const ALL: [Counter; 30] = [
         Counter::Intersections,
         Counter::MergeSteps,
         Counter::FruitlessIntersections,
@@ -96,6 +106,10 @@ impl Counter {
         Counter::ReadinessEvents,
         Counter::LoopWakeups,
         Counter::PartialWrites,
+        Counter::ClusterFanoutCalls,
+        Counter::ClusterShardFailures,
+        Counter::ClusterPartialAnswers,
+        Counter::ClusterMapRecoveryErrors,
     ];
 
     /// The stable snake_case name used as the JSON key.
@@ -128,6 +142,10 @@ impl Counter {
             Counter::ReadinessEvents => "readiness_events",
             Counter::LoopWakeups => "loop_wakeups",
             Counter::PartialWrites => "partial_writes",
+            Counter::ClusterFanoutCalls => "cluster_fanout_calls",
+            Counter::ClusterShardFailures => "cluster_shard_failures",
+            Counter::ClusterPartialAnswers => "cluster_partial_answers",
+            Counter::ClusterMapRecoveryErrors => "cluster_map_recovery_errors",
         }
     }
 

@@ -269,6 +269,54 @@ impl Poller {
     }
 }
 
+/// Accepts one pending connection from a nonblocking listener, returning
+/// the stream already in nonblocking mode.
+///
+/// On Linux x86-64 this is a single `accept4(SOCK_NONBLOCK |
+/// SOCK_CLOEXEC)` syscall — the socket is born nonblocking, with no
+/// window where a separate `set_nonblocking` could fail or be skipped.
+/// Everywhere else (or when `LOTUS_NET_BACKEND=fallback` forces the
+/// portable backend) it degrades to `accept` followed by
+/// `set_nonblocking(true)`. `EINTR` is retried internally.
+///
+/// Returns `Ok(None)` when no connection is pending (`WouldBlock`).
+///
+/// # Errors
+/// Returns the OS error from `accept4`/`accept` (e.g. `ECONNABORTED`,
+/// `EMFILE`), or from the fallback's `set_nonblocking`.
+pub fn accept_nonblocking(listener: &std::net::TcpListener) -> io::Result<Option<std::net::TcpStream>> {
+    #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+    {
+        if !std::env::var_os("LOTUS_NET_BACKEND").is_some_and(|v| v == "fallback") {
+            return sys::accept_nonblocking(listener);
+        }
+    }
+    accept_nonblocking_portable(listener)
+}
+
+/// The portable accept path: `accept` then `set_nonblocking(true)`.
+/// [`accept_nonblocking`] uses it off Linux and under the forced
+/// fallback backend; it is public so the contract test can exercise
+/// both paths on any platform.
+///
+/// # Errors
+/// Returns the OS error from `accept` or `set_nonblocking`.
+pub fn accept_nonblocking_portable(
+    listener: &std::net::TcpListener,
+) -> io::Result<Option<std::net::TcpStream>> {
+    loop {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                stream.set_nonblocking(true)?;
+                return Ok(Some(stream));
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(None),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+}
+
 /// Cross-thread handle that interrupts a blocked [`Poller::wait`].
 /// Cheap to clone-by-construction (create one, move it anywhere);
 /// waking an idle poller is a no-op beyond one queued event.
@@ -384,7 +432,14 @@ mod sys {
     const SYS_CLOSE: usize = 3;
     const SYS_EPOLL_CTL: usize = 233;
     const SYS_EPOLL_PWAIT: usize = 281;
+    const SYS_ACCEPT4: usize = 288;
     const SYS_EPOLL_CREATE1: usize = 291;
+
+    /// `SOCK_NONBLOCK` / `SOCK_CLOEXEC` flag values for `accept4`.
+    const SOCK_NONBLOCK: usize = 0o4000;
+    const SOCK_CLOEXEC: usize = 0o2000000;
+
+    const EAGAIN: i32 = 11;
 
     pub(crate) const EPOLL_CTL_ADD: i32 = 1;
     pub(crate) const EPOLL_CTL_DEL: i32 = 2;
@@ -583,6 +638,43 @@ mod sys {
         });
     }
 
+    /// `accept4` with `SOCK_NONBLOCK | SOCK_CLOEXEC`: the accepted
+    /// socket arrives already nonblocking and close-on-exec, removing
+    /// the accept-then-`set_nonblocking` window. `Ok(None)` means no
+    /// connection is pending; `EINTR` is retried.
+    pub(crate) fn accept_nonblocking(
+        listener: &std::net::TcpListener,
+    ) -> io::Result<Option<std::net::TcpStream>> {
+        use std::os::fd::FromRawFd;
+        loop {
+            // SAFETY: accept4's sockaddr/addrlen pointers may both be
+            // null when the caller does not want the peer address; the
+            // listener fd is valid for the duration of the call.
+            let ret = unsafe {
+                syscall6(
+                    SYS_ACCEPT4,
+                    listener.as_raw_fd() as usize,
+                    0,
+                    0,
+                    SOCK_NONBLOCK | SOCK_CLOEXEC,
+                    0,
+                    0,
+                )
+            };
+            if ret == -(EINTR as isize) {
+                continue;
+            }
+            if ret == -(EAGAIN as isize) {
+                return Ok(None);
+            }
+            let fd = check(ret)? as RawFd;
+            // SAFETY: `fd` is a fresh socket descriptor returned by
+            // accept4 and owned by nobody else; FromRawFd transfers
+            // that ownership exactly once.
+            return Ok(Some(unsafe { std::net::TcpStream::from_raw_fd(fd) }));
+        }
+    }
+
     fn drain_pipe(pipe: &UnixStream) {
         use std::io::Read;
         let mut sink = [0u8; 64];
@@ -714,6 +806,73 @@ mod tests {
             .expect("wait");
         assert_eq!(n, 0);
         assert!(events.is_empty());
+    }
+
+    #[test]
+    fn accept_nonblocking_contract_holds_on_both_paths() {
+        use std::net::{TcpListener, TcpStream};
+        // Both the accept4 fast path (where available) and the portable
+        // accept-then-set-nonblocking path must satisfy one contract:
+        // None when nothing is pending, Some(nonblocking stream) when a
+        // connection is queued.
+        type AcceptFn = fn(&TcpListener) -> std::io::Result<Option<TcpStream>>;
+        let paths: [(&str, AcceptFn); 2] = [
+            ("best", accept_nonblocking as AcceptFn),
+            ("portable", accept_nonblocking_portable as AcceptFn),
+        ];
+        for (label, accept) in paths {
+            let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+            listener.set_nonblocking(true).expect("nonblocking listener");
+            let addr = listener.local_addr().expect("addr");
+
+            // Empty queue: must report None, not block or error.
+            assert!(
+                accept(&listener).expect("accept on empty queue").is_none(),
+                "{label}: expected None with no pending connection"
+            );
+
+            let mut client = TcpStream::connect(addr).expect("connect");
+            let deadline = Instant::now() + Duration::from_secs(5);
+            let accepted = loop {
+                if let Some(stream) = accept(&listener).expect("accept") {
+                    break stream;
+                }
+                assert!(
+                    Instant::now() < deadline,
+                    "{label}: pending connection never surfaced"
+                );
+                std::thread::sleep(Duration::from_millis(1));
+            };
+
+            // The accepted stream must already be nonblocking: a read
+            // with no data is WouldBlock, never a hang.
+            let mut buf = [0u8; 1];
+            let err = (&mut &accepted)
+                .read(&mut buf)
+                .expect_err("read on idle accepted socket");
+            assert_eq!(
+                err.kind(),
+                std::io::ErrorKind::WouldBlock,
+                "{label}: accepted stream is not nonblocking"
+            );
+
+            // And usable: bytes flow both ways.
+            client.write_all(b"hi").expect("client write");
+            let deadline = Instant::now() + Duration::from_secs(5);
+            loop {
+                match (&mut &accepted).read(&mut buf) {
+                    Ok(n) => {
+                        assert!(n > 0, "{label}: unexpected EOF");
+                        break;
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        assert!(Instant::now() < deadline, "{label}: data never arrived");
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                    Err(e) => panic!("{label}: read failed: {e}"),
+                }
+            }
+        }
     }
 
     #[test]
